@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: sensitivity of the message-coprocessor architecture to
+ * the relative speed of the MP — the question the front-end-processor
+ * modeling studies of §1.2 asked (Woodside 84, Vernon 86).
+ *
+ * A half-speed MP should erase much of architecture II's advantage at
+ * communication-heavy loads (the MP becomes the bottleneck); beyond
+ * ~2x the returns diminish because the host-side work and the
+ * serialized rendezvous dominate.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/models/local_model.hh"
+#include "core/models/solution.hh"
+#include "sim/kernel/ipc_sim.hh"
+
+int
+main()
+{
+    using namespace hsipc;
+    using namespace hsipc::models;
+
+    const int n = 4;
+    const double factors[] = {0.5, 1.0, 2.0, 4.0};
+
+    for (double x : {0.0, 1710.0}) {
+        TextTable t(std::string("MP speed ablation (Arch II local, "
+                                "4 conversations, X = ") +
+                    TextTable::num(x / 1000.0, 2) + " ms)");
+        t.header({"MP speed vs host", "Model msgs/s", "Sim msgs/s",
+                  "vs Arch I"});
+        const double arch1 =
+            solveLocal(Arch::I, n, x).throughputPerUs * 1e6;
+        for (double f : factors) {
+            const double model =
+                solveLocalCustom(scaleMpSpeed(localParams(Arch::II), f),
+                                 n, x, 1)
+                    .throughputPerUs * 1e6;
+
+            sim::Experiment e;
+            e.arch = Arch::II;
+            e.local = true;
+            e.conversations = n;
+            e.computeUs = x;
+            e.mpSpeedFactor = f;
+            const double simt = sim::runExperiment(e).throughputPerSec;
+
+            t.row({TextTable::num(f, 1) + "x",
+                   TextTable::num(model, 1), TextTable::num(simt, 1),
+                   TextTable::num(model / arch1, 2) + "x"});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablations of two modeling assumptions, on the kernel simulator:
+ *
+ * 1. "The network is not a bottleneck" (§6.6.4): the models fold only
+ *    the DMA times into the round trip.  Sweeping the wire time of
+ *    the 4 Mb/s token ring shows when that assumption breaks.
+ * 2. Kernel buffering (§3.2.2): the thesis' kernels block senders
+ *    when buffers run out; sweeping the pool size shows the cliff.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "sim/kernel/ipc_sim.hh"
+
+int
+main()
+{
+    using namespace hsipc;
+    using namespace hsipc::models;
+
+    {
+        // An 88-byte packet (40-byte message + headers) on a 4 Mb/s
+        // token ring takes ~176 us of wire time; faster and slower
+        // rings bracket it.
+        TextTable t("Network-speed ablation (Arch II non-local, 4 "
+                    "conversations, X = 1.71 ms)");
+        t.header({"Wire time/packet (us)", "msgs/s",
+                  "round trip (ms)"});
+        for (double wire : {0.0, 88.0, 176.0, 704.0, 2816.0}) {
+            sim::Experiment e;
+            e.arch = Arch::II;
+            e.local = false;
+            e.conversations = 4;
+            e.computeUs = 1710;
+            e.wireUs = wire;
+            const sim::Outcome o = sim::runExperiment(e);
+            t.row({TextTable::num(wire, 0),
+                   TextTable::num(o.throughputPerSec, 1),
+                   TextTable::num(o.meanRoundTripUs / 1000.0, 2)});
+        }
+        std::printf("%s  (the thesis models wire time as zero; the "
+                    "4 Mb/s ring costs ~4%% here)\n\n",
+                    t.render().c_str());
+    }
+
+    {
+        // The same question on the explicit token-ring model: token
+        // rotation + serialization at the ring rate.
+        TextTable t("Token-ring ablation (Arch II non-local, 4 "
+                    "conversations, X = 1.71 ms, 48-byte packets)");
+        t.header({"Ring rate (Mb/s)", "msgs/s", "ring util",
+                  "token wait (us)"});
+        for (double mbps : {16.0, 4.0, 1.0, 0.25}) {
+            sim::Experiment e;
+            e.arch = Arch::II;
+            e.local = false;
+            e.conversations = 4;
+            e.computeUs = 1710;
+            e.useTokenRing = true;
+            e.ringMbps = mbps;
+            const sim::Outcome o = sim::runExperiment(e);
+            t.row({TextTable::num(mbps, 2),
+                   TextTable::num(o.throughputPerSec, 1),
+                   TextTable::num(o.ringUtil, 3),
+                   TextTable::num(o.ringTokenWaitUs, 1)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    {
+        TextTable t("Kernel-buffer-pool ablation (Arch II local, 6 "
+                    "conversations, X = 0)");
+        t.header({"Buffers", "msgs/s", "sender stalls"});
+        for (int buffers : {1, 2, 3, 6, 64}) {
+            sim::Experiment e;
+            e.arch = Arch::II;
+            e.local = true;
+            e.conversations = 6;
+            e.computeUs = 0;
+            e.kernelBuffers = buffers;
+            const sim::Outcome o = sim::runExperiment(e);
+            t.row({std::to_string(buffers),
+                   TextTable::num(o.throughputPerSec, 1),
+                   std::to_string(o.bufferStalls)});
+        }
+        std::printf("%s", t.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: how much of the communication processing must move to the
+ * front-end before the coprocessor pays off?  This is the question
+ * the §1.2 front-end modeling studies asked; the thesis' answer is
+ * "all of it, at the level of the operating-system primitives".
+ *
+ * Throughput versus offloaded fraction for front-ends at half, equal
+ * and double the host's speed, on the architecture-II local workload.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/models/local_model.hh"
+#include "core/models/solution.hh"
+
+int
+main()
+{
+    using namespace hsipc;
+    using namespace hsipc::models;
+
+    const int n = 4;
+    const double x = 1710.0;
+    const double arch1 =
+        solveLocal(Arch::I, n, x).throughputPerUs * 1e6;
+
+    TextTable t("Front-end offload fraction (4 conversations, "
+                "X = 1.71 ms, local): messages/sec");
+    t.header({"Fraction offloaded", "0.5x front-end", "1x front-end",
+              "2x front-end"});
+    for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        std::vector<std::string> row{TextTable::num(f, 2)};
+        for (double beta : {0.5, 1.0, 2.0}) {
+            const double thr =
+                solveLocalCustom(offloadParams(f, beta), n, x, 1)
+                    .throughputPerUs * 1e6;
+            row.push_back(TextTable::num(thr, 1));
+        }
+        t.row(std::move(row));
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("  architecture I reference: %.1f msgs/s; fraction "
+                "1.0 at 1x equals architecture II\n",
+                arch1);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Regenerates Figure 6.17 (a) and (b): message throughput under
+ * maximum communication load (zero server computation) for
+ * architectures I, II and III (IV added for completeness), local and
+ * non-local conversations, 1-4 simultaneous conversations.
+ *
+ * Expected shape (§6.9.1): architecture I local is flat (~200/s);
+ * architecture II loses ~10% at one conversation but grows, saturating
+ * at the MP bandwidth; architecture III is significantly better than
+ * both; saturation is less pronounced for non-local conversations
+ * because the processing load spreads over two nodes.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/models/solution.hh"
+
+int
+main()
+{
+    using namespace hsipc;
+    using namespace hsipc::models;
+
+    for (bool local : {true, false}) {
+        TextTable t(local
+                        ? "Figure 6.17(a) - Maximum Communication "
+                          "Load (Local): messages/sec"
+                        : "Figure 6.17(b) - Maximum Communication "
+                          "Load (Non-local): messages/sec");
+        t.header({"Conversations", "Arch I", "Arch II", "Arch III",
+                  "Arch IV"});
+        for (int n = 1; n <= 4; ++n) {
+            std::vector<std::string> row{std::to_string(n)};
+            for (Arch a : {Arch::I, Arch::II, Arch::III, Arch::IV}) {
+                double thr;
+                if (local) {
+                    thr = solveLocal(a, n, 0.0).throughputPerUs;
+                } else {
+                    thr = solveNonlocal(a, n, 0.0).throughputPerUs;
+                }
+                row.push_back(TextTable::num(thr * 1e6, 1));
+            }
+            t.row(std::move(row));
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Regenerates Figures 6.18 and 6.19: message throughput versus
+ * offered load under a realistic workload (non-zero server
+ * computation), architectures I/II/III, 1-4 conversations.
+ *
+ * As in the thesis, the x axis is the offered load computed for
+ * architecture I at the same server-computation time, so the three
+ * architectures can be compared at equal work.
+ *
+ * Expected shape (§6.9.2): with several conversations architecture II
+ * approaches a 2x gain over architecture I for offered loads in
+ * 0.5-0.9; architecture III does better still and over a wider range;
+ * at computation-intensive loads (left side) the curves converge.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/models/offered_load.hh"
+#include "core/models/solution.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::models;
+
+void
+figure(bool local, const char *title)
+{
+    // Server-computation times (us) spanning offered loads ~1.0
+    // down to ~0.3 (Tables 6.24/6.25 rows 0-11.4 ms).
+    const std::vector<double> server_us = {0,    570,  1140, 1710,
+                                           2850, 5700, 11400};
+
+    TextTable t(title);
+    t.header({"Server X (ms)", "Load(ArchI)", "Conv", "Arch I",
+              "Arch II", "Arch III"});
+    for (double x : server_us) {
+        const double load = offeredLoad(Arch::I, local, x);
+        for (int n : {1, 2, 4}) {
+            std::vector<std::string> row{
+                TextTable::num(x / 1000.0, 2),
+                TextTable::num(load, 3), std::to_string(n)};
+            for (Arch a : {Arch::I, Arch::II, Arch::III}) {
+                const double thr = local
+                    ? solveLocal(a, n, x).throughputPerUs
+                    : solveNonlocal(a, n, x).throughputPerUs;
+                row.push_back(TextTable::num(thr * 1e6, 1));
+            }
+            t.row(std::move(row));
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    figure(true,
+           "Figure 6.18 - Realistic Workload (Local): messages/sec");
+    figure(false,
+           "Figure 6.19 - Realistic Workload (Non-local): "
+           "messages/sec");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Regenerates Figures 6.20-6.23: architecture III (single smart bus)
+ * versus architecture IV (partitioned smart bus) under maximum load
+ * and realistic workloads, local and non-local.
+ *
+ * Expected result (§6.9.3): the partitioned organization does NOT
+ * perform significantly better — shared-memory access is not the
+ * bottleneck, processing time is.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/models/solution.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::models;
+
+void
+maxLoad(bool local, const char *title)
+{
+    TextTable t(title);
+    t.header({"Conversations", "Arch III", "Arch IV", "IV/III"});
+    for (int n = 1; n <= 4; ++n) {
+        const double t3 = (local ? solveLocal(Arch::III, n, 0)
+                                     .throughputPerUs
+                                 : solveNonlocal(Arch::III, n, 0)
+                                       .throughputPerUs) * 1e6;
+        const double t4 = (local ? solveLocal(Arch::IV, n, 0)
+                                     .throughputPerUs
+                                 : solveNonlocal(Arch::IV, n, 0)
+                                       .throughputPerUs) * 1e6;
+        t.row({std::to_string(n), TextTable::num(t3, 1),
+               TextTable::num(t4, 1), TextTable::num(t4 / t3, 3)});
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+void
+realistic(bool local, const char *title)
+{
+    const std::vector<double> server_us = {570, 1710, 5700};
+    TextTable t(title);
+    t.header({"Server X (ms)", "Conv", "Arch III", "Arch IV",
+              "IV/III"});
+    for (double x : server_us) {
+        for (int n : {2, 4}) {
+            const double t3 = (local ? solveLocal(Arch::III, n, x)
+                                         .throughputPerUs
+                                     : solveNonlocal(Arch::III, n, x)
+                                           .throughputPerUs) * 1e6;
+            const double t4 = (local ? solveLocal(Arch::IV, n, x)
+                                         .throughputPerUs
+                                     : solveNonlocal(Arch::IV, n, x)
+                                           .throughputPerUs) * 1e6;
+            t.row({TextTable::num(x / 1000.0, 2), std::to_string(n),
+                   TextTable::num(t3, 1), TextTable::num(t4, 1),
+                   TextTable::num(t4 / t3, 3)});
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    maxLoad(true, "Figure 6.20 - Maximum Load (III & IV: Local), "
+                  "messages/sec");
+    maxLoad(false, "Figure 6.21 - Maximum Load (III & IV: Non-local), "
+                   "messages/sec");
+    realistic(true, "Figure 6.22 - Realistic Load (III & IV: Local), "
+                    "messages/sec");
+    realistic(false, "Figure 6.23 - Realistic Load (III & IV: "
+                     "Non-local), messages/sec");
+    return 0;
+}

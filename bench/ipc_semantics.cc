@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Regenerates the §3.2 IPC-semantics comparison across the three
+ * implemented kernels (Charlotte links, Jasmin paths, 925 services),
+ * and quantifies the §3.4 observation that Charlotte's equal-rights
+ * link protocol demands the most kernel checking per round trip by
+ * running the same null-RPC loop on each kernel and counting validity
+ * checks.
+ */
+
+#include <cstdio>
+
+#include "charlotte/links.hh"
+#include "common/table.hh"
+#include "jasmin/paths.hh"
+#include "k925/kernel.hh"
+#include "unixsock/sockets.hh"
+
+namespace
+{
+
+using namespace hsipc;
+
+long
+charlotteChecksPerRoundTrip()
+{
+    using namespace hsipc::charlotte;
+    LinkKernel k;
+    const ProcId c = k.createProcess("client");
+    const ProcId s = k.createProcess("server");
+    auto [ce, se] = k.makeLink(c, s);
+    const long before = k.checksPerformed();
+    const int n = 100;
+    for (int i = 0; i < n; ++i) {
+        k.postReceive(s, se);
+        k.postSend(c, ce, {1, 2, 3});
+        k.postReceive(c, ce);
+        k.postSend(s, se, {4, 5, 6});
+    }
+    return (k.checksPerformed() - before) / n;
+}
+
+long
+jasminChecksPerRoundTrip()
+{
+    using namespace hsipc::jasmin;
+    PathKernel k;
+    const ProcId s = k.createProcess("server");
+    const ProcId c = k.createProcess("client");
+    const PathId req = k.createPath(s);
+    k.giveSendEnd(s, req, c);
+    const PathId rep = k.createPath(c);
+    k.giveSendEnd(c, rep, s);
+    const long before = k.checksPerformed();
+    const int n = 100;
+    Message m{};
+    for (int i = 0; i < n; ++i) {
+        k.sendmsg(c, req, m);
+        k.rcvmsg(s, {req}, m);
+        k.sendmsg(s, rep, m);
+        k.rcvmsg(c, {rep}, m);
+    }
+    return (k.checksPerformed() - before) / n;
+}
+
+} // namespace
+
+int
+main()
+{
+    {
+        TextTable t("The §3.2 IPC design space (as implemented)");
+        t.header({"Property", "Charlotte (links)", "Jasmin (paths)",
+                  "925 (services)", "Unix (sockets)"});
+        t.row({"Connection", "two-way link, equal rights",
+               "one-way path, gift send end",
+               "service = queueing point",
+               "two-way byte stream"});
+        t.row({"Message size", "arbitrary", "fixed 32 B",
+               "fixed 40 B (+ memory ref)",
+               "arbitrary (no boundaries)"});
+        t.row({"Kernel buffering", "none (rendezvous)",
+               "yes, fixed-size pool", "yes, fixed-size pool",
+               "yes, bounded byte buffer"});
+        t.row({"Send", "no-wait, async completion",
+               "no-wait datagram",
+               "no-wait or remote invocation",
+               "blocks on full buffer (or EWOULDBLOCK)"});
+        t.row({"Receive", "post + poll/wait; one or all links",
+               "blocking; group of paths",
+               "blocking; all offered services",
+               "blocking or non-blocking read"});
+        t.row({"Selective receipt", "one link or all", "path group",
+               "none", "none"});
+        t.row({"Polling", "completion poll", "none", "inquire",
+               "select()"});
+        t.row({"Bulk data", "any-size message", "iomove",
+               "memory move via enclosed ref", "the stream itself"});
+        t.row({"Unusual rights", "move/cancel/destroy from either end",
+               "one-time gift; one-shot reply paths",
+               "rights revoked at reply",
+               "close -> EOF / EPIPE"});
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    {
+        TextTable t("Kernel validity checks per null-RPC round trip "
+                    "(cf. Tables 3.1-3.3's protocol overheads)");
+        t.header({"Kernel", "checks/round trip"});
+        t.row({"Charlotte links",
+               std::to_string(charlotteChecksPerRoundTrip())});
+        t.row({"Jasmin paths",
+               std::to_string(jasminChecksPerRoundTrip())});
+        std::printf("%s", t.render().c_str());
+        std::printf("  Charlotte's two-way, equal-rights protocol "
+                    "does the most checking —\n  the thesis measured "
+                    "50%% of its 20 ms round trip in link protocol "
+                    "processing.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library itself: GTPN
+ * reachability + steady-state solution, queue primitives (software
+ * reference vs microcode), smart-bus transactions, and the
+ * event-driven kernel simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bus/memory.hh"
+#include "bus/queue_ops.hh"
+#include "bus/smart_bus.hh"
+#include "core/models/local_model.hh"
+#include "core/models/solution.hh"
+#include "sim/kernel/ipc_sim.hh"
+#include "ucode/microcode.hh"
+
+namespace
+{
+
+using namespace hsipc;
+
+void
+BM_GtpnSolveLocal(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const auto s = models::solveLocal(models::Arch::II, n, 0.0);
+        benchmark::DoNotOptimize(s.throughputPerUs);
+    }
+    state.counters["states"] = static_cast<double>(
+        models::solveLocal(models::Arch::II, n, 0.0).states);
+}
+BENCHMARK(BM_GtpnSolveLocal)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_GtpnNonlocalFixedPoint(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const auto s = models::solveNonlocal(models::Arch::III, n, 0.0);
+        benchmark::DoNotOptimize(s.throughputPerUs);
+    }
+}
+BENCHMARK(BM_GtpnNonlocalFixedPoint)->Arg(1)->Arg(2);
+
+void
+BM_QueueOpsSoftware(benchmark::State &state)
+{
+    bus::SimMemory mem(4096);
+    for (auto _ : state) {
+        bus::QueueOps::enqueue(mem, 2, 64);
+        bus::QueueOps::enqueue(mem, 2, 96);
+        benchmark::DoNotOptimize(bus::QueueOps::first(mem, 2));
+        benchmark::DoNotOptimize(bus::QueueOps::first(mem, 2));
+    }
+}
+BENCHMARK(BM_QueueOpsSoftware);
+
+void
+BM_QueueOpsMicrocoded(benchmark::State &state)
+{
+    bus::SimMemory mem(4096);
+    ucode::MicroSequencer seq(mem);
+    const auto &prog = ucode::microProgram();
+    for (auto _ : state) {
+        seq.run(prog.entryEnqueue, 2, 64);
+        seq.run(prog.entryEnqueue, 2, 96);
+        benchmark::DoNotOptimize(seq.run(prog.entryFirst, 2, 0).value);
+        benchmark::DoNotOptimize(seq.run(prog.entryFirst, 2, 0).value);
+    }
+}
+BENCHMARK(BM_QueueOpsMicrocoded);
+
+void
+BM_SmartBusBlockTransfer(benchmark::State &state)
+{
+    const auto bytes = static_cast<std::uint16_t>(state.range(0));
+    for (auto _ : state) {
+        bus::SimMemory mem(65536);
+        bus::SmartBus b(mem);
+        const int mp = b.addUnit("MP", 3);
+        const auto op = b.postBlockRead(mp, 0, bytes);
+        b.run();
+        benchmark::DoNotOptimize(b.result(op).data.size());
+    }
+}
+BENCHMARK(BM_SmartBusBlockTransfer)->Arg(40)->Arg(1024);
+
+void
+BM_KernelSimulation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Experiment e;
+        e.arch = models::Arch::II;
+        e.local = true;
+        e.conversations = 2;
+        e.computeUs = 1140;
+        e.warmupUs = 20000;
+        e.measureUs = 200000;
+        const auto o = sim::runExperiment(e);
+        benchmark::DoNotOptimize(o.throughputPerSec);
+    }
+}
+BENCHMARK(BM_KernelSimulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The chapter-4 measurement exercise, rerun on the simulator: break a
+ * round trip into per-activity processing times and compare with the
+ * step tables that drove the models (Tables 6.9/6.11 "Best" column).
+ * Agreement here confirms the simulator charges exactly the costs the
+ * models assume — the premise of the Fig 6.15 validation.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/models/processing_times.hh"
+#include "sim/kernel/ipc_sim.hh"
+#include "sim/node/costs.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::models;
+
+void
+profile(Arch arch, bool local, const char *ref)
+{
+    sim::Experiment e;
+    e.arch = arch;
+    e.local = local;
+    e.conversations = 1; // uncontended: activities equal their costs
+    e.computeUs = 0;
+    const sim::Outcome o = sim::runExperiment(e);
+
+    const sim::IpcCosts costs = sim::ipcCosts(arch, local);
+    auto expected = [&](const std::string &name) -> double {
+        const sim::ActCost *c = nullptr;
+        if (name == "sendSyscall") c = &costs.sendSyscall;
+        else if (name == "processSend") c = &costs.processSend;
+        else if (name == "recvSyscall") c = &costs.recvSyscall;
+        else if (name == "processRecv") c = &costs.processRecv;
+        else if (name == "match") c = &costs.match;
+        else if (name == "restartServer") c = &costs.restartServer;
+        else if (name == "replySyscall") c = &costs.reply;
+        else if (name == "processReply") c = &costs.processReply;
+        else if (name == "restartServer2") c = &costs.restartServer2;
+        else if (name == "restartClient") c = &costs.restartClient;
+        else if (name == "cleanup") c = &costs.cleanupClient;
+        if (!c)
+            return -1;
+        return c->procUs + c->kb + c->tcb;
+    };
+
+    TextTable t(std::string("Simulated activity profile - ") +
+                archName(arch) + (local ? " local" : " non-local") +
+                " (1 conversation, X=0); reference " + ref);
+    t.header({"Activity", "us/round trip (sim)", "step table (Best)"});
+    for (const auto &[name, us] : o.activityUsPerRoundTrip) {
+        if (name == "compute")
+            continue;
+        const double exp_us = expected(name);
+        std::string label = "dmaOut/dmaIn (aggregated)";
+        if (exp_us >= 0)
+            label = TextTable::num(exp_us, 0);
+        t.row({name, TextTable::num(us, 1),
+               exp_us >= 0 ? TextTable::num(exp_us, 0) : "-"});
+    }
+    std::printf("%s  round trip %.0f us\n\n", t.render().c_str(),
+                o.meanRoundTripUs);
+}
+
+} // namespace
+
+int
+main()
+{
+    profile(Arch::II, true, "Table 6.9");
+    profile(Arch::II, false, "Table 6.11");
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Regenerates Tables 3.1-3.5: the profiling breakdowns of Charlotte,
+ * Jasmin, 925, and Unix (local and non-local null-RPC round trips).
+ *
+ * Each synthetic kernel executes the §3.3 producer/consumer loop
+ * through the instrumented procedure profiler; rows are aggregated by
+ * kernel activity.  "paper %" columns carry the thesis' measured
+ * percentages for comparison.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/table.hh"
+#include "prof/kernels.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::prof;
+
+struct PaperRow
+{
+    const char *activity;
+    double percent;
+};
+
+void
+printProfile(const char *title, const KernelSpec &spec,
+             const std::map<std::string, double> &paper)
+{
+    const ProfileResult res = runKernelProfile(spec);
+
+    TextTable t(title);
+    t.header({"Activity", "Time (ms)", "% round trip", "paper %"});
+    for (const ActivityRow &row : res.rows) {
+        double paper_pct = -1;
+        for (const auto &[key, pct] : paper) {
+            if (row.activity.find(key) != std::string::npos)
+                paper_pct = pct;
+        }
+        t.row({row.activity, TextTable::num(row.timeMs, 3),
+               TextTable::num(row.percent, 1),
+               paper_pct >= 0 ? TextTable::num(paper_pct, 1) : "-"});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("  machine %s (%.1f MIPS), %d-byte message\n"
+                "  round trip %.3f ms (copy %.3f ms)\n\n",
+                spec.machine.name.c_str(), spec.machine.mips,
+                spec.messageBytes, res.roundTripMs, res.copyTimeMs);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Chapter 3 profiling studies "
+                "(synthetic kernels; see DESIGN.md)\n\n");
+
+    printProfile("Table 3.1 - Charlotte Profiling", charlotteSpec(),
+                 {{"Kernel-Process", 10},
+                  {"Copy", 3},
+                  {"Entering", 14},
+                  {"Protocol", 50},
+                  {"Link Translation", 23}});
+
+    printProfile("Table 3.2 - Jasmin Profiling", jasminSpec(),
+                 {{"Short-Term", 40},
+                  {"Copy", 15},
+                  {"Buffer", 10},
+                  {"Path", 20},
+                  {"Miscellaneous", 15}});
+
+    printProfile("Table 3.3 - 925 Profiling", spec925(),
+                 {{"Short-Term", 35},
+                  {"Copy", 15},
+                  {"Entering", 10},
+                  {"Checking", 40}});
+
+    printProfile("Table 3.4 - Unix Profiling (Local Message)",
+                 unixLocalSpec(),
+                 {{"Validity", 53.4},
+                  {"Copy", 19.3},
+                  {"Short-Term", 17.1},
+                  {"Buffer", 10.2}});
+
+    printProfile("Table 3.5 - Unix Profiling (Non-local Message)",
+                 unixNonlocalSpec(),
+                 {{"Socket", 15},
+                  {"Copy", 7},
+                  {"Checksum", 9},
+                  {"Short-Term", 6},
+                  {"Buffer", 4},
+                  {"TCP", 19},
+                  {"IP", 24},
+                  {"Interrupt", 16}});
+
+    std::printf("Fixed overheads (paper: Charlotte 19.4 ms, Jasmin "
+                "0.612 ms, 925 4.76 ms):\n");
+    std::printf("  Charlotte %.2f ms, Jasmin %.3f ms, 925 %.2f ms\n",
+                fixedOverheadUs(charlotteSpec()) / 1000.0,
+                fixedOverheadUs(jasminSpec()) / 1000.0,
+                fixedOverheadUs(spec925()) / 1000.0);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Table 3.6 (Unix system-service times) and Table 3.7
+ * (file-system read/write times vs block size) from the service
+ * instruction budgets and the file-server cost model.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "prof/kernels.hh"
+
+int
+main()
+{
+    using namespace hsipc;
+    using namespace hsipc::prof;
+
+    {
+        // Paper values for comparison.
+        const double paper[] = {4.35, 0.36, 18.71, 14.28, 3.453, 0.2};
+        TextTable t("Table 3.6 - Unix Servers");
+        t.header({"System Service", "Time (ms)", "paper (ms)"});
+        std::size_t i = 0;
+        for (const ServiceSpec &svc : unixServices()) {
+            t.row({svc.service, TextTable::num(serviceTimeMs(svc), 3),
+                   TextTable::num(paper[i++], 3)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    {
+        const double paper_read[] = {1.0092, 1.0867, 1.2329, 1.5999,
+                                     1.7647, 2.739, 3.2442};
+        const double paper_write[] = {1.5464, 1.7633, 2.0982, 2.7095,
+                                      3.8082, 5.7908, 6.1082};
+        const FileServerModel rd = unixReadModel();
+        const FileServerModel wr = unixWriteModel();
+        TextTable t("Table 3.7 - Unix Read/Write");
+        t.header({"BlockSize", "Read (ms)", "paper", "Write (ms)",
+                  "paper"});
+        std::size_t i = 0;
+        for (int bytes : unixRwBlockSizes()) {
+            t.row({std::to_string(bytes),
+                   TextTable::num(rd.timeMs(bytes), 3),
+                   TextTable::num(paper_read[i], 3),
+                   TextTable::num(wr.timeMs(bytes), 3),
+                   TextTable::num(paper_write[i], 3)});
+            ++i;
+        }
+        std::printf("%s", t.render().c_str());
+        std::printf("  model: read %.0f us + %.0f us/block + %.2f "
+                    "us/byte; write %.0f + %.0f + %.2f\n",
+                    rd.fixedUs, rd.perBlockUs, rd.perByteUs, wr.fixedUs,
+                    wr.perBlockUs, wr.perByteUs);
+    }
+    return 0;
+}

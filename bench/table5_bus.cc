@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Regenerates the chapter-5 hardware tables: the smart-bus signal
+ * inventory (Table 5.1), the command encoding (Table 5.2) with
+ * *measured* handshake edge counts from the edge-accurate bus
+ * simulator (Figures 5.3-5.16), and the Appendix-A feasibility
+ * numbers (micro-store size, §5.5's two-chip component budget).
+ */
+
+#include <cstdio>
+
+#include "bus/memory.hh"
+#include "bus/signals.hh"
+#include "bus/smart_bus.hh"
+#include "bus/timing.hh"
+#include "common/table.hh"
+#include "ucode/microcode.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::bus;
+using namespace hsipc::ucode;
+
+/** Measure the duration of one transaction on an idle bus. */
+long
+measureEdges(BusCommand cmd)
+{
+    SimMemory mem(4096);
+    MicrocodedController ctrl(mem);
+    SmartBus bus(mem);
+    bus.setController(ctrl);
+    const int mp = bus.addUnit("MP", 3);
+
+    SmartBus::OpId op = -1;
+    switch (cmd) {
+      case BusCommand::SimpleRead:
+        op = bus.postRead(mp, 100);
+        break;
+      case BusCommand::BlockTransfer:
+      case BusCommand::BlockReadData:
+        op = bus.postBlockRead(mp, 100, 40);
+        break;
+      case BusCommand::BlockWriteData:
+        op = bus.postBlockWrite(mp, 100,
+                                std::vector<std::uint8_t>(40, 1));
+        break;
+      case BusCommand::EnqueueControlBlock:
+        op = bus.postEnqueue(mp, 2, 32);
+        break;
+      case BusCommand::DequeueControlBlock:
+        QueueOps::enqueue(mem, 2, 32);
+        op = bus.postDequeue(mp, 2, 32);
+        break;
+      case BusCommand::FirstControlBlock:
+        QueueOps::enqueue(mem, 2, 32);
+        op = bus.postFirst(mp, 2);
+        break;
+      case BusCommand::WriteTwoBytes:
+        op = bus.postWrite16(mp, 100, 7);
+        break;
+      case BusCommand::WriteByte:
+        op = bus.postWrite8(mp, 100, 7);
+        break;
+    }
+    bus.run();
+    return bus.result(op).endEdge - bus.result(op).startEdge;
+}
+
+} // namespace
+
+int
+main()
+{
+    {
+        TextTable t("Table 5.1 - Smart Bus Signals");
+        t.header({"Signal", "Lines", "Description"});
+        for (const BusSignal &s : busSignalTable())
+            t.row({s.name, std::to_string(s.lines), s.description});
+        std::printf("%s  total %d lines\n\n", t.render().c_str(),
+                    busTotalLines());
+    }
+
+    {
+        TextTable t("Table 5.2 - Smart Bus Commands "
+                    "(measured transaction edges)");
+        t.header({"CM code", "Command", "edges", "us"});
+        const BusCommand cmds[] = {
+            BusCommand::SimpleRead, BusCommand::BlockTransfer,
+            BusCommand::BlockReadData, BusCommand::BlockWriteData,
+            BusCommand::EnqueueControlBlock,
+            BusCommand::DequeueControlBlock,
+            BusCommand::FirstControlBlock, BusCommand::WriteTwoBytes,
+            BusCommand::WriteByte,
+        };
+        for (BusCommand c : cmds) {
+            char code[8];
+            std::snprintf(code, sizeof(code), "%04u",
+                          // binary rendering of the 4-bit code
+                          (static_cast<unsigned>(c) & 8 ? 1000u : 0u) +
+                              (static_cast<unsigned>(c) & 4 ? 100u : 0u) +
+                              (static_cast<unsigned>(c) & 2 ? 10u : 0u) +
+                              (static_cast<unsigned>(c) & 1 ? 1u : 0u));
+            long edges;
+            const char *note = "";
+            if (c == BusCommand::BlockTransfer) {
+                edges = 4;
+                note = " (request only)";
+            } else {
+                edges = measureEdges(c);
+                if (c == BusCommand::BlockReadData ||
+                    c == BusCommand::BlockWriteData)
+                    note = " (40-byte block incl. request)";
+            }
+            t.row({code, busCommandName(c) + note,
+                   std::to_string(edges),
+                   TextTable::num(edges * edgeUs, 2)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    {
+        std::printf("== Appendix A feasibility (see §5.5) ==\n");
+        std::printf("  micro-store: %zu micro-words x %d bits = %d "
+                    "bits (claim: under 3000)\n",
+                    microProgram().store.size(), microWordBits(),
+                    microProgram().sizeBits());
+        TextTable t("Table A.1 - Data Path Chip: Component Count "
+                    "(reconstructed)");
+        t.header({"Component", "Active components"});
+        for (const ComponentCount &c : dataPathComponents())
+            t.row({c.component, std::to_string(c.count)});
+        t.row({"TOTAL (claim: ~6000)",
+               std::to_string(dataPathComponentTotal())});
+        std::printf("%s", t.render().c_str());
+    }
+
+    {
+        std::printf("\n== Handshake timing diagrams "
+                    "(Figs 5.4-5.16) ==\n\n");
+        for (BusCommand c : {BusCommand::BlockTransfer,
+                             BusCommand::BlockReadData,
+                             BusCommand::BlockWriteData,
+                             BusCommand::EnqueueControlBlock,
+                             BusCommand::FirstControlBlock,
+                             BusCommand::SimpleRead,
+                             BusCommand::WriteTwoBytes}) {
+            std::printf("%s\n", renderTimingDiagram(c, 2).c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Tables 6.24 and 6.25 — the offered load C/(C+S) of each
+ * architecture for the thesis' sweep of server-computation times.
+ * C is obtained, as in the thesis, by solving each model with one
+ * conversation and zero computation.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/models/offered_load.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::models;
+
+// Paper values (columns I, II, III, IV) for spot comparison at
+// selected rows: 0.57 ms, 5.7 ms and 45.6 ms.
+struct PaperSpot
+{
+    double ms;
+    double load[4];
+};
+
+void
+table(bool local, const char *title, const std::vector<PaperSpot> &spots)
+{
+    TextTable t(title);
+    t.header({"Server Time (ms)", "Arch I", "Arch II", "Arch III",
+              "Arch IV", "paper I/II/III/IV"});
+    for (double ms : offeredLoadServerTimesMs()) {
+        std::vector<std::string> row{TextTable::num(ms, 2)};
+        for (Arch a : {Arch::I, Arch::II, Arch::III, Arch::IV})
+            row.push_back(
+                TextTable::num(offeredLoad(a, local, ms * 1000.0), 3));
+        std::string paper = "-";
+        for (const PaperSpot &s : spots) {
+            if (s.ms == ms) {
+                paper = TextTable::num(s.load[0], 3) + "/" +
+                        TextTable::num(s.load[1], 3) + "/" +
+                        TextTable::num(s.load[2], 3) + "/" +
+                        TextTable::num(s.load[3], 3);
+            }
+        }
+        row.push_back(paper);
+        t.row(std::move(row));
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("  C (1 conversation, X=0): I %.0f, II %.0f, III %.0f, "
+                "IV %.0f us\n\n",
+                communicationTime(Arch::I, local),
+                communicationTime(Arch::II, local),
+                communicationTime(Arch::III, local),
+                communicationTime(Arch::IV, local));
+}
+
+} // namespace
+
+int
+main()
+{
+    table(true, "Table 6.24 - Offered Loads (Local)",
+          {{0.57, {0.897, 0.905, 0.867, 0.866}},
+           {5.7, {0.466, 0.488, 0.399, 0.393}},
+           {45.6, {0.098, 0.107, 0.077, 0.075}}});
+    table(false, "Table 6.25 - Offered Loads (Non-local)",
+          {{0.57, {0.920, 0.924, 0.900, 0.898}},
+           {5.7, {0.536, 0.549, 0.474, 0.469}},
+           {45.6, {0.126, 0.132, 0.101, 0.099}}});
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regenerates the round-trip step tables of chapter 6 (Tables 6.4,
+ * 6.6, 6.9, 6.11, 6.14, 6.16, 6.19, 6.21): the processing steps of
+ * one conversation under each architecture, with contention-free and
+ * contention-inflated completion times, plus the derived fixed
+ * round-trip overhead.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/models/processing_times.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::models;
+
+void
+printStepTable(Arch a, bool local, const char *table_no)
+{
+    TextTable t(std::string("Table ") + table_no + " - " +
+                archName(a) + (local ? ": Local" : ": Non-local") +
+                " Conversation (microseconds)");
+    const bool split = a == Arch::IV;
+    if (split) {
+        t.header({"Proc", "Initiator", "#", "Description", "Processing",
+                  "KB", "TCB", "Best", "Contention"});
+    } else {
+        t.header({"Proc", "Initiator", "#", "Description", "Processing",
+                  "Shared mem", "Best", "Contention"});
+    }
+    for (const Step &s : stepTable(a, local)) {
+        if (s.workload) {
+            if (split) {
+                t.row({s.processor, s.initiator, s.number,
+                       "Compute (workload parameter X)", "-", "-", "-",
+                       "-", "-"});
+            } else {
+                t.row({s.processor, s.initiator, s.number,
+                       "Compute (workload parameter X)", "-", "-", "-",
+                       "-"});
+            }
+            continue;
+        }
+        if (split) {
+            t.row({s.processor, s.initiator, s.number, s.description,
+                   TextTable::num(s.processing, 0),
+                   TextTable::num(s.kbAccess, 0),
+                   TextTable::num(s.tcbAccess, 0),
+                   TextTable::num(s.best(), 0),
+                   TextTable::num(s.contention, 1)});
+        } else {
+            t.row({s.processor, s.initiator, s.number, s.description,
+                   TextTable::num(s.processing, 0),
+                   TextTable::num(s.shmem(), 0),
+                   TextTable::num(s.best(), 0),
+                   TextTable::num(s.contention, 1)});
+        }
+    }
+    std::printf("%s  fixed round-trip overhead (sum of Best): %.0f "
+                "us\n\n",
+                t.render().c_str(), roundTripBest(a, local));
+}
+
+} // namespace
+
+int
+main()
+{
+    printStepTable(Arch::I, true, "6.4");
+    printStepTable(Arch::I, false, "6.6");
+    printStepTable(Arch::II, true, "6.9");
+    printStepTable(Arch::II, false, "6.11");
+    printStepTable(Arch::III, true, "6.14");
+    printStepTable(Arch::III, false, "6.16");
+    printStepTable(Arch::IV, true, "6.19");
+    printStepTable(Arch::IV, false, "6.21");
+    return 0;
+}

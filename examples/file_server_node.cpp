@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The motivating scenario of the thesis (Figure 4.2): an editor task
+ * requests file pages from a file-server task through message
+ * passing.
+ *
+ * The server-computation time per request comes from the Unix file
+ * server cost model behind Table 3.7 (read of one page), so each
+ * round trip is a realistic "open a conversation, read a page"
+ * exchange.  The example runs the workload on architectures I and III
+ * with the kernel simulator and shows how the message coprocessor and
+ * the smart bus change page throughput and round-trip latency — the
+ * end-to-end story the dissertation tells.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/models/offered_load.hh"
+#include "prof/kernels.hh"
+#include "sim/kernel/ipc_sim.hh"
+
+int
+main()
+{
+    using namespace hsipc;
+    using namespace hsipc::models;
+    using namespace hsipc::prof;
+
+    // The editor reads 1K pages; the file server's computation per
+    // page is Table 3.7's read model.
+    const int page_bytes = 1024;
+    const double service_us =
+        unixReadModel().timeMs(page_bytes) * 1000.0;
+    std::printf("file-server computation per %d-byte page: %.0f us\n",
+                page_bytes, service_us);
+    std::printf("offered load this represents on Arch I (local): "
+                "%.3f\n\n",
+                offeredLoad(Arch::I, true, service_us));
+
+    TextTable t("Editor <-> file server (local node, kernel "
+                "simulator)");
+    t.header({"Editors", "Arch", "pages/sec", "round trip (ms)",
+              "host util", "MP util"});
+    for (int editors : {1, 2, 4}) {
+        for (Arch a : {Arch::I, Arch::III}) {
+            sim::Experiment e;
+            e.arch = a;
+            e.local = true;
+            e.conversations = editors;
+            e.computeUs = service_us;
+            const sim::Outcome o = sim::runExperiment(e);
+            t.row({std::to_string(editors),
+                   a == Arch::I ? "I (uniprocessor)" : "III (smart bus)",
+                   TextTable::num(o.throughputPerSec, 1),
+                   TextTable::num(o.meanRoundTripUs / 1000.0, 2),
+                   TextTable::num(o.hostUtil, 2),
+                   TextTable::num(o.mpUtil, 2)});
+        }
+    }
+    std::printf("%s", t.render().c_str());
+
+    // And the profiling view: where does the kernel time go when the
+    // editor talks to the server on a 925-class kernel?
+    std::printf("\nkernel-time breakdown of one round trip "
+                "(925-class kernel, Table 3.3):\n");
+    const ProfileResult prof = runKernelProfile(spec925());
+    for (const ActivityRow &row : prof.rows) {
+        std::printf("  %-55s %5.2f ms (%4.1f%%)\n",
+                    row.activity.c_str(), row.timeMs, row.percent);
+    }
+    return 0;
+}

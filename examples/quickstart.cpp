@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: build a small Generalized Timed Petri Net, analyze it
+ * exactly, and cross-check with Monte Carlo simulation.
+ *
+ * The net is the thesis' introductory example (Figure 6.6): a token
+ * loops in P1 a geometric number of times (mean 20 time units), moves
+ * to P2 through the measured transition T0, and returns after a
+ * 5-unit delay.  The system's throughput is the usage of the resource
+ * attached to T0.
+ */
+
+#include <cstdio>
+
+#include "core/gtpn/analyzer.hh"
+#include "core/gtpn/net.hh"
+#include "core/gtpn/simulator.hh"
+
+int
+main()
+{
+    using namespace hsipc::gtpn;
+
+    // 1. Describe the net.
+    PetriNet net;
+    const PlaceId p1 = net.addPlace("P1", 1);
+    const PlaceId p2 = net.addPlace("P2");
+
+    // T0: exit P1 with probability 1/20 per unit; carries the
+    // throughput resource "Lambda".
+    const TransId t0 = net.addTransition("T0", 1.0, 1.0 / 20.0,
+                                         "Lambda");
+    net.inputArc(p1, t0);
+    net.outputArc(t0, p2);
+
+    // T1: otherwise stay in P1 (the geometric-delay idiom, Fig 6.7).
+    const TransId t1 = net.addTransition("T1", 1.0, 19.0 / 20.0);
+    net.inputArc(p1, t1);
+    net.outputArc(t1, p1);
+
+    // T2: deterministic 5-unit return.
+    const TransId t2 = net.addTransition("T2", 5.0, 1.0);
+    net.inputArc(p2, t2);
+    net.outputArc(t2, p1);
+    (void)t1;
+    (void)t2;
+
+    // 2. Exact analysis: reachability graph + embedded Markov chain.
+    const AnalyzerResult exact = analyze(net);
+    std::printf("exact analysis: %zu states, throughput %.6f "
+                "(expected %.6f)\n",
+                exact.numStates, exact.usage("Lambda"), 1.0 / 25.0);
+
+    // 3. Monte Carlo cross-check.
+    SimOptions opts;
+    opts.horizon = 200000;
+    const SimResult sim = simulate(net, opts);
+    std::printf("simulation:     throughput %.6f\n",
+                sim.usage("Lambda"));
+
+    // 4. Firing rates are also available per transition.
+    std::printf("T0 firing rate: %.6f per time unit\n",
+                exact.firingRate[static_cast<std::size_t>(t0)]);
+    return 0;
+}

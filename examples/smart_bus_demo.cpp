@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Drive the smart bus (chapter 5) with three units — the host, the
+ * message coprocessor, and a network interface — through a realistic
+ * message-delivery sequence, running the memory side on the
+ * microprogrammed controller of Appendix A.
+ *
+ * The scenario mirrors §5.1: the MP takes a kernel buffer from its
+ * free list (First), block-writes a 40-byte message into it, enqueues
+ * it on a service queue, and the NIC (at the highest bus priority)
+ * interrupts the stream with its own atomic queue work — showing the
+ * preempt-and-resume behaviour that distinguishes the smart bus from
+ * buses that lock for whole block transfers.
+ */
+
+#include <cstdio>
+
+#include "bus/memory.hh"
+#include "bus/queue_ops.hh"
+#include "bus/smart_bus.hh"
+#include "ucode/microcode.hh"
+
+int
+main()
+{
+    using namespace hsipc::bus;
+    using namespace hsipc::ucode;
+
+    SimMemory mem(8192);
+    MicrocodedController controller(mem);
+    SmartBus bus(mem);
+    bus.setController(controller);
+
+    const int host = bus.addUnit("Host", 2);
+    const int mp = bus.addUnit("MP", 3);
+    const int nic = bus.addUnit("NIC", 7);
+
+    // Well-known list heads (§5.1): kernel-buffer free list at 2,
+    // a service queue at 4, the communication list at 6.
+    const Addr kb_free = 2, service_q = 4, comm_list = 6;
+
+    // Seed the kernel-buffer free list with four 64-byte buffers.
+    for (Addr b = 0; b < 4; ++b)
+        QueueOps::enqueue(mem, kb_free,
+                          static_cast<Addr>(1024 + 64 * b));
+
+    // 1. The MP grabs a free kernel buffer.
+    const auto get_buf = bus.postFirst(mp, kb_free);
+    bus.run();
+    const Addr buf = bus.result(get_buf).value;
+    std::printf("MP acquired kernel buffer 0x%04x in %.2f us\n", buf,
+                bus.result(get_buf).durationUs());
+
+    // 2. The MP block-writes a 40-byte message into the buffer
+    //    (past the 2-byte link word)...
+    std::vector<std::uint8_t> msg(40);
+    for (int i = 0; i < 40; ++i)
+        msg[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>('A' + i % 26);
+    const auto blk =
+        bus.postBlockWrite(mp, static_cast<Addr>(buf + 2), msg);
+    bus.step(); // block transfer request
+    bus.step(); // first streaming grant
+
+    // 3. ...while the NIC interrupts with an enqueue on the
+    //    communication list and the host reads a word.
+    const auto nic_op = bus.postEnqueue(nic, comm_list, 2048);
+    const auto host_op = bus.postRead(host, service_q);
+    const auto enq = bus.postEnqueue(mp, service_q, buf);
+    bus.run();
+
+    std::printf("NIC enqueue finished at %.2f us (stream preempted "
+                "%ld time(s))\n",
+                bus.result(nic_op).endEdge * edgeUs,
+                bus.preemptionCount());
+    std::printf("block write finished at %.2f us (duration %.2f us)\n",
+                bus.result(blk).endEdge * edgeUs,
+                bus.result(blk).durationUs());
+    std::printf("message enqueued on the service at %.2f us\n",
+                bus.result(enq).endEdge * edgeUs);
+    (void)host_op;
+
+    // 4. Show the bus trace.
+    std::printf("\nbus trace:\n");
+    for (const BusTraceEntry &e : bus.trace()) {
+        std::printf("  %7.2f us  %-6s %-22s %s\n", e.startEdge * edgeUs,
+                    e.unit.c_str(), busCommandName(e.command).c_str(),
+                    e.detail.c_str());
+    }
+
+    // 5. Verify the data structures ended up consistent.
+    std::printf("\nservice queue now holds:");
+    for (Addr a : QueueOps::toVector(mem, service_q))
+        std::printf(" 0x%04x", a);
+    std::printf("\nmicrocode executed %ld cycles total\n",
+                controller.sequencer().totalCycles());
+    return 0;
+}

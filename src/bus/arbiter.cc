@@ -1,0 +1,61 @@
+#include "bus/arbiter.hh"
+
+#include "common/logging.hh"
+
+namespace hsipc::bus
+{
+
+namespace
+{
+
+/** One contender's contribution to the wired-or BR lines. */
+std::uint8_t
+driveLines(BusPriority br, std::uint8_t bus_lines)
+{
+    // Bit 2 is br_0 (most significant) down to bit 0 (br_2).
+    std::uint8_t out = 0;
+    bool ok = true; // OK_0
+    for (int i = 2; i >= 0; --i) {
+        const bool br_i = (br >> i) & 1;
+        if (i < 2) {
+            const bool bus_prev = (bus_lines >> (i + 1)) & 1;
+            const bool br_prev = (br >> (i + 1)) & 1;
+            ok = ok && (!bus_prev || br_prev);
+        }
+        if (ok && br_i)
+            out |= static_cast<std::uint8_t>(1u << i);
+    }
+    return out;
+}
+
+} // namespace
+
+std::size_t
+taubArbitrate(const std::vector<BusPriority> &contenders)
+{
+    hsipc_assert(!contenders.empty());
+    for (BusPriority p : contenders)
+        hsipc_assert(p <= 7);
+
+    // Iterate the wired-or until the lines settle (the hardware's
+    // combinational ripple; three bits settle in at most three
+    // rounds).
+    std::uint8_t lines = 0;
+    for (int round = 0; round < 4; ++round) {
+        std::uint8_t next = 0;
+        for (BusPriority p : contenders)
+            next |= driveLines(p, lines);
+        if (next == lines)
+            break;
+        lines = next;
+    }
+
+    for (std::size_t i = 0; i < contenders.size(); ++i) {
+        if (contenders[i] == lines)
+            return i;
+    }
+    hsipc_panic("arbitration settled on a value no contender holds "
+                "(duplicate bus-request numbers?)");
+}
+
+} // namespace hsipc::bus

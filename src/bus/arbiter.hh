@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Distributed bus arbitration after Taub (§5.4, Figs 5.17/5.18).
+ *
+ * Each contender drives its unique three-bit bus-request number onto
+ * the wired-or BR lines through the recurrence
+ *
+ *     OK_0 = 1
+ *     OK_i = (!BR_{i-1} | br_{i-1}) & OK_{i-1}     (i > 0)
+ *     BR_i = OK_i & br_i
+ *
+ * (br_0 is the most significant bit).  The unit whose number matches
+ * the settled BR value wins.  The recurrence implements a bitwise
+ * maximum: this module evaluates it faithfully, iterating until the
+ * wired-or lines settle, so tests can check it against std::max.
+ */
+
+#ifndef HSIPC_BUS_ARBITER_HH
+#define HSIPC_BUS_ARBITER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hsipc::bus
+{
+
+/** A three-bit bus-request priority (0..7, higher wins). */
+using BusPriority = std::uint8_t;
+
+/**
+ * Evaluate Taub's arbitration among @p contenders (unique three-bit
+ * numbers); returns the index into @p contenders of the winner.
+ */
+std::size_t taubArbitrate(const std::vector<BusPriority> &contenders);
+
+} // namespace hsipc::bus
+
+#endif // HSIPC_BUS_ARBITER_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The simulated shared memory of the smart-bus environment.
+ *
+ * The thesis' shared memory holds only protected kernel data
+ * structures (task control blocks and kernel buffers) and is under
+ * 64 KBytes (§5.5); addresses and data travel over sixteen multiplexed
+ * A/D lines, so the natural word is 16 bits (little-endian here).
+ */
+
+#ifndef HSIPC_BUS_MEMORY_HH
+#define HSIPC_BUS_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hsipc::bus
+{
+
+/** A 16-bit shared-memory address. */
+using Addr = std::uint16_t;
+
+/** The distinguished empty-list value (§5.1's NULL). */
+constexpr Addr nullAddr = 0;
+
+/** Byte-addressable simulated memory with 16-bit word access. */
+class SimMemory
+{
+  public:
+    /** Construct @p bytes of zeroed memory (max 64 KB). */
+    explicit SimMemory(std::size_t bytes = 65536) : data(bytes, 0)
+    {
+        hsipc_assert(bytes >= 2 && bytes <= 65536);
+    }
+
+    std::size_t size() const { return data.size(); }
+
+    std::uint8_t
+    read8(Addr a) const
+    {
+        check(a, 1);
+        return data[a];
+    }
+
+    void
+    write8(Addr a, std::uint8_t v)
+    {
+        check(a, 1);
+        data[a] = v;
+    }
+
+    std::uint16_t
+    read16(Addr a) const
+    {
+        check(a, 2);
+        return static_cast<std::uint16_t>(data[a] |
+                                          (data[a + 1] << 8));
+    }
+
+    void
+    write16(Addr a, std::uint16_t v)
+    {
+        check(a, 2);
+        data[a] = static_cast<std::uint8_t>(v & 0xff);
+        data[a + 1] = static_cast<std::uint8_t>(v >> 8);
+    }
+
+  private:
+    void
+    check(Addr a, std::size_t width) const
+    {
+        hsipc_assert(static_cast<std::size_t>(a) + width <= data.size());
+    }
+
+    std::vector<std::uint8_t> data;
+};
+
+} // namespace hsipc::bus
+
+#endif // HSIPC_BUS_MEMORY_HH

@@ -1,0 +1,78 @@
+#include "bus/queue_ops.hh"
+
+namespace hsipc::bus
+{
+
+void
+QueueOps::enqueue(SimMemory &mem, Addr list, Addr element)
+{
+    hsipc_assert(element != nullAddr);
+    const Addr tail = mem.read16(list);
+    if (tail != nullAddr) {
+        const Addr head = mem.read16(tail);     // first entry
+        mem.write16(element, head);             // element -> next := head
+        mem.write16(tail, element);             // old tail -> element
+    } else {
+        mem.write16(element, element);          // only member: self loop
+    }
+    mem.write16(list, element);                 // element is the new tail
+}
+
+Addr
+QueueOps::first(SimMemory &mem, Addr list)
+{
+    const Addr tail = mem.read16(list);
+    if (tail == nullAddr)
+        return nullAddr;
+    const Addr head = mem.read16(tail);
+    if (tail == head) {
+        mem.write16(list, nullAddr);            // last element removed
+    } else {
+        mem.write16(tail, mem.read16(head));    // tail -> next := head.next
+    }
+    return head;
+}
+
+bool
+QueueOps::dequeue(SimMemory &mem, Addr list, Addr element)
+{
+    const Addr tail = mem.read16(list);
+    if (tail == nullAddr)
+        return false;
+    Addr curr = tail;
+    do {
+        const Addr prev = curr;
+        curr = mem.read16(prev);
+        if (curr == element) {
+            if (curr == prev) {
+                mem.write16(list, nullAddr);    // singleton element
+            } else {
+                mem.write16(prev, mem.read16(element));
+                if (tail == element)
+                    mem.write16(list, prev);    // removed the tail
+            }
+            return true;
+        }
+    } while (curr != tail);
+    return false;                               // unsuccessful: no-op
+}
+
+std::vector<Addr>
+QueueOps::toVector(const SimMemory &mem, Addr list)
+{
+    std::vector<Addr> out;
+    const Addr tail = mem.read16(list);
+    if (tail == nullAddr)
+        return out;
+    Addr curr = mem.read16(tail); // head
+    for (;;) {
+        out.push_back(curr);
+        if (curr == tail)
+            break;
+        curr = mem.read16(curr);
+        hsipc_assert(out.size() <= mem.size() / 2);
+    }
+    return out;
+}
+
+} // namespace hsipc::bus

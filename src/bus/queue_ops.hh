@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The singly-linked circular list primitives of §5.1.
+ *
+ * Task control blocks and kernel buffers live on singly-linked
+ * circular free/work lists.  A "list" is the address of a memory word
+ * pointing at the *tail* (last element); each element's word 0 is its
+ * "next" pointer; the tail's next is the head.  The distinguished
+ * value nullAddr marks an empty list.
+ *
+ * These are the reference software implementations (what architecture
+ * II's message coprocessor executes); the smart shared memory performs
+ * the same algorithms atomically in microcode (src/ucode) in response
+ * to single bus transactions.
+ */
+
+#ifndef HSIPC_BUS_QUEUE_OPS_HH
+#define HSIPC_BUS_QUEUE_OPS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "bus/memory.hh"
+
+namespace hsipc::bus
+{
+
+/** Queue primitives over a SimMemory (§5.1 pseudo-code, verbatim). */
+class QueueOps
+{
+  public:
+    /** Enqueue @p element at the tail of @p list. */
+    static void enqueue(SimMemory &mem, Addr list, Addr element);
+
+    /**
+     * Dequeue and return the first (head) element; returns nullAddr
+     * and leaves the list untouched when it is empty.
+     */
+    static Addr first(SimMemory &mem, Addr list);
+
+    /**
+     * Dequeue an arbitrary @p element.  A no-operation returning
+     * false when the element is not on the list.
+     */
+    static bool dequeue(SimMemory &mem, Addr list, Addr element);
+
+    /** The elements head-to-tail (test/debug helper). */
+    static std::vector<Addr> toVector(const SimMemory &mem, Addr list);
+};
+
+} // namespace hsipc::bus
+
+#endif // HSIPC_BUS_QUEUE_OPS_HH

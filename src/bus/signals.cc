@@ -1,0 +1,72 @@
+#include "bus/signals.hh"
+
+#include "common/logging.hh"
+
+namespace hsipc::bus
+{
+
+std::string
+busCommandName(BusCommand c)
+{
+    switch (c) {
+      case BusCommand::SimpleRead: return "Simple Read";
+      case BusCommand::BlockTransfer: return "Block transfer";
+      case BusCommand::BlockReadData: return "Block read data";
+      case BusCommand::BlockWriteData: return "Block write data";
+      case BusCommand::EnqueueControlBlock: return "Enqueue control block";
+      case BusCommand::DequeueControlBlock: return "Dequeue control block";
+      case BusCommand::FirstControlBlock: return "First control block";
+      case BusCommand::WriteTwoBytes: return "Write two bytes";
+      case BusCommand::WriteByte: return "Write byte";
+    }
+    hsipc_panic("bad BusCommand");
+}
+
+const std::vector<BusSignal> &
+busSignalTable()
+{
+    static const std::vector<BusSignal> table = {
+        {"A/D", 16, "Multiplexed address/data"},
+        {"TG", 4, "Tag"},
+        {"CM", 4, "Command"},
+        {"IS", 1, "Information strobe"},
+        {"IK", 1, "Information acknowledge"},
+        {"BBSY", 1, "Bus busy"},
+        {"BR", 3, "Bus request"},
+        {"AR", 1, "Arbitration start"},
+        {"ANC", 1, "Arbitration not complete"},
+        {"CLR", 1, "System Reset"},
+    };
+    return table;
+}
+
+int
+busTotalLines()
+{
+    int total = 0;
+    for (const BusSignal &s : busSignalTable())
+        total += s.lines;
+    return total;
+}
+
+int
+handshakeEdges(BusCommand c)
+{
+    switch (c) {
+      case BusCommand::BlockTransfer:
+      case BusCommand::EnqueueControlBlock:
+      case BusCommand::DequeueControlBlock:
+      case BusCommand::WriteTwoBytes:
+      case BusCommand::WriteByte:
+        return 4;
+      case BusCommand::SimpleRead:
+      case BusCommand::FirstControlBlock:
+        return 8;
+      case BusCommand::BlockReadData:
+      case BusCommand::BlockWriteData:
+        return 2; // per 16-bit word, in streaming mode
+    }
+    hsipc_panic("bad BusCommand");
+}
+
+} // namespace hsipc::bus

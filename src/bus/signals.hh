@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Smart-bus signal and command definitions (Tables 5.1 and 5.2).
+ */
+
+#ifndef HSIPC_BUS_SIGNALS_HH
+#define HSIPC_BUS_SIGNALS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hsipc::bus
+{
+
+/** Table 5.2 — coding of the four command lines CM0-3. */
+enum class BusCommand : std::uint8_t
+{
+    SimpleRead = 0b0000,
+    BlockTransfer = 0b0001,
+    BlockReadData = 0b0010,
+    BlockWriteData = 0b0011,
+    EnqueueControlBlock = 0b0100,
+    DequeueControlBlock = 0b0101,
+    FirstControlBlock = 0b0110,
+    WriteTwoBytes = 0b1000,
+    WriteByte = 0b1001,
+};
+
+/** Human-readable command name. */
+std::string busCommandName(BusCommand c);
+
+/** One physical signal group of the bus (Table 5.1). */
+struct BusSignal
+{
+    const char *name;
+    int lines;
+    const char *description;
+};
+
+/** Table 5.1 — the smart bus' signal groups. */
+const std::vector<BusSignal> &busSignalTable();
+
+/** Total physical lines on the bus. */
+int busTotalLines();
+
+/**
+ * Handshake edge count of each command's information cycle
+ * (Figs 5.3-5.16):
+ *  - BlockTransfer, EnqueueControlBlock, DequeueControlBlock, and the
+ *    writes complete in four edges;
+ *  - FirstControlBlock and SimpleRead return a value and take eight;
+ *  - BlockReadData/BlockWriteData stream one word per two edges.
+ */
+int handshakeEdges(BusCommand c);
+
+/** Duration of one edge, microseconds (§6.4: four edges = 1 us). */
+constexpr double edgeUs = 0.25;
+
+} // namespace hsipc::bus
+
+#endif // HSIPC_BUS_SIGNALS_HH

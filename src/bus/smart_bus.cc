@@ -1,0 +1,418 @@
+#include "bus/smart_bus.hh"
+
+#include <algorithm>
+
+namespace hsipc::bus
+{
+
+SmartBus::SmartBus(SimMemory &mem, Config cfg)
+    : mem(mem), config(cfg), directController(mem),
+      controller(&directController),
+      table(static_cast<std::size_t>(cfg.requestTableSize))
+{
+    hsipc_assert(cfg.requestTableSize >= 1 &&
+                 cfg.requestTableSize <= 16);
+    hsipc_assert(cfg.memoryPriority <= 7);
+}
+
+int
+SmartBus::addUnit(std::string name, BusPriority br)
+{
+    hsipc_assert(br <= 7);
+    hsipc_assert(br != config.memoryPriority);
+    for (const Unit &u : units)
+        hsipc_assert(u.br != br);
+    units.push_back(Unit{std::move(name), br, {}});
+    return static_cast<int>(units.size() - 1);
+}
+
+SmartBus::OpId
+SmartBus::post(int unit, PendingOp op)
+{
+    hsipc_assert(unit >= 0 &&
+                 static_cast<std::size_t>(unit) < units.size());
+    op.id = static_cast<OpId>(results.size());
+    results.emplace_back();
+    units[static_cast<std::size_t>(unit)].queue.push_back(std::move(op));
+    return static_cast<OpId>(results.size() - 1);
+}
+
+SmartBus::OpId
+SmartBus::postEnqueue(int unit, Addr list, Addr element)
+{
+    PendingOp op;
+    op.command = BusCommand::EnqueueControlBlock;
+    op.addr = list;
+    op.addr2 = element;
+    return post(unit, op);
+}
+
+SmartBus::OpId
+SmartBus::postDequeue(int unit, Addr list, Addr element)
+{
+    PendingOp op;
+    op.command = BusCommand::DequeueControlBlock;
+    op.addr = list;
+    op.addr2 = element;
+    return post(unit, op);
+}
+
+SmartBus::OpId
+SmartBus::postFirst(int unit, Addr list)
+{
+    PendingOp op;
+    op.command = BusCommand::FirstControlBlock;
+    op.addr = list;
+    return post(unit, op);
+}
+
+SmartBus::OpId
+SmartBus::postRead(int unit, Addr a)
+{
+    PendingOp op;
+    op.command = BusCommand::SimpleRead;
+    op.addr = a;
+    return post(unit, op);
+}
+
+SmartBus::OpId
+SmartBus::postWrite16(int unit, Addr a, std::uint16_t v)
+{
+    PendingOp op;
+    op.command = BusCommand::WriteTwoBytes;
+    op.addr = a;
+    op.wvalue = v;
+    return post(unit, op);
+}
+
+SmartBus::OpId
+SmartBus::postWrite8(int unit, Addr a, std::uint8_t v)
+{
+    PendingOp op;
+    op.command = BusCommand::WriteByte;
+    op.addr = a;
+    op.wvalue = v;
+    return post(unit, op);
+}
+
+SmartBus::OpId
+SmartBus::postBlockRead(int unit, Addr a, std::uint16_t bytes)
+{
+    PendingOp op;
+    op.command = BusCommand::BlockReadData;
+    op.addr = a;
+    op.byteCount = bytes;
+    return post(unit, op);
+}
+
+SmartBus::OpId
+SmartBus::postBlockWrite(int unit, Addr a, std::vector<std::uint8_t> data)
+{
+    PendingOp op;
+    op.command = BusCommand::BlockWriteData;
+    op.addr = a;
+    op.byteCount = static_cast<std::uint16_t>(data.size());
+    op.payload = std::move(data);
+    return post(unit, op);
+}
+
+const OpResult &
+SmartBus::result(OpId op) const
+{
+    hsipc_assert(op >= 0 &&
+                 static_cast<std::size_t>(op) < results.size());
+    return results[static_cast<std::size_t>(op)];
+}
+
+int
+SmartBus::requestTableLoad() const
+{
+    int n = 0;
+    for (const TableEntry &e : table)
+        n += e.valid;
+    return n;
+}
+
+void
+SmartBus::logTenure(long start, int edges, const std::string &unit,
+                    BusCommand cmd, std::string detail)
+{
+    log.push_back(BusTraceEntry{start, edges, unit, cmd,
+                                std::move(detail)});
+}
+
+void
+SmartBus::completeFront(Unit &u)
+{
+    OpResult &r = results[static_cast<std::size_t>(u.queue.front().id)];
+    r.done = true;
+    r.endEdge = clockEdges;
+    u.queue.pop_front();
+}
+
+void
+SmartBus::fail(Unit &u, PendingOp &op, const std::string &msg)
+{
+    OpResult &r = results[static_cast<std::size_t>(op.id)];
+    r.error = true;
+    r.errorMsg = msg;
+    completeFront(u);
+}
+
+int
+SmartBus::allocTableEntry(const TableEntry &e)
+{
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (!table[i].valid) {
+            table[i] = e;
+            table[i].valid = true;
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+void
+SmartBus::tenureSimpleOp(Unit &u, PendingOp &op)
+{
+    const long start = clockEdges;
+    const int edges = handshakeEdges(op.command);
+    OpResult &r = results[static_cast<std::size_t>(op.id)];
+    if (r.startEdge < 0)
+        r.startEdge = start;
+
+    switch (op.command) {
+      case BusCommand::EnqueueControlBlock:
+        controller->enqueue(op.addr, op.addr2);
+        break;
+      case BusCommand::DequeueControlBlock:
+        controller->dequeue(op.addr, op.addr2);
+        break;
+      case BusCommand::FirstControlBlock:
+        r.value = controller->first(op.addr);
+        break;
+      case BusCommand::SimpleRead:
+        r.value = controller->read(op.addr);
+        break;
+      case BusCommand::WriteTwoBytes:
+        controller->write16(op.addr, op.wvalue);
+        break;
+      case BusCommand::WriteByte:
+        controller->write8(op.addr,
+                           static_cast<std::uint8_t>(op.wvalue));
+        break;
+      default:
+        hsipc_panic("not a simple op");
+    }
+
+    clockEdges += edges;
+    logTenure(start, edges, u.name, op.command, "");
+    completeFront(u);
+}
+
+void
+SmartBus::tenureBlockRequest(Unit &u, PendingOp &op)
+{
+    const long start = clockEdges;
+    OpResult &r = results[static_cast<std::size_t>(op.id)];
+    if (r.startEdge < 0)
+        r.startEdge = start;
+
+    if (op.byteCount == 0) {
+        // §A.5.1: zero-length block requests are rejected.
+        fail(u, op, "block transfer with zero count");
+        return;
+    }
+
+    TableEntry e;
+    e.write = op.command == BusCommand::BlockWriteData;
+    e.addr = op.addr;
+    e.count = op.byteCount;
+    e.unit = static_cast<int>(&u - units.data());
+    e.op = op.id;
+    const int tag = allocTableEntry(e);
+    if (tag < 0) {
+        // §A.5.1: the request table is full.
+        fail(u, op, "request table full");
+        return;
+    }
+
+    op.requested = true;
+    op.tag = static_cast<std::uint16_t>(tag);
+    r.value = op.tag;
+    clockEdges += handshakeEdges(BusCommand::BlockTransfer);
+    logTenure(start, 4, u.name, BusCommand::BlockTransfer,
+              (e.write ? "write " : "read ") +
+                  std::to_string(op.byteCount) + "B tag " +
+                  std::to_string(tag));
+}
+
+void
+SmartBus::tenureWriteStream(Unit &u, PendingOp &op)
+{
+    // Streaming mode: the bus is granted for two transfers at a time
+    // (an even number of edges returns IS/IK to the released state).
+    const long start = clockEdges;
+    TableEntry &e = table[op.tag];
+    hsipc_assert(e.valid && e.write);
+
+    int words = 0;
+    while (words < 2 && op.offset < op.byteCount) {
+        const Addr dst = static_cast<Addr>(e.addr + op.offset);
+        if (op.byteCount - op.offset >= 2) {
+            const std::uint16_t v = static_cast<std::uint16_t>(
+                op.payload[op.offset] |
+                (op.payload[op.offset + 1u] << 8));
+            controller->write16(dst, v);
+            op.offset = static_cast<std::uint16_t>(op.offset + 2);
+        } else {
+            // Odd-length tail: both sides know the count (§5.3.1).
+            controller->write8(dst, op.payload[op.offset]);
+            op.offset = static_cast<std::uint16_t>(op.offset + 1);
+        }
+        e.offset = op.offset;
+        ++words;
+    }
+    clockEdges += 2 * words;
+    logTenure(start, 2 * words, u.name, BusCommand::BlockWriteData,
+              "tag " + std::to_string(op.tag) + " " +
+                  std::to_string(op.offset) + "/" +
+                  std::to_string(op.byteCount) + "B");
+
+    if (op.offset >= op.byteCount) {
+        e.valid = false;
+        completeFront(u);
+    }
+}
+
+void
+SmartBus::tenureReadStream(int ti)
+{
+    const long start = clockEdges;
+    TableEntry &e = table[static_cast<std::size_t>(ti)];
+    hsipc_assert(e.valid && !e.write);
+    Unit &u = units[static_cast<std::size_t>(e.unit)];
+    PendingOp &op = u.queue.front();
+    OpResult &r = results[static_cast<std::size_t>(e.op)];
+
+    int words = 0;
+    while (words < 2 && e.offset < e.count) {
+        const Addr src = static_cast<Addr>(e.addr + e.offset);
+        if (e.count - e.offset >= 2) {
+            const std::uint16_t v = controller->read(src);
+            r.data.push_back(static_cast<std::uint8_t>(v & 0xff));
+            r.data.push_back(static_cast<std::uint8_t>(v >> 8));
+            e.offset = static_cast<std::uint16_t>(e.offset + 2);
+        } else {
+            r.data.push_back(static_cast<std::uint8_t>(
+                controller->read(src) & 0xff));
+            e.offset = static_cast<std::uint16_t>(e.offset + 1);
+        }
+        ++words;
+    }
+    clockEdges += 2 * words;
+    logTenure(start, 2 * words, "Memory", BusCommand::BlockReadData,
+              "tag " + std::to_string(ti) + " for " + u.name + " " +
+                  std::to_string(e.offset) + "/" +
+                  std::to_string(e.count) + "B");
+
+    if (e.offset >= e.count) {
+        e.valid = false;
+        hsipc_assert(op.id == e.op);
+        completeFront(u);
+    }
+}
+
+bool
+SmartBus::step()
+{
+    // Gather contenders: units whose front operation needs the bus,
+    // and the memory when it has pending read streams.
+    std::vector<BusPriority> brs;
+    std::vector<int> who; // unit id, or -1 for the memory
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        if (!units[i].queue.empty()) {
+            // A unit whose block-read is in flight waits for the
+            // memory to stream; it does not contend.
+            const PendingOp &op = units[i].queue.front();
+            if (op.command == BusCommand::BlockReadData && op.requested)
+                continue;
+            brs.push_back(units[i].br);
+            who.push_back(static_cast<int>(i));
+        }
+    }
+    bool memory_wants = false;
+    for (const TableEntry &e : table)
+        memory_wants = memory_wants || (e.valid && !e.write);
+    if (memory_wants) {
+        brs.push_back(config.memoryPriority);
+        who.push_back(-1);
+    }
+    if (brs.empty())
+        return false;
+
+    ++arbitrations;
+    const std::size_t w = taubArbitrate(brs);
+    const int owner = who[w];
+
+    // A change of master while another stream is still live counts as
+    // a preemption of that stream.
+    bool stream_live = false;
+    for (const TableEntry &e : table)
+        stream_live = stream_live || (e.valid && e.offset > 0);
+    if (stream_live && owner != lastOwner && lastOwner != -2)
+        ++preemptions;
+    lastOwner = owner;
+
+    if (owner < 0) {
+        // The memory streams the highest-priority pending read: the
+        // one whose requesting unit has the highest br.
+        int best = -1;
+        BusPriority best_br = 0;
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            const TableEntry &e = table[i];
+            if (e.valid && !e.write) {
+                const BusPriority br =
+                    units[static_cast<std::size_t>(e.unit)].br;
+                if (best < 0 || br > best_br) {
+                    best = static_cast<int>(i);
+                    best_br = br;
+                }
+            }
+        }
+        hsipc_assert(best >= 0);
+        tenureReadStream(best);
+        return true;
+    }
+
+    Unit &u = units[static_cast<std::size_t>(owner)];
+    PendingOp &op = u.queue.front();
+    switch (op.command) {
+      case BusCommand::BlockReadData:
+        hsipc_assert(!op.requested);
+        tenureBlockRequest(u, op);
+        break;
+      case BusCommand::BlockWriteData:
+        if (!op.requested)
+            tenureBlockRequest(u, op);
+        else
+            tenureWriteStream(u, op);
+        break;
+      default:
+        tenureSimpleOp(u, op);
+        break;
+    }
+    return true;
+}
+
+void
+SmartBus::run()
+{
+    long guard = 0;
+    while (step()) {
+        if (++guard > 100000000)
+            hsipc_panic("smart bus did not drain");
+    }
+}
+
+} // namespace hsipc::bus

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Edge-accurate simulator of the smart bus (chapter 5).
+ *
+ * Units (the host, the message coprocessor, and the network
+ * interfaces) post transactions; the simulator plays them out in bus
+ * tenures, counting IS/IK handshake edges exactly as Figures 5.3-5.16
+ * specify:
+ *
+ *  - block transfer request, enqueue/dequeue control block, and the
+ *    writes: four edges;
+ *  - first control block and simple read: eight edges;
+ *  - block read/write data: two edges per 16-bit word in streaming
+ *    mode, granted two transfers at a time so the strobe lines return
+ *    to the released state between grants (§5.3.1).
+ *
+ * Arbitration (Taub's distributed scheme, §5.4) runs concurrently with
+ * each information cycle; a higher-priority request therefore preempts
+ * a block stream between two-transfer grants, and the shared memory's
+ * internal request table lets the interrupted stream resume afterwards
+ * — the bus is never locked for arbitrary time (§2.6.6's conditions).
+ *
+ * The memory side executes queue manipulation atomically through a
+ * MemoryController; the default controller runs the reference
+ * algorithms of queue_ops.hh, and src/ucode provides the
+ * microprogrammed implementation of Appendix A.
+ */
+
+#ifndef HSIPC_BUS_SMART_BUS_HH
+#define HSIPC_BUS_SMART_BUS_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/arbiter.hh"
+#include "bus/memory.hh"
+#include "bus/queue_ops.hh"
+#include "bus/signals.hh"
+
+namespace hsipc::bus
+{
+
+/** The smart shared memory's command-execution interface. */
+class MemoryController
+{
+  public:
+    virtual ~MemoryController() = default;
+    virtual void enqueue(Addr list, Addr element) = 0;
+    virtual Addr first(Addr list) = 0;
+    virtual void dequeue(Addr list, Addr element) = 0;
+    virtual std::uint16_t read(Addr a) = 0;
+    virtual void write16(Addr a, std::uint16_t v) = 0;
+    virtual void write8(Addr a, std::uint8_t v) = 0;
+};
+
+/** Controller executing the reference software algorithms directly. */
+class DirectController : public MemoryController
+{
+  public:
+    explicit DirectController(SimMemory &mem) : mem(mem) {}
+
+    void
+    enqueue(Addr list, Addr element) override
+    {
+        QueueOps::enqueue(mem, list, element);
+    }
+
+    Addr first(Addr list) override { return QueueOps::first(mem, list); }
+
+    void
+    dequeue(Addr list, Addr element) override
+    {
+        QueueOps::dequeue(mem, list, element);
+    }
+
+    std::uint16_t read(Addr a) override { return mem.read16(a); }
+    void write16(Addr a, std::uint16_t v) override { mem.write16(a, v); }
+    void write8(Addr a, std::uint8_t v) override { mem.write8(a, v); }
+
+  private:
+    SimMemory &mem;
+};
+
+/** One line of the bus activity trace. */
+struct BusTraceEntry
+{
+    long startEdge;
+    int edges;
+    std::string unit;
+    BusCommand command;
+    std::string detail;
+};
+
+/** Completion record of a posted operation. */
+struct OpResult
+{
+    bool done = false;
+    bool error = false;
+    std::string errorMsg;
+    long startEdge = -1; //!< first edge of its first tenure
+    long endEdge = -1;   //!< edge at which the unit saw completion
+    std::uint16_t value = 0;        //!< read/first result, or tag
+    std::vector<std::uint8_t> data; //!< block-read payload
+
+    double durationUs() const { return (endEdge - startEdge) * edgeUs; }
+};
+
+/** The smart bus with its attached shared memory. */
+class SmartBus
+{
+  public:
+    struct Config
+    {
+        int requestTableSize = 8; //!< memory's block-request table
+        BusPriority memoryPriority = 6; //!< br used for read streams
+    };
+
+    explicit SmartBus(SimMemory &mem) : SmartBus(mem, Config()) {}
+    SmartBus(SimMemory &mem, Config cfg);
+
+    /** Plug a different memory controller (e.g. the microcoded one). */
+    void setController(MemoryController &ctrl) { controller = &ctrl; }
+
+    /**
+     * Register a unit with a unique three-bit bus-request number
+     * (0..7, higher wins; must not collide with memoryPriority).
+     * Returns the unit id.
+     */
+    int addUnit(std::string name, BusPriority br);
+
+    using OpId = int;
+
+    OpId postEnqueue(int unit, Addr list, Addr element);
+    OpId postDequeue(int unit, Addr list, Addr element);
+    OpId postFirst(int unit, Addr list);
+    OpId postRead(int unit, Addr a);
+    OpId postWrite16(int unit, Addr a, std::uint16_t v);
+    OpId postWrite8(int unit, Addr a, std::uint8_t v);
+    OpId postBlockRead(int unit, Addr a, std::uint16_t bytes);
+    OpId postBlockWrite(int unit, Addr a,
+                        std::vector<std::uint8_t> data);
+
+    /** Execute one bus tenure; false when the bus is idle. */
+    bool step();
+
+    /** Run until every posted operation completes. */
+    void run();
+
+    const OpResult &result(OpId op) const;
+
+    long nowEdges() const { return clockEdges; }
+    double nowUs() const { return clockEdges * edgeUs; }
+
+    long arbitrationCount() const { return arbitrations; }
+    long preemptionCount() const { return preemptions; }
+    const std::vector<BusTraceEntry> &trace() const { return log; }
+
+    /** Entries currently live in the memory's request table. */
+    int requestTableLoad() const;
+
+  private:
+    /** A pending operation of one unit. */
+    struct PendingOp
+    {
+        OpId id = -1;
+        BusCommand command;
+        Addr addr = 0;
+        Addr addr2 = 0;
+        std::uint16_t wvalue = 0;
+        std::uint16_t byteCount = 0;
+        std::vector<std::uint8_t> payload; //!< block-write data
+        bool requested = false; //!< block transfer already issued
+        std::uint16_t tag = 0;
+        std::uint16_t offset = 0; //!< bytes streamed so far
+    };
+
+    /** The memory's internal table of block-transfer requests. */
+    struct TableEntry
+    {
+        bool valid = false;
+        bool write = false;
+        Addr addr = 0;
+        std::uint16_t count = 0;   //!< total bytes
+        std::uint16_t offset = 0;  //!< bytes done
+        int unit = -1;
+        OpId op = -1;
+    };
+
+    struct Unit
+    {
+        std::string name;
+        BusPriority br;
+        std::deque<PendingOp> queue; //!< front is the outstanding op
+    };
+
+    OpId post(int unit, PendingOp op);
+    void tenureSimpleOp(Unit &u, PendingOp &op);
+    void tenureBlockRequest(Unit &u, PendingOp &op);
+    void tenureWriteStream(Unit &u, PendingOp &op);
+    void tenureReadStream(int table_index);
+    int allocTableEntry(const TableEntry &e);
+    void completeFront(Unit &u);
+    void fail(Unit &u, PendingOp &op, const std::string &msg);
+    void logTenure(long start, int edges, const std::string &unit,
+                   BusCommand cmd, std::string detail);
+
+    SimMemory &mem;
+    Config config;
+    DirectController directController;
+    MemoryController *controller;
+
+    std::vector<Unit> units;
+    std::vector<TableEntry> table;
+    std::vector<OpResult> results;
+    std::vector<BusTraceEntry> log;
+
+    long clockEdges = 0;
+    long arbitrations = 0;
+    long preemptions = 0;
+    int lastOwner = -2; //!< unit id of the previous tenure, -1 = memory
+};
+
+} // namespace hsipc::bus
+
+#endif // HSIPC_BUS_SMART_BUS_HH

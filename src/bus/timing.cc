@@ -1,0 +1,273 @@
+#include "bus/timing.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hsipc::bus
+{
+
+namespace
+{
+
+/** Script builder with an advancing step counter. */
+class Script
+{
+  public:
+    /** Emit events at the current step, then advance. */
+    Script &
+    at(std::initializer_list<ProtocolEvent> evs)
+    {
+        for (ProtocolEvent e : evs) {
+            e.step = step;
+            events.push_back(std::move(e));
+        }
+        ++step;
+        return *this;
+    }
+
+    std::vector<ProtocolEvent> take() { return std::move(events); }
+
+  private:
+    std::vector<ProtocolEvent> events;
+    int step = 0;
+};
+
+constexpr const char *proc = "Processor";
+constexpr const char *memo = "Memory";
+
+ProtocolEvent
+ev(Line l, bool assert, const char *label, const char *actor)
+{
+    return ProtocolEvent{0, l, assert, label, actor};
+}
+
+/** Two-operand four-edge handshake (block transfer, enqueue, writes). */
+std::vector<ProtocolEvent>
+fourEdge(const char *first, const char *second, bool tagged)
+{
+    Script s;
+    s.at({ev(Line::BBSY, true, "", proc),
+          ev(Line::AD, true, first, proc), ev(Line::IS, true, "", proc)});
+    if (tagged) {
+        s.at({ev(Line::TG, true, "tag", memo),
+              ev(Line::IK, true, "", memo)});
+    } else {
+        s.at({ev(Line::IK, true, "", memo)});
+    }
+    s.at({ev(Line::AD, false, first, proc),
+          ev(Line::AD, true, second, proc),
+          ev(Line::IS, false, "", proc)});
+    if (tagged) {
+        s.at({ev(Line::TG, false, "tag", memo),
+              ev(Line::IK, false, "", memo)});
+    } else {
+        s.at({ev(Line::IK, false, "", memo)});
+    }
+    s.at({ev(Line::AD, false, second, proc),
+          ev(Line::BBSY, false, "", proc)});
+    return s.take();
+}
+
+/** Address-out, value-back eight-edge handshake (first, simple read). */
+std::vector<ProtocolEvent>
+eightEdge(const char *request, const char *response)
+{
+    Script s;
+    s.at({ev(Line::BBSY, true, "", proc),
+          ev(Line::AD, true, request, proc),
+          ev(Line::IS, true, "", proc)});
+    s.at({ev(Line::IK, true, "", memo)});
+    s.at({ev(Line::AD, false, request, proc),
+          ev(Line::IS, false, "", proc)});
+    s.at({ev(Line::IK, false, "", memo)});
+    s.at({ev(Line::AD, true, response, memo),
+          ev(Line::IK, true, "", memo)});
+    s.at({ev(Line::IS, true, "", proc)});
+    s.at({ev(Line::AD, false, response, memo),
+          ev(Line::IK, false, "", memo)});
+    s.at({ev(Line::IS, false, "", proc),
+          ev(Line::BBSY, false, "", proc)});
+    return s.take();
+}
+
+/** Streaming data transfer, two edges per word (Figs 5.5-5.8). */
+std::vector<ProtocolEvent>
+streaming(int words, bool memory_drives)
+{
+    hsipc_assert(words >= 1);
+    const char *driver = memory_drives ? memo : proc;
+    const char *acker = memory_drives ? proc : memo;
+    // The driver strobes with IK when it is the memory (block read
+    // data) and with IS when it is the processor (block write data).
+    const Line strobe = memory_drives ? Line::IK : Line::IS;
+    const Line ack = memory_drives ? Line::IS : Line::IK;
+
+    Script s;
+    s.at({ev(Line::BBSY, true, "", driver),
+          ev(Line::TG, true, "tag", driver),
+          ev(Line::AD, true, "data0", driver),
+          ev(strobe, true, "", driver)});
+    for (int w = 1; w < words; ++w) {
+        const std::string prev = "data" + std::to_string(w - 1);
+        const std::string next = "data" + std::to_string(w);
+        s.at({ev(ack, w % 2 == 1, "", acker)});
+        ProtocolEvent swap_out = ev(Line::AD, false, "", driver);
+        swap_out.label = prev;
+        ProtocolEvent swap_in = ev(Line::AD, true, "", driver);
+        swap_in.label = next;
+        s.at({swap_out, swap_in, ev(strobe, w % 2 == 0, "", driver)});
+    }
+    s.at({ev(ack, words % 2 == 1, "", acker)});
+    // Recover to released state (an even transfer count leaves the
+    // lines released already; §5.3.1 grants two at a time for this).
+    ProtocolEvent last_data = ev(Line::AD, false, "", driver);
+    last_data.label = "data" + std::to_string(words - 1);
+    if (words % 2 == 1) {
+        s.at({last_data, ev(strobe, false, "", driver)});
+        s.at({ev(ack, false, "", acker)});
+        s.at({ev(Line::TG, false, "tag", driver),
+              ev(Line::BBSY, false, "", driver)});
+    } else {
+        s.at({last_data, ev(Line::TG, false, "tag", driver),
+              ev(Line::BBSY, false, "", driver)});
+    }
+    return s.take();
+}
+
+} // namespace
+
+std::vector<ProtocolEvent>
+handshakeScript(BusCommand c, int words)
+{
+    switch (c) {
+      case BusCommand::BlockTransfer:
+        return fourEdge("address", "count", true);
+      case BusCommand::EnqueueControlBlock:
+        return fourEdge("list addr", "element", false);
+      case BusCommand::DequeueControlBlock:
+        return fourEdge("list addr", "element", false);
+      case BusCommand::WriteTwoBytes:
+      case BusCommand::WriteByte:
+        return fourEdge("address", "data", false);
+      case BusCommand::FirstControlBlock:
+        return eightEdge("list addr", "first elem");
+      case BusCommand::SimpleRead:
+        return eightEdge("address", "data");
+      case BusCommand::BlockReadData:
+        return streaming(words, true);
+      case BusCommand::BlockWriteData:
+        return streaming(words, false);
+    }
+    hsipc_panic("bad BusCommand");
+}
+
+int
+scriptEdges(const std::vector<ProtocolEvent> &script)
+{
+    int edges = 0;
+    for (const ProtocolEvent &e : script) {
+        if (e.line == Line::IS || e.line == Line::IK)
+            ++edges;
+    }
+    return edges;
+}
+
+bool
+scriptReturnsToReleased(const std::vector<ProtocolEvent> &script)
+{
+    std::map<Line, bool> asserted;
+    for (const ProtocolEvent &e : script)
+        asserted[e.line] = e.assert;
+    for (const auto &[line, on] : asserted) {
+        if (on)
+            return false;
+    }
+    return true;
+}
+
+std::string
+renderTimingDiagram(BusCommand c, int words)
+{
+    const auto script = handshakeScript(c, words);
+    int steps = 0;
+    for (const ProtocolEvent &e : script)
+        steps = std::max(steps, e.step + 1);
+
+    const int cell = 8; //!< characters per step
+    auto wave_row = [&](Line line, const char *name) {
+        std::string row(static_cast<std::size_t>(steps * cell), ' ');
+        bool level = false; // released
+        int cursor = 0;
+        for (int st = 0; st < steps; ++st) {
+            bool change = false, newlevel = level;
+            for (const ProtocolEvent &e : script) {
+                if (e.step == st && e.line == line) {
+                    change = true;
+                    newlevel = e.assert;
+                }
+            }
+            const char body = level || (change && newlevel) ? '_' : '-';
+            for (int i = 0; i < cell; ++i)
+                row[static_cast<std::size_t>(cursor + i)] = body;
+            if (change && newlevel != level)
+                row[static_cast<std::size_t>(cursor)] =
+                    newlevel ? '\\' : '/';
+            level = newlevel;
+            cursor += cell;
+        }
+        char head[16];
+        std::snprintf(head, sizeof(head), "%-6s", name);
+        return std::string(head) + row + "\n";
+    };
+
+    auto data_row = [&](Line line, const char *name) {
+        std::string row(static_cast<std::size_t>(steps * cell), '-');
+        for (const ProtocolEvent &e : script) {
+            if (e.line != line || !e.assert)
+                continue;
+            // Find where this payload is removed again.
+            int end = steps;
+            for (const ProtocolEvent &f : script) {
+                if (f.line == line && !f.assert && f.label == e.label &&
+                    f.step >= e.step) {
+                    end = f.step;
+                    break;
+                }
+            }
+            const int from = e.step * cell;
+            const int to = std::min(end * cell + 1, steps * cell);
+            std::string label = "<" + e.label;
+            for (int i = from; i < to; ++i) {
+                const std::size_t li = static_cast<std::size_t>(i - from);
+                char ch = li < label.size() ? label[li] : '=';
+                if (i == to - 1)
+                    ch = '>';
+                row[static_cast<std::size_t>(i)] = ch;
+            }
+        }
+        char head[16];
+        std::snprintf(head, sizeof(head), "%-6s", name);
+        return std::string(head) + row + "\n";
+    };
+
+    std::ostringstream out;
+    out << busCommandName(c);
+    if (c == BusCommand::BlockReadData || c == BusCommand::BlockWriteData)
+        out << " (" << words << " words, streaming mode)";
+    out << " — " << scriptEdges(script) << " IS/IK edges\n";
+    out << wave_row(Line::BBSY, "BBSY");
+    out << wave_row(Line::IS, "IS");
+    out << wave_row(Line::IK, "IK");
+    out << data_row(Line::AD, "A/D");
+    bool has_tag = false;
+    for (const ProtocolEvent &e : script)
+        has_tag = has_tag || e.line == Line::TG;
+    if (has_tag)
+        out << data_row(Line::TG, "TG");
+    return out.str();
+}
+
+} // namespace hsipc::bus

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Handshake scripts and ASCII timing diagrams for the smart-bus
+ * transactions (Figures 5.3-5.16).
+ *
+ * Every transaction is described as a sequence of protocol events —
+ * who asserts or releases which line, and what travels on the
+ * multiplexed A/D and TG buses at each step.  The scripts are the
+ * single source of truth for the handshake structure: the edge counts
+ * that the rest of the library uses (signals.hh) are *checked against
+ * them* by the test suite, and renderTimingDiagram() turns them into
+ * the waveform figures of chapter 5.
+ *
+ * Conventions follow §5.2: a one-to-zero transition is an "assert",
+ * zero-to-one a "release"; all protocol lines are released between
+ * transactions; transaction duration is quantified by the number of
+ * IS/IK transitions.
+ */
+
+#ifndef HSIPC_BUS_TIMING_HH
+#define HSIPC_BUS_TIMING_HH
+
+#include <string>
+#include <vector>
+
+#include "bus/signals.hh"
+
+namespace hsipc::bus
+{
+
+/** The signal lines that appear in a timing diagram. */
+enum class Line
+{
+    BBSY,
+    IS,
+    IK,
+    AD, //!< multiplexed address/data (annotated, not a level)
+    TG, //!< tag bus (annotated)
+};
+
+/** One protocol event within a handshake. */
+struct ProtocolEvent
+{
+    int step;          //!< time position (half-cycles from start)
+    Line line;
+    bool assert;       //!< assert (drive/valid) vs release (remove)
+    std::string label; //!< payload name for AD/TG ("address", ...)
+    std::string actor; //!< "Processor" or "Memory"
+};
+
+/**
+ * The event script of one transaction.  For the streaming commands
+ * @p words sets the number of 16-bit transfers shown.
+ */
+std::vector<ProtocolEvent> handshakeScript(BusCommand c, int words = 2);
+
+/** Number of IS/IK transitions in the script (the §5.2 edge count). */
+int scriptEdges(const std::vector<ProtocolEvent> &script);
+
+/** True when every protocol line returns to released at the end. */
+bool scriptReturnsToReleased(const std::vector<ProtocolEvent> &script);
+
+/** Render the script as an ASCII waveform (cf. Figs 5.4-5.16). */
+std::string renderTimingDiagram(BusCommand c, int words = 2);
+
+} // namespace hsipc::bus
+
+#endif // HSIPC_BUS_TIMING_HH

@@ -1,0 +1,367 @@
+#include "charlotte/links.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace hsipc::charlotte
+{
+
+namespace
+{
+
+struct Process
+{
+    std::string name;
+    std::vector<LinkEnd> ends;
+};
+
+struct End
+{
+    bool alive = false;
+    ProcId holder = -1;
+    LinkEnd peer = -1;
+    // At most one pending operation per end in each direction.
+    OpId pendingSend = -1;
+    OpId pendingRecv = -1;
+};
+
+struct Op
+{
+    Completion status = Completion::Pending;
+    bool isSend = false;
+    bool any = false; //!< receive-any
+    ProcId owner = -1;
+    LinkEnd end = -1; //!< posted end (send/specific receive)
+    LinkEnd doneOn = -1;
+    std::uint64_t postSeq = 0;
+    std::vector<std::uint8_t> data;
+};
+
+} // namespace
+
+struct LinkKernel::Impl
+{
+    std::vector<Process> procs;
+    std::vector<End> ends;
+    std::vector<Op> ops;
+    std::vector<OpId> anyReceives; //!< pending receive-any ops
+    std::uint64_t seq = 0;
+    mutable long checks = 0;
+
+    /** One §3.4 validity check. */
+    bool
+    check(bool ok) const
+    {
+        ++checks;
+        return ok;
+    }
+
+    bool
+    validEnd(LinkEnd e) const
+    {
+        return check(e >= 0 &&
+                     static_cast<std::size_t>(e) < ends.size() &&
+                     ends[static_cast<std::size_t>(e)].alive);
+    }
+
+    bool
+    holds(ProcId p, LinkEnd e) const
+    {
+        return check(ends[static_cast<std::size_t>(e)].holder == p);
+    }
+
+    End &end(LinkEnd e) { return ends[static_cast<std::size_t>(e)]; }
+
+    Op &op(OpId o) { return ops[static_cast<std::size_t>(o)]; }
+
+    OpId
+    newOp(Op o)
+    {
+        o.postSeq = ++seq;
+        ops.push_back(std::move(o));
+        return static_cast<OpId>(ops.size() - 1);
+    }
+
+    void
+    completeReceive(OpId recv_id, OpId send_id, LinkEnd on)
+    {
+        Op &recv = op(recv_id);
+        Op &send = op(send_id);
+        recv.status = Completion::Done;
+        recv.data = std::move(send.data);
+        recv.doneOn = on;
+        send.status = Completion::Done;
+        send.doneOn = end(on).peer;
+    }
+
+    /** Match a newly posted send on @p e against waiting receivers. */
+    void
+    matchSend(LinkEnd e)
+    {
+        End &se = end(e);
+        if (se.pendingSend < 0)
+            return;
+        End &pe = end(se.peer);
+
+        // A specific receive on the peer end wins first...
+        if (check(pe.pendingRecv >= 0)) {
+            const OpId r = pe.pendingRecv;
+            pe.pendingRecv = -1;
+            const OpId s = se.pendingSend;
+            se.pendingSend = -1;
+            completeReceive(r, s, se.peer);
+            return;
+        }
+        // ...otherwise the peer holder's earliest receive-any.
+        OpId best = -1;
+        for (OpId r : anyReceives) {
+            if (op(r).status == Completion::Pending &&
+                check(op(r).owner == pe.holder)) {
+                if (best < 0 || op(r).postSeq < op(best).postSeq)
+                    best = r;
+            }
+        }
+        if (best >= 0) {
+            anyReceives.erase(std::remove(anyReceives.begin(),
+                                          anyReceives.end(), best),
+                              anyReceives.end());
+            const OpId s = se.pendingSend;
+            se.pendingSend = -1;
+            completeReceive(best, s, se.peer);
+        }
+    }
+
+    /** Find a pending send deliverable to a receive-any of @p p. */
+    void
+    matchReceiveAny(OpId recv_id)
+    {
+        const ProcId p = op(recv_id).owner;
+        OpId best_send = -1;
+        LinkEnd best_on = -1;
+        for (LinkEnd mine :
+             procs[static_cast<std::size_t>(p)].ends) {
+            if (!end(mine).alive)
+                continue;
+            const End &pe = end(end(mine).peer);
+            if (check(pe.pendingSend >= 0)) {
+                const OpId s = pe.pendingSend;
+                if (best_send < 0 ||
+                    op(s).postSeq < op(best_send).postSeq) {
+                    best_send = s;
+                    best_on = mine;
+                }
+            }
+        }
+        if (best_send >= 0) {
+            end(end(best_on).peer).pendingSend = -1;
+            anyReceives.erase(std::remove(anyReceives.begin(),
+                                          anyReceives.end(), recv_id),
+                              anyReceives.end());
+            completeReceive(recv_id, best_send, best_on);
+        }
+    }
+
+    void
+    abortEndOps(LinkEnd e, Completion why)
+    {
+        End &en = end(e);
+        if (en.pendingSend >= 0) {
+            op(en.pendingSend).status = why;
+            en.pendingSend = -1;
+        }
+        if (en.pendingRecv >= 0) {
+            op(en.pendingRecv).status = why;
+            en.pendingRecv = -1;
+        }
+    }
+};
+
+LinkKernel::LinkKernel() : impl(std::make_unique<Impl>()) {}
+LinkKernel::~LinkKernel() = default;
+
+ProcId
+LinkKernel::createProcess(std::string name)
+{
+    impl->procs.push_back(Process{std::move(name), {}});
+    return static_cast<ProcId>(impl->procs.size() - 1);
+}
+
+std::pair<LinkEnd, LinkEnd>
+LinkKernel::makeLink(ProcId a, ProcId b)
+{
+    const LinkEnd ea = static_cast<LinkEnd>(impl->ends.size());
+    const LinkEnd eb = ea + 1;
+    impl->ends.push_back(End{true, a, eb, -1, -1});
+    impl->ends.push_back(End{true, b, ea, -1, -1});
+    impl->procs[static_cast<std::size_t>(a)].ends.push_back(ea);
+    impl->procs[static_cast<std::size_t>(b)].ends.push_back(eb);
+    return {ea, eb};
+}
+
+LinkEnd
+LinkKernel::peer(LinkEnd e) const
+{
+    hsipc_assert(impl->validEnd(e));
+    return impl->ends[static_cast<std::size_t>(e)].peer;
+}
+
+ProcId
+LinkKernel::holder(LinkEnd e) const
+{
+    if (e < 0 || static_cast<std::size_t>(e) >= impl->ends.size() ||
+        !impl->ends[static_cast<std::size_t>(e)].alive)
+        return -1;
+    return impl->ends[static_cast<std::size_t>(e)].holder;
+}
+
+LinkStatus
+LinkKernel::moveEnd(ProcId owner, LinkEnd e, ProcId to)
+{
+    if (!impl->validEnd(e))
+        return LinkStatus::BadEnd;
+    if (!impl->holds(owner, e))
+        return LinkStatus::NotHolder;
+
+    // Withdrawing the end cancels whatever the old holder posted.
+    impl->abortEndOps(e, Completion::Canceled);
+
+    auto &old_ends =
+        impl->procs[static_cast<std::size_t>(owner)].ends;
+    old_ends.erase(std::remove(old_ends.begin(), old_ends.end(), e),
+                   old_ends.end());
+    impl->end(e).holder = to;
+    impl->procs[static_cast<std::size_t>(to)].ends.push_back(e);
+    return LinkStatus::Ok;
+}
+
+LinkStatus
+LinkKernel::destroyLink(ProcId requester, LinkEnd e)
+{
+    if (!impl->validEnd(e))
+        return LinkStatus::BadEnd;
+    // Equal rights: the holder of *either* end may destroy (§3.2.1).
+    const LinkEnd other = impl->end(e).peer;
+    if (!impl->holds(requester, e) && !impl->holds(requester, other))
+        return LinkStatus::NotHolder;
+
+    impl->abortEndOps(e, Completion::Destroyed);
+    impl->abortEndOps(other, Completion::Destroyed);
+    for (LinkEnd side : {e, other}) {
+        End &en = impl->end(side);
+        auto &pe =
+            impl->procs[static_cast<std::size_t>(en.holder)].ends;
+        pe.erase(std::remove(pe.begin(), pe.end(), side), pe.end());
+        en.alive = false;
+        en.holder = -1;
+    }
+    return LinkStatus::Ok;
+}
+
+OpId
+LinkKernel::postSend(ProcId p, LinkEnd e, std::vector<std::uint8_t> data)
+{
+    hsipc_assert(impl->validEnd(e));
+    hsipc_assert(impl->holds(p, e));
+    hsipc_assert(impl->check(impl->end(e).pendingSend < 0));
+
+    Op o;
+    o.isSend = true;
+    o.owner = p;
+    o.end = e;
+    o.data = std::move(data);
+    const OpId id = impl->newOp(std::move(o));
+    impl->end(e).pendingSend = id;
+    impl->matchSend(e);
+    return id;
+}
+
+OpId
+LinkKernel::postReceive(ProcId p, LinkEnd e)
+{
+    hsipc_assert(impl->validEnd(e));
+    hsipc_assert(impl->holds(p, e));
+    hsipc_assert(impl->check(impl->end(e).pendingRecv < 0));
+
+    Op o;
+    o.owner = p;
+    o.end = e;
+    const OpId id = impl->newOp(std::move(o));
+    impl->end(e).pendingRecv = id;
+    // A send may already be waiting on the peer end.
+    impl->matchSend(impl->end(e).peer);
+    return id;
+}
+
+OpId
+LinkKernel::postReceiveAny(ProcId p)
+{
+    Op o;
+    o.owner = p;
+    o.any = true;
+    const OpId id = impl->newOp(std::move(o));
+    impl->anyReceives.push_back(id);
+    impl->matchReceiveAny(id);
+    return id;
+}
+
+Completion
+LinkKernel::poll(OpId op) const
+{
+    hsipc_assert(op >= 0 &&
+                 static_cast<std::size_t>(op) < impl->ops.size());
+    ++impl->checks;
+    return impl->ops[static_cast<std::size_t>(op)].status;
+}
+
+const std::vector<std::uint8_t> &
+LinkKernel::received(OpId op) const
+{
+    const Op &o = impl->ops[static_cast<std::size_t>(op)];
+    hsipc_assert(!o.isSend && o.status == Completion::Done);
+    return o.data;
+}
+
+LinkEnd
+LinkKernel::completedOn(OpId op) const
+{
+    return impl->ops[static_cast<std::size_t>(op)].doneOn;
+}
+
+LinkStatus
+LinkKernel::cancel(ProcId p, OpId op_id)
+{
+    if (op_id < 0 ||
+        static_cast<std::size_t>(op_id) >= impl->ops.size())
+        return LinkStatus::BadOp;
+    Op &o = impl->op(op_id);
+    if (!impl->check(o.owner == p))
+        return LinkStatus::NotHolder;
+    if (!impl->check(o.status == Completion::Pending))
+        return LinkStatus::BadOp; // §3.2.4: completion already posted
+
+    o.status = Completion::Canceled;
+    if (o.any) {
+        impl->anyReceives.erase(std::remove(impl->anyReceives.begin(),
+                                            impl->anyReceives.end(),
+                                            op_id),
+                                impl->anyReceives.end());
+    } else {
+        End &en = impl->end(o.end);
+        if (en.pendingSend == op_id)
+            en.pendingSend = -1;
+        if (en.pendingRecv == op_id)
+            en.pendingRecv = -1;
+    }
+    return LinkStatus::Ok;
+}
+
+long
+LinkKernel::checksPerformed() const
+{
+    return impl->checks;
+}
+
+} // namespace hsipc::charlotte

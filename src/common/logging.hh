@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's base/logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger or core dump can capture the state.
+ * fatal()  — the caller supplied an impossible configuration; exits
+ *            with status 1.
+ * warn()   — something is suspicious but simulation can continue.
+ */
+
+#ifndef HSIPC_COMMON_LOGGING_HH
+#define HSIPC_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hsipc
+{
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+inline void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+} // namespace hsipc
+
+#define hsipc_panic(msg) ::hsipc::panicImpl(__FILE__, __LINE__, (msg))
+#define hsipc_fatal(msg) ::hsipc::fatalImpl(__FILE__, __LINE__, (msg))
+#define hsipc_warn(msg) ::hsipc::warnImpl(__FILE__, __LINE__, (msg))
+
+/** Assert an internal invariant; active in all build types. */
+#define hsipc_assert(cond)                                                  \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            hsipc_panic(std::string("assertion failed: ") + #cond);        \
+    } while (0)
+
+#endif // HSIPC_COMMON_LOGGING_HH

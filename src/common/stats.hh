@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Small statistics helpers used by the simulators and benches.
+ */
+
+#ifndef HSIPC_COMMON_STATS_HH
+#define HSIPC_COMMON_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/time.hh"
+
+namespace hsipc
+{
+
+/** Streaming mean/variance accumulator (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n;
+        const double delta = x - meanAcc;
+        meanAcc += delta / static_cast<double>(n);
+        m2 += delta * (x - meanAcc);
+    }
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return meanAcc; }
+
+    double
+    variance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Half-width of an approximate 95% confidence interval. */
+    double
+    ci95() const
+    {
+        if (n < 2)
+            return 0.0;
+        return 1.96 * stddev() / std::sqrt(static_cast<double>(n));
+    }
+
+  private:
+    std::uint64_t n = 0;
+    double meanAcc = 0.0;
+    double m2 = 0.0;
+};
+
+/**
+ * Time-weighted average of a piecewise-constant quantity, e.g. the
+ * number of busy servers or queue length over simulated time.
+ */
+class TimeWeightedStat
+{
+  public:
+    /** Record that the tracked value changes to @p value at time @p now. */
+    void
+    update(Tick now, double value)
+    {
+        hsipc_assert(now >= lastTime);
+        area += current * static_cast<double>(now - lastTime);
+        lastTime = now;
+        current = value;
+    }
+
+    /** Time average over [start, now]. */
+    double
+    average(Tick now) const
+    {
+        const Tick span = now - startTime;
+        if (span <= 0)
+            return current;
+        const double tail = current * static_cast<double>(now - lastTime);
+        return (area + tail) / static_cast<double>(span);
+    }
+
+    /** Restart the measurement window at @p now keeping the value. */
+    void
+    reset(Tick now)
+    {
+        startTime = now;
+        lastTime = now;
+        area = 0.0;
+    }
+
+    double value() const { return current; }
+
+  private:
+    Tick startTime = 0;
+    Tick lastTime = 0;
+    double current = 0.0;
+    double area = 0.0;
+};
+
+} // namespace hsipc
+
+#endif // HSIPC_COMMON_STATS_HH

@@ -1,0 +1,92 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hsipc
+{
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    const std::size_t cols = headerRow.size();
+    std::vector<std::size_t> width(cols, 0);
+    for (std::size_t c = 0; c < cols; ++c)
+        width[c] = headerRow[c].size();
+    for (const auto &r : rows) {
+        hsipc_assert(r.size() == cols);
+        for (std::size_t c = 0; c < cols; ++c)
+            width[c] = std::max(width[c], r[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &r,
+                          std::ostringstream &out) {
+        out << "|";
+        for (std::size_t c = 0; c < cols; ++c) {
+            out << " " << r[c]
+                << std::string(width[c] - r[c].size(), ' ') << " |";
+        }
+        out << "\n";
+    };
+
+    std::ostringstream out;
+    out << "== " << title << " ==\n";
+    if (cols == 0)
+        return out.str();
+
+    std::size_t total = 1;
+    for (std::size_t c = 0; c < cols; ++c)
+        total += width[c] + 3;
+    const std::string rule(total, '-');
+
+    out << rule << "\n";
+    render_row(headerRow, out);
+    out << rule << "\n";
+    for (const auto &r : rows)
+        render_row(r, out);
+    out << rule << "\n";
+    return out.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    auto cell = [](const std::string &v) {
+        if (v.find_first_of(",\"\n") == std::string::npos)
+            return v;
+        std::string out = "\"";
+        for (char c : v) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << ',';
+            out << cell(row[c]);
+        }
+        out << '\n';
+    };
+    emit(headerRow);
+    for (const auto &r : rows)
+        emit(r);
+    return out.str();
+}
+
+} // namespace hsipc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table rendering for the bench harnesses.
+ *
+ * Every bench binary regenerates one of the thesis' tables or figures;
+ * TextTable renders the rows in a stable, diff-friendly layout so that
+ * EXPERIMENTS.md can record paper-vs-measured values directly.
+ */
+
+#ifndef HSIPC_COMMON_TABLE_HH
+#define HSIPC_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hsipc
+{
+
+/** A simple left/right aligned text table with a title and a header. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title) : title(std::move(title)) {}
+
+    /** Set the column headers; defines the column count. */
+    void
+    header(std::vector<std::string> cells)
+    {
+        headerRow = std::move(cells);
+    }
+
+    /** Append a row; must match the header width. */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows.push_back(std::move(cells));
+    }
+
+    /** Render to a multi-line string. */
+    std::string render() const;
+
+    /** Render as RFC-4180-ish CSV (header row first). */
+    std::string renderCsv() const;
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 2);
+
+  private:
+    std::string title;
+    std::vector<std::string> headerRow;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace hsipc
+
+#endif // HSIPC_COMMON_TABLE_HH

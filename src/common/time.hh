@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * All simulators in this library use integer nanosecond ticks.  The
+ * thesis' unit of modeling is the microsecond (one Versabus memory
+ * cycle); the smart bus' two-edge streaming handshake takes half a
+ * memory cycle (§6.4), so a nanosecond tick base keeps every quantity
+ * integral while leaving headroom for faster hypothetical hardware.
+ */
+
+#ifndef HSIPC_COMMON_TIME_HH
+#define HSIPC_COMMON_TIME_HH
+
+#include <cstdint>
+
+namespace hsipc
+{
+
+/** Simulation time in integer nanoseconds. */
+using Tick = std::int64_t;
+
+/** One microsecond worth of ticks. */
+constexpr Tick tickUs = 1000;
+
+/** One millisecond worth of ticks. */
+constexpr Tick tickMs = 1000 * tickUs;
+
+/** One second worth of ticks. */
+constexpr Tick tickSec = 1000 * tickMs;
+
+/** Convert a (possibly fractional) microsecond count to ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(tickUs) + 0.5);
+}
+
+/** Convert ticks to fractional microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickUs);
+}
+
+/** Convert ticks to fractional milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickMs);
+}
+
+} // namespace hsipc
+
+#endif // HSIPC_COMMON_TIME_HH

@@ -1,0 +1,131 @@
+#include "core/gtpn/export.hh"
+
+#include <sstream>
+
+namespace hsipc::gtpn
+{
+
+namespace
+{
+
+/** Escape a name for dot. */
+std::string
+esc(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** Evaluate a transition's delay in the initial marking, if possible. */
+double
+initialDelay(const PetriNet &net, TransId t)
+{
+    const std::vector<int> marking = net.initialMarking();
+    const std::vector<int> firing(net.numTransitions(), 0);
+    const EvalContext ctx(marking, firing);
+    return net.transition(t).delay(ctx);
+}
+
+} // namespace
+
+std::string
+toDot(const PetriNet &net)
+{
+    std::ostringstream out;
+    out << "digraph gtpn {\n  rankdir=LR;\n";
+    for (std::size_t p = 0; p < net.numPlaces(); ++p) {
+        const Place &pl = net.place(static_cast<PlaceId>(p));
+        out << "  p" << p << " [shape=circle,label=\"" << esc(pl.name);
+        if (pl.initialTokens > 0)
+            out << "\\n(" << pl.initialTokens << ")";
+        out << "\"];\n";
+    }
+    for (std::size_t t = 0; t < net.numTransitions(); ++t) {
+        const Transition &tr = net.transition(static_cast<TransId>(t));
+        const bool instant =
+            initialDelay(net, static_cast<TransId>(t)) == 0.0;
+        out << "  t" << t << " [shape=box,height="
+            << (instant ? "0.1" : "0.3") << ",label=\"" << esc(tr.name);
+        if (!tr.resource.empty())
+            out << "\\n[" << esc(tr.resource) << "]";
+        out << "\"];\n";
+        for (const Arc &a : tr.inputs) {
+            out << "  p" << a.id << " -> t" << t;
+            if (a.multiplicity > 1)
+                out << " [label=\"" << a.multiplicity << "\"]";
+            out << ";\n";
+        }
+        for (const Arc &a : tr.outputs) {
+            out << "  t" << t << " -> p" << a.id;
+            if (a.multiplicity > 1)
+                out << " [label=\"" << a.multiplicity << "\"]";
+            out << ";\n";
+        }
+    }
+    out << "}\n";
+    return out.str();
+}
+
+std::vector<std::string>
+validateNet(const PetriNet &net)
+{
+    std::vector<std::string> issues;
+
+    std::vector<bool> place_feeds(net.numPlaces(), false);
+    std::vector<bool> place_fed(net.numPlaces(), false);
+
+    for (std::size_t t = 0; t < net.numTransitions(); ++t) {
+        const Transition &tr = net.transition(static_cast<TransId>(t));
+        if (tr.inputs.empty()) {
+            issues.push_back("transition '" + tr.name +
+                             "' has no input arcs (token source)");
+        }
+        if (tr.outputs.empty()) {
+            issues.push_back("transition '" + tr.name +
+                             "' has no output arcs (token sink)");
+        }
+        for (const Arc &a : tr.inputs)
+            place_feeds[static_cast<std::size_t>(a.id)] = true;
+        for (const Arc &a : tr.outputs)
+            place_fed[static_cast<std::size_t>(a.id)] = true;
+
+        // A zero-delay transition that outputs onto all of its own
+        // inputs re-enables itself instantly: a vanishing loop.
+        if (initialDelay(net, static_cast<TransId>(t)) == 0.0 &&
+            !tr.inputs.empty()) {
+            bool refills_all = true;
+            for (const Arc &in : tr.inputs) {
+                bool found = false;
+                for (const Arc &outp : tr.outputs)
+                    found = found || (outp.id == in.id &&
+                                      outp.multiplicity >=
+                                          in.multiplicity);
+                refills_all = refills_all && found;
+            }
+            if (refills_all) {
+                issues.push_back("zero-delay transition '" + tr.name +
+                                 "' refills its own inputs "
+                                 "(vanishing loop)");
+            }
+        }
+    }
+
+    for (std::size_t p = 0; p < net.numPlaces(); ++p) {
+        const Place &pl = net.place(static_cast<PlaceId>(p));
+        if (!place_feeds[p] && !place_fed[p]) {
+            issues.push_back("place '" + pl.name +
+                             "' is not connected to any transition");
+        } else if (!place_feeds[p]) {
+            issues.push_back("place '" + pl.name +
+                             "' accumulates tokens (never an input)");
+        }
+    }
+    return issues;
+}
+
+} // namespace hsipc::gtpn

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Developer tooling for GTPN models: Graphviz export and structural
+ * validation.
+ *
+ * The thesis communicates its models as net drawings (Figs 6.6-6.14);
+ * toDot() recreates those drawings from a PetriNet so reconstructed
+ * models can be reviewed visually.  validateNet() flags the
+ * structural mistakes that bite model authors: token sources/sinks
+ * where conservation was intended, zero-delay self-loops (vanishing
+ * loops that hang the analyzer), and dead transitions.
+ */
+
+#ifndef HSIPC_GTPN_EXPORT_HH
+#define HSIPC_GTPN_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/gtpn/net.hh"
+
+namespace hsipc::gtpn
+{
+
+/** Render the net in Graphviz dot syntax (places round, transitions
+ *  square, zero-delay transitions thin). */
+std::string toDot(const PetriNet &net);
+
+/** Human-readable structural warnings; empty when the net is clean. */
+std::vector<std::string> validateNet(const PetriNet &net);
+
+} // namespace hsipc::gtpn
+
+#endif // HSIPC_GTPN_EXPORT_HH

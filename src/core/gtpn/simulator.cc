@@ -1,0 +1,78 @@
+#include "core/gtpn/simulator.hh"
+
+#include "common/rng.hh"
+#include "core/gtpn/tokengame.hh"
+
+namespace hsipc::gtpn
+{
+
+SimResult
+simulate(const PetriNet &net, const SimOptions &opts)
+{
+    SimResult res;
+    res.firingRate.assign(net.numTransitions(), 0.0);
+
+    Rng rng(opts.seed);
+    NetState state{net.initialMarking(), {}};
+    sampleFirings(net, state, rng);
+
+    double now = 0.0;
+    const double start = opts.warmup;
+    const double end = opts.warmup + opts.horizon;
+
+    std::map<std::string, double> usage_area;
+    std::vector<double> completions(net.numTransitions(), 0.0);
+    std::vector<double> occupancy_area(net.numPlaces(), 0.0);
+
+    while (now < end) {
+        if (state.firings.empty()) {
+            res.deadlock = true;
+            break;
+        }
+
+        // The in-flight set is constant until the next completion.
+        NetState advanced = state;
+        const int step = advanceTime(net, advanced);
+        const double t0 = now;
+        const double t1 = now + static_cast<double>(step);
+
+        // Overlap of [t0, t1) with the measurement window.
+        const double lo = t0 > start ? t0 : start;
+        const double hi = t1 < end ? t1 : end;
+        if (hi > lo) {
+            for (const Firing &f : state.firings) {
+                const std::string &r = net.transition(f.trans).resource;
+                if (!r.empty())
+                    usage_area[r] += hi - lo;
+            }
+            for (std::size_t p = 0; p < net.numPlaces(); ++p) {
+                occupancy_area[p] +=
+                    (hi - lo) * static_cast<double>(state.marking[p]);
+            }
+        }
+
+        // Count completions that land inside the window.
+        if (t1 > start && t1 <= end) {
+            for (const Firing &f : state.firings) {
+                if (f.remaining == step)
+                    completions[static_cast<std::size_t>(f.trans)] += 1.0;
+            }
+        }
+
+        now = t1;
+        state = std::move(advanced);
+        sampleFirings(net, state, rng);
+    }
+
+    const double span = opts.horizon;
+    for (auto &[name, area] : usage_area)
+        res.resourceUsage[name] = area / span;
+    for (std::size_t t = 0; t < completions.size(); ++t)
+        res.firingRate[t] = completions[t] / span;
+    res.placeOccupancy.resize(net.numPlaces());
+    for (std::size_t p = 0; p < net.numPlaces(); ++p)
+        res.placeOccupancy[p] = occupancy_area[p] / span;
+    return res;
+}
+
+} // namespace hsipc::gtpn

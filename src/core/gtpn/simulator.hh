@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Monte Carlo GTPN simulator.
+ *
+ * Plays the token game forward with sampled conflict resolution and
+ * measures the same quantities the exact analyzer computes.  Used for
+ * property tests (analyzer vs. simulation on random nets) and for nets
+ * whose reachability graph would be too large to enumerate.
+ */
+
+#ifndef HSIPC_GTPN_SIMULATOR_HH
+#define HSIPC_GTPN_SIMULATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/gtpn/net.hh"
+
+namespace hsipc::gtpn
+{
+
+/** Options for a Monte Carlo run. */
+struct SimOptions
+{
+    double warmup = 10000.0;     //!< model time discarded before measuring
+    double horizon = 1000000.0;  //!< model time measured
+    std::uint64_t seed = 1;
+};
+
+/** Measured results of a Monte Carlo run. */
+struct SimResult
+{
+    std::map<std::string, double> resourceUsage;
+    std::vector<double> firingRate;
+    std::vector<double> placeOccupancy;
+    bool deadlock = false;
+
+    double
+    usage(const std::string &name) const
+    {
+        auto it = resourceUsage.find(name);
+        return it == resourceUsage.end() ? 0.0 : it->second;
+    }
+};
+
+/** Simulate @p net and return time-averaged measures. */
+SimResult simulate(const PetriNet &net,
+                   const SimOptions &opts = SimOptions());
+
+} // namespace hsipc::gtpn
+
+#endif // HSIPC_GTPN_SIMULATOR_HH

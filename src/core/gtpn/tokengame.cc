@@ -1,0 +1,262 @@
+#include "core/gtpn/tokengame.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace hsipc::gtpn
+{
+
+namespace
+{
+
+/** Maximum depth of the selection recursion (vanishing-loop guard). */
+constexpr int maxSelectionDepth = 4096;
+
+/** An enabled transition with its evaluated frequency. */
+struct Candidate
+{
+    TransId trans;
+    double freq;
+};
+
+/** Evaluate the delay of @p t in context and validate it. */
+int
+evalDelay(const PetriNet &net, TransId t, const EvalContext &ctx)
+{
+    const double d = net.transition(t).delay(ctx);
+    hsipc_assert(d >= 0.0);
+    const int di = static_cast<int>(std::lround(d));
+    hsipc_assert(std::abs(d - di) < 1e-9);
+    return di;
+}
+
+/** All transitions enabled in @p marking with a positive frequency. */
+std::vector<Candidate>
+enabledCandidates(const PetriNet &net, const std::vector<int> &marking,
+                  const std::vector<int> &counts)
+{
+    const EvalContext ctx(marking, counts);
+    std::vector<Candidate> out;
+    const auto n = static_cast<TransId>(net.numTransitions());
+    for (TransId t = 0; t < n; ++t) {
+        if (!inputsSatisfied(net, marking, t))
+            continue;
+        const double f = net.transition(t).frequency(ctx);
+        hsipc_assert(f >= 0.0);
+        if (f > 0.0)
+            out.push_back(Candidate{t, f});
+    }
+    return out;
+}
+
+/** True when transitions @p a and @p b share an input place. */
+bool
+sharesInput(const PetriNet &net, TransId a, TransId b)
+{
+    for (const Arc &ia : net.transition(a).inputs) {
+        for (const Arc &ib : net.transition(b).inputs) {
+            if (ia.id == ib.id)
+                return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * The conflict set of the first candidate: every candidate sharing an
+ * input place with it (the thesis' nets only conflict over identical
+ * input sets, so direct sharing is sufficient).
+ */
+std::vector<Candidate>
+conflictSet(const PetriNet &net, const std::vector<Candidate> &cands)
+{
+    std::vector<Candidate> set;
+    const TransId head = cands.front().trans;
+    for (const Candidate &c : cands) {
+        if (c.trans == head || sharesInput(net, head, c.trans))
+            set.push_back(c);
+    }
+    return set;
+}
+
+/** Remove the input tokens of @p t from @p marking. */
+void
+consumeInputs(const PetriNet &net, std::vector<int> &marking, TransId t)
+{
+    for (const Arc &a : net.transition(t).inputs) {
+        marking[static_cast<std::size_t>(a.id)] -= a.multiplicity;
+        hsipc_assert(marking[static_cast<std::size_t>(a.id)] >= 0);
+    }
+}
+
+/** Deposit the output tokens of @p t into @p marking. */
+void
+produceOutputs(const PetriNet &net, std::vector<int> &marking, TransId t)
+{
+    for (const Arc &a : net.transition(t).outputs)
+        marking[static_cast<std::size_t>(a.id)] += a.multiplicity;
+}
+
+/** Recursive exhaustive expansion of the selection phase. */
+void
+enumerateRec(const PetriNet &net, NetState state, std::vector<int> counts,
+             double prob, int depth, std::vector<Outcome> &out)
+{
+    if (depth > maxSelectionDepth)
+        hsipc_panic("GTPN selection did not terminate (vanishing loop?)");
+
+    const auto cands = enabledCandidates(net, state.marking, counts);
+    if (cands.empty()) {
+        std::sort(state.firings.begin(), state.firings.end());
+        out.push_back(Outcome{std::move(state), prob});
+        return;
+    }
+
+    const auto set = conflictSet(net, cands);
+    double total = 0.0;
+    for (const Candidate &c : set)
+        total += c.freq;
+
+    for (const Candidate &c : set) {
+        const double p = prob * c.freq / total;
+        NetState next = state;
+        std::vector<int> next_counts = counts;
+        const EvalContext ctx(state.marking, counts);
+        const int delay = evalDelay(net, c.trans, ctx);
+        consumeInputs(net, next.marking, c.trans);
+        if (delay == 0) {
+            produceOutputs(net, next.marking, c.trans);
+        } else {
+            next.firings.push_back(Firing{c.trans, delay});
+            ++next_counts[static_cast<std::size_t>(c.trans)];
+        }
+        enumerateRec(net, std::move(next), std::move(next_counts), p,
+                     depth + 1, out);
+    }
+}
+
+} // namespace
+
+std::string
+NetState::key() const
+{
+    std::string k;
+    k.reserve(marking.size() * 2 + firings.size() * 4 + 1);
+    for (int m : marking) {
+        hsipc_assert(m >= 0 && m < (1 << 16));
+        k.push_back(static_cast<char>(m & 0xff));
+        k.push_back(static_cast<char>((m >> 8) & 0xff));
+    }
+    k.push_back('\x01');
+    for (const Firing &f : firings) {
+        k.push_back(static_cast<char>(f.trans & 0xff));
+        k.push_back(static_cast<char>((f.trans >> 8) & 0xff));
+        k.push_back(static_cast<char>(f.remaining & 0xff));
+        k.push_back(static_cast<char>((f.remaining >> 8) & 0xff));
+    }
+    return k;
+}
+
+bool
+inputsSatisfied(const PetriNet &net, const std::vector<int> &marking,
+                TransId t)
+{
+    for (const Arc &a : net.transition(t).inputs) {
+        if (marking[static_cast<std::size_t>(a.id)] < a.multiplicity)
+            return false;
+    }
+    return true;
+}
+
+int
+advanceTime(const PetriNet &net, NetState &state)
+{
+    hsipc_assert(!state.firings.empty());
+    int step = std::numeric_limits<int>::max();
+    for (const Firing &f : state.firings)
+        step = std::min(step, f.remaining);
+
+    std::vector<Firing> still;
+    still.reserve(state.firings.size());
+    for (Firing &f : state.firings) {
+        f.remaining -= step;
+        if (f.remaining == 0)
+            produceOutputs(net, state.marking, f.trans);
+        else
+            still.push_back(f);
+    }
+    state.firings = std::move(still);
+    return step;
+}
+
+std::vector<Outcome>
+enumerateFirings(const PetriNet &net, const NetState &start)
+{
+    std::vector<Outcome> raw;
+    enumerateRec(net, start, firingCounts(net, start), 1.0, 0, raw);
+
+    // Merge outcomes that reached the same tangible state.
+    std::unordered_map<std::string, std::size_t> index;
+    std::vector<Outcome> merged;
+    for (Outcome &o : raw) {
+        const std::string k = o.state.key();
+        auto [it, fresh] = index.emplace(k, merged.size());
+        if (fresh)
+            merged.push_back(std::move(o));
+        else
+            merged[it->second].prob += o.prob;
+    }
+    return merged;
+}
+
+void
+sampleFirings(const PetriNet &net, NetState &state, Rng &rng)
+{
+    std::vector<int> counts = firingCounts(net, state);
+    for (int depth = 0; ; ++depth) {
+        if (depth > maxSelectionDepth)
+            hsipc_panic("GTPN selection did not terminate (vanishing loop?)");
+
+        const auto cands = enabledCandidates(net, state.marking, counts);
+        if (cands.empty())
+            break;
+        const auto set = conflictSet(net, cands);
+        double total = 0.0;
+        for (const Candidate &c : set)
+            total += c.freq;
+
+        double pick = rng.uniform() * total;
+        const Candidate *chosen = &set.back();
+        for (const Candidate &c : set) {
+            if (pick < c.freq) {
+                chosen = &c;
+                break;
+            }
+            pick -= c.freq;
+        }
+
+        const EvalContext ctx(state.marking, counts);
+        const int delay = evalDelay(net, chosen->trans, ctx);
+        consumeInputs(net, state.marking, chosen->trans);
+        if (delay == 0) {
+            produceOutputs(net, state.marking, chosen->trans);
+        } else {
+            state.firings.push_back(Firing{chosen->trans, delay});
+            ++counts[static_cast<std::size_t>(chosen->trans)];
+        }
+    }
+    std::sort(state.firings.begin(), state.firings.end());
+}
+
+std::vector<int>
+firingCounts(const PetriNet &net, const NetState &state)
+{
+    std::vector<int> counts(net.numTransitions(), 0);
+    for (const Firing &f : state.firings)
+        ++counts[static_cast<std::size_t>(f.trans)];
+    return counts;
+}
+
+} // namespace hsipc::gtpn

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * GTPN firing semantics (the "token game").
+ *
+ * A state of the game is a residual marking plus a multiset of
+ * in-flight firings (transition, remaining time).  From a tangible
+ * state the game proceeds in two phases:
+ *
+ *  1. time advance: the minimum remaining time elapses, completed
+ *     firings deposit their output tokens;
+ *  2. firing selection: while any transition is enabled (inputs
+ *     satisfied and frequency nonzero), the conflict set of the
+ *     lowest-numbered enabled transition is resolved by choosing one
+ *     member with probability proportional to its frequency.  The
+ *     chosen transition removes its input tokens; zero-delay firings
+ *     deposit their outputs immediately (vanishing firings), timed
+ *     firings join the in-flight multiset.  Selection repeats until
+ *     no transition is enabled, so firing is maximal.
+ *
+ * enumerateFirings() expands phase 2 into the complete probability
+ * distribution over successor tangible states (used by the exact
+ * analyzer); sampleFirings() draws one path (used by the Monte Carlo
+ * simulator).
+ */
+
+#ifndef HSIPC_GTPN_TOKENGAME_HH
+#define HSIPC_GTPN_TOKENGAME_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/gtpn/net.hh"
+
+namespace hsipc::gtpn
+{
+
+/** One in-flight firing of a transition. */
+struct Firing
+{
+    TransId trans;
+    int remaining;
+
+    bool
+    operator<(const Firing &other) const
+    {
+        return trans != other.trans ? trans < other.trans
+                                    : remaining < other.remaining;
+    }
+
+    bool
+    operator==(const Firing &other) const
+    {
+        return trans == other.trans && remaining == other.remaining;
+    }
+};
+
+/** A tangible (or intermediate) state of the token game. */
+struct NetState
+{
+    std::vector<int> marking;    //!< residual tokens per place
+    std::vector<Firing> firings; //!< sorted in-flight multiset
+
+    /** Canonical byte-string key for hashing/deduplication. */
+    std::string key() const;
+};
+
+/** A successor state with the probability of reaching it. */
+struct Outcome
+{
+    NetState state;
+    double prob;
+};
+
+/** True when the residual marking satisfies all input arcs of @p t. */
+bool inputsSatisfied(const PetriNet &net, const std::vector<int> &marking,
+                     TransId t);
+
+/**
+ * Advance time by the minimum remaining firing time; completed firings
+ * deposit their outputs.  Returns the elapsed time.  @p state must
+ * have at least one in-flight firing.
+ */
+int advanceTime(const PetriNet &net, NetState &state);
+
+/**
+ * Run the firing-selection phase exhaustively, returning the
+ * distribution of resulting tangible states.  Outcomes with identical
+ * states are merged.
+ */
+std::vector<Outcome> enumerateFirings(const PetriNet &net,
+                                      const NetState &start);
+
+/** Run the firing-selection phase once, choosing probabilistically. */
+void sampleFirings(const PetriNet &net, NetState &state, Rng &rng);
+
+/** Per-transition in-flight counts of a state (for EvalContext). */
+std::vector<int> firingCounts(const PetriNet &net, const NetState &state);
+
+} // namespace hsipc::gtpn
+
+#endif // HSIPC_GTPN_TOKENGAME_HH

@@ -1,0 +1,73 @@
+#include "core/models/mva.hh"
+
+#include "common/logging.hh"
+
+namespace hsipc::models
+{
+
+MvaResult
+solveMva(const std::vector<Station> &stations, int customers)
+{
+    hsipc_assert(!stations.empty());
+    hsipc_assert(customers >= 1);
+
+    const std::size_t k = stations.size();
+    std::vector<double> q(k, 0.0); // Q_k(n-1)
+    MvaResult res;
+    res.residenceUs.assign(k, 0.0);
+    res.queueLength.assign(k, 0.0);
+    res.utilization.assign(k, 0.0);
+
+    for (int n = 1; n <= customers; ++n) {
+        double cycle = 0.0;
+        for (std::size_t i = 0; i < k; ++i) {
+            res.residenceUs[i] = stations[i].delay
+                ? stations[i].demand
+                : stations[i].demand * (1.0 + q[i]);
+            cycle += res.residenceUs[i];
+        }
+        const double x = static_cast<double>(n) / cycle;
+        for (std::size_t i = 0; i < k; ++i)
+            q[i] = x * res.residenceUs[i];
+        res.throughputPerUs = x;
+        res.cycleTimeUs = cycle;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+        res.queueLength[i] = q[i];
+        res.utilization[i] =
+            res.throughputPerUs * stations[i].demand;
+    }
+    return res;
+}
+
+std::vector<Station>
+localStations(Arch arch, double x)
+{
+    const LocalParams p = localParams(arch);
+    std::vector<Station> st;
+    if (arch == Arch::I) {
+        // Everything serializes through the host; the computation X
+        // is part of the host's matchReply stage in the thesis'
+        // model, so it queues rather than overlaps.
+        st.push_back(Station{
+            "Host", p.uniSend + p.uniRecv + p.uniMatchReply + x,
+            false});
+        return st;
+    }
+    st.push_back(Station{"Host",
+                         p.sendSyscall + p.recvSyscall +
+                             p.hostReplyBase + x,
+                         false});
+    st.push_back(Station{
+        "MP", p.mpSend + p.mpRecv + p.mpMatch + p.mpReply, false});
+    return st;
+}
+
+double
+mvaLocalThroughput(Arch arch, int conversations, double computeTime)
+{
+    return solveMva(localStations(arch, computeTime), conversations)
+        .throughputPerUs;
+}
+
+} // namespace hsipc::models

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Exact Mean Value Analysis (MVA) of closed queueing networks, as an
+ * independent analytical cross-check of the GTPN models.
+ *
+ * The §6.3 workload is a closed network: N conversations cycle
+ * through the host, the message coprocessor, the DMA engines and a
+ * pure delay (the computation or the remote node).  Under the
+ * product-form assumptions (exponential service, FCFS queueing
+ * stations, infinite-server delay stations) the exact MVA recursion
+ *
+ *     R_k(n) = D_k * (1 + Q_k(n-1))         (queueing station)
+ *     R_k(n) = D_k                          (delay station)
+ *     X(n)   = n / sum_k R_k(n)
+ *     Q_k(n) = X(n) * R_k(n)
+ *
+ * yields throughput without any state-space construction.  The GTPN
+ * models use geometric (~exponential) stage times, so MVA should
+ * track them closely wherever the architecture maps onto independent
+ * stations — and the comparison quantifies what the Petri net adds
+ * (the rendezvous coupling and interrupt preemption that product-form
+ * networks cannot express).
+ */
+
+#ifndef HSIPC_MODELS_MVA_HH
+#define HSIPC_MODELS_MVA_HH
+
+#include <string>
+#include <vector>
+
+#include "core/models/processing_times.hh"
+
+namespace hsipc::models
+{
+
+/** One service center of a closed network. */
+struct Station
+{
+    std::string name;
+    double demand = 0;  //!< total service demand per cycle, us
+    bool delay = false; //!< infinite-server (think/delay) station
+};
+
+/** Results of an exact MVA solve. */
+struct MvaResult
+{
+    double throughputPerUs = 0; //!< cycles per microsecond
+    double cycleTimeUs = 0;
+    std::vector<double> residenceUs;  //!< per station
+    std::vector<double> queueLength;  //!< per station
+    std::vector<double> utilization;  //!< per station (X * demand)
+};
+
+/** Run the exact MVA recursion for @p customers. */
+MvaResult solveMva(const std::vector<Station> &stations, int customers);
+
+/**
+ * The station mapping of an architecture's local-conversation
+ * round trip (host and MP demands from the transition means).
+ */
+std::vector<Station> localStations(Arch arch, double computeTime);
+
+/** MVA throughput of the local model of @p arch (cycles per us). */
+double mvaLocalThroughput(Arch arch, int conversations,
+                          double computeTime);
+
+} // namespace hsipc::models
+
+#endif // HSIPC_MODELS_MVA_HH

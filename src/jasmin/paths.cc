@@ -1,0 +1,228 @@
+#include "jasmin/paths.hh"
+
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace hsipc::jasmin
+{
+
+namespace
+{
+
+struct Process
+{
+    std::string name;
+};
+
+struct Path
+{
+    bool alive = false;
+    bool oneShot = false;
+    bool giftGiven = false;
+    bool exhausted = false;
+    ProcId receiver = -1;
+    ProcId sendHolder = -1;
+    std::deque<std::pair<Message, std::uint64_t>> queue;
+};
+
+} // namespace
+
+struct PathKernel::Impl
+{
+    std::vector<Process> procs;
+    std::vector<Path> paths;
+    int buffers;
+    long setups = 0;
+    std::uint64_t seq = 0;
+    mutable long checks = 0;
+
+    bool
+    check(bool ok) const
+    {
+        ++checks;
+        return ok;
+    }
+
+    bool
+    valid(PathId p) const
+    {
+        return check(p >= 0 &&
+                     static_cast<std::size_t>(p) < paths.size() &&
+                     paths[static_cast<std::size_t>(p)].alive);
+    }
+
+    Path &path(PathId p) { return paths[static_cast<std::size_t>(p)]; }
+
+    void
+    teardown(PathId p)
+    {
+        Path &pa = path(p);
+        buffers += static_cast<int>(pa.queue.size());
+        pa.queue.clear();
+        pa.alive = false;
+        ++setups; // teardown bookkeeping pairs with the setup cost
+    }
+};
+
+PathKernel::PathKernel(int kernelBuffers)
+    : impl(std::make_unique<Impl>())
+{
+    hsipc_assert(kernelBuffers >= 1);
+    impl->buffers = kernelBuffers;
+}
+
+PathKernel::~PathKernel() = default;
+
+ProcId
+PathKernel::createProcess(std::string name)
+{
+    impl->procs.push_back(Process{std::move(name)});
+    return static_cast<ProcId>(impl->procs.size() - 1);
+}
+
+PathId
+PathKernel::createPath(ProcId creator, bool oneShot)
+{
+    Path p;
+    p.alive = true;
+    p.oneShot = oneShot;
+    p.receiver = creator;
+    p.sendHolder = creator;
+    impl->paths.push_back(std::move(p));
+    ++impl->setups;
+    return static_cast<PathId>(impl->paths.size() - 1);
+}
+
+PathStatus
+PathKernel::giveSendEnd(ProcId from, PathId path, ProcId to)
+{
+    if (!impl->valid(path))
+        return PathStatus::NoSuchPath;
+    Path &p = impl->path(path);
+    if (!impl->check(p.sendHolder == from))
+        return PathStatus::NotSendHolder;
+    if (!impl->check(!p.giftGiven))
+        return PathStatus::GiftAlreadyGiven;
+    p.sendHolder = to;
+    p.giftGiven = true;
+    return PathStatus::Ok;
+}
+
+PathStatus
+PathKernel::destroyPath(ProcId receiver, PathId path)
+{
+    if (!impl->valid(path))
+        return PathStatus::NoSuchPath;
+    if (!impl->check(impl->path(path).receiver == receiver))
+        return PathStatus::NotReceiver;
+    impl->teardown(path);
+    return PathStatus::Ok;
+}
+
+int
+PathKernel::livePathCount() const
+{
+    int n = 0;
+    for (const Path &p : impl->paths)
+        n += p.alive;
+    return n;
+}
+
+long
+PathKernel::pathSetupTeardowns() const
+{
+    return impl->setups;
+}
+
+PathStatus
+PathKernel::sendmsg(ProcId sender, PathId path, const Message &m)
+{
+    if (!impl->valid(path))
+        return PathStatus::NoSuchPath;
+    Path &p = impl->path(path);
+    if (!impl->check(p.sendHolder == sender))
+        return PathStatus::NotSendHolder;
+    if (!impl->check(!p.exhausted))
+        return PathStatus::PathExhausted;
+    if (!impl->check(impl->buffers > 0))
+        return PathStatus::NoBuffers; // the caller would block
+    --impl->buffers;
+    p.queue.emplace_back(m, ++impl->seq);
+    if (p.oneShot)
+        p.exhausted = true; // the gift may be used only once
+    return PathStatus::Ok;
+}
+
+PathStatus
+PathKernel::rcvmsg(ProcId receiver, const std::vector<PathId> &group,
+                   Message &out, PathId *from)
+{
+    // FCFS across the named group (§3.2.5).
+    PathId best = -1;
+    std::uint64_t best_seq = 0;
+    for (PathId pid : group) {
+        if (!impl->valid(pid))
+            return PathStatus::NoSuchPath;
+        Path &p = impl->path(pid);
+        if (!impl->check(p.receiver == receiver))
+            return PathStatus::NotReceiver;
+        if (!p.queue.empty() &&
+            (best < 0 || p.queue.front().second < best_seq)) {
+            best = pid;
+            best_seq = p.queue.front().second;
+        }
+    }
+    if (best < 0)
+        return PathStatus::NoMessage;
+
+    Path &p = impl->path(best);
+    out = p.queue.front().first;
+    p.queue.pop_front();
+    ++impl->buffers;
+    if (from)
+        *from = best;
+    // A drained one-shot gift path is torn down by the kernel — the
+    // same expense as a persistent path (§3.2.1).
+    if (p.oneShot && p.exhausted && p.queue.empty())
+        impl->teardown(best);
+    return PathStatus::Ok;
+}
+
+int
+PathKernel::queued(PathId path) const
+{
+    hsipc_assert(impl->valid(path));
+    return static_cast<int>(
+        impl->paths[static_cast<std::size_t>(path)].queue.size());
+}
+
+PathStatus
+PathKernel::iomove(ProcId sender, PathId path,
+                   const std::vector<std::uint8_t> &data,
+                   std::vector<std::uint8_t> &receiverBuffer)
+{
+    if (!impl->valid(path))
+        return PathStatus::NoSuchPath;
+    Path &p = impl->path(path);
+    if (!impl->check(p.sendHolder == sender))
+        return PathStatus::NotSendHolder;
+    // Arbitrary-sized, unbuffered, no participation by the receiver
+    // (§3.2.2): straight into the receiver's buffer.
+    receiverBuffer = data;
+    return PathStatus::Ok;
+}
+
+int
+PathKernel::freeBuffers() const
+{
+    return impl->buffers;
+}
+
+long
+PathKernel::checksPerformed() const
+{
+    return impl->checks;
+}
+
+} // namespace hsipc::jasmin

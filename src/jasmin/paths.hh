@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A functional implementation of Jasmin's path-based IPC (§3.2) —
+ * the second baseline the thesis profiles (Table 3.2).
+ *
+ * Jasmin's distinctive semantics, implemented here:
+ *  - processes communicate over *unidirectional paths*; the creator
+ *    holds the receive end, and may give the send end away exactly
+ *    once as a *gift*;
+ *  - sendmsg carries fixed-size messages (reliable datagrams),
+ *    kernel-buffered; the sender blocks only on resource shortage;
+ *  - rcvmsg blocks when no message is outstanding; a process may name
+ *    a *group* of paths as the source of its next message (§3.2.5);
+ *  - a remote procedure call is simulated by enclosing a gift path in
+ *    the request; the recipient may use the gift exactly once to send
+ *    the reply, after which the kernel tears the one-shot path down —
+ *    incurring the same setup/teardown expense as a persistent path
+ *    (the §3.2.1 criticism);
+ *  - iomove moves arbitrary-sized blocks between the send-end
+ *    holder's buffer and the receive-end creator, without the other
+ *    party's participation.
+ */
+
+#ifndef HSIPC_JASMIN_PATHS_HH
+#define HSIPC_JASMIN_PATHS_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hsipc::jasmin
+{
+
+using ProcId = int;
+using PathId = int;
+
+/** Jasmin messages are small fixed-size datagrams (32 bytes). */
+constexpr int messageBytes = 32;
+
+using Message = std::array<std::uint8_t, messageBytes>;
+
+/** Status codes. */
+enum class PathStatus
+{
+    Ok,
+    NoSuchPath,
+    NotSendHolder,
+    NotReceiver,
+    GiftAlreadyGiven,
+    PathExhausted, //!< one-shot gift already used
+    NoBuffers,
+    NoMessage,     //!< non-blocking rcvmsg with nothing queued
+};
+
+/** The Jasmin message kernel. */
+class PathKernel
+{
+  public:
+    explicit PathKernel(int kernelBuffers = 16);
+    ~PathKernel();
+
+    ProcId createProcess(std::string name);
+
+    // --- Paths ---------------------------------------------------------
+
+    /**
+     * Create a path; @p creator holds the receive end and initially
+     * the send end too.  @p oneShot marks a gift path that the kernel
+     * tears down after a single sendmsg (the RPC reply pattern).
+     */
+    PathId createPath(ProcId creator, bool oneShot = false);
+
+    /** Give the send end away; allowed exactly once (§3.2.1). */
+    PathStatus giveSendEnd(ProcId from, PathId path, ProcId to);
+
+    /** Destroy the path; queued messages return to the pool. */
+    PathStatus destroyPath(ProcId receiver, PathId path);
+
+    /** Alive paths created so far minus destroyed (teardown cost). */
+    int livePathCount() const;
+    long pathSetupTeardowns() const;
+
+    // --- Messages ------------------------------------------------------
+
+    /** Send a datagram along the path (holder of the send end). */
+    PathStatus sendmsg(ProcId sender, PathId path, const Message &m);
+
+    /**
+     * Receive the next message from any path in @p group whose
+     * receive end belongs to @p receiver; FCFS by arrival.  Fails
+     * with NoMessage when nothing is queued (the caller would block;
+     * Jasmin has no polling, §3.2.5).
+     */
+    PathStatus rcvmsg(ProcId receiver, const std::vector<PathId> &group,
+                      Message &out, PathId *from = nullptr);
+
+    /** Messages queued on @p path. */
+    int queued(PathId path) const;
+
+    // --- iomove ---------------------------------------------------------
+
+    /**
+     * Move @p len bytes from the send-end holder's buffer into the
+     * receiver's; invoked by the send-end holder (§3.2.2), no
+     * participation from the other party.
+     */
+    PathStatus iomove(ProcId sender, PathId path,
+                      const std::vector<std::uint8_t> &data,
+                      std::vector<std::uint8_t> &receiverBuffer);
+
+    // --- Accounting ------------------------------------------------------
+
+    int freeBuffers() const;
+    long checksPerformed() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace hsipc::jasmin
+
+#endif // HSIPC_JASMIN_PATHS_HH

@@ -1,0 +1,637 @@
+#include "k925/kernel.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "bus/queue_ops.hh"
+#include "common/logging.hh"
+
+namespace hsipc::k925
+{
+
+namespace
+{
+
+// Shared-memory layout (see header comment).
+constexpr Addr tcbFreeList = 2;
+constexpr Addr computationListHead = 4;
+constexpr Addr communicationListHead = 6;
+constexpr Addr bufferFreeList = 8;
+constexpr Addr serviceListBase = 0x20; //!< tail word per service
+constexpr Addr tcbBase = 0x100;
+constexpr int tcbBytes = 16;
+constexpr Addr bufferBase = 0x400;
+constexpr int bufferBytes = 48; //!< 2-byte link + 40-byte payload + pad
+
+} // namespace
+
+/** A queued-but-undelivered message (payload lives in shared memory). */
+struct Kernel::PendingDelivery
+{
+    Addr buf;
+    TaskId sender;
+    std::uint64_t seq;
+    bool expectsReply;
+};
+
+struct Kernel::Task
+{
+    std::string name;
+    TaskState state = TaskState::Computing;
+    std::vector<std::uint8_t> userMem;
+
+    // Receive side.
+    std::vector<ServiceId> offers;
+    ReceiveFn pendingReceive; //!< set while blocked in receive()
+
+    // Send side.
+    struct BlockedSend
+    {
+        ServiceId service;
+        Message msg;
+        bool expectsReply;
+        ReplyFn onReply;
+    };
+    std::unique_ptr<BlockedSend> blockedSend; //!< waiting for a buffer
+
+    // Interrupt handling.
+    std::map<int, HandlerFn> handlers;
+};
+
+struct Kernel::Service
+{
+    bool alive = false;
+    TaskId creator = -1;
+    std::deque<PendingDelivery> pending; //!< mirrors the queue in memory
+    std::deque<TaskId> waiting;          //!< servers blocked in receive
+};
+
+Kernel::Kernel(Config cfg)
+    : config(cfg), mem(16384), direct(mem), controller(&direct)
+{
+    hsipc_assert(cfg.maxTasks >= 1 && cfg.maxTasks <= 64);
+    hsipc_assert(cfg.kernelBuffers >= 1 && cfg.kernelBuffers <= 64);
+    hsipc_assert(cfg.maxServices >= 1 && cfg.maxServices <= 16);
+    hsipc_assert(bufferBase +
+                     static_cast<std::size_t>(cfg.kernelBuffers) *
+                         bufferBytes <=
+                 mem.size());
+
+    // Link the free lists (§5.1): the host owns the TCB free list,
+    // the MP the kernel-buffer free list.
+    for (int t = 0; t < cfg.maxTasks; ++t)
+        controller->enqueue(tcbFreeList,
+                            static_cast<Addr>(tcbBase + t * tcbBytes));
+    for (int b = 0; b < cfg.kernelBuffers; ++b)
+        controller->enqueue(
+            bufferFreeList,
+            static_cast<Addr>(bufferBase + b * bufferBytes));
+}
+
+Kernel::~Kernel() = default;
+
+Addr
+Kernel::tcbAddr(TaskId t) const
+{
+    return static_cast<Addr>(tcbBase + t * tcbBytes);
+}
+
+TaskId
+Kernel::taskOfTcb(Addr a) const
+{
+    return (a - tcbBase) / tcbBytes;
+}
+
+Kernel::Task &
+Kernel::task(TaskId t)
+{
+    hsipc_assert(t >= 0 && static_cast<std::size_t>(t) < tasks.size());
+    hsipc_assert(tasks[static_cast<std::size_t>(t)]);
+    return *tasks[static_cast<std::size_t>(t)];
+}
+
+const Kernel::Task &
+Kernel::task(TaskId t) const
+{
+    hsipc_assert(t >= 0 && static_cast<std::size_t>(t) < tasks.size());
+    return *tasks[static_cast<std::size_t>(t)];
+}
+
+Kernel::Service &
+Kernel::service(ServiceId s)
+{
+    hsipc_assert(s >= 0 &&
+                 static_cast<std::size_t>(s) < services.size());
+    hsipc_assert(services[static_cast<std::size_t>(s)]->alive);
+    return *services[static_cast<std::size_t>(s)];
+}
+
+const Kernel::Service &
+Kernel::serviceRef(ServiceId s) const
+{
+    hsipc_assert(s >= 0 &&
+                 static_cast<std::size_t>(s) < services.size());
+    return *services[static_cast<std::size_t>(s)];
+}
+
+void
+Kernel::enterState(TaskId t, TaskState st)
+{
+    Task &tk = task(t);
+    if (tk.state == st)
+        return;
+    // Maintain the genuine shared-memory lists of §4.4.
+    if (tk.state == TaskState::Computing)
+        controller->dequeue(computationListHead, tcbAddr(t));
+    else if (tk.state == TaskState::Communicating)
+        controller->dequeue(communicationListHead, tcbAddr(t));
+    if (st == TaskState::Computing)
+        controller->enqueue(computationListHead, tcbAddr(t));
+    else if (st == TaskState::Communicating)
+        controller->enqueue(communicationListHead, tcbAddr(t));
+    tk.state = st;
+}
+
+TaskId
+Kernel::createTask(std::string name)
+{
+    hsipc_assert(!inHandler);
+    const Addr tcb = controller->first(tcbFreeList);
+    hsipc_assert(tcb != bus::nullAddr); // out of TCBs is a config error
+    const TaskId t = taskOfTcb(tcb);
+    if (static_cast<std::size_t>(t) >= tasks.size())
+        tasks.resize(static_cast<std::size_t>(t) + 1);
+    tasks[static_cast<std::size_t>(t)] = std::make_unique<Task>();
+    Task &tk = task(t);
+    tk.name = std::move(name);
+    tk.userMem.assign(static_cast<std::size_t>(config.userMemoryBytes),
+                      0);
+    tk.state = TaskState::Stopped; // so enterState enqueues cleanly
+    enterState(t, TaskState::Computing);
+    return t;
+}
+
+void
+Kernel::killTask(TaskId victim)
+{
+    hsipc_assert(!inHandler);
+    Task &tk = task(victim);
+    // Remove the TCB from whichever work list holds it (the §5.1
+    // Dequeue primitive exists exactly for this) and free it.
+    enterState(victim, TaskState::Stopped);
+    controller->enqueue(tcbFreeList, tcbAddr(victim));
+    // Withdraw from any service wait queues.
+    for (auto &sp : services) {
+        if (!sp || !sp->alive)
+            continue;
+        auto &w = sp->waiting;
+        w.erase(std::remove(w.begin(), w.end(), victim), w.end());
+    }
+    tk.state = TaskState::Dead;
+    tk.pendingReceive = nullptr;
+    tk.blockedSend.reset();
+}
+
+TaskState
+Kernel::taskState(TaskId t) const
+{
+    return task(t).state;
+}
+
+const std::string &
+Kernel::taskName(TaskId t) const
+{
+    return task(t).name;
+}
+
+std::vector<std::uint8_t> &
+Kernel::userMemory(TaskId t)
+{
+    return task(t).userMem;
+}
+
+ServiceId
+Kernel::createService(TaskId creator)
+{
+    hsipc_assert(!inHandler);
+    hsipc_assert(task(creator).state != TaskState::Dead);
+    for (std::size_t s = 0; s < services.size(); ++s) {
+        if (!services[s]->alive) {
+            services[s]->alive = true;
+            services[s]->creator = creator;
+            return static_cast<ServiceId>(s);
+        }
+    }
+    hsipc_assert(services.size() <
+                 static_cast<std::size_t>(config.maxServices));
+    services.push_back(std::make_unique<Service>());
+    services.back()->alive = true;
+    services.back()->creator = creator;
+    return static_cast<ServiceId>(services.size() - 1);
+}
+
+K925Status
+Kernel::destroyService(ServiceId s)
+{
+    if (s < 0 || static_cast<std::size_t>(s) >= services.size() ||
+        !services[static_cast<std::size_t>(s)]->alive)
+        return K925Status::NoSuchService;
+    Service &sv = service(s);
+    // Drain queued messages back to the buffer pool.
+    const Addr list = static_cast<Addr>(serviceListBase + 2 * s);
+    while (!sv.pending.empty()) {
+        const Addr buf = controller->first(list);
+        hsipc_assert(buf == sv.pending.front().buf);
+        freeBuffer(buf);
+        sv.pending.pop_front();
+    }
+    sv.alive = false;
+    sv.waiting.clear();
+    // Forget any offers pointing at it.
+    for (auto &tp : tasks) {
+        if (!tp)
+            continue;
+        auto &o = tp->offers;
+        o.erase(std::remove(o.begin(), o.end(), s), o.end());
+    }
+    return K925Status::Ok;
+}
+
+K925Status
+Kernel::offer(TaskId server, ServiceId s)
+{
+    hsipc_assert(!inHandler);
+    if (s < 0 || static_cast<std::size_t>(s) >= services.size() ||
+        !services[static_cast<std::size_t>(s)]->alive)
+        return K925Status::NoSuchService;
+    Task &tk = task(server);
+    if (std::find(tk.offers.begin(), tk.offers.end(), s) ==
+        tk.offers.end())
+        tk.offers.push_back(s);
+    return K925Status::Ok;
+}
+
+Addr
+Kernel::allocBuffer()
+{
+    return controller->first(bufferFreeList);
+}
+
+void
+Kernel::freeBuffer(Addr buf)
+{
+    controller->enqueue(bufferFreeList, buf);
+    retryBlockedSenders();
+}
+
+void
+Kernel::storeMessage(Addr buf, const Message &m)
+{
+    for (int i = 0; i < messageBytes; ++i)
+        mem.write8(static_cast<Addr>(buf + 2 + i),
+                   m.data[static_cast<std::size_t>(i)]);
+}
+
+Message
+Kernel::loadMessage(Addr buf) const
+{
+    Message m;
+    for (int i = 0; i < messageBytes; ++i)
+        m.data[static_cast<std::size_t>(i)] =
+            mem.read8(static_cast<Addr>(buf + 2 + i));
+    return m;
+}
+
+K925Status
+Kernel::sendNoWait(TaskId client, ServiceId s, const Message &m,
+                   bool blocking)
+{
+    if (inHandler)
+        return K925Status::HandlerRestriction;
+    return doSend(client, s, m, false, nullptr, blocking);
+}
+
+K925Status
+Kernel::sendRemoteInvocation(TaskId client, ServiceId s,
+                             const Message &m, ReplyFn onReply,
+                             bool blocking)
+{
+    if (inHandler)
+        return K925Status::HandlerRestriction;
+    hsipc_assert(onReply);
+    return doSend(client, s, m, true, std::move(onReply), blocking);
+}
+
+K925Status
+Kernel::doSend(TaskId client, ServiceId s, const Message &m,
+               bool expects_reply, ReplyFn on_reply, bool blocking)
+{
+    if (s < 0 || static_cast<std::size_t>(s) >= services.size() ||
+        !services[static_cast<std::size_t>(s)]->alive)
+        return K925Status::NoSuchService;
+    Task &tk = task(client);
+    hsipc_assert(tk.state == TaskState::Computing);
+
+    const Addr buf = allocBuffer();
+    if (buf == bus::nullAddr) {
+        if (!blocking)
+            return K925Status::WouldBlock;
+        // Block the sender until a buffer frees up (§3.2.3).
+        auto bs = std::make_unique<Task::BlockedSend>();
+        bs->service = s;
+        bs->msg = m;
+        bs->expectsReply = expects_reply;
+        bs->onReply = std::move(on_reply);
+        tk.blockedSend = std::move(bs);
+        enterState(client, TaskState::Stopped);
+        return K925Status::Ok;
+    }
+
+    // Kernel-buffer the message: payload into shared memory, buffer
+    // onto the service queue.
+    storeMessage(buf, m);
+    const Addr list = static_cast<Addr>(serviceListBase + 2 * s);
+    controller->enqueue(list, buf);
+
+    const std::uint64_t seq = nextSeq++;
+    Service &sv = service(s);
+    PendingDelivery pd{buf, client, seq, expects_reply};
+    pd.expectsReply = expects_reply;
+    sv.pending.push_back(pd);
+
+    if (expects_reply) {
+        Rendezvous rz;
+        rz.client = client;
+        rz.onReply = std::move(on_reply);
+        rz.hasRef = m.hasRef;
+        rz.rights = m.ref;
+        rendezvous[seq] = std::move(rz);
+        enterState(client, TaskState::Stopped);
+    }
+    tryDeliver(s);
+    return K925Status::Ok;
+}
+
+void
+Kernel::tryDeliver(ServiceId s)
+{
+    Service &sv = service(s);
+    while (!sv.pending.empty() && !sv.waiting.empty()) {
+        // Deliver to the first server (ordered by time) waiting on
+        // this service.
+        const TaskId server = sv.waiting.front();
+        sv.waiting.pop_front();
+        Task &srv = task(server);
+        hsipc_assert(srv.pendingReceive);
+        // A server waits on every service it offered; withdraw its
+        // other wait-queue entries before delivering.
+        for (auto &sp : services) {
+            if (!sp || !sp->alive)
+                continue;
+            auto &w = sp->waiting;
+            w.erase(std::remove(w.begin(), w.end(), server), w.end());
+        }
+
+        const Addr list = static_cast<Addr>(serviceListBase + 2 * s);
+        const Addr buf = controller->first(list);
+        const PendingDelivery pd = sv.pending.front();
+        hsipc_assert(buf == pd.buf);
+        sv.pending.pop_front();
+
+        Envelope env;
+        env.service = s;
+        env.sender = pd.sender;
+        env.seq = pd.seq;
+        env.expectsReply = pd.expectsReply;
+        env.msg = loadMessage(buf);
+        if (pd.expectsReply) {
+            const auto &rz = rendezvous.at(pd.seq);
+            env.msg.hasRef = rz.hasRef;
+            env.msg.ref = rz.rights;
+        }
+        freeBuffer(buf);
+
+        ReceiveFn fn = std::move(srv.pendingReceive);
+        srv.pendingReceive = nullptr;
+        enterState(server, TaskState::Computing);
+        fn(env);
+    }
+}
+
+void
+Kernel::retryBlockedSenders()
+{
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+        Task *tk = tasks[t].get();
+        if (!tk || !tk->blockedSend)
+            continue;
+        if (controller->read(bufferFreeList) == bus::nullAddr)
+            return; // still no buffers
+        auto bs = std::move(tk->blockedSend);
+        tk->blockedSend.reset();
+        enterState(static_cast<TaskId>(t), TaskState::Computing);
+        const K925Status st =
+            doSend(static_cast<TaskId>(t), bs->service, bs->msg,
+                   bs->expectsReply, std::move(bs->onReply), true);
+        hsipc_assert(st == K925Status::Ok);
+    }
+}
+
+K925Status
+Kernel::receive(TaskId server, ReceiveFn onMessage)
+{
+    if (inHandler)
+        return K925Status::HandlerRestriction;
+    hsipc_assert(onMessage);
+    Task &tk = task(server);
+    if (tk.offers.empty())
+        return K925Status::NotOffered;
+
+    // FCFS across everything this server has offered: pick the
+    // pending message with the lowest global sequence number.
+    ServiceId best = -1;
+    std::uint64_t best_seq = 0;
+    for (ServiceId s : tk.offers) {
+        const Service &sv = serviceRef(s);
+        if (!sv.alive || sv.pending.empty())
+            continue;
+        if (best < 0 || sv.pending.front().seq < best_seq) {
+            best = s;
+            best_seq = sv.pending.front().seq;
+        }
+    }
+
+    hsipc_assert(!tk.pendingReceive);
+    tk.pendingReceive = std::move(onMessage);
+    enterState(server, TaskState::Stopped);
+    if (best >= 0) {
+        Service &sv = service(best);
+        sv.waiting.push_front(server); // deliver to this call now
+        tryDeliver(best);
+    } else {
+        for (ServiceId s : tk.offers)
+            service(s).waiting.push_back(server);
+    }
+    return K925Status::Ok;
+}
+
+bool
+Kernel::inquire(TaskId server) const
+{
+    const Task &tk = task(server);
+    for (ServiceId s : tk.offers) {
+        if (serviceRef(s).alive && !serviceRef(s).pending.empty())
+            return true;
+    }
+    return false;
+}
+
+K925Status
+Kernel::reply(TaskId server, const Envelope &env, const Message &response)
+{
+    if (inHandler)
+        return K925Status::HandlerRestriction;
+    (void)server;
+    auto &table = rendezvous;
+    auto it = table.find(env.seq);
+    if (it == table.end() || !env.expectsReply)
+        return K925Status::BadEnvelope;
+
+    Rendezvous rz = std::move(it->second);
+    table.erase(it); // rights to the memory reference are revoked
+    if (task(rz.client).state != TaskState::Dead) {
+        enterState(rz.client, TaskState::Computing);
+        if (rz.onReply)
+            rz.onReply(response);
+    }
+    return K925Status::Ok;
+}
+
+K925Status
+Kernel::moveFromUser(TaskId server, const Envelope &env,
+                     std::uint16_t at, std::uint8_t *out,
+                     std::uint16_t len)
+{
+    (void)server;
+    auto &table = rendezvous;
+    auto it = table.find(env.seq);
+    if (it == table.end())
+        return K925Status::BadEnvelope;
+    const Rendezvous &rz = it->second;
+    if (!rz.hasRef || !rz.rights.read ||
+        at + len > rz.rights.size)
+        return K925Status::AccessDenied;
+    auto &um = task(rz.client).userMem;
+    hsipc_assert(rz.rights.offset + rz.rights.size <= um.size());
+    for (std::uint16_t i = 0; i < len; ++i)
+        out[i] = um[static_cast<std::size_t>(rz.rights.offset + at + i)];
+    return K925Status::Ok;
+}
+
+K925Status
+Kernel::moveToUser(TaskId server, const Envelope &env, std::uint16_t at,
+                   const std::uint8_t *in, std::uint16_t len)
+{
+    (void)server;
+    auto &table = rendezvous;
+    auto it = table.find(env.seq);
+    if (it == table.end())
+        return K925Status::BadEnvelope;
+    const Rendezvous &rz = it->second;
+    if (!rz.hasRef || !rz.rights.write ||
+        at + len > rz.rights.size)
+        return K925Status::AccessDenied;
+    auto &um = task(rz.client).userMem;
+    hsipc_assert(rz.rights.offset + rz.rights.size <= um.size());
+    for (std::uint16_t i = 0; i < len; ++i)
+        um[static_cast<std::size_t>(rz.rights.offset + at + i)] = in[i];
+    return K925Status::Ok;
+}
+
+void
+Kernel::installHandler(TaskId driver, int irq, HandlerFn handler)
+{
+    hsipc_assert(handler);
+    task(driver).handlers[irq] = std::move(handler);
+}
+
+K925Status
+Kernel::raiseInterrupt(int irq)
+{
+    for (auto &tp : tasks) {
+        if (!tp || tp->state == TaskState::Dead)
+            continue;
+        auto it = tp->handlers.find(irq);
+        if (it != tp->handlers.end()) {
+            // The handler executes in the context of the installing
+            // task and may only call activate (§4.2.2).
+            inHandler = true;
+            it->second();
+            inHandler = false;
+            return K925Status::Ok;
+        }
+    }
+    return K925Status::NoSuchService;
+}
+
+K925Status
+Kernel::activate(ServiceId interruptService, const Message &m)
+{
+    if (!inHandler)
+        return K925Status::NotInHandler;
+    if (interruptService < 0 ||
+        static_cast<std::size_t>(interruptService) >= services.size() ||
+        !services[static_cast<std::size_t>(interruptService)]->alive)
+        return K925Status::NoSuchService;
+    // Activate is a kernel-internal no-wait send on behalf of the
+    // device; it must not block inside a handler.
+    const Addr buf = allocBuffer();
+    if (buf == bus::nullAddr)
+        return K925Status::NoBuffers;
+    storeMessage(buf, m);
+    const Addr list =
+        static_cast<Addr>(serviceListBase + 2 * interruptService);
+    controller->enqueue(list, buf);
+    Service &sv = service(interruptService);
+    sv.pending.push_back(PendingDelivery{
+        buf, service(interruptService).creator, nextSeq++, false});
+    // Delivery happens after the handler returns; but with the eager
+    // functional semantics it is safe to match immediately.
+    inHandler = false;
+    tryDeliver(interruptService);
+    inHandler = true;
+    return K925Status::Ok;
+}
+
+int
+Kernel::freeBufferCount() const
+{
+    return static_cast<int>(
+        bus::QueueOps::toVector(mem, bufferFreeList).size());
+}
+
+int
+Kernel::pendingMessages(ServiceId s) const
+{
+    return static_cast<int>(serviceRef(s).pending.size());
+}
+
+std::vector<TaskId>
+Kernel::computationList() const
+{
+    std::vector<TaskId> out;
+    for (Addr a : bus::QueueOps::toVector(mem, computationListHead))
+        out.push_back(taskOfTcb(a));
+    return out;
+}
+
+std::vector<TaskId>
+Kernel::communicationList() const
+{
+    std::vector<TaskId> out;
+    for (Addr a : bus::QueueOps::toVector(mem, communicationListHead))
+        out.push_back(taskOfTcb(a));
+    return out;
+}
+
+} // namespace hsipc::k925

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * A functional (semantics-level) implementation of the 925 IPC kernel
+ * of chapter 4 — the system the thesis used as its test-bed.
+ *
+ * What it implements (§§3.2, 4.2):
+ *  - tasks with the three §4.4 states (computing / communicating /
+ *    stopped) and dynamic creation/kill;
+ *  - services as queueing points; servers advertise with offer() and
+ *    collect messages with blocking receive() or non-blocking
+ *    inquire();
+ *  - fixed-size 40-byte messages, kernel-buffered; senders block (or
+ *    fail, for non-blocking sends) when the buffer pool is empty;
+ *  - no-wait send and remote-invocation send, the latter completing
+ *    with a reply() from the server;
+ *  - memory-reference messages: a message may enclose a pointer into
+ *    the sender's address space with read/write access rights, which
+ *    the receiver exercises via moveFromUser()/moveToUser()
+ *    until it replies;
+ *  - device interrupts mapped onto IPC (§4.2.2): a driver task
+ *    installs a handler and offers an "interrupt service"; the
+ *    handler may call only activate(), which sends to that service.
+ *
+ * Fidelity to chapter 5: the task control blocks and kernel buffers
+ * live in a real bus::SimMemory, linked into singly-linked circular
+ * free/work lists manipulated *only* through the §5.1 queue
+ * primitives, via a pluggable bus::MemoryController — so the whole
+ * kernel can run its queue operations through the appendix-A
+ * microcoded smart-memory controller.
+ *
+ * This module captures the kernel's *semantics*; timing and
+ * contention are the business of src/sim and src/core.
+ */
+
+#ifndef HSIPC_K925_KERNEL_HH
+#define HSIPC_K925_KERNEL_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/memory.hh"
+#include "bus/smart_bus.hh"
+
+namespace hsipc::k925
+{
+
+using bus::Addr;
+
+using TaskId = int;
+using ServiceId = int;
+
+/** Fixed message size of the 925 (§4.2.1). */
+constexpr int messageBytes = 40;
+
+/** Access rights enclosed with a memory reference (§4.2.1). */
+struct MemoryRef
+{
+    std::uint16_t offset = 0; //!< into the sender's address space
+    std::uint16_t size = 0;
+    bool read = false;
+    bool write = false;
+};
+
+/** A fixed-size message, optionally enclosing a memory reference. */
+struct Message
+{
+    std::array<std::uint8_t, messageBytes> data{};
+    bool hasRef = false;
+    MemoryRef ref;
+};
+
+/** A message as delivered to a server; the key for reply(). */
+struct Envelope
+{
+    ServiceId service = -1;
+    TaskId sender = -1;
+    std::uint64_t seq = 0;  //!< delivery order across the kernel
+    bool expectsReply = false;
+    Message msg;
+};
+
+/** The §4.4 task states. */
+enum class TaskState
+{
+    Computing,     //!< runnable or running on the host
+    Communicating, //!< owned by the message coprocessor
+    Stopped,       //!< waiting for a message or a reply
+    Dead,
+};
+
+/** Kernel-call status codes. */
+enum class K925Status
+{
+    Ok,
+    WouldBlock,     //!< non-blocking call could not proceed
+    NoSuchService,
+    NotOffered,     //!< receive/inquire without any offer
+    AccessDenied,   //!< memory move outside the granted rights
+    BadEnvelope,    //!< reply to an unknown or completed envelope
+    NoBuffers,
+    InHandlerOnly,  //!< activate outside an interrupt handler
+    NotInHandler = InHandlerOnly,
+    HandlerRestriction, //!< non-activate call from a handler
+};
+
+/** The message-based kernel. */
+class Kernel
+{
+  public:
+    struct Config
+    {
+        int maxTasks = 16;
+        int kernelBuffers = 8;
+        int maxServices = 16;
+        int userMemoryBytes = 1024; //!< per-task address space
+    };
+
+    Kernel() : Kernel(Config()) {}
+    explicit Kernel(Config cfg);
+    ~Kernel(); //!< out of line: Task/Service are incomplete here
+
+    /**
+     * Route every queue manipulation through @p ctrl (e.g. the
+     * microcoded controller bound to sharedMemory()).
+     */
+    void setController(bus::MemoryController &ctrl) { controller = &ctrl; }
+
+    /** The shared memory holding TCBs and kernel buffers. */
+    bus::SimMemory &sharedMemory() { return mem; }
+
+    // --- Tasks -------------------------------------------------------
+
+    TaskId createTask(std::string name);
+    void killTask(TaskId victim);
+    TaskState taskState(TaskId t) const;
+    const std::string &taskName(TaskId t) const;
+
+    /** The task's simulated user address space. */
+    std::vector<std::uint8_t> &userMemory(TaskId t);
+
+    // --- Services ----------------------------------------------------
+
+    ServiceId createService(TaskId creator);
+    K925Status destroyService(ServiceId s);
+
+    /** Advertise intent to receive on @p s (§4.2.1's offer). */
+    K925Status offer(TaskId server, ServiceId s);
+
+    // --- Send --------------------------------------------------------
+
+    /** Callback invoked when a remote invocation's reply arrives. */
+    using ReplyFn = std::function<void(const Message &reply)>;
+
+    /** Fire-and-forget datagram (no-wait send). */
+    K925Status sendNoWait(TaskId client, ServiceId s, const Message &m,
+                          bool blocking = true);
+
+    /**
+     * Remote-invocation send: the reply is delivered through
+     * @p onReply.  When @p blocking, the client stops until then;
+     * otherwise the send fails with WouldBlock if no buffer is free.
+     */
+    K925Status sendRemoteInvocation(TaskId client, ServiceId s,
+                                    const Message &m, ReplyFn onReply,
+                                    bool blocking = true);
+
+    // --- Receive -----------------------------------------------------
+
+    using ReceiveFn = std::function<void(const Envelope &)>;
+
+    /**
+     * Blocking receive on every service the server has offered;
+     * delivery is FCFS by message arrival time.
+     */
+    K925Status receive(TaskId server, ReceiveFn onMessage);
+
+    /** Non-blocking poll: is a message waiting (§4.2.1's inquire)? */
+    bool inquire(TaskId server) const;
+
+    /** Complete a rendezvous; revokes any memory-reference rights. */
+    K925Status reply(TaskId server, const Envelope &env,
+                     const Message &response);
+
+    // --- Memory-reference data movement ------------------------------
+
+    /**
+     * Read @p len bytes of the referenced client segment at @p at
+     * into @p out (the 925's "memory move", inbound direction).
+     */
+    K925Status moveFromUser(TaskId server, const Envelope &env,
+                            std::uint16_t at, std::uint8_t *out,
+                            std::uint16_t len);
+
+    /**
+     * Write @p len bytes from @p in into the referenced client
+     * segment at @p at (outbound memory move).
+     */
+    K925Status moveToUser(TaskId server, const Envelope &env,
+                          std::uint16_t at, const std::uint8_t *in,
+                          std::uint16_t len);
+
+    // --- Interrupts (§4.2.2) ------------------------------------------
+
+    using HandlerFn = std::function<void()>;
+
+    /** Install @p handler for @p irq, owned by @p driver. */
+    void installHandler(TaskId driver, int irq, HandlerFn handler);
+
+    /** Raise @p irq: the installed handler runs immediately. */
+    K925Status raiseInterrupt(int irq);
+
+    /**
+     * Send @p m to @p interruptService — the only call permitted from
+     * inside a handler.
+     */
+    K925Status activate(ServiceId interruptService, const Message &m);
+
+    // --- Introspection -------------------------------------------------
+
+    int freeBufferCount() const;
+    int pendingMessages(ServiceId s) const;
+    std::vector<TaskId> computationList() const;
+    std::vector<TaskId> communicationList() const;
+
+  private:
+    struct Task;
+    struct Service;
+    struct PendingDelivery;
+
+    /** An in-progress remote invocation, keyed by delivery seq. */
+    struct Rendezvous
+    {
+        TaskId client = -1;
+        ReplyFn onReply;
+        bool hasRef = false;
+        MemoryRef rights;
+    };
+
+    Addr tcbAddr(TaskId t) const;
+    TaskId taskOfTcb(Addr a) const;
+    Task &task(TaskId t);
+    const Task &task(TaskId t) const;
+    Service &service(ServiceId s);
+    const Service &serviceRef(ServiceId s) const;
+
+    Addr allocBuffer();
+    void freeBuffer(Addr buf);
+    void storeMessage(Addr buf, const Message &m);
+    Message loadMessage(Addr buf) const;
+
+    K925Status doSend(TaskId client, ServiceId s, const Message &m,
+                      bool expects_reply, ReplyFn on_reply,
+                      bool blocking);
+    void tryDeliver(ServiceId s);
+    void retryBlockedSenders();
+    void enterState(TaskId t, TaskState st);
+
+    Config config;
+    bus::SimMemory mem;
+    bus::DirectController direct;
+    bus::MemoryController *controller;
+
+    std::vector<std::unique_ptr<Task>> tasks;
+    std::vector<std::unique_ptr<Service>> services;
+    std::map<std::uint64_t, Rendezvous> rendezvous;
+    std::uint64_t nextSeq = 1;
+    bool inHandler = false;
+};
+
+} // namespace hsipc::k925
+
+#endif // HSIPC_K925_KERNEL_HH

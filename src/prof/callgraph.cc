@@ -1,0 +1,93 @@
+#include "prof/callgraph.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hsipc::prof
+{
+
+void
+CallGraphProfiler::enter(const std::string &procedure)
+{
+    stack.push_back(Frame{procedure, clock.now(), 0});
+    Node &n = nodeStats[procedure];
+    ++n.calls;
+    ++n.recursionDepth;
+
+    const std::string caller =
+        stack.size() > 1 ? stack[stack.size() - 2].procedure
+                         : "<spontaneous>";
+    ++edgeStats[{caller, procedure}].calls;
+}
+
+void
+CallGraphProfiler::exit(const std::string &procedure)
+{
+    hsipc_assert(!stack.empty());
+    hsipc_assert(stack.back().procedure == procedure);
+    const Frame frame = stack.back();
+    stack.pop_back();
+
+    const Tick elapsed = clock.now() - frame.enteredAt;
+    hsipc_assert(elapsed >= frame.childTicks);
+
+    Node &n = nodeStats[procedure];
+    n.selfTicks += elapsed - frame.childTicks;
+    --n.recursionDepth;
+    // Total (inclusive) time counts a recursive frame only once.
+    if (n.recursionDepth == 0)
+        n.totalTicks += elapsed;
+
+    const std::string caller =
+        stack.empty() ? "<spontaneous>" : stack.back().procedure;
+    edgeStats[{caller, procedure}].childTicks += elapsed;
+
+    if (!stack.empty())
+        stack.back().childTicks += elapsed;
+}
+
+std::vector<CallGraphProfiler::NodeReport>
+CallGraphProfiler::nodes() const
+{
+    std::vector<NodeReport> out;
+    for (const auto &[name, n] : nodeStats) {
+        NodeReport r;
+        r.procedure = name;
+        r.calls = n.calls;
+        r.selfUs = ticksToUs(n.selfTicks);
+        r.totalUs = ticksToUs(n.totalTicks);
+        out.push_back(std::move(r));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const NodeReport &a, const NodeReport &b) {
+                  return a.selfUs > b.selfUs;
+              });
+    return out;
+}
+
+std::vector<CallGraphProfiler::EdgeReport>
+CallGraphProfiler::edges() const
+{
+    std::vector<EdgeReport> out;
+    for (const auto &[key, e] : edgeStats) {
+        EdgeReport r;
+        r.caller = key.first;
+        r.callee = key.second;
+        r.calls = e.calls;
+        r.childTotalUs = ticksToUs(e.childTicks);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+double
+CallGraphProfiler::totalSelfUs() const
+{
+    double total = 0;
+    for (const auto &[name, n] : nodeStats)
+        total += ticksToUs(n.selfTicks);
+    return total;
+}
+
+} // namespace hsipc::prof

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A gprof-style call-graph profiler over the simulated clock.
+ *
+ * The thesis used gprof on an instrumented kernel for the §3.5
+ * "computation" measurements (Table 3.6).  This profiler adds what
+ * the flat §3.3 statistics array cannot express: the caller→callee
+ * edges, per-procedure *self* time (excluding children) versus
+ * *total* time (inclusive), and call counts per edge.
+ */
+
+#ifndef HSIPC_PROF_CALLGRAPH_HH
+#define HSIPC_PROF_CALLGRAPH_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "prof/profiler.hh"
+
+namespace hsipc::prof
+{
+
+/** Hierarchical profiler with self/total attribution. */
+class CallGraphProfiler
+{
+  public:
+    explicit CallGraphProfiler(const SimClock &clock) : clock(clock) {}
+
+    /** Enter a procedure (pushes onto the simulated call stack). */
+    void enter(const std::string &procedure);
+
+    /** Exit the procedure on top of the stack (must match). */
+    void exit(const std::string &procedure);
+
+    /** Current call-stack depth. */
+    int depth() const { return static_cast<int>(stack.size()); }
+
+    struct NodeReport
+    {
+        std::string procedure;
+        long calls = 0;
+        double selfUs = 0;  //!< time excluding callees
+        double totalUs = 0; //!< time including callees
+    };
+
+    struct EdgeReport
+    {
+        std::string caller; //!< "<spontaneous>" for top level
+        std::string callee;
+        long calls = 0;
+        double childTotalUs = 0; //!< callee total attributed here
+    };
+
+    /** Flat profile, ordered by decreasing self time. */
+    std::vector<NodeReport> nodes() const;
+
+    /** Call-graph edges, ordered by caller then callee. */
+    std::vector<EdgeReport> edges() const;
+
+    /** Sum of self times (== total simulated time inside enters). */
+    double totalSelfUs() const;
+
+  private:
+    struct Frame
+    {
+        std::string procedure;
+        Tick enteredAt;
+        Tick childTicks = 0; //!< accumulated callee time
+    };
+
+    struct Node
+    {
+        long calls = 0;
+        Tick selfTicks = 0;
+        Tick totalTicks = 0;
+        int recursionDepth = 0;
+    };
+
+    struct Edge
+    {
+        long calls = 0;
+        Tick childTicks = 0;
+    };
+
+    const SimClock &clock;
+    std::vector<Frame> stack;
+    std::map<std::string, Node> nodeStats;
+    std::map<std::pair<std::string, std::string>, Edge> edgeStats;
+};
+
+} // namespace hsipc::prof
+
+#endif // HSIPC_PROF_CALLGRAPH_HH

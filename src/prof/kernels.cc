@@ -1,0 +1,286 @@
+#include "prof/kernels.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace hsipc::prof
+{
+
+namespace
+{
+
+const MachineModel vax750{"VAX 11/750", 0.5};
+const MachineModel m68k{"Motorola 68000", 0.3};
+const MachineModel microvax{"MicroVAX II", 0.8};
+
+} // namespace
+
+KernelSpec
+charlotteSpec()
+{
+    // Targets from Table 3.1 (20 ms round trip, percentages of it):
+    // switching 2 ms, entering/exiting 2.8 ms, protocol 10 ms, link
+    // translation + request selection 4.6 ms, copy 0.6 ms.  At 0.5
+    // MIPS one instruction is 2 us.
+    KernelSpec k;
+    k.system = "Charlotte";
+    k.machine = vax750;
+    k.messageBytes = 1000;
+    // No kernel buffering in Charlotte: one copy per direction.
+    k.copiesPerRoundTrip = 2;
+    k.usPerByteCopy = 0.3;
+    k.procedures = {
+        // The kernel is a collection of Modula processes; switching
+        // between them costs ~2 ms per round trip.
+        {"ModulaProcessSwitch", "Kernel-Process Switching Time", 100,
+         10},
+        {"KernelEntryExit", "Entering and Exiting Kernel", 350, 4},
+        // The two-way link protocol finite-state machine (one send
+        // FSM and one receive FSM execution per direction).
+        {"LinkFsmSend", "Protocol Processing for Sender and Receiver",
+         1250, 2},
+        {"LinkFsmReceive", "Protocol Processing for Sender and Receiver",
+         1250, 2},
+        {"LinkTranslation", "Link Translation and Request Selection",
+         575, 2},
+        {"RequestSelection", "Link Translation and Request Selection",
+         575, 2},
+    };
+    return k;
+}
+
+KernelSpec
+jasminSpec()
+{
+    // Table 3.2: 0.72 ms round trip on a 0.3 MIPS M68000, 32-byte
+    // messages copied four times (kernel buffering both ways).
+    KernelSpec k;
+    k.system = "Jasmin";
+    k.machine = m68k;
+    k.messageBytes = 32;
+    k.copiesPerRoundTrip = 4;
+    k.usPerByteCopy = 0.84375;
+    k.procedures = {
+        {"EventDispatch",
+         "Actions Leading to Short-Term Scheduling Decisions", 22, 2},
+        {"PathQueueWakeup",
+         "Actions Leading to Short-Term Scheduling Decisions", 21, 2},
+        {"BufferAllocRelease", "Buffer Management", 11, 2},
+        {"PathValidation", "Path Management", 22, 2},
+        {"CommTaskPoll",
+         "Miscellaneous (Checking Network Channels, etc.)", 16, 2},
+    };
+    return k;
+}
+
+KernelSpec
+spec925()
+{
+    // Table 3.3: 5.6 ms round trip, 40-byte messages copied four
+    // times at ~5.25 us/byte (220 us per 40-byte copy, chapter 4).
+    KernelSpec k;
+    k.system = "925";
+    k.machine = m68k;
+    k.messageBytes = 40;
+    k.copiesPerRoundTrip = 4;
+    k.usPerByteCopy = 5.25;
+    k.procedures = {
+        {"EventProcessing",
+         "Short-Term Scheduling (Including event processing)", 147, 2},
+        {"Dispatch",
+         "Short-Term Scheduling (Including event processing)", 147, 2},
+        {"KernelEntryExit", "Entering and Exiting Kernel", 42, 4},
+        {"ValidityCheck",
+         "Checking, Addressing, and Control Block Manipulation", 112,
+         2},
+        {"ControlBlockOps",
+         "Checking, Addressing, and Control Block Manipulation", 112,
+         4},
+    };
+    return k;
+}
+
+KernelSpec
+unixLocalSpec()
+{
+    // Table 3.4: 4.57 ms round trip on a 0.8 MIPS MicroVAX II,
+    // 128-byte messages copied four times through socket buffers.
+    KernelSpec k;
+    k.system = "Unix (local)";
+    k.machine = microvax;
+    k.messageBytes = 128;
+    k.copiesPerRoundTrip = 4;
+    k.usPerByteCopy = 1.71875;
+    k.procedures = {
+        {"SocketValidate",
+         "Validity Checking and Control Block Manipulation", 488, 2},
+        {"ControlBlockOps",
+         "Validity Checking and Control Block Manipulation", 488, 2},
+        {"Scheduler", "Short-Term Scheduling", 312, 2},
+        {"MbufAllocFree", "Buffer Management", 92, 4},
+    };
+    return k;
+}
+
+KernelSpec
+unixNonlocalSpec()
+{
+    // Table 3.5: 6.8 ms round trip; TCP/IP with checksums and device
+    // interrupts.
+    KernelSpec k;
+    k.system = "Unix (non-local)";
+    k.machine = microvax;
+    k.messageBytes = 128;
+    k.copiesPerRoundTrip = 4;
+    k.usPerByteCopy = 0.9765625;
+    k.procedures = {
+        {"SocketRoutines", "Socket Routines", 408, 2},
+        {"Checksum", "Checksum Calculation", 240, 2},
+        {"Scheduler", "Short-Term Scheduling", 160, 2},
+        {"MbufAllocFree", "Buffer Management", 60, 4},
+        {"TcpInputOutput", "TCP processing", 520, 2},
+        {"IpInputOutput", "IP processing", 320, 4},
+        {"DeviceInterrupt", "Interrupt Processing", 220, 4},
+    };
+    return k;
+}
+
+ProfileResult
+runKernelProfile(const KernelSpec &spec, int roundTrips)
+{
+    hsipc_assert(roundTrips > 0);
+
+    SimClock clock;
+    HardwareTimer timer(clock);
+    ProcedureProfiler profiler(timer);
+    MessagePathProfiler path(clock);
+
+    const double copy_us =
+        spec.usPerByteCopy * static_cast<double>(spec.messageBytes);
+
+    for (int rt = 0; rt < roundTrips; ++rt) {
+        // One null-RPC round trip: "send; wait" against "receive;
+        // reply".  The procedure list is executed in specification
+        // order; copies are interleaved so the message-path profiler
+        // sees queue/copy/deliver stamps.
+        path.begin(rt);
+        path.stamp(rt, "send-posted");
+        for (const ProcedureSpec &p : spec.procedures) {
+            for (int c = 0; c < p.callsPerRoundTrip; ++c) {
+                profiler.enter(p.name);
+                clock.advance(usToTicks(
+                    spec.machine.instrUs(
+                        static_cast<double>(p.instructions))));
+                profiler.exit(p.name);
+            }
+        }
+        path.stamp(rt, "kernel-processed");
+        for (int c = 0; c < spec.copiesPerRoundTrip; ++c) {
+            profiler.enter("CopyMessage");
+            clock.advance(usToTicks(copy_us));
+            profiler.exit("CopyMessage");
+        }
+        path.stamp(rt, "delivered");
+    }
+
+    ProfileResult res;
+    res.system = spec.system;
+    res.procedures = profiler.report();
+
+    // Aggregate procedure times into activity rows.
+    std::map<std::string, double> activity_us;
+    std::vector<std::string> order;
+    for (const ProcedureSpec &p : spec.procedures) {
+        if (!activity_us.count(p.activity))
+            order.push_back(p.activity);
+        activity_us[p.activity] = 0;
+    }
+    if (!activity_us.count(spec.copyActivity))
+        order.push_back(spec.copyActivity);
+    activity_us[spec.copyActivity] = 0;
+
+    for (const auto &r : res.procedures) {
+        if (r.procedure == "CopyMessage") {
+            activity_us[spec.copyActivity] += r.totalUs;
+            continue;
+        }
+        for (const ProcedureSpec &p : spec.procedures) {
+            if (p.name == r.procedure) {
+                activity_us[p.activity] += r.totalUs;
+                break;
+            }
+        }
+    }
+
+    double total_us = 0;
+    for (const auto &[name, us] : activity_us)
+        total_us += us;
+    res.roundTripMs = total_us / roundTrips / 1000.0;
+    res.copyTimeMs =
+        activity_us[spec.copyActivity] / roundTrips / 1000.0;
+    for (const std::string &name : order) {
+        ActivityRow row;
+        row.activity = name;
+        row.timeMs = activity_us[name] / roundTrips / 1000.0;
+        row.percent = 100.0 * activity_us[name] / total_us;
+        res.rows.push_back(std::move(row));
+    }
+    return res;
+}
+
+double
+fixedOverheadUs(const KernelSpec &spec)
+{
+    double us = 0;
+    for (const ProcedureSpec &p : spec.procedures) {
+        us += spec.machine.instrUs(static_cast<double>(
+                  p.instructions)) *
+              p.callsPerRoundTrip;
+    }
+    return us;
+}
+
+const std::vector<ServiceSpec> &
+unixServices()
+{
+    // Table 3.6 targets at 0.8 MIPS.
+    static const std::vector<ServiceSpec> services = {
+        {"Open File", 3480},
+        {"Close File", 288},
+        {"Make Directory", 14968},
+        {"Remove Directory", 11424},
+        {"Timer Service (Sleep)", 2762},
+        {"GetTimeofDay", 160},
+    };
+    return services;
+}
+
+double
+serviceTimeMs(const ServiceSpec &svc)
+{
+    return microvax.instrUs(static_cast<double>(svc.instructions)) /
+           1000.0;
+}
+
+FileServerModel
+unixReadModel()
+{
+    return FileServerModel{880.0, 65.0, 0.52};
+}
+
+FileServerModel
+unixWriteModel()
+{
+    return FileServerModel{1280.0, 80.0, 1.1};
+}
+
+const std::vector<int> &
+unixRwBlockSizes()
+{
+    static const std::vector<int> sizes = {128, 256, 512, 1024,
+                                           2048, 3072, 4096};
+    return sizes;
+}
+
+} // namespace hsipc::prof

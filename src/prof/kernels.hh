@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Synthetic kernels reproducing the chapter-3 profiling studies.
+ *
+ * The thesis profiled four real systems (Charlotte, Jasmin, 925 and
+ * 4.2bsd Unix) on their original hardware.  Those kernels and machines
+ * are not available, so each system is modeled as a *synthetic kernel*:
+ * an ordered set of kernel procedures with per-call instruction counts
+ * (calibrated to the thesis' measured activity times and machine MIPS
+ * ratings) plus a message-copy cost proportional to message size.  A
+ * "kernel run" executes the §3.3 producer/consumer null-RPC loop
+ * through the instrumented profiler, and the activity breakdown tables
+ * (3.1-3.5) fall out of the measurements.
+ *
+ * Unix "computation" services (Tables 3.6/3.7) are modeled the same
+ * way: instruction budgets for each service, and a file-server cost
+ * model (fixed + per-block + per-byte) for read/write.
+ */
+
+#ifndef HSIPC_PROF_KERNELS_HH
+#define HSIPC_PROF_KERNELS_HH
+
+#include <string>
+#include <vector>
+
+#include "prof/profiler.hh"
+
+namespace hsipc::prof
+{
+
+/** A 1980s processor model. */
+struct MachineModel
+{
+    std::string name;
+    double mips; //!< instruction rate, millions per second
+
+    /** Time to execute @p instructions, microseconds. */
+    double
+    instrUs(double instructions) const
+    {
+        return instructions / mips;
+    }
+};
+
+/** One instrumented kernel procedure. */
+struct ProcedureSpec
+{
+    std::string name;
+    std::string activity; //!< the table row this procedure belongs to
+    long instructions;    //!< per call
+    int callsPerRoundTrip;
+};
+
+/** A synthetic message-passing kernel. */
+struct KernelSpec
+{
+    std::string system;
+    MachineModel machine;
+    int messageBytes;
+    double usPerByteCopy;
+    int copiesPerRoundTrip;
+    std::string copyActivity = "Copy Time";
+    std::vector<ProcedureSpec> procedures;
+};
+
+KernelSpec charlotteSpec();    //!< Table 3.1 (VAX 11/750, 1000 B)
+KernelSpec jasminSpec();       //!< Table 3.2 (M68000, 32 B)
+KernelSpec spec925();          //!< Table 3.3 (M68000, 40 B)
+KernelSpec unixLocalSpec();    //!< Table 3.4 (MicroVAX II, 128 B)
+KernelSpec unixNonlocalSpec(); //!< Table 3.5 (MicroVAX II, 128 B)
+
+/** One activity row of a profiling table. */
+struct ActivityRow
+{
+    std::string activity;
+    double timeMs = 0;
+    double percent = 0;
+};
+
+/** Results of a profiled kernel run. */
+struct ProfileResult
+{
+    std::string system;
+    double roundTripMs = 0;
+    double copyTimeMs = 0;
+    std::vector<ActivityRow> rows;
+    std::vector<ProcedureProfiler::Report> procedures;
+};
+
+/**
+ * Run @p roundTrips of the producer/consumer loop through the
+ * instrumented profiler and aggregate per-activity times.
+ */
+ProfileResult runKernelProfile(const KernelSpec &spec,
+                               int roundTrips = 200);
+
+/**
+ * The fixed (message-size independent) overhead of the kernel,
+ * microseconds — everything except copies.
+ */
+double fixedOverheadUs(const KernelSpec &spec);
+
+// --- Unix computation services (Tables 3.6 / 3.7) ----------------------
+
+/** One Unix system service and its instruction budget. */
+struct ServiceSpec
+{
+    std::string service;
+    long instructions;
+};
+
+/** The Table 3.6 services on the MicroVAX II model. */
+const std::vector<ServiceSpec> &unixServices();
+
+/** Time for one service call, milliseconds. */
+double serviceTimeMs(const ServiceSpec &svc);
+
+/** File-server cost model behind Table 3.7. */
+struct FileServerModel
+{
+    double fixedUs;    //!< syscall + inode + bookkeeping
+    double perBlockUs; //!< buffer-cache handling per 1K block
+    double perByteUs;  //!< data movement
+
+    /** System time to read/write @p bytes, milliseconds. */
+    double
+    timeMs(int bytes) const
+    {
+        const int blocks = (bytes + 1023) / 1024;
+        return (fixedUs + perBlockUs * blocks + perByteUs * bytes) /
+               1000.0;
+    }
+};
+
+FileServerModel unixReadModel();
+FileServerModel unixWriteModel();
+
+/** The block sizes of Table 3.7. */
+const std::vector<int> &unixRwBlockSizes();
+
+} // namespace hsipc::prof
+
+#endif // HSIPC_PROF_KERNELS_HH

@@ -1,0 +1,123 @@
+#include "prof/profiler.hh"
+
+#include <algorithm>
+
+namespace hsipc::prof
+{
+
+void
+ProcedureProfiler::enter(const std::string &procedure)
+{
+    Entry &e = stats[procedure];
+    if (e.count == 0 && e.elapsedUs == 0 && !e.open)
+        e.order = nextOrder++;
+    hsipc_assert(!e.open);
+    e.open = true;
+    e.timerAtEntry = timer.read();
+}
+
+void
+ProcedureProfiler::exit(const std::string &procedure)
+{
+    auto it = stats.find(procedure);
+    hsipc_assert(it != stats.end() && it->second.open);
+    Entry &e = it->second;
+    e.open = false;
+
+    const std::uint16_t now = timer.read();
+    // Wraparound correction: the timer is modulo 2^16 microseconds.
+    long delta = static_cast<long>(now) -
+                 static_cast<long>(e.timerAtEntry);
+    if (delta < 0)
+        delta += HardwareTimer::periodUs;
+
+    ++e.count;
+    e.elapsedUs += std::max(0.0, static_cast<double>(delta) -
+                                     overheadUs);
+}
+
+void
+ProcedureProfiler::clear()
+{
+    stats.clear();
+    nextOrder = 0;
+}
+
+std::vector<ProcedureProfiler::Report>
+ProcedureProfiler::report() const
+{
+    std::vector<Report> out;
+    for (const auto &[name, e] : stats) {
+        Report r;
+        r.procedure = name;
+        r.count = e.count;
+        r.totalUs = e.elapsedUs;
+        r.perVisitUs = e.count > 0
+            ? e.elapsedUs / static_cast<double>(e.count)
+            : 0.0;
+        out.push_back(std::move(r));
+    }
+    // First-seen order, like the thesis' statically indexed array.
+    std::sort(out.begin(), out.end(),
+              [this](const Report &a, const Report &b) {
+                  return stats.at(a.procedure).order <
+                         stats.at(b.procedure).order;
+              });
+    return out;
+}
+
+double
+ProcedureProfiler::totalUs() const
+{
+    double total = 0;
+    for (const auto &[name, e] : stats)
+        total += e.elapsedUs;
+    return total;
+}
+
+void
+MessagePathProfiler::begin(int id)
+{
+    paths[id].clear();
+}
+
+void
+MessagePathProfiler::stamp(int id, const std::string &point)
+{
+    paths[id].emplace_back(point, clock.now());
+}
+
+std::vector<MessagePathProfiler::Segment>
+MessagePathProfiler::segments() const
+{
+    // Aggregate by (from, to) pairs in visit order.
+    std::map<std::pair<std::string, std::string>,
+             std::pair<double, long>>
+        acc;
+    std::vector<std::pair<std::string, std::string>> order;
+    for (const auto &[id, stamps] : paths) {
+        for (std::size_t i = 1; i < stamps.size(); ++i) {
+            const auto key = std::make_pair(stamps[i - 1].first,
+                                            stamps[i].first);
+            auto [it, fresh] = acc.emplace(key, std::make_pair(0.0, 0L));
+            if (fresh)
+                order.push_back(key);
+            it->second.first +=
+                ticksToUs(stamps[i].second - stamps[i - 1].second);
+            ++it->second.second;
+        }
+    }
+    std::vector<Segment> out;
+    for (const auto &key : order) {
+        const auto &[total, n] = acc.at(key);
+        Segment s;
+        s.from = key.first;
+        s.to = key.second;
+        s.samples = n;
+        s.meanUs = n > 0 ? total / static_cast<double>(n) : 0.0;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace hsipc::prof

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Kernel profiling instrumentation (§3.3).
+ *
+ * The thesis instruments each kernel with a "statistics" array indexed
+ * by procedure name: on entry the hardware timer is latched, on exit
+ * the difference (corrected for timer wraparound and for the cost of
+ * the timing code itself) is accumulated along with a visit count.
+ * This module reproduces that machinery over a simulated clock:
+ *
+ *  - HardwareTimer — a free-running 16-bit timer read from a simulated
+ *    clock (wraparound included);
+ *  - ProcedureProfiler — the statistics array with per-visit
+ *    enter/exit bracketing, wraparound correction and timing-overhead
+ *    subtraction;
+ *  - MessagePathProfiler — the third technique of §3.3: time-stamping
+ *    a message at interesting points (queueing, dequeueing, copying)
+ *    along its route.
+ */
+
+#ifndef HSIPC_PROF_PROFILER_HH
+#define HSIPC_PROF_PROFILER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/time.hh"
+
+namespace hsipc::prof
+{
+
+/** A simulated CPU clock advanced by executing kernel code. */
+class SimClock
+{
+  public:
+    Tick now() const { return current; }
+
+    void
+    advance(Tick t)
+    {
+        hsipc_assert(t >= 0);
+        current += t;
+    }
+
+  private:
+    Tick current = 0;
+};
+
+/** A free-running 16-bit hardware timer with 1-microsecond period. */
+class HardwareTimer
+{
+  public:
+    explicit HardwareTimer(const SimClock &clock) : clock(clock) {}
+
+    /** The timer register: microseconds modulo 2^16. */
+    std::uint16_t
+    read() const
+    {
+        return static_cast<std::uint16_t>(
+            (clock.now() / tickUs) & 0xffff);
+    }
+
+    /** Full period of the timer in microseconds. */
+    static constexpr long periodUs = 1 << 16;
+
+  private:
+    const SimClock &clock;
+};
+
+/** The §3.3 procedure-call profiler. */
+class ProcedureProfiler
+{
+  public:
+    /**
+     * @param timer      the hardware timer read at entry/exit
+     * @param overheadUs cost of the timing code per visit, subtracted
+     *                   from every measurement (the thesis' "suitable
+     *                   corrections")
+     */
+    explicit ProcedureProfiler(const HardwareTimer &timer,
+                               double overheadUs = 0.0)
+        : timer(timer), overheadUs(overheadUs)
+    {}
+
+    /** Record entry into @p procedure. */
+    void enter(const std::string &procedure);
+
+    /** Record exit from @p procedure (must match the open enter). */
+    void exit(const std::string &procedure);
+
+    /** Clear the statistics array (start of a kernel run). */
+    void clear();
+
+    struct Report
+    {
+        std::string procedure;
+        long count = 0;
+        double totalUs = 0;
+        double perVisitUs = 0;
+    };
+
+    /** One report row per procedure, in first-seen order. */
+    std::vector<Report> report() const;
+
+    /** Total accumulated time across procedures, microseconds. */
+    double totalUs() const;
+
+  private:
+    struct Entry
+    {
+        long count = 0;
+        std::uint16_t timerAtEntry = 0;
+        bool open = false;
+        double elapsedUs = 0;
+        int order = 0;
+    };
+
+    const HardwareTimer &timer;
+    double overheadUs;
+    std::map<std::string, Entry> stats;
+    int nextOrder = 0;
+};
+
+/** The message-path time-stamping profiler of §3.3. */
+class MessagePathProfiler
+{
+  public:
+    explicit MessagePathProfiler(const SimClock &clock) : clock(clock) {}
+
+    /** Start tracking message @p id. */
+    void begin(int id);
+
+    /** Stamp message @p id at the named point. */
+    void stamp(int id, const std::string &point);
+
+    struct Segment
+    {
+        std::string from;
+        std::string to;
+        double meanUs = 0;
+        long samples = 0;
+    };
+
+    /**
+     * Mean time between consecutive stamped points, aggregated over
+     * all messages that visited the same point sequence.
+     */
+    std::vector<Segment> segments() const;
+
+  private:
+    const SimClock &clock;
+    std::map<int, std::vector<std::pair<std::string, Tick>>> paths;
+};
+
+} // namespace hsipc::prof
+
+#endif // HSIPC_PROF_PROFILER_HH

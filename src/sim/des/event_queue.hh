@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Discrete-event simulation core: a time-ordered event queue with
+ * stable FIFO ordering among simultaneous events.
+ */
+
+#ifndef HSIPC_SIM_EVENT_QUEUE_HH
+#define HSIPC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/time.hh"
+
+namespace hsipc::sim
+{
+
+/** The event queue driving a simulation. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Tick now() const { return current; }
+
+    /** Schedule @p cb at absolute time @p when (>= now). */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        hsipc_assert(when >= current);
+        events.push(Event{when, nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(current + delay, std::move(cb));
+    }
+
+    bool empty() const { return events.empty(); }
+
+    /** Pop and run the earliest event; false when none remain. */
+    bool
+    runOne()
+    {
+        if (events.empty())
+            return false;
+        // std::priority_queue::top returns const&; the callback must
+        // be moved out before popping.
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        hsipc_assert(ev.when >= current);
+        current = ev.when;
+        ev.cb();
+        return true;
+    }
+
+    /** Run until the clock passes @p end or the queue drains. */
+    void
+    runUntil(Tick end)
+    {
+        while (!events.empty() && events.top().when <= end) {
+            if (!runOne())
+                break;
+        }
+        if (current < end)
+            current = end;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &other) const
+        {
+            return when != other.when ? when > other.when
+                                      : seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        events;
+    Tick current = 0;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace hsipc::sim
+
+#endif // HSIPC_SIM_EVENT_QUEUE_HH

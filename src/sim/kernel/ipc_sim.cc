@@ -1,0 +1,606 @@
+#include "sim/kernel/ipc_sim.hh"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/des/event_queue.hh"
+#include "sim/des/resource.hh"
+#include "sim/node/costs.hh"
+#include "sim/node/processor.hh"
+#include "sim/node/token_ring.hh"
+
+namespace hsipc::sim
+{
+
+using models::Arch;
+
+namespace
+{
+
+/** The 40-byte copy added by the validation configuration (§6.8). */
+constexpr double extraCopyUs = 220.0;
+
+/** One node of the distributed system. */
+struct Node
+{
+    Node(EventQueue &eq, const std::string &prefix, int hosts,
+         bool coproc, bool split_bus)
+        : busTcb(eq, prefix + ".busTcb"),
+          busKb(eq, prefix + ".busKb"), nicIn(eq, prefix + ".nicIn"),
+          nicOut(eq, prefix + ".nicOut"), splitBus(split_bus)
+    {
+        for (int h = 0; h < hosts; ++h)
+            this->hosts.emplace_back(
+                std::make_unique<Processor>(eq, prefix + ".host" +
+                                            std::to_string(h)));
+        if (coproc)
+            mp = std::make_unique<Processor>(eq, prefix + ".mp");
+    }
+
+    /** The processor executing communication processing. */
+    Processor &
+    commProc()
+    {
+        return mp ? *mp : *hosts[0];
+    }
+
+    std::vector<std::unique_ptr<Processor>> hosts;
+    std::unique_ptr<Processor> mp;
+    Resource busTcb;
+    Resource busKb;
+    Processor nicIn;
+    Processor nicOut;
+    bool splitBus;
+
+    // Kernel state: the node's service queue (pending client ids and
+    // waiting server ids) plus the kernel-buffer free pool.
+    std::deque<int> pendingMsgs;
+    std::deque<int> waitingServers;
+    int freeBuffers = 0;
+    std::deque<int> buffersWaiting; //!< clients stalled for a buffer
+};
+
+/** The whole simulation. */
+class Sim
+{
+  public:
+    explicit Sim(const Experiment &exp) : exp(exp), rng(exp.seed)
+    {
+        const bool mixed =
+            exp.mixedLocal > 0 || exp.mixedRemote > 0;
+        const bool coproc = exp.arch != Arch::I;
+        const bool split = exp.arch == Arch::IV;
+        const bool two_nodes = mixed || !exp.local;
+
+        costsLocal = ipcCosts(exp.arch, true);
+        costsNonlocal = ipcCosts(exp.arch, false);
+        adjust(costsLocal);
+        adjust(costsNonlocal);
+
+        nodes.push_back(std::make_unique<Node>(eq, "n0",
+                                               exp.hostsPerNode,
+                                               coproc, split));
+        if (two_nodes)
+            nodes.push_back(std::make_unique<Node>(eq, "n1",
+                                                   exp.hostsPerNode,
+                                                   coproc, split));
+        for (auto &n : nodes)
+            n->freeBuffers = exp.kernelBuffers;
+
+        if (two_nodes && exp.useTokenRing) {
+            TokenRing::Config rc;
+            rc.stations = 2;
+            rc.megabitsPerSec = exp.ringMbps;
+            ring = std::make_unique<TokenRing>(eq, rc);
+        }
+
+        // Lay out the conversations: classic mode pins all clients to
+        // node 0 (servers at node 1 when non-local); mixed mode
+        // interleaves local pairs and cross-node pairs over both
+        // nodes — the case the thesis' models could not represent
+        // (§6.6.3).
+        if (mixed) {
+            for (int i = 0; i < exp.mixedLocal; ++i)
+                addConversation(i % 2, i % 2);
+            for (int i = 0; i < exp.mixedRemote; ++i)
+                addConversation(i % 2, 1 - i % 2);
+        } else {
+            for (int i = 0; i < exp.conversations; ++i)
+                addConversation(0, exp.local ? 0 : 1);
+        }
+
+        for (std::size_t i = 0; i < convs.size(); ++i) {
+            const int conv = static_cast<int>(i);
+            eq.schedule(static_cast<Tick>(i) * 7,
+                        [this, conv]() { clientSend(conv); });
+            eq.schedule(3 + static_cast<Tick>(i) * 7,
+                        [this, conv]() { serverReceive(conv); });
+        }
+    }
+
+    Outcome
+    run()
+    {
+        const Tick warm = usToTicks(exp.warmupUs);
+        const Tick end = warm + usToTicks(exp.measureUs);
+        eq.runUntil(warm);
+        const std::map<std::string, Tick> baseline =
+            activitySnapshot();
+        eq.runUntil(end);
+
+        Outcome out;
+        out.roundTrips = completed;
+        out.throughputPerSec = static_cast<double>(completed) /
+                               (ticksToUs(end - warm) / 1e6);
+        out.meanRoundTripUs = rt.mean();
+        out.rtCi95Us = rt.ci95();
+        if (!rtSamples.empty()) {
+            std::vector<double> s = rtSamples;
+            std::sort(s.begin(), s.end());
+            out.rtP50Us = s[s.size() / 2];
+            out.rtP95Us = s[(s.size() * 95) / 100];
+        }
+        for (const auto &n : nodes) {
+            for (const auto &h : n->hosts)
+                out.hostUtil = std::max(out.hostUtil,
+                                        h->utilization());
+            if (n->mp)
+                out.mpUtil = std::max(out.mpUtil,
+                                      n->mp->utilization());
+            out.busUtil = std::max(out.busUtil,
+                                   n->busTcb.utilization());
+        }
+        out.bufferStalls = bufferStalls;
+        if (completed > 0) {
+            // Only the measurement window counts, matching the
+            // round-trip denominator.
+            for (const auto &[name, ticks] : activitySnapshot()) {
+                Tick before = 0;
+                auto it = baseline.find(name);
+                if (it != baseline.end())
+                    before = it->second;
+                out.activityUsPerRoundTrip[name] =
+                    ticksToUs(ticks - before) /
+                    static_cast<double>(completed);
+            }
+        }
+        if (ring) {
+            out.ringUtil = ring->utilization();
+            out.ringTokenWaitUs = ring->meanTokenWaitUs();
+        }
+        const double window_sec = ticksToUs(end - warm) / 1e6;
+        out.localThroughputPerSec =
+            static_cast<double>(rtLocal.count()) / window_sec;
+        out.remoteThroughputPerSec =
+            static_cast<double>(rtRemote.count()) / window_sec;
+        out.localMeanRtUs = rtLocal.mean();
+        out.remoteMeanRtUs = rtRemote.mean();
+        return out;
+    }
+
+  private:
+    /** One client/server pair and its placement. */
+    struct Conversation
+    {
+        int clientNode;
+        int serverNode;
+        int host; //!< static task-to-host binding (§6.8)
+        Tick sendStart = 0;
+    };
+
+    void
+    adjust(IpcCosts &c)
+    {
+        if (exp.extraCopy) {
+            c.processSend.procUs += extraCopyUs;
+            c.match.procUs += extraCopyUs;
+            c.processReply.procUs += extraCopyUs;
+            c.cleanupClient.procUs += extraCopyUs;
+        }
+        if (c.coproc && exp.mpSpeedFactor != 1.0) {
+            hsipc_assert(exp.mpSpeedFactor > 0.0);
+            for (ActCost *a : {&c.processSend, &c.processRecv,
+                               &c.match, &c.processReply,
+                               &c.cleanupClient})
+                a->procUs /= exp.mpSpeedFactor;
+        }
+    }
+
+    void
+    addConversation(int client_node, int server_node)
+    {
+        Conversation cv;
+        cv.clientNode = client_node;
+        cv.serverNode = server_node;
+        cv.host = static_cast<int>(convs.size()) % exp.hostsPerNode;
+        convs.push_back(cv);
+    }
+
+    bool
+    isLocal(int conv) const
+    {
+        const auto &cv = convs[static_cast<std::size_t>(conv)];
+        return cv.clientNode == cv.serverNode;
+    }
+
+    const IpcCosts &
+    costsOf(int conv) const
+    {
+        return isLocal(conv) ? costsLocal : costsNonlocal;
+    }
+
+    Node &
+    cNode(int conv)
+    {
+        return *nodes[static_cast<std::size_t>(
+            convs[static_cast<std::size_t>(conv)].clientNode)];
+    }
+
+    Node &
+    sNode(int conv)
+    {
+        return *nodes[static_cast<std::size_t>(
+            convs[static_cast<std::size_t>(conv)].serverNode)];
+    }
+
+    Processor &
+    clientHost(int conv)
+    {
+        return *cNode(conv).hosts[static_cast<std::size_t>(
+            convs[static_cast<std::size_t>(conv)].host)];
+    }
+
+    Processor &
+    serverHost(int conv)
+    {
+        return *sNode(conv).hosts[static_cast<std::size_t>(
+            convs[static_cast<std::size_t>(conv)].host)];
+    }
+
+    Activity
+    act(const std::string &name, const ActCost &c, Node &node,
+        int priority, EventQueue::Callback done)
+    {
+        Activity a;
+        a.name = name;
+        a.processing = usToTicks(c.procUs);
+        a.priority = priority;
+        a.onDone = std::move(done);
+        if (node.splitBus) {
+            a.memAccesses = c.tcb;
+            a.bus = &node.busTcb;
+            a.memAccesses2 = c.kb;
+            a.bus2 = &node.busKb;
+        } else {
+            a.memAccesses = c.tcb + c.kb;
+            a.bus = &node.busTcb;
+        }
+        return a;
+    }
+
+    /** Sum per-activity busy time over every processor. */
+    std::map<std::string, Tick>
+    activitySnapshot() const
+    {
+        std::map<std::string, Tick> snap;
+        for (const auto &n : nodes) {
+            auto collect = [&](const Processor &p) {
+                for (const auto &[name, ticks] : p.activityTicks())
+                    snap[name] += ticks;
+            };
+            for (const auto &h : n->hosts)
+                collect(*h);
+            if (n->mp)
+                collect(*n->mp);
+            collect(n->nicIn);
+            collect(n->nicOut);
+        }
+        return snap;
+    }
+
+    /**
+     * The network between the two nodes: the token ring when enabled,
+     * a fixed wire delay otherwise.
+     */
+    void
+    wire(int from, int to, EventQueue::Callback deliver)
+    {
+        if (ring)
+            ring->send(from, to, exp.packetBytes, std::move(deliver));
+        else
+            eq.scheduleAfter(usToTicks(exp.wireUs),
+                             std::move(deliver));
+    }
+
+    // --- Client side -----------------------------------------------
+
+    void
+    clientSend(int conv)
+    {
+        convs[static_cast<std::size_t>(conv)].sendStart = eq.now();
+        Node &cn = cNode(conv);
+        // A send needs a kernel buffer; stall if the pool is empty.
+        if (cn.freeBuffers == 0) {
+            ++bufferStalls;
+            cn.buffersWaiting.push_back(conv);
+            return;
+        }
+        --cn.freeBuffers;
+        clientHost(conv).submit(
+            act("sendSyscall", costsOf(conv).sendSyscall, cn, prioTask,
+                [this, conv]() { afterSendSyscall(conv); }));
+    }
+
+    void
+    afterSendSyscall(int conv)
+    {
+        const IpcCosts &c = costsOf(conv);
+        if (!c.coproc) {
+            sendProcessed(conv);
+            return;
+        }
+        cNode(conv).commProc().submit(
+            act("processSend", c.processSend, cNode(conv), prioTask,
+                [this, conv]() { sendProcessed(conv); }));
+    }
+
+    void
+    sendProcessed(int conv)
+    {
+        if (isLocal(conv)) {
+            deliverToService(conv);
+            return;
+        }
+        const auto cv = convs[static_cast<std::size_t>(conv)];
+        cNode(conv).nicOut.submit(
+            act("dmaOut", costsOf(conv).dmaOutReq, cNode(conv),
+                prioTask, [this, conv, cv]() {
+                    wire(cv.clientNode, cv.serverNode,
+                         [this, conv]() { requestArrives(conv); });
+                }));
+    }
+
+    // --- Server side -------------------------------------------------
+
+    void
+    requestArrives(int conv)
+    {
+        Node &sn = sNode(conv);
+        sn.nicIn.submit(act(
+            "dmaIn", costsOf(conv).dmaInReq, sn, prioInterrupt,
+            [this, conv, &sn]() {
+                sn.commProc().submit(
+                    act("match", costsOf(conv).match, sn,
+                        prioInterrupt,
+                        [this, conv]() { deliverToService(conv); }));
+            }));
+    }
+
+    void
+    deliverToService(int conv)
+    {
+        sNode(conv).pendingMsgs.push_back(conv);
+        tryMatch(sNode(conv));
+    }
+
+    void
+    serverReceive(int conv)
+    {
+        Node &sn = sNode(conv);
+        serverHost(conv).submit(
+            act("recvSyscall", costsOf(conv).recvSyscall, sn, prioTask,
+                [this, conv]() { afterRecvSyscall(conv); }));
+    }
+
+    void
+    afterRecvSyscall(int conv)
+    {
+        const IpcCosts &c = costsOf(conv);
+        if (!c.coproc) {
+            serverWaiting(conv);
+            return;
+        }
+        sNode(conv).commProc().submit(
+            act("processRecv", c.processRecv, sNode(conv), prioTask,
+                [this, conv]() { serverWaiting(conv); }));
+    }
+
+    void
+    serverWaiting(int conv)
+    {
+        sNode(conv).waitingServers.push_back(conv);
+        tryMatch(sNode(conv));
+    }
+
+    void
+    tryMatch(Node &node)
+    {
+        if (node.pendingMsgs.empty() || node.waitingServers.empty())
+            return;
+        const int msg_conv = node.pendingMsgs.front();
+        const int server = node.waitingServers.front();
+        node.pendingMsgs.pop_front();
+        node.waitingServers.pop_front();
+
+        if (isLocal(msg_conv)) {
+            // Local rendezvous pays the match on the communication
+            // processor; non-local ones already paid it at interrupt
+            // level in requestArrives().
+            node.commProc().submit(
+                act("match", costsLocal.match, node, prioTask,
+                    [this, msg_conv, server]() {
+                        rendezvous(msg_conv, server);
+                    }));
+        } else {
+            rendezvous(msg_conv, server);
+        }
+    }
+
+    /**
+     * @p conv identifies the client whose request is being served and
+     * thereby the reply path; @p server the serving task (and its
+     * host binding).  Any server at a node may serve any request
+     * arriving there.
+     */
+    void
+    rendezvous(int conv, int server)
+    {
+        const IpcCosts &c = costsOf(conv);
+        auto compute = [this, conv, server]() {
+            Activity a;
+            a.name = "compute";
+            a.processing =
+                usToTicks(rng.uniform(0.5, 1.5) * exp.computeUs);
+            a.onDone = [this, conv, server]() {
+                serverHost(server).submit(
+                    act("replySyscall", costsOf(conv).reply,
+                        sNode(conv), prioTask,
+                        [this, conv, server]() {
+                            afterReplySyscall(conv, server);
+                        }));
+            };
+            serverHost(server).submit(std::move(a));
+        };
+
+        if (c.restartServer.valid()) {
+            serverHost(server).submit(act("restartServer",
+                                          c.restartServer,
+                                          sNode(conv), prioTask,
+                                          compute));
+        } else {
+            compute();
+        }
+    }
+
+    void
+    afterReplySyscall(int conv, int server)
+    {
+        const IpcCosts &c = costsOf(conv);
+        auto after_comm = [this, conv, server]() {
+            // The server resumes its loop...
+            const IpcCosts &sc = costsOf(server);
+            if (sc.restartServer2.valid()) {
+                serverHost(server).submit(
+                    act("restartServer2", sc.restartServer2,
+                        sNode(server), prioTask, [this, server]() {
+                            serverReceive(server);
+                        }));
+            } else {
+                serverReceive(server);
+            }
+            // ...while the reply travels back to the client.
+            replyDeparts(conv);
+        };
+
+        if (c.coproc) {
+            sNode(conv).commProc().submit(
+                act("processReply", c.processReply, sNode(conv),
+                    prioTask, after_comm));
+        } else {
+            after_comm();
+        }
+    }
+
+    void
+    replyDeparts(int conv)
+    {
+        if (isLocal(conv)) {
+            clientRestart(conv);
+            return;
+        }
+        const auto cv = convs[static_cast<std::size_t>(conv)];
+        sNode(conv).nicOut.submit(
+            act("dmaOut", costsOf(conv).dmaOutReply, sNode(conv),
+                prioTask, [this, conv, cv]() {
+                    wire(cv.serverNode, cv.clientNode,
+                         [this, conv]() { replyArrives(conv); });
+                }));
+    }
+
+    void
+    replyArrives(int conv)
+    {
+        Node &cn = cNode(conv);
+        cn.nicIn.submit(act(
+            "dmaIn", costsOf(conv).dmaInReply, cn, prioInterrupt,
+            [this, conv, &cn]() {
+                cn.commProc().submit(
+                    act("cleanup", costsOf(conv).cleanupClient, cn,
+                        prioInterrupt,
+                        [this, conv]() { clientRestart(conv); }));
+            }));
+    }
+
+    void
+    clientRestart(int conv)
+    {
+        const IpcCosts &c = costsOf(conv);
+        auto loop = [this, conv]() { roundTripDone(conv); };
+        if (c.restartClient.valid()) {
+            clientHost(conv).submit(act("restartClient",
+                                        c.restartClient, cNode(conv),
+                                        prioTask, loop));
+        } else {
+            loop();
+        }
+    }
+
+    void
+    roundTripDone(int conv)
+    {
+        // Release the kernel buffer; wake a stalled sender if any.
+        Node &cn = cNode(conv);
+        ++cn.freeBuffers;
+        if (!cn.buffersWaiting.empty()) {
+            const int waiter = cn.buffersWaiting.front();
+            cn.buffersWaiting.pop_front();
+            clientSend(waiter);
+        }
+
+        const Tick start =
+            convs[static_cast<std::size_t>(conv)].sendStart;
+        if (eq.now() > usToTicks(exp.warmupUs)) {
+            ++completed;
+            const double rt_us = ticksToUs(eq.now() - start);
+            rt.add(rt_us);
+            rtSamples.push_back(rt_us);
+            if (isLocal(conv))
+                rtLocal.add(rt_us);
+            else
+                rtRemote.add(rt_us);
+        }
+        clientSend(conv);
+    }
+
+    Experiment exp;
+    IpcCosts costsLocal;
+    IpcCosts costsNonlocal;
+    Rng rng;
+    EventQueue eq;
+    std::vector<std::unique_ptr<Node>> nodes;
+    std::unique_ptr<TokenRing> ring;
+
+    std::vector<Conversation> convs;
+    long completed = 0;
+    long bufferStalls = 0;
+    RunningStat rt;
+    RunningStat rtLocal;
+    RunningStat rtRemote;
+    std::vector<double> rtSamples;
+};
+
+} // namespace
+
+Outcome
+runExperiment(const Experiment &exp)
+{
+    hsipc_assert(exp.conversations >= 1 || exp.mixedLocal > 0 ||
+                 exp.mixedRemote > 0);
+    hsipc_assert(exp.hostsPerNode >= 1);
+    Sim sim(exp);
+    return sim.run();
+}
+
+} // namespace hsipc::sim

@@ -1,0 +1,117 @@
+#include "sim/node/costs.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hsipc::sim
+{
+
+using models::Arch;
+using models::Step;
+using models::stepTable;
+
+namespace
+{
+
+ActCost
+fromStep(const Step &s)
+{
+    ActCost c;
+    c.procUs = s.processing;
+    // For architectures I-III the single shared-memory column is
+    // stored in tcbAccess; architecture IV splits the two partitions.
+    c.kb = static_cast<int>(std::lround(s.kbAccess));
+    c.tcb = static_cast<int>(std::lround(s.tcbAccess));
+    return c;
+}
+
+/** Find the unique step with the given action number and processor. */
+ActCost
+step(Arch a, bool local, const char *number,
+     const char *processor = nullptr)
+{
+    const Step *found = nullptr;
+    for (const Step &s : stepTable(a, local)) {
+        if (std::strcmp(s.number, number) != 0)
+            continue;
+        if (processor && std::strcmp(s.processor, processor) != 0)
+            continue;
+        hsipc_assert(!found);
+        found = &s;
+    }
+    hsipc_assert(found);
+    return fromStep(*found);
+}
+
+} // namespace
+
+IpcCosts
+ipcCosts(Arch arch, bool local)
+{
+    IpcCosts c;
+    c.arch = arch;
+    c.local = local;
+    c.coproc = arch != Arch::I;
+
+    if (arch == Arch::I && local) {
+        // Table 6.4.
+        c.sendSyscall = step(arch, local, "1");
+        c.recvSyscall = step(arch, local, "2");
+        c.match = step(arch, local, "3");
+        c.reply = step(arch, local, "5");
+        c.restartServer2 = step(arch, local, "6");
+        c.restartClient = step(arch, local, "7");
+        return c;
+    }
+    if (arch == Arch::I) {
+        // Table 6.6: all communication processing on the host; the
+        // interrupt-level cleanup includes the client restart.
+        c.sendSyscall = step(arch, local, "1");
+        c.dmaOutReq = step(arch, local, "2");
+        c.recvSyscall = step(arch, local, "3");
+        c.dmaInReq = step(arch, local, "4");
+        c.match = step(arch, local, "4a");
+        c.reply = step(arch, local, "4c");
+        c.dmaOutReply = step(arch, local, "5");
+        c.dmaInReply = step(arch, local, "6");
+        c.cleanupClient = step(arch, local, "7");
+        return c;
+    }
+
+    if (local) {
+        // Tables 6.9 / 6.14 / 6.19.
+        c.sendSyscall = step(arch, local, "1");
+        c.processSend = step(arch, local, "2");
+        c.recvSyscall = step(arch, local, "3");
+        c.processRecv = step(arch, local, "4");
+        c.match = step(arch, local, "5");
+        c.restartServer = step(arch, local, "6");
+        c.reply = step(arch, local, "6b");
+        c.processReply = step(arch, local, "7");
+        c.restartServer2 = step(arch, local, "8");
+        c.restartClient = step(arch, local, "9");
+        return c;
+    }
+
+    // Tables 6.11 / 6.16 / 6.21.
+    c.sendSyscall = step(arch, local, "1");
+    c.processSend = step(arch, local, "2");
+    c.dmaOutReq = step(arch, local, "2a");
+    c.recvSyscall = step(arch, local, "3");
+    c.processRecv = step(arch, local, "4");
+    c.dmaInReq = step(arch, local, "5", "DMA");
+    c.match = step(arch, local, "5", "MP");
+    c.restartServer = step(arch, local, "6");
+    c.reply = step(arch, local, "6b");
+    c.processReply = step(arch, local, "7");
+    c.dmaOutReply = step(arch, local, "7a");
+    c.restartServer2 = step(arch, local, "8");
+    c.dmaInReply = step(arch, local, "9", "DMA");
+    c.cleanupClient = step(arch, local, "9a");
+    c.restartClient = step(arch, local, "10");
+    return c;
+}
+
+} // namespace hsipc::sim

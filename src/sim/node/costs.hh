@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-architecture activity costs for the kernel simulator, derived
+ * from the chapter-6 step tables (contention-free "best" components:
+ * the simulator models bus contention explicitly, so it consumes the
+ * raw processing time and shared-memory access counts).
+ */
+
+#ifndef HSIPC_SIM_COSTS_HH
+#define HSIPC_SIM_COSTS_HH
+
+#include "core/models/processing_times.hh"
+
+namespace hsipc::sim
+{
+
+/** Cost of one kernel activity: CPU time plus memory-access counts. */
+struct ActCost
+{
+    double procUs = 0; //!< processor time, microseconds
+    int kb = 0;        //!< kernel-buffer partition accesses (1 us each)
+    int tcb = 0;       //!< task-control-block partition accesses
+
+    bool valid() const { return procUs > 0 || kb > 0 || tcb > 0; }
+};
+
+/** The activity costs of one architecture and conversation kind. */
+struct IpcCosts
+{
+    models::Arch arch;
+    bool local = true;
+    bool coproc = false; //!< architectures II-IV have a MP
+
+    ActCost sendSyscall;
+    ActCost processSend;  //!< coproc only
+    ActCost recvSyscall;
+    ActCost processRecv;  //!< coproc only
+    ActCost match;
+    ActCost restartServer;
+    ActCost reply;
+    ActCost processReply; //!< coproc only
+    ActCost restartServer2;
+    ActCost restartClient;
+    // Non-local only:
+    ActCost dmaOutReq;
+    ActCost dmaInReq;
+    ActCost dmaOutReply;
+    ActCost dmaInReply;
+    ActCost cleanupClient; //!< arch I: includes the client restart
+};
+
+/** Build the cost set for @p arch / @p local from the step tables. */
+IpcCosts ipcCosts(models::Arch arch, bool local);
+
+} // namespace hsipc::sim
+
+#endif // HSIPC_SIM_COSTS_HH

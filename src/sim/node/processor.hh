@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A simulated processor executing kernel activities.
+ *
+ * An activity is processing time interleaved with shared-memory
+ * accesses: the processing is cut into (accesses + 1) equal CPU chunks
+ * with one 1-microsecond bus access between consecutive chunks, which
+ * reproduces the access pattern the thesis' low-level contention model
+ * assumes (§6.6.2).  Higher-priority activities (network interrupts)
+ * preempt the current one at chunk boundaries — "typically on single
+ * machine instruction boundaries" (§6.6.1) — and the preempted
+ * activity resumes where it left off.
+ */
+
+#ifndef HSIPC_SIM_PROCESSOR_HH
+#define HSIPC_SIM_PROCESSOR_HH
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/des/event_queue.hh"
+#include "sim/des/resource.hh"
+
+namespace hsipc::sim
+{
+
+/** Activity priorities. */
+enum : int
+{
+    prioTask = 0,      //!< normal kernel/task processing
+    prioInterrupt = 1, //!< network interrupt service
+};
+
+/** One schedulable kernel activity. */
+struct Activity
+{
+    std::string name;
+    Tick processing = 0;      //!< CPU time, ticks
+    int memAccesses = 0;      //!< 1-us accesses on @c bus
+    Resource *bus = nullptr;  //!< primary shared-memory partition
+    int memAccesses2 = 0;     //!< accesses on @c bus2 (architecture IV)
+    Resource *bus2 = nullptr;
+    int priority = prioTask;
+    EventQueue::Callback onDone;
+};
+
+/** A processor running activities with priority preemption. */
+class Processor
+{
+  public:
+    Processor(EventQueue &eq, std::string name)
+        : eq(eq), name(std::move(name))
+    {}
+
+    /** Queue an activity (FCFS within its priority). */
+    void submit(Activity act);
+
+    double
+    utilization() const
+    {
+        const Tick span = eq.now();
+        return span > 0
+            ? static_cast<double>(busyTicks) / static_cast<double>(span)
+            : 0.0;
+    }
+
+    /** Busy ticks accumulated per activity name (CPU + memory). */
+    const std::map<std::string, Tick> &
+    activityTicks() const
+    {
+        return perActivity;
+    }
+
+    const std::string &processorName() const { return name; }
+    bool idle() const { return !running && queue.empty(); }
+
+  private:
+    /** Execution state of an in-progress activity. */
+    struct Running
+    {
+        Activity act;
+        Tick cpuLeft = 0;
+        int memLeft = 0;  //!< remaining accesses on bus
+        int memLeft2 = 0; //!< remaining accesses on bus2
+        Tick chunk = 0;   //!< CPU per segment
+    };
+
+    void maybeStart();
+    void segment();
+    void finish();
+
+    EventQueue &eq;
+    std::string name;
+    void charge(Tick t);
+
+    std::deque<Running> queue;
+    std::unique_ptr<Running> running;
+    Tick busyTicks = 0;
+    std::map<std::string, Tick> perActivity;
+};
+
+} // namespace hsipc::sim
+
+#endif // HSIPC_SIM_PROCESSOR_HH

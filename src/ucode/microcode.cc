@@ -1,0 +1,559 @@
+#include "ucode/microcode.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace hsipc::ucode
+{
+
+int
+microWordBits()
+{
+    // alu(3) + srcA(4) + srcB(4) + dest(4) + mem(3) + table(3) +
+    // cond(3) + target(7) + done(1) = 32 bits per micro-word.
+    return 32;
+}
+
+std::string
+ucodeErrorName(UcodeError e)
+{
+    switch (e) {
+      case UcodeError::None: return "none";
+      case UcodeError::TableFull: return "request table full";
+      case UcodeError::InvalidTag: return "invalid tag";
+      case UcodeError::ZeroCount: return "zero-length block request";
+      case UcodeError::BadCommand: return "bad command";
+    }
+    hsipc_panic("bad UcodeError");
+}
+
+namespace
+{
+
+/** Tiny micro-assembler with symbolic branch targets. */
+class Asm
+{
+  public:
+    int here() const { return static_cast<int>(code.size()); }
+
+    void
+    label(const std::string &name)
+    {
+        hsipc_assert(!labels.count(name));
+        labels[name] = here();
+    }
+
+    void
+    emit(MicroInstruction mi, const std::string &target_label = "")
+    {
+        if (!target_label.empty())
+            fixups.emplace_back(here(), target_label);
+        code.push_back(mi);
+    }
+
+    // Convenience emitters -------------------------------------------
+
+    /** dest <- src. */
+    void
+    mov(Reg dest, Reg src, const char *c = "")
+    {
+        emit({AluOp::PassA, src, Reg::None, dest, MemOp::None,
+              TableOp::None, Cond::Never, 0, false, c});
+    }
+
+    /** Mar <- src and read memory into Mdr in the same cycle. */
+    void
+    readAt(Reg src, const char *c = "")
+    {
+        emit({AluOp::PassA, src, Reg::None, Reg::Mar, MemOp::Read16,
+              TableOp::None, Cond::Never, 0, false, c});
+    }
+
+    /** Mdr <- src and write memory in the same cycle. */
+    void
+    writeFrom(Reg src, MemOp op = MemOp::Write16, const char *c = "")
+    {
+        emit({AluOp::PassA, src, Reg::None, Reg::Mdr, op,
+              TableOp::None, Cond::Never, 0, false, c});
+    }
+
+    /** Compare a and b (Sub) and branch on the given condition. */
+    void
+    cmpBranch(Reg a, Reg b, Cond cond, const std::string &target,
+              const char *c = "")
+    {
+        emit({AluOp::Sub, a, b, Reg::None, MemOp::None, TableOp::None,
+              cond, 0, false, c},
+             target);
+    }
+
+    void
+    jump(const std::string &target, const char *c = "")
+    {
+        emit({AluOp::Nop, Reg::None, Reg::None, Reg::None, MemOp::None,
+              TableOp::None, Cond::Always, 0, false, c},
+             target);
+    }
+
+    /** End of routine; the Out register carries the result. */
+    void
+    done(const char *c = "")
+    {
+        emit({AluOp::Nop, Reg::None, Reg::None, Reg::None, MemOp::None,
+              TableOp::None, Cond::Never, 0, true, c});
+    }
+
+    std::vector<MicroInstruction>
+    assemble()
+    {
+        for (auto &[at, name] : fixups) {
+            auto it = labels.find(name);
+            hsipc_assert(it != labels.end());
+            code[static_cast<std::size_t>(at)].target = it->second;
+        }
+        return code;
+    }
+
+  private:
+    std::vector<MicroInstruction> code;
+    std::map<std::string, int> labels;
+    std::vector<std::pair<int, std::string>> fixups;
+};
+
+MicroProgram
+build()
+{
+    MicroProgram p;
+    Asm a;
+
+    // --- Enqueue control block (§A.4.5): In0 = list, In1 = element.
+    p.entryEnqueue = a.here();
+    a.readAt(Reg::In0, "Mdr <- tail");
+    a.mov(Reg::Tail, Reg::Mdr);
+    a.cmpBranch(Reg::Tail, Reg::Zero, Cond::Zero, "enq.empty",
+                "empty list?");
+    a.readAt(Reg::Tail, "Mdr <- first");
+    a.mov(Reg::Tmp, Reg::Mdr);
+    a.mov(Reg::Mar, Reg::In1);
+    a.writeFrom(Reg::Tmp, MemOp::Write16, "element->next := first");
+    a.mov(Reg::Mar, Reg::Tail);
+    a.writeFrom(Reg::In1, MemOp::Write16, "tail->next := element");
+    a.jump("enq.settail");
+    a.label("enq.empty");
+    a.mov(Reg::Mar, Reg::In1);
+    a.writeFrom(Reg::In1, MemOp::Write16, "element->next := element");
+    a.label("enq.settail");
+    a.mov(Reg::Mar, Reg::In0);
+    a.writeFrom(Reg::In1, MemOp::Write16, "list := element");
+    a.done();
+
+    // --- First control block (§A.4.6): In0 = list; Out = head or 0.
+    p.entryFirst = a.here();
+    a.readAt(Reg::In0, "Mdr <- tail");
+    a.mov(Reg::Tail, Reg::Mdr);
+    a.cmpBranch(Reg::Tail, Reg::Zero, Cond::Zero, "fst.empty");
+    a.readAt(Reg::Tail, "Mdr <- first");
+    a.mov(Reg::First, Reg::Mdr);
+    a.cmpBranch(Reg::Tail, Reg::First, Cond::NotZero, "fst.multi",
+                "last element?");
+    a.mov(Reg::Mar, Reg::In0);
+    a.writeFrom(Reg::Zero, MemOp::Write16, "list := NULL");
+    a.jump("fst.ret");
+    a.label("fst.multi");
+    a.readAt(Reg::First, "Mdr <- first->next");
+    a.mov(Reg::Tmp, Reg::Mdr);
+    a.mov(Reg::Mar, Reg::Tail);
+    a.writeFrom(Reg::Tmp, MemOp::Write16, "tail->next := first->next");
+    a.label("fst.ret");
+    a.mov(Reg::Out, Reg::First);
+    a.done();
+    a.label("fst.empty");
+    a.mov(Reg::Out, Reg::Zero);
+    a.done();
+
+    // --- Dequeue control block (§A.4.7): In0 = list, In1 = element.
+    p.entryDequeue = a.here();
+    a.readAt(Reg::In0, "Mdr <- tail");
+    a.mov(Reg::Tail, Reg::Mdr);
+    a.cmpBranch(Reg::Tail, Reg::Zero, Cond::Zero, "deq.out",
+                "empty: no-op");
+    a.mov(Reg::Curr, Reg::Tail);
+    a.label("deq.loop");
+    a.mov(Reg::Prev, Reg::Curr);
+    a.readAt(Reg::Prev, "Mdr <- prev->next");
+    a.mov(Reg::Curr, Reg::Mdr);
+    a.cmpBranch(Reg::Curr, Reg::In1, Cond::Zero, "deq.found");
+    a.cmpBranch(Reg::Curr, Reg::Tail, Cond::Zero, "deq.out",
+                "wrapped: unsuccessful");
+    a.jump("deq.loop");
+    a.label("deq.found");
+    a.cmpBranch(Reg::Curr, Reg::Prev, Cond::NotZero, "deq.unlink");
+    a.mov(Reg::Mar, Reg::In0);
+    a.writeFrom(Reg::Zero, MemOp::Write16, "singleton: list := NULL");
+    a.jump("deq.out");
+    a.label("deq.unlink");
+    a.readAt(Reg::In1, "Mdr <- element->next");
+    a.mov(Reg::Tmp, Reg::Mdr);
+    a.mov(Reg::Mar, Reg::Prev);
+    a.writeFrom(Reg::Tmp, MemOp::Write16, "prev->next := element->next");
+    a.cmpBranch(Reg::Tail, Reg::In1, Cond::NotZero, "deq.out");
+    a.mov(Reg::Mar, Reg::In0);
+    a.writeFrom(Reg::Prev, MemOp::Write16, "list := prev (new tail)");
+    a.label("deq.out");
+    a.done();
+
+    // --- Simple read (§A.4.8): In0 = address.
+    p.entryRead = a.here();
+    a.readAt(Reg::In0);
+    a.mov(Reg::Out, Reg::Mdr);
+    a.done();
+
+    // --- Writes: In0 = address, In1 = data.
+    p.entryWrite16 = a.here();
+    a.mov(Reg::Mar, Reg::In0);
+    a.writeFrom(Reg::In1, MemOp::Write16);
+    a.done();
+
+    p.entryWrite8 = a.here();
+    a.mov(Reg::Mar, Reg::In0);
+    a.writeFrom(Reg::In1, MemOp::Write8);
+    a.done();
+
+    // --- Block transfer (§A.4.2): allocate a request-table entry.
+    // In0 = starting address, In1 = byte count; Out <- tag.
+    p.entryBlockTransfer = a.here();
+    a.emit({AluOp::Nop, Reg::None, Reg::None, Reg::None, MemOp::None,
+            TableOp::Alloc, Cond::Error, 0, false,
+            "allocate entry; Out <- tag"},
+           "blk.err");
+    a.done();
+    a.label("blk.err");
+    a.done("error code latched by the data path");
+
+    // --- Block read data, one word (§A.4.3): In0 = tag.
+    p.entryBlockReadWord = a.here();
+    a.emit({AluOp::Nop, Reg::None, Reg::None, Reg::None, MemOp::None,
+            TableOp::Lookup, Cond::Error, 0, false,
+            "Mar <- entry.addr + offset"},
+           "brd.err");
+    a.emit({AluOp::Nop, Reg::None, Reg::None, Reg::None, MemOp::ReadBlk,
+            TableOp::None, Cond::Never, 0, false, "Mdr <- M[Mar]"});
+    a.mov(Reg::Out, Reg::Mdr);
+    a.emit({AluOp::Nop, Reg::None, Reg::None, Reg::None, MemOp::None,
+            TableOp::Advance, Cond::Never, 0, false, "offset += width"});
+    a.emit({AluOp::Nop, Reg::None, Reg::None, Reg::None, MemOp::None,
+            TableOp::FreeIfDone, Cond::Never, 0, false, ""});
+    a.done();
+    a.label("brd.err");
+    a.done();
+
+    // --- Block write data, one word (§A.4.4): In0 = tag, In1 = data.
+    p.entryBlockWriteWord = a.here();
+    a.emit({AluOp::Nop, Reg::None, Reg::None, Reg::None, MemOp::None,
+            TableOp::Lookup, Cond::Error, 0, false,
+            "Mar <- entry.addr + offset"},
+           "bwr.err");
+    a.emit({AluOp::PassA, Reg::In1, Reg::None, Reg::Mdr,
+            MemOp::WriteBlk, TableOp::None, Cond::Never, 0, false,
+            "M[Mar] <- In1"});
+    a.emit({AluOp::Nop, Reg::None, Reg::None, Reg::None, MemOp::None,
+            TableOp::Advance, Cond::Never, 0, false, "offset += width"});
+    a.emit({AluOp::Nop, Reg::None, Reg::None, Reg::None, MemOp::None,
+            TableOp::FreeIfDone, Cond::Never, 0, false, ""});
+    a.done();
+    a.label("bwr.err");
+    a.done();
+
+    p.store = a.assemble();
+
+    // Burn the §A.4.1 mapping PROM.
+    auto map = [&p](BusCommand c, int entry) {
+        p.dispatch[static_cast<std::size_t>(c) & 0xf] = entry;
+    };
+    map(BusCommand::SimpleRead, p.entryRead);
+    map(BusCommand::BlockTransfer, p.entryBlockTransfer);
+    map(BusCommand::BlockReadData, p.entryBlockReadWord);
+    map(BusCommand::BlockWriteData, p.entryBlockWriteWord);
+    map(BusCommand::EnqueueControlBlock, p.entryEnqueue);
+    map(BusCommand::DequeueControlBlock, p.entryDequeue);
+    map(BusCommand::FirstControlBlock, p.entryFirst);
+    map(BusCommand::WriteTwoBytes, p.entryWrite16);
+    map(BusCommand::WriteByte, p.entryWrite8);
+    return p;
+}
+
+} // namespace
+
+const MicroProgram &
+microProgram()
+{
+    static const MicroProgram p = build();
+    return p;
+}
+
+MicroSequencer::MicroSequencer(bus::SimMemory &mem, int table_entries)
+    : mem(mem), table(static_cast<std::size_t>(table_entries))
+{
+    hsipc_assert(table_entries >= 1 && table_entries <= 16);
+}
+
+MicroSequencer::RunResult
+MicroSequencer::run(int entry, std::uint16_t in0, std::uint16_t in1)
+{
+    const MicroProgram &prog = microProgram();
+    hsipc_assert(entry >= 0 &&
+                 static_cast<std::size_t>(entry) < prog.store.size());
+
+    auto reg = [this](Reg r) -> std::uint16_t & {
+        return regs[static_cast<std::size_t>(r)];
+    };
+    reg(Reg::Zero) = 0;
+    reg(Reg::In0) = in0;
+    reg(Reg::In1) = in1;
+    reg(Reg::Out) = 0;
+
+    RunResult res;
+    bool zero_flag = false;
+    bool error_flag = false;
+    bool done_flag = false;
+
+    int pc = entry;
+    for (;;) {
+        hsipc_assert(static_cast<std::size_t>(pc) < prog.store.size());
+        const MicroInstruction &mi =
+            prog.store[static_cast<std::size_t>(pc)];
+        ++res.cycles;
+        ++cycles_total;
+        if (res.cycles > 1000000)
+            hsipc_panic("micro-routine did not terminate");
+
+        // 1. ALU.
+        if (mi.alu != AluOp::Nop) {
+            const std::uint16_t a = reg(mi.srcA);
+            const std::uint16_t b =
+                mi.srcB == Reg::None ? 0 : reg(mi.srcB);
+            std::uint16_t out = 0;
+            switch (mi.alu) {
+              case AluOp::PassA: out = a; break;
+              case AluOp::Add:
+                out = static_cast<std::uint16_t>(a + b);
+                break;
+              case AluOp::Sub:
+                out = static_cast<std::uint16_t>(a - b);
+                break;
+              case AluOp::Inc:
+                out = static_cast<std::uint16_t>(a + 1);
+                break;
+              case AluOp::Nop: break;
+            }
+            zero_flag = out == 0;
+            if (mi.dest != Reg::None)
+                reg(mi.dest) = out;
+        }
+
+        // 2. Request-table operation.
+        switch (mi.table) {
+          case TableOp::None:
+            break;
+          case TableOp::Alloc: {
+            if (reg(Reg::In1) == 0) {
+                error_flag = true;
+                res.error = UcodeError::ZeroCount;
+                break;
+            }
+            int tag = -1;
+            for (std::size_t i = 0; i < table.size(); ++i) {
+                if (!table[i].valid) {
+                    tag = static_cast<int>(i);
+                    break;
+                }
+            }
+            if (tag < 0) {
+                error_flag = true;
+                res.error = UcodeError::TableFull;
+                break;
+            }
+            RequestEntry &e = table[static_cast<std::size_t>(tag)];
+            e.valid = true;
+            e.write = pendingWrite;
+            e.addr = reg(Reg::In0);
+            e.count = reg(Reg::In1);
+            e.offset = 0;
+            reg(Reg::Out) = static_cast<std::uint16_t>(tag);
+            break;
+          }
+          case TableOp::Lookup: {
+            const std::uint16_t tag = reg(Reg::In0);
+            if (tag >= table.size() || !table[tag].valid) {
+                error_flag = true;
+                res.error = UcodeError::InvalidTag;
+                break;
+            }
+            const RequestEntry &e = table[tag];
+            reg(Reg::Mar) = static_cast<std::uint16_t>(e.addr +
+                                                       e.offset);
+            lastAccessWidth = (e.count - e.offset) >= 2 ? 2 : 1;
+            break;
+          }
+          case TableOp::Advance: {
+            const std::uint16_t tag = reg(Reg::In0);
+            hsipc_assert(tag < table.size() && table[tag].valid);
+            table[tag].offset = static_cast<std::uint16_t>(
+                table[tag].offset + lastAccessWidth);
+            break;
+          }
+          case TableOp::FreeIfDone: {
+            const std::uint16_t tag = reg(Reg::In0);
+            hsipc_assert(tag < table.size() && table[tag].valid);
+            if (table[tag].offset >= table[tag].count)
+                table[tag].valid = false;
+            done_flag = table[tag].offset >= table[tag].count;
+            break;
+          }
+        }
+
+        // 3. Memory port.
+        switch (mi.mem) {
+          case MemOp::None:
+            break;
+          case MemOp::Read16:
+            reg(Reg::Mdr) = mem.read16(reg(Reg::Mar));
+            break;
+          case MemOp::Write16:
+            mem.write16(reg(Reg::Mar), reg(Reg::Mdr));
+            break;
+          case MemOp::Write8:
+            mem.write8(reg(Reg::Mar),
+                       static_cast<std::uint8_t>(reg(Reg::Mdr)));
+            break;
+          case MemOp::ReadBlk:
+            if (lastAccessWidth == 2)
+                reg(Reg::Mdr) = mem.read16(reg(Reg::Mar));
+            else
+                reg(Reg::Mdr) = mem.read8(reg(Reg::Mar));
+            break;
+          case MemOp::WriteBlk:
+            if (lastAccessWidth == 2)
+                mem.write16(reg(Reg::Mar), reg(Reg::Mdr));
+            else
+                mem.write8(reg(Reg::Mar),
+                           static_cast<std::uint8_t>(reg(Reg::Mdr)));
+            break;
+        }
+
+        // 4. Sequencing.
+        if (mi.done) {
+            res.value = reg(Reg::Out);
+            return res;
+        }
+        bool take = false;
+        switch (mi.cond) {
+          case Cond::Never: break;
+          case Cond::Always: take = true; break;
+          case Cond::Zero: take = zero_flag; break;
+          case Cond::NotZero: take = !zero_flag; break;
+          case Cond::Error: take = error_flag; break;
+          case Cond::Done: take = done_flag; break;
+        }
+        pc = take ? mi.target : pc + 1;
+    }
+}
+
+MicroSequencer::RunResult
+MicroSequencer::blockTransfer(bool write, Addr addr, std::uint16_t count)
+{
+    pendingWrite = write;
+    return run(microProgram().entryBlockTransfer, addr, count);
+}
+
+MicroSequencer::RunResult
+MicroSequencer::runCommand(BusCommand c, std::uint16_t in0,
+                           std::uint16_t in1)
+{
+    // Main loop (Fig A.5): latch CM into the command register, map to
+    // a micro-address, execute; unknown codes are a §A.5.3 error.
+    regs[static_cast<std::size_t>(Reg::Cmd)] =
+        static_cast<std::uint16_t>(c);
+    const int entry = microProgram().entryForCommand(c);
+    if (entry < 0) {
+        RunResult res;
+        res.error = UcodeError::BadCommand;
+        res.cycles = 1;
+        ++cycles_total;
+        return res;
+    }
+    return run(entry, in0, in1);
+}
+
+void
+MicrocodedController::enqueue(Addr list, Addr element)
+{
+    const auto r = seq.run(microProgram().entryEnqueue, list, element);
+    last_error = r.error;
+    hsipc_assert(r.error == UcodeError::None);
+}
+
+Addr
+MicrocodedController::first(Addr list)
+{
+    const auto r = seq.run(microProgram().entryFirst, list, 0);
+    last_error = r.error;
+    return r.value;
+}
+
+void
+MicrocodedController::dequeue(Addr list, Addr element)
+{
+    const auto r = seq.run(microProgram().entryDequeue, list, element);
+    last_error = r.error;
+}
+
+std::uint16_t
+MicrocodedController::read(Addr a)
+{
+    const auto r = seq.run(microProgram().entryRead, a, 0);
+    last_error = r.error;
+    return r.value;
+}
+
+void
+MicrocodedController::write16(Addr a, std::uint16_t v)
+{
+    const auto r = seq.run(microProgram().entryWrite16, a, v);
+    last_error = r.error;
+}
+
+void
+MicrocodedController::write8(Addr a, std::uint8_t v)
+{
+    const auto r = seq.run(microProgram().entryWrite8, a, v);
+    last_error = r.error;
+}
+
+const std::vector<ComponentCount> &
+dataPathComponents()
+{
+    // Reconstruction of Table A.1 from this data-path design, in
+    // active components (gate-equivalents).
+    static const std::vector<ComponentCount> table = {
+        {"Register file (12 x 16-bit)", 1536},
+        {"ALU (16-bit add/sub/pass)", 820},
+        {"Request table (8 entries x 50 bits)", 3200},
+        {"Operand/result bus latches", 288},
+        {"Source/destination multiplexors", 360},
+        {"Memory-port drivers and control", 180},
+    };
+    return table;
+}
+
+int
+dataPathComponentTotal()
+{
+    int total = 0;
+    for (const ComponentCount &c : dataPathComponents())
+        total += c.count;
+    return total;
+}
+
+} // namespace hsipc::ucode

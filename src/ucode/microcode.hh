@@ -1,0 +1,281 @@
+/**
+ * @file
+ * The microprogrammed smart-shared-memory controller of Appendix A.
+ *
+ * The thesis argues the smart bus is feasible by designing the memory
+ * controller in detail: a micro-sequencer driving a small data path
+ * (registers, an ALU, a block-request table, and the memory port),
+ * with micro-routines for every bus command and under 3000 bits of
+ * micro-store.  This module makes that design executable:
+ *
+ *  - MicroInstruction is the horizontal micro-word (Fig A.3):
+ *    an ALU operation with two source registers and a destination, an
+ *    optional memory operation (MAR/MDR), an optional request-table
+ *    operation, and a branch condition with target;
+ *  - MicroSequencer executes a micro-program cycle by cycle;
+ *  - buildMicroProgram() assembles the micro-routines of §A.4 (main
+ *    loop dispatch, enqueue/first/dequeue control block, read/write,
+ *    block transfer, block read/write data);
+ *  - MicrocodedController adapts the machine to the bus's
+ *    MemoryController interface so the smart-bus simulator can run on
+ *    real microcode, and exposes the §A.5 error conditions.
+ */
+
+#ifndef HSIPC_UCODE_MICROCODE_HH
+#define HSIPC_UCODE_MICROCODE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bus/memory.hh"
+#include "bus/signals.hh"
+#include "bus/smart_bus.hh"
+
+namespace hsipc::ucode
+{
+
+using bus::Addr;
+using bus::BusCommand;
+
+/** The data-path registers. */
+enum class Reg : std::uint8_t
+{
+    None, //!< no write-back
+    Zero, //!< constant 0
+    Cmd,  //!< latched command lines CM0-3
+    In0,  //!< first bus operand (list/address/tag)
+    In1,  //!< second bus operand (element/count/data)
+    Out,  //!< result latch driven back onto the bus
+    Mar,  //!< memory address register
+    Mdr,  //!< memory data register
+    Tail,
+    First,
+    Prev,
+    Curr,
+    Tmp,
+    NumRegs,
+};
+
+/** ALU operations. */
+enum class AluOp : std::uint8_t
+{
+    PassA, //!< result = A
+    Add,   //!< result = A + B
+    Sub,   //!< result = A - B (drives the Zero condition)
+    Inc,   //!< result = A + 1
+    Nop,   //!< no ALU activity this cycle
+};
+
+/** Memory-port operations (address in Mar, data through Mdr). */
+enum class MemOp : std::uint8_t
+{
+    None,
+    Read16,   //!< Mdr <- M[Mar]
+    Write16,  //!< M[Mar] <- Mdr
+    Write8,   //!< M[Mar] <- low byte of Mdr
+    ReadBlk,  //!< block access at the width latched by TableOp::Lookup
+    WriteBlk, //!< block access at the latched width
+};
+
+/** Request-table operations (the table is part of the data path). */
+enum class TableOp : std::uint8_t
+{
+    None,
+    Alloc,   //!< allocate {In0=addr, In1=count}; Out <- tag or error
+    Lookup,  //!< Mar <- entry[In0].addr + offset; error on bad tag
+    Advance, //!< entry[In0].offset += width of the last access
+    FreeIfDone, //!< release entry[In0] once offset >= count
+};
+
+/** Branch conditions (evaluated after the ALU). */
+enum class Cond : std::uint8_t
+{
+    Never,   //!< fall through
+    Always,  //!< jump
+    Zero,    //!< jump when the last ALU result was zero
+    NotZero, //!< jump when it was not
+    Error,   //!< jump when the data path raised an error flag
+    Done,    //!< jump when the table entry is exhausted
+};
+
+/** One horizontal micro-word. */
+struct MicroInstruction
+{
+    AluOp alu = AluOp::Nop;
+    Reg srcA = Reg::None;
+    Reg srcB = Reg::None;
+    Reg dest = Reg::None;
+    MemOp mem = MemOp::None;
+    TableOp table = TableOp::None;
+    Cond cond = Cond::Never;
+    int target = 0;
+    bool done = false; //!< end of routine: return to the main loop
+    const char *comment = "";
+};
+
+/** Width of the micro-word in bits (for the §5.5 size claim). */
+int microWordBits();
+
+/** Error codes of §A.5. */
+enum class UcodeError
+{
+    None,
+    TableFull,    //!< block request with no free table entry
+    InvalidTag,   //!< data transfer for an unallocated tag
+    ZeroCount,    //!< block request for zero bytes
+    BadCommand,   //!< unknown command code
+};
+
+std::string ucodeErrorName(UcodeError e);
+
+/** Entry points into the micro-program, one per bus command. */
+struct MicroProgram
+{
+    std::vector<MicroInstruction> store;
+
+    /**
+     * The §A.4.1 main-loop dispatch: the latched command lines index
+     * a small mapping PROM of micro-addresses (16 commands x 7 bits).
+     * -1 marks an unassigned code (§A.5.3 non-programming error).
+     */
+    int dispatch[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                        -1, -1, -1, -1, -1, -1, -1, -1};
+
+    int
+    entryForCommand(BusCommand c) const
+    {
+        return dispatch[static_cast<std::size_t>(c) & 0xf];
+    }
+
+    /** Bits of the command-to-address mapping PROM. */
+    static int mappingPromBits() { return 16 * 7; }
+    int entryEnqueue = -1;
+    int entryDequeue = -1;
+    int entryFirst = -1;
+    int entryRead = -1;
+    int entryWrite16 = -1;
+    int entryWrite8 = -1;
+    int entryBlockTransfer = -1;
+    int entryBlockReadWord = -1;
+    int entryBlockWriteWord = -1;
+
+    /** Total control-store bits: micro-words plus mapping PROM. */
+    int sizeBits() const
+    {
+        return static_cast<int>(store.size()) * microWordBits() +
+               mappingPromBits();
+    }
+};
+
+/** Assemble the §A.4 micro-routines. */
+const MicroProgram &microProgram();
+
+/** One block-request-table entry of the data path. */
+struct RequestEntry
+{
+    bool valid = false;
+    bool write = false;
+    Addr addr = 0;
+    std::uint16_t count = 0;
+    std::uint16_t offset = 0;
+};
+
+/**
+ * The micro-sequencer plus data path, bound to a simulated memory.
+ * run() executes one routine and reports the result, the error state,
+ * and the number of micro-cycles consumed.
+ */
+class MicroSequencer
+{
+  public:
+    MicroSequencer(bus::SimMemory &mem, int table_entries = 8);
+
+    struct RunResult
+    {
+        std::uint16_t value = 0;
+        UcodeError error = UcodeError::None;
+        int cycles = 0;
+    };
+
+    /** Execute the routine at @p entry with the two bus operands. */
+    RunResult run(int entry, std::uint16_t in0, std::uint16_t in1);
+
+    /**
+     * The main loop (§A.4.1): latch the command lines, dispatch
+     * through the mapping PROM, execute.  Unassigned codes raise
+     * BadCommand.  For BlockTransfer the transfer direction must have
+     * been latched with setTransferDirection().
+     */
+    RunResult runCommand(BusCommand c, std::uint16_t in0,
+                         std::uint16_t in1);
+
+    /** Latch the direction of the next block-transfer request. */
+    void setTransferDirection(bool write) { pendingWrite = write; }
+
+    /** Allocate a block request directly (the block-transfer path). */
+    RunResult blockTransfer(bool write, Addr addr, std::uint16_t count);
+
+    const std::vector<RequestEntry> &requestTable() const
+    {
+        return table;
+    }
+
+    long totalCycles() const { return cycles_total; }
+
+  private:
+    friend class MicrocodedController;
+
+    bus::SimMemory &mem;
+    std::vector<RequestEntry> table;
+    std::uint16_t regs[static_cast<std::size_t>(Reg::NumRegs)] = {};
+    long cycles_total = 0;
+    int lastAccessWidth = 2;
+    bool pendingWrite = false; //!< direction latch for TableOp::Alloc
+};
+
+/**
+ * Adapter running the smart bus on microcode.  Also exposes the
+ * block-transfer path so tests can stream via the micro-routines.
+ */
+class MicrocodedController : public bus::MemoryController
+{
+  public:
+    explicit MicrocodedController(bus::SimMemory &mem) : seq(mem) {}
+
+    void enqueue(Addr list, Addr element) override;
+    Addr first(Addr list) override;
+    void dequeue(Addr list, Addr element) override;
+    std::uint16_t read(Addr a) override;
+    void write16(Addr a, std::uint16_t v) override;
+    void write8(Addr a, std::uint8_t v) override;
+
+    MicroSequencer &sequencer() { return seq; }
+    UcodeError lastError() const { return last_error; }
+
+  private:
+    MicroSequencer seq;
+    UcodeError last_error = UcodeError::None;
+};
+
+/** One row of the Table A.1 component inventory. */
+struct ComponentCount
+{
+    const char *component;
+    int count;
+};
+
+/**
+ * Active-component inventory of the data-path chip (Table A.1's
+ * counterpart, derived from this design; the thesis reports roughly
+ * 6000 active components for the data path and 1000 for the
+ * sequencer).
+ */
+const std::vector<ComponentCount> &dataPathComponents();
+
+/** Total active components in the data path. */
+int dataPathComponentTotal();
+
+} // namespace hsipc::ucode
+
+#endif // HSIPC_UCODE_MICROCODE_HH

@@ -1,0 +1,219 @@
+#include "unixsock/sockets.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace hsipc::unixsock
+{
+
+namespace
+{
+
+struct Process
+{
+    std::string name;
+};
+
+/** One endpoint of a connected pair. */
+struct Socket
+{
+    bool alive = false;
+    ProcId owner = -1;
+    SockId peer = -1;
+    bool nonBlocking = false;
+    bool peerClosed = false;
+
+    // Inbound byte stream (toward this endpoint).
+    std::deque<std::uint8_t> inbound;
+    // A blocking sender's overflow, drained as inbound empties.
+    std::deque<std::uint8_t> backlog;
+};
+
+} // namespace
+
+struct SocketKernel::Impl
+{
+    std::vector<Process> procs;
+    std::vector<Socket> socks;
+    std::size_t capacity;
+
+    bool
+    valid(SockId s) const
+    {
+        return s >= 0 && static_cast<std::size_t>(s) < socks.size() &&
+               socks[static_cast<std::size_t>(s)].alive;
+    }
+
+    Socket &sock(SockId s) { return socks[static_cast<std::size_t>(s)]; }
+
+    /** Move backlog bytes into the inbound buffer as space appears. */
+    void
+    drainBacklog(Socket &dst)
+    {
+        while (!dst.backlog.empty() && dst.inbound.size() < capacity) {
+            dst.inbound.push_back(dst.backlog.front());
+            dst.backlog.pop_front();
+        }
+    }
+};
+
+SocketKernel::SocketKernel(int bufferBytes)
+    : impl(std::make_unique<Impl>())
+{
+    hsipc_assert(bufferBytes >= 1);
+    impl->capacity = static_cast<std::size_t>(bufferBytes);
+}
+
+SocketKernel::~SocketKernel() = default;
+
+ProcId
+SocketKernel::createProcess(std::string name)
+{
+    impl->procs.push_back(Process{std::move(name)});
+    return static_cast<ProcId>(impl->procs.size() - 1);
+}
+
+std::pair<SockId, SockId>
+SocketKernel::socketPair(ProcId a, ProcId b)
+{
+    const SockId sa = static_cast<SockId>(impl->socks.size());
+    const SockId sb = sa + 1;
+    Socket ea;
+    ea.alive = true;
+    ea.owner = a;
+    ea.peer = sb;
+    Socket eb;
+    eb.alive = true;
+    eb.owner = b;
+    eb.peer = sa;
+    impl->socks.push_back(std::move(ea));
+    impl->socks.push_back(std::move(eb));
+    return {sa, sb};
+}
+
+SockStatus
+SocketKernel::setNonBlocking(ProcId p, SockId s, bool on)
+{
+    if (!impl->valid(s))
+        return SockStatus::BadSocket;
+    if (impl->sock(s).owner != p)
+        return SockStatus::NotOwner;
+    impl->sock(s).nonBlocking = on;
+    return SockStatus::Ok;
+}
+
+SockStatus
+SocketKernel::send(ProcId p, SockId s,
+                   const std::vector<std::uint8_t> &data,
+                   std::size_t *accepted)
+{
+    if (accepted)
+        *accepted = 0;
+    if (!impl->valid(s))
+        return SockStatus::BadSocket;
+    Socket &me = impl->sock(s);
+    if (me.owner != p)
+        return SockStatus::NotOwner;
+    if (me.peerClosed || !impl->valid(me.peer))
+        return SockStatus::PipeClosed; // SIGPIPE territory
+    Socket &dst = impl->sock(me.peer);
+
+    std::size_t taken = 0;
+    for (std::uint8_t byte : data) {
+        if (dst.inbound.size() < impl->capacity &&
+            dst.backlog.empty()) {
+            dst.inbound.push_back(byte);
+            ++taken;
+        } else if (!me.nonBlocking) {
+            dst.backlog.push_back(byte);
+            ++taken;
+        } else {
+            break;
+        }
+    }
+    if (accepted)
+        *accepted = taken;
+    if (me.nonBlocking)
+        return taken > 0 ? SockStatus::Ok : SockStatus::WouldBlock;
+    return dst.backlog.empty() ? SockStatus::Ok : SockStatus::Blocked;
+}
+
+SockStatus
+SocketKernel::recv(ProcId p, SockId s, std::size_t max,
+                   std::vector<std::uint8_t> &out)
+{
+    out.clear();
+    if (!impl->valid(s))
+        return SockStatus::BadSocket;
+    Socket &me = impl->sock(s);
+    if (me.owner != p)
+        return SockStatus::NotOwner;
+
+    if (me.inbound.empty()) {
+        if (me.peerClosed)
+            return SockStatus::Eof;
+        return me.nonBlocking ? SockStatus::WouldBlock
+                              : SockStatus::Blocked;
+    }
+    const std::size_t n = std::min(max, me.inbound.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(me.inbound.front());
+        me.inbound.pop_front();
+    }
+    // Space opened up: a blocked peer sender's backlog flows in.
+    impl->drainBacklog(me);
+    return SockStatus::Ok;
+}
+
+bool
+SocketKernel::readable(SockId s) const
+{
+    if (!impl->valid(s))
+        return false;
+    const Socket &me =
+        impl->socks[static_cast<std::size_t>(s)];
+    return !me.inbound.empty() || me.peerClosed;
+}
+
+bool
+SocketKernel::senderBlocked(SockId s) const
+{
+    if (!impl->valid(s))
+        return false;
+    const Socket &me = impl->socks[static_cast<std::size_t>(s)];
+    if (me.peer < 0 ||
+        static_cast<std::size_t>(me.peer) >= impl->socks.size())
+        return false;
+    return !impl->socks[static_cast<std::size_t>(me.peer)]
+                .backlog.empty();
+}
+
+SockStatus
+SocketKernel::close(ProcId p, SockId s)
+{
+    if (!impl->valid(s))
+        return SockStatus::BadSocket;
+    Socket &me = impl->sock(s);
+    if (me.owner != p)
+        return SockStatus::NotOwner;
+    me.alive = false;
+    if (impl->valid(me.peer)) {
+        Socket &peer = impl->sock(me.peer);
+        peer.peerClosed = true;
+        // Whatever the closer had queued (including a backlog toward
+        // the peer) stays readable; the peer drains then sees EOF.
+        impl->drainBacklog(peer);
+    }
+    return SockStatus::Ok;
+}
+
+std::size_t
+SocketKernel::buffered(SockId s) const
+{
+    hsipc_assert(impl->valid(s));
+    return impl->socks[static_cast<std::size_t>(s)].inbound.size();
+}
+
+} // namespace hsipc::unixsock

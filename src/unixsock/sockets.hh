@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A functional implementation of 4.2bsd Unix socket IPC (§3.2) — the
+ * fourth system the thesis profiles (Tables 3.4/3.5), included
+ * because it is the monolithic-kernel counterpoint to the three
+ * message-based systems.
+ *
+ * The semantics that distinguish sockets from links/paths/services:
+ *  - a connected socket pair is a *byte stream*, not a message queue:
+ *    message boundaries are not preserved (sends coalesce, receives
+ *    split);
+ *  - data is kernel-buffered per direction with a bounded buffer;
+ *    senders block on a full buffer and receivers on an empty one —
+ *    unless the socket was marked non-blocking via a socket option
+ *    (§3.2.3), in which case the call fails with WouldBlock;
+ *  - either side may close; the peer then reads the remaining bytes
+ *    followed by end-of-file, and further sends fail;
+ *  - polling for readability exists (select()), but there is no
+ *    selective receipt and no handler mechanism (§3.2.5).
+ *
+ * Blocking is modeled functionally: a blocking send on a full buffer
+ * queues the overflow and the kernel reports the process Blocked; the
+ * backlog drains automatically as the peer receives, unblocking the
+ * sender.
+ */
+
+#ifndef HSIPC_UNIXSOCK_SOCKETS_HH
+#define HSIPC_UNIXSOCK_SOCKETS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hsipc::unixsock
+{
+
+using ProcId = int;
+using SockId = int;
+
+/** Status codes mirroring errno-style outcomes. */
+enum class SockStatus
+{
+    Ok,
+    WouldBlock, //!< non-blocking op could not proceed (EWOULDBLOCK)
+    Blocked,    //!< blocking send queued a backlog; process sleeps
+    Eof,        //!< peer closed and the stream is drained
+    BadSocket,  //!< closed/unknown descriptor (EBADF)
+    NotOwner,   //!< descriptor belongs to another process
+    PipeClosed, //!< send after the peer closed (EPIPE)
+};
+
+/** The socket layer. */
+class SocketKernel
+{
+  public:
+    explicit SocketKernel(int bufferBytes = 4096);
+    ~SocketKernel();
+
+    ProcId createProcess(std::string name);
+
+    /** A connected pair (socketpair(2)); returns (a's fd, b's fd). */
+    std::pair<SockId, SockId> socketPair(ProcId a, ProcId b);
+
+    /** The §3.2.3 socket option: non-blocking operations. */
+    SockStatus setNonBlocking(ProcId p, SockId s, bool on);
+
+    /**
+     * Send bytes down the stream.  Blocking sockets accept everything
+     * (queueing a backlog and reporting Blocked when the buffer
+     * fills); non-blocking sockets accept what fits and return
+     * WouldBlock if that is nothing.  @p accepted reports the bytes
+     * taken.
+     */
+    SockStatus send(ProcId p, SockId s,
+                    const std::vector<std::uint8_t> &data,
+                    std::size_t *accepted = nullptr);
+
+    /**
+     * Receive up to @p max bytes.  Returns Ok with 1..max bytes,
+     * WouldBlock (non-blocking, empty), Blocked (blocking, empty —
+     * the caller sleeps), or Eof.
+     */
+    SockStatus recv(ProcId p, SockId s, std::size_t max,
+                    std::vector<std::uint8_t> &out);
+
+    /** select()-style readability: data queued or EOF pending. */
+    bool readable(SockId s) const;
+
+    /** True while a blocking sender has an undrained backlog. */
+    bool senderBlocked(SockId s) const;
+
+    /** Close this endpoint. */
+    SockStatus close(ProcId p, SockId s);
+
+    /** Bytes currently buffered toward this endpoint. */
+    std::size_t buffered(SockId s) const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace hsipc::unixsock
+
+#endif // HSIPC_UNIXSOCK_SOCKETS_HH

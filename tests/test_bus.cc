@@ -1,0 +1,493 @@
+/**
+ * @file
+ * Tests for the smart bus: memory, queue primitives, Taub arbitration,
+ * and edge-accurate transaction timing (chapter 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "bus/arbiter.hh"
+#include "bus/memory.hh"
+#include "bus/queue_ops.hh"
+#include "bus/signals.hh"
+#include "bus/smart_bus.hh"
+#include "bus/timing.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::bus;
+
+TEST(SimMemory, WordAccessIsLittleEndian)
+{
+    SimMemory m(64);
+    m.write16(10, 0xbeef);
+    EXPECT_EQ(m.read8(10), 0xef);
+    EXPECT_EQ(m.read8(11), 0xbe);
+    EXPECT_EQ(m.read16(10), 0xbeef);
+    m.write8(11, 0xde);
+    EXPECT_EQ(m.read16(10), 0xdeef);
+}
+
+TEST(SimMemory, OutOfRangeAccessPanics)
+{
+    SimMemory m(16);
+    EXPECT_DEATH(m.read16(15), "assert");
+}
+
+// --- Queue primitives ---------------------------------------------------
+
+class QueueFixture : public ::testing::Test
+{
+  protected:
+    QueueFixture() : mem(1024) {}
+
+    static constexpr Addr list = 2; //!< tail-pointer word
+
+    /** Element addresses (word 0 of each is its next pointer). */
+    static constexpr Addr el(int i) { return static_cast<Addr>(16 + 16 * i); }
+
+    SimMemory mem;
+};
+
+TEST_F(QueueFixture, EnqueueOnEmptyListSelfLinks)
+{
+    QueueOps::enqueue(mem, list, el(0));
+    EXPECT_EQ(mem.read16(list), el(0));
+    EXPECT_EQ(mem.read16(el(0)), el(0)); // circular self-link
+    EXPECT_EQ(QueueOps::toVector(mem, list), std::vector<Addr>{el(0)});
+}
+
+TEST_F(QueueFixture, EnqueuePreservesFifoOrder)
+{
+    for (int i = 0; i < 4; ++i)
+        QueueOps::enqueue(mem, list, el(i));
+    EXPECT_EQ(QueueOps::toVector(mem, list),
+              (std::vector<Addr>{el(0), el(1), el(2), el(3)}));
+    EXPECT_EQ(mem.read16(list), el(3)); // list points at the tail
+}
+
+TEST_F(QueueFixture, FirstDequeuesInOrderUntilEmpty)
+{
+    for (int i = 0; i < 3; ++i)
+        QueueOps::enqueue(mem, list, el(i));
+    EXPECT_EQ(QueueOps::first(mem, list), el(0));
+    EXPECT_EQ(QueueOps::first(mem, list), el(1));
+    EXPECT_EQ(QueueOps::first(mem, list), el(2));
+    EXPECT_EQ(mem.read16(list), nullAddr);
+    EXPECT_EQ(QueueOps::first(mem, list), nullAddr); // stays empty
+}
+
+TEST_F(QueueFixture, DequeueHeadMiddleTail)
+{
+    for (int i = 0; i < 4; ++i)
+        QueueOps::enqueue(mem, list, el(i));
+
+    EXPECT_TRUE(QueueOps::dequeue(mem, list, el(2))); // middle
+    EXPECT_EQ(QueueOps::toVector(mem, list),
+              (std::vector<Addr>{el(0), el(1), el(3)}));
+
+    EXPECT_TRUE(QueueOps::dequeue(mem, list, el(0))); // head
+    EXPECT_EQ(QueueOps::toVector(mem, list),
+              (std::vector<Addr>{el(1), el(3)}));
+
+    EXPECT_TRUE(QueueOps::dequeue(mem, list, el(3))); // tail
+    EXPECT_EQ(QueueOps::toVector(mem, list), std::vector<Addr>{el(1)});
+    EXPECT_EQ(mem.read16(list), el(1)); // tail pointer updated
+}
+
+TEST_F(QueueFixture, DequeueSingletonEmptiesList)
+{
+    QueueOps::enqueue(mem, list, el(0));
+    EXPECT_TRUE(QueueOps::dequeue(mem, list, el(0)));
+    EXPECT_EQ(mem.read16(list), nullAddr);
+}
+
+TEST_F(QueueFixture, DequeueMissingElementIsNoOp)
+{
+    QueueOps::enqueue(mem, list, el(0));
+    QueueOps::enqueue(mem, list, el(1));
+    EXPECT_FALSE(QueueOps::dequeue(mem, list, el(5)));
+    EXPECT_EQ(QueueOps::toVector(mem, list),
+              (std::vector<Addr>{el(0), el(1)}));
+    EXPECT_FALSE(QueueOps::dequeue(mem, SimMemory(16).size() ? 4 : 4,
+                                   el(5))); // empty list no-op
+}
+
+/** Property sweep: random op sequences against a std::deque model. */
+class QueueProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(QueueProperty, MatchesDequeModel)
+{
+    SimMemory mem(4096);
+    const Addr list = 2;
+    Rng rng(GetParam());
+    std::deque<Addr> model;
+    std::vector<Addr> free_elems;
+    for (int i = 0; i < 40; ++i)
+        free_elems.push_back(static_cast<Addr>(64 + 16 * i));
+
+    for (int step = 0; step < 600; ++step) {
+        const int choice = static_cast<int>(rng.below(3));
+        if (choice == 0 && !free_elems.empty()) {
+            const Addr e = free_elems.back();
+            free_elems.pop_back();
+            QueueOps::enqueue(mem, list, e);
+            model.push_back(e);
+        } else if (choice == 1) {
+            const Addr got = QueueOps::first(mem, list);
+            if (model.empty()) {
+                ASSERT_EQ(got, nullAddr);
+            } else {
+                ASSERT_EQ(got, model.front());
+                model.pop_front();
+                free_elems.push_back(got);
+            }
+        } else if (choice == 2 && !model.empty()) {
+            const std::size_t k = rng.below(model.size());
+            const Addr victim = model[k];
+            ASSERT_TRUE(QueueOps::dequeue(mem, list, victim));
+            model.erase(model.begin() + static_cast<long>(k));
+            free_elems.push_back(victim);
+        }
+        ASSERT_EQ(QueueOps::toVector(mem, list),
+                  std::vector<Addr>(model.begin(), model.end()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Arbitration --------------------------------------------------------
+
+TEST(Arbiter, WinnerIsMaximumForAllPairs)
+{
+    for (BusPriority a = 0; a < 8; ++a) {
+        for (BusPriority b = 0; b < 8; ++b) {
+            if (a == b)
+                continue;
+            const std::size_t w = taubArbitrate({a, b});
+            EXPECT_EQ(w, a > b ? 0u : 1u) << int(a) << " vs " << int(b);
+        }
+    }
+}
+
+TEST(Arbiter, WinnerIsMaximumForTriples)
+{
+    for (BusPriority a = 0; a < 8; ++a) {
+        for (BusPriority b = 0; b < 8; ++b) {
+            for (BusPriority c = 0; c < 8; ++c) {
+                if (a == b || b == c || a == c)
+                    continue;
+                const std::size_t w = taubArbitrate({a, b, c});
+                const BusPriority expect = std::max({a, b, c});
+                EXPECT_EQ((std::vector<BusPriority>{a, b, c})[w], expect);
+            }
+        }
+    }
+}
+
+TEST(Arbiter, SingleContenderWins)
+{
+    EXPECT_EQ(taubArbitrate({3}), 0u);
+}
+
+// --- Smart bus timing and behaviour -------------------------------------
+
+TEST(SignalTable, MatchesTable51)
+{
+    // Table 5.1 sums to 33 physical lines.
+    EXPECT_EQ(busTotalLines(), 33);
+    EXPECT_EQ(busSignalTable().size(), 10u);
+}
+
+class SmartBusFixture : public ::testing::Test
+{
+  protected:
+    SmartBusFixture() : mem(4096), bus(mem)
+    {
+        host = bus.addUnit("Host", 2);
+        mp = bus.addUnit("MP", 3);
+        nic = bus.addUnit("NIC", 7);
+    }
+
+    SimMemory mem;
+    SmartBus bus;
+    int host, mp, nic;
+};
+
+TEST_F(SmartBusFixture, EnqueueTakesFourEdges)
+{
+    const auto op = bus.postEnqueue(mp, 2, 32);
+    bus.run();
+    const OpResult &r = bus.result(op);
+    ASSERT_TRUE(r.done);
+    EXPECT_FALSE(r.error);
+    EXPECT_EQ(r.endEdge - r.startEdge, 4);
+    EXPECT_DOUBLE_EQ(r.durationUs(), 1.0);
+    EXPECT_EQ(QueueOps::toVector(mem, 2), std::vector<Addr>{32});
+}
+
+TEST_F(SmartBusFixture, FirstTakesEightEdgesAndReturnsHead)
+{
+    QueueOps::enqueue(mem, 2, 32);
+    QueueOps::enqueue(mem, 2, 48);
+    const auto op = bus.postFirst(mp, 2);
+    bus.run();
+    const OpResult &r = bus.result(op);
+    ASSERT_TRUE(r.done);
+    EXPECT_EQ(r.endEdge - r.startEdge, 8);
+    EXPECT_DOUBLE_EQ(r.durationUs(), 2.0);
+    EXPECT_EQ(r.value, 32);
+}
+
+TEST_F(SmartBusFixture, SimpleReadAndWrites)
+{
+    const auto w = bus.postWrite16(host, 100, 0x1234);
+    const auto wb = bus.postWrite8(host, 102, 0x56);
+    const auto rd = bus.postRead(host, 100);
+    bus.run();
+    EXPECT_EQ(bus.result(w).endEdge - bus.result(w).startEdge, 4);
+    EXPECT_EQ(bus.result(wb).endEdge - bus.result(wb).startEdge, 4);
+    EXPECT_EQ(bus.result(rd).endEdge - bus.result(rd).startEdge, 8);
+    EXPECT_EQ(bus.result(rd).value, 0x1234);
+    EXPECT_EQ(mem.read8(102), 0x56);
+}
+
+TEST_F(SmartBusFixture, FortyByteBlockReadTakesElevenMicroseconds)
+{
+    for (Addr a = 0; a < 40; ++a)
+        mem.write8(static_cast<Addr>(512 + a),
+                   static_cast<std::uint8_t>(a * 3));
+    const auto op = bus.postBlockRead(mp, 512, 40);
+    bus.run();
+    const OpResult &r = bus.result(op);
+    ASSERT_TRUE(r.done);
+    // Table 6.1: one four-edge handshake followed by twenty two-edge
+    // transfers = 44 edges = 11 us.
+    EXPECT_EQ(r.endEdge - r.startEdge, 44);
+    EXPECT_DOUBLE_EQ(r.durationUs(), 11.0);
+    ASSERT_EQ(r.data.size(), 40u);
+    for (int i = 0; i < 40; ++i)
+        EXPECT_EQ(r.data[static_cast<std::size_t>(i)], (i * 3) & 0xff);
+}
+
+TEST_F(SmartBusFixture, BlockWriteStoresDataAndMatchesTiming)
+{
+    std::vector<std::uint8_t> payload;
+    for (int i = 0; i < 40; ++i)
+        payload.push_back(static_cast<std::uint8_t>(200 - i));
+    const auto op = bus.postBlockWrite(mp, 768, payload);
+    bus.run();
+    const OpResult &r = bus.result(op);
+    ASSERT_TRUE(r.done);
+    EXPECT_EQ(r.endEdge - r.startEdge, 44);
+    for (int i = 0; i < 40; ++i)
+        EXPECT_EQ(mem.read8(static_cast<Addr>(768 + i)), 200 - i);
+}
+
+TEST_F(SmartBusFixture, OddLengthBlockRecoversGracefully)
+{
+    std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+    const auto w = bus.postBlockWrite(host, 900, payload);
+    bus.run();
+    ASSERT_TRUE(bus.result(w).done);
+    EXPECT_FALSE(bus.result(w).error);
+    const auto r = bus.postBlockRead(host, 900, 5);
+    bus.run();
+    EXPECT_EQ(bus.result(r).data, payload);
+}
+
+TEST_F(SmartBusFixture, ZeroCountBlockRequestFails)
+{
+    const auto op = bus.postBlockRead(host, 0, 0);
+    bus.run();
+    EXPECT_TRUE(bus.result(op).error);
+}
+
+TEST_F(SmartBusFixture, HigherPriorityPreemptsBlockStream)
+{
+    // Start a long (200-byte) read stream for the low-priority host.
+    const auto blk = bus.postBlockRead(host, 0, 200);
+    ASSERT_TRUE(bus.step()); // block transfer request
+    ASSERT_TRUE(bus.step()); // first two-transfer grant
+    const long before = bus.nowEdges();
+
+    // The NIC (priority 7) now needs an atomic enqueue.
+    const auto enq = bus.postEnqueue(nic, 2, 32);
+    bus.run();
+
+    const OpResult &er = bus.result(enq);
+    const OpResult &br = bus.result(blk);
+    ASSERT_TRUE(er.done && br.done);
+    // The enqueue won the very next arbitration...
+    EXPECT_EQ(er.startEdge, before);
+    // ...and the stream finished afterwards, lengthened by exactly the
+    // stolen tenure.
+    EXPECT_GT(br.endEdge, er.endEdge);
+    EXPECT_EQ(br.endEdge - br.startEdge, 4 + 200 + 4);
+    EXPECT_GE(bus.preemptionCount(), 1);
+    EXPECT_EQ(br.data.size(), 200u);
+}
+
+TEST_F(SmartBusFixture, SameUnitOperationsAreFifo)
+{
+    const auto a = bus.postEnqueue(host, 2, 32);
+    const auto b = bus.postEnqueue(host, 2, 48);
+    const auto c = bus.postFirst(host, 2);
+    bus.run();
+    EXPECT_LT(bus.result(a).endEdge, bus.result(b).endEdge);
+    EXPECT_LT(bus.result(b).endEdge, bus.result(c).endEdge);
+    EXPECT_EQ(bus.result(c).value, 32);
+}
+
+TEST_F(SmartBusFixture, InterleavedEnqueuesStayAtomic)
+{
+    // All three units enqueue onto the same list concurrently; the
+    // resulting list must contain all six elements exactly once.
+    bus.postEnqueue(host, 2, 32);
+    bus.postEnqueue(mp, 2, 64);
+    bus.postEnqueue(nic, 2, 96);
+    bus.postEnqueue(host, 2, 128);
+    bus.postEnqueue(mp, 2, 160);
+    bus.postEnqueue(nic, 2, 192);
+    bus.run();
+    auto v = QueueOps::toVector(mem, 2);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, (std::vector<Addr>{32, 64, 96, 128, 160, 192}));
+}
+
+TEST_F(SmartBusFixture, RequestTableDrainsAfterUse)
+{
+    bus.postBlockRead(host, 0, 64);
+    bus.postBlockWrite(mp, 256, std::vector<std::uint8_t>(32, 9));
+    bus.run();
+    EXPECT_EQ(bus.requestTableLoad(), 0);
+}
+
+TEST_F(SmartBusFixture, TraceRecordsTenures)
+{
+    bus.postEnqueue(host, 2, 32);
+    bus.run();
+    ASSERT_FALSE(bus.trace().empty());
+    EXPECT_EQ(bus.trace()[0].command, BusCommand::EnqueueControlBlock);
+    EXPECT_EQ(bus.trace()[0].unit, "Host");
+}
+
+} // namespace
+
+// --- Protocol scripts and timing diagrams (Figs 5.3-5.16) ---------------
+
+namespace
+{
+
+using hsipc::bus::handshakeScript;
+using hsipc::bus::renderTimingDiagram;
+using hsipc::bus::scriptEdges;
+using hsipc::bus::scriptReturnsToReleased;
+
+TEST(Timing, ScriptsMatchDeclaredEdgeCounts)
+{
+    using hsipc::bus::BusCommand;
+    // Four-edge commands.
+    for (BusCommand c : {BusCommand::BlockTransfer,
+                         BusCommand::EnqueueControlBlock,
+                         BusCommand::DequeueControlBlock,
+                         BusCommand::WriteTwoBytes,
+                         BusCommand::WriteByte}) {
+        EXPECT_EQ(scriptEdges(handshakeScript(c)), 4)
+            << busCommandName(c);
+    }
+    // Eight-edge commands.
+    for (BusCommand c : {BusCommand::FirstControlBlock,
+                         BusCommand::SimpleRead}) {
+        EXPECT_EQ(scriptEdges(handshakeScript(c)), 8)
+            << busCommandName(c);
+    }
+    // Streaming: two edges per word for even-length grants.
+    for (int words : {2, 4, 20}) {
+        EXPECT_EQ(scriptEdges(handshakeScript(
+                      BusCommand::BlockReadData, words)),
+                  2 * words);
+        EXPECT_EQ(scriptEdges(handshakeScript(
+                      BusCommand::BlockWriteData, words)),
+                  2 * words);
+    }
+}
+
+TEST(Timing, AllLinesReturnToReleasedState)
+{
+    using hsipc::bus::BusCommand;
+    for (BusCommand c : {BusCommand::SimpleRead,
+                         BusCommand::BlockTransfer,
+                         BusCommand::EnqueueControlBlock,
+                         BusCommand::FirstControlBlock,
+                         BusCommand::WriteByte}) {
+        EXPECT_TRUE(scriptReturnsToReleased(handshakeScript(c)))
+            << busCommandName(c);
+    }
+    for (int words : {1, 2, 3, 8}) {
+        EXPECT_TRUE(scriptReturnsToReleased(handshakeScript(
+            BusCommand::BlockReadData, words)))
+            << words << " words";
+        EXPECT_TRUE(scriptReturnsToReleased(handshakeScript(
+            BusCommand::BlockWriteData, words)))
+            << words << " words";
+    }
+}
+
+TEST(Timing, DiagramShowsSignalsAndPayloads)
+{
+    const std::string d = renderTimingDiagram(
+        hsipc::bus::BusCommand::BlockTransfer);
+    EXPECT_NE(d.find("BBSY"), std::string::npos);
+    EXPECT_NE(d.find("<address"), std::string::npos);
+    EXPECT_NE(d.find("<count"), std::string::npos);
+    EXPECT_NE(d.find("<tag"), std::string::npos);
+    EXPECT_NE(d.find("4 IS/IK edges"), std::string::npos);
+}
+
+TEST(Timing, StreamingDiagramShowsEveryWord)
+{
+    const std::string d = renderTimingDiagram(
+        hsipc::bus::BusCommand::BlockReadData, 4);
+    EXPECT_NE(d.find("data0"), std::string::npos);
+    EXPECT_NE(d.find("data3"), std::string::npos);
+    EXPECT_NE(d.find("8 IS/IK edges"), std::string::npos);
+}
+
+
+TEST_F(SmartBusFixture, ExtendedMasterKeepsBusWithoutPreemption)
+{
+    // Fig 5.19: the current master continues when it wins the next
+    // arbitration too — an uncontended block write streams end to end
+    // with zero preemptions.
+    const auto op = bus.postBlockWrite(
+        mp, 512, std::vector<std::uint8_t>(128, 7));
+    bus.run();
+    ASSERT_TRUE(bus.result(op).done);
+    EXPECT_EQ(bus.preemptionCount(), 0);
+    // Request + 64 two-edge transfers.
+    EXPECT_EQ(bus.result(op).endEdge, 4 + 128);
+}
+
+TEST_F(SmartBusFixture, DelayedBusRequestStartsPromptly)
+{
+    // Fig 5.20: with no requests at the end of an information cycle,
+    // the next request (posted after the bus went idle) begins at the
+    // current clock without extra arbitration delay.
+    bus.postEnqueue(mp, 2, 32);
+    bus.run();
+    const long idle_at = bus.nowEdges();
+    const auto late = bus.postRead(host, 2);
+    bus.run();
+    EXPECT_EQ(bus.result(late).startEdge, idle_at);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Semantic tests for the Charlotte link kernel (§3.2): rendezvous
+ * without buffering, asynchronous completion, selective receipt,
+ * cancel, unilateral destroy, and link moving — plus the §3.4
+ * complexity comparison against the 925 kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "charlotte/links.hh"
+#include "k925/kernel.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::charlotte;
+
+std::vector<std::uint8_t>
+bytes(const char *s)
+{
+    std::vector<std::uint8_t> v;
+    while (*s)
+        v.push_back(static_cast<std::uint8_t>(*s++));
+    return v;
+}
+
+class CharlotteFixture : public ::testing::Test
+{
+  protected:
+    CharlotteFixture()
+    {
+        alice = k.createProcess("alice");
+        bob = k.createProcess("bob");
+        std::tie(a_end, b_end) = k.makeLink(alice, bob);
+    }
+
+    LinkKernel k;
+    ProcId alice{}, bob{};
+    LinkEnd a_end{}, b_end{};
+};
+
+TEST_F(CharlotteFixture, SendThenReceiveRendezvous)
+{
+    const OpId s = k.postSend(alice, a_end, bytes("hello"));
+    EXPECT_EQ(k.poll(s), Completion::Pending); // no buffering
+    const OpId r = k.postReceive(bob, b_end);
+    EXPECT_EQ(k.poll(s), Completion::Done);
+    EXPECT_EQ(k.poll(r), Completion::Done);
+    EXPECT_EQ(k.received(r), bytes("hello"));
+    EXPECT_EQ(k.completedOn(r), b_end);
+}
+
+TEST_F(CharlotteFixture, ReceiveThenSendRendezvous)
+{
+    const OpId r = k.postReceive(bob, b_end);
+    EXPECT_EQ(k.poll(r), Completion::Pending);
+    const OpId s = k.postSend(alice, a_end, bytes("late data"));
+    EXPECT_EQ(k.poll(s), Completion::Done);
+    EXPECT_EQ(k.received(r), bytes("late data"));
+}
+
+TEST_F(CharlotteFixture, ArbitrarySizedMessages)
+{
+    std::vector<std::uint8_t> big(6000);
+    for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = static_cast<std::uint8_t>(i * 7);
+    k.postReceive(bob, b_end);
+    const OpId s = k.postSend(alice, a_end, big);
+    EXPECT_EQ(k.poll(s), Completion::Done);
+}
+
+TEST_F(CharlotteFixture, LinkIsTwoWay)
+{
+    // Bob can send to Alice over the same link.
+    const OpId r = k.postReceive(alice, a_end);
+    const OpId s = k.postSend(bob, b_end, bytes("reply"));
+    EXPECT_EQ(k.poll(s), Completion::Done);
+    EXPECT_EQ(k.received(r), bytes("reply"));
+}
+
+TEST_F(CharlotteFixture, ReceiveAnyPicksEarliestSend)
+{
+    const ProcId carol = k.createProcess("carol");
+    auto [c_end, b_end2] = k.makeLink(carol, bob);
+
+    // Two pending sends toward bob, carol's first.
+    k.postSend(carol, c_end, bytes("from carol"));
+    k.postSend(alice, a_end, bytes("from alice"));
+
+    const OpId r1 = k.postReceiveAny(bob);
+    EXPECT_EQ(k.received(r1), bytes("from carol"));
+    EXPECT_EQ(k.completedOn(r1), b_end2);
+
+    const OpId r2 = k.postReceiveAny(bob);
+    EXPECT_EQ(k.received(r2), bytes("from alice"));
+}
+
+TEST_F(CharlotteFixture, PendingReceiveAnyMatchesLaterSend)
+{
+    const OpId r = k.postReceiveAny(bob);
+    EXPECT_EQ(k.poll(r), Completion::Pending);
+    k.postSend(alice, a_end, bytes("x"));
+    EXPECT_EQ(k.poll(r), Completion::Done);
+}
+
+TEST_F(CharlotteFixture, CancelPendingOperation)
+{
+    const OpId s = k.postSend(alice, a_end, bytes("never"));
+    EXPECT_EQ(k.cancel(alice, s), LinkStatus::Ok);
+    EXPECT_EQ(k.poll(s), Completion::Canceled);
+    // The canceled send cannot be matched any more.
+    const OpId r = k.postReceive(bob, b_end);
+    EXPECT_EQ(k.poll(r), Completion::Pending);
+}
+
+TEST_F(CharlotteFixture, CancelAfterCompletionFails)
+{
+    const OpId s = k.postSend(alice, a_end, bytes("gone"));
+    k.postReceive(bob, b_end);
+    EXPECT_EQ(k.cancel(alice, s), LinkStatus::BadOp);
+}
+
+TEST_F(CharlotteFixture, CancelByNonOwnerFails)
+{
+    const OpId s = k.postSend(alice, a_end, bytes("mine"));
+    EXPECT_EQ(k.cancel(bob, s), LinkStatus::NotHolder);
+}
+
+TEST_F(CharlotteFixture, EitherEndMayDestroy)
+{
+    const OpId s = k.postSend(alice, a_end, bytes("doomed"));
+    // Bob destroys the link by naming *alice's* end: equal rights.
+    EXPECT_EQ(k.destroyLink(bob, a_end), LinkStatus::Ok);
+    EXPECT_EQ(k.poll(s), Completion::Destroyed);
+    EXPECT_EQ(k.holder(a_end), -1);
+    EXPECT_EQ(k.holder(b_end), -1);
+}
+
+TEST_F(CharlotteFixture, StrangerMayNotDestroy)
+{
+    const ProcId eve = k.createProcess("eve");
+    EXPECT_EQ(k.destroyLink(eve, a_end), LinkStatus::NotHolder);
+}
+
+TEST_F(CharlotteFixture, MoveTransfersTheEnd)
+{
+    const ProcId carol = k.createProcess("carol");
+    EXPECT_EQ(k.moveEnd(bob, b_end, carol), LinkStatus::Ok);
+    EXPECT_EQ(k.holder(b_end), carol);
+
+    // Alice's sends now rendezvous with carol.
+    const OpId r = k.postReceive(carol, b_end);
+    k.postSend(alice, a_end, bytes("to carol"));
+    EXPECT_EQ(k.received(r), bytes("to carol"));
+
+    // Bob lost his rights.
+    EXPECT_EQ(k.moveEnd(bob, b_end, bob), LinkStatus::NotHolder);
+}
+
+TEST_F(CharlotteFixture, MoveCancelsOutstandingOps)
+{
+    const OpId r = k.postReceive(bob, b_end);
+    const ProcId carol = k.createProcess("carol");
+    k.moveEnd(bob, b_end, carol);
+    EXPECT_EQ(k.poll(r), Completion::Canceled);
+}
+
+TEST_F(CharlotteFixture, OperationsOnDeadLinkAreRejected)
+{
+    k.destroyLink(alice, a_end);
+    EXPECT_EQ(k.moveEnd(alice, a_end, bob), LinkStatus::BadEnd);
+    EXPECT_EQ(k.destroyLink(alice, a_end), LinkStatus::BadEnd);
+}
+
+TEST_F(CharlotteFixture, NullRpcLoopRunsForever)
+{
+    // The §3.4 measurement loop: "send; wait" vs "receive; reply".
+    for (int i = 0; i < 100; ++i) {
+        const OpId req_r = k.postReceive(bob, b_end);
+        const OpId req_s = k.postSend(alice, a_end, bytes("req"));
+        ASSERT_EQ(k.poll(req_s), Completion::Done);
+        ASSERT_EQ(k.poll(req_r), Completion::Done);
+        const OpId rep_r = k.postReceive(alice, a_end);
+        const OpId rep_s = k.postSend(bob, b_end, bytes("rep"));
+        ASSERT_EQ(k.poll(rep_s), Completion::Done);
+        ASSERT_EQ(k.poll(rep_r), Completion::Done);
+    }
+}
+
+TEST_F(CharlotteFixture, LinkProtocolIsHeavierThanServices)
+{
+    // §3.4: Charlotte's two-way equal-rights links demand more
+    // validity checking per round trip than 925's one-way services.
+    const long before = k.checksPerformed();
+    for (int i = 0; i < 10; ++i) {
+        const OpId r = k.postReceive(bob, b_end);
+        k.postSend(alice, a_end, bytes("req"));
+        const OpId r2 = k.postReceive(alice, a_end);
+        k.postSend(bob, b_end, bytes("rep"));
+        (void)r;
+        (void)r2;
+    }
+    const long charlotte_checks =
+        (k.checksPerformed() - before) / 10;
+    // Each Charlotte round trip costs a double-digit number of
+    // protocol checks (posting x4, holdership, liveness, matching).
+    EXPECT_GE(charlotte_checks, 12);
+}
+
+} // namespace

@@ -1,0 +1,667 @@
+/**
+ * @file
+ * Unit tests for the GTPN engine: token game, exact analyzer, Monte
+ * Carlo simulator, and the thesis' Figure 6.6/6.7 examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gtpn/analyzer.hh"
+#include "core/gtpn/export.hh"
+#include "core/gtpn/net.hh"
+#include "core/gtpn/simulator.hh"
+#include "core/gtpn/tokengame.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::gtpn;
+
+TEST(PetriNet, BuildAndLookup)
+{
+    PetriNet net;
+    const PlaceId p = net.addPlace("P", 3);
+    const TransId t = net.addTransition("T", 1.0, 1.0);
+    net.inputArc(p, t);
+    net.outputArc(t, p);
+
+    EXPECT_EQ(net.numPlaces(), 1u);
+    EXPECT_EQ(net.numTransitions(), 1u);
+    EXPECT_EQ(net.findPlace("P"), p);
+    EXPECT_EQ(net.findTransition("T"), t);
+    EXPECT_EQ(net.initialMarking(), std::vector<int>{3});
+}
+
+TEST(TokenGame, EnablingRespectsMultiplicity)
+{
+    PetriNet net;
+    const PlaceId p = net.addPlace("P", 1);
+    const TransId t = net.addTransition("T", 1.0, 1.0);
+    net.inputArc(p, t, 2);
+
+    EXPECT_FALSE(inputsSatisfied(net, {1}, t));
+    EXPECT_TRUE(inputsSatisfied(net, {2}, t));
+}
+
+TEST(TokenGame, ConflictProbabilitiesFollowFrequencies)
+{
+    // Two transitions compete for one token with weights 1 and 3.
+    PetriNet net;
+    const PlaceId p = net.addPlace("P", 1);
+    const PlaceId a = net.addPlace("A");
+    const PlaceId b = net.addPlace("B");
+    const TransId ta = net.addTransition("Ta", 1.0, 1.0);
+    const TransId tb = net.addTransition("Tb", 1.0, 3.0);
+    net.inputArc(p, ta);
+    net.outputArc(ta, a);
+    net.inputArc(p, tb);
+    net.outputArc(tb, b);
+
+    const auto outs = enumerateFirings(net, {net.initialMarking(), {}});
+    ASSERT_EQ(outs.size(), 2u);
+    double pa = 0.0, pb = 0.0;
+    for (const auto &o : outs) {
+        ASSERT_EQ(o.state.firings.size(), 1u);
+        if (o.state.firings[0].trans == ta)
+            pa = o.prob;
+        if (o.state.firings[0].trans == tb)
+            pb = o.prob;
+    }
+    EXPECT_DOUBLE_EQ(pa, 0.25);
+    EXPECT_DOUBLE_EQ(pb, 0.75);
+}
+
+TEST(TokenGame, IndependentTransitionsFireMaximally)
+{
+    PetriNet net;
+    const PlaceId p1 = net.addPlace("P1", 1);
+    const PlaceId p2 = net.addPlace("P2", 1);
+    const TransId t1 = net.addTransition("T1", 2.0, 1.0);
+    const TransId t2 = net.addTransition("T2", 3.0, 1.0);
+    net.inputArc(p1, t1);
+    net.outputArc(t1, p1);
+    net.inputArc(p2, t2);
+    net.outputArc(t2, p2);
+
+    const auto outs = enumerateFirings(net, {net.initialMarking(), {}});
+    ASSERT_EQ(outs.size(), 1u);
+    ASSERT_EQ(outs[0].state.firings.size(), 2u);
+    EXPECT_DOUBLE_EQ(outs[0].prob, 1.0);
+    EXPECT_EQ(outs[0].state.firings[0].trans, t1);
+    EXPECT_EQ(outs[0].state.firings[1].trans, t2);
+}
+
+TEST(TokenGame, ZeroDelayTransitionsCascade)
+{
+    // P1 -> (0) -> P2 -> (0) -> P3 resolves instantly.
+    PetriNet net;
+    const PlaceId p1 = net.addPlace("P1", 1);
+    const PlaceId p2 = net.addPlace("P2");
+    const PlaceId p3 = net.addPlace("P3");
+    const TransId t1 = net.addTransition("T1", 0.0, 1.0);
+    const TransId t2 = net.addTransition("T2", 0.0, 1.0);
+    net.inputArc(p1, t1);
+    net.outputArc(t1, p2);
+    net.inputArc(p2, t2);
+    net.outputArc(t2, p3);
+
+    const auto outs = enumerateFirings(net, {net.initialMarking(), {}});
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_TRUE(outs[0].state.firings.empty());
+    EXPECT_EQ(outs[0].state.marking[static_cast<std::size_t>(p3)], 1);
+}
+
+TEST(TokenGame, MultiTokenBinomialSplit)
+{
+    // Two tokens, each independently choosing exit (p) or loop (1-p).
+    PetriNet net;
+    const PlaceId p = net.addPlace("P", 2);
+    const PlaceId q = net.addPlace("Q");
+    const TransId exit = net.addTransition("exit", 1.0, 0.25);
+    const TransId loop = net.addTransition("loop", 1.0, 0.75);
+    net.inputArc(p, exit);
+    net.outputArc(exit, q);
+    net.inputArc(p, loop);
+    net.outputArc(loop, p);
+
+    const auto outs = enumerateFirings(net, {net.initialMarking(), {}});
+    // Outcomes: {2 exits}, {1 exit + 1 loop}, {2 loops}.
+    ASSERT_EQ(outs.size(), 3u);
+    double p_by_exits[3] = {0, 0, 0};
+    for (const auto &o : outs) {
+        int exits = 0;
+        for (const auto &f : o.state.firings)
+            exits += f.trans == exit;
+        p_by_exits[exits] += o.prob;
+        (void)loop;
+    }
+    EXPECT_NEAR(p_by_exits[0], 0.75 * 0.75, 1e-12);
+    EXPECT_NEAR(p_by_exits[1], 2 * 0.25 * 0.75, 1e-12);
+    EXPECT_NEAR(p_by_exits[2], 0.25 * 0.25, 1e-12);
+}
+
+TEST(TokenGame, AdvanceTimeCompletesShortestFiring)
+{
+    PetriNet net;
+    const PlaceId p1 = net.addPlace("P1", 1);
+    const PlaceId p2 = net.addPlace("P2", 1);
+    const PlaceId q1 = net.addPlace("Q1");
+    const PlaceId q2 = net.addPlace("Q2");
+    const TransId t1 = net.addTransition("T1", 2.0, 1.0);
+    const TransId t2 = net.addTransition("T2", 5.0, 1.0);
+    net.inputArc(p1, t1);
+    net.outputArc(t1, q1);
+    net.inputArc(p2, t2);
+    net.outputArc(t2, q2);
+
+    auto outs = enumerateFirings(net, {net.initialMarking(), {}});
+    ASSERT_EQ(outs.size(), 1u);
+    NetState s = outs[0].state;
+    EXPECT_EQ(advanceTime(net, s), 2);
+    EXPECT_EQ(s.marking[static_cast<std::size_t>(q1)], 1);
+    EXPECT_EQ(s.marking[static_cast<std::size_t>(q2)], 0);
+    ASSERT_EQ(s.firings.size(), 1u);
+    EXPECT_EQ(s.firings[0].remaining, 3);
+}
+
+TEST(TokenGame, StateDependentGateDisablesTransition)
+{
+    PetriNet net;
+    const PlaceId p = net.addPlace("P", 1);
+    const PlaceId blocker = net.addPlace("Blocker", 1);
+    const PlaceId q = net.addPlace("Q");
+    const TransId t = net.addTransition(
+        "T", constant(1.0), gate(placeEmpty(blocker), 1.0));
+    net.inputArc(p, t);
+    net.outputArc(t, q);
+
+    const auto outs = enumerateFirings(net, {net.initialMarking(), {}});
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_TRUE(outs[0].state.firings.empty());
+}
+
+// --- Figure 6.6: the thesis' introductory example ----------------------
+//
+// A token in P1 loops back to P1 a geometric number of times, then
+// moves to P2; from P2 it returns to P1.  The throughput is the usage
+// of the resource on the P1 -> P2 transition.
+
+struct Fig66
+{
+    PetriNet net;
+    double loop_mean;
+    double back_delay;
+
+    explicit Fig66(double mean, double back)
+        : loop_mean(mean), back_delay(back)
+    {
+        const PlaceId p1 = net.addPlace("P1", 1);
+        const PlaceId p2 = net.addPlace("P2");
+        const TransId t0 = net.addTransition("T0", 1.0, 1.0 / mean,
+                                             "Lambda");
+        net.inputArc(p1, t0);
+        net.outputArc(t0, p2);
+        const TransId t1 = net.addTransition("T1", 1.0,
+                                             1.0 - 1.0 / mean);
+        net.inputArc(p1, t1);
+        net.outputArc(t1, p1);
+        const TransId t2 = net.addTransition("T2", back, 1.0);
+        net.inputArc(p2, t2);
+        net.outputArc(t2, p1);
+    }
+
+    /** Cycle = geometric(mean) units in P1 plus the return delay. */
+    double expectedThroughput() const { return 1.0 / (loop_mean + back_delay); }
+};
+
+TEST(Analyzer, Fig66ExampleThroughput)
+{
+    Fig66 model(20.0, 5.0);
+    const AnalyzerResult r = analyze(model.net);
+    EXPECT_TRUE(r.converged);
+    EXPECT_FALSE(r.deadlock);
+    EXPECT_NEAR(r.usage("Lambda"), model.expectedThroughput(), 1e-6);
+}
+
+TEST(Analyzer, Fig66FiringRateMatchesUsage)
+{
+    Fig66 model(12.0, 3.0);
+    const AnalyzerResult r = analyze(model.net);
+    // The Lambda transition has delay 1, so usage equals firing rate.
+    const TransId t0 = model.net.findTransition("T0");
+    EXPECT_NEAR(r.firingRate[static_cast<std::size_t>(t0)],
+                r.usage("Lambda"), 1e-9);
+}
+
+// --- Figure 6.7: constant delay vs geometric approximation -------------
+
+double
+throughputWithStage(bool geometric, int stage_delay)
+{
+    PetriNet net;
+    const PlaceId p1 = net.addPlace("P1", 1);
+    const PlaceId p2 = net.addPlace("P2");
+    const TransId t0 = net.addTransition("T0", 1.0, 1.0, "Lambda");
+    net.inputArc(p1, t0);
+    net.outputArc(t0, p2);
+    if (geometric) {
+        const double mean = stage_delay;
+        const TransId exit = net.addTransition("exit", 1.0, 1.0 / mean);
+        net.inputArc(p2, exit);
+        net.outputArc(exit, p1);
+        const TransId loop = net.addTransition("loop", 1.0,
+                                               1.0 - 1.0 / mean);
+        net.inputArc(p2, loop);
+        net.outputArc(loop, p2);
+    } else {
+        const TransId t2 = net.addTransition(
+            "T2", static_cast<double>(stage_delay), 1.0);
+        net.inputArc(p2, t2);
+        net.outputArc(t2, p1);
+    }
+    return analyze(net).usage("Lambda");
+}
+
+TEST(Analyzer, Fig67GeometricApproximatesConstantDelay)
+{
+    for (int d : {2, 7, 40}) {
+        const double exact = throughputWithStage(false, d);
+        const double approx = throughputWithStage(true, d);
+        EXPECT_NEAR(exact, 1.0 / (1.0 + d), 1e-9);
+        EXPECT_NEAR(approx, exact, 1e-6) << "delay " << d;
+    }
+}
+
+TEST(Analyzer, DetectsDeadlock)
+{
+    PetriNet net;
+    const PlaceId p = net.addPlace("P", 1);
+    const PlaceId q = net.addPlace("Q");
+    const TransId t = net.addTransition("T", 1.0, 1.0);
+    net.inputArc(p, t);
+    net.outputArc(t, q); // token ends in Q with nothing enabled
+    const AnalyzerResult r = analyze(net);
+    EXPECT_TRUE(r.deadlock);
+}
+
+TEST(Analyzer, GeneralIntegerDelaysPipeline)
+{
+    // Three-stage cycle with delays 2, 3, 5: period 10.
+    PetriNet net;
+    const PlaceId a = net.addPlace("A", 1);
+    const PlaceId b = net.addPlace("B");
+    const PlaceId c = net.addPlace("C");
+    const TransId t1 = net.addTransition("T1", 2.0, 1.0, "Lambda");
+    const TransId t2 = net.addTransition("T2", 3.0, 1.0);
+    const TransId t3 = net.addTransition("T3", 5.0, 1.0, "Busy5");
+    net.inputArc(a, t1);
+    net.outputArc(t1, b);
+    net.inputArc(b, t2);
+    net.outputArc(t2, c);
+    net.inputArc(c, t3);
+    net.outputArc(t3, a);
+
+    const AnalyzerResult r = analyze(net);
+    EXPECT_NEAR(r.usage("Lambda"), 2.0 / 10.0, 1e-9);
+    EXPECT_NEAR(r.usage("Busy5"), 5.0 / 10.0, 1e-9);
+    EXPECT_NEAR(r.firingRate[static_cast<std::size_t>(t1)], 0.1, 1e-9);
+    EXPECT_NEAR(r.firingRate[static_cast<std::size_t>(t2)], 0.1, 1e-9);
+    EXPECT_NEAR(r.firingRate[static_cast<std::size_t>(t3)], 0.1, 1e-9);
+}
+
+TEST(Analyzer, PlaceOccupancyOfPipeline)
+{
+    // Token spends 4 of each 5 units in place B (and is in flight
+    // during the single unit of T1/T2 firings).
+    PetriNet net;
+    const PlaceId a = net.addPlace("A", 1);
+    const PlaceId b = net.addPlace("B");
+    const TransId t1 = net.addTransition("T1", 1.0, 1.0);
+    net.inputArc(a, t1);
+    net.outputArc(t1, b);
+    // B drains via a gated transition that is open 1 time in 5 on
+    // average, approximated by frequency 0.25 exit/loop pair.
+    const TransId exit = net.addTransition("exit", 1.0, 0.25);
+    net.inputArc(b, exit);
+    net.outputArc(exit, a);
+    const TransId loop = net.addTransition("loop", 1.0, 0.75);
+    net.inputArc(b, loop);
+    net.outputArc(loop, b);
+
+    const AnalyzerResult r = analyze(net);
+    // Cycle: 1 (T1) + geometric(4) in the exit/loop stage; but the
+    // token only *rests* in B never (it is always in flight in
+    // exit/loop firings), so occupancy of B is 0 and occupancy of A
+    // is 0 as well.
+    EXPECT_NEAR(r.placeOccupancy[static_cast<std::size_t>(b)], 0.0,
+                1e-9);
+    EXPECT_NEAR(r.placeOccupancy[static_cast<std::size_t>(a)], 0.0,
+                1e-9);
+    (void)t1;
+}
+
+TEST(Analyzer, PlaceOccupancyOfRestingTokens)
+{
+    // A bookkeeping place whose token rests while a clock ticks.
+    PetriNet net;
+    const PlaceId clock = net.addPlace("Clock", 1);
+    const PlaceId book = net.addPlace("Book", 1);
+    const PlaceId drain = net.addPlace("Drain");
+    const TransId tick = net.addTransition("tick", 1.0, 1.0);
+    net.inputArc(clock, tick);
+    net.outputArc(tick, clock);
+    // Consume the bookkeeping token with probability 0.5 per tick;
+    // replenish instantly, keeping occupancy measurable.
+    const TransId take = net.addTransition("take", 1.0, 0.5);
+    net.inputArc(book, take);
+    net.outputArc(take, drain);
+    const TransId keep = net.addTransition("keep", 1.0, 0.5);
+    net.inputArc(book, keep);
+    net.outputArc(keep, book);
+    const TransId refill = net.addTransition("refill", 0.0, 1.0);
+    net.inputArc(drain, refill);
+    net.outputArc(refill, book);
+
+    const AnalyzerResult r = analyze(net);
+    // The Book token is always inside take/keep firings, never
+    // resting: occupancy 0.  Clock likewise.
+    EXPECT_NEAR(r.placeOccupancy[static_cast<std::size_t>(book)], 0.0,
+                1e-9);
+}
+
+TEST(Simulator, MatchesAnalyzerOnFig66)
+{
+    Fig66 model(15.0, 4.0);
+    const AnalyzerResult exact = analyze(model.net);
+    SimOptions opts;
+    opts.horizon = 400000;
+    opts.seed = 3;
+    const SimResult sim = simulate(model.net, opts);
+    EXPECT_FALSE(sim.deadlock);
+    EXPECT_NEAR(sim.usage("Lambda"), exact.usage("Lambda"),
+                0.05 * exact.usage("Lambda"));
+}
+
+TEST(Simulator, DetectsDeadlock)
+{
+    PetriNet net;
+    const PlaceId p = net.addPlace("P", 1);
+    const PlaceId q = net.addPlace("Q");
+    const TransId t = net.addTransition("T", 1.0, 1.0);
+    net.inputArc(p, t);
+    net.outputArc(t, q);
+    const SimResult sim = simulate(net);
+    EXPECT_TRUE(sim.deadlock);
+}
+
+// Property sweep: analyzer vs Monte Carlo on a family of random-ish
+// two-stage queueing nets parameterized by (tokens, mean1, mean2).
+class GtpnAgreement
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GtpnAgreement, AnalyzerMatchesSimulation)
+{
+    const auto [tokens, m1, m2] = GetParam();
+
+    PetriNet net;
+    const PlaceId a = net.addPlace("A", tokens);
+    const PlaceId b = net.addPlace("B");
+    const PlaceId server = net.addPlace("Server", 1);
+
+    // Stage 1: infinite-server geometric delay.
+    const TransId e1 = net.addTransition("e1", 1.0, 1.0 / m1);
+    net.inputArc(a, e1);
+    net.outputArc(e1, b);
+    const TransId l1 = net.addTransition("l1", 1.0, 1.0 - 1.0 / m1);
+    net.inputArc(a, l1);
+    net.outputArc(l1, a);
+
+    // Stage 2: single-server geometric delay, measured.
+    const TransId e2 = net.addTransition("e2", 1.0, 1.0 / m2, "Lambda");
+    net.inputArc(b, e2);
+    net.inputArc(server, e2);
+    net.outputArc(e2, a);
+    net.outputArc(e2, server);
+    const TransId l2 = net.addTransition("l2", 1.0, 1.0 - 1.0 / m2);
+    net.inputArc(b, l2);
+    net.inputArc(server, l2);
+    net.outputArc(l2, b);
+    net.outputArc(l2, server);
+
+    const AnalyzerResult exact = analyze(net);
+    ASSERT_TRUE(exact.converged);
+    SimOptions opts;
+    opts.horizon = 300000;
+    opts.seed = 1234 + static_cast<std::uint64_t>(tokens);
+    const SimResult sim = simulate(net, opts);
+    EXPECT_NEAR(sim.usage("Lambda"), exact.usage("Lambda"),
+                0.06 * exact.usage("Lambda"))
+        << "tokens=" << tokens << " m1=" << m1 << " m2=" << m2;
+    (void)e1; (void)l1; (void)e2; (void)l2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GtpnAgreement,
+    ::testing::Values(std::make_tuple(1, 5, 3),
+                      std::make_tuple(2, 8, 4),
+                      std::make_tuple(3, 10, 2),
+                      std::make_tuple(4, 6, 6),
+                      std::make_tuple(2, 20, 10),
+                      std::make_tuple(3, 3, 12)));
+
+
+// --- Export and validation ----------------------------------------------
+
+TEST(Export, DotContainsPlacesAndTransitions)
+{
+    Fig66 model(10.0, 2.0);
+    const std::string dot = toDot(model.net);
+    EXPECT_NE(dot.find("digraph gtpn"), std::string::npos);
+    EXPECT_NE(dot.find("P1"), std::string::npos);
+    EXPECT_NE(dot.find("T0"), std::string::npos);
+    EXPECT_NE(dot.find("[Lambda]"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Export, CleanNetValidates)
+{
+    Fig66 model(10.0, 2.0);
+    EXPECT_TRUE(validateNet(model.net).empty());
+}
+
+TEST(Export, DetectsTokenSourceAndSink)
+{
+    PetriNet net;
+    const PlaceId p = net.addPlace("P", 1);
+    const TransId src = net.addTransition("source", 1.0, 1.0);
+    net.outputArc(src, p);
+    const TransId sink = net.addTransition("sink", 1.0, 1.0);
+    net.inputArc(p, sink);
+    const auto issues = validateNet(net);
+    ASSERT_EQ(issues.size(), 2u);
+    EXPECT_NE(issues[0].find("source"), std::string::npos);
+    EXPECT_NE(issues[1].find("sink"), std::string::npos);
+}
+
+TEST(Export, DetectsVanishingLoop)
+{
+    PetriNet net;
+    const PlaceId p = net.addPlace("P", 1);
+    const TransId t = net.addTransition("spin", 0.0, 1.0);
+    net.inputArc(p, t);
+    net.outputArc(t, p);
+    const auto issues = validateNet(net);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].find("vanishing loop"), std::string::npos);
+}
+
+TEST(Export, DetectsDisconnectedAndAccumulatingPlaces)
+{
+    PetriNet net;
+    net.addPlace("Orphan");
+    const PlaceId a = net.addPlace("A", 1);
+    const PlaceId hoard = net.addPlace("Hoard");
+    const TransId t = net.addTransition("t", 1.0, 1.0);
+    net.inputArc(a, t);
+    net.outputArc(t, a);
+    net.outputArc(t, hoard);
+    const auto issues = validateNet(net);
+    bool orphan = false, accum = false;
+    for (const auto &i : issues) {
+        orphan = orphan || i.find("Orphan") != std::string::npos;
+        accum = accum || i.find("Hoard") != std::string::npos;
+    }
+    EXPECT_TRUE(orphan);
+    EXPECT_TRUE(accum);
+}
+
+
+// --- Engine robustness ----------------------------------------------------
+
+TEST(TokenGame, ArcMultiplicityConsumesAndProduces)
+{
+    PetriNet net;
+    const PlaceId p = net.addPlace("P", 4);
+    const PlaceId q = net.addPlace("Q");
+    const TransId t = net.addTransition("pair", 1.0, 1.0);
+    net.inputArc(p, t, 2);
+    net.outputArc(t, q, 3);
+
+    // Two firings start (4 tokens / multiplicity 2).
+    auto outs = enumerateFirings(net, {net.initialMarking(), {}});
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_EQ(outs[0].state.firings.size(), 2u);
+    NetState st = outs[0].state;
+    advanceTime(net, st);
+    EXPECT_EQ(st.marking[static_cast<std::size_t>(q)], 6);
+}
+
+TEST(TokenGame, StateDependentDelay)
+{
+    // The transition's delay depends on the marking of a mode place.
+    PetriNet net;
+    const PlaceId p = net.addPlace("P", 1);
+    const PlaceId mode = net.addPlace("Mode", 1);
+    const PlaceId q = net.addPlace("Q");
+    const TransId t = net.addTransition(
+        "T",
+        [mode](const EvalContext &ctx) {
+            return ctx.marking(mode) > 0 ? 7.0 : 2.0;
+        },
+        constant(1.0));
+    net.inputArc(p, t);
+    net.outputArc(t, q);
+
+    auto outs = enumerateFirings(net, {net.initialMarking(), {}});
+    ASSERT_EQ(outs.size(), 1u);
+    ASSERT_EQ(outs[0].state.firings.size(), 1u);
+    EXPECT_EQ(outs[0].state.firings[0].remaining, 7);
+}
+
+TEST(TokenGame, VanishingLoopPanics)
+{
+    PetriNet net;
+    const PlaceId p = net.addPlace("P", 1);
+    const TransId t = net.addTransition("spin", 0.0, 1.0);
+    net.inputArc(p, t);
+    net.outputArc(t, p);
+    EXPECT_DEATH(enumerateFirings(net, {net.initialMarking(), {}}),
+                 "vanishing");
+}
+
+TEST(Analyzer, StateCapPanics)
+{
+    // A counter net with unbounded-ish growth vs a tiny cap.
+    PetriNet net;
+    const PlaceId clock = net.addPlace("Clock", 1);
+    const PlaceId acc = net.addPlace("Acc");
+    const TransId t = net.addTransition("tick", 1.0, 1.0);
+    net.inputArc(clock, t);
+    net.outputArc(t, clock);
+    net.outputArc(t, acc);
+    AnalyzerOptions opts;
+    opts.maxStates = 16;
+    EXPECT_DEATH(analyze(net, opts), "maxStates");
+}
+
+TEST(Analyzer, ZeroFrequencyTransitionNeverFires)
+{
+    PetriNet net;
+    const PlaceId p = net.addPlace("P", 1);
+    const PlaceId q = net.addPlace("Q");
+    const TransId dead = net.addTransition("dead", 1.0, 0.0);
+    net.inputArc(p, dead);
+    net.outputArc(dead, q);
+    const TransId live = net.addTransition("live", 1.0, 1.0, "L");
+    net.inputArc(p, live);
+    net.outputArc(live, p);
+
+    const AnalyzerResult r = analyze(net);
+    EXPECT_NEAR(r.usage("L"), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(
+        r.firingRate[static_cast<std::size_t>(dead)], 0.0);
+    EXPECT_DOUBLE_EQ(
+        r.placeOccupancy[static_cast<std::size_t>(q)], 0.0);
+}
+
+TEST(Analyzer, CombinatorsTokensAndNoneFiring)
+{
+    // A gate built from tokens() arithmetic: the drain only runs
+    // while the level is above 2.
+    PetriNet net;
+    const PlaceId level = net.addPlace("Level", 5);
+    const TransId drain = net.addTransition(
+        "drain", constant(1.0),
+        [level](const EvalContext &ctx) {
+            return ctx.marking(level) > 2 ? 1.0 : 0.0;
+        });
+    net.inputArc(level, drain);
+
+    // Deadlocks once the level reaches 2 (drain disabled).
+    const AnalyzerResult r = analyze(net);
+    EXPECT_TRUE(r.deadlock);
+    EXPECT_NEAR(r.placeOccupancy[static_cast<std::size_t>(level)],
+                2.0, 1e-6);
+}
+
+TEST(Simulator, DeterministicForFixedSeed)
+{
+    Fig66 model(9.0, 4.0);
+    SimOptions opts;
+    opts.horizon = 50000;
+    opts.seed = 77;
+    const SimResult a = simulate(model.net, opts);
+    const SimResult b = simulate(model.net, opts);
+    EXPECT_DOUBLE_EQ(a.usage("Lambda"), b.usage("Lambda"));
+}
+
+TEST(Markov, SolveOptionsRespectSweepCap)
+{
+    MarkovChain c;
+    c.addEdge(0, 1, 1.0);
+    c.addEdge(1, 0, 1.0);
+    SolveOptions opts;
+    opts.maxSweeps = 3;
+    opts.tolerance = 1e-30; // unreachable: must stop at the cap
+    const SolveResult r = c.solve(opts);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.sweeps, 3);
+}
+
+TEST(Markov, HigherDampingStillConverges)
+{
+    MarkovChain c;
+    c.addEdge(0, 0, 0.5);
+    c.addEdge(0, 1, 0.5);
+    c.addEdge(1, 0, 1.0);
+    SolveOptions opts;
+    opts.damping = 0.9;
+    const SolveResult r = c.solve(opts);
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(r.piEmbedded[0], 2.0 / 3.0, 1e-7);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Semantic tests for the Jasmin path kernel (§3.2): unidirectional
+ * paths, one-time gift of the send end, kernel-buffered fixed-size
+ * datagrams, group receive, one-shot RPC-reply paths, and iomove.
+ */
+
+#include <gtest/gtest.h>
+
+#include "jasmin/paths.hh"
+
+namespace
+{
+
+using namespace hsipc::jasmin;
+
+Message
+msg(char c)
+{
+    Message m{};
+    m[0] = static_cast<std::uint8_t>(c);
+    return m;
+}
+
+class JasminFixture : public ::testing::Test
+{
+  protected:
+    JasminFixture() : k(4)
+    {
+        server = k.createProcess("file-server");
+        client = k.createProcess("client");
+        // The server creates the request path and gifts its send end
+        // to the client.
+        req = k.createPath(server);
+        EXPECT_EQ(k.giveSendEnd(server, req, client), PathStatus::Ok);
+    }
+
+    PathKernel k;
+    ProcId server{}, client{};
+    PathId req{};
+};
+
+TEST_F(JasminFixture, DatagramIsKernelBuffered)
+{
+    EXPECT_EQ(k.sendmsg(client, req, msg('a')), PathStatus::Ok);
+    EXPECT_EQ(k.queued(req), 1);
+    EXPECT_EQ(k.freeBuffers(), 3);
+
+    Message got{};
+    EXPECT_EQ(k.rcvmsg(server, {req}, got), PathStatus::Ok);
+    EXPECT_EQ(got[0], 'a');
+    EXPECT_EQ(k.freeBuffers(), 4); // buffer returned to the pool
+}
+
+TEST_F(JasminFixture, RcvmsgWithNothingQueuedWouldBlock)
+{
+    Message got{};
+    EXPECT_EQ(k.rcvmsg(server, {req}, got), PathStatus::NoMessage);
+}
+
+TEST_F(JasminFixture, OnlySendHolderMaySend)
+{
+    const ProcId eve = k.createProcess("eve");
+    EXPECT_EQ(k.sendmsg(eve, req, msg('x')),
+              PathStatus::NotSendHolder);
+    // The server gave the send end away, so it cannot send either.
+    EXPECT_EQ(k.sendmsg(server, req, msg('x')),
+              PathStatus::NotSendHolder);
+}
+
+TEST_F(JasminFixture, GiftMayBeGivenOnlyOnce)
+{
+    const ProcId other = k.createProcess("other");
+    EXPECT_EQ(k.giveSendEnd(client, req, other),
+              PathStatus::GiftAlreadyGiven);
+}
+
+TEST_F(JasminFixture, GroupReceiveIsFcfsByArrival)
+{
+    const PathId req2 = k.createPath(server);
+    k.giveSendEnd(server, req2, client);
+
+    k.sendmsg(client, req2, msg('2'));
+    k.sendmsg(client, req, msg('1'));
+
+    Message got{};
+    PathId from = -1;
+    EXPECT_EQ(k.rcvmsg(server, {req, req2}, got, &from),
+              PathStatus::Ok);
+    EXPECT_EQ(got[0], '2'); // arrived first, though listed second
+    EXPECT_EQ(from, req2);
+}
+
+TEST_F(JasminFixture, BufferPoolExhaustionBlocksSender)
+{
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(k.sendmsg(client, req, msg('q')), PathStatus::Ok);
+    EXPECT_EQ(k.sendmsg(client, req, msg('q')),
+              PathStatus::NoBuffers);
+}
+
+TEST_F(JasminFixture, OneShotGiftReplyPath)
+{
+    // The RPC pattern of §3.2.1: the client encloses a one-shot gift
+    // path for the reply.
+    const long setups_before = k.pathSetupTeardowns();
+    const PathId reply = k.createPath(client, /*oneShot=*/true);
+    k.giveSendEnd(client, reply, server);
+
+    EXPECT_EQ(k.sendmsg(server, reply, msg('r')), PathStatus::Ok);
+    // The gift is spent: a second reply is rejected.
+    EXPECT_EQ(k.sendmsg(server, reply, msg('r')),
+              PathStatus::PathExhausted);
+
+    Message got{};
+    EXPECT_EQ(k.rcvmsg(client, {reply}, got), PathStatus::Ok);
+    EXPECT_EQ(got[0], 'r');
+    // The kernel tore the one-shot path down; the same setup/teardown
+    // expense as a persistent path was paid.
+    EXPECT_EQ(k.livePathCount(), 1); // only the request path remains
+    EXPECT_EQ(k.pathSetupTeardowns(), setups_before + 2);
+}
+
+TEST_F(JasminFixture, DestroyReturnsQueuedBuffers)
+{
+    k.sendmsg(client, req, msg('a'));
+    k.sendmsg(client, req, msg('b'));
+    EXPECT_EQ(k.freeBuffers(), 2);
+    EXPECT_EQ(k.destroyPath(server, req), PathStatus::Ok);
+    EXPECT_EQ(k.freeBuffers(), 4);
+    EXPECT_EQ(k.sendmsg(client, req, msg('c')),
+              PathStatus::NoSuchPath);
+}
+
+TEST_F(JasminFixture, OnlyReceiverMayDestroy)
+{
+    EXPECT_EQ(k.destroyPath(client, req), PathStatus::NotReceiver);
+}
+
+TEST_F(JasminFixture, IomoveMovesArbitraryBlocks)
+{
+    std::vector<std::uint8_t> page(4096);
+    for (std::size_t i = 0; i < page.size(); ++i)
+        page[i] = static_cast<std::uint8_t>(i);
+    std::vector<std::uint8_t> dest;
+    EXPECT_EQ(k.iomove(client, req, page, dest), PathStatus::Ok);
+    EXPECT_EQ(dest, page);
+    // No kernel buffering was involved (§3.2.2).
+    EXPECT_EQ(k.freeBuffers(), 4);
+}
+
+TEST_F(JasminFixture, IomoveRequiresSendEnd)
+{
+    std::vector<std::uint8_t> dest;
+    EXPECT_EQ(k.iomove(server, req, {1, 2, 3}, dest),
+              PathStatus::NotSendHolder);
+}
+
+TEST_F(JasminFixture, PathValidationIsLighterThanCharlotteLinks)
+{
+    // §3.4 attributes 20% of Jasmin's round trip to path management
+    // vs 50% protocol processing in Charlotte: one-way paths need
+    // fewer checks per operation.
+    const long before = k.checksPerformed();
+    Message got{};
+    for (int i = 0; i < 10; ++i) {
+        k.sendmsg(client, req, msg('q'));
+        k.rcvmsg(server, {req}, got);
+    }
+    const long per_rt = (k.checksPerformed() - before) / 10;
+    EXPECT_LE(per_rt, 12);
+    EXPECT_GE(per_rt, 4);
+}
+
+} // namespace

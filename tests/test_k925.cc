@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Semantic tests for the chapter-4 925 IPC kernel: services,
+ * offer/receive/inquire, no-wait vs remote-invocation send, kernel
+ * buffering and blocking, memory-reference messages, interrupt
+ * mapping, and the genuineness of the §5.1 shared-memory lists —
+ * including the whole kernel running its queue operations through the
+ * appendix-A microcoded controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "k925/kernel.hh"
+#include "ucode/microcode.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::k925;
+
+Message
+msg(const char *text)
+{
+    Message m;
+    for (int i = 0; text[i] && i < messageBytes; ++i)
+        m.data[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(text[i]);
+    return m;
+}
+
+std::string
+text(const Message &m)
+{
+    std::string s;
+    for (std::uint8_t c : m.data) {
+        if (!c)
+            break;
+        s.push_back(static_cast<char>(c));
+    }
+    return s;
+}
+
+class K925Fixture : public ::testing::Test
+{
+  protected:
+    K925Fixture()
+    {
+        client = k.createTask("editor");
+        server = k.createTask("file-server");
+        svc = k.createService(server);
+        k.offer(server, svc);
+    }
+
+    Kernel k;
+    TaskId client{}, server{};
+    ServiceId svc{};
+};
+
+TEST_F(K925Fixture, RemoteInvocationRendezvous)
+{
+    std::string got_request, got_reply;
+    Envelope saved;
+
+    ASSERT_EQ(k.receive(server,
+                        [&](const Envelope &e) {
+                            got_request = text(e.msg);
+                            saved = e;
+                        }),
+              K925Status::Ok);
+    EXPECT_EQ(k.taskState(server), TaskState::Stopped);
+
+    ASSERT_EQ(k.sendRemoteInvocation(
+                  client, svc, msg("read page 7"),
+                  [&](const Message &r) { got_reply = text(r); }),
+              K925Status::Ok);
+
+    // The server rendezvoused and is runnable; the client is stopped
+    // until the reply.
+    EXPECT_EQ(got_request, "read page 7");
+    EXPECT_EQ(k.taskState(server), TaskState::Computing);
+    EXPECT_EQ(k.taskState(client), TaskState::Stopped);
+
+    ASSERT_EQ(k.reply(server, saved, msg("page data")), K925Status::Ok);
+    EXPECT_EQ(got_reply, "page data");
+    EXPECT_EQ(k.taskState(client), TaskState::Computing);
+}
+
+TEST_F(K925Fixture, NoWaitSendDoesNotBlockSender)
+{
+    ASSERT_EQ(k.sendNoWait(client, svc, msg("fyi")), K925Status::Ok);
+    EXPECT_EQ(k.taskState(client), TaskState::Computing);
+    EXPECT_EQ(k.pendingMessages(svc), 1);
+
+    std::string got;
+    k.receive(server, [&](const Envelope &e) { got = text(e.msg); });
+    EXPECT_EQ(got, "fyi");
+    EXPECT_EQ(k.pendingMessages(svc), 0);
+}
+
+TEST_F(K925Fixture, MessagesQueueUntilServerReceives)
+{
+    k.sendNoWait(client, svc, msg("one"));
+    k.sendNoWait(client, svc, msg("two"));
+    k.sendNoWait(client, svc, msg("three"));
+    EXPECT_EQ(k.pendingMessages(svc), 3);
+
+    std::vector<std::string> got;
+    for (int i = 0; i < 3; ++i)
+        k.receive(server,
+                  [&](const Envelope &e) { got.push_back(text(e.msg)); });
+    EXPECT_EQ(got, (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST_F(K925Fixture, InquireIsNonBlocking)
+{
+    EXPECT_FALSE(k.inquire(server));
+    k.sendNoWait(client, svc, msg("ping"));
+    EXPECT_TRUE(k.inquire(server));
+    EXPECT_EQ(k.taskState(server), TaskState::Computing);
+}
+
+TEST_F(K925Fixture, ReceiveWithoutOfferFails)
+{
+    const TaskId lurker = k.createTask("lurker");
+    EXPECT_EQ(k.receive(lurker, [](const Envelope &) {}),
+              K925Status::NotOffered);
+}
+
+TEST_F(K925Fixture, SendToDeadServiceFails)
+{
+    k.destroyService(svc);
+    EXPECT_EQ(k.sendNoWait(client, svc, msg("x")),
+              K925Status::NoSuchService);
+}
+
+TEST_F(K925Fixture, MultipleServersFcfsDelivery)
+{
+    const TaskId server2 = k.createTask("file-server-2");
+    k.offer(server2, svc);
+
+    std::vector<TaskId> served_by;
+    k.receive(server, [&](const Envelope &) {
+        served_by.push_back(server);
+    });
+    k.receive(server2, [&](const Envelope &) {
+        served_by.push_back(server2);
+    });
+
+    k.sendNoWait(client, svc, msg("a"));
+    k.sendNoWait(client, svc, msg("b"));
+    // First message to the first waiting server, second to the next.
+    EXPECT_EQ(served_by, (std::vector<TaskId>{server, server2}));
+}
+
+TEST_F(K925Fixture, ServerWaitingOnTwoServicesGetsEarliestMessage)
+{
+    const ServiceId svc2 = k.createService(server);
+    k.offer(server, svc2);
+
+    k.sendNoWait(client, svc2, msg("second-service-first"));
+    k.sendNoWait(client, svc, msg("first-service-later"));
+
+    std::string got;
+    k.receive(server, [&](const Envelope &e) { got = text(e.msg); });
+    // FCFS across services by arrival order.
+    EXPECT_EQ(got, "second-service-first");
+}
+
+TEST_F(K925Fixture, BufferExhaustionBlocksSenderAndResumes)
+{
+    Kernel::Config cfg;
+    cfg.kernelBuffers = 2;
+    Kernel small(cfg);
+    const TaskId c = small.createTask("c");
+    const TaskId s = small.createTask("s");
+    const ServiceId v = small.createService(s);
+    small.offer(s, v);
+
+    EXPECT_EQ(small.sendNoWait(c, v, msg("1")), K925Status::Ok);
+    EXPECT_EQ(small.sendNoWait(c, v, msg("2")), K925Status::Ok);
+    EXPECT_EQ(small.freeBufferCount(), 0);
+
+    // Non-blocking send fails cleanly...
+    EXPECT_EQ(small.sendNoWait(c, v, msg("3"), false),
+              K925Status::WouldBlock);
+    // ...a blocking one stops the task.
+    EXPECT_EQ(small.sendNoWait(c, v, msg("3")), K925Status::Ok);
+    EXPECT_EQ(small.taskState(c), TaskState::Stopped);
+
+    // Receiving one message frees a buffer and resumes the sender.
+    std::string got;
+    small.receive(s, [&](const Envelope &e) { got = text(e.msg); });
+    EXPECT_EQ(got, "1");
+    EXPECT_EQ(small.taskState(c), TaskState::Computing);
+    EXPECT_EQ(small.pendingMessages(v), 2); // "2" and the retried "3"
+}
+
+TEST_F(K925Fixture, MemoryReferenceMoveRespectsRights)
+{
+    // The editor passes a read/write window into its address space
+    // (the Fig 4.2 scenario).
+    auto &umem = k.userMemory(client);
+    for (int i = 0; i < 64; ++i)
+        umem[static_cast<std::size_t>(100 + i)] =
+            static_cast<std::uint8_t>(i);
+
+    Message m = msg("page request");
+    m.hasRef = true;
+    m.ref = MemoryRef{100, 64, true, true};
+
+    Envelope env;
+    k.receive(server, [&](const Envelope &e) { env = e; });
+    k.sendRemoteInvocation(client, svc, m, [](const Message &) {});
+
+    // Read the client's segment through the reference.
+    std::uint8_t buf[16];
+    ASSERT_EQ(k.moveFromUser(server, env, 8, buf, 16),
+              K925Status::Ok);
+    EXPECT_EQ(buf[0], 8);
+    EXPECT_EQ(buf[15], 23);
+
+    // Write back into it.
+    const std::uint8_t patch[4] = {0xde, 0xad, 0xbe, 0xef};
+    ASSERT_EQ(k.moveToUser(server, env, 0, patch, 4),
+              K925Status::Ok);
+    EXPECT_EQ(k.userMemory(client)[100], 0xde);
+
+    // Out-of-bounds access is denied.
+    EXPECT_EQ(k.moveFromUser(server, env, 60, buf, 16),
+              K925Status::AccessDenied);
+
+    // After the reply all rights are revoked (§4.2.1).
+    k.reply(server, env, msg("done"));
+    EXPECT_EQ(k.moveFromUser(server, env, 0, buf, 4),
+              K925Status::BadEnvelope);
+}
+
+TEST_F(K925Fixture, ReadOnlyReferenceDeniesWrites)
+{
+    Message m = msg("ro");
+    m.hasRef = true;
+    m.ref = MemoryRef{0, 32, true, false};
+    Envelope env;
+    k.receive(server, [&](const Envelope &e) { env = e; });
+    k.sendRemoteInvocation(client, svc, m, [](const Message &) {});
+    const std::uint8_t b[2] = {1, 2};
+    EXPECT_EQ(k.moveToUser(server, env, 0, b, 2),
+              K925Status::AccessDenied);
+}
+
+TEST_F(K925Fixture, ReplyTwiceIsRejected)
+{
+    Envelope env;
+    k.receive(server, [&](const Envelope &e) { env = e; });
+    k.sendRemoteInvocation(client, svc, msg("q"),
+                           [](const Message &) {});
+    EXPECT_EQ(k.reply(server, env, msg("a")), K925Status::Ok);
+    EXPECT_EQ(k.reply(server, env, msg("again")),
+              K925Status::BadEnvelope);
+}
+
+TEST_F(K925Fixture, ReplyToNoWaitSendIsRejected)
+{
+    Envelope env;
+    k.receive(server, [&](const Envelope &e) { env = e; });
+    k.sendNoWait(client, svc, msg("datagram"));
+    EXPECT_EQ(k.reply(server, env, msg("a")), K925Status::BadEnvelope);
+}
+
+TEST_F(K925Fixture, InterruptsMapOntoIpc)
+{
+    // The driver offers an interrupt service known to its handler
+    // (§4.2.2) and posts a receive on it.
+    const TaskId driver = k.createTask("disk-driver");
+    const ServiceId intr_svc = k.createService(driver);
+    k.offer(driver, intr_svc);
+
+    std::string got;
+    k.receive(driver, [&](const Envelope &e) { got = text(e.msg); });
+
+    k.installHandler(driver, 5, [&]() {
+        // Only activate is legal here.
+        EXPECT_EQ(k.sendNoWait(driver, intr_svc, msg("nope")),
+                  K925Status::HandlerRestriction);
+        EXPECT_EQ(k.activate(intr_svc, msg("sector ready")),
+                  K925Status::Ok);
+    });
+    ASSERT_EQ(k.raiseInterrupt(5), K925Status::Ok);
+    EXPECT_EQ(got, "sector ready");
+}
+
+TEST_F(K925Fixture, ActivateOutsideHandlerIsRejected)
+{
+    EXPECT_EQ(k.activate(svc, msg("x")), K925Status::NotInHandler);
+}
+
+TEST_F(K925Fixture, UnhandledInterruptReported)
+{
+    EXPECT_NE(k.raiseInterrupt(42), K925Status::Ok);
+}
+
+TEST_F(K925Fixture, WorkListsLiveInSharedMemory)
+{
+    // Both tasks are computing: the computation list in shared memory
+    // holds exactly their TCBs.
+    auto comp = k.computationList();
+    EXPECT_EQ(comp.size(), 2u);
+
+    // A stopped task is on neither list.
+    k.receive(server, [](const Envelope &) {});
+    comp = k.computationList();
+    EXPECT_EQ(comp, std::vector<TaskId>{client});
+    EXPECT_TRUE(k.communicationList().empty());
+}
+
+TEST_F(K925Fixture, KillTaskDequeuesItsControlBlock)
+{
+    const TaskId doomed = k.createTask("doomed");
+    EXPECT_EQ(k.computationList().size(), 3u);
+    k.killTask(doomed);
+    EXPECT_EQ(k.computationList().size(), 2u);
+    EXPECT_EQ(k.taskState(doomed), TaskState::Dead);
+    // Its TCB returned to the free list: a new task can reuse it.
+    const TaskId reborn = k.createTask("reborn");
+    EXPECT_EQ(k.taskName(reborn), "reborn");
+}
+
+TEST_F(K925Fixture, ReplyToKilledClientIsDropped)
+{
+    Envelope env;
+    k.receive(server, [&](const Envelope &e) { env = e; });
+    bool replied = false;
+    k.sendRemoteInvocation(client, svc, msg("q"),
+                           [&](const Message &) { replied = true; });
+    k.killTask(client);
+    EXPECT_EQ(k.reply(server, env, msg("a")), K925Status::Ok);
+    EXPECT_FALSE(replied);
+}
+
+TEST(K925Microcoded, WholeKernelRunsOnMicrocode)
+{
+    // Every queue manipulation of the kernel — free lists, work
+    // lists, service queues — executed by the appendix-A microcoded
+    // controller against the kernel's shared memory.
+    Kernel k;
+    ucode::MicrocodedController ctrl(k.sharedMemory());
+    k.setController(ctrl);
+
+    const TaskId c = k.createTask("client");
+    const TaskId s = k.createTask("server");
+    const ServiceId v = k.createService(s);
+    k.offer(s, v);
+
+    std::string got_req, got_rep;
+    Envelope env;
+    k.receive(s, [&](const Envelope &e) {
+        got_req = text(e.msg);
+        env = e;
+    });
+    k.sendRemoteInvocation(c, v, msg("hello"), [&](const Message &r) {
+        got_rep = text(r);
+    });
+    k.reply(s, env, msg("world"));
+
+    EXPECT_EQ(got_req, "hello");
+    EXPECT_EQ(got_rep, "world");
+    EXPECT_GT(ctrl.sequencer().totalCycles(), 100);
+}
+
+TEST(K925Stress, ManyConversationsPreserveBuffers)
+{
+    Kernel::Config cfg;
+    cfg.maxTasks = 32;
+    cfg.kernelBuffers = 4;
+    Kernel k(cfg);
+
+    const TaskId server = k.createTask("server");
+    const ServiceId svc = k.createService(server);
+    k.offer(server, svc);
+
+    std::vector<TaskId> clients;
+    for (int i = 0; i < 8; ++i)
+        clients.push_back(k.createTask("c" + std::to_string(i)));
+
+    const int before = k.freeBufferCount();
+    int replies = 0;
+
+    // Server loop: CPS-style receive/reply forever.
+    std::function<void()> serve = [&]() {
+        k.receive(server, [&](const Envelope &e) {
+            Envelope env = e;
+            if (env.expectsReply)
+                k.reply(server, env, msg("ok"));
+            serve();
+        });
+    };
+    serve();
+
+    for (int round = 0; round < 10; ++round) {
+        for (TaskId c : clients) {
+            k.sendRemoteInvocation(c, svc, msg("work"),
+                                   [&](const Message &) { ++replies; });
+        }
+    }
+    EXPECT_EQ(replies, 80);
+    EXPECT_EQ(k.freeBufferCount(), before); // no leaked buffers
+}
+
+
+TEST_F(K925Fixture, DestroyServiceDrainsQueuedMessagesToPool)
+{
+    const int before = k.freeBufferCount();
+    k.sendNoWait(client, svc, msg("a"));
+    k.sendNoWait(client, svc, msg("b"));
+    EXPECT_EQ(k.freeBufferCount(), before - 2);
+    k.destroyService(svc);
+    EXPECT_EQ(k.freeBufferCount(), before);
+}
+
+TEST_F(K925Fixture, OfferIsIdempotent)
+{
+    k.offer(server, svc); // second offer of the same service
+    k.sendNoWait(client, svc, msg("once"));
+    int deliveries = 0;
+    k.receive(server, [&](const Envelope &) { ++deliveries; });
+    EXPECT_EQ(deliveries, 1);
+}
+
+TEST_F(K925Fixture, InterleavedConversationsKeepEnvelopesDistinct)
+{
+    const TaskId client2 = k.createTask("client2");
+    std::vector<Envelope> envs;
+    k.receive(server, [&](const Envelope &e) { envs.push_back(e); });
+    k.sendRemoteInvocation(client, svc, msg("one"),
+                           [](const Message &) {});
+    k.receive(server, [&](const Envelope &e) { envs.push_back(e); });
+    k.sendRemoteInvocation(client2, svc, msg("two"),
+                           [](const Message &) {});
+    ASSERT_EQ(envs.size(), 2u);
+    EXPECT_NE(envs[0].seq, envs[1].seq);
+    EXPECT_EQ(envs[0].sender, client);
+    EXPECT_EQ(envs[1].sender, client2);
+    // Replying to the second does not resume the first client.
+    k.reply(server, envs[1], msg("r2"));
+    EXPECT_EQ(k.taskState(client), TaskState::Stopped);
+    EXPECT_EQ(k.taskState(client2), TaskState::Computing);
+    k.reply(server, envs[0], msg("r1"));
+    EXPECT_EQ(k.taskState(client), TaskState::Computing);
+}
+
+} // namespace

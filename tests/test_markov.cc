@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the sparse Markov steady-state solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gtpn/markov.hh"
+
+namespace
+{
+
+using namespace hsipc::gtpn;
+
+TEST(Markov, TwoStateChain)
+{
+    // P = [[0.9, 0.1], [0.4, 0.6]]; stationary = (0.8, 0.2).
+    MarkovChain c;
+    c.addEdge(0, 0, 0.9);
+    c.addEdge(0, 1, 0.1);
+    c.addEdge(1, 0, 0.4);
+    c.addEdge(1, 1, 0.6);
+    c.setSojourn(0, 1.0);
+    c.setSojourn(1, 1.0);
+
+    const SolveResult r = c.solve();
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(r.piEmbedded[0], 0.8, 1e-8);
+    EXPECT_NEAR(r.piEmbedded[1], 0.2, 1e-8);
+    EXPECT_NEAR(r.piTime[0], 0.8, 1e-8);
+}
+
+TEST(Markov, PeriodicChainConverges)
+{
+    // 0 -> 1 -> 0 with period 2; damping must still converge to
+    // (0.5, 0.5).
+    MarkovChain c;
+    c.addEdge(0, 1, 1.0);
+    c.addEdge(1, 0, 1.0);
+
+    const SolveResult r = c.solve();
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(r.piEmbedded[0], 0.5, 1e-8);
+    EXPECT_NEAR(r.piEmbedded[1], 0.5, 1e-8);
+}
+
+TEST(Markov, SojournWeighting)
+{
+    // Symmetric embedded chain, but state 1 is held 3x as long.
+    MarkovChain c;
+    c.addEdge(0, 1, 1.0);
+    c.addEdge(1, 0, 1.0);
+    c.setSojourn(0, 1.0);
+    c.setSojourn(1, 3.0);
+
+    const SolveResult r = c.solve();
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(r.piTime[0], 0.25, 1e-8);
+    EXPECT_NEAR(r.piTime[1], 0.75, 1e-8);
+}
+
+TEST(Markov, RingChainUniform)
+{
+    const int n = 17;
+    MarkovChain c;
+    for (int i = 0; i < n; ++i)
+        c.addEdge(static_cast<std::size_t>(i),
+                  static_cast<std::size_t>((i + 1) % n), 1.0);
+    const SolveResult r = c.solve();
+    ASSERT_TRUE(r.converged);
+    for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(r.piEmbedded[static_cast<std::size_t>(i)], 1.0 / n,
+                    1e-7);
+}
+
+TEST(Markov, BirthDeathChain)
+{
+    // Random walk on 0..3 with up-prob 0.3, down-prob 0.7 (reflecting):
+    // birth-death stationary pi(i) ~ (0.3/0.7)^i.
+    MarkovChain c;
+    const double up = 0.3, down = 0.7;
+    c.addEdge(0, 1, up);
+    c.addEdge(0, 0, down);
+    c.addEdge(1, 2, up);
+    c.addEdge(1, 0, down);
+    c.addEdge(2, 3, up);
+    c.addEdge(2, 1, down);
+    c.addEdge(3, 3, up);
+    c.addEdge(3, 2, down);
+
+    const SolveResult r = c.solve();
+    ASSERT_TRUE(r.converged);
+    const double rho = up / down;
+    const double z = 1 + rho + rho * rho + rho * rho * rho;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_NEAR(r.piEmbedded[static_cast<std::size_t>(i)],
+                    std::pow(rho, i) / z, 1e-7);
+}
+
+TEST(Markov, AbsorbingStateCollectsAllMass)
+{
+    MarkovChain c;
+    c.addEdge(0, 1, 1.0);
+    c.addEdge(1, 1, 1.0);
+    const SolveResult r = c.solve();
+    EXPECT_NEAR(r.piEmbedded[1], 1.0, 1e-8);
+}
+
+TEST(Markov, RejectsUnnormalizedRows)
+{
+    MarkovChain c;
+    c.addEdge(0, 1, 0.5); // row 0 sums to 0.5
+    c.addEdge(1, 0, 1.0);
+    EXPECT_DEATH({ c.solve(); }, "sums");
+}
+
+} // namespace

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Tests for the profiling instrumentation and the chapter-3 synthetic
+ * kernels: wraparound correction, activity aggregation, and agreement
+ * with the thesis' measured breakdowns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prof/callgraph.hh"
+#include "prof/kernels.hh"
+#include "prof/profiler.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::prof;
+
+TEST(HardwareTimer, WrapsAtSixteenBits)
+{
+    SimClock clock;
+    HardwareTimer timer(clock);
+    clock.advance(usToTicks(65535));
+    EXPECT_EQ(timer.read(), 65535);
+    clock.advance(usToTicks(1));
+    EXPECT_EQ(timer.read(), 0);
+}
+
+TEST(ProcedureProfiler, AccumulatesTimeAndCounts)
+{
+    SimClock clock;
+    HardwareTimer timer(clock);
+    ProcedureProfiler prof(timer);
+
+    for (int i = 0; i < 3; ++i) {
+        prof.enter("foo");
+        clock.advance(usToTicks(50));
+        prof.exit("foo");
+    }
+    const auto rep = prof.report();
+    ASSERT_EQ(rep.size(), 1u);
+    EXPECT_EQ(rep[0].count, 3);
+    EXPECT_NEAR(rep[0].totalUs, 150.0, 1e-9);
+    EXPECT_NEAR(rep[0].perVisitUs, 50.0, 1e-9);
+}
+
+TEST(ProcedureProfiler, CorrectsTimerWraparound)
+{
+    SimClock clock;
+    HardwareTimer timer(clock);
+    ProcedureProfiler prof(timer);
+
+    // Start near the top of the timer so it wraps mid-measurement.
+    clock.advance(usToTicks(65500));
+    prof.enter("wrap");
+    clock.advance(usToTicks(100)); // timer reads 64 after wrap
+    prof.exit("wrap");
+    const auto rep = prof.report();
+    ASSERT_EQ(rep.size(), 1u);
+    EXPECT_NEAR(rep[0].totalUs, 100.0, 1e-9);
+}
+
+TEST(ProcedureProfiler, SubtractsInstrumentationOverhead)
+{
+    SimClock clock;
+    HardwareTimer timer(clock);
+    ProcedureProfiler prof(timer, 5.0);
+    prof.enter("p");
+    clock.advance(usToTicks(30));
+    prof.exit("p");
+    EXPECT_NEAR(prof.report()[0].totalUs, 25.0, 1e-9);
+}
+
+TEST(ProcedureProfiler, NestedProceduresBothMeasured)
+{
+    SimClock clock;
+    HardwareTimer timer(clock);
+    ProcedureProfiler prof(timer);
+    prof.enter("outer");
+    clock.advance(usToTicks(10));
+    prof.enter("inner");
+    clock.advance(usToTicks(20));
+    prof.exit("inner");
+    clock.advance(usToTicks(10));
+    prof.exit("outer");
+    const auto rep = prof.report();
+    ASSERT_EQ(rep.size(), 2u);
+    EXPECT_EQ(rep[0].procedure, "outer"); // first-seen order
+    EXPECT_NEAR(rep[0].totalUs, 40.0, 1e-9);
+    EXPECT_NEAR(rep[1].totalUs, 20.0, 1e-9);
+}
+
+TEST(ProcedureProfiler, ClearResetsStatistics)
+{
+    SimClock clock;
+    HardwareTimer timer(clock);
+    ProcedureProfiler prof(timer);
+    prof.enter("p");
+    clock.advance(usToTicks(10));
+    prof.exit("p");
+    prof.clear();
+    EXPECT_TRUE(prof.report().empty());
+}
+
+TEST(MessagePathProfiler, MeasuresSegments)
+{
+    SimClock clock;
+    MessagePathProfiler mp(clock);
+    for (int id = 0; id < 4; ++id) {
+        mp.begin(id);
+        mp.stamp(id, "queued");
+        clock.advance(usToTicks(100));
+        mp.stamp(id, "copied");
+        clock.advance(usToTicks(50));
+        mp.stamp(id, "delivered");
+    }
+    const auto segs = mp.segments();
+    ASSERT_EQ(segs.size(), 2u);
+    EXPECT_EQ(segs[0].from, "queued");
+    EXPECT_NEAR(segs[0].meanUs, 100.0, 1e-9);
+    EXPECT_EQ(segs[1].to, "delivered");
+    EXPECT_NEAR(segs[1].meanUs, 50.0, 1e-9);
+    EXPECT_EQ(segs[0].samples, 4);
+}
+
+// --- Synthetic kernels vs the thesis' tables ---------------------------
+
+struct TableTarget
+{
+    const char *activity;
+    double percent;
+};
+
+void
+expectBreakdown(const ProfileResult &res, double round_trip_ms,
+                std::vector<TableTarget> targets, double tol_pct = 1.5)
+{
+    EXPECT_NEAR(res.roundTripMs, round_trip_ms, round_trip_ms * 0.02)
+        << res.system;
+    for (const TableTarget &t : targets) {
+        bool found = false;
+        for (const ActivityRow &row : res.rows) {
+            if (row.activity.find(t.activity) != std::string::npos) {
+                EXPECT_NEAR(row.percent, t.percent, tol_pct)
+                    << res.system << ": " << t.activity;
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found) << res.system << " missing " << t.activity;
+    }
+}
+
+TEST(SyntheticKernels, CharlotteMatchesTable31)
+{
+    const ProfileResult r = runKernelProfile(charlotteSpec());
+    expectBreakdown(r, 20.0,
+                    {{"Kernel-Process Switching", 10},
+                     {"Copy Time", 3},
+                     {"Entering and Exiting Kernel", 14},
+                     {"Protocol Processing", 50},
+                     {"Link Translation", 23}});
+}
+
+TEST(SyntheticKernels, JasminMatchesTable32)
+{
+    const ProfileResult r = runKernelProfile(jasminSpec());
+    expectBreakdown(r, 0.72,
+                    {{"Short-Term Scheduling", 40},
+                     {"Copy Time", 15},
+                     {"Buffer Management", 10},
+                     {"Path Management", 20},
+                     {"Miscellaneous", 15}});
+}
+
+TEST(SyntheticKernels, System925MatchesTable33)
+{
+    const ProfileResult r = runKernelProfile(spec925());
+    expectBreakdown(r, 5.6,
+                    {{"Short-Term Scheduling", 35},
+                     {"Copy Time", 15},
+                     {"Entering and Exiting Kernel", 10},
+                     {"Checking, Addressing", 40}});
+}
+
+TEST(SyntheticKernels, UnixLocalMatchesTable34)
+{
+    const ProfileResult r = runKernelProfile(unixLocalSpec());
+    expectBreakdown(r, 4.57,
+                    {{"Validity Checking", 53.4},
+                     {"Copy Time", 19.3},
+                     {"Short-Term Scheduling", 17.1},
+                     {"Buffer Management", 10.2}});
+}
+
+TEST(SyntheticKernels, UnixNonlocalMatchesTable35)
+{
+    const ProfileResult r = runKernelProfile(unixNonlocalSpec());
+    expectBreakdown(r, 6.8,
+                    {{"Socket Routines", 15},
+                     {"Copy Time", 7},
+                     {"Checksum", 9},
+                     {"Short-Term Scheduling", 6},
+                     {"Buffer Management", 4},
+                     {"TCP", 19},
+                     {"IP", 24},
+                     {"Interrupt", 16}});
+}
+
+TEST(SyntheticKernels, PercentagesSumToHundred)
+{
+    for (const KernelSpec &spec :
+         {charlotteSpec(), jasminSpec(), spec925(), unixLocalSpec(),
+          unixNonlocalSpec()}) {
+        const ProfileResult r = runKernelProfile(spec, 50);
+        double total = 0;
+        for (const ActivityRow &row : r.rows)
+            total += row.percent;
+        EXPECT_NEAR(total, 100.0, 1e-6) << spec.system;
+    }
+}
+
+TEST(SyntheticKernels, FixedOverheadMatchesSection34)
+{
+    // §3.4: fixed overhead 19.4 ms (Charlotte), 0.612 ms (Jasmin),
+    // 4.76 ms (925).
+    EXPECT_NEAR(fixedOverheadUs(charlotteSpec()) / 1000.0, 19.4, 0.4);
+    EXPECT_NEAR(fixedOverheadUs(jasminSpec()) / 1000.0, 0.612, 0.02);
+    EXPECT_NEAR(fixedOverheadUs(spec925()) / 1000.0, 4.76, 0.1);
+}
+
+TEST(SyntheticKernels, CopyDominatesLargeCharlotteMessages)
+{
+    // §3.4: copy time passes 50% of a non-local round trip at about
+    // 6000 bytes; locally the fixed overhead is 19.4 ms so the break
+    // point of the local kernel sits over 30 KB.
+    KernelSpec big = charlotteSpec();
+    big.messageBytes = 40000;
+    const ProfileResult r = runKernelProfile(big, 20);
+    EXPECT_GT(r.copyTimeMs / r.roundTripMs, 0.5);
+}
+
+TEST(UnixServices, Table36Times)
+{
+    // Table 3.6 in milliseconds.
+    const std::vector<double> expected = {4.35, 0.36, 18.71, 14.28,
+                                          3.453, 0.2};
+    const auto &services = unixServices();
+    ASSERT_EQ(services.size(), expected.size());
+    for (std::size_t i = 0; i < services.size(); ++i) {
+        EXPECT_NEAR(serviceTimeMs(services[i]), expected[i],
+                    expected[i] * 0.01)
+            << services[i].service;
+    }
+}
+
+TEST(UnixFileServer, Table37Shape)
+{
+    const FileServerModel rd = unixReadModel();
+    const FileServerModel wr = unixWriteModel();
+    // Monotone increasing, writes slower than reads, and the end
+    // points near the measured table (128 B and 4096 B rows).
+    double prev_r = 0, prev_w = 0;
+    for (int bytes : unixRwBlockSizes()) {
+        const double r = rd.timeMs(bytes);
+        const double w = wr.timeMs(bytes);
+        EXPECT_GT(r, prev_r);
+        EXPECT_GT(w, prev_w);
+        EXPECT_GT(w, r);
+        prev_r = r;
+        prev_w = w;
+    }
+    EXPECT_NEAR(rd.timeMs(128), 1.0092, 0.1);
+    EXPECT_NEAR(wr.timeMs(128), 1.5464, 0.15);
+    EXPECT_NEAR(rd.timeMs(4096), 3.2442, 0.2);
+    EXPECT_NEAR(wr.timeMs(4096), 6.1082, 0.35);
+}
+
+TEST(UnixServices, ComputationComparableToCommunication)
+{
+    // §3.5's inference: service ("computation") times are comparable
+    // to the 4.57 ms local communication time.
+    double total = 0;
+    for (const auto &svc : unixServices())
+        total += serviceTimeMs(svc);
+    const double mean = total / unixServices().size();
+    EXPECT_GT(mean, 1.0);
+    EXPECT_LT(mean, 10.0);
+}
+
+
+// --- Call-graph profiler (the §3.5 gprof counterpart) --------------------
+
+TEST(CallGraph, SelfVsTotalAttribution)
+{
+    SimClock clock;
+    CallGraphProfiler cg(clock);
+
+    cg.enter("syscall");
+    clock.advance(usToTicks(10));
+    cg.enter("copy");
+    clock.advance(usToTicks(30));
+    cg.exit("copy");
+    clock.advance(usToTicks(5));
+    cg.exit("syscall");
+
+    const auto nodes = cg.nodes();
+    ASSERT_EQ(nodes.size(), 2u);
+    // Ordered by self time: copy (30) before syscall (15).
+    EXPECT_EQ(nodes[0].procedure, "copy");
+    EXPECT_NEAR(nodes[0].selfUs, 30.0, 1e-9);
+    EXPECT_NEAR(nodes[0].totalUs, 30.0, 1e-9);
+    EXPECT_EQ(nodes[1].procedure, "syscall");
+    EXPECT_NEAR(nodes[1].selfUs, 15.0, 1e-9);
+    EXPECT_NEAR(nodes[1].totalUs, 45.0, 1e-9);
+}
+
+TEST(CallGraph, EdgesRecordCallersAndCounts)
+{
+    SimClock clock;
+    CallGraphProfiler cg(clock);
+    for (int i = 0; i < 3; ++i) {
+        cg.enter("recv");
+        cg.enter("queueOps");
+        clock.advance(usToTicks(2));
+        cg.exit("queueOps");
+        cg.exit("recv");
+    }
+    cg.enter("queueOps"); // also called at top level once
+    clock.advance(usToTicks(2));
+    cg.exit("queueOps");
+
+    const auto edges = cg.edges();
+    long via_recv = 0, spontaneous = 0;
+    for (const auto &e : edges) {
+        if (e.callee == "queueOps" && e.caller == "recv")
+            via_recv = e.calls;
+        if (e.callee == "queueOps" && e.caller == "<spontaneous>")
+            spontaneous = e.calls;
+    }
+    EXPECT_EQ(via_recv, 3);
+    EXPECT_EQ(spontaneous, 1);
+}
+
+TEST(CallGraph, RecursionCountsTotalOnce)
+{
+    SimClock clock;
+    CallGraphProfiler cg(clock);
+    cg.enter("walk");
+    clock.advance(usToTicks(1));
+    cg.enter("walk");
+    clock.advance(usToTicks(1));
+    cg.enter("walk");
+    clock.advance(usToTicks(1));
+    cg.exit("walk");
+    cg.exit("walk");
+    cg.exit("walk");
+
+    const auto nodes = cg.nodes();
+    ASSERT_EQ(nodes.size(), 1u);
+    EXPECT_EQ(nodes[0].calls, 3);
+    EXPECT_NEAR(nodes[0].selfUs, 3.0, 1e-9);
+    // Inclusive time is the outermost frame only, not 3+2+1.
+    EXPECT_NEAR(nodes[0].totalUs, 3.0, 1e-9);
+}
+
+TEST(CallGraph, TotalSelfEqualsElapsedInsideProfiling)
+{
+    SimClock clock;
+    CallGraphProfiler cg(clock);
+    cg.enter("a");
+    clock.advance(usToTicks(7));
+    cg.enter("b");
+    clock.advance(usToTicks(11));
+    cg.exit("b");
+    cg.exit("a");
+    EXPECT_NEAR(cg.totalSelfUs(), 18.0, 1e-9);
+    EXPECT_EQ(cg.depth(), 0);
+}
+
+TEST(CallGraph, MismatchedExitPanics)
+{
+    SimClock clock;
+    CallGraphProfiler cg(clock);
+    cg.enter("a");
+    EXPECT_DEATH(cg.exit("b"), "assert");
+}
+
+} // namespace

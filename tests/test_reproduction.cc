@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Golden regression tests pinning the headline reproduction numbers
+ * recorded in EXPERIMENTS.md.  If a refactor of the GTPN engine, the
+ * models, or the simulator moves any of these, the reproduction has
+ * drifted and EXPERIMENTS.md is stale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/models/offered_load.hh"
+#include "core/models/solution.hh"
+#include "sim/kernel/ipc_sim.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::models;
+
+// --- Communication times C (Tables 6.24/6.25 derivation) ---------------
+
+TEST(Golden, LocalCommunicationTimes)
+{
+    // paper-implied: 4973 / 5430 / 3784 / 3690 us.
+    EXPECT_NEAR(communicationTime(Arch::I, true), 4970.0, 25.0);
+    EXPECT_NEAR(communicationTime(Arch::II, true), 5429.0, 30.0);
+    EXPECT_NEAR(communicationTime(Arch::III, true), 3786.0, 25.0);
+    EXPECT_NEAR(communicationTime(Arch::IV, true), 3702.0, 25.0);
+}
+
+TEST(Golden, NonlocalCommunicationTimes)
+{
+    EXPECT_NEAR(communicationTime(Arch::I, false), 6594.0, 70.0);
+    EXPECT_NEAR(communicationTime(Arch::II, false), 7011.0, 70.0);
+    EXPECT_NEAR(communicationTime(Arch::III, false), 5159.0, 60.0);
+    EXPECT_NEAR(communicationTime(Arch::IV, false), 5043.0, 60.0);
+}
+
+TEST(Golden, OfferedLoadSpotRows)
+{
+    // Table 6.24/6.25 published values at 5.7 ms.
+    EXPECT_NEAR(offeredLoad(Arch::I, true, 5700.0), 0.466, 0.005);
+    EXPECT_NEAR(offeredLoad(Arch::II, true, 5700.0), 0.488, 0.005);
+    EXPECT_NEAR(offeredLoad(Arch::III, true, 5700.0), 0.399, 0.005);
+    EXPECT_NEAR(offeredLoad(Arch::IV, true, 5700.0), 0.393, 0.005);
+    EXPECT_NEAR(offeredLoad(Arch::I, false, 5700.0), 0.536, 0.005);
+    EXPECT_NEAR(offeredLoad(Arch::IV, false, 5700.0), 0.469, 0.005);
+}
+
+// --- Figure 6.17 maximum-load anchors ----------------------------------
+
+TEST(Golden, MaxLoadLocalAnchors)
+{
+    // messages/sec at X=0 (EXPERIMENTS.md).
+    EXPECT_NEAR(solveLocal(Arch::I, 1, 0).throughputPerUs * 1e6,
+                201.2, 2.5);
+    EXPECT_NEAR(solveLocal(Arch::II, 1, 0).throughputPerUs * 1e6,
+                184.2, 2.5);
+    EXPECT_NEAR(solveLocal(Arch::II, 4, 0).throughputPerUs * 1e6,
+                237.1, 3.0);
+    EXPECT_NEAR(solveLocal(Arch::III, 4, 0).throughputPerUs * 1e6,
+                347.8, 4.0);
+    EXPECT_NEAR(solveLocal(Arch::IV, 4, 0).throughputPerUs * 1e6,
+                355.5, 4.0);
+}
+
+TEST(Golden, MaxLoadNonlocalAnchors)
+{
+    EXPECT_NEAR(solveNonlocal(Arch::I, 4, 0).throughputPerUs * 1e6,
+                266.1, 4.0);
+    EXPECT_NEAR(solveNonlocal(Arch::III, 4, 0).throughputPerUs * 1e6,
+                421.7, 5.0);
+}
+
+// --- The thesis' summary claims (§6.10) ---------------------------------
+
+TEST(Golden, SingleConversationLossIsSmall)
+{
+    const double t1 = solveLocal(Arch::I, 1, 0).throughputPerUs;
+    const double t2 = solveLocal(Arch::II, 1, 0).throughputPerUs;
+    const double loss = 1.0 - t2 / t1;
+    EXPECT_GT(loss, 0.02);
+    EXPECT_LT(loss, 0.15); // "this loss is very small (~10%)"
+}
+
+TEST(Golden, PartitionedBusGainsLittle)
+{
+    const double t3 = solveLocal(Arch::III, 4, 1710).throughputPerUs;
+    const double t4 = solveLocal(Arch::IV, 4, 1710).throughputPerUs;
+    EXPECT_GT(t4, t3);
+    EXPECT_LT(t4 / t3, 1.05); // "not significantly better"
+}
+
+TEST(Golden, SmartBusGainOverUniprocessorAtModerateLoad)
+{
+    // EXPERIMENTS.md: up to ~1.8x architecture I at 4 conversations.
+    const double t1 = solveLocal(Arch::I, 4, 1140).throughputPerUs;
+    const double t3 = solveLocal(Arch::III, 4, 1140).throughputPerUs;
+    EXPECT_GT(t3 / t1, 1.6);
+    EXPECT_LT(t3 / t1, 2.2);
+}
+
+// --- Model-vs-simulator validation (Figure 6.15) ------------------------
+
+TEST(Golden, ValidationAgreementWithinTenPercent)
+{
+    const NonlocalSolution m = solveNonlocalCustom(
+        validationClientParams(), validationServerParams(), 2, 2850.0,
+        2);
+    sim::Experiment e;
+    e.arch = Arch::II;
+    e.local = false;
+    e.conversations = 2;
+    e.computeUs = 2850;
+    e.hostsPerNode = 2;
+    e.extraCopy = true;
+    e.measureUs = 3000000;
+    const sim::Outcome o = sim::runExperiment(e);
+    const double ratio =
+        m.throughputPerUs * 1e6 / o.throughputPerSec;
+    EXPECT_GT(ratio, 0.88);
+    EXPECT_LT(ratio, 1.12);
+}
+
+} // namespace

@@ -1,0 +1,573 @@
+/**
+ * @file
+ * Tests for the event-driven kernel simulator: the DES core, the
+ * processor/bus contention machinery, cost derivation, and end-to-end
+ * agreement with hand analysis and the GTPN models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/models/solution.hh"
+#include "sim/des/event_queue.hh"
+#include "sim/des/resource.hh"
+#include "sim/kernel/ipc_sim.hh"
+#include "sim/node/costs.hh"
+#include "sim/node/processor.hh"
+#include "sim/node/token_ring.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::sim;
+using models::Arch;
+
+TEST(EventQueue, OrdersByTimeThenFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&]() { order.push_back(2); });
+    eq.schedule(5, [&]() { order.push_back(1); });
+    eq.schedule(10, [&]() { order.push_back(3); }); // same time: FIFO
+    while (eq.runOne()) {}
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 10);
+}
+
+TEST(EventQueue, RunUntilAdvancesClock)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&]() { ++fired; });
+    eq.schedule(900, [&]() { ++fired; });
+    eq.runUntil(500);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 500);
+    eq.runUntil(1000);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    int depth = 0;
+    eq.schedule(1, [&]() {
+        eq.scheduleAfter(1, [&]() {
+            eq.scheduleAfter(1, [&]() { depth = 3; });
+        });
+    });
+    eq.runUntil(10);
+    EXPECT_EQ(depth, 3);
+    EXPECT_EQ(eq.now(), 10);
+}
+
+TEST(Resource, SerializesHolders)
+{
+    EventQueue eq;
+    Resource bus(eq, "bus");
+    std::vector<Tick> releases;
+    for (int i = 0; i < 3; ++i)
+        bus.acquire(0, 10, [&]() { releases.push_back(eq.now()); });
+    eq.runUntil(100);
+    EXPECT_EQ(releases, (std::vector<Tick>{10, 20, 30}));
+    EXPECT_NEAR(bus.utilization(), 0.3, 1e-9);
+}
+
+TEST(Resource, PriorityJumpsQueue)
+{
+    EventQueue eq;
+    Resource bus(eq, "bus");
+    std::vector<int> order;
+    bus.acquire(0, 10, [&]() { order.push_back(0); });
+    bus.acquire(0, 10, [&]() { order.push_back(1); });
+    bus.acquire(1, 10, [&]() { order.push_back(2); }); // urgent
+    eq.runUntil(100);
+    // Holder 0 was already granted; the urgent request overtakes 1.
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(Processor, RunsActivitySerially)
+{
+    EventQueue eq;
+    Processor p(eq, "p");
+    Tick done_a = 0, done_b = 0;
+    Activity a;
+    a.name = "a";
+    a.processing = 100;
+    a.onDone = [&]() { done_a = eq.now(); };
+    Activity b;
+    b.name = "b";
+    b.processing = 50;
+    b.onDone = [&]() { done_b = eq.now(); };
+    p.submit(std::move(a));
+    p.submit(std::move(b));
+    eq.runUntil(1000);
+    EXPECT_EQ(done_a, 100);
+    EXPECT_EQ(done_b, 150);
+    EXPECT_TRUE(p.idle());
+}
+
+TEST(Processor, MemoryAccessesAddBusTime)
+{
+    EventQueue eq;
+    Resource bus(eq, "bus");
+    Processor p(eq, "p");
+    Tick done = 0;
+    Activity a;
+    a.name = "a";
+    a.processing = usToTicks(100);
+    a.memAccesses = 20;
+    a.bus = &bus;
+    a.onDone = [&]() { done = eq.now(); };
+    p.submit(std::move(a));
+    eq.runUntil(usToTicks(1000));
+    // Uncontended: 100 us CPU + 20 us of memory cycles.
+    EXPECT_EQ(done, usToTicks(120));
+}
+
+TEST(Processor, ContentionStretchesActivities)
+{
+    EventQueue eq;
+    Resource bus(eq, "bus");
+    Processor p1(eq, "p1"), p2(eq, "p2");
+    Tick done1 = 0, done2 = 0;
+    auto mk = [&](Tick *out) {
+        Activity a;
+        a.name = "x";
+        a.processing = usToTicks(100);
+        a.memAccesses = 100;
+        a.bus = &bus;
+        a.onDone = [&eq, out]() { *out = eq.now(); };
+        return a;
+    };
+    p1.submit(mk(&done1));
+    p2.submit(mk(&done2));
+    eq.runUntil(usToTicks(10000));
+    // Alone each would take 200 us; sharing the bus stretches both.
+    EXPECT_GT(done1, usToTicks(200));
+    EXPECT_GT(done2, usToTicks(200));
+    EXPECT_LT(done1, usToTicks(310));
+}
+
+TEST(Processor, InterruptPreemptsAtChunkBoundary)
+{
+    EventQueue eq;
+    Resource bus(eq, "bus");
+    Processor p(eq, "p");
+    Tick task_done = 0, intr_done = 0;
+
+    Activity task;
+    task.name = "task";
+    task.processing = usToTicks(1000);
+    task.memAccesses = 99; // 100 chunks of ~10 us
+    task.bus = &bus;
+    task.onDone = [&]() { task_done = eq.now(); };
+    p.submit(std::move(task));
+
+    eq.runUntil(usToTicks(50));
+    Activity intr;
+    intr.name = "intr";
+    intr.processing = usToTicks(200);
+    intr.priority = prioInterrupt;
+    intr.onDone = [&]() { intr_done = eq.now(); };
+    p.submit(std::move(intr));
+
+    eq.runUntil(usToTicks(10000));
+    // The interrupt finished long before the task despite arriving
+    // while the task was running.
+    EXPECT_LT(intr_done, usToTicks(300));
+    EXPECT_GT(task_done, intr_done + usToTicks(700));
+}
+
+TEST(Costs, DerivedFromStepTables)
+{
+    const IpcCosts c1 = ipcCosts(Arch::I, true);
+    EXPECT_FALSE(c1.coproc);
+    EXPECT_DOUBLE_EQ(c1.sendSyscall.procUs, 1040);
+    EXPECT_EQ(c1.sendSyscall.tcb, 150);
+    EXPECT_FALSE(c1.processSend.valid());
+
+    const IpcCosts c2 = ipcCosts(Arch::II, false);
+    EXPECT_TRUE(c2.coproc);
+    EXPECT_DOUBLE_EQ(c2.processSend.procUs, 1000);
+    EXPECT_DOUBLE_EQ(c2.match.procUs, 1650);
+    EXPECT_DOUBLE_EQ(c2.dmaInReq.procUs, 200);
+
+    const IpcCosts c4 = ipcCosts(Arch::IV, false);
+    EXPECT_EQ(c4.processSend.kb, 50);
+    EXPECT_EQ(c4.processSend.tcb, 21);
+}
+
+TEST(IpcSim, SingleLocalConversationMatchesHandAnalysis)
+{
+    // Arch I, one local conversation, X=0: the round trip is the
+    // serialized 4970 us of Table 6.4.
+    Experiment e;
+    e.arch = Arch::I;
+    e.local = true;
+    e.conversations = 1;
+    e.computeUs = 0;
+    const Outcome o = runExperiment(e);
+    EXPECT_GT(o.roundTrips, 100);
+    EXPECT_NEAR(o.meanRoundTripUs, 4970.0, 4970.0 * 0.02);
+    EXPECT_NEAR(o.throughputPerSec, 1e6 / 4970.0, 1e6 / 4970.0 * 0.02);
+}
+
+TEST(IpcSim, ComputeTimeSlowsThroughput)
+{
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = true;
+    e.conversations = 2;
+    e.computeUs = 0;
+    const double t0 = runExperiment(e).throughputPerSec;
+    e.computeUs = 5700;
+    const double t1 = runExperiment(e).throughputPerSec;
+    EXPECT_LT(t1, t0 * 0.8);
+}
+
+TEST(IpcSim, CoprocessorHelpsUnderManyConversations)
+{
+    Experiment e;
+    e.local = true;
+    e.conversations = 4;
+    e.computeUs = 2850;
+    e.arch = Arch::I;
+    const double uni = runExperiment(e).throughputPerSec;
+    e.arch = Arch::II;
+    const double cop = runExperiment(e).throughputPerSec;
+    e.arch = Arch::III;
+    const double smart = runExperiment(e).throughputPerSec;
+    EXPECT_GT(cop, uni * 1.1);
+    EXPECT_GT(smart, cop);
+}
+
+TEST(IpcSim, NonlocalConversationCompletes)
+{
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = false;
+    e.conversations = 2;
+    e.computeUs = 1140;
+    const Outcome o = runExperiment(e);
+    EXPECT_GT(o.roundTrips, 50);
+    EXPECT_GT(o.throughputPerSec, 0);
+    // Round trip must exceed the sum of client-side work.
+    EXPECT_GT(o.meanRoundTripUs, 3000);
+}
+
+TEST(IpcSim, AgreesWithGtpnModelLocal)
+{
+    // The model-vs-simulation comparison at the heart of Fig 6.15:
+    // for local arch II the two should land within ~15%.
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = true;
+    e.conversations = 2;
+    e.computeUs = 1140;
+    const Outcome o = runExperiment(e);
+
+    const models::LocalSolution m =
+        models::solveLocal(Arch::II, 2, 1140.0);
+    const double model = m.throughputPerUs * 1e6;
+    EXPECT_NEAR(o.throughputPerSec, model, model * 0.15);
+}
+
+TEST(IpcSim, BufferExhaustionStallsSends)
+{
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = true;
+    e.conversations = 4;
+    e.kernelBuffers = 1; // only one in-flight send allowed
+    const Outcome o = runExperiment(e);
+    EXPECT_GT(o.bufferStalls, 0);
+    EXPECT_GT(o.roundTrips, 10);
+}
+
+TEST(IpcSim, WireLatencyAddsToRoundTrip)
+{
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = false;
+    e.conversations = 1;
+    e.wireUs = 0;
+    const double rt0 = runExperiment(e).meanRoundTripUs;
+    e.wireUs = 500;
+    const double rt1 = runExperiment(e).meanRoundTripUs;
+    EXPECT_NEAR(rt1 - rt0, 1000.0, 150.0); // two crossings
+}
+
+TEST(IpcSim, DeterministicForFixedSeed)
+{
+    Experiment e;
+    e.arch = Arch::III;
+    e.local = true;
+    e.conversations = 3;
+    e.computeUs = 1000;
+    const Outcome a = runExperiment(e);
+    const Outcome b = runExperiment(e);
+    EXPECT_EQ(a.roundTrips, b.roundTrips);
+    EXPECT_DOUBLE_EQ(a.meanRoundTripUs, b.meanRoundTripUs);
+}
+
+TEST(IpcSim, ValidationConfigurationRuns)
+{
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = false;
+    e.conversations = 2;
+    e.hostsPerNode = 2;
+    e.extraCopy = true;
+    e.computeUs = 2850;
+    const Outcome o = runExperiment(e);
+    EXPECT_GT(o.roundTrips, 20);
+}
+
+
+// --- Token ring and extension features ----------------------------------
+
+TEST(TokenRing, TransmitTimeMatchesRate)
+{
+    EventQueue eq;
+    TokenRing::Config cfg;
+    cfg.megabitsPerSec = 4.0;
+    TokenRing ring(eq, cfg);
+    // 48 bytes at 4 Mb/s = 96 us.
+    EXPECT_EQ(ring.transmitTime(48), usToTicks(96));
+}
+
+TEST(TokenRing, SerializesTransmissions)
+{
+    EventQueue eq;
+    TokenRing ring(eq, TokenRing::Config{});
+    std::vector<Tick> deliveries;
+    // Two packets queued at once from both stations.
+    ring.send(0, 1, 48, [&]() { deliveries.push_back(eq.now()); });
+    ring.send(1, 0, 48, [&]() { deliveries.push_back(eq.now()); });
+    eq.runUntil(usToTicks(10000));
+    ASSERT_EQ(deliveries.size(), 2u);
+    // The second transmission starts only after the first finishes
+    // and the token rotates.
+    EXPECT_GE(deliveries[1] - deliveries[0], ring.transmitTime(48));
+    EXPECT_EQ(ring.packetCount(), 2);
+    EXPECT_GT(ring.utilization(), 0.0);
+}
+
+TEST(TokenRing, HopsWrapAroundTheRing)
+{
+    EventQueue eq;
+    TokenRing::Config cfg;
+    cfg.stations = 4;
+    TokenRing ring(eq, cfg);
+    EXPECT_EQ(ring.hops(3, 1), 2);
+    EXPECT_EQ(ring.hops(1, 3), 2);
+    EXPECT_EQ(ring.hops(0, 3), 3);
+}
+
+TEST(IpcSim, TokenRingCostsThroughput)
+{
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = false;
+    e.conversations = 4;
+    e.computeUs = 0;
+    const Outcome ideal = runExperiment(e);
+    e.useTokenRing = true;
+    e.ringMbps = 4.0;
+    const Outcome ring = runExperiment(e);
+    EXPECT_LT(ring.throughputPerSec, ideal.throughputPerSec);
+    EXPECT_GT(ring.ringUtil, 0.0);
+    // At 4 Mb/s the ring is far from saturated (§6.6.4).
+    EXPECT_LT(ring.ringUtil, 0.5);
+    // A very slow ring becomes the bottleneck (0.1 Mb/s carries at
+    // most ~130 round trips/sec for two 48-byte packets each).
+    e.ringMbps = 0.1;
+    const Outcome slow = runExperiment(e);
+    EXPECT_LT(slow.throughputPerSec, ring.throughputPerSec * 0.8);
+}
+
+TEST(IpcSim, FasterMpRaisesThroughput)
+{
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = true;
+    e.conversations = 4;
+    e.computeUs = 0;
+    const double base = runExperiment(e).throughputPerSec;
+    e.mpSpeedFactor = 2.0;
+    const double fast = runExperiment(e).throughputPerSec;
+    EXPECT_GT(fast, base * 1.5);
+}
+
+TEST(IpcSim, ArchIVUsesBothBusPartitions)
+{
+    Experiment e;
+    e.arch = Arch::IV;
+    e.local = true;
+    e.conversations = 3;
+    e.computeUs = 570;
+    const Outcome o = runExperiment(e);
+    EXPECT_GT(o.roundTrips, 50);
+}
+
+// Parameterized ordering sweep: III >= II at max load for any
+// conversation count, local and non-local.
+class ArchOrdering
+    : public ::testing::TestWithParam<std::tuple<int, bool>>
+{
+};
+
+TEST_P(ArchOrdering, SmartBusNeverLoses)
+{
+    const auto [n, local] = GetParam();
+    Experiment e;
+    e.local = local;
+    e.conversations = n;
+    e.computeUs = 0;
+    e.measureUs = 800000;
+    e.arch = Arch::II;
+    const double t2 = runExperiment(e).throughputPerSec;
+    e.arch = Arch::III;
+    const double t3 = runExperiment(e).throughputPerSec;
+    EXPECT_GT(t3, t2 * 1.05) << "n=" << n << " local=" << local;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ArchOrdering,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(true, false)));
+
+
+TEST(IpcSim, RoundTripPercentilesAreOrdered)
+{
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = true;
+    e.conversations = 3;
+    e.computeUs = 1710; // uniform 0.5X..1.5X spreads the distribution
+    const Outcome o = runExperiment(e);
+    EXPECT_GT(o.rtP50Us, 0.0);
+    EXPECT_GE(o.rtP95Us, o.rtP50Us);
+    EXPECT_GE(o.meanRoundTripUs, o.rtP50Us * 0.5);
+    EXPECT_LE(o.meanRoundTripUs, o.rtP95Us);
+}
+
+
+TEST(IpcSim, ActivityProfileMatchesStepTable)
+{
+    // At one uncontended conversation every activity's measured time
+    // per round trip equals its step-table cost ("Best" column).
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = true;
+    e.conversations = 1;
+    e.computeUs = 0;
+    const Outcome o = runExperiment(e);
+    const IpcCosts c = ipcCosts(Arch::II, true);
+    auto at = [&](const char *n) {
+        auto it = o.activityUsPerRoundTrip.find(n);
+        return it == o.activityUsPerRoundTrip.end() ? -1.0 : it->second;
+    };
+    EXPECT_NEAR(at("sendSyscall"),
+                c.sendSyscall.procUs + c.sendSyscall.tcb, 6.0);
+    EXPECT_NEAR(at("processSend"),
+                c.processSend.procUs + c.processSend.tcb, 12.0);
+    EXPECT_NEAR(at("match"), c.match.procUs + c.match.tcb, 14.0);
+    EXPECT_NEAR(at("processReply"),
+                c.processReply.procUs + c.processReply.tcb, 14.0);
+}
+
+
+// --- Mixed workloads (beyond the thesis' models, §6.6.3) -----------------
+
+TEST(IpcSimMixed, AllLocalMatchesClassicLocalPerNode)
+{
+    // 2 local conversations on each of two nodes should roughly
+    // double one node's 2-conversation throughput.
+    Experiment classic;
+    classic.arch = Arch::II;
+    classic.local = true;
+    classic.conversations = 2;
+    classic.computeUs = 1710;
+    const double one_node =
+        runExperiment(classic).throughputPerSec;
+
+    Experiment mixed;
+    mixed.arch = Arch::II;
+    mixed.mixedLocal = 4; // interleaved 2 + 2 over the two nodes
+    mixed.computeUs = 1710;
+    const double two_nodes = runExperiment(mixed).throughputPerSec;
+    EXPECT_NEAR(two_nodes, 2.0 * one_node, 2.0 * one_node * 0.06);
+}
+
+TEST(IpcSimMixed, AllRemoteMatchesClassicNonlocalShape)
+{
+    // Mixed mode with only remote pairs differs from the classic
+    // non-local split (clients spread over BOTH nodes instead of all
+    // on one), so both directions of the wire carry requests; the
+    // symmetric layout can only help.
+    Experiment classic;
+    classic.arch = Arch::II;
+    classic.local = false;
+    classic.conversations = 4;
+    classic.computeUs = 1710;
+    const double one_way = runExperiment(classic).throughputPerSec;
+
+    Experiment mixed;
+    mixed.arch = Arch::II;
+    mixed.mixedRemote = 4;
+    mixed.computeUs = 1710;
+    const double two_way = runExperiment(mixed).throughputPerSec;
+    EXPECT_GT(two_way, one_way * 0.95);
+}
+
+TEST(IpcSimMixed, RemoteTrafficSlowsLocalConversations)
+{
+    // The thesis' premise: local and non-local requests share the
+    // same kernel resources.  Adding cross-node traffic must cost
+    // the local conversations throughput.
+    Experiment pure;
+    pure.arch = Arch::II;
+    pure.mixedLocal = 2;
+    pure.computeUs = 1710;
+    const Outcome p = runExperiment(pure);
+
+    Experiment mixed = pure;
+    mixed.mixedRemote = 2;
+    const Outcome m = runExperiment(mixed);
+    // More total conversations -> more total throughput...
+    EXPECT_GT(m.throughputPerSec, p.throughputPerSec);
+    // ...but longer round trips than the uncontended local-only run.
+    EXPECT_GT(m.meanRoundTripUs, p.meanRoundTripUs);
+}
+
+TEST(IpcSimMixed, DeterministicAndCountsAllConversations)
+{
+    Experiment e;
+    e.arch = Arch::III;
+    e.mixedLocal = 2;
+    e.mixedRemote = 2;
+    e.computeUs = 570;
+    const Outcome a = runExperiment(e);
+    const Outcome b = runExperiment(e);
+    EXPECT_EQ(a.roundTrips, b.roundTrips);
+    EXPECT_GT(a.roundTrips, 100);
+}
+
+
+TEST(IpcSimMixed, PerKindBreakdownSumsToTotal)
+{
+    Experiment e;
+    e.arch = Arch::II;
+    e.mixedLocal = 2;
+    e.mixedRemote = 2;
+    e.computeUs = 1140;
+    const Outcome o = runExperiment(e);
+    EXPECT_NEAR(o.localThroughputPerSec + o.remoteThroughputPerSec,
+                o.throughputPerSec, o.throughputPerSec * 1e-6);
+    // Remote round trips are longer than local ones.
+    EXPECT_GT(o.remoteMeanRtUs, o.localMeanRtUs);
+}
+
+} // namespace

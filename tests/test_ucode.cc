@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the microprogrammed smart-memory controller (Appendix A):
+ * every micro-routine against the reference software algorithms, the
+ * §A.5 error conditions, and the design-size claims of §5.5.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "bus/queue_ops.hh"
+#include "bus/smart_bus.hh"
+#include "common/rng.hh"
+#include "ucode/microcode.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::bus;
+using namespace hsipc::ucode;
+
+class UcodeFixture : public ::testing::Test
+{
+  protected:
+    UcodeFixture() : mem(4096), seq(mem) {}
+
+    static constexpr Addr list = 2;
+    static constexpr Addr el(int i) { return static_cast<Addr>(64 + 16 * i); }
+
+    SimMemory mem;
+    MicroSequencer seq;
+};
+
+TEST_F(UcodeFixture, MicroStoreStaysUnderThreeThousandBits)
+{
+    // §5.5: "the controller ... has under 3000 bits of micro-code".
+    EXPECT_LT(microProgram().sizeBits(), 3000);
+    EXPECT_GT(microProgram().sizeBits(), 500); // and is not trivial
+}
+
+TEST_F(UcodeFixture, ComponentBudgetMatchesFeasibilityClaim)
+{
+    // §5.5: data path ~6000 active components in a single chip.
+    const int total = dataPathComponentTotal();
+    EXPECT_GT(total, 4000);
+    EXPECT_LT(total, 8000);
+}
+
+TEST_F(UcodeFixture, EnqueueMatchesReference)
+{
+    auto r = seq.run(microProgram().entryEnqueue, list, el(0));
+    EXPECT_EQ(r.error, UcodeError::None);
+    r = seq.run(microProgram().entryEnqueue, list, el(1));
+    EXPECT_EQ(r.error, UcodeError::None);
+    EXPECT_EQ(QueueOps::toVector(mem, list),
+              (std::vector<Addr>{el(0), el(1)}));
+}
+
+TEST_F(UcodeFixture, FirstOnEmptyReturnsNull)
+{
+    const auto r = seq.run(microProgram().entryFirst, list, 0);
+    EXPECT_EQ(r.error, UcodeError::None);
+    EXPECT_EQ(r.value, nullAddr);
+}
+
+TEST_F(UcodeFixture, FirstDequeuesHead)
+{
+    for (int i = 0; i < 3; ++i)
+        seq.run(microProgram().entryEnqueue, list, el(i));
+    EXPECT_EQ(seq.run(microProgram().entryFirst, list, 0).value, el(0));
+    EXPECT_EQ(seq.run(microProgram().entryFirst, list, 0).value, el(1));
+    EXPECT_EQ(seq.run(microProgram().entryFirst, list, 0).value, el(2));
+    EXPECT_EQ(seq.run(microProgram().entryFirst, list, 0).value,
+              nullAddr);
+}
+
+TEST_F(UcodeFixture, DequeueMiddleAndTail)
+{
+    for (int i = 0; i < 4; ++i)
+        seq.run(microProgram().entryEnqueue, list, el(i));
+    seq.run(microProgram().entryDequeue, list, el(1));
+    EXPECT_EQ(QueueOps::toVector(mem, list),
+              (std::vector<Addr>{el(0), el(2), el(3)}));
+    seq.run(microProgram().entryDequeue, list, el(3)); // the tail
+    EXPECT_EQ(QueueOps::toVector(mem, list),
+              (std::vector<Addr>{el(0), el(2)}));
+    EXPECT_EQ(mem.read16(list), el(2));
+}
+
+TEST_F(UcodeFixture, DequeueMissingIsNoOp)
+{
+    seq.run(microProgram().entryEnqueue, list, el(0));
+    seq.run(microProgram().entryDequeue, list, el(7));
+    EXPECT_EQ(QueueOps::toVector(mem, list), std::vector<Addr>{el(0)});
+}
+
+TEST_F(UcodeFixture, ReadAndWriteRoutines)
+{
+    seq.run(microProgram().entryWrite16, 200, 0xabcd);
+    EXPECT_EQ(mem.read16(200), 0xabcd);
+    EXPECT_EQ(seq.run(microProgram().entryRead, 200, 0).value, 0xabcd);
+    seq.run(microProgram().entryWrite8, 201, 0x11);
+    EXPECT_EQ(mem.read16(200), 0x11cd);
+}
+
+TEST_F(UcodeFixture, BlockTransferAllocatesTags)
+{
+    const auto a = seq.blockTransfer(false, 512, 40);
+    const auto b = seq.blockTransfer(true, 700, 10);
+    EXPECT_EQ(a.error, UcodeError::None);
+    EXPECT_EQ(b.error, UcodeError::None);
+    EXPECT_NE(a.value, b.value);
+    EXPECT_TRUE(seq.requestTable()[a.value].valid);
+    EXPECT_FALSE(seq.requestTable()[a.value].write);
+    EXPECT_TRUE(seq.requestTable()[b.value].write);
+}
+
+TEST_F(UcodeFixture, BlockReadStreamsWholeBlockAndFreesEntry)
+{
+    for (int i = 0; i < 40; ++i)
+        mem.write8(static_cast<Addr>(512 + i),
+                   static_cast<std::uint8_t>(i + 1));
+    const auto t = seq.blockTransfer(false, 512, 40);
+    std::vector<std::uint8_t> got;
+    for (int w = 0; w < 20; ++w) {
+        const auto r =
+            seq.run(microProgram().entryBlockReadWord, t.value, 0);
+        ASSERT_EQ(r.error, UcodeError::None);
+        got.push_back(static_cast<std::uint8_t>(r.value & 0xff));
+        got.push_back(static_cast<std::uint8_t>(r.value >> 8));
+    }
+    for (int i = 0; i < 40; ++i)
+        EXPECT_EQ(got[static_cast<std::size_t>(i)], i + 1);
+    EXPECT_FALSE(seq.requestTable()[t.value].valid); // freed
+}
+
+TEST_F(UcodeFixture, BlockWriteHandlesOddLength)
+{
+    const auto t = seq.blockTransfer(true, 800, 5);
+    seq.run(microProgram().entryBlockWriteWord, t.value, 0x0201);
+    seq.run(microProgram().entryBlockWriteWord, t.value, 0x0403);
+    seq.run(microProgram().entryBlockWriteWord, t.value, 0x0005);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(mem.read8(static_cast<Addr>(800 + i)), i + 1);
+    EXPECT_EQ(mem.read8(805), 0); // the sixth byte was not touched
+    EXPECT_FALSE(seq.requestTable()[t.value].valid);
+}
+
+// --- §A.5 error conditions ----------------------------------------------
+
+TEST_F(UcodeFixture, ZeroCountBlockRequestRaisesError)
+{
+    const auto r = seq.blockTransfer(false, 512, 0);
+    EXPECT_EQ(r.error, UcodeError::ZeroCount);
+}
+
+TEST_F(UcodeFixture, TableFullRaisesError)
+{
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(seq.blockTransfer(false, 512, 4).error,
+                  UcodeError::None);
+    EXPECT_EQ(seq.blockTransfer(false, 512, 4).error,
+              UcodeError::TableFull);
+}
+
+TEST_F(UcodeFixture, InvalidTagRaisesError)
+{
+    const auto r = seq.run(microProgram().entryBlockReadWord, 5, 0);
+    EXPECT_EQ(r.error, UcodeError::InvalidTag);
+}
+
+TEST_F(UcodeFixture, ErrorNamesAreDistinct)
+{
+    EXPECT_NE(ucodeErrorName(UcodeError::TableFull),
+              ucodeErrorName(UcodeError::InvalidTag));
+    EXPECT_EQ(ucodeErrorName(UcodeError::None), "none");
+}
+
+// --- Microcode vs reference property sweep ------------------------------
+
+class UcodeProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(UcodeProperty, MatchesReferenceOnRandomSequences)
+{
+    SimMemory mem_ref(4096), mem_uc(4096);
+    MicroSequencer seq(mem_uc);
+    const Addr list = 2;
+    Rng rng(GetParam());
+    std::deque<Addr> model;
+    std::vector<Addr> free_elems;
+    for (int i = 0; i < 30; ++i)
+        free_elems.push_back(static_cast<Addr>(64 + 16 * i));
+
+    for (int step = 0; step < 400; ++step) {
+        const int choice = static_cast<int>(rng.below(3));
+        if (choice == 0 && !free_elems.empty()) {
+            const Addr e = free_elems.back();
+            free_elems.pop_back();
+            QueueOps::enqueue(mem_ref, list, e);
+            seq.run(microProgram().entryEnqueue, list, e);
+            model.push_back(e);
+        } else if (choice == 1 && !model.empty()) {
+            const Addr expect = QueueOps::first(mem_ref, list);
+            const Addr got =
+                seq.run(microProgram().entryFirst, list, 0).value;
+            ASSERT_EQ(got, expect);
+            model.pop_front();
+            free_elems.push_back(got);
+        } else if (choice == 2 && !model.empty()) {
+            const std::size_t k = rng.below(model.size());
+            const Addr victim = model[k];
+            QueueOps::dequeue(mem_ref, list, victim);
+            seq.run(microProgram().entryDequeue, list, victim);
+            model.erase(model.begin() + static_cast<long>(k));
+            free_elems.push_back(victim);
+        }
+        ASSERT_EQ(QueueOps::toVector(mem_uc, list),
+                  QueueOps::toVector(mem_ref, list));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UcodeProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+// --- Integration: the smart bus running on microcode --------------------
+
+TEST(UcodeBusIntegration, SmartBusTransactionsOnMicrocode)
+{
+    SimMemory mem(4096);
+    MicrocodedController ctrl(mem);
+    SmartBus bus(mem);
+    bus.setController(ctrl);
+    const int mp = bus.addUnit("MP", 3);
+
+    const auto e1 = bus.postEnqueue(mp, 2, 64);
+    const auto e2 = bus.postEnqueue(mp, 2, 96);
+    const auto f = bus.postFirst(mp, 2);
+    const auto blk =
+        bus.postBlockWrite(mp, 512, std::vector<std::uint8_t>{9, 8, 7});
+    bus.run();
+
+    EXPECT_FALSE(bus.result(e1).error);
+    EXPECT_FALSE(bus.result(e2).error);
+    EXPECT_EQ(bus.result(f).value, 64);
+    EXPECT_FALSE(bus.result(blk).error);
+    EXPECT_EQ(mem.read8(512), 9);
+    EXPECT_EQ(mem.read8(514), 7);
+    EXPECT_EQ(QueueOps::toVector(mem, 2), std::vector<Addr>{96});
+    EXPECT_GT(ctrl.sequencer().totalCycles(), 0);
+}
+
+// --- The §A.4.1 main-loop dispatch ---------------------------------------
+
+TEST(UcodeDispatch, MainLoopRoutesEveryCommand)
+{
+    SimMemory mem(4096);
+    MicroSequencer seq(mem);
+
+    seq.runCommand(BusCommand::WriteTwoBytes, 200, 0x4321);
+    EXPECT_EQ(mem.read16(200), 0x4321);
+    EXPECT_EQ(seq.runCommand(BusCommand::SimpleRead, 200, 0).value,
+              0x4321);
+
+    seq.runCommand(BusCommand::EnqueueControlBlock, 2, 64);
+    seq.runCommand(BusCommand::EnqueueControlBlock, 2, 96);
+    seq.runCommand(BusCommand::DequeueControlBlock, 2, 96);
+    EXPECT_EQ(seq.runCommand(BusCommand::FirstControlBlock, 2, 0).value,
+              64);
+
+    seq.setTransferDirection(false);
+    const auto t = seq.runCommand(BusCommand::BlockTransfer, 200, 2);
+    ASSERT_EQ(t.error, UcodeError::None);
+    EXPECT_EQ(seq.runCommand(BusCommand::BlockReadData, t.value, 0)
+                  .value,
+              0x4321);
+}
+
+TEST(UcodeDispatch, UnknownCommandIsNonProgrammingError)
+{
+    SimMemory mem(1024);
+    MicroSequencer seq(mem);
+    const auto r = seq.runCommand(static_cast<BusCommand>(0b1111), 0, 0);
+    EXPECT_EQ(r.error, UcodeError::BadCommand);
+}
+
+TEST(UcodeDispatch, ControlStoreIncludesMappingProm)
+{
+    EXPECT_EQ(MicroProgram::mappingPromBits(), 112);
+    EXPECT_LT(microProgram().sizeBits(), 3000);
+}
+
+} // namespace

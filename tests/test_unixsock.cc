@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Semantic tests for the Unix socket layer (§3.2's fourth system):
+ * byte-stream behaviour (no message boundaries), bounded kernel
+ * buffering with blocking/non-blocking backpressure, readability
+ * polling, and EOF on close.
+ */
+
+#include <gtest/gtest.h>
+
+#include "unixsock/sockets.hh"
+
+namespace
+{
+
+using namespace hsipc::unixsock;
+
+std::vector<std::uint8_t>
+bytes(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+std::string
+text(const std::vector<std::uint8_t> &v)
+{
+    return {v.begin(), v.end()};
+}
+
+class SockFixture : public ::testing::Test
+{
+  protected:
+    SockFixture() : k(16) // a tiny 16-byte kernel buffer
+    {
+        a = k.createProcess("client");
+        b = k.createProcess("server");
+        std::tie(sa, sb) = k.socketPair(a, b);
+    }
+
+    SocketKernel k;
+    ProcId a{}, b{};
+    SockId sa{}, sb{};
+};
+
+TEST_F(SockFixture, StreamDeliversBytesInOrder)
+{
+    EXPECT_EQ(k.send(a, sa, bytes("hello ")), SockStatus::Ok);
+    EXPECT_EQ(k.send(a, sa, bytes("world")), SockStatus::Ok);
+    std::vector<std::uint8_t> got;
+    EXPECT_EQ(k.recv(b, sb, 64, got), SockStatus::Ok);
+    // Byte stream: the two sends coalesced into one read.
+    EXPECT_EQ(text(got), "hello world");
+}
+
+TEST_F(SockFixture, ReceivesSplitArbitrarily)
+{
+    k.send(a, sa, bytes("abcdefgh"));
+    std::vector<std::uint8_t> got;
+    EXPECT_EQ(k.recv(b, sb, 3, got), SockStatus::Ok);
+    EXPECT_EQ(text(got), "abc");
+    EXPECT_EQ(k.recv(b, sb, 3, got), SockStatus::Ok);
+    EXPECT_EQ(text(got), "def");
+    EXPECT_EQ(k.recv(b, sb, 64, got), SockStatus::Ok);
+    EXPECT_EQ(text(got), "gh");
+}
+
+TEST_F(SockFixture, TwoWayChannel)
+{
+    k.send(b, sb, bytes("pong"));
+    std::vector<std::uint8_t> got;
+    EXPECT_EQ(k.recv(a, sa, 16, got), SockStatus::Ok);
+    EXPECT_EQ(text(got), "pong");
+}
+
+TEST_F(SockFixture, BlockingRecvOnEmptySleeps)
+{
+    std::vector<std::uint8_t> got;
+    EXPECT_EQ(k.recv(b, sb, 8, got), SockStatus::Blocked);
+}
+
+TEST_F(SockFixture, NonBlockingRecvReturnsWouldBlock)
+{
+    k.setNonBlocking(b, sb, true);
+    std::vector<std::uint8_t> got;
+    EXPECT_EQ(k.recv(b, sb, 8, got), SockStatus::WouldBlock);
+}
+
+TEST_F(SockFixture, FullBufferBlocksSenderAndDrains)
+{
+    // 20 bytes into a 16-byte buffer: the sender blocks with a
+    // 4-byte backlog.
+    std::size_t accepted = 0;
+    EXPECT_EQ(k.send(a, sa, bytes("0123456789abcdefWXYZ"), &accepted),
+              SockStatus::Blocked);
+    EXPECT_EQ(accepted, 20u); // all taken, 4 queued behind the buffer
+    EXPECT_TRUE(k.senderBlocked(sa));
+    EXPECT_EQ(k.buffered(sb), 16u);
+
+    // The receiver draining frees space and unblocks the sender.
+    std::vector<std::uint8_t> got;
+    EXPECT_EQ(k.recv(b, sb, 16, got), SockStatus::Ok);
+    EXPECT_EQ(text(got), "0123456789abcdef");
+    EXPECT_FALSE(k.senderBlocked(sa));
+    EXPECT_EQ(k.recv(b, sb, 16, got), SockStatus::Ok);
+    EXPECT_EQ(text(got), "WXYZ");
+}
+
+TEST_F(SockFixture, NonBlockingSendTakesWhatFits)
+{
+    k.setNonBlocking(a, sa, true);
+    std::size_t accepted = 0;
+    EXPECT_EQ(k.send(a, sa, bytes("0123456789abcdefWXYZ"), &accepted),
+              SockStatus::Ok);
+    EXPECT_EQ(accepted, 16u); // partial write, no backlog
+    EXPECT_FALSE(k.senderBlocked(sa));
+    EXPECT_EQ(k.send(a, sa, bytes("more"), &accepted),
+              SockStatus::WouldBlock);
+    EXPECT_EQ(accepted, 0u);
+}
+
+TEST_F(SockFixture, ReadableReflectsQueueAndEof)
+{
+    EXPECT_FALSE(k.readable(sb));
+    k.send(a, sa, bytes("x"));
+    EXPECT_TRUE(k.readable(sb));
+    std::vector<std::uint8_t> got;
+    k.recv(b, sb, 8, got);
+    EXPECT_FALSE(k.readable(sb));
+    k.close(a, sa);
+    EXPECT_TRUE(k.readable(sb)); // EOF is a readable event
+}
+
+TEST_F(SockFixture, CloseDeliversRemainingBytesThenEof)
+{
+    k.send(a, sa, bytes("last words"));
+    k.close(a, sa);
+    std::vector<std::uint8_t> got;
+    EXPECT_EQ(k.recv(b, sb, 64, got), SockStatus::Ok);
+    EXPECT_EQ(text(got), "last words");
+    EXPECT_EQ(k.recv(b, sb, 64, got), SockStatus::Eof);
+}
+
+TEST_F(SockFixture, SendAfterPeerCloseIsEpipe)
+{
+    k.close(b, sb);
+    EXPECT_EQ(k.send(a, sa, bytes("anyone?")),
+              SockStatus::PipeClosed);
+}
+
+TEST_F(SockFixture, ClosedDescriptorIsBad)
+{
+    k.close(a, sa);
+    std::vector<std::uint8_t> got;
+    EXPECT_EQ(k.recv(a, sa, 8, got), SockStatus::BadSocket);
+    EXPECT_EQ(k.close(a, sa), SockStatus::BadSocket);
+}
+
+TEST_F(SockFixture, DescriptorsAreOwned)
+{
+    EXPECT_EQ(k.send(b, sa, bytes("not mine")),
+              SockStatus::NotOwner);
+    EXPECT_EQ(k.setNonBlocking(a, sb, true), SockStatus::NotOwner);
+}
+
+TEST_F(SockFixture, BacklogSurvivesSenderClose)
+{
+    // The sender overfills, then closes: the receiver still gets
+    // every byte, then EOF.
+    k.send(a, sa, bytes("0123456789abcdefTAIL"));
+    k.close(a, sa);
+    std::string all;
+    std::vector<std::uint8_t> got;
+    while (k.recv(b, sb, 7, got) == SockStatus::Ok)
+        all += text(got);
+    EXPECT_EQ(all, "0123456789abcdefTAIL");
+    EXPECT_EQ(k.recv(b, sb, 7, got), SockStatus::Eof);
+}
+
+} // namespace
