@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_geometric.dir/ablation_geometric.cc.o"
+  "CMakeFiles/ablation_geometric.dir/ablation_geometric.cc.o.d"
+  "ablation_geometric"
+  "ablation_geometric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_geometric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mp_speed.dir/ablation_mp_speed.cc.o"
+  "CMakeFiles/ablation_mp_speed.dir/ablation_mp_speed.cc.o.d"
+  "ablation_mp_speed"
+  "ablation_mp_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mp_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_mixed_workload.dir/beyond_mixed_workload.cc.o"
+  "CMakeFiles/beyond_mixed_workload.dir/beyond_mixed_workload.cc.o.d"
+  "beyond_mixed_workload"
+  "beyond_mixed_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_mixed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

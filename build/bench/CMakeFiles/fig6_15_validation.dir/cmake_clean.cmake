@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_15_validation.dir/fig6_15_validation.cc.o"
+  "CMakeFiles/fig6_15_validation.dir/fig6_15_validation.cc.o.d"
+  "fig6_15_validation"
+  "fig6_15_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_15_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_17_max_load.dir/fig6_17_max_load.cc.o"
+  "CMakeFiles/fig6_17_max_load.dir/fig6_17_max_load.cc.o.d"
+  "fig6_17_max_load"
+  "fig6_17_max_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_17_max_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

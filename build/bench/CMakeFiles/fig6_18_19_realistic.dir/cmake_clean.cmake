@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_18_19_realistic.dir/fig6_18_19_realistic.cc.o"
+  "CMakeFiles/fig6_18_19_realistic.dir/fig6_18_19_realistic.cc.o.d"
+  "fig6_18_19_realistic"
+  "fig6_18_19_realistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_18_19_realistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_20_23_partitioned.dir/fig6_20_23_partitioned.cc.o"
+  "CMakeFiles/fig6_20_23_partitioned.dir/fig6_20_23_partitioned.cc.o.d"
+  "fig6_20_23_partitioned"
+  "fig6_20_23_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_20_23_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

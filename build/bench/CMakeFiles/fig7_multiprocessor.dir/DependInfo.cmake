@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_multiprocessor.cc" "bench/CMakeFiles/fig7_multiprocessor.dir/fig7_multiprocessor.cc.o" "gcc" "bench/CMakeFiles/fig7_multiprocessor.dir/fig7_multiprocessor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsipc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hsipc_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsipc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hsipc_gtpn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

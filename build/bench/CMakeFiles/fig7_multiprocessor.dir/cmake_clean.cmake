@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_multiprocessor.dir/fig7_multiprocessor.cc.o"
+  "CMakeFiles/fig7_multiprocessor.dir/fig7_multiprocessor.cc.o.d"
+  "fig7_multiprocessor"
+  "fig7_multiprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_multiprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ipc_semantics.cc" "bench/CMakeFiles/ipc_semantics.dir/ipc_semantics.cc.o" "gcc" "bench/CMakeFiles/ipc_semantics.dir/ipc_semantics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsipc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlotte/CMakeFiles/hsipc_charlotte.dir/DependInfo.cmake"
+  "/root/repo/build/src/jasmin/CMakeFiles/hsipc_jasmin.dir/DependInfo.cmake"
+  "/root/repo/build/src/k925/CMakeFiles/hsipc_k925.dir/DependInfo.cmake"
+  "/root/repo/build/src/unixsock/CMakeFiles/hsipc_unixsock.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/hsipc_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_semantics.dir/ipc_semantics.cc.o"
+  "CMakeFiles/ipc_semantics.dir/ipc_semantics.cc.o.d"
+  "ipc_semantics"
+  "ipc_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methodology_comparison.dir/methodology_comparison.cc.o"
+  "CMakeFiles/methodology_comparison.dir/methodology_comparison.cc.o.d"
+  "methodology_comparison"
+  "methodology_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methodology_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

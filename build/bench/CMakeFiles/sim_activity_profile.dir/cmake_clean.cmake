@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_activity_profile.dir/sim_activity_profile.cc.o"
+  "CMakeFiles/sim_activity_profile.dir/sim_activity_profile.cc.o.d"
+  "sim_activity_profile"
+  "sim_activity_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_activity_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

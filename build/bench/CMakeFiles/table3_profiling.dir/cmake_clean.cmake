@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_profiling.dir/table3_profiling.cc.o"
+  "CMakeFiles/table3_profiling.dir/table3_profiling.cc.o.d"
+  "table3_profiling"
+  "table3_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

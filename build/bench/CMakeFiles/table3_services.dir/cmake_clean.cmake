@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_services.dir/table3_services.cc.o"
+  "CMakeFiles/table3_services.dir/table3_services.cc.o.d"
+  "table3_services"
+  "table3_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_bus.dir/table5_bus.cc.o"
+  "CMakeFiles/table5_bus.dir/table5_bus.cc.o.d"
+  "table5_bus"
+  "table5_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

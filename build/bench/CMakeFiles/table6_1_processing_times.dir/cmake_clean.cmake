@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_1_processing_times.dir/table6_1_processing_times.cc.o"
+  "CMakeFiles/table6_1_processing_times.dir/table6_1_processing_times.cc.o.d"
+  "table6_1_processing_times"
+  "table6_1_processing_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_1_processing_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

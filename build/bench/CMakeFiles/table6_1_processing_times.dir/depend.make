@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_1_processing_times.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_24_25_offered_load.dir/table6_24_25_offered_load.cc.o"
+  "CMakeFiles/table6_24_25_offered_load.dir/table6_24_25_offered_load.cc.o.d"
+  "table6_24_25_offered_load"
+  "table6_24_25_offered_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_24_25_offered_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

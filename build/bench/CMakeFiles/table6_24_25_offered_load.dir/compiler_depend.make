@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_24_25_offered_load.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_24_25_offered_load.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_contention.dir/table6_contention.cc.o"
+  "CMakeFiles/table6_contention.dir/table6_contention.cc.o.d"
+  "table6_contention"
+  "table6_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_roundtrips.dir/table6_roundtrips.cc.o"
+  "CMakeFiles/table6_roundtrips.dir/table6_roundtrips.cc.o.d"
+  "table6_roundtrips"
+  "table6_roundtrips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_roundtrips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

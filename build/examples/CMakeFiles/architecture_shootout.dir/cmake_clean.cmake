@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_shootout.dir/architecture_shootout.cpp.o"
+  "CMakeFiles/architecture_shootout.dir/architecture_shootout.cpp.o.d"
+  "architecture_shootout"
+  "architecture_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

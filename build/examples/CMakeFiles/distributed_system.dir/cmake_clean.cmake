@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_system.dir/distributed_system.cpp.o"
+  "CMakeFiles/distributed_system.dir/distributed_system.cpp.o.d"
+  "distributed_system"
+  "distributed_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

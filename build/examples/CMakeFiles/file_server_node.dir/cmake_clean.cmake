@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_server_node.dir/file_server_node.cpp.o"
+  "CMakeFiles/file_server_node.dir/file_server_node.cpp.o.d"
+  "file_server_node"
+  "file_server_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_server_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

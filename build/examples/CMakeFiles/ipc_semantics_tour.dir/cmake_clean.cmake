@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_semantics_tour.dir/ipc_semantics_tour.cpp.o"
+  "CMakeFiles/ipc_semantics_tour.dir/ipc_semantics_tour.cpp.o.d"
+  "ipc_semantics_tour"
+  "ipc_semantics_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_semantics_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_bus_demo.dir/smart_bus_demo.cpp.o"
+  "CMakeFiles/smart_bus_demo.dir/smart_bus_demo.cpp.o.d"
+  "smart_bus_demo"
+  "smart_bus_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_bus_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;hsipc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smart_bus_demo "/root/repo/build/examples/smart_bus_demo")
+set_tests_properties(example_smart_bus_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;hsipc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_architecture_shootout "/root/repo/build/examples/architecture_shootout")
+set_tests_properties(example_architecture_shootout PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;hsipc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_file_server_node "/root/repo/build/examples/file_server_node")
+set_tests_properties(example_file_server_node PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;19;hsipc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ipc_semantics_tour "/root/repo/build/examples/ipc_semantics_tour")
+set_tests_properties(example_ipc_semantics_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;23;hsipc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_distributed_system "/root/repo/build/examples/distributed_system")
+set_tests_properties(example_distributed_system PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;26;hsipc_add_example;/root/repo/examples/CMakeLists.txt;0;")

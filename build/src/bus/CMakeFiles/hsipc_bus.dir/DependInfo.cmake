@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/arbiter.cc" "src/bus/CMakeFiles/hsipc_bus.dir/arbiter.cc.o" "gcc" "src/bus/CMakeFiles/hsipc_bus.dir/arbiter.cc.o.d"
+  "/root/repo/src/bus/queue_ops.cc" "src/bus/CMakeFiles/hsipc_bus.dir/queue_ops.cc.o" "gcc" "src/bus/CMakeFiles/hsipc_bus.dir/queue_ops.cc.o.d"
+  "/root/repo/src/bus/signals.cc" "src/bus/CMakeFiles/hsipc_bus.dir/signals.cc.o" "gcc" "src/bus/CMakeFiles/hsipc_bus.dir/signals.cc.o.d"
+  "/root/repo/src/bus/smart_bus.cc" "src/bus/CMakeFiles/hsipc_bus.dir/smart_bus.cc.o" "gcc" "src/bus/CMakeFiles/hsipc_bus.dir/smart_bus.cc.o.d"
+  "/root/repo/src/bus/timing.cc" "src/bus/CMakeFiles/hsipc_bus.dir/timing.cc.o" "gcc" "src/bus/CMakeFiles/hsipc_bus.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsipc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsipc_bus.dir/arbiter.cc.o"
+  "CMakeFiles/hsipc_bus.dir/arbiter.cc.o.d"
+  "CMakeFiles/hsipc_bus.dir/queue_ops.cc.o"
+  "CMakeFiles/hsipc_bus.dir/queue_ops.cc.o.d"
+  "CMakeFiles/hsipc_bus.dir/signals.cc.o"
+  "CMakeFiles/hsipc_bus.dir/signals.cc.o.d"
+  "CMakeFiles/hsipc_bus.dir/smart_bus.cc.o"
+  "CMakeFiles/hsipc_bus.dir/smart_bus.cc.o.d"
+  "CMakeFiles/hsipc_bus.dir/timing.cc.o"
+  "CMakeFiles/hsipc_bus.dir/timing.cc.o.d"
+  "libhsipc_bus.a"
+  "libhsipc_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsipc_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsipc_charlotte.dir/links.cc.o"
+  "CMakeFiles/hsipc_charlotte.dir/links.cc.o.d"
+  "libhsipc_charlotte.a"
+  "libhsipc_charlotte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsipc_charlotte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsipc_common.dir/table.cc.o"
+  "CMakeFiles/hsipc_common.dir/table.cc.o.d"
+  "libhsipc_common.a"
+  "libhsipc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsipc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

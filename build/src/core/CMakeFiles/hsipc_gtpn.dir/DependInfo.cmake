@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gtpn/analyzer.cc" "src/core/CMakeFiles/hsipc_gtpn.dir/gtpn/analyzer.cc.o" "gcc" "src/core/CMakeFiles/hsipc_gtpn.dir/gtpn/analyzer.cc.o.d"
+  "/root/repo/src/core/gtpn/export.cc" "src/core/CMakeFiles/hsipc_gtpn.dir/gtpn/export.cc.o" "gcc" "src/core/CMakeFiles/hsipc_gtpn.dir/gtpn/export.cc.o.d"
+  "/root/repo/src/core/gtpn/markov.cc" "src/core/CMakeFiles/hsipc_gtpn.dir/gtpn/markov.cc.o" "gcc" "src/core/CMakeFiles/hsipc_gtpn.dir/gtpn/markov.cc.o.d"
+  "/root/repo/src/core/gtpn/net.cc" "src/core/CMakeFiles/hsipc_gtpn.dir/gtpn/net.cc.o" "gcc" "src/core/CMakeFiles/hsipc_gtpn.dir/gtpn/net.cc.o.d"
+  "/root/repo/src/core/gtpn/simulator.cc" "src/core/CMakeFiles/hsipc_gtpn.dir/gtpn/simulator.cc.o" "gcc" "src/core/CMakeFiles/hsipc_gtpn.dir/gtpn/simulator.cc.o.d"
+  "/root/repo/src/core/gtpn/tokengame.cc" "src/core/CMakeFiles/hsipc_gtpn.dir/gtpn/tokengame.cc.o" "gcc" "src/core/CMakeFiles/hsipc_gtpn.dir/gtpn/tokengame.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsipc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsipc_gtpn.dir/gtpn/analyzer.cc.o"
+  "CMakeFiles/hsipc_gtpn.dir/gtpn/analyzer.cc.o.d"
+  "CMakeFiles/hsipc_gtpn.dir/gtpn/export.cc.o"
+  "CMakeFiles/hsipc_gtpn.dir/gtpn/export.cc.o.d"
+  "CMakeFiles/hsipc_gtpn.dir/gtpn/markov.cc.o"
+  "CMakeFiles/hsipc_gtpn.dir/gtpn/markov.cc.o.d"
+  "CMakeFiles/hsipc_gtpn.dir/gtpn/net.cc.o"
+  "CMakeFiles/hsipc_gtpn.dir/gtpn/net.cc.o.d"
+  "CMakeFiles/hsipc_gtpn.dir/gtpn/simulator.cc.o"
+  "CMakeFiles/hsipc_gtpn.dir/gtpn/simulator.cc.o.d"
+  "CMakeFiles/hsipc_gtpn.dir/gtpn/tokengame.cc.o"
+  "CMakeFiles/hsipc_gtpn.dir/gtpn/tokengame.cc.o.d"
+  "libhsipc_gtpn.a"
+  "libhsipc_gtpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsipc_gtpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hsipc_gtpn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/models/contention.cc" "src/core/CMakeFiles/hsipc_models.dir/models/contention.cc.o" "gcc" "src/core/CMakeFiles/hsipc_models.dir/models/contention.cc.o.d"
+  "/root/repo/src/core/models/local_model.cc" "src/core/CMakeFiles/hsipc_models.dir/models/local_model.cc.o" "gcc" "src/core/CMakeFiles/hsipc_models.dir/models/local_model.cc.o.d"
+  "/root/repo/src/core/models/mva.cc" "src/core/CMakeFiles/hsipc_models.dir/models/mva.cc.o" "gcc" "src/core/CMakeFiles/hsipc_models.dir/models/mva.cc.o.d"
+  "/root/repo/src/core/models/nonlocal_model.cc" "src/core/CMakeFiles/hsipc_models.dir/models/nonlocal_model.cc.o" "gcc" "src/core/CMakeFiles/hsipc_models.dir/models/nonlocal_model.cc.o.d"
+  "/root/repo/src/core/models/offered_load.cc" "src/core/CMakeFiles/hsipc_models.dir/models/offered_load.cc.o" "gcc" "src/core/CMakeFiles/hsipc_models.dir/models/offered_load.cc.o.d"
+  "/root/repo/src/core/models/processing_times.cc" "src/core/CMakeFiles/hsipc_models.dir/models/processing_times.cc.o" "gcc" "src/core/CMakeFiles/hsipc_models.dir/models/processing_times.cc.o.d"
+  "/root/repo/src/core/models/solution.cc" "src/core/CMakeFiles/hsipc_models.dir/models/solution.cc.o" "gcc" "src/core/CMakeFiles/hsipc_models.dir/models/solution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hsipc_gtpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hsipc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsipc_models.dir/models/contention.cc.o"
+  "CMakeFiles/hsipc_models.dir/models/contention.cc.o.d"
+  "CMakeFiles/hsipc_models.dir/models/local_model.cc.o"
+  "CMakeFiles/hsipc_models.dir/models/local_model.cc.o.d"
+  "CMakeFiles/hsipc_models.dir/models/mva.cc.o"
+  "CMakeFiles/hsipc_models.dir/models/mva.cc.o.d"
+  "CMakeFiles/hsipc_models.dir/models/nonlocal_model.cc.o"
+  "CMakeFiles/hsipc_models.dir/models/nonlocal_model.cc.o.d"
+  "CMakeFiles/hsipc_models.dir/models/offered_load.cc.o"
+  "CMakeFiles/hsipc_models.dir/models/offered_load.cc.o.d"
+  "CMakeFiles/hsipc_models.dir/models/processing_times.cc.o"
+  "CMakeFiles/hsipc_models.dir/models/processing_times.cc.o.d"
+  "CMakeFiles/hsipc_models.dir/models/solution.cc.o"
+  "CMakeFiles/hsipc_models.dir/models/solution.cc.o.d"
+  "libhsipc_models.a"
+  "libhsipc_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsipc_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

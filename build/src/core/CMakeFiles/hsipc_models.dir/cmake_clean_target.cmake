@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsipc_models.a"
+)

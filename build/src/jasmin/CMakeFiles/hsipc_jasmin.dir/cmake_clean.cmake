@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsipc_jasmin.dir/paths.cc.o"
+  "CMakeFiles/hsipc_jasmin.dir/paths.cc.o.d"
+  "libhsipc_jasmin.a"
+  "libhsipc_jasmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsipc_jasmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

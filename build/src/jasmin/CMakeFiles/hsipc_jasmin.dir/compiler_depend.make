@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hsipc_jasmin.
+# This may be replaced when dependencies are built.

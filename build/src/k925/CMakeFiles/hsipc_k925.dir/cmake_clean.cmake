@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsipc_k925.dir/kernel.cc.o"
+  "CMakeFiles/hsipc_k925.dir/kernel.cc.o.d"
+  "libhsipc_k925.a"
+  "libhsipc_k925.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsipc_k925.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

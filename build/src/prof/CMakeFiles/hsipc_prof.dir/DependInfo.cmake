@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prof/callgraph.cc" "src/prof/CMakeFiles/hsipc_prof.dir/callgraph.cc.o" "gcc" "src/prof/CMakeFiles/hsipc_prof.dir/callgraph.cc.o.d"
+  "/root/repo/src/prof/kernels.cc" "src/prof/CMakeFiles/hsipc_prof.dir/kernels.cc.o" "gcc" "src/prof/CMakeFiles/hsipc_prof.dir/kernels.cc.o.d"
+  "/root/repo/src/prof/profiler.cc" "src/prof/CMakeFiles/hsipc_prof.dir/profiler.cc.o" "gcc" "src/prof/CMakeFiles/hsipc_prof.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsipc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsipc_prof.dir/callgraph.cc.o"
+  "CMakeFiles/hsipc_prof.dir/callgraph.cc.o.d"
+  "CMakeFiles/hsipc_prof.dir/kernels.cc.o"
+  "CMakeFiles/hsipc_prof.dir/kernels.cc.o.d"
+  "CMakeFiles/hsipc_prof.dir/profiler.cc.o"
+  "CMakeFiles/hsipc_prof.dir/profiler.cc.o.d"
+  "libhsipc_prof.a"
+  "libhsipc_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsipc_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/kernel/ipc_sim.cc" "src/sim/CMakeFiles/hsipc_sim.dir/kernel/ipc_sim.cc.o" "gcc" "src/sim/CMakeFiles/hsipc_sim.dir/kernel/ipc_sim.cc.o.d"
+  "/root/repo/src/sim/node/costs.cc" "src/sim/CMakeFiles/hsipc_sim.dir/node/costs.cc.o" "gcc" "src/sim/CMakeFiles/hsipc_sim.dir/node/costs.cc.o.d"
+  "/root/repo/src/sim/node/processor.cc" "src/sim/CMakeFiles/hsipc_sim.dir/node/processor.cc.o" "gcc" "src/sim/CMakeFiles/hsipc_sim.dir/node/processor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsipc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hsipc_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hsipc_gtpn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsipc_sim.dir/kernel/ipc_sim.cc.o"
+  "CMakeFiles/hsipc_sim.dir/kernel/ipc_sim.cc.o.d"
+  "CMakeFiles/hsipc_sim.dir/node/costs.cc.o"
+  "CMakeFiles/hsipc_sim.dir/node/costs.cc.o.d"
+  "CMakeFiles/hsipc_sim.dir/node/processor.cc.o"
+  "CMakeFiles/hsipc_sim.dir/node/processor.cc.o.d"
+  "libhsipc_sim.a"
+  "libhsipc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsipc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

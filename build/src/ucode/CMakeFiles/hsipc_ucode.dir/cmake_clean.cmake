@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsipc_ucode.dir/microcode.cc.o"
+  "CMakeFiles/hsipc_ucode.dir/microcode.cc.o.d"
+  "libhsipc_ucode.a"
+  "libhsipc_ucode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsipc_ucode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

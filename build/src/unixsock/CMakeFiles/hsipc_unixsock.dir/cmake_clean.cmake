@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsipc_unixsock.dir/sockets.cc.o"
+  "CMakeFiles/hsipc_unixsock.dir/sockets.cc.o.d"
+  "libhsipc_unixsock.a"
+  "libhsipc_unixsock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsipc_unixsock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charlotte.dir/test_charlotte.cc.o"
+  "CMakeFiles/test_charlotte.dir/test_charlotte.cc.o.d"
+  "test_charlotte"
+  "test_charlotte.pdb"
+  "test_charlotte[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charlotte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gtpn.dir/test_gtpn.cc.o"
+  "CMakeFiles/test_gtpn.dir/test_gtpn.cc.o.d"
+  "test_gtpn"
+  "test_gtpn.pdb"
+  "test_gtpn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gtpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

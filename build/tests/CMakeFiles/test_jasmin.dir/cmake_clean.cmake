@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jasmin.dir/test_jasmin.cc.o"
+  "CMakeFiles/test_jasmin.dir/test_jasmin.cc.o.d"
+  "test_jasmin"
+  "test_jasmin.pdb"
+  "test_jasmin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jasmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_k925.dir/test_k925.cc.o"
+  "CMakeFiles/test_k925.dir/test_k925.cc.o.d"
+  "test_k925"
+  "test_k925.pdb"
+  "test_k925[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_k925.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

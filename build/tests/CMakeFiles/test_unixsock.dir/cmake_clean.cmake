@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unixsock.dir/test_unixsock.cc.o"
+  "CMakeFiles/test_unixsock.dir/test_unixsock.cc.o.d"
+  "test_unixsock"
+  "test_unixsock.pdb"
+  "test_unixsock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unixsock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
