@@ -11,8 +11,14 @@ namespace hsipc::gtpn
 namespace
 {
 
-/** Maximum depth of the selection recursion (vanishing-loop guard). */
-constexpr int maxSelectionDepth = 4096;
+/**
+ * Maximum depth of the selection recursion (vanishing-loop guard).
+ * Must be low enough that the guard panics before the recursion in
+ * enumerateRec exhausts the native stack — sanitizer builds inflate
+ * each frame to several KB.  A real selection phase is bounded by the
+ * zero-delay transitions firable in one instant, far below this.
+ */
+constexpr int maxSelectionDepth = 512;
 
 /** An enabled transition with its evaluated frequency. */
 struct Candidate

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hh"
 #include "sim/des/event_queue.hh"
 #include "sim/des/resource.hh"
+#include "sim/net/faults.hh"
+#include "sim/net/reliable.hh"
 #include "sim/node/costs.hh"
 #include "sim/node/processor.hh"
 #include "sim/node/token_ring.hh"
@@ -62,11 +65,29 @@ struct Node
     std::deque<int> buffersWaiting; //!< clients stalled for a buffer
 };
 
+/** Build the injector's fault model from the experiment knobs. */
+FaultPlan
+makePlan(const Experiment &exp)
+{
+    FaultPlan p;
+    p.dropRate = exp.lossRate;
+    p.corruptRate = exp.corruptRate;
+    p.duplicateRate = exp.duplicateRate;
+    p.reorderRate = exp.reorderRate;
+    p.reorderDelayUs = exp.reorderDelayUs;
+    p.crashes = exp.crashSchedule;
+    return p;
+}
+
 /** The whole simulation. */
 class Sim
 {
   public:
-    explicit Sim(const Experiment &exp) : exp(exp), rng(exp.seed)
+    explicit Sim(const Experiment &exp)
+        : exp(exp), rng(exp.seed),
+          // The injector draws from its own stream so that enabling
+          // faults never perturbs the workload's random sequence.
+          injector(makePlan(exp), exp.seed ^ 0xFA017D0BEEFull)
     {
         const bool mixed =
             exp.mixedLocal > 0 || exp.mixedRemote > 0;
@@ -95,6 +116,53 @@ class Sim
             rc.megabitsPerSec = exp.ringMbps;
             ring = std::make_unique<TokenRing>(eq, rc);
         }
+
+        // The reliability stack is strictly pay-for-use: it exists
+        // only when the medium can fail (or when explicitly forced),
+        // so fault-free runs keep the ideal-medium code path and
+        // produce bit-identical results.
+        if (two_nodes && (injector.faultPlan().active() ||
+                          exp.reliableProtocol)) {
+            ReliableChannel::Config rc;
+            rc.windowSize = exp.retransmitWindow;
+            rc.rtoUs = exp.retransmitTimeoutUs;
+            rc.rtoMaxUs = std::max(rc.rtoMaxUs, rc.rtoUs);
+            rc.dataBytes = exp.packetBytes;
+            protoAccesses = rc.busAccesses;
+
+            ReliableChannel::Hooks h;
+            // Protocol steps are kernel activities on the node's
+            // communication processor: the host pays under
+            // Architecture I, the MP under II-IV.
+            h.exec = [this](int node, const char *name, double procUs,
+                            int prio, EventQueue::Callback done) {
+                Node &n = *nodes[static_cast<std::size_t>(node)];
+                ActCost c;
+                c.procUs = procUs;
+                if (n.mp && this->exp.mpSpeedFactor != 1.0)
+                    c.procUs /= this->exp.mpSpeedFactor;
+                c.kb = protoAccesses;
+                n.commProc().submit(
+                    act(name, c, n, prio, std::move(done)));
+            };
+            for (int src : {0, 1}) {
+                rc.srcNode = src;
+                rc.dstNode = 1 - src;
+                h.mediumToDst = [this, src](int bytes,
+                                            EventQueue::Callback cb) {
+                    rawWire(src, 1 - src, bytes, std::move(cb));
+                };
+                h.mediumToSrc = [this, src](int bytes,
+                                            EventQueue::Callback cb) {
+                    rawWire(1 - src, src, bytes, std::move(cb));
+                };
+                chans[static_cast<std::size_t>(src)] =
+                    std::make_unique<ReliableChannel>(eq, rc, injector,
+                                                      h);
+            }
+        }
+        for (const CrashWindow &w : exp.crashSchedule)
+            recoveries.push_back(Recovery{w, -1});
 
         // Lay out the conversations: classic mode pins all clients to
         // node 0 (servers at node 1 when non-local); mixed mode
@@ -128,6 +196,9 @@ class Sim
         eq.runUntil(warm);
         const std::map<std::string, Tick> baseline =
             activitySnapshot();
+        const ReliableChannel::Stats chanBase = channelStats();
+        const FaultInjector::Stats injBase = injector.stats();
+        const auto [protoHostBase, protoMpBase] = protoTicks();
         eq.runUntil(end);
 
         Outcome out;
@@ -177,6 +248,43 @@ class Sim
             static_cast<double>(rtRemote.count()) / window_sec;
         out.localMeanRtUs = rtLocal.mean();
         out.remoteMeanRtUs = rtRemote.mean();
+
+        // Reliability-stack measurements over the same window.
+        const ReliableChannel::Stats cs = channelStats();
+        out.retransmissions =
+            cs.retransmissions - chanBase.retransmissions;
+        out.timeoutsFired = cs.timeoutsFired - chanBase.timeoutsFired;
+        out.duplicatesDropped =
+            cs.duplicatesDropped - chanBase.duplicatesDropped;
+        out.corruptDiscarded =
+            cs.corruptDiscarded - chanBase.corruptDiscarded;
+        const FaultInjector::Stats fs = injector.stats();
+        out.faultDrops = fs.dropped - injBase.dropped;
+        out.crashDrops = fs.crashDrops - injBase.crashDrops;
+        out.netThroughputPktsPerSec =
+            static_cast<double>(cs.dataTransmissions -
+                                chanBase.dataTransmissions) /
+            window_sec;
+        out.netGoodputPktsPerSec =
+            static_cast<double>(cs.delivered - chanBase.delivered) /
+            window_sec;
+        if (completed > 0) {
+            const auto [protoHost, protoMp] = protoTicks();
+            out.protoHostUsPerRt =
+                ticksToUs(protoHost - protoHostBase) /
+                static_cast<double>(completed);
+            out.protoMpUsPerRt = ticksToUs(protoMp - protoMpBase) /
+                                 static_cast<double>(completed);
+        }
+        for (const Recovery &r : recoveries) {
+            if (r.recoveredAt >= 0) {
+                ++out.crashWindowsRecovered;
+                out.meanRecoveryUs +=
+                    ticksToUs(r.recoveredAt - usToTicks(r.w.endUs));
+            }
+        }
+        if (out.crashWindowsRecovered > 0)
+            out.meanRecoveryUs /= out.crashWindowsRecovered;
         return out;
     }
 
@@ -280,6 +388,50 @@ class Sim
         return a;
     }
 
+    /** Sum the two channels' protocol statistics. */
+    ReliableChannel::Stats
+    channelStats() const
+    {
+        ReliableChannel::Stats sum;
+        for (const auto &c : chans) {
+            if (!c)
+                continue;
+            const ReliableChannel::Stats &s = c->stats();
+            sum.accepted += s.accepted;
+            sum.delivered += s.delivered;
+            sum.dataTransmissions += s.dataTransmissions;
+            sum.retransmissions += s.retransmissions;
+            sum.timeoutsFired += s.timeoutsFired;
+            sum.duplicatesDropped += s.duplicatesDropped;
+            sum.corruptDiscarded += s.corruptDiscarded;
+            sum.acksSent += s.acksSent;
+        }
+        return sum;
+    }
+
+    /** Protocol busy time split into (host, MP) shares. */
+    std::pair<Tick, Tick>
+    protoTicks() const
+    {
+        auto protoSum = [](const Processor &p) {
+            Tick t = 0;
+            for (const auto &[name, ticks] : p.activityTicks()) {
+                if (name.rfind("proto", 0) == 0)
+                    t += ticks;
+            }
+            return t;
+        };
+        Tick host = 0;
+        Tick mp = 0;
+        for (const auto &n : nodes) {
+            for (const auto &h : n->hosts)
+                host += protoSum(*h);
+            if (n->mp)
+                mp += protoSum(*n->mp);
+        }
+        return {host, mp};
+    }
+
     /** Sum per-activity busy time over every processor. */
     std::map<std::string, Tick>
     activitySnapshot() const
@@ -301,17 +453,31 @@ class Sim
     }
 
     /**
-     * The network between the two nodes: the token ring when enabled,
-     * a fixed wire delay otherwise.
+     * The raw medium between the two nodes: the token ring when
+     * enabled, a fixed wire delay otherwise.
+     */
+    void
+    rawWire(int from, int to, int bytes, EventQueue::Callback deliver)
+    {
+        if (ring)
+            ring->send(from, to, bytes, std::move(deliver));
+        else
+            eq.scheduleAfter(usToTicks(exp.wireUs),
+                             std::move(deliver));
+    }
+
+    /**
+     * Ship one message from @p from to @p to: through the reliability
+     * stack when the medium is faulty, directly otherwise.
      */
     void
     wire(int from, int to, EventQueue::Callback deliver)
     {
-        if (ring)
-            ring->send(from, to, exp.packetBytes, std::move(deliver));
+        if (chans[0])
+            chans[static_cast<std::size_t>(from)]->send(
+                std::move(deliver));
         else
-            eq.scheduleAfter(usToTicks(exp.wireUs),
-                             std::move(deliver));
+            rawWire(from, to, exp.packetBytes, std::move(deliver));
     }
 
     // --- Client side -----------------------------------------------
@@ -559,6 +725,15 @@ class Sim
             clientSend(waiter);
         }
 
+        // A completed round trip involving a crashed node marks the
+        // end of its recovery.
+        const auto &cv = convs[static_cast<std::size_t>(conv)];
+        for (Recovery &r : recoveries) {
+            if (r.recoveredAt < 0 && eq.now() >= usToTicks(r.w.endUs) &&
+                (cv.clientNode == r.w.node || cv.serverNode == r.w.node))
+                r.recoveredAt = eq.now();
+        }
+
         const Tick start =
             convs[static_cast<std::size_t>(conv)].sendStart;
         if (eq.now() > usToTicks(exp.warmupUs)) {
@@ -574,13 +749,25 @@ class Sim
         clientSend(conv);
     }
 
+    /** One crash window and when its node first completed work again. */
+    struct Recovery
+    {
+        CrashWindow w;
+        Tick recoveredAt = -1;
+    };
+
     Experiment exp;
     IpcCosts costsLocal;
     IpcCosts costsNonlocal;
     Rng rng;
+    FaultInjector injector;
     EventQueue eq;
     std::vector<std::unique_ptr<Node>> nodes;
     std::unique_ptr<TokenRing> ring;
+    //! Reliable channels by source node (0 -> 1 and 1 -> 0).
+    std::unique_ptr<ReliableChannel> chans[2];
+    int protoAccesses = 0;
+    std::vector<Recovery> recoveries;
 
     std::vector<Conversation> convs;
     long completed = 0;
@@ -596,9 +783,37 @@ class Sim
 Outcome
 runExperiment(const Experiment &exp)
 {
+    // Reject impossible configurations up front, with the offending
+    // condition in the message, instead of producing silent nonsense
+    // downstream.
     hsipc_assert(exp.conversations >= 1 || exp.mixedLocal > 0 ||
                  exp.mixedRemote > 0);
+    hsipc_assert(exp.mixedLocal >= 0 && exp.mixedRemote >= 0);
     hsipc_assert(exp.hostsPerNode >= 1);
+    hsipc_assert(exp.packetBytes > 0 && "packetBytes must be positive");
+    hsipc_assert(exp.computeUs >= 0 && "computeUs cannot be negative");
+    hsipc_assert(exp.wireUs >= 0 && "wireUs cannot be negative");
+    hsipc_assert(exp.kernelBuffers >= 1 &&
+                 "need at least one kernel buffer per node");
+    hsipc_assert(exp.mpSpeedFactor > 0 &&
+                 "mpSpeedFactor must be positive");
+    hsipc_assert(exp.ringMbps > 0 && "ringMbps must be positive");
+    hsipc_assert(exp.warmupUs >= 0 && exp.measureUs > 0);
+    for (double rate : {exp.lossRate, exp.corruptRate,
+                        exp.duplicateRate, exp.reorderRate})
+        hsipc_assert(rate >= 0 && rate <= 1 &&
+                     "fault rates are probabilities");
+    hsipc_assert(exp.reorderDelayUs >= 0);
+    hsipc_assert(exp.retransmitTimeoutUs > 0 &&
+                 "retransmitTimeoutUs must be positive");
+    hsipc_assert(exp.retransmitWindow >= 1 &&
+                 "retransmitWindow must be at least 1");
+    for (const CrashWindow &w : exp.crashSchedule) {
+        hsipc_assert((w.node == 0 || w.node == 1) &&
+                     "crash node must be 0 or 1");
+        hsipc_assert(w.startUs >= 0 && w.endUs > w.startUs &&
+                     "crash window must be well-formed");
+    }
     Sim sim(exp);
     return sim.run();
 }

@@ -27,9 +27,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/stats.hh"
 #include "core/models/processing_times.hh"
+#include "sim/net/faults.hh"
 
 namespace hsipc::sim
 {
@@ -62,6 +64,25 @@ struct Experiment
     double warmupUs = 100000;
     double measureUs = 1500000;
     std::uint64_t seed = 1;
+
+    /**
+     * Unreliable-medium reliability stack (pay-for-use: with every
+     * rate zero, no crash windows and reliableProtocol false, the
+     * stack is bypassed entirely and results are bit-identical to an
+     * ideal-medium run).  Any nonzero fault rate or crash window
+     * enables the sliding-window ack/timeout/retransmit protocol,
+     * whose processing runs on the host (Architecture I) or the MP
+     * (II–IV) — see src/sim/net/reliable.hh.
+     */
+    double lossRate = 0;      //!< per-packet drop probability
+    double corruptRate = 0;   //!< per-packet corruption probability
+    double duplicateRate = 0; //!< per-packet duplication probability
+    double reorderRate = 0;   //!< per-packet reorder probability
+    double reorderDelayUs = 200;    //!< hold-back of a reordered packet
+    double retransmitTimeoutUs = 5000; //!< initial RTO (doubles, capped)
+    int retransmitWindow = 8;       //!< sliding-window size
+    bool reliableProtocol = false;  //!< run the protocol even fault-free
+    std::vector<CrashWindow> crashSchedule; //!< scheduled node outages
 };
 
 /** Measured outcome of a run. */
@@ -92,6 +113,25 @@ struct Outcome
     double remoteThroughputPerSec = 0;
     double localMeanRtUs = 0;
     double remoteMeanRtUs = 0;
+
+    // Reliability-stack measurements (all zero when the stack is
+    // bypassed; counted over the measurement window only):
+    long retransmissions = 0;   //!< data packets sent again on timeout
+    long timeoutsFired = 0;     //!< retransmission timers that expired
+    long duplicatesDropped = 0; //!< suppressed by sequence number
+    long corruptDiscarded = 0;  //!< packets failing the checksum
+    long faultDrops = 0;        //!< packets the medium lost outright
+    long crashDrops = 0;        //!< packets lost at a crashed node
+    double netThroughputPktsPerSec = 0; //!< data pkts offered the wire
+    double netGoodputPktsPerSec = 0; //!< first-copy in-order deliveries
+    //! Protocol processing charged per round trip, split by who paid.
+    double protoHostUsPerRt = 0;
+    double protoMpUsPerRt = 0;
+    //! Crash recovery: windows recovered from, and the mean time from
+    //! the end of an outage to the first completed round trip
+    //! involving the crashed node.
+    int crashWindowsRecovered = 0;
+    double meanRecoveryUs = 0;
 };
 
 /** Run the experiment to completion and return the measurements. */

@@ -1,0 +1,49 @@
+#include "sim/net/faults.hh"
+
+namespace hsipc::sim
+{
+
+std::vector<FaultInjector::Copy>
+FaultInjector::judge()
+{
+    ++counts.injected;
+    std::vector<Copy> copies;
+    if (plan.dropRate > 0 && rng.chance(plan.dropRate)) {
+        ++counts.dropped;
+        return copies;
+    }
+
+    Copy original;
+    if (plan.corruptRate > 0 && rng.chance(plan.corruptRate)) {
+        original.corrupted = true;
+        ++counts.corrupted;
+    }
+    if (plan.reorderRate > 0 && rng.chance(plan.reorderRate)) {
+        original.extraDelay = usToTicks(plan.reorderDelayUs);
+        ++counts.reordered;
+    }
+    copies.push_back(original);
+
+    if (plan.duplicateRate > 0 && rng.chance(plan.duplicateRate)) {
+        // The duplicate trails the original; it is a faithful copy of
+        // the bits on the wire, so it shares the original's corruption.
+        Copy dup = original;
+        dup.extraDelay += usToTicks(plan.duplicateLagUs);
+        copies.push_back(dup);
+        ++counts.duplicated;
+    }
+    return copies;
+}
+
+bool
+FaultInjector::nodeUp(int node, Tick now) const
+{
+    for (const CrashWindow &w : plan.crashes) {
+        if (w.node == node && now >= usToTicks(w.startUs) &&
+            now < usToTicks(w.endUs))
+            return false;
+    }
+    return true;
+}
+
+} // namespace hsipc::sim

@@ -1,0 +1,183 @@
+#include "sim/net/reliable.hh"
+
+#include <algorithm>
+
+#include "sim/node/processor.hh"
+
+namespace hsipc::sim
+{
+
+void
+ReliableChannel::send(EventQueue::Callback deliver)
+{
+    ++counts.accepted;
+    backlog.push_back(std::move(deliver));
+    pump();
+}
+
+void
+ReliableChannel::pump()
+{
+    while (!backlog.empty() && inFlight() < cfg.windowSize) {
+        const long seq = nextSeq++;
+        unacked[seq].deliver = std::move(backlog.front());
+        backlog.pop_front();
+        transmit(seq, false);
+    }
+}
+
+Tick
+ReliableChannel::rto(int retries) const
+{
+    double us = cfg.rtoUs;
+    for (int i = 0; i < retries && us < cfg.rtoMaxUs; ++i)
+        us *= 2;
+    return usToTicks(std::min(us, cfg.rtoMaxUs));
+}
+
+void
+ReliableChannel::transmit(long seq, bool retransmit)
+{
+    auto it = unacked.find(seq);
+    if (it == unacked.end())
+        return;
+    ++counts.dataTransmissions;
+    if (retransmit)
+        ++counts.retransmissions;
+    const std::uint64_t gen = ++it->second.generation;
+    hooks.exec(
+        cfg.srcNode, retransmit ? "protoResend" : "protoSend",
+        cfg.sendProcUs, prioTask, [this, seq, gen]() {
+            auto self = unacked.find(seq);
+            // Acked or re-sent while the activity sat in the
+            // processor queue.
+            if (self == unacked.end() ||
+                self->second.generation != gen)
+                return;
+            if (!faults.nodeUp(cfg.srcNode, eq.now())) {
+                faults.noteCrashDrop();
+            } else {
+                for (const FaultInjector::Copy &c : faults.judge()) {
+                    auto go = [this, seq,
+                               corrupted = c.corrupted]() {
+                        hooks.mediumToDst(
+                            cfg.dataBytes, [this, seq, corrupted]() {
+                                arriveData(seq, corrupted);
+                            });
+                    };
+                    if (c.extraDelay > 0)
+                        eq.scheduleAfter(c.extraDelay, go);
+                    else
+                        go();
+                }
+            }
+            // The timer runs whether or not the packet made it out:
+            // a crashed source retries once its window is over.
+            eq.scheduleAfter(rto(self->second.retries),
+                             [this, seq, gen]() {
+                                 onTimeout(seq, gen);
+                             });
+        });
+}
+
+void
+ReliableChannel::onTimeout(long seq, std::uint64_t gen)
+{
+    auto it = unacked.find(seq);
+    if (it == unacked.end() || it->second.generation != gen)
+        return; // acknowledged (or superseded) in time
+    ++counts.timeoutsFired;
+    hooks.exec(cfg.srcNode, "protoTimeout", cfg.timeoutProcUs,
+               prioInterrupt, [this, seq, gen]() {
+                   auto self = unacked.find(seq);
+                   if (self == unacked.end() ||
+                       self->second.generation != gen)
+                       return;
+                   ++self->second.retries;
+                   transmit(seq, true);
+               });
+}
+
+void
+ReliableChannel::arriveData(long seq, bool corrupted)
+{
+    if (!faults.nodeUp(cfg.dstNode, eq.now())) {
+        faults.noteCrashDrop();
+        return;
+    }
+    hooks.exec(
+        cfg.dstNode, "protoRecv", cfg.recvProcUs, prioInterrupt,
+        [this, seq, corrupted]() {
+            if (corrupted) {
+                ++counts.corruptDiscarded;
+                return; // no ack: the sender's timer recovers it
+            }
+            if (seq < nextExpected || receivedAhead.count(seq) > 0) {
+                ++counts.duplicatesDropped;
+                // Re-ack so a lost ack cannot stall the window.
+                sendAck();
+                return;
+            }
+            // First good copy.  Messages are independent datagrams,
+            // so deliver immediately instead of holding it behind an
+            // earlier gap; only the ack stays cumulative.
+            receivedAhead.insert(seq);
+            while (receivedAhead.erase(nextExpected) > 0)
+                ++nextExpected;
+            ++counts.delivered;
+            EventQueue::Callback cb = unacked.at(seq).deliver;
+            sendAck();
+            cb();
+        });
+}
+
+void
+ReliableChannel::sendAck()
+{
+    ++counts.acksSent;
+    hooks.exec(
+        cfg.dstNode, "protoAck", cfg.ackProcUs, prioInterrupt,
+        [this]() {
+            const long ackNum = nextExpected; // cumulative
+            if (!faults.nodeUp(cfg.dstNode, eq.now())) {
+                faults.noteCrashDrop();
+                return;
+            }
+            for (const FaultInjector::Copy &c : faults.judge()) {
+                auto go = [this, ackNum, corrupted = c.corrupted]() {
+                    hooks.mediumToSrc(
+                        cfg.ackBytes, [this, ackNum, corrupted]() {
+                            arriveAck(ackNum, corrupted);
+                        });
+                };
+                if (c.extraDelay > 0)
+                    eq.scheduleAfter(c.extraDelay, go);
+                else
+                    go();
+            }
+        });
+}
+
+void
+ReliableChannel::arriveAck(long ackNum, bool corrupted)
+{
+    if (!faults.nodeUp(cfg.srcNode, eq.now())) {
+        faults.noteCrashDrop();
+        return;
+    }
+    hooks.exec(cfg.srcNode, "protoAck", cfg.ackProcUs, prioInterrupt,
+               [this, ackNum, corrupted]() {
+                   if (corrupted) {
+                       ++counts.corruptDiscarded;
+                       return;
+                   }
+                   if (ackNum <= windowBase)
+                       return; // stale cumulative ack
+                   unacked.erase(unacked.begin(),
+                                 unacked.lower_bound(ackNum));
+                   windowBase = ackNum;
+                   pump();
+               });
+}
+
+} // namespace hsipc::sim

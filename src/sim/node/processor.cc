@@ -16,6 +16,7 @@ Processor::charge(Tick t)
 void
 Processor::submit(Activity act)
 {
+    ++perActivityCount[act.name];
     Running r;
     r.cpuLeft = act.processing;
     r.memLeft = act.bus ? act.memAccesses : 0;

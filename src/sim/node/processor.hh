@@ -75,6 +75,13 @@ class Processor
         return perActivity;
     }
 
+    /** Number of activities submitted per name. */
+    const std::map<std::string, long> &
+    activityCounts() const
+    {
+        return perActivityCount;
+    }
+
     const std::string &processorName() const { return name; }
     bool idle() const { return !running && queue.empty(); }
 
@@ -101,6 +108,7 @@ class Processor
     std::unique_ptr<Running> running;
     Tick busyTicks = 0;
     std::map<std::string, Tick> perActivity;
+    std::map<std::string, long> perActivityCount;
 };
 
 } // namespace hsipc::sim

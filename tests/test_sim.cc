@@ -556,6 +556,260 @@ TEST(IpcSimMixed, DeterministicAndCountsAllConversations)
 }
 
 
+TEST(Processor, CountsSubmittedActivities)
+{
+    EventQueue eq;
+    Processor p(eq, "p");
+    for (int i = 0; i < 3; ++i) {
+        Activity a;
+        a.name = "work";
+        a.processing = 10;
+        p.submit(std::move(a));
+    }
+    eq.runUntil(1000);
+    EXPECT_EQ(p.activityCounts().at("work"), 3);
+}
+
+TEST(IpcSim, BufferPoolExhaustionAndRecovery)
+{
+    // Eight senders against a single kernel buffer: sends must stall,
+    // yet the simulation keeps making progress as each completed
+    // round trip frees the buffer for a waiter.
+    Experiment starved;
+    starved.arch = Arch::II;
+    starved.local = true;
+    starved.conversations = 8;
+    starved.computeUs = 570;
+    starved.kernelBuffers = 1;
+    const Outcome s = runExperiment(starved);
+    EXPECT_GT(s.bufferStalls, 0);
+    EXPECT_GT(s.roundTrips, 50);
+
+    // With the pool restored the stalls vanish and throughput
+    // recovers beyond the starved run's.
+    Experiment roomy = starved;
+    roomy.kernelBuffers = 64;
+    const Outcome r = runExperiment(roomy);
+    EXPECT_EQ(r.bufferStalls, 0);
+    EXPECT_GT(r.throughputPerSec, s.throughputPerSec);
+}
+
+TEST(IpcSimValidation, RejectsImpossibleConfigurations)
+{
+    Experiment e;
+    e.packetBytes = 0;
+    EXPECT_DEATH(runExperiment(e), "packetBytes");
+    e = Experiment{};
+    e.computeUs = -1;
+    EXPECT_DEATH(runExperiment(e), "computeUs");
+    e = Experiment{};
+    e.kernelBuffers = 0;
+    EXPECT_DEATH(runExperiment(e), "kernel buffer");
+    e = Experiment{};
+    e.mpSpeedFactor = 0;
+    EXPECT_DEATH(runExperiment(e), "mpSpeedFactor");
+    e = Experiment{};
+    e.lossRate = 1.5;
+    EXPECT_DEATH(runExperiment(e), "probabilities");
+    e = Experiment{};
+    e.retransmitWindow = 0;
+    EXPECT_DEATH(runExperiment(e), "retransmitWindow");
+    e = Experiment{};
+    e.crashSchedule.push_back({0, 500, 100}); // ends before it starts
+    EXPECT_DEATH(runExperiment(e), "well-formed");
+}
+
+
+// --- Unreliable medium and the reliability stack -------------------------
+
+TEST(IpcSimLossy, FaultFreeRunBypassesTheStack)
+{
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = false;
+    e.conversations = 2;
+    e.computeUs = 1140;
+    const Outcome o = runExperiment(e);
+    EXPECT_EQ(o.retransmissions, 0);
+    EXPECT_EQ(o.timeoutsFired, 0);
+    EXPECT_EQ(o.faultDrops, 0);
+    EXPECT_DOUBLE_EQ(o.netThroughputPktsPerSec, 0.0);
+    EXPECT_DOUBLE_EQ(o.protoHostUsPerRt, 0.0);
+    EXPECT_DOUBLE_EQ(o.protoMpUsPerRt, 0.0);
+}
+
+TEST(IpcSimLossy, ProtocolWithoutFaultsIsLossless)
+{
+    // Forcing the protocol over a clean medium costs processing but
+    // never retransmits: wire throughput equals goodput.
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = false;
+    e.conversations = 2;
+    e.computeUs = 1140;
+    const Outcome ideal = runExperiment(e);
+    e.reliableProtocol = true;
+    const Outcome o = runExperiment(e);
+    EXPECT_EQ(o.retransmissions, 0);
+    EXPECT_EQ(o.duplicatesDropped, 0);
+    EXPECT_GT(o.netThroughputPktsPerSec, 0.0);
+    EXPECT_DOUBLE_EQ(o.netThroughputPktsPerSec,
+                     o.netGoodputPktsPerSec);
+    // The protocol's processing shows up as longer round trips.
+    EXPECT_GT(o.meanRoundTripUs, ideal.meanRoundTripUs);
+    EXPECT_GT(o.protoMpUsPerRt, 0.0);
+}
+
+TEST(IpcSimLossy, PacketLossRetransmitsAndCompletes)
+{
+    // The acceptance scenario: 1% loss, fixed seed.  The run
+    // completes, retransmits, and goodput trails wire throughput.
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = false;
+    e.conversations = 2;
+    e.computeUs = 1140;
+    e.lossRate = 0.01;
+    const Outcome o = runExperiment(e);
+    EXPECT_GT(o.roundTrips, 100);
+    EXPECT_GT(o.retransmissions, 0);
+    EXPECT_GT(o.timeoutsFired, 0);
+    EXPECT_GT(o.faultDrops, 0);
+    EXPECT_LT(o.netGoodputPktsPerSec, o.netThroughputPktsPerSec);
+}
+
+TEST(IpcSimLossy, DeterministicForFixedSeed)
+{
+    Experiment e;
+    e.arch = Arch::III;
+    e.local = false;
+    e.conversations = 3;
+    e.computeUs = 1140;
+    e.lossRate = 0.02;
+    e.duplicateRate = 0.01;
+    e.corruptRate = 0.005;
+    e.reorderRate = 0.01;
+    const Outcome a = runExperiment(e);
+    const Outcome b = runExperiment(e);
+    EXPECT_EQ(a.roundTrips, b.roundTrips);
+    EXPECT_DOUBLE_EQ(a.meanRoundTripUs, b.meanRoundTripUs);
+    EXPECT_EQ(a.retransmissions, b.retransmissions);
+    EXPECT_EQ(a.duplicatesDropped, b.duplicatesDropped);
+    EXPECT_EQ(a.corruptDiscarded, b.corruptDiscarded);
+    EXPECT_EQ(a.faultDrops, b.faultDrops);
+}
+
+TEST(IpcSimLossy, WhoPaysDependsOnArchitecture)
+{
+    // The thesis' point made measurable: under Architecture I the
+    // host pays for retransmission processing; under II-IV the MP
+    // absorbs it and the host pays nothing.
+    Experiment e;
+    e.local = false;
+    e.conversations = 2;
+    e.computeUs = 1140;
+    e.lossRate = 0.02;
+    e.arch = Arch::I;
+    const Outcome uni = runExperiment(e);
+    EXPECT_GT(uni.protoHostUsPerRt, 0.0);
+    EXPECT_DOUBLE_EQ(uni.protoMpUsPerRt, 0.0);
+    e.arch = Arch::II;
+    const Outcome cop = runExperiment(e);
+    EXPECT_DOUBLE_EQ(cop.protoHostUsPerRt, 0.0);
+    EXPECT_GT(cop.protoMpUsPerRt, 0.0);
+}
+
+TEST(IpcSimLossy, DuplicationAndCorruptionAreCountedAndSurvived)
+{
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = false;
+    e.conversations = 2;
+    e.computeUs = 1140;
+    e.duplicateRate = 0.05;
+    e.corruptRate = 0.02;
+    const Outcome o = runExperiment(e);
+    EXPECT_GT(o.roundTrips, 100);
+    EXPECT_GT(o.duplicatesDropped, 0);
+    EXPECT_GT(o.corruptDiscarded, 0);
+}
+
+TEST(IpcSimLossy, LossyTokenRingAlsoRecovers)
+{
+    // The injector applies uniformly to both media: the same loss
+    // rate over the explicit token ring still completes round trips.
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = false;
+    e.conversations = 2;
+    e.computeUs = 1140;
+    e.useTokenRing = true;
+    e.lossRate = 0.02;
+    const Outcome o = runExperiment(e);
+    EXPECT_GT(o.roundTrips, 100);
+    EXPECT_GT(o.retransmissions, 0);
+    EXPECT_GT(o.ringUtil, 0.0);
+}
+
+TEST(IpcSimCrash, NodeOutageIsRecoveredFrom)
+{
+    // Node 1 (the server node) drops off the network for 200 ms in
+    // the middle of the measurement window.  The protocol's
+    // retransmissions carry the workload across the outage, and the
+    // time to the first completed round trip after the window closes
+    // is reported as the recovery time.
+    Experiment e;
+    e.arch = Arch::II;
+    e.local = false;
+    e.conversations = 2;
+    e.computeUs = 1140;
+    e.crashSchedule.push_back({1, 300000, 500000});
+    const Outcome o = runExperiment(e);
+    EXPECT_GT(o.roundTrips, 50);
+    EXPECT_GT(o.retransmissions, 0);
+    EXPECT_GT(o.crashDrops, 0);
+    EXPECT_EQ(o.crashWindowsRecovered, 1);
+    EXPECT_GT(o.meanRecoveryUs, 0.0);
+    // Recovery is bounded by the backoff ceiling plus a round trip.
+    EXPECT_LT(o.meanRecoveryUs, 100000.0);
+
+    // The same run without the outage completes strictly more work.
+    Experiment clean = e;
+    clean.crashSchedule.clear();
+    clean.reliableProtocol = true;
+    const Outcome c = runExperiment(clean);
+    EXPECT_GT(c.roundTrips, o.roundTrips);
+    EXPECT_EQ(c.crashWindowsRecovered, 0);
+}
+
+TEST(IpcSimLossy, MpArchitectureDegradesMoreGracefully)
+{
+    // The bench's headline in miniature: with servers doing realistic
+    // computation, 2% loss costs the uniprocessor the most, because
+    // the host that is already the bottleneck must also pay for the
+    // reliability stack and every retransmission.  The more protocol
+    // work an architecture keeps off the host (II: MP on the shared
+    // bus; III: MP behind a smart bus), the more of its ideal-medium
+    // throughput it retains.
+    auto retained = [](Arch a) {
+        Experiment e;
+        e.arch = a;
+        e.local = false;
+        e.conversations = 4;
+        e.computeUs = 2850;
+        const double ideal = runExperiment(e).throughputPerSec;
+        e.reliableProtocol = true;
+        e.lossRate = 0.02;
+        const double lossy = runExperiment(e).throughputPerSec;
+        return lossy / ideal;
+    };
+    const double archI = retained(Arch::I);
+    const double archII = retained(Arch::II);
+    const double archIII = retained(Arch::III);
+    EXPECT_GT(archII, archI + 0.03);
+    EXPECT_GT(archIII, archII + 0.03);
+}
+
 TEST(IpcSimMixed, PerKindBreakdownSumsToTotal)
 {
     Experiment e;
