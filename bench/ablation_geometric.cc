@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/gtpn/analyzer.hh"
 #include "core/models/solution.hh"
@@ -61,8 +62,9 @@ cycleThroughput(int tokens, int delay, bool geometric)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "ablation_geometric");
     using hsipc::TextTable;
 
     TextTable t("Geometric vs constant delay (closed cycle, 3-unit "
@@ -79,6 +81,7 @@ main()
         }
     }
     std::printf("%s\n", t.render().c_str());
+    hsipc::bench::record(t);
 
     // Time-scale invariance of the architecture models.
     using namespace hsipc::models;
@@ -94,5 +97,6 @@ main()
                std::to_string(r.states)});
     }
     std::printf("%s", s.render().c_str());
-    return 0;
+    hsipc::bench::record(s);
+    return hsipc::bench::finish();
 }

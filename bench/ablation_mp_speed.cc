@@ -12,14 +12,16 @@
 
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/local_model.hh"
 #include "core/models/solution.hh"
 #include "sim/kernel/ipc_sim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "ablation_mp_speed");
     using namespace hsipc;
     using namespace hsipc::models;
 
@@ -53,6 +55,7 @@ main()
                    TextTable::num(model / arch1, 2) + "x"});
         }
         std::printf("%s\n", t.render().c_str());
+        hsipc::bench::record(t);
     }
-    return 0;
+    return hsipc::bench::finish();
 }

@@ -11,12 +11,14 @@
 
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "sim/kernel/ipc_sim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "ablation_network_buffers");
     using namespace hsipc;
     using namespace hsipc::models;
 
@@ -43,6 +45,7 @@ main()
         std::printf("%s  (the thesis models wire time as zero; the "
                     "4 Mb/s ring costs ~4%% here)\n\n",
                     t.render().c_str());
+        hsipc::bench::record(t);
     }
 
     {
@@ -67,6 +70,7 @@ main()
                    TextTable::num(o.ringTokenWaitUs, 1)});
         }
         std::printf("%s\n", t.render().c_str());
+        hsipc::bench::record(t);
     }
 
     {
@@ -86,6 +90,7 @@ main()
                    std::to_string(o.bufferStalls)});
         }
         std::printf("%s", t.render().c_str());
+        hsipc::bench::record(t);
     }
-    return 0;
+    return hsipc::bench::finish();
 }

@@ -11,13 +11,15 @@
 
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/local_model.hh"
 #include "core/models/solution.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "ablation_offload");
     using namespace hsipc;
     using namespace hsipc::models;
 
@@ -41,8 +43,9 @@ main()
         t.row(std::move(row));
     }
     std::printf("%s", t.render().c_str());
+    hsipc::bench::record(t);
     std::printf("  architecture I reference: %.1f msgs/s; fraction "
                 "1.0 at 1x equals architecture II\n",
                 arch1);
-    return 0;
+    return hsipc::bench::finish();
 }

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "sim/kernel/ipc_sim.hh"
 
@@ -38,8 +39,9 @@ base(Arch a)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "beyond_lossy_network");
     using sim::Outcome;
     using sim::runExperiment;
 
@@ -68,6 +70,7 @@ main()
         sweep.row(std::move(row));
     }
     std::printf("%s", sweep.render().c_str());
+    hsipc::bench::record(sweep);
     std::printf("  Under Architecture I the bottleneck host also runs "
                 "the reliability stack\n  and gives up a quarter of "
                 "its rate before a single packet is lost; II moves\n"
@@ -96,6 +99,7 @@ main()
                   TextTable::num(o.netThroughputPktsPerSec, 1)});
     }
     std::printf("%s", pays.render().c_str());
+    hsipc::bench::record(pays);
     std::printf("  The protocol bill is the same; only the payer "
                 "changes.  Retransmissions\n  put wire packets/s "
                 "above goodput: the difference is waste the faults "
@@ -116,6 +120,7 @@ main()
                    TextTable::num(o.meanRecoveryUs / 1000.0, 1)});
     }
     std::printf("%s", crash.render().c_str());
+    hsipc::bench::record(crash);
     std::printf("  A fail-stop outage drops every packet at the node "
                 "boundary; the window\n  protocol replays from kernel "
                 "state once the node returns.  Recovery waits\n  for "
@@ -123,5 +128,5 @@ main()
                 "the faster\n  architectures — more packets in "
                 "flight, denser retry schedules — are\n  first back "
                 "on the air.\n");
-    return 0;
+    return hsipc::bench::finish();
 }

@@ -14,12 +14,14 @@
 
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "sim/kernel/ipc_sim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "beyond_mixed_workload");
     using namespace hsipc;
     using namespace hsipc::models;
 
@@ -47,9 +49,10 @@ main()
         t.row(std::move(row));
     }
     std::printf("%s", t.render().c_str());
+    hsipc::bench::record(t);
     std::printf("  Both nodes run clients and servers; remote pairs "
                 "cross the network in both directions.\n  The smart "
                 "bus keeps its lead across every mix — the result the "
                 "thesis argued for but could not model.\n");
-    return 0;
+    return hsipc::bench::finish();
 }

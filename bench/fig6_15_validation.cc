@@ -22,13 +22,15 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/solution.hh"
 #include "sim/kernel/ipc_sim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "fig6_15_validation");
     using namespace hsipc;
     using namespace hsipc::models;
 
@@ -63,5 +65,6 @@ main()
         }
     }
     std::printf("%s", t.render().c_str());
-    return 0;
+    hsipc::bench::record(t);
+    return hsipc::bench::finish();
 }

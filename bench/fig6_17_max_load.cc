@@ -14,12 +14,14 @@
 
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/solution.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "fig6_17_max_load");
     using namespace hsipc;
     using namespace hsipc::models;
 
@@ -45,6 +47,7 @@ main()
             t.row(std::move(row));
         }
         std::printf("%s\n", t.render().c_str());
+        hsipc::bench::record(t);
     }
-    return 0;
+    return hsipc::bench::finish();
 }

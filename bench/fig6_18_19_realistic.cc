@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/offered_load.hh"
 #include "core/models/solution.hh"
@@ -54,17 +55,19 @@ figure(bool local, const char *title)
         }
     }
     std::printf("%s\n", t.render().c_str());
+    hsipc::bench::record(t);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "fig6_18_19_realistic");
     figure(true,
            "Figure 6.18 - Realistic Workload (Local): messages/sec");
     figure(false,
            "Figure 6.19 - Realistic Workload (Non-local): "
            "messages/sec");
-    return 0;
+    return hsipc::bench::finish();
 }

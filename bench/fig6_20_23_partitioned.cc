@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/solution.hh"
 
@@ -39,6 +40,7 @@ maxLoad(bool local, const char *title)
                TextTable::num(t4, 1), TextTable::num(t4 / t3, 3)});
     }
     std::printf("%s\n", t.render().c_str());
+    hsipc::bench::record(t);
 }
 
 void
@@ -64,13 +66,15 @@ realistic(bool local, const char *title)
         }
     }
     std::printf("%s\n", t.render().c_str());
+    hsipc::bench::record(t);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "fig6_20_23_partitioned");
     maxLoad(true, "Figure 6.20 - Maximum Load (III & IV: Local), "
                   "messages/sec");
     maxLoad(false, "Figure 6.21 - Maximum Load (III & IV: Non-local), "
@@ -79,5 +83,5 @@ main()
                     "messages/sec");
     realistic(false, "Figure 6.23 - Realistic Load (III & IV: "
                      "Non-local), messages/sec");
-    return 0;
+    return hsipc::bench::finish();
 }

@@ -15,14 +15,16 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/local_model.hh"
 #include "core/models/solution.hh"
 #include "sim/kernel/ipc_sim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "fig7_multiprocessor");
     using namespace hsipc;
     using namespace hsipc::models;
 
@@ -61,5 +63,6 @@ main()
                TextTable::num(m3, 1), TextTable::num(s2, 1)});
     }
     std::printf("%s", t.render().c_str());
-    return 0;
+    hsipc::bench::record(t);
+    return hsipc::bench::finish();
 }

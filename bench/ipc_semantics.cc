@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "charlotte/links.hh"
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "jasmin/paths.hh"
 #include "k925/kernel.hh"
@@ -66,8 +67,9 @@ jasminChecksPerRoundTrip()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "ipc_semantics");
     {
         TextTable t("The §3.2 IPC design space (as implemented)");
         t.header({"Property", "Charlotte (links)", "Jasmin (paths)",
@@ -101,6 +103,7 @@ main()
                "rights revoked at reply",
                "close -> EOF / EPIPE"});
         std::printf("%s\n", t.render().c_str());
+        hsipc::bench::record(t);
     }
 
     {
@@ -112,10 +115,11 @@ main()
         t.row({"Jasmin paths",
                std::to_string(jasminChecksPerRoundTrip())});
         std::printf("%s", t.render().c_str());
+        hsipc::bench::record(t);
         std::printf("  Charlotte's two-way, equal-rights protocol "
                     "does the most checking —\n  the thesis measured "
                     "50%% of its 20 ms round trip in link protocol "
                     "processing.\n");
     }
-    return 0;
+    return hsipc::bench::finish();
 }

@@ -13,14 +13,16 @@
 
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/mva.hh"
 #include "core/models/solution.hh"
 #include "sim/kernel/ipc_sim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "methodology_comparison");
     using namespace hsipc;
     using namespace hsipc::models;
 
@@ -49,8 +51,9 @@ main()
         }
     }
     std::printf("%s", t.render().c_str());
+    hsipc::bench::record(t);
     std::printf("  MVA sees independent host/MP stations; it misses "
                 "the send/receive rendezvous\n  barrier and so "
                 "over-predicts at several conversations.\n");
-    return 0;
+    return hsipc::bench::finish();
 }

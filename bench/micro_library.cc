@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bus/memory.hh"
 #include "bus/queue_ops.hh"
 #include "bus/smart_bus.hh"
@@ -107,4 +110,33 @@ BENCHMARK(BM_KernelSimulation);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Expanded BENCHMARK_MAIN() so this binary honors the same
+ * `--json <path>` flag as every other bench: it maps onto google
+ * benchmark's native JSON reporter flags before initialization.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv, argv + argc);
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--json" && i + 1 < args.size()) {
+            const std::string path = args[i + 1];
+            args.erase(args.begin() + static_cast<long>(i),
+                       args.begin() + static_cast<long>(i) + 2);
+            args.push_back("--benchmark_out=" + path);
+            args.push_back("--benchmark_out_format=json");
+            break;
+        }
+    }
+    std::vector<char *> cargs;
+    for (std::string &a : args)
+        cargs.push_back(a.data());
+    int cargc = static_cast<int>(cargs.size());
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

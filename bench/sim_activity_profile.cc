@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/processing_times.hh"
 #include "sim/kernel/ipc_sim.hh"
@@ -65,14 +66,16 @@ profile(Arch arch, bool local, const char *ref)
     }
     std::printf("%s  round trip %.0f us\n\n", t.render().c_str(),
                 o.meanRoundTripUs);
+    hsipc::bench::record(t);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "sim_activity_profile");
     profile(Arch::II, true, "Table 6.9");
     profile(Arch::II, false, "Table 6.11");
-    return 0;
+    return hsipc::bench::finish();
 }

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The observability layer exercised end to end: run a lossy
+ * Architecture I workload with the tracer and metrics registry
+ * attached, then derive the per-resource utilization and the
+ * per-activity time breakdown from the recorded trace itself — the
+ * simulator's own Table 3-style profile (§3.3), computed from its
+ * execution rather than from the synthetic profiling harness — and
+ * cross-check both against the Outcome the simulator measured
+ * directly.  The category table carries the thesis' measured 925
+ * percentages (Table 3.3) side by side, in the same style as
+ * bench/table3_profiling.cc.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/bench_main.hh"
+#include "common/metrics/metrics.hh"
+#include "common/table.hh"
+#include "common/trace/tracer.hh"
+#include "sim/kernel/ipc_sim.hh"
+
+namespace
+{
+
+using namespace hsipc;
+
+/**
+ * Fold a simulated kernel activity into the §3.3 profiling categories
+ * the 925 measurements used (Table 3.3).
+ */
+const char *
+category(const std::string &activity)
+{
+    if (activity == "compute")
+        return nullptr; // application time, not kernel time
+    if (activity.rfind("restart", 0) == 0)
+        return "Short-Term Scheduling";
+    if (activity == "dmaIn" || activity == "dmaOut")
+        return "Copying";
+    if (activity == "sendSyscall" || activity == "recvSyscall" ||
+        activity == "replySyscall")
+        return "Entering/Exiting Kernel";
+    // match, cleanup, and the reliability-stack proto* activities are
+    // the checking, queueing, and protocol work of the kernel proper.
+    return "Checking & Queueing & Protocol";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hsipc::bench::init(argc, argv, "sim_trace_breakdown");
+
+    sim::Experiment e;
+    e.arch = models::Arch::I;
+    e.local = false;
+    e.conversations = 4;
+    e.computeUs = 2000;
+    e.lossRate = 0.03;
+    e.corruptRate = 0.01;
+    e.duplicateRate = 0.01;
+    e.seed = 7;
+
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    metrics::Registry reg;
+    const sim::Outcome o = sim::runExperiment(e, &tr, &reg);
+
+    const Tick warm = usToTicks(e.warmupUs);
+    const Tick end = warm + usToTicks(e.measureUs);
+    const double window = static_cast<double>(end - warm);
+    const double rts = static_cast<double>(o.roundTrips);
+
+    // Per-activity breakdown, derived from the trace's spans alone.
+    const std::map<std::string, Tick> byName = tr.busyByName(warm, end);
+    std::map<std::string, double> catUs;
+    double kernelUs = 0;
+    {
+        TextTable t("Per-activity time breakdown, trace-derived vs "
+                    "Outcome (Arch I non-local, lossy)");
+        t.header({"Activity", "trace us/rt", "Outcome us/rt"});
+        for (const auto &[name, us] : o.activityUsPerRoundTrip) {
+            Tick traced = 0;
+            auto it = byName.find(name);
+            if (it != byName.end())
+                traced = it->second;
+            const double trace_us = ticksToUs(traced) / rts;
+            t.row({name, TextTable::num(trace_us, 1),
+                   TextTable::num(us, 1)});
+            if (const char *cat = category(name)) {
+                catUs[cat] += trace_us;
+                kernelUs += trace_us;
+            }
+        }
+        std::printf("%s  (bus holds appear in the trace as 'access' "
+                    "spans, not as activities)\n\n",
+                    t.render().c_str());
+        hsipc::bench::record(t);
+    }
+
+    // Fold into the §3.3 categories with the 925 percentages (Table
+    // 3.3) for comparison.  The proportions differ where they should:
+    // the faulty medium's protocol work inflates the checking share
+    // relative to a healthy kernel.
+    {
+        const std::map<std::string, double> paper = {
+            {"Short-Term Scheduling", 35},
+            {"Copying", 15},
+            {"Entering/Exiting Kernel", 10},
+            {"Checking & Queueing & Protocol", 40}};
+        TextTable t("Kernel time by §3.3 category (share of kernel "
+                    "processing per round trip)");
+        t.header({"Category", "us/rt", "% kernel", "925 paper %"});
+        for (const auto &[cat, us] : catUs) {
+            auto it = paper.find(cat);
+            t.row({cat, TextTable::num(us, 1),
+                   TextTable::num(100.0 * us / kernelUs, 1),
+                   it != paper.end() ? TextTable::num(it->second, 1)
+                                     : "-"});
+        }
+        std::printf("%s  (arch I folds restart/scheduling work into the syscall\n"
+                    "   activities, so the 925's separate 35%% scheduling "
+                    "share lands\n   in Entering/Exiting Kernel here)\n\n",
+                    t.render().c_str());
+        hsipc::bench::record(t);
+    }
+
+    // Per-resource utilization: the trace's spans folded per track
+    // against the Outcome's measurement-window accounting.  Both
+    // exclude warmup; tracks that carry no busy spans (service
+    // queues, the medium, the protocol channels) are not resources.
+    {
+        const std::map<std::string, Tick> byTrack =
+            tr.busyByTrack(warm, end);
+        TextTable t("Per-resource utilization over the measurement "
+                    "window, trace-derived vs Outcome");
+        t.header({"Resource", "trace util", "Outcome util"});
+        for (const auto &[name, util] : o.resourceUtilization) {
+            Tick traced = 0;
+            auto it = byTrack.find(name);
+            if (it != byTrack.end())
+                traced = it->second;
+            t.row({name,
+                   TextTable::num(static_cast<double>(traced) / window,
+                                  3),
+                   TextTable::num(util, 3)});
+        }
+        std::printf("%s\n", t.render().c_str());
+        hsipc::bench::record(t);
+    }
+
+    // The registry's headline numbers for the same run.
+    {
+        TextTable t("Metrics registry highlights");
+        t.header({"Metric", "Value"});
+        for (const char *c :
+             {"ipc.roundTrips", "net.retransmissions",
+              "net.timeoutsFired", "net.faultDrops",
+              "net.duplicatesDropped", "net.corruptDiscarded",
+              "des.eventsRun"})
+            t.row({c, std::to_string(reg.counter(c).value())});
+        metrics::Histogram &h = reg.histogram("ipc.roundTripUs");
+        t.row({"ipc.roundTripUs mean", TextTable::num(h.mean(), 1)});
+        t.row({"ipc.roundTripUs p95 (bucket ub)",
+               TextTable::num(h.quantileUpperBound(0.95), 0)});
+        std::printf("%s  trace: %zu events on %zu tracks\n",
+                    t.render().c_str(), tr.events().size(),
+                    tr.trackNames().size());
+        hsipc::bench::record(t);
+    }
+
+    hsipc::bench::note("roundTrips", rts);
+    hsipc::bench::note("kernelUsPerRt", kernelUs);
+    hsipc::bench::note("traceEvents",
+                       static_cast<double>(tr.events().size()));
+    return hsipc::bench::finish();
+}

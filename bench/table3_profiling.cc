@@ -13,6 +13,7 @@
 #include <map>
 #include <string>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "prof/kernels.hh"
 
@@ -47,6 +48,7 @@ printProfile(const char *title, const KernelSpec &spec,
                paper_pct >= 0 ? TextTable::num(paper_pct, 1) : "-"});
     }
     std::printf("%s", t.render().c_str());
+    hsipc::bench::record(t);
     std::printf("  machine %s (%.1f MIPS), %d-byte message\n"
                 "  round trip %.3f ms (copy %.3f ms)\n\n",
                 spec.machine.name.c_str(), spec.machine.mips,
@@ -56,8 +58,9 @@ printProfile(const char *title, const KernelSpec &spec,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "table3_profiling");
     std::printf("Chapter 3 profiling studies "
                 "(synthetic kernels; see DESIGN.md)\n\n");
 
@@ -105,5 +108,5 @@ main()
                 fixedOverheadUs(charlotteSpec()) / 1000.0,
                 fixedOverheadUs(jasminSpec()) / 1000.0,
                 fixedOverheadUs(spec925()) / 1000.0);
-    return 0;
+    return hsipc::bench::finish();
 }

@@ -7,12 +7,14 @@
 
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "prof/kernels.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "table3_services");
     using namespace hsipc;
     using namespace hsipc::prof;
 
@@ -27,6 +29,7 @@ main()
                    TextTable::num(paper[i++], 3)});
         }
         std::printf("%s\n", t.render().c_str());
+        hsipc::bench::record(t);
     }
 
     {
@@ -49,10 +52,11 @@ main()
             ++i;
         }
         std::printf("%s", t.render().c_str());
+        hsipc::bench::record(t);
         std::printf("  model: read %.0f us + %.0f us/block + %.2f "
                     "us/byte; write %.0f + %.0f + %.2f\n",
                     rd.fixedUs, rd.perBlockUs, rd.perByteUs, wr.fixedUs,
                     wr.perBlockUs, wr.perByteUs);
     }
-    return 0;
+    return hsipc::bench::finish();
 }

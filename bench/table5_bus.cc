@@ -13,6 +13,7 @@
 #include "bus/signals.hh"
 #include "bus/smart_bus.hh"
 #include "bus/timing.hh"
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "ucode/microcode.hh"
 
@@ -71,8 +72,9 @@ measureEdges(BusCommand cmd)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "table5_bus");
     {
         TextTable t("Table 5.1 - Smart Bus Signals");
         t.header({"Signal", "Lines", "Description"});
@@ -80,6 +82,7 @@ main()
             t.row({s.name, std::to_string(s.lines), s.description});
         std::printf("%s  total %d lines\n\n", t.render().c_str(),
                     busTotalLines());
+        hsipc::bench::record(t);
     }
 
     {
@@ -118,6 +121,7 @@ main()
                    TextTable::num(edges * edgeUs, 2)});
         }
         std::printf("%s\n", t.render().c_str());
+        hsipc::bench::record(t);
     }
 
     {
@@ -134,6 +138,7 @@ main()
         t.row({"TOTAL (claim: ~6000)",
                std::to_string(dataPathComponentTotal())});
         std::printf("%s", t.render().c_str());
+        hsipc::bench::record(t);
     }
 
     {
@@ -149,5 +154,5 @@ main()
             std::printf("%s\n", renderTimingDiagram(c, 2).c_str());
         }
     }
-    return 0;
+    return hsipc::bench::finish();
 }

@@ -14,6 +14,7 @@
 
 #include "bus/memory.hh"
 #include "bus/smart_bus.hh"
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/processing_times.hh"
 #include "ucode/microcode.hh"
@@ -56,8 +57,9 @@ measureUs(const char *op)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "table6_1_processing_times");
     using models::opCostTable;
 
     TextTable t("Table 6.1 - Comparison of Processing Times "
@@ -73,7 +75,8 @@ main()
                op.handshake});
     }
     std::printf("%s", t.render().c_str());
+    hsipc::bench::record(t);
     std::printf("  III processing = 3 instructions x 3 us (0.3 MIPS "
                 "M68000) to initiate the primitive\n");
-    return 0;
+    return hsipc::bench::finish();
 }

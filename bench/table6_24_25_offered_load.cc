@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/offered_load.hh"
 
@@ -49,6 +50,7 @@ table(bool local, const char *title, const std::vector<PaperSpot> &spots)
         t.row(std::move(row));
     }
     std::printf("%s", t.render().c_str());
+    hsipc::bench::record(t);
     std::printf("  C (1 conversation, X=0): I %.0f, II %.0f, III %.0f, "
                 "IV %.0f us\n\n",
                 communicationTime(Arch::I, local),
@@ -60,8 +62,9 @@ table(bool local, const char *title, const std::vector<PaperSpot> &spots)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "table6_24_25_offered_load");
     table(true, "Table 6.24 - Offered Loads (Local)",
           {{0.57, {0.897, 0.905, 0.867, 0.866}},
            {5.7, {0.466, 0.488, 0.399, 0.393}},
@@ -70,5 +73,5 @@ main()
           {{0.57, {0.920, 0.924, 0.900, 0.898}},
            {5.7, {0.536, 0.549, 0.474, 0.469}},
            {45.6, {0.126, 0.132, 0.101, 0.099}}});
-    return 0;
+    return hsipc::bench::finish();
 }

@@ -10,12 +10,14 @@
 
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/contention.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "table6_contention");
     using namespace hsipc;
     using namespace hsipc::models;
 
@@ -37,6 +39,7 @@ main()
                    TextTable::num(paper[i], 1)});
         }
         std::printf("%s\n", t.render().c_str());
+        hsipc::bench::record(t);
     }
 
     {
@@ -59,6 +62,7 @@ main()
                    TextTable::num(two.contention[i], 1)});
         }
         std::printf("%s", t.render().c_str());
+        hsipc::bench::record(t);
     }
-    return 0;
+    return hsipc::bench::finish();
 }

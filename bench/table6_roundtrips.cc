@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/processing_times.hh"
 
@@ -63,13 +64,15 @@ printStepTable(Arch a, bool local, const char *table_no)
     std::printf("%s  fixed round-trip overhead (sum of Best): %.0f "
                 "us\n\n",
                 t.render().c_str(), roundTripBest(a, local));
+    hsipc::bench::record(t);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hsipc::bench::init(argc, argv, "table6_roundtrips");
     printStepTable(Arch::I, true, "6.4");
     printStepTable(Arch::I, false, "6.6");
     printStepTable(Arch::II, true, "6.9");
@@ -78,5 +81,5 @@ main()
     printStepTable(Arch::III, false, "6.16");
     printStepTable(Arch::IV, true, "6.19");
     printStepTable(Arch::IV, false, "6.21");
-    return 0;
+    return hsipc::bench::finish();
 }

@@ -1,0 +1,95 @@
+#include "common/bench_main.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace hsipc::bench
+{
+
+namespace
+{
+
+/** Per-process output state (bench binaries are single-threaded). */
+struct State
+{
+    std::string name;
+    std::string jsonPath;
+    std::vector<std::string> tables; //!< pre-rendered JSON objects
+    std::vector<std::pair<std::string, double>> scalars;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+} // namespace
+
+void
+init(int argc, char **argv, const std::string &benchName)
+{
+    state().name = benchName;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc)
+                hsipc_fatal("--json requires a path argument");
+            state().jsonPath = argv[++i];
+        } else {
+            hsipc_fatal(std::string("unknown argument '") + argv[i] +
+                        "' (supported: --json <path>)");
+        }
+    }
+}
+
+void
+emit(const TextTable &t)
+{
+    std::printf("%s", t.render().c_str());
+    state().tables.push_back(t.renderJson());
+}
+
+void
+record(const TextTable &t)
+{
+    state().tables.push_back(t.renderJson());
+}
+
+void
+note(const std::string &name, double value)
+{
+    state().scalars.emplace_back(name, value);
+}
+
+int
+finish()
+{
+    State &s = state();
+    if (s.jsonPath.empty())
+        return 0;
+    std::FILE *f = std::fopen(s.jsonPath.c_str(), "w");
+    if (!f)
+        hsipc_fatal("cannot open JSON output file " + s.jsonPath);
+    std::string doc = "{\"bench\": " + jsonString(s.name) +
+                      ",\n \"tables\": [";
+    for (std::size_t i = 0; i < s.tables.size(); ++i)
+        doc += (i ? ",\n  " : "\n  ") + s.tables[i];
+    doc += s.tables.empty() ? "]" : "\n ]";
+    doc += ",\n \"scalars\": {";
+    for (std::size_t i = 0; i < s.scalars.size(); ++i) {
+        doc += (i ? ", " : "") + jsonString(s.scalars[i].first) +
+               ": " + jsonNumber(s.scalars[i].second);
+    }
+    doc += "}\n}\n";
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return 0;
+}
+
+} // namespace hsipc::bench

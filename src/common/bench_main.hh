@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared output harness for the bench binaries.
+ *
+ * Every bench regenerates one of the thesis' tables or figures as
+ * human-readable text; this helper additionally captures each emitted
+ * table (and any named scalars) and, when the binary was invoked with
+ * `--json <path>`, writes them as one machine-readable JSON document —
+ * the feed for the BENCH_*.json trajectory files.
+ *
+ * Usage pattern:
+ *
+ *     int main(int argc, char **argv) {
+ *         bench::init(argc, argv, "table5_bus");
+ *         ...
+ *         bench::emit(t);            // printf + record a TextTable
+ *         bench::note("ratio", 1.7); // record a headline scalar
+ *         return bench::finish();    // write --json file if requested
+ *     }
+ *
+ * The JSON schema is
+ * {"bench": name, "tables": [TextTable::renderJson()...],
+ *  "scalars": {name: value}}.
+ */
+
+#ifndef HSIPC_COMMON_BENCH_MAIN_HH
+#define HSIPC_COMMON_BENCH_MAIN_HH
+
+#include <string>
+
+#include "common/table.hh"
+
+namespace hsipc::bench
+{
+
+/**
+ * Parse the command line (recognizing `--json <path>`) and name the
+ * run.  Unknown arguments are fatal, so a typo cannot silently yield
+ * a half-configured run.
+ */
+void init(int argc, char **argv, const std::string &benchName);
+
+/** Print @p t to stdout and record it for the JSON document. */
+void emit(const TextTable &t);
+
+/**
+ * Record @p t for the JSON document without printing — for benches
+ * that interleave a table's render() with surrounding commentary.
+ */
+void record(const TextTable &t);
+
+/** Record a named scalar result for the JSON document. */
+void note(const std::string &name, double value);
+
+/**
+ * Write the JSON file when `--json` was given; returns the process
+ * exit status (0).
+ */
+int finish();
+
+} // namespace hsipc::bench
+
+#endif // HSIPC_COMMON_BENCH_MAIN_HH

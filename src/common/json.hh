@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal JSON writing helpers shared by the trace emitter, the
+ * metrics registry, and the bench --json output.  Writing only — the
+ * library never consumes JSON, so there is no parser here.
+ */
+
+#ifndef HSIPC_COMMON_JSON_HH
+#define HSIPC_COMMON_JSON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace hsipc
+{
+
+/** Escape @p s for use inside a JSON string literal (no quotes added). */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** Render @p s as a quoted JSON string. */
+inline std::string
+jsonString(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+/**
+ * Render a double as a JSON number.  JSON has no NaN/Inf; those map
+ * to null so the file stays loadable.  The shortest round-trippable
+ * form (%.17g) would be noisy; %.12g is stable and ample for every
+ * quantity this library measures.
+ */
+inline std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+} // namespace hsipc
+
+#endif // HSIPC_COMMON_JSON_HH

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 namespace hsipc
@@ -33,9 +34,25 @@ fatalImpl(const char *file, int line, const std::string &msg)
     std::exit(1);
 }
 
+/**
+ * Hook through which every warning is routed.  Unset (the default),
+ * warnings print to stderr; tests install a hook to assert that a
+ * warning fired (and to keep expected warnings out of test output).
+ */
+inline std::function<void(const std::string &)> &
+warnHook()
+{
+    static std::function<void(const std::string &)> hook;
+    return hook;
+}
+
 inline void
 warnImpl(const char *file, int line, const std::string &msg)
 {
+    if (warnHook()) {
+        warnHook()(msg);
+        return;
+    }
     std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
 }
 
@@ -44,6 +61,32 @@ warnImpl(const char *file, int line, const std::string &msg)
 #define hsipc_panic(msg) ::hsipc::panicImpl(__FILE__, __LINE__, (msg))
 #define hsipc_fatal(msg) ::hsipc::fatalImpl(__FILE__, __LINE__, (msg))
 #define hsipc_warn(msg) ::hsipc::warnImpl(__FILE__, __LINE__, (msg))
+
+/** Warn only the first time this call site is reached. */
+#define hsipc_warn_once(msg)                                                \
+    do {                                                                    \
+        static bool hsipc_warned_once_ = false;                             \
+        if (!hsipc_warned_once_) {                                          \
+            hsipc_warned_once_ = true;                                      \
+            hsipc_warn(msg);                                                \
+        }                                                                   \
+    } while (0)
+
+/**
+ * Rate-limited warning for hot loops: the first occurrence and every
+ * @p every-th after it are reported (with the running occurrence
+ * count appended), the rest are suppressed — so a fault storm cannot
+ * flood stderr.  The counter is per call site and never resets.
+ */
+#define hsipc_warn_every(every, msg)                                        \
+    do {                                                                    \
+        static long hsipc_warn_count_ = 0;                                  \
+        static_assert((every) > 0, "rate limit must be positive");          \
+        if (hsipc_warn_count_++ % (every) == 0) {                           \
+            hsipc_warn(std::string(msg) + " (occurrence " +                 \
+                       std::to_string(hsipc_warn_count_) + ")");            \
+        }                                                                   \
+    } while (0)
 
 /** Assert an internal invariant; active in all build types. */
 #define hsipc_assert(cond)                                                  \

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A registry of named counters, gauges, and log2-bucket histograms.
+ *
+ * Any component can register an instrument by name and update it at
+ * simulation speed; at end of run the registry renders every
+ * instrument as JSON (machine-readable) or a formatted table
+ * (human-readable).  Names are dotted paths —
+ * `<node>.<resource>.<quantity>` for per-resource series,
+ * `<subsystem>.<quantity>` otherwise — so the dump sorts into
+ * readable groups (std::map keeps it deterministic).
+ *
+ * Updates are a map lookup amortized to a held reference: callers
+ * fetch `Counter &` once and bump it in the hot loop.  A Registry
+ * that is never dumped costs nothing beyond those updates, and the
+ * simulator only instantiates instruments when a metrics file was
+ * requested, keeping the disabled path free.
+ */
+
+#ifndef HSIPC_COMMON_METRICS_METRICS_HH
+#define HSIPC_COMMON_METRICS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hsipc::metrics
+{
+
+/** A monotonically increasing count. */
+class Counter
+{
+  public:
+    void inc(std::int64_t by = 1) { total += by; }
+    std::int64_t value() const { return total; }
+
+  private:
+    std::int64_t total = 0;
+};
+
+/** A point-in-time value, overwritten on every set. */
+class Gauge
+{
+  public:
+    void set(double v) { val = v; }
+    double value() const { return val; }
+
+  private:
+    double val = 0;
+};
+
+/**
+ * A histogram over power-of-two buckets.
+ *
+ * Bucket 0 holds values below 1 (including zero and negatives);
+ * bucket i >= 1 holds the half-open range [2^(i-1), 2^i), so an exact
+ * power of two lands in the bucket it opens.  Values at or beyond
+ * 2^(numBuckets-1) clamp into the last bucket.  Log2 buckets span the
+ * microsecond-to-second dynamic range of simulated latencies in 64
+ * slots with uniform relative resolution.
+ */
+class Histogram
+{
+  public:
+    static constexpr int numBuckets = 64;
+
+    /** Bucket index for @p v under the scheme above. */
+    static int bucketIndex(double v);
+
+    /** Inclusive lower bound of bucket @p i (0 for bucket 0). */
+    static double bucketLowerBound(int i);
+
+    void observe(double v);
+
+    std::int64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n > 0 ? total / double(n) : 0.0; }
+    double min() const { return n > 0 ? lo : 0.0; }
+    double max() const { return n > 0 ? hi : 0.0; }
+    std::int64_t bucketCount(int i) const;
+
+    /**
+     * Smallest bucket lower bound at or above the @p q quantile
+     * (0..1) — an upper estimate with one-bucket resolution.
+     */
+    double quantileUpperBound(double q) const;
+
+  private:
+    std::int64_t buckets[numBuckets] = {};
+    std::int64_t n = 0;
+    double total = 0;
+    double lo = 0;
+    double hi = 0;
+};
+
+/** Named instruments, created on first use. */
+class Registry
+{
+  public:
+    Counter &counter(const std::string &name) { return counters[name]; }
+    Gauge &gauge(const std::string &name) { return gauges[name]; }
+
+    Histogram &
+    histogram(const std::string &name)
+    {
+        return histograms[name];
+    }
+
+    bool
+    empty() const
+    {
+        return counters.empty() && gauges.empty() &&
+               histograms.empty();
+    }
+
+    /** One JSON object: {"counters":{...},"gauges":{...},...}. */
+    std::string toJson() const;
+
+    /** Human-readable tables (one per instrument kind). */
+    std::string toTable() const;
+
+    /** Write toJson() to @p path (fatal on I/O failure). */
+    void writeJson(const std::string &path) const;
+
+  private:
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, Histogram> histograms;
+};
+
+} // namespace hsipc::metrics
+
+#endif // HSIPC_COMMON_METRICS_METRICS_HH

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace hsipc
@@ -86,6 +87,27 @@ TextTable::renderCsv() const
     emit(headerRow);
     for (const auto &r : rows)
         emit(r);
+    return out.str();
+}
+
+std::string
+TextTable::renderJson() const
+{
+    std::ostringstream out;
+    auto cells = [&](const std::vector<std::string> &row) {
+        out << "[";
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out << (c ? ", " : "") << jsonString(row[c]);
+        out << "]";
+    };
+    out << "{\"title\": " << jsonString(title) << ", \"columns\": ";
+    cells(headerRow);
+    out << ", \"rows\": [";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        out << (r ? "," : "") << "\n    ";
+        cells(rows[r]);
+    }
+    out << (rows.empty() ? "" : "\n  ") << "]}";
     return out.str();
 }
 

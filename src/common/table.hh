@@ -42,8 +42,26 @@ class TextTable
     /** Render as RFC-4180-ish CSV (header row first). */
     std::string renderCsv() const;
 
+    /**
+     * Render as one JSON object:
+     * {"title": ..., "columns": [...], "rows": [[...], ...]}.
+     * Cells stay strings — they are already formatted for display and
+     * mixing numbers with "-" placeholders would force consumers to
+     * type-switch.
+     */
+    std::string renderJson() const;
+
     /** Format a double with the given number of decimals. */
     static std::string num(double v, int decimals = 2);
+
+    const std::string &tableTitle() const { return title; }
+    const std::vector<std::string> &columns() const { return headerRow; }
+
+    const std::vector<std::vector<std::string>> &
+    tableRows() const
+    {
+        return rows;
+    }
 
   private:
     std::string title;

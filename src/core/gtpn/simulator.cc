@@ -16,6 +16,25 @@ simulate(const PetriNet &net, const SimOptions &opts)
     NetState state{net.initialMarking(), {}};
     sampleFirings(net, state, rng);
 
+    // Trace layout: one track per transition, registered in
+    // transition order so the timeline is stable across runs.
+    trace::Tracer *tr =
+        (opts.tracer && opts.tracer->enabled()) ? opts.tracer
+                                                : nullptr;
+    std::vector<int> trTracks;
+    if (tr) {
+        for (std::size_t t = 0; t < net.numTransitions(); ++t) {
+            const Transition &tn =
+                net.transition(static_cast<TransId>(t));
+            const std::string base =
+                tn.resource.empty() ? std::string("gtpn")
+                                    : tn.resource;
+            const std::string label =
+                tn.name.empty() ? "t" + std::to_string(t) : tn.name;
+            trTracks.push_back(tr->track(base + "." + label));
+        }
+    }
+
     double now = 0.0;
     const double start = opts.warmup;
     const double end = opts.warmup + opts.horizon;
@@ -56,6 +75,21 @@ simulate(const PetriNet &net, const SimOptions &opts)
             for (const Firing &f : state.firings) {
                 if (f.remaining == step)
                     completions[static_cast<std::size_t>(f.trans)] += 1.0;
+            }
+        }
+
+        if (tr) {
+            // Tick endpoints computed per-boundary so consecutive
+            // intervals abut exactly and merge into one span.
+            const Tick s0 = usToTicks(t0);
+            const Tick s1 = usToTicks(t1);
+            for (const Firing &f : state.firings) {
+                const std::size_t ti =
+                    static_cast<std::size_t>(f.trans);
+                tr->complete(trTracks[ti], net.transition(f.trans).name,
+                             s0, s1 - s0, "gtpn");
+                if (f.remaining == step)
+                    tr->instant(trTracks[ti], "fire", s1, "gtpn");
             }
         }
 

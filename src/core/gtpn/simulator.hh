@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace/tracer.hh"
 #include "core/gtpn/net.hh"
 
 namespace hsipc::gtpn
@@ -27,6 +28,16 @@ struct SimOptions
     double warmup = 10000.0;     //!< model time discarded before measuring
     double horizon = 1000000.0;  //!< model time measured
     std::uint64_t seed = 1;
+
+    /**
+     * When non-null and enabled, record the token game as a timeline:
+     * one track per transition (named `<resource>.<transition>`, or
+     * `gtpn.<transition>` for resource-free transitions) carrying a
+     * busy span for every interval the transition is firing and a
+     * "fire" instant at each completion.  Model time (microseconds)
+     * is mapped onto ticks.  Observational only.
+     */
+    trace::Tracer *tracer = nullptr;
 };
 
 /** Measured results of a Monte Carlo run. */

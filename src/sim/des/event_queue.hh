@@ -42,6 +42,10 @@ class EventQueue
     }
 
     bool empty() const { return events.empty(); }
+    std::size_t size() const { return events.size(); }
+
+    /** Events executed since construction (for the metrics dump). */
+    std::uint64_t eventsRun() const { return executed; }
 
     /** Pop and run the earliest event; false when none remain. */
     bool
@@ -55,6 +59,7 @@ class EventQueue
         events.pop();
         hsipc_assert(ev.when >= current);
         current = ev.when;
+        ++executed;
         ev.cb();
         return true;
     }
@@ -90,6 +95,7 @@ class EventQueue
         events;
     Tick current = 0;
     std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
 };
 
 } // namespace hsipc::sim

@@ -10,6 +10,7 @@
 #include <deque>
 #include <string>
 
+#include "common/trace/tracer.hh"
 #include "sim/des/event_queue.hh"
 
 namespace hsipc::sim
@@ -24,6 +25,18 @@ class Resource
     {}
 
     /**
+     * Record this resource's holds (and queue depth) as a track in
+     * @p t.  Purely observational: tracing never alters grant order
+     * or timing.
+     */
+    void
+    attachTracer(trace::Tracer *t)
+    {
+        tracer = t;
+        traceTrack = t ? t->track(name) : -1;
+    }
+
+    /**
      * Acquire the resource for @p hold ticks; @p done runs at release
      * time.  Higher @p priority requests are granted first; equal
      * priorities are FIFO.
@@ -32,6 +45,9 @@ class Resource
     acquire(int priority, Tick hold, EventQueue::Callback done)
     {
         waiting.push_back(Request{priority, hold, std::move(done)});
+        if (tracer && tracer->enabled())
+            tracer->counter(traceTrack, "queued", eq.now(),
+                            static_cast<double>(waiting.size()));
         if (!busy)
             grantNext();
     }
@@ -45,6 +61,9 @@ class Resource
             ? static_cast<double>(busyTicks) / static_cast<double>(span)
             : 0.0;
     }
+
+    /** Total ticks the resource has been held. */
+    Tick busyTime() const { return busyTicks; }
 
     std::size_t queueLength() const { return waiting.size(); }
     const std::string &resourceName() const { return name; }
@@ -73,6 +92,12 @@ class Resource
 
         busy = true;
         busyTicks += req.hold;
+        if (tracer && tracer->enabled()) {
+            tracer->complete(traceTrack, "access", eq.now(), req.hold,
+                             "bus");
+            tracer->counter(traceTrack, "queued", eq.now(),
+                            static_cast<double>(waiting.size()));
+        }
         eq.scheduleAfter(req.hold,
                          [this, done = std::move(req.done)]() {
                              busy = false;
@@ -84,6 +109,8 @@ class Resource
 
     EventQueue &eq;
     std::string name;
+    trace::Tracer *tracer = nullptr;
+    int traceTrack = -1;
     std::deque<Request> waiting;
     bool busy = false;
     Tick busyTicks = 0;

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "sim/des/event_queue.hh"
 #include "sim/des/resource.hh"
@@ -29,7 +30,7 @@ constexpr double extraCopyUs = 220.0;
 struct Node
 {
     Node(EventQueue &eq, const std::string &prefix, int hosts,
-         bool coproc, bool split_bus)
+         bool coproc, bool split_bus, trace::Tracer *tracer)
         : busTcb(eq, prefix + ".busTcb"),
           busKb(eq, prefix + ".busKb"), nicIn(eq, prefix + ".nicIn"),
           nicOut(eq, prefix + ".nicOut"), splitBus(split_bus)
@@ -40,6 +41,21 @@ struct Node
                                             std::to_string(h)));
         if (coproc)
             mp = std::make_unique<Processor>(eq, prefix + ".mp");
+
+        // Track registration order fixes the trace layout: hosts,
+        // MP, bus partitions, DMA engines, then the service queue.
+        if (tracer) {
+            for (auto &h : this->hosts)
+                h->attachTracer(tracer);
+            if (mp)
+                mp->attachTracer(tracer);
+            busTcb.attachTracer(tracer);
+            if (split_bus)
+                busKb.attachTracer(tracer);
+            nicIn.attachTracer(tracer);
+            nicOut.attachTracer(tracer);
+            svcTrack = tracer->track(prefix + ".svc");
+        }
     }
 
     /** The processor executing communication processing. */
@@ -63,6 +79,7 @@ struct Node
     std::deque<int> waitingServers;
     int freeBuffers = 0;
     std::deque<int> buffersWaiting; //!< clients stalled for a buffer
+    int svcTrack = -1; //!< trace track of the service queue
 };
 
 /** Build the injector's fault model from the experiment knobs. */
@@ -83,12 +100,31 @@ makePlan(const Experiment &exp)
 class Sim
 {
   public:
-    explicit Sim(const Experiment &exp)
+    Sim(const Experiment &exp, trace::Tracer *extTracer,
+        metrics::Registry *extMetrics)
         : exp(exp), rng(exp.seed),
           // The injector draws from its own stream so that enabling
           // faults never perturbs the workload's random sequence.
           injector(makePlan(exp), exp.seed ^ 0xFA017D0BEEFull)
     {
+        // Resolve the observability sinks before anything registers a
+        // track: an external tracer (the caller enables it) or the
+        // owned one when the experiment names a trace file.  Metrics
+        // instruments exist only when somebody will read them.
+        tracer = extTracer ? extTracer : &ownTracer;
+        if (!exp.traceFile.empty())
+            tracer->setEnabled(true);
+        metrics = extMetrics ? extMetrics
+                             : (exp.metricsFile.empty() ? nullptr
+                                                        : &ownMetrics);
+        if (metrics) {
+            rtHist = &metrics->histogram("ipc.roundTripUs");
+            pendingHist =
+                &metrics->histogram("svc.pendingMsgsDepth");
+            waitingHist =
+                &metrics->histogram("svc.waitingServersDepth");
+        }
+
         const bool mixed =
             exp.mixedLocal > 0 || exp.mixedRemote > 0;
         const bool coproc = exp.arch != Arch::I;
@@ -100,15 +136,21 @@ class Sim
         adjust(costsLocal);
         adjust(costsNonlocal);
 
+        trace::Tracer *nodeTracer =
+            tracer->enabled() ? tracer : nullptr;
         nodes.push_back(std::make_unique<Node>(eq, "n0",
                                                exp.hostsPerNode,
-                                               coproc, split));
+                                               coproc, split,
+                                               nodeTracer));
         if (two_nodes)
             nodes.push_back(std::make_unique<Node>(eq, "n1",
                                                    exp.hostsPerNode,
-                                                   coproc, split));
+                                                   coproc, split,
+                                                   nodeTracer));
         for (auto &n : nodes)
             n->freeBuffers = exp.kernelBuffers;
+        if (tracer->enabled())
+            injector.attachTracer(tracer, &eq);
 
         if (two_nodes && exp.useTokenRing) {
             TokenRing::Config rc;
@@ -160,7 +202,13 @@ class Sim
                     std::make_unique<ReliableChannel>(eq, rc, injector,
                                                       h);
             }
+            if (tracer->enabled()) {
+                chans[0]->attachTracer(tracer, "net.n0->n1");
+                chans[1]->attachTracer(tracer, "net.n1->n0");
+            }
         }
+        if (tracer->enabled())
+            simTrack = tracer->track("sim");
         for (const CrashWindow &w : exp.crashSchedule)
             recoveries.push_back(Recovery{w, -1});
 
@@ -196,10 +244,16 @@ class Sim
         eq.runUntil(warm);
         const std::map<std::string, Tick> baseline =
             activitySnapshot();
+        const std::map<std::string, Tick> busyBase =
+            resourceBusySnapshot();
         const ReliableChannel::Stats chanBase = channelStats();
         const FaultInjector::Stats injBase = injector.stats();
         const auto [protoHostBase, protoMpBase] = protoTicks();
+        if (simTrack >= 0)
+            tracer->instant(simTrack, "measureStart", warm, "phase");
         eq.runUntil(end);
+        if (simTrack >= 0)
+            tracer->instant(simTrack, "measureEnd", end, "phase");
 
         Outcome out;
         out.roundTrips = completed;
@@ -236,6 +290,19 @@ class Sim
                     ticksToUs(ticks - before) /
                     static_cast<double>(completed);
             }
+        }
+        // The per-resource utilization timeline's summary: busy
+        // fraction of every resource over the measurement window
+        // alone (hostUtil/mpUtil/busUtil above stay whole-run maxima
+        // for compatibility).
+        const double window_ticks = static_cast<double>(end - warm);
+        for (const auto &[name, busy] : resourceBusySnapshot()) {
+            Tick before = 0;
+            auto it = busyBase.find(name);
+            if (it != busyBase.end())
+                before = it->second;
+            out.resourceUtilization[name] =
+                static_cast<double>(busy - before) / window_ticks;
         }
         if (ring) {
             out.ringUtil = ring->utilization();
@@ -285,6 +352,7 @@ class Sim
         }
         if (out.crashWindowsRecovered > 0)
             out.meanRecoveryUs /= out.crashWindowsRecovered;
+        finishObservability(out);
         return out;
     }
 
@@ -432,6 +500,88 @@ class Sim
         return {host, mp};
     }
 
+    /** Busy ticks of every processor and bus, by track name. */
+    std::map<std::string, Tick>
+    resourceBusySnapshot() const
+    {
+        std::map<std::string, Tick> snap;
+        for (const auto &n : nodes) {
+            for (const auto &h : n->hosts)
+                snap[h->processorName()] = h->busyTime();
+            if (n->mp)
+                snap[n->mp->processorName()] = n->mp->busyTime();
+            snap[n->busTcb.resourceName()] = n->busTcb.busyTime();
+            if (n->splitBus)
+                snap[n->busKb.resourceName()] = n->busKb.busyTime();
+            snap[n->nicIn.processorName()] = n->nicIn.busyTime();
+            snap[n->nicOut.processorName()] = n->nicOut.busyTime();
+        }
+        return snap;
+    }
+
+    /**
+     * Record a service-queue transition: an instant naming what
+     * happened plus both queue depths, mirrored into the depth
+     * histograms when metrics are on.
+     */
+    void
+    svcEvent(Node &node, const char *what)
+    {
+        if (tracer->enabled() && node.svcTrack >= 0) {
+            tracer->instant(node.svcTrack, what, eq.now(), "queue");
+            tracer->counter(
+                node.svcTrack, "pendingMsgs", eq.now(),
+                static_cast<double>(node.pendingMsgs.size()));
+            tracer->counter(
+                node.svcTrack, "waitingServers", eq.now(),
+                static_cast<double>(node.waitingServers.size()));
+        }
+        if (metrics) {
+            pendingHist->observe(
+                static_cast<double>(node.pendingMsgs.size()));
+            waitingHist->observe(
+                static_cast<double>(node.waitingServers.size()));
+        }
+    }
+
+    /** End of run: fill the registry and write any requested files. */
+    void
+    finishObservability(const Outcome &out)
+    {
+        if (metrics) {
+            metrics->counter("des.eventsRun")
+                .inc(static_cast<std::int64_t>(eq.eventsRun()));
+            metrics->counter("ipc.roundTrips").inc(out.roundTrips);
+            metrics->counter("ipc.bufferStalls")
+                .inc(out.bufferStalls);
+            metrics->counter("net.retransmissions")
+                .inc(out.retransmissions);
+            metrics->counter("net.timeoutsFired")
+                .inc(out.timeoutsFired);
+            metrics->counter("net.duplicatesDropped")
+                .inc(out.duplicatesDropped);
+            metrics->counter("net.corruptDiscarded")
+                .inc(out.corruptDiscarded);
+            metrics->counter("net.faultDrops").inc(out.faultDrops);
+            metrics->counter("net.crashDrops").inc(out.crashDrops);
+            metrics->gauge("ipc.throughputPerSec")
+                .set(out.throughputPerSec);
+            metrics->gauge("ipc.meanRoundTripUs")
+                .set(out.meanRoundTripUs);
+            for (const auto &[name, util] : out.resourceUtilization)
+                metrics->gauge("util." + name).set(util);
+            // The Table 3-style breakdown: microseconds each kernel
+            // activity charges per completed round trip.
+            for (const auto &[name, us] : out.activityUsPerRoundTrip)
+                metrics->gauge("activity." + name + ".usPerRt")
+                    .set(us);
+        }
+        if (!exp.metricsFile.empty())
+            metrics->writeJson(exp.metricsFile);
+        if (!exp.traceFile.empty())
+            tracer->writeChromeJson(exp.traceFile);
+    }
+
     /** Sum per-activity busy time over every processor. */
     std::map<std::string, Tick>
     activitySnapshot() const
@@ -490,6 +640,12 @@ class Sim
         // A send needs a kernel buffer; stall if the pool is empty.
         if (cn.freeBuffers == 0) {
             ++bufferStalls;
+            hsipc_warn_once("kernel buffer pool exhausted; sends now "
+                            "stall until a reply frees a buffer "
+                            "(counted in Outcome.bufferStalls)");
+            if (tracer->enabled() && cn.svcTrack >= 0)
+                tracer->instant(cn.svcTrack, "bufferStall", eq.now(),
+                                "queue");
             cn.buffersWaiting.push_back(conv);
             return;
         }
@@ -548,6 +704,7 @@ class Sim
     deliverToService(int conv)
     {
         sNode(conv).pendingMsgs.push_back(conv);
+        svcEvent(sNode(conv), "enqueueMsg");
         tryMatch(sNode(conv));
     }
 
@@ -577,6 +734,7 @@ class Sim
     serverWaiting(int conv)
     {
         sNode(conv).waitingServers.push_back(conv);
+        svcEvent(sNode(conv), "enqueueServer");
         tryMatch(sNode(conv));
     }
 
@@ -589,6 +747,7 @@ class Sim
         const int server = node.waitingServers.front();
         node.pendingMsgs.pop_front();
         node.waitingServers.pop_front();
+        svcEvent(node, "match");
 
         if (isLocal(msg_conv)) {
             // Local rendezvous pays the match on the communication
@@ -741,6 +900,8 @@ class Sim
             const double rt_us = ticksToUs(eq.now() - start);
             rt.add(rt_us);
             rtSamples.push_back(rt_us);
+            if (rtHist)
+                rtHist->observe(rt_us);
             if (isLocal(conv))
                 rtLocal.add(rt_us);
             else
@@ -762,6 +923,20 @@ class Sim
     Rng rng;
     FaultInjector injector;
     EventQueue eq;
+
+    // Observability sinks: caller-supplied or owned.  `tracer` is
+    // never null (a disabled owned tracer records nothing); `metrics`
+    // is null when metrics are off, and the histogram pointers are
+    // the hot-path handles into it.
+    trace::Tracer ownTracer;
+    metrics::Registry ownMetrics;
+    trace::Tracer *tracer = nullptr;
+    metrics::Registry *metrics = nullptr;
+    metrics::Histogram *rtHist = nullptr;
+    metrics::Histogram *pendingHist = nullptr;
+    metrics::Histogram *waitingHist = nullptr;
+    int simTrack = -1;
+
     std::vector<std::unique_ptr<Node>> nodes;
     std::unique_ptr<TokenRing> ring;
     //! Reliable channels by source node (0 -> 1 and 1 -> 0).
@@ -782,6 +957,13 @@ class Sim
 
 Outcome
 runExperiment(const Experiment &exp)
+{
+    return runExperiment(exp, nullptr, nullptr);
+}
+
+Outcome
+runExperiment(const Experiment &exp, trace::Tracer *tracer,
+              metrics::Registry *metrics)
 {
     // Reject impossible configurations up front, with the offending
     // condition in the message, instead of producing silent nonsense
@@ -814,7 +996,7 @@ runExperiment(const Experiment &exp)
         hsipc_assert(w.startUs >= 0 && w.endUs > w.startUs &&
                      "crash window must be well-formed");
     }
-    Sim sim(exp);
+    Sim sim(exp, tracer, metrics);
     return sim.run();
 }
 

@@ -29,7 +29,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics/metrics.hh"
 #include "common/stats.hh"
+#include "common/trace/tracer.hh"
 #include "core/models/processing_times.hh"
 #include "sim/net/faults.hh"
 
@@ -83,6 +85,18 @@ struct Experiment
     int retransmitWindow = 8;       //!< sliding-window size
     bool reliableProtocol = false;  //!< run the protocol even fault-free
     std::vector<CrashWindow> crashSchedule; //!< scheduled node outages
+
+    /**
+     * Observability (see docs/observability.md).  A nonempty
+     * traceFile enables the tracer and writes a Chrome trace_event
+     * JSON timeline (one track per simulated resource) at end of run;
+     * a nonempty metricsFile enables the metrics registry and writes
+     * its JSON dump.  Both are strictly observational: enabling them
+     * leaves every Outcome field bit-identical (pinned by
+     * Observability.TracingDoesNotPerturbOutcome).
+     */
+    std::string traceFile;
+    std::string metricsFile;
 };
 
 /** Measured outcome of a run. */
@@ -97,6 +111,17 @@ struct Outcome
     double hostUtil = 0;        //!< max over hosts, client+server nodes
     double mpUtil = 0;
     double busUtil = 0;
+
+    /**
+     * Busy fraction of every simulated resource (each host CPU, MP,
+     * bus partition, and DMA engine, keyed by its track name, e.g.
+     * "n0.mp") over the measurement window — the per-resource
+     * utilization timeline's end-of-run summary, answering "which
+     * resource saturates first" directly.  Unlike hostUtil/mpUtil/
+     * busUtil above (whole-run maxima kept for compatibility), these
+     * exclude warmup.
+     */
+    std::map<std::string, double> resourceUtilization;
     long bufferStalls = 0;      //!< sends delayed by buffer exhaustion
     double ringUtil = 0;        //!< token-ring medium utilization
     double ringTokenWaitUs = 0; //!< mean wait for the token
@@ -136,6 +161,17 @@ struct Outcome
 
 /** Run the experiment to completion and return the measurements. */
 Outcome runExperiment(const Experiment &exp);
+
+/**
+ * As above, but record into caller-supplied sinks: @p tracer (enable
+ * it first) receives the event timeline for in-process inspection —
+ * busyByTrack()/busyByName() turn it into utilization and activity
+ * breakdowns — and @p metrics receives the counters/gauges/histograms.
+ * Either may be null.  `traceFile`/`metricsFile` still write files
+ * when set.
+ */
+Outcome runExperiment(const Experiment &exp, trace::Tracer *tracer,
+                      metrics::Registry *metrics);
 
 } // namespace hsipc::sim
 

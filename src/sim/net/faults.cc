@@ -3,6 +3,32 @@
 namespace hsipc::sim
 {
 
+void
+FaultInjector::attachTracer(trace::Tracer *t, const EventQueue *c)
+{
+    tracer = t;
+    clock = c;
+    traceTrack = t ? t->track("medium") : -1;
+    if (!t || !t->enabled())
+        return;
+    // Crash windows are scheduled, not random: record their edges up
+    // front so the timeline shows the outage before any packet hits it.
+    for (const CrashWindow &w : plan.crashes) {
+        const std::string node = "n" + std::to_string(w.node);
+        t->instant(traceTrack, node + " crash", usToTicks(w.startUs),
+                   "crash");
+        t->instant(traceTrack, node + " recover", usToTicks(w.endUs),
+                   "crash");
+    }
+}
+
+void
+FaultInjector::note(const char *event)
+{
+    if (tracer && tracer->enabled() && clock)
+        tracer->instant(traceTrack, event, clock->now(), "fault");
+}
+
 std::vector<FaultInjector::Copy>
 FaultInjector::judge()
 {
@@ -10,6 +36,7 @@ FaultInjector::judge()
     std::vector<Copy> copies;
     if (plan.dropRate > 0 && rng.chance(plan.dropRate)) {
         ++counts.dropped;
+        note("drop");
         return copies;
     }
 
@@ -17,10 +44,12 @@ FaultInjector::judge()
     if (plan.corruptRate > 0 && rng.chance(plan.corruptRate)) {
         original.corrupted = true;
         ++counts.corrupted;
+        note("corrupt");
     }
     if (plan.reorderRate > 0 && rng.chance(plan.reorderRate)) {
         original.extraDelay = usToTicks(plan.reorderDelayUs);
         ++counts.reordered;
+        note("reorder");
     }
     copies.push_back(original);
 
@@ -31,6 +60,7 @@ FaultInjector::judge()
         dup.extraDelay += usToTicks(plan.duplicateLagUs);
         copies.push_back(dup);
         ++counts.duplicated;
+        note("duplicate");
     }
     return copies;
 }

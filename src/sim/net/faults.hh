@@ -26,6 +26,8 @@
 
 #include "common/rng.hh"
 #include "common/time.hh"
+#include "common/trace/tracer.hh"
+#include "sim/des/event_queue.hh"
 
 namespace hsipc::sim
 {
@@ -84,6 +86,14 @@ class FaultInjector
     {}
 
     /**
+     * Trace every injected fault as an instant on a "medium" track,
+     * timestamped from @p clock.  Scheduled crash windows are
+     * recorded up front (crash/recover instants).  Observational
+     * only: the injector's random draws are unchanged.
+     */
+    void attachTracer(trace::Tracer *t, const EventQueue *clock);
+
+    /**
      * Decide the fate of one packet entering the medium: each returned
      * copy traverses it (an empty result means the packet was
      * dropped).  Draws from the RNG only for the fault classes whose
@@ -95,15 +105,25 @@ class FaultInjector
     bool nodeUp(int node, Tick now) const;
 
     /** Record a packet lost at a crashed node's boundary. */
-    void noteCrashDrop() { ++counts.crashDrops; }
+    void
+    noteCrashDrop()
+    {
+        ++counts.crashDrops;
+        note("crashDrop");
+    }
 
     const Stats &stats() const { return counts; }
     const FaultPlan &faultPlan() const { return plan; }
 
   private:
+    void note(const char *event);
+
     FaultPlan plan;
     Rng rng;
     Stats counts;
+    trace::Tracer *tracer = nullptr;
+    int traceTrack = -1;
+    const EventQueue *clock = nullptr;
 };
 
 } // namespace hsipc::sim

@@ -8,6 +8,13 @@ namespace hsipc::sim
 {
 
 void
+ReliableChannel::note(const char *event)
+{
+    if (tracer && tracer->enabled())
+        tracer->instant(traceTrack, event, eq.now(), "proto");
+}
+
+void
 ReliableChannel::send(EventQueue::Callback deliver)
 {
     ++counts.accepted;
@@ -24,6 +31,9 @@ ReliableChannel::pump()
         backlog.pop_front();
         transmit(seq, false);
     }
+    if (tracer && tracer->enabled())
+        tracer->counter(traceTrack, "inFlight", eq.now(),
+                        static_cast<double>(inFlight()));
 }
 
 Tick
@@ -44,6 +54,7 @@ ReliableChannel::transmit(long seq, bool retransmit)
     ++counts.dataTransmissions;
     if (retransmit)
         ++counts.retransmissions;
+    note(retransmit ? "retransmit" : "send");
     const std::uint64_t gen = ++it->second.generation;
     hooks.exec(
         cfg.srcNode, retransmit ? "protoResend" : "protoSend",
@@ -87,6 +98,15 @@ ReliableChannel::onTimeout(long seq, std::uint64_t gen)
     if (it == unacked.end() || it->second.generation != gen)
         return; // acknowledged (or superseded) in time
     ++counts.timeoutsFired;
+    note("timeout");
+    // A packet that keeps timing out after the backoff ceiling is a
+    // partition or a mis-tuned RTO, not routine loss; say so, but
+    // never once per retry — a long outage fires thousands.
+    if (it->second.retries >= 10)
+        hsipc_warn_every(1000, "packet seq " + std::to_string(seq) +
+                                   " still unacknowledged after " +
+                                   std::to_string(it->second.retries) +
+                                   " retries");
     hooks.exec(cfg.srcNode, "protoTimeout", cfg.timeoutProcUs,
                prioInterrupt, [this, seq, gen]() {
                    auto self = unacked.find(seq);
@@ -110,14 +130,17 @@ ReliableChannel::arriveData(long seq, bool corrupted)
         [this, seq, corrupted]() {
             if (corrupted) {
                 ++counts.corruptDiscarded;
+                note("corruptDiscard");
                 return; // no ack: the sender's timer recovers it
             }
             if (seq < nextExpected || receivedAhead.count(seq) > 0) {
                 ++counts.duplicatesDropped;
+                note("dupDrop");
                 // Re-ack so a lost ack cannot stall the window.
                 sendAck();
                 return;
             }
+            note("deliver");
             // First good copy.  Messages are independent datagrams,
             // so deliver immediately instead of holding it behind an
             // earlier gap; only the ack stays cumulative.
@@ -135,6 +158,7 @@ void
 ReliableChannel::sendAck()
 {
     ++counts.acksSent;
+    note("ack");
     hooks.exec(
         cfg.dstNode, "protoAck", cfg.ackProcUs, prioInterrupt,
         [this]() {

@@ -99,6 +99,18 @@ class ReliableChannel
     {}
 
     /**
+     * Record this channel's protocol events (send/retransmit/timeout/
+     * ack/deliver/discard instants, window occupancy) as a track
+     * named @p trackName in @p t.  Observational only.
+     */
+    void
+    attachTracer(trace::Tracer *t, const std::string &trackName)
+    {
+        tracer = t;
+        traceTrack = t ? t->track(trackName) : -1;
+    }
+
+    /**
      * Reliably deliver one message; @p deliver fires at the receiving
      * node exactly once.
      */
@@ -123,12 +135,15 @@ class ReliableChannel
     void sendAck();
     void arriveAck(long ackNum, bool corrupted);
     Tick rto(int retries) const;
+    void note(const char *event);
 
     EventQueue &eq;
     Config cfg;
     FaultInjector &faults;
     Hooks hooks;
     Stats counts;
+    trace::Tracer *tracer = nullptr;
+    int traceTrack = -1;
 
     // Sender state.
     long nextSeq = 0;    //!< next sequence number to assign

@@ -11,6 +11,8 @@ Processor::charge(Tick t)
     busyTicks += t;
     hsipc_assert(running);
     perActivity[running->act.name] += t;
+    if (tracer && tracer->enabled() && t > 0)
+        tracer->complete(traceTrack, running->act.name, eq.now(), t);
 }
 
 void

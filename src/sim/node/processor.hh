@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace/tracer.hh"
 #include "sim/des/event_queue.hh"
 #include "sim/des/resource.hh"
 
@@ -59,6 +60,20 @@ class Processor
     /** Queue an activity (FCFS within its priority). */
     void submit(Activity act);
 
+    /**
+     * Record this processor's busy time as a track in @p t: one span
+     * per charged CPU chunk or memory-access wait, labelled with the
+     * activity name (the tracer merges abutting same-name spans, so
+     * uncontended activities appear as single spans).  Observational
+     * only — tracing never changes scheduling.
+     */
+    void
+    attachTracer(trace::Tracer *t)
+    {
+        tracer = t;
+        traceTrack = t ? t->track(name) : -1;
+    }
+
     double
     utilization() const
     {
@@ -85,6 +100,9 @@ class Processor
     const std::string &processorName() const { return name; }
     bool idle() const { return !running && queue.empty(); }
 
+    /** Total ticks this processor has been busy (CPU + memory). */
+    Tick busyTime() const { return busyTicks; }
+
   private:
     /** Execution state of an in-progress activity. */
     struct Running
@@ -102,6 +120,8 @@ class Processor
 
     EventQueue &eq;
     std::string name;
+    trace::Tracer *tracer = nullptr;
+    int traceTrack = -1;
     void charge(Tick t);
 
     std::deque<Running> queue;

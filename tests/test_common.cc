@@ -3,8 +3,14 @@
  * Unit tests for the common utilities.
  */
 
+#include <cmath>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "common/json.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -156,6 +162,79 @@ TEST(TextTable, CsvRendering)
               "name,value\n"
               "plain,1\n"
               "\"needs,quote\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TextTable, JsonRendering)
+{
+    TextTable t("Demo");
+    t.header({"name", "value"});
+    t.row({"a \"quoted\"", "1"});
+    const std::string json = t.renderJson();
+    EXPECT_EQ(json,
+              "{\"title\": \"Demo\", "
+              "\"columns\": [\"name\", \"value\"], \"rows\": [\n"
+              "    [\"a \\\"quoted\\\"\", \"1\"]\n  ]}");
+}
+
+TEST(Json, EscapeAndNumber)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(jsonString("x"), "\"x\"");
+    EXPECT_EQ(jsonNumber(2.0), "2");
+    EXPECT_EQ(jsonNumber(0.5), "0.5");
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(INFINITY), "null");
+}
+
+// --- Warning hook and rate-limited warnings --------------------------
+
+/** Install a capturing warn hook for the test's scope. */
+struct WarnCapture
+{
+    std::vector<std::string> seen;
+
+    WarnCapture()
+    {
+        warnHook() = [this](const std::string &m) {
+            seen.push_back(m);
+        };
+    }
+
+    ~WarnCapture() { warnHook() = nullptr; }
+};
+
+TEST(Logging, WarnRoutesThroughHook)
+{
+    WarnCapture cap;
+    hsipc_warn("something odd");
+    ASSERT_EQ(cap.seen.size(), 1u);
+    EXPECT_EQ(cap.seen[0], "something odd");
+}
+
+TEST(Logging, WarnOnceFiresOncePerCallSite)
+{
+    WarnCapture cap;
+    for (int i = 0; i < 5; ++i)
+        hsipc_warn_once("only once");
+    ASSERT_EQ(cap.seen.size(), 1u);
+    EXPECT_EQ(cap.seen[0], "only once");
+
+    // A different call site is an independent once-latch.
+    hsipc_warn_once("another site");
+    EXPECT_EQ(cap.seen.size(), 2u);
+}
+
+TEST(Logging, WarnEveryRateLimits)
+{
+    WarnCapture cap;
+    for (int i = 0; i < 7; ++i)
+        hsipc_warn_every(3, "hot loop");
+    // Occurrences 1, 4, and 7 are reported with the running count.
+    ASSERT_EQ(cap.seen.size(), 3u);
+    EXPECT_EQ(cap.seen[0], "hot loop (occurrence 1)");
+    EXPECT_EQ(cap.seen[1], "hot loop (occurrence 4)");
+    EXPECT_EQ(cap.seen[2], "hot loop (occurrence 7)");
 }
 
 } // namespace

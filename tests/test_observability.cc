@@ -1,0 +1,573 @@
+/**
+ * @file
+ * Tests for the observability layer: the tracer's span merging,
+ * window folds, and Chrome trace_event emission (against a golden
+ * document and a JSON syntax checker); the metrics registry's
+ * log2-bucket histograms; and — the load-bearing property — that
+ * attaching a tracer or registry to the simulators changes no
+ * measured result.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics/metrics.hh"
+#include "common/trace/tracer.hh"
+#include "core/gtpn/net.hh"
+#include "core/gtpn/simulator.hh"
+#include "sim/kernel/ipc_sim.hh"
+
+namespace
+{
+
+using namespace hsipc;
+
+// --- A minimal JSON syntax checker (no external deps) ---------------
+
+struct JsonChecker
+{
+    const char *p;
+    const char *end;
+
+    explicit JsonChecker(const std::string &s)
+        : p(s.data()), end(s.data() + s.size())
+    {}
+
+    void
+    ws()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool
+    lit(const char *s)
+    {
+        const std::size_t n = std::string(s).size();
+        if (static_cast<std::size_t>(end - p) < n ||
+            std::string(p, n) != s)
+            return false;
+        p += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (p >= end || *p != '"')
+            return false;
+        ++p;
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return false;
+                if (*p == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++p;
+                        if (p >= end || !std::isxdigit(
+                                            static_cast<unsigned char>(
+                                                *p)))
+                            return false;
+                    }
+                }
+            } else if (static_cast<unsigned char>(*p) < 0x20) {
+                return false; // raw control char: invalid JSON
+            }
+            ++p;
+        }
+        if (p >= end)
+            return false;
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const char *q = p;
+        if (p < end && *p == '-')
+            ++p;
+        while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                           *p == '.' || *p == 'e' || *p == 'E' ||
+                           *p == '+' || *p == '-'))
+            ++p;
+        return p > q;
+    }
+
+    bool
+    value()
+    {
+        ws();
+        if (p >= end)
+            return false;
+        if (*p == '{') {
+            ++p;
+            ws();
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                ws();
+                if (!string())
+                    return false;
+                ws();
+                if (p >= end || *p != ':')
+                    return false;
+                ++p;
+                if (!value())
+                    return false;
+                ws();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                break;
+            }
+            if (p >= end || *p != '}')
+                return false;
+            ++p;
+            return true;
+        }
+        if (*p == '[') {
+            ++p;
+            ws();
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                if (!value())
+                    return false;
+                ws();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                break;
+            }
+            if (p >= end || *p != ']')
+                return false;
+            ++p;
+            return true;
+        }
+        if (*p == '"')
+            return string();
+        if (lit("true") || lit("false") || lit("null"))
+            return true;
+        return number();
+    }
+
+    bool
+    document()
+    {
+        if (!value())
+            return false;
+        ws();
+        return p == end;
+    }
+};
+
+bool
+validJson(const std::string &s)
+{
+    return JsonChecker(s).document();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    EXPECT_NE(f, nullptr) << path;
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+// --- Tracer ----------------------------------------------------------
+
+TEST(Tracer, DisabledRecordsNothing)
+{
+    trace::Tracer tr;
+    const int t = tr.track("cpu");
+    tr.complete(t, "work", 0, 100);
+    tr.instant(t, "tick", 50);
+    tr.counter(t, "depth", 50, 3);
+    EXPECT_TRUE(tr.events().empty());
+    EXPECT_FALSE(tr.enabled());
+    // Tracks register even while disabled, so layout stays stable.
+    EXPECT_EQ(tr.trackNames().size(), 1u);
+}
+
+TEST(Tracer, MergesAbuttingSameNameSpans)
+{
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    const int t = tr.track("cpu");
+    tr.complete(t, "act", 0, 10);
+    tr.complete(t, "act", 10, 5); // abuts, same name: merges
+    ASSERT_EQ(tr.events().size(), 1u);
+    EXPECT_EQ(tr.events()[0].duration, 15);
+}
+
+TEST(Tracer, GapOrDifferentNameSplitsSpans)
+{
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    const int t = tr.track("cpu");
+    tr.complete(t, "act", 0, 10);
+    tr.complete(t, "act", 12, 5);   // gap: new span
+    tr.complete(t, "other", 17, 5); // different name: new span
+    EXPECT_EQ(tr.events().size(), 3u);
+
+    // Merging is per track: an abutting same-name span on another
+    // track must not fuse.
+    const int u = tr.track("cpu2");
+    tr.complete(u, "other", 22, 5);
+    EXPECT_EQ(tr.events().size(), 4u);
+}
+
+TEST(Tracer, GoldenChromeJson)
+{
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    const int cpu = tr.track("cpu0");
+    const int bus = tr.track("bus");
+    tr.complete(cpu, "boot", 0, usToTicks(2));
+    tr.instant(bus, "drop", usToTicks(3));
+    tr.counter(bus, "queued", usToTicks(3), 2);
+
+    const std::string expected =
+        "{\"traceEvents\":[\n"
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"cpu0\"}},\n"
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"bus\"}},\n"
+        "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0.000,"
+        "\"dur\":2.000,\"name\":\"boot\",\"cat\":\"activity\"},\n"
+        "{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":3.000,"
+        "\"name\":\"drop\",\"cat\":\"event\",\"s\":\"t\"},\n"
+        "{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":3.000,"
+        "\"name\":\"queued\",\"args\":{\"value\":2}}\n"
+        "],\"displayTimeUnit\":\"ms\"}\n";
+    EXPECT_EQ(tr.chromeJson(), expected);
+    EXPECT_TRUE(validJson(tr.chromeJson()));
+}
+
+TEST(Tracer, ChromeJsonEscapesAwkwardNames)
+{
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    const int t = tr.track("weird \"track\"\\name");
+    tr.instant(t, "line\nbreak\ttab", 0);
+    const std::string doc = tr.chromeJson();
+    EXPECT_TRUE(validJson(doc)) << doc;
+    EXPECT_NE(doc.find("\\\"track\\\""), std::string::npos);
+    EXPECT_NE(doc.find("\\n"), std::string::npos);
+}
+
+TEST(Tracer, BusyFoldsClipToWindow)
+{
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    const int a = tr.track("cpu0");
+    const int b = tr.track("cpu1");
+    tr.complete(a, "act", 0, 10);   // [0, 10)
+    tr.complete(a, "act", 20, 10);  // [20, 30)
+    tr.complete(b, "act", 5, 10);   // [5, 15)
+    tr.instant(a, "noise", 7);      // instants never count as busy
+
+    const auto byTrack = tr.busyByTrack(5, 25);
+    EXPECT_EQ(byTrack.at("cpu0"), 10); // 5 from each span
+    EXPECT_EQ(byTrack.at("cpu1"), 10);
+
+    const auto byName = tr.busyByName(5, 25);
+    EXPECT_EQ(byName.at("act"), 20);
+
+    // A window touching nothing yields an empty fold.
+    EXPECT_TRUE(tr.busyByTrack(100, 200).empty());
+}
+
+// --- Metrics ---------------------------------------------------------
+
+TEST(Histogram, BucketEdges)
+{
+    using metrics::Histogram;
+    // Bucket 0: everything below 1, including zero and negatives.
+    EXPECT_EQ(Histogram::bucketIndex(0.0), 0);
+    EXPECT_EQ(Histogram::bucketIndex(-5.0), 0);
+    EXPECT_EQ(Histogram::bucketIndex(0.999), 0);
+    // Bucket i >= 1 holds [2^(i-1), 2^i): exact powers of two open
+    // their bucket.
+    EXPECT_EQ(Histogram::bucketIndex(1.0), 1);
+    EXPECT_EQ(Histogram::bucketIndex(1.999), 1);
+    EXPECT_EQ(Histogram::bucketIndex(2.0), 2);
+    EXPECT_EQ(Histogram::bucketIndex(3.999), 2);
+    EXPECT_EQ(Histogram::bucketIndex(4.0), 3);
+    EXPECT_EQ(Histogram::bucketIndex(1024.0), 11);
+    EXPECT_EQ(Histogram::bucketIndex(1023.999), 10);
+    // Values at or beyond 2^62 clamp into the last bucket.
+    EXPECT_EQ(Histogram::bucketIndex(std::ldexp(1.0, 62)), 63);
+    EXPECT_EQ(Histogram::bucketIndex(1e300), 63);
+
+    EXPECT_EQ(Histogram::bucketLowerBound(0), 0.0);
+    EXPECT_EQ(Histogram::bucketLowerBound(1), 1.0);
+    EXPECT_EQ(Histogram::bucketLowerBound(2), 2.0);
+    EXPECT_EQ(Histogram::bucketLowerBound(11), 1024.0);
+}
+
+TEST(Histogram, SummaryStats)
+{
+    metrics::Histogram h;
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+
+    for (double v : {4.0, 1.0, 7.0})
+        h.observe(v);
+    EXPECT_EQ(h.count(), 3);
+    EXPECT_EQ(h.sum(), 12.0);
+    EXPECT_EQ(h.mean(), 4.0);
+    EXPECT_EQ(h.min(), 1.0);
+    EXPECT_EQ(h.max(), 7.0);
+    EXPECT_EQ(h.bucketCount(1), 1); // the 1.0
+    EXPECT_EQ(h.bucketCount(3), 2); // 4.0 and 7.0 share [4, 8)
+}
+
+TEST(Histogram, QuantileUpperBound)
+{
+    metrics::Histogram h;
+    EXPECT_EQ(h.quantileUpperBound(0.5), 0.0); // empty
+    for (int i = 0; i < 90; ++i)
+        h.observe(3.0); // bucket 2, upper edge 4
+    for (int i = 0; i < 10; ++i)
+        h.observe(1000.0); // bucket 10, upper edge 1024
+    EXPECT_EQ(h.quantileUpperBound(0.5), 4.0);
+    EXPECT_EQ(h.quantileUpperBound(0.9), 4.0);
+    EXPECT_EQ(h.quantileUpperBound(0.95), 1024.0);
+    EXPECT_EQ(h.quantileUpperBound(1.0), 1024.0);
+}
+
+TEST(Registry, JsonAndTableRender)
+{
+    metrics::Registry reg;
+    EXPECT_TRUE(reg.empty());
+    EXPECT_TRUE(validJson(reg.toJson())) << reg.toJson();
+
+    reg.counter("net.drops").inc(3);
+    reg.gauge("ipc.throughputPerSec").set(812.5);
+    reg.histogram("ipc.roundTripUs").observe(2400);
+    EXPECT_FALSE(reg.empty());
+
+    const std::string json = reg.toJson();
+    EXPECT_TRUE(validJson(json)) << json;
+    EXPECT_NE(json.find("\"net.drops\": 3"), std::string::npos);
+    EXPECT_NE(json.find("ipc.roundTripUs"), std::string::npos);
+
+    const std::string table = reg.toTable();
+    EXPECT_NE(table.find("net.drops"), std::string::npos);
+    EXPECT_NE(table.find("ipc.throughputPerSec"), std::string::npos);
+}
+
+// --- Observability wired into the simulators -------------------------
+
+/** A short lossy two-node run exercising the reliability stack. */
+sim::Experiment
+lossyExperiment()
+{
+    sim::Experiment e;
+    e.arch = models::Arch::II;
+    e.local = false;
+    e.conversations = 3;
+    e.computeUs = 1000;
+    e.lossRate = 0.05;
+    e.corruptRate = 0.01;
+    e.duplicateRate = 0.02;
+    e.crashSchedule.push_back({1, 60000, 80000});
+    e.warmupUs = 20000;
+    e.measureUs = 200000;
+    e.seed = 11;
+    return e;
+}
+
+void
+expectSameOutcome(const sim::Outcome &a, const sim::Outcome &b)
+{
+    EXPECT_EQ(a.throughputPerSec, b.throughputPerSec);
+    EXPECT_EQ(a.meanRoundTripUs, b.meanRoundTripUs);
+    EXPECT_EQ(a.rtCi95Us, b.rtCi95Us);
+    EXPECT_EQ(a.rtP50Us, b.rtP50Us);
+    EXPECT_EQ(a.rtP95Us, b.rtP95Us);
+    EXPECT_EQ(a.roundTrips, b.roundTrips);
+    EXPECT_EQ(a.hostUtil, b.hostUtil);
+    EXPECT_EQ(a.mpUtil, b.mpUtil);
+    EXPECT_EQ(a.busUtil, b.busUtil);
+    EXPECT_EQ(a.resourceUtilization, b.resourceUtilization);
+    EXPECT_EQ(a.bufferStalls, b.bufferStalls);
+    EXPECT_EQ(a.ringUtil, b.ringUtil);
+    EXPECT_EQ(a.ringTokenWaitUs, b.ringTokenWaitUs);
+    EXPECT_EQ(a.activityUsPerRoundTrip, b.activityUsPerRoundTrip);
+    EXPECT_EQ(a.localThroughputPerSec, b.localThroughputPerSec);
+    EXPECT_EQ(a.remoteThroughputPerSec, b.remoteThroughputPerSec);
+    EXPECT_EQ(a.localMeanRtUs, b.localMeanRtUs);
+    EXPECT_EQ(a.remoteMeanRtUs, b.remoteMeanRtUs);
+    EXPECT_EQ(a.retransmissions, b.retransmissions);
+    EXPECT_EQ(a.timeoutsFired, b.timeoutsFired);
+    EXPECT_EQ(a.duplicatesDropped, b.duplicatesDropped);
+    EXPECT_EQ(a.corruptDiscarded, b.corruptDiscarded);
+    EXPECT_EQ(a.faultDrops, b.faultDrops);
+    EXPECT_EQ(a.crashDrops, b.crashDrops);
+    EXPECT_EQ(a.netThroughputPktsPerSec, b.netThroughputPktsPerSec);
+    EXPECT_EQ(a.netGoodputPktsPerSec, b.netGoodputPktsPerSec);
+    EXPECT_EQ(a.protoHostUsPerRt, b.protoHostUsPerRt);
+    EXPECT_EQ(a.protoMpUsPerRt, b.protoMpUsPerRt);
+    EXPECT_EQ(a.crashWindowsRecovered, b.crashWindowsRecovered);
+    EXPECT_EQ(a.meanRecoveryUs, b.meanRecoveryUs);
+}
+
+TEST(Observability, TracingDoesNotPerturbOutcome)
+{
+    const sim::Experiment e = lossyExperiment();
+    const sim::Outcome plain = sim::runExperiment(e);
+
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    metrics::Registry reg;
+    const sim::Outcome traced = sim::runExperiment(e, &tr, &reg);
+
+    EXPECT_FALSE(tr.events().empty());
+    EXPECT_GT(reg.counter("ipc.roundTrips").value(), 0);
+    expectSameOutcome(plain, traced);
+}
+
+TEST(Observability, TracingDoesNotPerturbLocalRun)
+{
+    sim::Experiment e;
+    e.arch = models::Arch::I;
+    e.local = true;
+    e.conversations = 2;
+    e.computeUs = 1140;
+    e.warmupUs = 20000;
+    e.measureUs = 150000;
+    const sim::Outcome plain = sim::runExperiment(e);
+
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    const sim::Outcome traced = sim::runExperiment(e, &tr, nullptr);
+    expectSameOutcome(plain, traced);
+}
+
+TEST(Observability, ResourceUtilizationMatchesTrace)
+{
+    const sim::Experiment e = lossyExperiment();
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    const sim::Outcome o = sim::runExperiment(e, &tr, nullptr);
+
+    const Tick warm = usToTicks(e.warmupUs);
+    const Tick end = warm + usToTicks(e.measureUs);
+    const auto busy = tr.busyByTrack(warm, end);
+    const double window = static_cast<double>(end - warm);
+
+    ASSERT_FALSE(o.resourceUtilization.empty());
+    EXPECT_GT(o.resourceUtilization.count("n0.host0"), 0u);
+    EXPECT_GT(o.resourceUtilization.count("n1.mp"), 0u);
+    for (const auto &[name, util] : o.resourceUtilization) {
+        Tick traced = 0;
+        auto it = busy.find(name);
+        if (it != busy.end())
+            traced = it->second;
+        // Near, not equal: a span straddling the warmup boundary is
+        // charged to the snapshot at issue time but clipped by the
+        // trace fold.
+        EXPECT_NEAR(static_cast<double>(traced) / window, util, 1e-3)
+            << name;
+    }
+}
+
+TEST(Observability, TraceAndMetricsFilesWritten)
+{
+    sim::Experiment e = lossyExperiment();
+    const std::string tracePath =
+        testing::TempDir() + "hsipc_trace_test.json";
+    const std::string metricsPath =
+        testing::TempDir() + "hsipc_metrics_test.json";
+    e.traceFile = tracePath;
+    e.metricsFile = metricsPath;
+    const sim::Outcome o = sim::runExperiment(e);
+    EXPECT_GT(o.roundTrips, 0);
+
+    const std::string trace = readFile(tracePath);
+    EXPECT_TRUE(validJson(trace));
+    // One named track per resource, plus the service queues, medium,
+    // protocol channels, and run phases.
+    for (const char *track :
+         {"n0.host0", "n0.mp", "n0.busTcb", "n0.nicIn", "n0.nicOut",
+          "n0.svc", "n1.host0", "medium", "net.n0->n1", "sim"})
+        EXPECT_NE(trace.find(std::string("\"name\":\"") + track +
+                             "\""),
+                  std::string::npos)
+            << track;
+    EXPECT_NE(trace.find("measureStart"), std::string::npos);
+    EXPECT_NE(trace.find("n1 crash"), std::string::npos);
+
+    const std::string metrics = readFile(metricsPath);
+    EXPECT_TRUE(validJson(metrics));
+    for (const char *key :
+         {"ipc.roundTrips", "net.retransmissions", "des.eventsRun",
+          "util.n0.host0", "activity.sendSyscall.usPerRt",
+          "ipc.roundTripUs"})
+        EXPECT_NE(metrics.find(key), std::string::npos) << key;
+
+    std::remove(tracePath.c_str());
+    std::remove(metricsPath.c_str());
+}
+
+TEST(Observability, GtpnSimulatorTraces)
+{
+    gtpn::PetriNet net;
+    const gtpn::PlaceId p = net.addPlace("P", 1);
+    const gtpn::TransId t =
+        net.addTransition("T", 2.0, 1.0, "server");
+    net.inputArc(p, t);
+    net.outputArc(t, p);
+
+    gtpn::SimOptions opts;
+    opts.warmup = 100;
+    opts.horizon = 10000;
+    const gtpn::SimResult plain = gtpn::simulate(net, opts);
+
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    gtpn::SimOptions traced = opts;
+    traced.tracer = &tr;
+    const gtpn::SimResult withTrace = gtpn::simulate(net, traced);
+
+    // Tracing is observational: same seed, same measures.
+    EXPECT_EQ(plain.resourceUsage, withTrace.resourceUsage);
+    EXPECT_EQ(plain.firingRate, withTrace.firingRate);
+    EXPECT_EQ(plain.placeOccupancy, withTrace.placeOccupancy);
+
+    // The single always-firing transition fills its track.
+    const auto busy = tr.busyByTrack(0, usToTicks(10100));
+    ASSERT_GT(busy.count("server.T"), 0u);
+    EXPECT_GT(busy.at("server.T"), usToTicks(10000));
+    bool sawFire = false;
+    for (const trace::Event &ev : tr.events())
+        sawFire |= ev.phase == trace::Phase::Instant &&
+                   ev.name == "fire";
+    EXPECT_TRUE(sawFire);
+    EXPECT_TRUE(validJson(tr.chromeJson()));
+}
+
+} // namespace
