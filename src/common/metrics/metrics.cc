@@ -95,6 +95,9 @@ Registry::toJson() const
             << ", \"sum\": " << jsonNumber(h.sum())
             << ", \"min\": " << jsonNumber(h.min())
             << ", \"max\": " << jsonNumber(h.max())
+            << ", \"p50\": " << jsonNumber(h.quantileUpperBound(0.50))
+            << ", \"p95\": " << jsonNumber(h.quantileUpperBound(0.95))
+            << ", \"p99\": " << jsonNumber(h.quantileUpperBound(0.99))
             << ", \"buckets\": {";
         bool bfirst = true;
         for (int i = 0; i < Histogram::numBuckets; ++i) {
@@ -132,13 +135,16 @@ Registry::toTable() const
     }
     if (!histograms.empty()) {
         TextTable t("Histograms");
-        t.header({"name", "count", "mean", "min", "max", "~p95"});
+        t.header({"name", "count", "mean", "min", "max", "~p50",
+                  "~p95", "~p99"});
         for (const auto &[name, h] : histograms)
             t.row({name, std::to_string(h.count()),
                    TextTable::num(h.mean(), 2),
                    TextTable::num(h.min(), 2),
                    TextTable::num(h.max(), 2),
-                   TextTable::num(h.quantileUpperBound(0.95), 2)});
+                   TextTable::num(h.quantileUpperBound(0.50), 2),
+                   TextTable::num(h.quantileUpperBound(0.95), 2),
+                   TextTable::num(h.quantileUpperBound(0.99), 2)});
         out << t.render();
     }
     return out.str();

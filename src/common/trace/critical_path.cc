@@ -1,0 +1,197 @@
+#include "common/trace/critical_path.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hsipc::trace
+{
+
+const char *
+componentName(Component c)
+{
+    switch (c) {
+      case Component::Service: return "service";
+      case Component::Queue: return "queue";
+      case Component::Network: return "network";
+      case Component::Blocked: return "blocked";
+    }
+    hsipc_panic("bad Component");
+}
+
+void
+CausalLog::start(long msg, Tick t)
+{
+    if (!on)
+        return;
+    Record &r = log[msg];
+    hsipc_assert(r.start < 0 && "message id reused");
+    r.start = t;
+}
+
+void
+CausalLog::interval(long msg, const std::string &resource, Component c,
+                    Tick begin, Tick end)
+{
+    if (!on)
+        return;
+    if (end <= begin)
+        return; // zero-length charges carry no time to attribute
+    auto it = log.find(msg);
+    hsipc_assert(it != log.end() && "interval for an unstarted message");
+    PathInterval iv;
+    iv.comp = c;
+    iv.begin = begin;
+    iv.end = end;
+    iv.resource = resource;
+    it->second.intervals.push_back(std::move(iv));
+}
+
+void
+CausalLog::done(long msg, Tick t)
+{
+    if (!on)
+        return;
+    auto it = log.find(msg);
+    hsipc_assert(it != log.end() && "done for an unstarted message");
+    hsipc_assert(it->second.end < 0 && "message completed twice");
+    it->second.end = t;
+}
+
+MessagePath
+reconstructPath(long msg, const CausalLog::Record &rec)
+{
+    hsipc_assert(rec.start >= 0 && rec.end >= rec.start);
+    MessagePath path;
+    path.msg = msg;
+    path.start = rec.start;
+    path.end = rec.end;
+    path.roundTripUs = ticksToUs(rec.end - rec.start);
+
+    auto segment = [&](Component c, Tick b, Tick e,
+                       const std::string &res) {
+        if (e <= b)
+            return;
+        PathSegment s;
+        s.comp = c;
+        s.begin = b;
+        s.end = e;
+        s.resource = res;
+        path.segments.push_back(std::move(s));
+        const double us = ticksToUs(e - b);
+        switch (c) {
+          case Component::Service:
+            path.serviceUs += us;
+            path.serviceUsByResource[res] += us;
+            break;
+          case Component::Queue:
+            path.queueUs += us;
+            path.queueUsByResource[res] += us;
+            break;
+          case Component::Network:
+            path.networkUs += us;
+            // Transit time is the medium's service, so the network
+            // competes for the bottleneck like any other resource.
+            path.serviceUsByResource[res] += us;
+            break;
+          case Component::Blocked:
+            path.blockedUs += us;
+            break;
+        }
+    };
+
+    // The intervals arrive in causal order (a message does one thing
+    // at a time); walk them, turning each gap into queueing on the
+    // next interval's resource — the message was sitting in that
+    // resource's entry queue.
+    Tick cursor = rec.start;
+    for (const PathInterval &iv : rec.intervals) {
+        hsipc_assert(iv.begin >= cursor &&
+                     "overlapping causal intervals");
+        segment(Component::Queue, cursor, iv.begin, iv.resource);
+        segment(iv.comp, iv.begin, std::min(iv.end, rec.end),
+                iv.resource);
+        cursor = iv.end;
+    }
+    // A trailing gap (none is expected from the simulator, whose last
+    // activity completes at done-time) stays visible as blocked time
+    // rather than silently vanishing from the accounting.
+    segment(Component::Blocked, cursor, rec.end, "unattributed");
+    return path;
+}
+
+namespace
+{
+
+ComponentStats
+stats(std::vector<double> &samples)
+{
+    ComponentStats s;
+    if (samples.empty())
+        return s;
+    double sum = 0;
+    for (double v : samples)
+        sum += v;
+    s.meanUs = sum / static_cast<double>(samples.size());
+    std::sort(samples.begin(), samples.end());
+    const std::size_t n = samples.size();
+    // Same convention as the simulator's rtP50/rtP95.
+    s.p50Us = samples[n / 2];
+    s.p95Us = samples[std::min(n - 1, (n * 95) / 100)];
+    s.p99Us = samples[std::min(n - 1, (n * 99) / 100)];
+    return s;
+}
+
+} // namespace
+
+Decomposition
+decompose(const CausalLog &log, Tick from, Tick to)
+{
+    Decomposition d;
+    std::vector<double> rt, service, queue, network, blocked;
+    for (const auto &[msg, rec] : log.records()) {
+        if (rec.end < 0 || rec.end <= from || rec.end > to)
+            continue;
+        const MessagePath p = reconstructPath(msg, rec);
+        ++d.messages;
+        rt.push_back(p.roundTripUs);
+        service.push_back(p.serviceUs);
+        queue.push_back(p.queueUs);
+        network.push_back(p.networkUs);
+        blocked.push_back(p.blockedUs);
+        for (const auto &[res, us] : p.serviceUsByResource)
+            d.serviceUsByResource[res] += us;
+        for (const auto &[res, us] : p.queueUsByResource)
+            d.queueUsByResource[res] += us;
+    }
+    if (d.messages == 0)
+        return d;
+    const double n = static_cast<double>(d.messages);
+    for (auto &[res, us] : d.serviceUsByResource)
+        us /= n;
+    for (auto &[res, us] : d.queueUsByResource)
+        us /= n;
+    d.roundTrip = stats(rt);
+    d.service = stats(service);
+    d.queue = stats(queue);
+    d.network = stats(network);
+    d.blocked = stats(blocked);
+
+    // The bottleneck is the resource carrying the largest share of
+    // the mean critical path, counting both its service and the
+    // queueing it imposed.
+    std::map<std::string, double> share = d.serviceUsByResource;
+    for (const auto &[res, us] : d.queueUsByResource)
+        share[res] += us;
+    for (const auto &[res, us] : share) {
+        if (us > d.bottleneckShare * d.roundTrip.meanUs) {
+            d.bottleneck = res;
+            d.bottleneckShare = d.roundTrip.meanUs > 0
+                ? us / d.roundTrip.meanUs
+                : 0;
+        }
+    }
+    return d;
+}
+
+} // namespace hsipc::trace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Causal message-lifecycle recording and critical-path latency
+ * decomposition.
+ *
+ * The thesis' chapter-6 argument is that round-trip latency is capped
+ * by whichever resource saturates first; flat per-resource spans (see
+ * tracer.hh) show *that* a resource is busy, but not *whose* time it
+ * is.  A CausalLog closes that gap: instrumented components append
+ * typed intervals — service, queueing, network transit, blocked on a
+ * remote rendezvous — tagged with the lifetime id of the message they
+ * serve.  Because one message does exactly one thing at a time, its
+ * intervals form a chain (the critical path of that round trip), and
+ * decompose() turns the chains into an exact accounting:
+ *
+ *  - per message, a gapless partition of [start, done) into path
+ *    segments whose durations sum to the measured round-trip time
+ *    *exactly* (gap-filling attributes any unrecorded wait as
+ *    queueing on the resource the message was waiting for);
+ *  - in aggregate, mean/p50/p95/p99 of every component, the mean
+ *    service and queueing microseconds per resource, and the
+ *    bottleneck — the resource carrying the largest critical-path
+ *    share.
+ *
+ * Recording is pay-for-use and strictly observational: a disabled log
+ * rejects appends with one branch, draws no randomness, and schedules
+ * nothing, so enabling it cannot perturb simulation results.
+ */
+
+#ifndef HSIPC_COMMON_TRACE_CRITICAL_PATH_HH
+#define HSIPC_COMMON_TRACE_CRITICAL_PATH_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.hh"
+
+namespace hsipc::trace
+{
+
+/** What a message's time was spent on during one path segment. */
+enum class Component : std::uint8_t
+{
+    Service, //!< a resource actively working on the message
+    Queue,   //!< waiting for a busy resource to become available
+    Network, //!< in transit on the medium (incl. protocol recovery)
+    Blocked, //!< at a rendezvous, waiting for a remote peer
+};
+
+/** Stable lower-case name of a component (for tables and JSON). */
+const char *componentName(Component c);
+
+/** One typed, message-attributed interval reported by a component. */
+struct PathInterval
+{
+    Component comp = Component::Service;
+    Tick begin = 0;
+    Tick end = 0;
+    std::string resource; //!< track-style name, e.g. "n0.mp"
+};
+
+/**
+ * Collects the causal intervals of every in-flight message.  Users
+ * call start() when a message's round trip begins, interval() from
+ * each resource that serves (or queues, or carries) it, and done()
+ * when the round trip completes.  Intervals must be reported in
+ * causal order and may not overlap — a message does one thing at a
+ * time.
+ */
+class CausalLog
+{
+  public:
+    /** A message's lifetime and its recorded intervals. */
+    struct Record
+    {
+        Tick start = -1;
+        Tick end = -1; //!< -1 while the round trip is in flight
+        std::vector<PathInterval> intervals;
+    };
+
+    bool enabled() const { return on; }
+    void setEnabled(bool e) { on = e; }
+
+    void start(long msg, Tick t);
+    void interval(long msg, const std::string &resource, Component c,
+                  Tick begin, Tick end);
+    void done(long msg, Tick t);
+
+    const std::map<long, Record> &records() const { return log; }
+
+  private:
+    bool on = false;
+    std::map<long, Record> log;
+};
+
+/** One segment of a reconstructed critical path. */
+struct PathSegment
+{
+    Component comp = Component::Service;
+    Tick begin = 0;
+    Tick end = 0;
+    std::string resource;
+};
+
+/**
+ * One message's reconstructed critical path: a gapless partition of
+ * [start, end) whose segment durations sum to the round trip exactly.
+ */
+struct MessagePath
+{
+    long msg = 0;
+    Tick start = 0;
+    Tick end = 0;
+    std::vector<PathSegment> segments;
+    double roundTripUs = 0;
+    double serviceUs = 0;
+    double queueUs = 0;
+    double networkUs = 0;
+    double blockedUs = 0;
+    std::map<std::string, double> serviceUsByResource;
+    std::map<std::string, double> queueUsByResource;
+};
+
+/**
+ * Rebuild the critical path of one completed message.  Gaps between
+ * recorded intervals become queueing on the next interval's resource:
+ * the only unrecorded waits are those spent in a resource's entry
+ * queue before it knew about the message.
+ */
+MessagePath reconstructPath(long msg, const CausalLog::Record &rec);
+
+/** Mean and order statistics of one latency component, microseconds. */
+struct ComponentStats
+{
+    double meanUs = 0;
+    double p50Us = 0;
+    double p95Us = 0;
+    double p99Us = 0;
+
+    friend bool operator==(const ComponentStats &,
+                           const ComponentStats &) = default;
+};
+
+/**
+ * Aggregate critical-path decomposition over a set of completed
+ * messages.  roundTrip = service + queue + network + blocked holds
+ * for the means by construction (each message's partition is exact).
+ */
+struct Decomposition
+{
+    long messages = 0;
+    ComponentStats roundTrip;
+    ComponentStats service;
+    ComponentStats queue;
+    ComponentStats network;
+    ComponentStats blocked;
+    //! Mean microseconds per message each resource contributed.  The
+    //! medium's transit time appears here as its service, so the sum
+    //! over serviceUsByResource is service.meanUs + network.meanUs.
+    std::map<std::string, double> serviceUsByResource;
+    std::map<std::string, double> queueUsByResource;
+    //! Resource with the largest mean critical-path share (service +
+    //! queue; the network's transit time counts as its service).
+    std::string bottleneck;
+    //! That share as a fraction of the mean round trip.
+    double bottleneckShare = 0;
+
+    friend bool operator==(const Decomposition &,
+                           const Decomposition &) = default;
+};
+
+/**
+ * Decompose every message whose round trip completed in (@p from,
+ * @p to] — the same window the simulator uses for measured round
+ * trips.
+ */
+Decomposition decompose(const CausalLog &log, Tick from, Tick to);
+
+} // namespace hsipc::trace
+
+#endif // HSIPC_COMMON_TRACE_CRITICAL_PATH_HH

@@ -25,7 +25,7 @@ Tracer::track(const std::string &name)
 
 void
 Tracer::complete(int track, const std::string &name, Tick start,
-                 Tick duration, const char *category)
+                 Tick duration, const char *category, long id)
 {
     if (!on)
         return;
@@ -36,7 +36,11 @@ Tracer::complete(int track, const std::string &name, Tick start,
     const long last = lastSpan[t];
     if (last >= 0) {
         Event &prev = log[static_cast<std::size_t>(last)];
-        if (prev.start + prev.duration == start && prev.name == name) {
+        // Never merge across message ids: two messages' work abutting
+        // on one resource must stay two spans, or the per-message
+        // timeline (and any flow arrow bound to it) is lost.
+        if (prev.start + prev.duration == start && prev.name == name &&
+            prev.id == id) {
             prev.duration += duration;
             return;
         }
@@ -46,6 +50,7 @@ Tracer::complete(int track, const std::string &name, Tick start,
     ev.track = track;
     ev.start = start;
     ev.duration = duration;
+    ev.id = id;
     ev.name = name;
     ev.category = category;
     lastSpan[t] = static_cast<long>(log.size());
@@ -53,20 +58,67 @@ Tracer::complete(int track, const std::string &name, Tick start,
 }
 
 void
-Tracer::instant(int track, const std::string &name, Tick ts,
-                const char *category)
+Tracer::push(Phase phase, int track, const std::string &name, Tick ts,
+             long id, const char *category)
 {
-    if (!on)
-        return;
     hsipc_assert(track >= 0 &&
                  track < static_cast<int>(tracks.size()));
     Event ev;
-    ev.phase = Phase::Instant;
+    ev.phase = phase;
     ev.track = track;
     ev.start = ts;
+    ev.id = id;
     ev.name = name;
     ev.category = category;
     log.push_back(std::move(ev));
+}
+
+void
+Tracer::instant(int track, const std::string &name, Tick ts,
+                const char *category, long id)
+{
+    if (!on)
+        return;
+    push(Phase::Instant, track, name, ts, id, category);
+}
+
+void
+Tracer::flowStep(int track, const std::string &name, Tick ts, long id)
+{
+    if (!on)
+        return;
+    const bool fresh = openFlows.insert(id).second;
+    push(fresh ? Phase::FlowStart : Phase::FlowStep, track, name, ts,
+         id, "flow");
+}
+
+void
+Tracer::flowEnd(int track, const std::string &name, Tick ts, long id)
+{
+    if (!on)
+        return;
+    // A flow that never started has nothing to terminate.
+    if (openFlows.erase(id) == 0)
+        return;
+    push(Phase::FlowEnd, track, name, ts, id, "flow");
+}
+
+void
+Tracer::asyncBegin(int track, const std::string &name, Tick ts,
+                   long id, const char *category)
+{
+    if (!on)
+        return;
+    push(Phase::AsyncBegin, track, name, ts, id, category);
+}
+
+void
+Tracer::asyncEnd(int track, const std::string &name, Tick ts, long id,
+                 const char *category)
+{
+    if (!on)
+        return;
+    push(Phase::AsyncEnd, track, name, ts, id, category);
 }
 
 void
@@ -123,22 +175,37 @@ Tracer::chromeJson() const
             << jsonString(tracks[t]) << "}}";
     }
 
+    // The "args":{"msg":N} tag on spans and instants keys them to the
+    // message they serve; flow ("s"/"t"/"f") and async ("b"/"e")
+    // events carry the same number as their Chrome event id, which is
+    // what scopes arrow chains and lifetime pairs.
+    long ev_id = 0;
+    auto msgArg = [&]() {
+        out << ",\"args\":{\"msg\":" << ev_id << "}";
+    };
     for (const Event &ev : log) {
         sep();
+        ev_id = ev.id;
         switch (ev.phase) {
           case Phase::Complete:
             out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.track
                 << ",\"ts\":" << tsUs(ev.start)
                 << ",\"dur\":" << tsUs(ev.duration)
                 << ",\"name\":" << jsonString(ev.name)
-                << ",\"cat\":\"" << ev.category << "\"}";
+                << ",\"cat\":\"" << ev.category << "\"";
+            if (ev.id != 0)
+                msgArg();
+            out << "}";
             break;
           case Phase::Instant:
             out << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << ev.track
                 << ",\"ts\":" << tsUs(ev.start)
                 << ",\"name\":" << jsonString(ev.name)
                 << ",\"cat\":\"" << ev.category
-                << "\",\"s\":\"t\"}";
+                << "\",\"s\":\"t\"";
+            if (ev.id != 0)
+                msgArg();
+            out << "}";
             break;
           case Phase::Counter:
             out << "{\"ph\":\"C\",\"pid\":1,\"tid\":" << ev.track
@@ -146,6 +213,34 @@ Tracer::chromeJson() const
                 << ",\"name\":" << jsonString(ev.name)
                 << ",\"args\":{\"value\":" << jsonNumber(ev.value)
                 << "}}";
+            break;
+          case Phase::FlowStart:
+          case Phase::FlowStep:
+          case Phase::FlowEnd:
+            out << "{\"ph\":\""
+                << (ev.phase == Phase::FlowStart  ? 's'
+                    : ev.phase == Phase::FlowStep ? 't'
+                                                  : 'f')
+                << "\",\"pid\":1,\"tid\":" << ev.track
+                << ",\"ts\":" << tsUs(ev.start)
+                << ",\"id\":" << ev.id
+                << ",\"name\":" << jsonString(ev.name)
+                << ",\"cat\":\"" << ev.category << "\"";
+            // Bind the terminating step to its enclosing slice, not
+            // the next one to begin.
+            if (ev.phase == Phase::FlowEnd)
+                out << ",\"bp\":\"e\"";
+            out << "}";
+            break;
+          case Phase::AsyncBegin:
+          case Phase::AsyncEnd:
+            out << "{\"ph\":\""
+                << (ev.phase == Phase::AsyncBegin ? 'b' : 'e')
+                << "\",\"pid\":1,\"tid\":" << ev.track
+                << ",\"ts\":" << tsUs(ev.start)
+                << ",\"id\":" << ev.id
+                << ",\"name\":" << jsonString(ev.name)
+                << ",\"cat\":\"" << ev.category << "\"}";
             break;
         }
     }

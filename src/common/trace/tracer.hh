@@ -38,6 +38,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -49,9 +50,14 @@ namespace hsipc::trace
 /** Event kinds, a subset of the Chrome trace_event phases. */
 enum class Phase : std::uint8_t
 {
-    Complete, //!< a span [start, start + duration) of busy time
-    Instant,  //!< a point occurrence (drop, timeout, crash, ...)
-    Counter,  //!< a sampled value (queue depth, window occupancy)
+    Complete,   //!< a span [start, start + duration) of busy time
+    Instant,    //!< a point occurrence (drop, timeout, crash, ...)
+    Counter,    //!< a sampled value (queue depth, window occupancy)
+    FlowStart,  //!< first step of a causal flow ("s")
+    FlowStep,   //!< intermediate step of a causal flow ("t")
+    FlowEnd,    //!< terminating step of a causal flow ("f")
+    AsyncBegin, //!< start of an async lifetime span ("b")
+    AsyncEnd,   //!< end of an async lifetime span ("e")
 };
 
 /** One recorded event. */
@@ -62,6 +68,10 @@ struct Event
     Tick start = 0;
     Tick duration = 0; //!< Complete only
     double value = 0;  //!< Counter only
+    //! Correlation id (0 = none).  On Complete/Instant events it tags
+    //! the span with the message it serves; on flow/async events it is
+    //! the Chrome event id that scopes the arrow or lifetime pair.
+    long id = 0;
     std::string name;
     const char *category = ""; //!< static string, never owned
 };
@@ -80,13 +90,42 @@ class Tracer
      */
     int track(const std::string &name);
 
-    /** Record a busy span; merges with an abutting same-name span. */
+    /**
+     * Record a busy span; merges with an abutting same-name span.
+     * Spans carrying different @p id values never merge, so the
+     * per-message timeline stays separable even when one message's
+     * work abuts the next one's on the same resource.
+     */
     void complete(int track, const std::string &name, Tick start,
-                  Tick duration, const char *category = "activity");
+                  Tick duration, const char *category = "activity",
+                  long id = 0);
 
-    /** Record a point occurrence. */
+    /** Record a point occurrence (optionally tagged with a msg id). */
     void instant(int track, const std::string &name, Tick ts,
-                 const char *category = "event");
+                 const char *category = "event", long id = 0);
+
+    /**
+     * Record one step of causal flow @p id at @p ts on @p track.  The
+     * first step of an id emits a Chrome flow-start ("s"); subsequent
+     * steps emit flow-steps ("t"), so Perfetto draws an arrow chain
+     * through the enclosing slices.  @p ts must lie inside a Complete
+     * span on @p track for the arrow to bind.
+     */
+    void flowStep(int track, const std::string &name, Tick ts, long id);
+
+    /**
+     * Terminate causal flow @p id ("f", binding to the enclosing
+     * slice) and retire the id so a later reuse starts a new chain.
+     */
+    void flowEnd(int track, const std::string &name, Tick ts, long id);
+
+    /** Begin an async lifetime span scoped by (@p category, @p id). */
+    void asyncBegin(int track, const std::string &name, Tick ts,
+                    long id, const char *category = "msg");
+
+    /** End the async lifetime span scoped by (@p category, @p id). */
+    void asyncEnd(int track, const std::string &name, Tick ts, long id,
+                  const char *category = "msg");
 
     /** Record a sampled value (rendered as a counter track). */
     void counter(int track, const std::string &name, Tick ts,
@@ -120,6 +159,9 @@ class Tracer
     std::map<std::string, Tick> busyByName(Tick from, Tick to) const;
 
   private:
+    void push(Phase phase, int track, const std::string &name, Tick ts,
+              long id, const char *category);
+
     bool on = false;
     std::vector<std::string> tracks;
     std::map<std::string, int> trackIds;
@@ -127,6 +169,8 @@ class Tracer
     //! Index into @c log of the last Complete span per track, or -1;
     //! only that span is a merge candidate.
     std::vector<long> lastSpan;
+    //! Flow ids that already emitted their "s" step.
+    std::set<long> openFlows;
 };
 
 } // namespace hsipc::trace

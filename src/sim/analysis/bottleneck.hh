@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bottleneck identification: which resource caps throughput, answered
+ * two independent ways and cross-checked.
+ *
+ * The trace side folds a critical-path decomposition's per-resource
+ * shares into coarse resource classes (host CPU, message coprocessor,
+ * bus, DMA engine, network) and names the class carrying the largest
+ * share.  The model side asks the exact GTPN analysis of the same
+ * workload which processor saturates — utilization of a processor is
+ * the summed firing rate of the delay-1 exit/loop transition pairs of
+ * its stages (each in-flight firing occupies the processor for one
+ * model time unit).  Agreement between the two is the validation
+ * story of §6.5 restated at the level of *causes*: the simulator's
+ * measured critical path and the thesis' analytic model must blame
+ * the same component.
+ */
+
+#ifndef HSIPC_SIM_ANALYSIS_BOTTLENECK_HH
+#define HSIPC_SIM_ANALYSIS_BOTTLENECK_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "common/trace/critical_path.hh"
+#include "core/models/processing_times.hh"
+
+namespace hsipc::sim::analysis
+{
+
+/** Coarse classes the fine-grained resource names fold into. */
+enum class ResourceClass
+{
+    Host,    //!< a host CPU ("nX.hostY")
+    Mp,      //!< the message coprocessor ("nX.mp")
+    Bus,     //!< a shared-memory bus partition ("nX.busTcb"/"nX.busKb")
+    Dma,     //!< a network DMA engine ("nX.nicIn"/"nX.nicOut")
+    Network, //!< the medium ("net")
+    Other,   //!< anything else (e.g. the service queue "nX.svc")
+};
+
+/** Stable lower-case name of a class (for tables and JSON). */
+const char *resourceClassName(ResourceClass c);
+
+/** Fold a track-style resource name into its class. */
+ResourceClass classifyResource(const std::string &name);
+
+/**
+ * Mean critical-path microseconds per message charged to each class
+ * (service plus queueing; the medium's transit counts as network
+ * service).  Sums to the decomposition's service + queue + network
+ * means.
+ */
+std::map<ResourceClass, double>
+classShares(const trace::Decomposition &d);
+
+/** The class carrying the largest critical-path share. */
+ResourceClass traceBottleneck(const trace::Decomposition &d);
+
+/** What the exact GTPN analysis says saturates first. */
+struct GtpnSaturation
+{
+    ResourceClass bottleneck = ResourceClass::Host;
+    double hostUtil = 0;      //!< host-processor utilization, 0..1
+    double mpUtil = 0;        //!< MP utilization (0 under Arch I)
+    std::size_t states = 0;   //!< reachability-graph size analyzed
+};
+
+/**
+ * Exact analysis of the local-conversation GTPN model (Figs 6.9 and
+ * 6.12) for @p arch with @p conversations client/server pairs and
+ * mean server computation @p computeUs, reporting which processor
+ * saturates.  The local models contain no explicit bus or DMA
+ * resource, so the answer is Host or Mp.
+ */
+GtpnSaturation gtpnSaturation(models::Arch arch, int conversations,
+                              double computeUs);
+
+} // namespace hsipc::sim::analysis
+
+#endif // HSIPC_SIM_ANALYSIS_BOTTLENECK_HH

@@ -10,6 +10,7 @@
 #include <deque>
 #include <string>
 
+#include "common/trace/critical_path.hh"
 #include "common/trace/tracer.hh"
 #include "sim/des/event_queue.hh"
 
@@ -37,14 +38,25 @@ class Resource
     }
 
     /**
+     * Report per-message queue/service intervals into @p log: a
+     * request carrying a msgId contributes its wait-for-grant time as
+     * Queue and its hold as Service on this resource's name.
+     * Observational only.
+     */
+    void attachCausalLog(trace::CausalLog *log) { causal = log; }
+
+    /**
      * Acquire the resource for @p hold ticks; @p done runs at release
      * time.  Higher @p priority requests are granted first; equal
-     * priorities are FIFO.
+     * priorities are FIFO.  @p msgId (0 = none) attributes the wait
+     * and the hold to a message's critical path.
      */
     void
-    acquire(int priority, Tick hold, EventQueue::Callback done)
+    acquire(int priority, Tick hold, EventQueue::Callback done,
+            long msgId = 0)
     {
-        waiting.push_back(Request{priority, hold, std::move(done)});
+        waiting.push_back(
+            Request{priority, hold, msgId, eq.now(), std::move(done)});
         if (tracer && tracer->enabled())
             tracer->counter(traceTrack, "queued", eq.now(),
                             static_cast<double>(waiting.size()));
@@ -73,6 +85,8 @@ class Resource
     {
         int priority;
         Tick hold;
+        long msgId;      //!< message whose path this access is on
+        Tick enqueuedAt; //!< when the request joined the queue
         EventQueue::Callback done;
     };
 
@@ -94,9 +108,16 @@ class Resource
         busyTicks += req.hold;
         if (tracer && tracer->enabled()) {
             tracer->complete(traceTrack, "access", eq.now(), req.hold,
-                             "bus");
+                             "bus", req.msgId);
             tracer->counter(traceTrack, "queued", eq.now(),
                             static_cast<double>(waiting.size()));
+        }
+        if (causal && causal->enabled() && req.msgId != 0) {
+            causal->interval(req.msgId, name, trace::Component::Queue,
+                             req.enqueuedAt, eq.now());
+            causal->interval(req.msgId, name,
+                             trace::Component::Service, eq.now(),
+                             eq.now() + req.hold);
         }
         eq.scheduleAfter(req.hold,
                          [this, done = std::move(req.done)]() {
@@ -110,6 +131,7 @@ class Resource
     EventQueue &eq;
     std::string name;
     trace::Tracer *tracer = nullptr;
+    trace::CausalLog *causal = nullptr;
     int traceTrack = -1;
     std::deque<Request> waiting;
     bool busy = false;

@@ -30,10 +30,12 @@ constexpr double extraCopyUs = 220.0;
 struct Node
 {
     Node(EventQueue &eq, const std::string &prefix, int hosts,
-         bool coproc, bool split_bus, trace::Tracer *tracer)
+         bool coproc, bool split_bus, trace::Tracer *tracer,
+         trace::CausalLog *causal)
         : busTcb(eq, prefix + ".busTcb"),
           busKb(eq, prefix + ".busKb"), nicIn(eq, prefix + ".nicIn"),
-          nicOut(eq, prefix + ".nicOut"), splitBus(split_bus)
+          nicOut(eq, prefix + ".nicOut"), splitBus(split_bus),
+          svcName(prefix + ".svc")
     {
         for (int h = 0; h < hosts; ++h)
             this->hosts.emplace_back(
@@ -55,6 +57,17 @@ struct Node
             nicIn.attachTracer(tracer);
             nicOut.attachTracer(tracer);
             svcTrack = tracer->track(prefix + ".svc");
+        }
+        if (causal) {
+            for (auto &h : this->hosts)
+                h->attachCausalLog(causal);
+            if (mp)
+                mp->attachCausalLog(causal);
+            busTcb.attachCausalLog(causal);
+            if (split_bus)
+                busKb.attachCausalLog(causal);
+            nicIn.attachCausalLog(causal);
+            nicOut.attachCausalLog(causal);
         }
     }
 
@@ -80,6 +93,7 @@ struct Node
     int freeBuffers = 0;
     std::deque<int> buffersWaiting; //!< clients stalled for a buffer
     int svcTrack = -1; //!< trace track of the service queue
+    std::string svcName; //!< causal-log resource name of the queue
 };
 
 /** Build the injector's fault model from the experiment knobs. */
@@ -136,17 +150,26 @@ class Sim
         adjust(costsLocal);
         adjust(costsNonlocal);
 
+        // The causal log powering the critical-path decomposition is
+        // independent of the tracer (a decomposition needs no trace
+        // file) and equally observational.
+        if (exp.decomposeLatency)
+            pathLog.setEnabled(true);
+        trace::CausalLog *nodeCausal =
+            pathLog.enabled() ? &pathLog : nullptr;
         trace::Tracer *nodeTracer =
             tracer->enabled() ? tracer : nullptr;
         nodes.push_back(std::make_unique<Node>(eq, "n0",
                                                exp.hostsPerNode,
                                                coproc, split,
-                                               nodeTracer));
+                                               nodeTracer,
+                                               nodeCausal));
         if (two_nodes)
             nodes.push_back(std::make_unique<Node>(eq, "n1",
                                                    exp.hostsPerNode,
                                                    coproc, split,
-                                                   nodeTracer));
+                                                   nodeTracer,
+                                                   nodeCausal));
         for (auto &n : nodes)
             n->freeBuffers = exp.kernelBuffers;
         if (tracer->enabled())
@@ -352,6 +375,30 @@ class Sim
         }
         if (out.crashWindowsRecovered > 0)
             out.meanRecoveryUs /= out.crashWindowsRecovered;
+        if (exp.decomposeLatency) {
+            out.decomposition = trace::decompose(pathLog, warm, end);
+            if (metrics) {
+                // Component latency histograms over the same window
+                // the decomposition covers.
+                auto &h_rt = metrics->histogram("lat.roundTripUs");
+                auto &h_svc = metrics->histogram("lat.serviceUs");
+                auto &h_q = metrics->histogram("lat.queueUs");
+                auto &h_net = metrics->histogram("lat.networkUs");
+                auto &h_blk = metrics->histogram("lat.blockedUs");
+                for (const auto &[id, rec] : pathLog.records()) {
+                    if (rec.end < 0 || rec.end <= warm ||
+                        rec.end > end)
+                        continue;
+                    const trace::MessagePath p =
+                        trace::reconstructPath(id, rec);
+                    h_rt.observe(p.roundTripUs);
+                    h_svc.observe(p.serviceUs);
+                    h_q.observe(p.queueUs);
+                    h_net.observe(p.networkUs);
+                    h_blk.observe(p.blockedUs);
+                }
+            }
+        }
         finishObservability(out);
         return out;
     }
@@ -364,6 +411,10 @@ class Sim
         int serverNode;
         int host; //!< static task-to-host binding (§6.8)
         Tick sendStart = 0;
+        //! Lifetime id of the in-flight message (0 between trips).
+        long msgId = 0;
+        //! When the request joined the server's service queue.
+        Tick svcEnqueueAt = 0;
     };
 
     void
@@ -435,14 +486,22 @@ class Sim
             convs[static_cast<std::size_t>(conv)].host)];
     }
 
+    /** The in-flight message id of @p conv (0 between trips). */
+    long
+    msgOf(int conv) const
+    {
+        return convs[static_cast<std::size_t>(conv)].msgId;
+    }
+
     Activity
     act(const std::string &name, const ActCost &c, Node &node,
-        int priority, EventQueue::Callback done)
+        int priority, EventQueue::Callback done, long msgId = 0)
     {
         Activity a;
         a.name = name;
         a.processing = usToTicks(c.procUs);
         a.priority = priority;
+        a.msgId = msgId;
         a.onDone = std::move(done);
         if (node.splitBus) {
             a.memAccesses = c.tcb;
@@ -618,16 +677,31 @@ class Sim
 
     /**
      * Ship one message from @p from to @p to: through the reliability
-     * stack when the medium is faulty, directly otherwise.
+     * stack when the medium is faulty, directly otherwise.  The whole
+     * traversal — from handing the packet to the medium until its
+     * exactly-once delivery, timeouts and retransmissions included —
+     * is one Network interval on @p msg's critical path, so protocol
+     * recovery time is attributed to the network, not the endpoints.
      */
     void
-    wire(int from, int to, EventQueue::Callback deliver)
+    wire(int from, int to, long msg, EventQueue::Callback deliver)
     {
+        EventQueue::Callback arrive = std::move(deliver);
+        if (pathLog.enabled() && msg != 0) {
+            const Tick sent = eq.now();
+            arrive = [this, msg, sent,
+                      inner = std::move(arrive)]() {
+                pathLog.interval(msg, "net",
+                                 trace::Component::Network, sent,
+                                 eq.now());
+                inner();
+            };
+        }
         if (chans[0])
             chans[static_cast<std::size_t>(from)]->send(
-                std::move(deliver));
+                std::move(arrive), msg);
         else
-            rawWire(from, to, exp.packetBytes, std::move(deliver));
+            rawWire(from, to, exp.packetBytes, std::move(arrive));
     }
 
     // --- Client side -----------------------------------------------
@@ -650,9 +724,20 @@ class Sim
             return;
         }
         --cn.freeBuffers;
+        // The round trip begins here, where the measured sendStart is
+        // taken: a fresh lifetime id for the message, threaded
+        // through every activity, bus access, and wire hop it causes.
+        Conversation &cv = convs[static_cast<std::size_t>(conv)];
+        cv.msgId = ++lastMsgId;
+        if (pathLog.enabled())
+            pathLog.start(cv.msgId, eq.now());
+        if (tracer->enabled() && cn.svcTrack >= 0)
+            tracer->asyncBegin(cn.svcTrack, "roundTrip", eq.now(),
+                               cv.msgId);
         clientHost(conv).submit(
             act("sendSyscall", costsOf(conv).sendSyscall, cn, prioTask,
-                [this, conv]() { afterSendSyscall(conv); }));
+                [this, conv]() { afterSendSyscall(conv); },
+                cv.msgId));
     }
 
     void
@@ -665,7 +750,8 @@ class Sim
         }
         cNode(conv).commProc().submit(
             act("processSend", c.processSend, cNode(conv), prioTask,
-                [this, conv]() { sendProcessed(conv); }));
+                [this, conv]() { sendProcessed(conv); },
+                msgOf(conv)));
     }
 
     void
@@ -679,9 +765,10 @@ class Sim
         cNode(conv).nicOut.submit(
             act("dmaOut", costsOf(conv).dmaOutReq, cNode(conv),
                 prioTask, [this, conv, cv]() {
-                    wire(cv.clientNode, cv.serverNode,
+                    wire(cv.clientNode, cv.serverNode, msgOf(conv),
                          [this, conv]() { requestArrives(conv); });
-                }));
+                },
+                cv.msgId));
     }
 
     // --- Server side -------------------------------------------------
@@ -696,13 +783,16 @@ class Sim
                 sn.commProc().submit(
                     act("match", costsOf(conv).match, sn,
                         prioInterrupt,
-                        [this, conv]() { deliverToService(conv); }));
-            }));
+                        [this, conv]() { deliverToService(conv); },
+                        msgOf(conv)));
+            },
+            msgOf(conv)));
     }
 
     void
     deliverToService(int conv)
     {
+        convs[static_cast<std::size_t>(conv)].svcEnqueueAt = eq.now();
         sNode(conv).pendingMsgs.push_back(conv);
         svcEvent(sNode(conv), "enqueueMsg");
         tryMatch(sNode(conv));
@@ -749,6 +839,16 @@ class Sim
         node.waitingServers.pop_front();
         svcEvent(node, "match");
 
+        // The request's stay in the service queue is time blocked on
+        // the rendezvous: nobody was working on the message, it was
+        // waiting for a server to become available.
+        if (pathLog.enabled() && msgOf(msg_conv) != 0)
+            pathLog.interval(
+                msgOf(msg_conv), node.svcName,
+                trace::Component::Blocked,
+                convs[static_cast<std::size_t>(msg_conv)].svcEnqueueAt,
+                eq.now());
+
         if (isLocal(msg_conv)) {
             // Local rendezvous pays the match on the communication
             // processor; non-local ones already paid it at interrupt
@@ -757,7 +857,8 @@ class Sim
                 act("match", costsLocal.match, node, prioTask,
                     [this, msg_conv, server]() {
                         rendezvous(msg_conv, server);
-                    }));
+                    },
+                    msgOf(msg_conv)));
         } else {
             rendezvous(msg_conv, server);
         }
@@ -778,13 +879,15 @@ class Sim
             a.name = "compute";
             a.processing =
                 usToTicks(rng.uniform(0.5, 1.5) * exp.computeUs);
+            a.msgId = msgOf(conv);
             a.onDone = [this, conv, server]() {
                 serverHost(server).submit(
                     act("replySyscall", costsOf(conv).reply,
                         sNode(conv), prioTask,
                         [this, conv, server]() {
                             afterReplySyscall(conv, server);
-                        }));
+                        },
+                        msgOf(conv)));
             };
             serverHost(server).submit(std::move(a));
         };
@@ -793,7 +896,7 @@ class Sim
             serverHost(server).submit(act("restartServer",
                                           c.restartServer,
                                           sNode(conv), prioTask,
-                                          compute));
+                                          compute, msgOf(conv)));
         } else {
             compute();
         }
@@ -822,7 +925,7 @@ class Sim
         if (c.coproc) {
             sNode(conv).commProc().submit(
                 act("processReply", c.processReply, sNode(conv),
-                    prioTask, after_comm));
+                    prioTask, after_comm, msgOf(conv)));
         } else {
             after_comm();
         }
@@ -839,9 +942,10 @@ class Sim
         sNode(conv).nicOut.submit(
             act("dmaOut", costsOf(conv).dmaOutReply, sNode(conv),
                 prioTask, [this, conv, cv]() {
-                    wire(cv.serverNode, cv.clientNode,
+                    wire(cv.serverNode, cv.clientNode, msgOf(conv),
                          [this, conv]() { replyArrives(conv); });
-                }));
+                },
+                cv.msgId));
     }
 
     void
@@ -854,8 +958,10 @@ class Sim
                 cn.commProc().submit(
                     act("cleanup", costsOf(conv).cleanupClient, cn,
                         prioInterrupt,
-                        [this, conv]() { clientRestart(conv); }));
-            }));
+                        [this, conv]() { clientRestart(conv); },
+                        msgOf(conv)));
+            },
+            msgOf(conv)));
     }
 
     void
@@ -866,7 +972,8 @@ class Sim
         if (c.restartClient.valid()) {
             clientHost(conv).submit(act("restartClient",
                                         c.restartClient, cNode(conv),
-                                        prioTask, loop));
+                                        prioTask, loop,
+                                        msgOf(conv)));
         } else {
             loop();
         }
@@ -875,8 +982,23 @@ class Sim
     void
     roundTripDone(int conv)
     {
-        // Release the kernel buffer; wake a stalled sender if any.
+        // The message's life ends here, before the tail clientSend()
+        // below issues a fresh id for the next trip.
         Node &cn = cNode(conv);
+        Conversation &cv0 = convs[static_cast<std::size_t>(conv)];
+        if (cv0.msgId != 0) {
+            if (pathLog.enabled())
+                pathLog.done(cv0.msgId, eq.now());
+            if (tracer->enabled() && cn.svcTrack >= 0)
+                tracer->asyncEnd(cn.svcTrack, "roundTrip", eq.now(),
+                                 cv0.msgId);
+            if (tracer->enabled())
+                tracer->flowEnd(clientHost(conv).traceTrackId(),
+                                "msg", eq.now(), cv0.msgId);
+            cv0.msgId = 0;
+        }
+
+        // Release the kernel buffer; wake a stalled sender if any.
         ++cn.freeBuffers;
         if (!cn.buffersWaiting.empty()) {
             const int waiter = cn.buffersWaiting.front();
@@ -936,6 +1058,11 @@ class Sim
     metrics::Histogram *pendingHist = nullptr;
     metrics::Histogram *waitingHist = nullptr;
     int simTrack = -1;
+
+    //! Per-message causal intervals backing Outcome::decomposition;
+    //! enabled only when exp.decomposeLatency is set.
+    trace::CausalLog pathLog;
+    long lastMsgId = 0; //!< last lifetime id issued (0 = untagged)
 
     std::vector<std::unique_ptr<Node>> nodes;
     std::unique_ptr<TokenRing> ring;

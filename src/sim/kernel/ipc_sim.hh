@@ -31,6 +31,7 @@
 
 #include "common/metrics/metrics.hh"
 #include "common/stats.hh"
+#include "common/trace/critical_path.hh"
 #include "common/trace/tracer.hh"
 #include "core/models/processing_times.hh"
 #include "sim/net/faults.hh"
@@ -97,6 +98,15 @@ struct Experiment
      */
     std::string traceFile;
     std::string metricsFile;
+
+    /**
+     * Record every message's causal intervals and fill
+     * Outcome::decomposition with the critical-path latency
+     * decomposition (see common/trace/critical_path.hh).  Independent
+     * of the tracer, and — like it — strictly observational: all
+     * other Outcome fields stay bit-identical.
+     */
+    bool decomposeLatency = false;
 };
 
 /** Measured outcome of a run. */
@@ -157,6 +167,16 @@ struct Outcome
     //! involving the crashed node.
     int crashWindowsRecovered = 0;
     double meanRecoveryUs = 0;
+
+    /**
+     * Critical-path latency decomposition over the measurement
+     * window, filled only when Experiment::decomposeLatency is set:
+     * per-component mean/p50/p95/p99, per-resource service and
+     * queueing shares, and the bottleneck resource.  Each message's
+     * components partition its round trip exactly, so
+     * service + queue + network + blocked = roundTrip for the means.
+     */
+    trace::Decomposition decomposition;
 };
 
 /** Run the experiment to completion and return the measurements. */

@@ -8,17 +8,17 @@ namespace hsipc::sim
 {
 
 void
-ReliableChannel::note(const char *event)
+ReliableChannel::note(const char *event, long msgId)
 {
     if (tracer && tracer->enabled())
-        tracer->instant(traceTrack, event, eq.now(), "proto");
+        tracer->instant(traceTrack, event, eq.now(), "proto", msgId);
 }
 
 void
-ReliableChannel::send(EventQueue::Callback deliver)
+ReliableChannel::send(EventQueue::Callback deliver, long msgId)
 {
     ++counts.accepted;
-    backlog.push_back(std::move(deliver));
+    backlog.emplace_back(std::move(deliver), msgId);
     pump();
 }
 
@@ -27,7 +27,8 @@ ReliableChannel::pump()
 {
     while (!backlog.empty() && inFlight() < cfg.windowSize) {
         const long seq = nextSeq++;
-        unacked[seq].deliver = std::move(backlog.front());
+        unacked[seq].deliver = std::move(backlog.front().first);
+        unacked[seq].msgId = backlog.front().second;
         backlog.pop_front();
         transmit(seq, false);
     }
@@ -54,7 +55,10 @@ ReliableChannel::transmit(long seq, bool retransmit)
     ++counts.dataTransmissions;
     if (retransmit)
         ++counts.retransmissions;
-    note(retransmit ? "retransmit" : "send");
+    // Every copy of the packet carries the original message's id, so
+    // a recovery chain (timeout, resend, late delivery) stays one
+    // message's story in the trace.
+    note(retransmit ? "retransmit" : "send", it->second.msgId);
     const std::uint64_t gen = ++it->second.generation;
     hooks.exec(
         cfg.srcNode, retransmit ? "protoResend" : "protoSend",
@@ -98,7 +102,7 @@ ReliableChannel::onTimeout(long seq, std::uint64_t gen)
     if (it == unacked.end() || it->second.generation != gen)
         return; // acknowledged (or superseded) in time
     ++counts.timeoutsFired;
-    note("timeout");
+    note("timeout", it->second.msgId);
     // A packet that keeps timing out after the backoff ceiling is a
     // partition or a mis-tuned RTO, not routine loss; say so, but
     // never once per retry — a long outage fires thousands.
@@ -140,7 +144,7 @@ ReliableChannel::arriveData(long seq, bool corrupted)
                 sendAck();
                 return;
             }
-            note("deliver");
+            note("deliver", unacked.at(seq).msgId);
             // First good copy.  Messages are independent datagrams,
             // so deliver immediately instead of holding it behind an
             // earlier gap; only the ack stays cumulative.

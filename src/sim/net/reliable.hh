@@ -112,9 +112,12 @@ class ReliableChannel
 
     /**
      * Reliably deliver one message; @p deliver fires at the receiving
-     * node exactly once.
+     * node exactly once.  @p msgId (0 = none) is the message's
+     * lifetime id: every transmission of the packet — including
+     * retransmissions after a timeout — carries it, so the recovery
+     * chain stays attributed to the original message in the trace.
      */
-    void send(EventQueue::Callback deliver);
+    void send(EventQueue::Callback deliver, long msgId = 0);
 
     const Stats &stats() const { return counts; }
     long inFlight() const { return nextSeq - windowBase; }
@@ -124,6 +127,7 @@ class ReliableChannel
     struct Pending
     {
         EventQueue::Callback deliver;
+        long msgId = 0; //!< lifetime id of the carried message
         int retries = 0;
         std::uint64_t generation = 0; //!< invalidates stale timers
     };
@@ -135,7 +139,7 @@ class ReliableChannel
     void sendAck();
     void arriveAck(long ackNum, bool corrupted);
     Tick rto(int retries) const;
-    void note(const char *event);
+    void note(const char *event, long msgId = 0);
 
     EventQueue &eq;
     Config cfg;
@@ -149,7 +153,8 @@ class ReliableChannel
     long nextSeq = 0;    //!< next sequence number to assign
     long windowBase = 0; //!< lowest unacknowledged sequence number
     std::map<long, Pending> unacked;
-    std::deque<EventQueue::Callback> backlog; //!< beyond the window
+    //! Sends beyond the window: (deliver, msgId) awaiting a slot.
+    std::deque<std::pair<EventQueue::Callback, long>> backlog;
 
     // Receiver state: the contiguous prefix [0, nextExpected) has
     // been received; receivedAhead holds delivered packets beyond it.

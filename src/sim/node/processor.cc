@@ -6,13 +6,27 @@ namespace hsipc::sim
 {
 
 void
-Processor::charge(Tick t)
+Processor::charge(Tick t, bool accessWait)
 {
     busyTicks += t;
     hsipc_assert(running);
     perActivity[running->act.name] += t;
-    if (tracer && tracer->enabled() && t > 0)
-        tracer->complete(traceTrack, running->act.name, eq.now(), t);
+    const long msg = running->act.msgId;
+    if (tracer && tracer->enabled() && t > 0) {
+        // The first charge of a message-serving activity is where its
+        // flow arrow lands: inside the span recorded just below.
+        if (msg != 0 && !running->flowed) {
+            running->flowed = true;
+            tracer->flowStep(traceTrack, "msg", eq.now(), msg);
+        }
+        tracer->complete(traceTrack, running->act.name, eq.now(), t,
+                         "activity", msg);
+    }
+    // Access-wait charges stay off the causal log: the bus records
+    // that microsecond as the message's service itself.
+    if (causal && causal->enabled() && msg != 0 && !accessWait)
+        causal->interval(msg, name, trace::Component::Service,
+                         eq.now(), eq.now() + t);
 }
 
 void
@@ -92,9 +106,10 @@ Processor::segment()
                 bus = running->act.bus2;
                 --running->memLeft2;
             }
-            charge(tickUs); // the processor waits on its access
+            charge(tickUs, true); // the processor waits on its access
             bus->acquire(running->act.priority, tickUs,
-                         [this]() { segment(); });
+                         [this]() { segment(); },
+                         running->act.msgId);
         });
         return;
     }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace/critical_path.hh"
 #include "common/trace/tracer.hh"
 #include "sim/des/event_queue.hh"
 #include "sim/des/resource.hh"
@@ -46,6 +47,10 @@ struct Activity
     int memAccesses2 = 0;     //!< accesses on @c bus2 (architecture IV)
     Resource *bus2 = nullptr;
     int priority = prioTask;
+    //! Lifetime id of the message this activity serves (0 = none):
+    //! tags trace spans, chains flow arrows, and attributes the
+    //! activity's time to that message's critical path.
+    long msgId = 0;
     EventQueue::Callback onDone;
 };
 
@@ -73,6 +78,20 @@ class Processor
         tracer = t;
         traceTrack = t ? t->track(name) : -1;
     }
+
+    /**
+     * Report per-message service intervals into @p log: every CPU
+     * chunk charged for an activity with a msgId becomes a Service
+     * interval on this processor's name.  (The 1-us charge a
+     * processor takes while waiting on a bus access is *not*
+     * reported — the bus attributes that microsecond itself, so the
+     * message's timeline has no double-covered instant.)
+     * Observational only.
+     */
+    void attachCausalLog(trace::CausalLog *log) { causal = log; }
+
+    /** Trace track id, -1 when no tracer is attached. */
+    int traceTrackId() const { return traceTrack; }
 
     double
     utilization() const
@@ -112,6 +131,7 @@ class Processor
         int memLeft = 0;  //!< remaining accesses on bus
         int memLeft2 = 0; //!< remaining accesses on bus2
         Tick chunk = 0;   //!< CPU per segment
+        bool flowed = false; //!< flow step already emitted
     };
 
     void maybeStart();
@@ -121,8 +141,9 @@ class Processor
     EventQueue &eq;
     std::string name;
     trace::Tracer *tracer = nullptr;
+    trace::CausalLog *causal = nullptr;
     int traceTrack = -1;
-    void charge(Tick t);
+    void charge(Tick t, bool accessWait = false);
 
     std::deque<Running> queue;
     std::unique_ptr<Running> running;

@@ -236,6 +236,56 @@ TEST(Tracer, GapOrDifferentNameSplitsSpans)
     EXPECT_EQ(tr.events().size(), 4u);
 }
 
+TEST(Tracer, NeverMergesAcrossMessageIds)
+{
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    const int t = tr.track("cpu");
+    tr.complete(t, "act", 0, 10, "activity", 1);
+    tr.complete(t, "act", 10, 5, "activity", 2); // abuts, other msg
+    ASSERT_EQ(tr.events().size(), 2u);
+    tr.complete(t, "act", 15, 5, "activity", 2); // same msg: merges
+    ASSERT_EQ(tr.events().size(), 2u);
+    EXPECT_EQ(tr.events()[1].duration, 10);
+}
+
+TEST(Tracer, FlowAndAsyncGoldenChromeJson)
+{
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    const int cpu = tr.track("cpu0");
+    tr.complete(cpu, "work", 0, usToTicks(1), "activity", 7);
+    tr.flowStep(cpu, "msg", 0, 7);            // first step: "s"
+    tr.flowStep(cpu, "msg", usToTicks(2), 7); // subsequent: "t"
+    tr.flowEnd(cpu, "msg", usToTicks(3), 7);  // terminator: "f"
+    tr.asyncBegin(cpu, "roundTrip", 0, 7);
+    tr.asyncEnd(cpu, "roundTrip", usToTicks(3), 7);
+    // Ending a flow that never started records nothing.
+    tr.flowEnd(cpu, "msg", usToTicks(4), 99);
+    ASSERT_EQ(tr.events().size(), 6u);
+
+    const std::string expected =
+        "{\"traceEvents\":[\n"
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"cpu0\"}},\n"
+        "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0.000,"
+        "\"dur\":1.000,\"name\":\"work\",\"cat\":\"activity\","
+        "\"args\":{\"msg\":7}},\n"
+        "{\"ph\":\"s\",\"pid\":1,\"tid\":0,\"ts\":0.000,\"id\":7,"
+        "\"name\":\"msg\",\"cat\":\"flow\"},\n"
+        "{\"ph\":\"t\",\"pid\":1,\"tid\":0,\"ts\":2.000,\"id\":7,"
+        "\"name\":\"msg\",\"cat\":\"flow\"},\n"
+        "{\"ph\":\"f\",\"pid\":1,\"tid\":0,\"ts\":3.000,\"id\":7,"
+        "\"name\":\"msg\",\"cat\":\"flow\",\"bp\":\"e\"},\n"
+        "{\"ph\":\"b\",\"pid\":1,\"tid\":0,\"ts\":0.000,\"id\":7,"
+        "\"name\":\"roundTrip\",\"cat\":\"msg\"},\n"
+        "{\"ph\":\"e\",\"pid\":1,\"tid\":0,\"ts\":3.000,\"id\":7,"
+        "\"name\":\"roundTrip\",\"cat\":\"msg\"}\n"
+        "],\"displayTimeUnit\":\"ms\"}\n";
+    EXPECT_EQ(tr.chromeJson(), expected);
+    EXPECT_TRUE(validJson(tr.chromeJson()));
+}
+
 TEST(Tracer, GoldenChromeJson)
 {
     trace::Tracer tr;
@@ -401,8 +451,13 @@ lossyExperiment()
 }
 
 void
-expectSameOutcome(const sim::Outcome &a, const sim::Outcome &b)
+expectSameOutcome(const sim::Outcome &a, const sim::Outcome &b,
+                  bool includeDecomposition = true)
 {
+    // Skipped when the two runs differ in decomposeLatency itself
+    // (one side deliberately has an empty decomposition).
+    if (includeDecomposition)
+        EXPECT_EQ(a.decomposition, b.decomposition);
     EXPECT_EQ(a.throughputPerSec, b.throughputPerSec);
     EXPECT_EQ(a.meanRoundTripUs, b.meanRoundTripUs);
     EXPECT_EQ(a.rtCi95Us, b.rtCi95Us);
@@ -465,6 +520,72 @@ TEST(Observability, TracingDoesNotPerturbLocalRun)
     tr.setEnabled(true);
     const sim::Outcome traced = sim::runExperiment(e, &tr, nullptr);
     expectSameOutcome(plain, traced);
+}
+
+TEST(Observability, DecompositionDoesNotPerturbOutcome)
+{
+    // The causal log is pay-for-use: turning it on changes no other
+    // measured field, lossy reliability stack included.
+    sim::Experiment e = lossyExperiment();
+    const sim::Outcome plain = sim::runExperiment(e);
+    EXPECT_EQ(plain.decomposition.messages, 0);
+
+    e.decomposeLatency = true;
+    const sim::Outcome decomposed = sim::runExperiment(e);
+    EXPECT_GT(decomposed.decomposition.messages, 0);
+    expectSameOutcome(plain, decomposed,
+                      /*includeDecomposition=*/false);
+
+    // And with the tracer also attached, everything — the
+    // decomposition included — is reproduced bit for bit.
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    metrics::Registry reg;
+    const sim::Outcome traced = sim::runExperiment(e, &tr, &reg);
+    expectSameOutcome(decomposed, traced);
+    // The component latency histograms landed in the registry.
+    EXPECT_GT(reg.histogram("lat.roundTripUs").count(), 0);
+    EXPECT_GT(reg.histogram("lat.queueUs").count(), 0);
+    EXPECT_EQ(reg.histogram("lat.serviceUs").count(),
+              decomposed.decomposition.messages);
+}
+
+TEST(Observability, SimEmitsFlowAndAsyncEvents)
+{
+    sim::Experiment e = lossyExperiment();
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    const sim::Outcome o = sim::runExperiment(e, &tr, nullptr);
+    ASSERT_GT(o.roundTrips, 0);
+
+    long flowStarts = 0, flowSteps = 0, flowEnds = 0;
+    long asyncBegins = 0, asyncEnds = 0, taggedSpans = 0;
+    for (const trace::Event &ev : tr.events()) {
+        switch (ev.phase) {
+          case trace::Phase::FlowStart: ++flowStarts; break;
+          case trace::Phase::FlowStep: ++flowSteps; break;
+          case trace::Phase::FlowEnd: ++flowEnds; break;
+          case trace::Phase::AsyncBegin: ++asyncBegins; break;
+          case trace::Phase::AsyncEnd: ++asyncEnds; break;
+          case trace::Phase::Complete:
+            if (ev.id != 0)
+                ++taggedSpans;
+            break;
+          default:
+            break;
+        }
+    }
+    // Every round trip opens a flow chain and an async span; both end
+    // exactly once (in-flight messages at simulation end stay open).
+    EXPECT_GT(flowStarts, 0);
+    EXPECT_GT(flowSteps, flowStarts); // several hops per message
+    EXPECT_GT(flowEnds, 0);
+    EXPECT_LE(flowEnds, flowStarts);
+    EXPECT_GE(asyncBegins, o.roundTrips);
+    EXPECT_LE(asyncEnds, asyncBegins);
+    EXPECT_GT(asyncEnds, 0);
+    EXPECT_GT(taggedSpans, 0);
+    EXPECT_TRUE(validJson(tr.chromeJson()));
 }
 
 TEST(Observability, ResourceUtilizationMatchesTrace)
