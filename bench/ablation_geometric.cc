@@ -10,11 +10,17 @@
  * exact constant delay or its geometric approximation, across delay
  * magnitudes and token populations — plus the time-scale invariance
  * the solver layer relies on.
+ *
+ * Every GTPN solve is independent, so both grids fan out over
+ * `--jobs` workers and render afterwards in input order.
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "common/bench_main.hh"
+#include "common/parallel/parallel.hh"
 #include "common/table.hh"
 #include "core/gtpn/analyzer.hh"
 #include "core/models/solution.hh"
@@ -66,15 +72,45 @@ main(int argc, char **argv)
 {
     hsipc::bench::init(argc, argv, "ablation_geometric");
     using hsipc::TextTable;
+    using namespace hsipc::models;
+
+    // Grid 1: (tokens, delay) x {constant, geometric}.
+    std::vector<std::function<double()>> cycleTasks;
+    for (int tokens : {1, 2, 3}) {
+        for (int delay : {5, 20, 80}) {
+            for (bool geometric : {false, true}) {
+                cycleTasks.push_back([tokens, delay, geometric]() {
+                    return cycleThroughput(tokens, delay, geometric);
+                });
+            }
+        }
+    }
+    // Grid 2: the time-scale invariance sweep.
+    const std::vector<double> scales = {2.0, 5.0, 10.0, 20.0};
+    std::vector<std::function<LocalSolution()>> scaleTasks;
+    for (double scale : scales) {
+        scaleTasks.push_back([scale]() {
+            SolveConfig cfg;
+            cfg.timeScale = scale;
+            return solveLocal(Arch::III, 2, 1710.0, cfg);
+        });
+    }
+    const std::vector<double> cyc =
+        hsipc::parallel::runAll<double>(hsipc::bench::jobs(),
+                                        cycleTasks);
+    const std::vector<LocalSolution> inv =
+        hsipc::parallel::runAll<LocalSolution>(hsipc::bench::jobs(),
+                                               scaleTasks);
 
     TextTable t("Geometric vs constant delay (closed cycle, 3-unit "
                 "single server): completions per time unit");
     t.header({"Tokens", "Think delay", "Constant", "Geometric",
               "error %"});
+    std::size_t cell = 0;
     for (int tokens : {1, 2, 3}) {
         for (int delay : {5, 20, 80}) {
-            const double c = cycleThroughput(tokens, delay, false);
-            const double g = cycleThroughput(tokens, delay, true);
+            const double c = cyc[cell++];
+            const double g = cyc[cell++];
             t.row({std::to_string(tokens), std::to_string(delay),
                    TextTable::num(c, 5), TextTable::num(g, 5),
                    TextTable::num(100.0 * (g - c) / c, 2)});
@@ -84,15 +120,12 @@ main(int argc, char **argv)
     hsipc::bench::record(t);
 
     // Time-scale invariance of the architecture models.
-    using namespace hsipc::models;
     TextTable s("Model granularity (Arch III local, 2 conversations, "
                 "X = 1.71 ms)");
     s.header({"timeScale (us/unit)", "msgs/s", "states"});
-    for (double scale : {2.0, 5.0, 10.0, 20.0}) {
-        SolveConfig cfg;
-        cfg.timeScale = scale;
-        const LocalSolution r = solveLocal(Arch::III, 2, 1710.0, cfg);
-        s.row({TextTable::num(scale, 0),
+    for (std::size_t i = 0; i < scales.size(); ++i) {
+        const LocalSolution &r = inv[i];
+        s.row({TextTable::num(scales[i], 0),
                TextTable::num(r.throughputPerUs * 1e6, 1),
                std::to_string(r.states)});
     }

@@ -8,15 +8,22 @@
  * communication-heavy loads (the MP becomes the bottleneck); beyond
  * ~2x the returns diminish because the host-side work and the
  * serialized rendezvous dominate.
+ *
+ * The model solves and the simulations are independent; both fan out
+ * over `--jobs` workers (simulations via the sweep runner) and the
+ * tables render afterwards in input order.
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "common/bench_main.hh"
+#include "common/parallel/parallel.hh"
 #include "common/table.hh"
 #include "core/models/local_model.hh"
 #include "core/models/solution.hh"
-#include "sim/kernel/ipc_sim.hh"
+#include "sim/runner/sweep_runner.hh"
 
 int
 main(int argc, char **argv)
@@ -27,32 +34,52 @@ main(int argc, char **argv)
 
     const int n = 4;
     const double factors[] = {0.5, 1.0, 2.0, 4.0};
+    const double computes[] = {0.0, 1710.0};
 
-    for (double x : {0.0, 1710.0}) {
-        TextTable t(std::string("MP speed ablation (Arch II local, "
-                                "4 conversations, X = ") +
-                    TextTable::num(x / 1000.0, 2) + " ms)");
-        t.header({"MP speed vs host", "Model msgs/s", "Sim msgs/s",
-                  "vs Arch I"});
-        const double arch1 =
-            solveLocal(Arch::I, n, x).throughputPerUs * 1e6;
+    // Model solves: per X, the Arch I reference plus one solve per MP
+    // speed factor.
+    std::vector<std::function<double()>> modelTasks;
+    std::vector<sim::Experiment> exps;
+    for (double x : computes) {
+        modelTasks.push_back([x]() {
+            return solveLocal(Arch::I, n, x).throughputPerUs * 1e6;
+        });
         for (double f : factors) {
-            const double model =
-                solveLocalCustom(scaleMpSpeed(localParams(Arch::II), f),
-                                 n, x, 1)
-                    .throughputPerUs * 1e6;
-
+            modelTasks.push_back([x, f]() {
+                return solveLocalCustom(
+                           scaleMpSpeed(localParams(Arch::II), f), n, x,
+                           1)
+                           .throughputPerUs * 1e6;
+            });
             sim::Experiment e;
             e.arch = Arch::II;
             e.local = true;
             e.conversations = n;
             e.computeUs = x;
             e.mpSpeedFactor = f;
-            const double simt = sim::runExperiment(e).throughputPerSec;
+            exps.push_back(e);
+        }
+    }
+    const std::vector<double> model =
+        parallel::runAll<double>(bench::jobs(), modelTasks);
+    const std::vector<sim::Outcome> outcomes =
+        sim::runSweep(exps, bench::jobs());
 
-            t.row({TextTable::num(f, 1) + "x",
-                   TextTable::num(model, 1), TextTable::num(simt, 1),
-                   TextTable::num(model / arch1, 2) + "x"});
+    std::size_t mcell = 0;
+    std::size_t scell = 0;
+    for (double x : computes) {
+        TextTable t(std::string("MP speed ablation (Arch II local, "
+                                "4 conversations, X = ") +
+                    TextTable::num(x / 1000.0, 2) + " ms)");
+        t.header({"MP speed vs host", "Model msgs/s", "Sim msgs/s",
+                  "vs Arch I"});
+        const double arch1 = model[mcell++];
+        for (double f : factors) {
+            const double m = model[mcell++];
+            const double simt = outcomes[scell++].throughputPerSec;
+            t.row({TextTable::num(f, 1) + "x", TextTable::num(m, 1),
+                   TextTable::num(simt, 1),
+                   TextTable::num(m / arch1, 2) + "x"});
         }
         std::printf("%s\n", t.render().c_str());
         hsipc::bench::record(t);

@@ -10,13 +10,19 @@
  * communication — keeps the conversations running.  The question the
  * published figures could never ask: who pays for retransmission
  * processing, and which architecture degrades most gracefully?
+ *
+ * All 24 simulations (ideal yardsticks, loss sweep, 2%-loss
+ * accounting, crash recovery) are one sweep through the runner
+ * (`--jobs N`); outcomes land by input index and the tables render
+ * afterwards, byte-identical at any jobs level.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/bench_main.hh"
 #include "common/table.hh"
-#include "sim/kernel/ipc_sim.hh"
+#include "sim/runner/sweep_runner.hh"
 
 namespace
 {
@@ -43,26 +49,54 @@ main(int argc, char **argv)
 {
     hsipc::bench::init(argc, argv, "beyond_lossy_network");
     using sim::Outcome;
-    using sim::runExperiment;
 
     constexpr Arch archs[] = {Arch::I, Arch::II, Arch::III};
+    const std::vector<double> losses = {0.0, 0.01, 0.02, 0.05, 0.10};
+
+    // One flat experiment list in rendering order: the ideal-medium
+    // yardsticks, the loss sweep, the 2%-loss accounting and the
+    // crash-recovery runs.
+    std::vector<sim::Experiment> exps;
+    for (Arch a : archs)
+        exps.push_back(base(a));
+    for (double loss : losses) {
+        for (Arch a : archs) {
+            sim::Experiment e = base(a);
+            e.reliableProtocol = true;
+            e.lossRate = loss;
+            exps.push_back(e);
+        }
+    }
+    for (Arch a : archs) {
+        sim::Experiment e = base(a);
+        e.reliableProtocol = true;
+        e.lossRate = 0.02;
+        exps.push_back(e);
+    }
+    for (Arch a : archs) {
+        sim::Experiment e = base(a);
+        e.reliableProtocol = true;
+        e.crashSchedule.push_back({1, e.warmupUs + 300000,
+                                   e.warmupUs + 500000});
+        exps.push_back(e);
+    }
+    const std::vector<Outcome> outcomes =
+        sim::runSweep(exps, bench::jobs());
+    std::size_t cell = 0;
 
     // Ideal-medium throughput, no reliability stack: the yardstick.
     double ideal[3];
     for (int i = 0; i < 3; ++i)
-        ideal[i] = runExperiment(base(archs[i])).throughputPerSec;
+        ideal[i] = outcomes[cell++].throughputPerSec;
 
     TextTable sweep("Loss sweep (non-local, 4 conversations, X = 2.85 "
                     "ms): messages/sec and % of ideal-medium rate");
     sweep.header({"Loss", "Arch I", "ret%", "Arch II", "ret%",
                   "Arch III", "ret%"});
-    for (double loss : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+    for (double loss : losses) {
         std::vector<std::string> row{TextTable::num(loss * 100, 1)};
         for (int i = 0; i < 3; ++i) {
-            sim::Experiment e = base(archs[i]);
-            e.reliableProtocol = true;
-            e.lossRate = loss;
-            const Outcome o = runExperiment(e);
+            const Outcome &o = outcomes[cell++];
             row.push_back(TextTable::num(o.throughputPerSec, 1));
             row.push_back(
                 TextTable::num(100 * o.throughputPerSec / ideal[i], 1));
@@ -85,18 +119,16 @@ main(int argc, char **argv)
     pays.header({"Arch", "host us/RT", "MP us/RT", "retx/s",
                  "goodput", "wire pkts/s"});
     for (int i = 0; i < 3; ++i) {
-        sim::Experiment e = base(archs[i]);
-        e.reliableProtocol = true;
-        e.lossRate = 0.02;
-        const Outcome o = runExperiment(e);
+        const Outcome &o = outcomes[cell];
         pays.row({archName(archs[i]),
                   TextTable::num(o.protoHostUsPerRt, 1),
                   TextTable::num(o.protoMpUsPerRt, 1),
                   TextTable::num(o.retransmissions /
-                                     (e.measureUs / 1e6),
+                                     (exps[cell].measureUs / 1e6),
                                  1),
                   TextTable::num(o.netGoodputPktsPerSec, 1),
                   TextTable::num(o.netThroughputPktsPerSec, 1)});
+        ++cell;
     }
     std::printf("%s", pays.render().c_str());
     hsipc::bench::record(pays);
@@ -109,11 +141,7 @@ main(int argc, char **argv)
                     "the measured window");
     crash.header({"Arch", "msgs/sec", "recovered", "recovery (ms)"});
     for (int i = 0; i < 3; ++i) {
-        sim::Experiment e = base(archs[i]);
-        e.reliableProtocol = true;
-        e.crashSchedule.push_back({1, e.warmupUs + 300000,
-                                   e.warmupUs + 500000});
-        const Outcome o = runExperiment(e);
+        const Outcome &o = outcomes[cell++];
         crash.row({archName(archs[i]),
                    TextTable::num(o.throughputPerSec, 1),
                    std::to_string(o.crashWindowsRecovered),

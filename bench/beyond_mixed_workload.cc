@@ -10,13 +10,18 @@
  * at a fixed total of 4 conversations per node pair and shows how the
  * architectures rank when the workloads interleave — the regime the
  * published figures never covered.
+ *
+ * The 15 simulations run through the sweep runner (`--jobs N`);
+ * outcomes land by input index and the table renders afterwards,
+ * byte-identical at any jobs level.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/bench_main.hh"
 #include "common/table.hh"
-#include "sim/kernel/ipc_sim.hh"
+#include "sim/runner/sweep_runner.hh"
 
 int
 main(int argc, char **argv)
@@ -25,22 +30,34 @@ main(int argc, char **argv)
     using namespace hsipc;
     using namespace hsipc::models;
 
+    constexpr Arch archs[] = {Arch::I, Arch::II, Arch::III};
+
+    std::vector<sim::Experiment> exps;
+    for (int remote = 0; remote <= 4; ++remote) {
+        for (Arch a : archs) {
+            sim::Experiment e;
+            e.arch = a;
+            e.mixedLocal = 4 - remote;
+            e.mixedRemote = remote;
+            e.computeUs = 1710;
+            exps.push_back(e);
+        }
+    }
+    const std::vector<sim::Outcome> outcomes =
+        sim::runSweep(exps, bench::jobs());
+
     TextTable t("Mixed local/remote workload (4 conversations total, "
                 "X = 1.71 ms): messages/sec");
     t.header({"Local", "Remote", "Arch I", "Arch II", "Arch III",
               "III RT p95 (ms)"});
+    std::size_t cell = 0;
     for (int remote = 0; remote <= 4; ++remote) {
         const int local = 4 - remote;
         std::vector<std::string> row{std::to_string(local),
                                      std::to_string(remote)};
         double p95 = 0;
-        for (Arch a : {Arch::I, Arch::II, Arch::III}) {
-            sim::Experiment e;
-            e.arch = a;
-            e.mixedLocal = local;
-            e.mixedRemote = remote;
-            e.computeUs = 1710;
-            const sim::Outcome o = sim::runExperiment(e);
+        for (Arch a : archs) {
+            const sim::Outcome &o = outcomes[cell++];
             row.push_back(TextTable::num(o.throughputPerSec, 1));
             if (a == Arch::III)
                 p95 = o.rtP95Us;

@@ -12,12 +12,18 @@
  * approaches a 2x gain over architecture I for offered loads in
  * 0.5-0.9; architecture III does better still and over a wider range;
  * at computation-intensive loads (left side) the curves converge.
+ *
+ * Each (X, n, arch) cell is an independent model solve; the sweep
+ * fans out over `--jobs` workers and renders in input order, so the
+ * output is byte-identical at any jobs level.
  */
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "common/bench_main.hh"
+#include "common/parallel/parallel.hh"
 #include "common/table.hh"
 #include "core/models/offered_load.hh"
 #include "core/models/solution.hh"
@@ -28,28 +34,29 @@ namespace
 using namespace hsipc;
 using namespace hsipc::models;
 
-void
-figure(bool local, const char *title)
-{
-    // Server-computation times (us) spanning offered loads ~1.0
-    // down to ~0.3 (Tables 6.24/6.25 rows 0-11.4 ms).
-    const std::vector<double> server_us = {0,    570,  1140, 1710,
-                                           2850, 5700, 11400};
+// Server-computation times (us) spanning offered loads ~1.0
+// down to ~0.3 (Tables 6.24/6.25 rows 0-11.4 ms).
+const std::vector<double> server_us = {0,    570,  1140, 1710,
+                                       2850, 5700, 11400};
+constexpr int convs[] = {1, 2, 4};
+constexpr Arch archs[] = {Arch::I, Arch::II, Arch::III};
 
+void
+figure(bool local, const char *title, const std::vector<double> &thr,
+       std::size_t &cell)
+{
     TextTable t(title);
     t.header({"Server X (ms)", "Load(ArchI)", "Conv", "Arch I",
               "Arch II", "Arch III"});
     for (double x : server_us) {
         const double load = offeredLoad(Arch::I, local, x);
-        for (int n : {1, 2, 4}) {
+        for (int n : convs) {
             std::vector<std::string> row{
                 TextTable::num(x / 1000.0, 2),
                 TextTable::num(load, 3), std::to_string(n)};
-            for (Arch a : {Arch::I, Arch::II, Arch::III}) {
-                const double thr = local
-                    ? solveLocal(a, n, x).throughputPerUs
-                    : solveNonlocal(a, n, x).throughputPerUs;
-                row.push_back(TextTable::num(thr * 1e6, 1));
+            for (Arch a : archs) {
+                (void)a;
+                row.push_back(TextTable::num(thr[cell++] * 1e6, 1));
             }
             t.row(std::move(row));
         }
@@ -64,10 +71,31 @@ int
 main(int argc, char **argv)
 {
     hsipc::bench::init(argc, argv, "fig6_18_19_realistic");
+
+    std::vector<std::function<double()>> tasks;
+    for (bool local : {true, false}) {
+        for (double x : server_us) {
+            for (int n : convs) {
+                for (Arch a : archs) {
+                    tasks.push_back([local, x, n, a]() {
+                        return local
+                            ? solveLocal(a, n, x).throughputPerUs
+                            : solveNonlocal(a, n, x).throughputPerUs;
+                    });
+                }
+            }
+        }
+    }
+    const std::vector<double> thr =
+        parallel::runAll<double>(hsipc::bench::jobs(), tasks);
+
+    std::size_t cell = 0;
     figure(true,
-           "Figure 6.18 - Realistic Workload (Local): messages/sec");
+           "Figure 6.18 - Realistic Workload (Local): messages/sec",
+           thr, cell);
     figure(false,
            "Figure 6.19 - Realistic Workload (Non-local): "
-           "messages/sec");
+           "messages/sec",
+           thr, cell);
     return hsipc::bench::finish();
 }

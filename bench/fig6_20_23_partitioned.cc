@@ -7,12 +7,18 @@
  * Expected result (§6.9.3): the partitioned organization does NOT
  * perform significantly better — shared-memory access is not the
  * bottleneck, processing time is.
+ *
+ * Each (figure, row, arch) cell is an independent model solve; the
+ * grid fans out over `--jobs` workers and is rendered in input order,
+ * so the output is byte-identical at any jobs level.
  */
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "common/bench_main.hh"
+#include "common/parallel/parallel.hh"
 #include "common/table.hh"
 #include "core/models/solution.hh"
 
@@ -22,20 +28,24 @@ namespace
 using namespace hsipc;
 using namespace hsipc::models;
 
+const std::vector<double> realistic_server_us = {570, 1710, 5700};
+
+double
+solveCell(Arch a, bool local, int n, double x)
+{
+    return (local ? solveLocal(a, n, x).throughputPerUs
+                  : solveNonlocal(a, n, x).throughputPerUs) * 1e6;
+}
+
 void
-maxLoad(bool local, const char *title)
+maxLoad(const char *title, const std::vector<double> &thr,
+        std::size_t &cell)
 {
     TextTable t(title);
     t.header({"Conversations", "Arch III", "Arch IV", "IV/III"});
     for (int n = 1; n <= 4; ++n) {
-        const double t3 = (local ? solveLocal(Arch::III, n, 0)
-                                     .throughputPerUs
-                                 : solveNonlocal(Arch::III, n, 0)
-                                       .throughputPerUs) * 1e6;
-        const double t4 = (local ? solveLocal(Arch::IV, n, 0)
-                                     .throughputPerUs
-                                 : solveNonlocal(Arch::IV, n, 0)
-                                       .throughputPerUs) * 1e6;
+        const double t3 = thr[cell++];
+        const double t4 = thr[cell++];
         t.row({std::to_string(n), TextTable::num(t3, 1),
                TextTable::num(t4, 1), TextTable::num(t4 / t3, 3)});
     }
@@ -44,22 +54,16 @@ maxLoad(bool local, const char *title)
 }
 
 void
-realistic(bool local, const char *title)
+realistic(const char *title, const std::vector<double> &thr,
+          std::size_t &cell)
 {
-    const std::vector<double> server_us = {570, 1710, 5700};
     TextTable t(title);
     t.header({"Server X (ms)", "Conv", "Arch III", "Arch IV",
               "IV/III"});
-    for (double x : server_us) {
+    for (double x : realistic_server_us) {
         for (int n : {2, 4}) {
-            const double t3 = (local ? solveLocal(Arch::III, n, x)
-                                         .throughputPerUs
-                                     : solveNonlocal(Arch::III, n, x)
-                                           .throughputPerUs) * 1e6;
-            const double t4 = (local ? solveLocal(Arch::IV, n, x)
-                                         .throughputPerUs
-                                     : solveNonlocal(Arch::IV, n, x)
-                                           .throughputPerUs) * 1e6;
+            const double t3 = thr[cell++];
+            const double t4 = thr[cell++];
             t.row({TextTable::num(x / 1000.0, 2), std::to_string(n),
                    TextTable::num(t3, 1), TextTable::num(t4, 1),
                    TextTable::num(t4 / t3, 3)});
@@ -75,13 +79,44 @@ int
 main(int argc, char **argv)
 {
     hsipc::bench::init(argc, argv, "fig6_20_23_partitioned");
-    maxLoad(true, "Figure 6.20 - Maximum Load (III & IV: Local), "
-                  "messages/sec");
-    maxLoad(false, "Figure 6.21 - Maximum Load (III & IV: Non-local), "
-                   "messages/sec");
-    realistic(true, "Figure 6.22 - Realistic Load (III & IV: Local), "
-                    "messages/sec");
-    realistic(false, "Figure 6.23 - Realistic Load (III & IV: "
-                     "Non-local), messages/sec");
+
+    // Cell order matches the rendering order below: the two max-load
+    // figures (III, IV per row), then the two realistic figures.
+    std::vector<std::function<double()>> tasks;
+    for (bool local : {true, false}) {
+        for (int n = 1; n <= 4; ++n) {
+            for (Arch a : {Arch::III, Arch::IV}) {
+                tasks.push_back(
+                    [a, local, n]() { return solveCell(a, local, n, 0); });
+            }
+        }
+    }
+    for (bool local : {true, false}) {
+        for (double x : realistic_server_us) {
+            for (int n : {2, 4}) {
+                for (Arch a : {Arch::III, Arch::IV}) {
+                    tasks.push_back([a, local, n, x]() {
+                        return solveCell(a, local, n, x);
+                    });
+                }
+            }
+        }
+    }
+    const std::vector<double> thr =
+        parallel::runAll<double>(bench::jobs(), tasks);
+
+    std::size_t cell = 0;
+    maxLoad("Figure 6.20 - Maximum Load (III & IV: Local), "
+            "messages/sec",
+            thr, cell);
+    maxLoad("Figure 6.21 - Maximum Load (III & IV: Non-local), "
+            "messages/sec",
+            thr, cell);
+    realistic("Figure 6.22 - Realistic Load (III & IV: Local), "
+              "messages/sec",
+              thr, cell);
+    realistic("Figure 6.23 - Realistic Load (III & IV: "
+              "Non-local), messages/sec",
+              thr, cell);
     return hsipc::bench::finish();
 }

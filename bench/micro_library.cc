@@ -2,12 +2,18 @@
  * @file
  * Google-benchmark microbenchmarks of the library itself: GTPN
  * reachability + steady-state solution, queue primitives (software
- * reference vs microcode), smart-bus transactions, and the
- * event-driven kernel simulator.
+ * reference vs microcode), smart-bus transactions, the event queue
+ * (current explicit-heap/SBO implementation vs the seed
+ * priority_queue/std::function pattern), and the event-driven kernel
+ * simulator.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -16,6 +22,7 @@
 #include "bus/smart_bus.hh"
 #include "core/models/local_model.hh"
 #include "core/models/solution.hh"
+#include "sim/des/event_queue.hh"
 #include "sim/kernel/ipc_sim.hh"
 #include "ucode/microcode.hh"
 
@@ -90,6 +97,141 @@ BM_SmartBusBlockTransfer(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SmartBusBlockTransfer)->Arg(40)->Arg(1024);
+
+/**
+ * The event queue the repo shipped with before the explicit-heap
+ * rewrite, reconstructed locally as the microbenchmark baseline:
+ * std::function callbacks (which heap-allocate once the capture
+ * outgrows the library's 16-24 byte inline buffer) in a
+ * std::priority_queue (whose top() must be const_cast-moved to
+ * extract a move-only payload, and whose pop() re-inspects the heap).
+ */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Tick now() const { return current; }
+
+    void
+    schedule(Tick when, Callback cb)
+    {
+        events.push(Event{when, nextSeq++, std::move(cb)});
+    }
+
+    void
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(current + delay, std::move(cb));
+    }
+
+    std::uint64_t eventsRun() const { return executed; }
+
+    void
+    runUntil(Tick end)
+    {
+        while (!events.empty() && events.top().when <= end) {
+            Event ev = std::move(const_cast<Event &>(events.top()));
+            events.pop();
+            current = ev.when;
+            ++executed;
+            ev.cb();
+        }
+        if (current < end)
+            current = end;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct After
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, After> events;
+    Tick current = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
+};
+
+/**
+ * A self-rescheduling event: the simulator's steady-state shape (each
+ * activity completion schedules the next).  `Pad` sizes the capture:
+ * the default mirrors the typical this-plus-a-few-ints capture and
+ * stays within EventCallback's 48-byte inline buffer; 64 forces the
+ * spill path (and, on the legacy queue, a std::function allocation).
+ */
+template <typename Queue, std::size_t Pad = 8> struct SelfSched
+{
+    Queue *q;
+    std::uint64_t *remaining;
+    unsigned char pad[Pad] = {};
+
+    void
+    operator()()
+    {
+        if (*remaining > 0) {
+            --*remaining;
+            q->scheduleAfter(100, SelfSched(*this));
+        }
+    }
+};
+
+template <typename Queue, std::size_t Pad>
+void
+runEventQueueBench(benchmark::State &state)
+{
+    const int fanout = static_cast<int>(state.range(0));
+    constexpr std::uint64_t perIter = 16384;
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        Queue q;
+        std::uint64_t remaining = perIter;
+        for (int i = 0; i < fanout; ++i)
+            q.scheduleAfter(i, SelfSched<Queue, Pad>{&q, &remaining});
+        q.runUntil(std::numeric_limits<Tick>::max());
+        total += q.eventsRun();
+        benchmark::DoNotOptimize(q.now());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    runEventQueueBench<sim::EventQueue, 8>(state);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(16)->Arg(256);
+
+void
+BM_EventQueueScheduleRunSpilled(benchmark::State &state)
+{
+    runEventQueueBench<sim::EventQueue, 64>(state);
+}
+BENCHMARK(BM_EventQueueScheduleRunSpilled)->Arg(16)->Arg(256);
+
+void
+BM_EventQueueLegacy(benchmark::State &state)
+{
+    runEventQueueBench<LegacyEventQueue, 8>(state);
+}
+BENCHMARK(BM_EventQueueLegacy)->Arg(16)->Arg(256);
+
+void
+BM_EventQueueLegacySpilled(benchmark::State &state)
+{
+    runEventQueueBench<LegacyEventQueue, 64>(state);
+}
+BENCHMARK(BM_EventQueueLegacySpilled)->Arg(16)->Arg(256);
 
 void
 BM_KernelSimulation(benchmark::State &state)

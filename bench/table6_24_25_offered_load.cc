@@ -4,11 +4,18 @@
  * architecture for the thesis' sweep of server-computation times.
  * C is obtained, as in the thesis, by solving each model with one
  * conversation and zero computation.
+ *
+ * The per-cell loads fan out over `--jobs` workers; the tables are
+ * rendered afterwards in input order, byte-identical at any jobs
+ * level.
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "common/bench_main.hh"
+#include "common/parallel/parallel.hh"
 #include "common/table.hh"
 #include "core/models/offered_load.hh"
 
@@ -26,17 +33,21 @@ struct PaperSpot
     double load[4];
 };
 
+constexpr Arch archs[] = {Arch::I, Arch::II, Arch::III, Arch::IV};
+
 void
-table(bool local, const char *title, const std::vector<PaperSpot> &spots)
+table(bool local, const char *title, const std::vector<PaperSpot> &spots,
+      const std::vector<double> &loads, std::size_t &cell)
 {
     TextTable t(title);
     t.header({"Server Time (ms)", "Arch I", "Arch II", "Arch III",
               "Arch IV", "paper I/II/III/IV"});
     for (double ms : offeredLoadServerTimesMs()) {
         std::vector<std::string> row{TextTable::num(ms, 2)};
-        for (Arch a : {Arch::I, Arch::II, Arch::III, Arch::IV})
-            row.push_back(
-                TextTable::num(offeredLoad(a, local, ms * 1000.0), 3));
+        for (Arch a : archs) {
+            (void)a;
+            row.push_back(TextTable::num(loads[cell++], 3));
+        }
         std::string paper = "-";
         for (const PaperSpot &s : spots) {
             if (s.ms == ms) {
@@ -65,13 +76,30 @@ int
 main(int argc, char **argv)
 {
     hsipc::bench::init(argc, argv, "table6_24_25_offered_load");
+
+    std::vector<std::function<double()>> tasks;
+    for (bool local : {true, false}) {
+        for (double ms : offeredLoadServerTimesMs()) {
+            for (Arch a : archs) {
+                tasks.push_back([a, local, ms]() {
+                    return offeredLoad(a, local, ms * 1000.0);
+                });
+            }
+        }
+    }
+    const std::vector<double> loads =
+        parallel::runAll<double>(hsipc::bench::jobs(), tasks);
+
+    std::size_t cell = 0;
     table(true, "Table 6.24 - Offered Loads (Local)",
           {{0.57, {0.897, 0.905, 0.867, 0.866}},
            {5.7, {0.466, 0.488, 0.399, 0.393}},
-           {45.6, {0.098, 0.107, 0.077, 0.075}}});
+           {45.6, {0.098, 0.107, 0.077, 0.075}}},
+          loads, cell);
     table(false, "Table 6.25 - Offered Loads (Non-local)",
           {{0.57, {0.920, 0.924, 0.900, 0.898}},
            {5.7, {0.536, 0.549, 0.474, 0.469}},
-           {45.6, {0.126, 0.132, 0.101, 0.099}}});
+           {45.6, {0.126, 0.132, 0.101, 0.099}}},
+          loads, cell);
     return hsipc::bench::finish();
 }

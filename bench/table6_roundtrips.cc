@@ -5,11 +5,18 @@
  * one conversation under each architecture, with contention-free and
  * contention-inflated completion times, plus the derived fixed
  * round-trip overhead.
+ *
+ * Each of the eight step tables is solved independently (the
+ * contention column requires a GTPN solve), so the solves fan out over
+ * `--jobs` workers; the tables render afterwards in thesis order.
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "common/bench_main.hh"
+#include "common/parallel/parallel.hh"
 #include "common/table.hh"
 #include "core/models/processing_times.hh"
 
@@ -19,8 +26,17 @@ namespace
 using namespace hsipc;
 using namespace hsipc::models;
 
+// The precomputed pieces of one step table: the solved steps plus the
+// derived fixed round-trip overhead.
+struct SolvedTable
+{
+    std::vector<Step> steps;
+    double best = 0;
+};
+
 void
-printStepTable(Arch a, bool local, const char *table_no)
+printStepTable(Arch a, bool local, const char *table_no,
+               const SolvedTable &solved)
 {
     TextTable t(std::string("Table ") + table_no + " - " +
                 archName(a) + (local ? ": Local" : ": Non-local") +
@@ -33,7 +49,7 @@ printStepTable(Arch a, bool local, const char *table_no)
         t.header({"Proc", "Initiator", "#", "Description", "Processing",
                   "Shared mem", "Best", "Contention"});
     }
-    for (const Step &s : stepTable(a, local)) {
+    for (const Step &s : solved.steps) {
         if (s.workload) {
             if (split) {
                 t.row({s.processor, s.initiator, s.number,
@@ -63,9 +79,16 @@ printStepTable(Arch a, bool local, const char *table_no)
     }
     std::printf("%s  fixed round-trip overhead (sum of Best): %.0f "
                 "us\n\n",
-                t.render().c_str(), roundTripBest(a, local));
+                t.render().c_str(), solved.best);
     hsipc::bench::record(t);
 }
+
+struct TableSpec
+{
+    Arch arch;
+    bool local;
+    const char *table_no;
+};
 
 } // namespace
 
@@ -73,13 +96,25 @@ int
 main(int argc, char **argv)
 {
     hsipc::bench::init(argc, argv, "table6_roundtrips");
-    printStepTable(Arch::I, true, "6.4");
-    printStepTable(Arch::I, false, "6.6");
-    printStepTable(Arch::II, true, "6.9");
-    printStepTable(Arch::II, false, "6.11");
-    printStepTable(Arch::III, true, "6.14");
-    printStepTable(Arch::III, false, "6.16");
-    printStepTable(Arch::IV, true, "6.19");
-    printStepTable(Arch::IV, false, "6.21");
+
+    const std::vector<TableSpec> specs = {
+        {Arch::I, true, "6.4"},    {Arch::I, false, "6.6"},
+        {Arch::II, true, "6.9"},   {Arch::II, false, "6.11"},
+        {Arch::III, true, "6.14"}, {Arch::III, false, "6.16"},
+        {Arch::IV, true, "6.19"},  {Arch::IV, false, "6.21"},
+    };
+    std::vector<std::function<SolvedTable()>> tasks;
+    for (const TableSpec &s : specs) {
+        tasks.push_back([s]() {
+            return SolvedTable{stepTable(s.arch, s.local),
+                               roundTripBest(s.arch, s.local)};
+        });
+    }
+    const std::vector<SolvedTable> solved =
+        parallel::runAll<SolvedTable>(bench::jobs(), tasks);
+
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        printStepTable(specs[i].arch, specs[i].local, specs[i].table_no,
+                       solved[i]);
     return hsipc::bench::finish();
 }

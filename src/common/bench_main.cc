@@ -1,12 +1,15 @@
 #include "common/bench_main.hh"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 #include <vector>
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/parallel/parallel.hh"
 
 namespace hsipc::bench
 {
@@ -14,11 +17,18 @@ namespace hsipc::bench
 namespace
 {
 
-/** Per-process output state (bench binaries are single-threaded). */
+/**
+ * Per-process output state.  Sweep benches may run simulations on
+ * worker threads, but emit()/record()/note() are main-thread-only
+ * (rendering happens after the workers return their values), so this
+ * needs no locking.
+ */
 struct State
 {
     std::string name;
     std::string jsonPath;
+    int jobs = 1;
+    std::chrono::steady_clock::time_point start;
     std::vector<std::string> tables; //!< pre-rendered JSON objects
     std::vector<std::pair<std::string, double>> scalars;
 };
@@ -36,16 +46,33 @@ void
 init(int argc, char **argv, const std::string &benchName)
 {
     state().name = benchName;
+    state().start = std::chrono::steady_clock::now();
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             if (i + 1 >= argc)
                 hsipc_fatal("--json requires a path argument");
             state().jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            if (i + 1 >= argc)
+                hsipc_fatal("--jobs requires a thread count");
+            char *end = nullptr;
+            const long n = std::strtol(argv[++i], &end, 10);
+            if (end == nullptr || *end != '\0' || n < 0)
+                hsipc_fatal(std::string("invalid --jobs value '") +
+                            argv[i] + "'");
+            state().jobs = n == 0 ? parallel::defaultJobs()
+                                  : static_cast<int>(n);
         } else {
             hsipc_fatal(std::string("unknown argument '") + argv[i] +
-                        "' (supported: --json <path>)");
+                        "' (supported: --json <path>, --jobs <n>)");
         }
     }
+}
+
+int
+jobs()
+{
+    return state().jobs;
 }
 
 void
@@ -73,10 +100,15 @@ finish()
     State &s = state();
     if (s.jsonPath.empty())
         return 0;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - s.start)
+            .count();
     std::FILE *f = std::fopen(s.jsonPath.c_str(), "w");
     if (!f)
         hsipc_fatal("cannot open JSON output file " + s.jsonPath);
     std::string doc = "{\"bench\": " + jsonString(s.name) +
+                      ",\n \"wall_ms\": " + jsonNumber(wall_ms) +
                       ",\n \"tables\": [";
     for (std::size_t i = 0; i < s.tables.size(); ++i)
         doc += (i ? ",\n  " : "\n  ") + s.tables[i];

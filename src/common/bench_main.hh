@@ -19,8 +19,20 @@
  *     }
  *
  * The JSON schema is
- * {"bench": name, "tables": [TextTable::renderJson()...],
- *  "scalars": {name: value}}.
+ * {"bench": name, "wall_ms": elapsed, "tables":
+ *  [TextTable::renderJson()...], "scalars": {name: value}}.
+ * wall_ms is the bench's own wall-clock time from init() to finish(),
+ * measured on the host — informational only (tools/bench_compare.py
+ * reports it but never fails on it, since it varies with the machine
+ * and the --jobs level while the simulated metrics must not).
+ *
+ * Benches that sweep independent configurations honor `--jobs <n>`
+ * (default 1 = serial): init() parses it and jobs() exposes it, and
+ * the sweep-style benches feed it to sim::SweepRunner /
+ * parallel::runAll.  Results are bit-identical at every jobs level —
+ * only wall_ms changes.  emit()/record()/note() stay main-thread-only;
+ * worker tasks return values, the main thread renders them in input
+ * order.
  */
 
 #ifndef HSIPC_COMMON_BENCH_MAIN_HH
@@ -34,11 +46,17 @@ namespace hsipc::bench
 {
 
 /**
- * Parse the command line (recognizing `--json <path>`) and name the
- * run.  Unknown arguments are fatal, so a typo cannot silently yield
- * a half-configured run.
+ * Parse the command line (recognizing `--json <path>` and
+ * `--jobs <n>`) and name the run.  Unknown arguments are fatal, so a
+ * typo cannot silently yield a half-configured run.
  */
 void init(int argc, char **argv, const std::string &benchName);
+
+/**
+ * Worker threads requested with `--jobs <n>` (1 when absent).
+ * `--jobs 0` resolves to the hardware concurrency.
+ */
+int jobs();
 
 /** Print @p t to stdout and record it for the JSON document. */
 void emit(const TextTable &t);

@@ -12,6 +12,7 @@
 #ifndef HSIPC_COMMON_LOGGING_HH
 #define HSIPC_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -62,12 +63,16 @@ warnImpl(const char *file, int line, const std::string &msg)
 #define hsipc_fatal(msg) ::hsipc::fatalImpl(__FILE__, __LINE__, (msg))
 #define hsipc_warn(msg) ::hsipc::warnImpl(__FILE__, __LINE__, (msg))
 
-/** Warn only the first time this call site is reached. */
+/**
+ * Warn only the first time this call site is reached.  The flag is
+ * atomic so call sites shared by concurrently running simulations
+ * (e.g. under the parallel sweep runner) stay race-free.
+ */
 #define hsipc_warn_once(msg)                                                \
     do {                                                                    \
-        static bool hsipc_warned_once_ = false;                             \
-        if (!hsipc_warned_once_) {                                          \
-            hsipc_warned_once_ = true;                                      \
+        static std::atomic<bool> hsipc_warned_once_{false};                 \
+        if (!hsipc_warned_once_.exchange(true,                              \
+                                         std::memory_order_relaxed)) {      \
             hsipc_warn(msg);                                                \
         }                                                                   \
     } while (0)
@@ -76,15 +81,18 @@ warnImpl(const char *file, int line, const std::string &msg)
  * Rate-limited warning for hot loops: the first occurrence and every
  * @p every-th after it are reported (with the running occurrence
  * count appended), the rest are suppressed — so a fault storm cannot
- * flood stderr.  The counter is per call site and never resets.
+ * flood stderr.  The counter is per call site (atomic, see
+ * hsipc_warn_once) and never resets.
  */
 #define hsipc_warn_every(every, msg)                                        \
     do {                                                                    \
-        static long hsipc_warn_count_ = 0;                                  \
+        static std::atomic<long> hsipc_warn_count_{0};                      \
         static_assert((every) > 0, "rate limit must be positive");          \
-        if (hsipc_warn_count_++ % (every) == 0) {                           \
+        const long hsipc_warn_prev_ = hsipc_warn_count_.fetch_add(          \
+            1, std::memory_order_relaxed);                                  \
+        if (hsipc_warn_prev_ % (every) == 0) {                              \
             hsipc_warn(std::string(msg) + " (occurrence " +                 \
-                       std::to_string(hsipc_warn_count_) + ")");            \
+                       std::to_string(hsipc_warn_prev_ + 1) + ")");         \
         }                                                                   \
     } while (0)
 

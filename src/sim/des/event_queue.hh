@@ -2,18 +2,30 @@
  * @file
  * Discrete-event simulation core: a time-ordered event queue with
  * stable FIFO ordering among simultaneous events.
+ *
+ * The queue is an explicit binary min-heap over (when, seq) rather
+ * than a std::priority_queue: priority_queue::top() returns a const
+ * reference, so popping a move-only event out of it needs a
+ * const_cast (mutating a container element through top() — UB-bait),
+ * and its pop() cannot be fused with the inspection the run loop just
+ * did.  The explicit heap moves the root out legitimately, lets
+ * runUntil() do exactly one heap inspection per executed event, and
+ * reserves its backing storage up front so the steady state never
+ * reallocates.  Callbacks are EventCallback (see callable.hh): 48
+ * bytes of inline capture storage and a pooled spill path, so
+ * scheduling stops allocating per event.
  */
 
 #ifndef HSIPC_SIM_EVENT_QUEUE_HH
 #define HSIPC_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/time.hh"
+#include "sim/des/callable.hh"
 
 namespace hsipc::sim
 {
@@ -22,7 +34,9 @@ namespace hsipc::sim
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
+
+    EventQueue() { heap.reserve(initialCapacity); }
 
     Tick now() const { return current; }
 
@@ -31,7 +45,8 @@ class EventQueue
     schedule(Tick when, Callback cb)
     {
         hsipc_assert(when >= current);
-        events.push(Event{when, nextSeq++, std::move(cb)});
+        heap.push_back(Event{when, nextSeq++, std::move(cb)});
+        siftUp(heap.size() - 1);
     }
 
     /** Schedule @p cb @p delay ticks from now. */
@@ -41,8 +56,8 @@ class EventQueue
         schedule(current + delay, std::move(cb));
     }
 
-    bool empty() const { return events.empty(); }
-    std::size_t size() const { return events.size(); }
+    bool empty() const { return heap.empty(); }
+    std::size_t size() const { return heap.size(); }
 
     /** Events executed since construction (for the metrics dump). */
     std::uint64_t eventsRun() const { return executed; }
@@ -51,26 +66,28 @@ class EventQueue
     bool
     runOne()
     {
-        if (events.empty())
+        if (heap.empty())
             return false;
-        // std::priority_queue::top returns const&; the callback must
-        // be moved out before popping.
-        Event ev = std::move(const_cast<Event &>(events.top()));
-        events.pop();
-        hsipc_assert(ev.when >= current);
+        Event ev = popTop();
         current = ev.when;
         ++executed;
         ev.cb();
         return true;
     }
 
-    /** Run until the clock passes @p end or the queue drains. */
+    /**
+     * Run until the clock passes @p end or the queue drains.  The hot
+     * loop inspects the heap root once per event: the bounds check
+     * reads the root in place, and the same read feeds the pop.
+     */
     void
     runUntil(Tick end)
     {
-        while (!events.empty() && events.top().when <= end) {
-            if (!runOne())
-                break;
+        while (!heap.empty() && heap.front().when <= end) {
+            Event ev = popTop();
+            current = ev.when;
+            ++executed;
+            ev.cb();
         }
         if (current < end)
             current = end;
@@ -82,17 +99,73 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         Callback cb;
-
-        bool
-        operator>(const Event &other) const
-        {
-            return when != other.when ? when > other.when
-                                      : seq > other.seq;
-        }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>>
-        events;
+    /** Heap order: earlier time first, FIFO (seq) among equals. */
+    static bool
+    before(const Event &a, const Event &b)
+    {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
+
+    /** Remove and return the root, restoring the heap invariant. */
+    Event
+    popTop()
+    {
+        Event top = std::move(heap.front());
+        if (heap.size() > 1) {
+            heap.front() = std::move(heap.back());
+            heap.pop_back();
+            siftDown(0);
+        } else {
+            heap.pop_back();
+        }
+        return top;
+    }
+
+    /** Bubble the element at @p i up, hole-style (one move per level). */
+    void
+    siftUp(std::size_t i)
+    {
+        Event e = std::move(heap[i]);
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!before(e, heap[parent]))
+                break;
+            heap[i] = std::move(heap[parent]);
+            i = parent;
+        }
+        heap[i] = std::move(e);
+    }
+
+    /** Push the element at @p i down, hole-style. */
+    void
+    siftDown(std::size_t i)
+    {
+        Event e = std::move(heap[i]);
+        const std::size_t n = heap.size();
+        for (;;) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && before(heap[child + 1], heap[child]))
+                ++child;
+            if (!before(heap[child], e))
+                break;
+            heap[i] = std::move(heap[child]);
+            i = child;
+        }
+        heap[i] = std::move(e);
+    }
+
+    /**
+     * Pre-sized backing store: the kernel simulator keeps a few dozen
+     * to a few hundred events in flight, so one page of headroom
+     * removes every steady-state reallocation.
+     */
+    static constexpr std::size_t initialCapacity = 1024;
+
+    std::vector<Event> heap;
     Tick current = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t executed = 0;

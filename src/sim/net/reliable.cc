@@ -152,7 +152,11 @@ ReliableChannel::arriveData(long seq, bool corrupted)
             while (receivedAhead.erase(nextExpected) > 0)
                 ++nextExpected;
             ++counts.delivered;
-            EventQueue::Callback cb = unacked.at(seq).deliver;
+            // First delivery of this sequence number (later copies
+            // take the dupDrop path above), so the callback can be
+            // moved out rather than copied.
+            EventQueue::Callback cb =
+                std::move(unacked.at(seq).deliver);
             sendAck();
             cb();
         });

@@ -1,0 +1,139 @@
+#include "sim/runner/sweep_runner.hh"
+
+#include <utility>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/parallel/parallel.hh"
+
+namespace hsipc::sim
+{
+
+namespace
+{
+
+std::string
+mapJson(const std::map<std::string, double> &m)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : m) {
+        out += (first ? "" : ", ") + jsonString(key) + ": " +
+               jsonNumber(value);
+        first = false;
+    }
+    return out + "}";
+}
+
+std::string
+statsJson(const trace::ComponentStats &s)
+{
+    return "{\"meanUs\": " + jsonNumber(s.meanUs) +
+           ", \"p50Us\": " + jsonNumber(s.p50Us) +
+           ", \"p95Us\": " + jsonNumber(s.p95Us) +
+           ", \"p99Us\": " + jsonNumber(s.p99Us) + "}";
+}
+
+} // namespace
+
+std::vector<Outcome>
+SweepRunner::run(std::vector<Experiment> exps) const
+{
+    return runWithSinks(std::move(exps), nullptr, nullptr);
+}
+
+std::vector<Outcome>
+SweepRunner::runWithSinks(
+    std::vector<Experiment> exps,
+    const std::vector<trace::Tracer *> *tracers,
+    const std::vector<metrics::Registry *> *metrics) const
+{
+    if (tracers)
+        hsipc_assert(tracers->size() == exps.size());
+    if (metrics)
+        hsipc_assert(metrics->size() == exps.size());
+
+    if (opts.seedBase != 0) {
+        for (std::size_t i = 0; i < exps.size(); ++i)
+            exps[i].seed = parallel::deriveSeed(
+                opts.seedBase, static_cast<std::uint64_t>(i));
+    }
+
+    std::vector<Outcome> outcomes(exps.size());
+    parallel::parallelFor(opts.jobs, exps.size(), [&](std::size_t i) {
+        trace::Tracer *tracer = tracers ? (*tracers)[i] : nullptr;
+        metrics::Registry *reg = metrics ? (*metrics)[i] : nullptr;
+        outcomes[i] = runExperiment(exps[i], tracer, reg);
+    });
+    return outcomes;
+}
+
+std::vector<Outcome>
+runSweep(std::vector<Experiment> exps, int jobs)
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    return SweepRunner(opts).run(std::move(exps));
+}
+
+std::string
+outcomeJson(const Outcome &out)
+{
+    std::string doc = "{";
+    auto num = [&](const char *name, double v, bool comma = true) {
+        doc += std::string("\"") + name + "\": " + jsonNumber(v) +
+               (comma ? ",\n " : "");
+    };
+    num("throughputPerSec", out.throughputPerSec);
+    num("meanRoundTripUs", out.meanRoundTripUs);
+    num("rtCi95Us", out.rtCi95Us);
+    num("rtP50Us", out.rtP50Us);
+    num("rtP95Us", out.rtP95Us);
+    num("roundTrips", static_cast<double>(out.roundTrips));
+    num("hostUtil", out.hostUtil);
+    num("mpUtil", out.mpUtil);
+    num("busUtil", out.busUtil);
+    doc += "\"resourceUtilization\": " +
+           mapJson(out.resourceUtilization) + ",\n ";
+    num("bufferStalls", static_cast<double>(out.bufferStalls));
+    num("ringUtil", out.ringUtil);
+    num("ringTokenWaitUs", out.ringTokenWaitUs);
+    doc += "\"activityUsPerRoundTrip\": " +
+           mapJson(out.activityUsPerRoundTrip) + ",\n ";
+    num("localThroughputPerSec", out.localThroughputPerSec);
+    num("remoteThroughputPerSec", out.remoteThroughputPerSec);
+    num("localMeanRtUs", out.localMeanRtUs);
+    num("remoteMeanRtUs", out.remoteMeanRtUs);
+    num("retransmissions", static_cast<double>(out.retransmissions));
+    num("timeoutsFired", static_cast<double>(out.timeoutsFired));
+    num("duplicatesDropped",
+        static_cast<double>(out.duplicatesDropped));
+    num("corruptDiscarded", static_cast<double>(out.corruptDiscarded));
+    num("faultDrops", static_cast<double>(out.faultDrops));
+    num("crashDrops", static_cast<double>(out.crashDrops));
+    num("netThroughputPktsPerSec", out.netThroughputPktsPerSec);
+    num("netGoodputPktsPerSec", out.netGoodputPktsPerSec);
+    num("protoHostUsPerRt", out.protoHostUsPerRt);
+    num("protoMpUsPerRt", out.protoMpUsPerRt);
+    num("crashWindowsRecovered",
+        static_cast<double>(out.crashWindowsRecovered));
+    num("meanRecoveryUs", out.meanRecoveryUs);
+    const trace::Decomposition &d = out.decomposition;
+    doc += "\"decomposition\": {\"messages\": " +
+           jsonNumber(static_cast<double>(d.messages)) +
+           ",\n  \"roundTrip\": " + statsJson(d.roundTrip) +
+           ",\n  \"service\": " + statsJson(d.service) +
+           ",\n  \"queue\": " + statsJson(d.queue) +
+           ",\n  \"network\": " + statsJson(d.network) +
+           ",\n  \"blocked\": " + statsJson(d.blocked) +
+           ",\n  \"serviceUsByResource\": " +
+           mapJson(d.serviceUsByResource) +
+           ",\n  \"queueUsByResource\": " +
+           mapJson(d.queueUsByResource) +
+           ",\n  \"bottleneck\": " + jsonString(d.bottleneck) +
+           ",\n  \"bottleneckShare\": " +
+           jsonNumber(d.bottleneckShare) + "}\n}\n";
+    return doc;
+}
+
+} // namespace hsipc::sim

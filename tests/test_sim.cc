@@ -5,6 +5,10 @@
  * agreement with hand analysis and the GTPN models.
  */
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include <gtest/gtest.h>
 
 #include "core/models/solution.hh"
@@ -14,6 +18,62 @@
 #include "sim/node/costs.hh"
 #include "sim/node/processor.hh"
 #include "sim/node/token_ring.hh"
+
+/**
+ * Global allocation counter backing the zero-steady-state-allocation
+ * guarantees of the event queue (EventCallback inline storage and the
+ * spill pool).  Replacing the global allocation functions is the only
+ * way to observe every heap allocation; counting is relaxed-atomic so
+ * the override stays safe under any threading.
+ */
+static std::atomic<std::size_t> g_heapAllocs{0};
+
+// GCC pairs the replaced operator delete's free() against operator
+// new at inlined call sites and warns, even though the replaced new
+// allocates with malloc — matched in fact.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void *
+operator new(std::size_t n)
+{
+    g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+#pragma GCC diagnostic pop
 
 namespace
 {
@@ -822,6 +882,82 @@ TEST(IpcSimMixed, PerKindBreakdownSumsToTotal)
                 o.throughputPerSec, o.throughputPerSec * 1e-6);
     // Remote round trips are longer than local ones.
     EXPECT_GT(o.remoteMeanRtUs, o.localMeanRtUs);
+}
+
+/**
+ * A self-rescheduling event with a capture of `Pad` extra bytes —
+ * the simulator's steady-state shape.  Runs the queue until
+ * `remaining` reschedules have happened, then lets it drain.
+ */
+template <std::size_t Pad> struct SelfSched
+{
+    EventQueue *q;
+    std::uint64_t *remaining;
+    unsigned char pad[Pad] = {};
+
+    void
+    operator()()
+    {
+        if (*remaining > 0) {
+            --*remaining;
+            q->scheduleAfter(10, SelfSched(*this));
+        }
+    }
+};
+
+template <std::size_t Pad>
+std::size_t
+allocationsDuringSteadyState(int fanout, std::uint64_t warmup,
+                             std::uint64_t measured)
+{
+    EventQueue eq;
+    std::uint64_t remaining = warmup;
+    for (int i = 0; i < fanout; ++i)
+        eq.scheduleAfter(i, SelfSched<Pad>{&eq, &remaining});
+    // Warm up: backing vector growth, pool fills, etc.
+    while (remaining > 0)
+        eq.runOne();
+
+    // Measure while the event population is steady; the final drain
+    // (every conversation dying at once) parks a burst of spill
+    // blocks and legitimately grows the free list.
+    remaining = measured;
+    const std::size_t before =
+        g_heapAllocs.load(std::memory_order_relaxed);
+    while (remaining > 0)
+        eq.runOne();
+    const std::size_t after =
+        g_heapAllocs.load(std::memory_order_relaxed);
+    while (eq.runOne()) {}
+    return after - before;
+}
+
+TEST(EventQueue, InlineCapturesNeverAllocateInSteadyState)
+{
+    // 24-byte capture: inline in EventCallback's 48-byte buffer.
+    static_assert(sizeof(SelfSched<8>) <=
+                  EventCallback::inlineCapacity);
+    EXPECT_EQ(allocationsDuringSteadyState<8>(32, 1000, 20000), 0u);
+}
+
+TEST(EventQueue, MaxInlineCapturesNeverAllocateInSteadyState)
+{
+    // Exactly at the 48-byte boundary.
+    static_assert(sizeof(SelfSched<32>) ==
+                  EventCallback::inlineCapacity);
+    EXPECT_EQ(allocationsDuringSteadyState<32>(32, 1000, 20000), 0u);
+}
+
+TEST(EventQueue, SpilledCapturesReusePooledBlocksWithoutAllocating)
+{
+    // 88-byte capture: spills to the per-thread pool; after warmup
+    // every block is recycled, so the steady state allocates nothing.
+    static_assert(sizeof(SelfSched<64>) >
+                  EventCallback::inlineCapacity);
+    static_assert(sizeof(SelfSched<64>) <=
+                  detail::SpillPool::blockSize);
+    EXPECT_EQ(allocationsDuringSteadyState<64>(32, 1000, 20000), 0u);
+    EXPECT_GT(detail::SpillPool::instance().freeBlocks(), 0u);
 }
 
 } // namespace

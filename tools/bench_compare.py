@@ -16,6 +16,11 @@ exact and the tolerance only has to absorb intentional-but-small
 behavior changes; a real regression (e.g. a 20% slowdown) trips it
 immediately.
 
+Documents may carry a top-level "wall_ms" field: the bench's own
+wall-clock self-timing.  Wall time depends on the machine, its load
+and --jobs, so it is reported for information only and never gates
+the comparison.
+
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.10]
     bench_compare.py --baseline-dir bench/baselines --current-dir DIR
@@ -104,6 +109,19 @@ def compare_docs(name, base, cur, tolerance):
         yield f"{name}: new table {title!r} missing from baseline"
 
 
+def wall_note(base, cur):
+    """Informational wall-clock note; never influences pass/fail."""
+    cur_wall = cur.get("wall_ms")
+    if not is_number(cur_wall):
+        return ""
+    base_wall = base.get("wall_ms")
+    if is_number(base_wall) and float(base_wall) > 0:
+        ratio = float(cur_wall) / float(base_wall)
+        return (f"  [wall {float(cur_wall):.0f} ms, "
+                f"{ratio:.2f}x baseline]")
+    return f"  [wall {float(cur_wall):.0f} ms]"
+
+
 def load(path):
     with open(path) as f:
         return json.load(f)
@@ -147,14 +165,16 @@ def main():
 
     failures = 0
     for name, base_path, cur_path in pairs:
-        diffs = list(compare_docs(name, load(base_path),
-                                  load(cur_path), args.tolerance))
+        base_doc, cur_doc = load(base_path), load(cur_path)
+        diffs = list(compare_docs(name, base_doc, cur_doc,
+                                  args.tolerance))
+        wall = wall_note(base_doc, cur_doc)
         if diffs:
             failures += 1
             for d in diffs:
                 print(f"FAIL {d}")
         else:
-            print(f"OK   {name}")
+            print(f"OK   {name}{wall}")
     if failures:
         print(f"\n{failures} of {len(pairs)} bench document(s) "
               f"regressed beyond {args.tolerance:.0%}")
