@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A minimal JSON document model and recursive-descent parser.
+ *
+ * json.hh only writes JSON; the fuzzer's replayable repro format
+ * (tools/fuzz) must also *read* it back, so this header adds the
+ * smallest tree representation that round-trips the documents this
+ * library emits: objects, arrays, strings, finite numbers, booleans
+ * and null.  Numbers are stored as doubles — every measured quantity
+ * the library serializes fits; values needing full 64-bit integer
+ * fidelity (RNG seeds) travel as decimal strings instead (see
+ * sim/check/experiment_json.cc).  Parsing failures throw
+ * JsonParseError with the byte offset of the problem.
+ */
+
+#ifndef HSIPC_COMMON_JSON_VALUE_HH
+#define HSIPC_COMMON_JSON_VALUE_HH
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hsipc
+{
+
+/** Thrown when a document is not valid JSON. */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    JsonParseError(const std::string &what, std::size_t offset)
+        : std::runtime_error(what + " at byte " +
+                             std::to_string(offset)),
+          offset(offset)
+    {}
+
+    std::size_t offset; //!< position in the input where parsing failed
+};
+
+/** One JSON value: object, array, string, number, bool or null. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** The boolean payload; throws unless kind() == Bool. */
+    bool asBool() const;
+
+    /** The numeric payload; throws unless kind() == Number. */
+    double asNumber() const;
+
+    /** The string payload; throws unless kind() == String. */
+    const std::string &asString() const;
+
+    /** The elements; throws unless kind() == Array. */
+    const std::vector<JsonValue> &asArray() const;
+
+    /** The members (sorted by key); throws unless kind() == Object. */
+    const std::map<std::string, JsonValue> &asObject() const;
+
+    /** True when this is an object with member @p key. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Member access; throws std::out_of_range when the key is absent
+     * (missing optional fields should be tested with has() first).
+     */
+    const JsonValue &at(const std::string &key) const;
+
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> elems);
+    static JsonValue makeObject(std::map<std::string, JsonValue> m);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::map<std::string, JsonValue> obj_;
+};
+
+/**
+ * Parse @p text as one JSON document.  Trailing whitespace is
+ * allowed; trailing non-whitespace is an error.  Throws
+ * JsonParseError on malformed input.
+ */
+JsonValue parseJson(const std::string &text);
+
+} // namespace hsipc
+
+#endif // HSIPC_COMMON_JSON_VALUE_HH

@@ -1,0 +1,124 @@
+#include "sim/check/generator.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace hsipc::sim::check
+{
+
+Experiment
+baseExperiment()
+{
+    Experiment exp;
+    exp.warmupUs = 2000;
+    exp.measureUs = 40000;
+    return exp;
+}
+
+namespace
+{
+
+/**
+ * Mix the generator seed with the stream index so neighbouring
+ * indices produce statistically unrelated draws (a bare xoshiro
+ * seeded with base+index would correlate the low bits).
+ */
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t index)
+{
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Round to one decimal so repros read well; validity is unaffected. */
+double
+coarse(double v)
+{
+    return std::round(v * 10.0) / 10.0;
+}
+
+} // namespace
+
+Experiment
+ExperimentGenerator::generate(std::uint64_t index) const
+{
+    Rng rng(deriveSeed(baseSeed, index));
+    Experiment exp = baseExperiment();
+
+    exp.arch = static_cast<models::Arch>(1 + rng.below(4));
+
+    // Workload: classic local, classic remote, or mixed (two-node).
+    const double workload = rng.uniform();
+    if (workload < 0.4) {
+        exp.local = true;
+        exp.conversations = 1 + static_cast<int>(rng.below(6));
+    } else if (workload < 0.8) {
+        exp.local = false;
+        exp.conversations = 1 + static_cast<int>(rng.below(6));
+    } else {
+        exp.mixedLocal = static_cast<int>(rng.below(4));
+        exp.mixedRemote = static_cast<int>(rng.below(4));
+        if (exp.mixedLocal + exp.mixedRemote == 0)
+            exp.mixedRemote = 1;
+    }
+    const bool twoNodes =
+        !exp.local || exp.mixedLocal + exp.mixedRemote > 0;
+
+    if (rng.chance(0.5))
+        exp.computeUs = coarse(rng.uniform(0, 4000));
+    if (rng.chance(0.25))
+        exp.hostsPerNode = 2 + static_cast<int>(rng.below(2));
+    exp.extraCopy = rng.chance(0.1);
+    if (rng.chance(0.25))
+        exp.mpSpeedFactor = coarse(rng.uniform(0.5, 4.0));
+    if (rng.chance(0.2)) // small pools exercise buffer stalls
+        exp.kernelBuffers = 1 + static_cast<int>(rng.below(8));
+    if (rng.chance(0.5))
+        exp.wireUs = coarse(rng.uniform(0, 500));
+    if (twoNodes && rng.chance(0.25)) {
+        exp.useTokenRing = true;
+        exp.ringMbps = coarse(rng.uniform(1.0, 10.0));
+    }
+    if (rng.chance(0.5))
+        exp.packetBytes = 16 + static_cast<int>(rng.below(241));
+    exp.warmupUs = coarse(rng.uniform(500, 4000));
+    exp.measureUs = coarse(rng.uniform(10000, 80000));
+    exp.seed = rng.next();
+
+    // Fault and protocol knobs only matter on two-node runs (the
+    // stack is per-channel), but generating them for local runs too
+    // checks that they are genuinely inert there.
+    if (rng.chance(twoNodes ? 0.5 : 0.1)) {
+        auto rate = [&]() {
+            return rng.chance(0.5) ? coarse(rng.uniform(0, 0.3)) : 0.0;
+        };
+        exp.lossRate = rate();
+        exp.corruptRate = rate();
+        exp.duplicateRate = rate();
+        exp.reorderRate = rate();
+        exp.reorderDelayUs = coarse(rng.uniform(10, 1000));
+        exp.retransmitTimeoutUs = coarse(rng.uniform(500, 20000));
+        exp.retransmitWindow = 1 + static_cast<int>(rng.below(16));
+    }
+    if (rng.chance(0.15))
+        exp.reliableProtocol = true;
+    if (twoNodes && rng.chance(0.15)) {
+        const int windows = 1 + static_cast<int>(rng.below(2));
+        const double horizon = exp.warmupUs + exp.measureUs;
+        for (int i = 0; i < windows; ++i) {
+            CrashWindow w;
+            w.node = static_cast<int>(rng.below(2));
+            w.startUs = coarse(rng.uniform(0, horizon * 0.8));
+            w.endUs = w.startUs +
+                      coarse(rng.uniform(500, horizon * 0.2));
+            exp.crashSchedule.push_back(w);
+        }
+    }
+    exp.decomposeLatency = rng.chance(0.3);
+    return exp;
+}
+
+} // namespace hsipc::sim::check

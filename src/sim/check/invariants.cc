@@ -1,0 +1,477 @@
+#include "sim/check/invariants.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/metrics/metrics.hh"
+#include "common/time.hh"
+#include "common/trace/tracer.hh"
+#include "sim/runner/sweep_runner.hh"
+
+namespace hsipc::sim::check
+{
+
+namespace
+{
+
+// Absolute slack for quantities that are exact up to floating-point
+// evaluation order, and relative slack for recomputed ratios.
+constexpr double kEps = 1e-9;
+
+std::string
+fmt(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+/** Collects violations with uniform formatting. */
+struct Checker
+{
+    const Experiment &exp;
+    const Outcome &out;
+    std::vector<Violation> v;
+
+    void
+    fail(const char *id, const std::string &detail)
+    {
+        v.push_back({id, detail});
+    }
+
+    void
+    expectTrue(bool ok, const char *id, const std::string &detail)
+    {
+        if (!ok)
+            fail(id, detail);
+    }
+
+    /** a <= b up to kEps absolute slack. */
+    void
+    expectLe(double a, const char *an, double b, const char *bn,
+             const char *id)
+    {
+        if (!(a <= b + kEps))
+            fail(id, std::string(an) + "=" + fmt(a) + " > " + bn +
+                         "=" + fmt(b));
+    }
+
+    void
+    expectUnit(double u, const char *name, const char *id)
+    {
+        if (!(u >= -kEps && u <= 1.0 + kEps))
+            fail(id,
+                 std::string(name) + "=" + fmt(u) + " outside [0,1]");
+    }
+
+    void
+    expectNonNeg(double u, const char *name, const char *id)
+    {
+        if (!(u >= 0))
+            fail(id, std::string(name) + "=" + fmt(u) + " negative");
+    }
+
+    /** Exact integer identity lhs == rhs. */
+    void
+    expectEq(long lhs, const char *le, long rhs, const char *re,
+             const char *id)
+    {
+        if (lhs != rhs)
+            fail(id, std::string(le) + "=" + std::to_string(lhs) +
+                         " != " + re + "=" + std::to_string(rhs));
+    }
+
+    /** Relative agreement of a recomputed quantity. */
+    void
+    expectClose(double got, const char *gn, double want,
+                const char *wn, double rel, const char *id)
+    {
+        const double scale = std::max({1.0, std::fabs(got),
+                                       std::fabs(want)});
+        if (!(std::fabs(got - want) <= rel * scale))
+            fail(id, std::string(gn) + "=" + fmt(got) + " vs " + wn +
+                         "=" + fmt(want));
+    }
+};
+
+void
+checkMeasurement(Checker &c)
+{
+    const Experiment &exp = c.exp;
+    const Outcome &out = c.out;
+
+    for (const auto &[name, util] : out.resourceUtilization)
+        c.expectUnit(util, name.c_str(), "util.range");
+    c.expectUnit(out.hostUtil, "hostUtil", "util.range");
+    c.expectUnit(out.mpUtil, "mpUtil", "util.range");
+    c.expectUnit(out.busUtil, "busUtil", "util.range");
+    c.expectUnit(out.ringUtil, "ringUtil", "util.range");
+    if (!exp.useTokenRing) {
+        c.expectTrue(out.ringUtil == 0 && out.ringTokenWaitUs == 0,
+                     "ring.absent",
+                     "ring measurements nonzero without the ring");
+    }
+
+    c.expectTrue(out.roundTrips >= 0, "throughput.recompute",
+                 "negative roundTrips");
+    const double windowSec = ticksToUs(usToTicks(exp.measureUs)) / 1e6;
+    c.expectClose(out.throughputPerSec,
+                  "throughputPerSec",
+                  static_cast<double>(out.roundTrips) / windowSec,
+                  "roundTrips/window", 1e-9, "throughput.recompute");
+    c.expectClose(out.localThroughputPerSec +
+                      out.remoteThroughputPerSec,
+                  "local+remote", out.throughputPerSec, "total", 1e-9,
+                  "throughput.split");
+    if (out.roundTrips > 0) {
+        c.expectTrue(out.meanRoundTripUs > 0, "latency.positive",
+                     "meanRoundTripUs=" + fmt(out.meanRoundTripUs) +
+                         " with " + std::to_string(out.roundTrips) +
+                         " round trips");
+        c.expectLe(out.rtP50Us, "rtP50Us", out.rtP95Us, "rtP95Us",
+                   "latency.percentileOrder");
+    }
+    for (const auto &[name, us] : out.activityUsPerRoundTrip)
+        c.expectNonNeg(us, name.c_str(), "activity.nonneg");
+    c.expectNonNeg(out.protoHostUsPerRt, "protoHostUsPerRt",
+                   "proto.nonneg");
+    c.expectNonNeg(out.protoMpUsPerRt, "protoMpUsPerRt",
+                   "proto.nonneg");
+
+    if (exp.arch == models::Arch::I) {
+        c.expectTrue(out.mpUtil == 0, "arch1.noMp",
+                     "mpUtil=" + fmt(out.mpUtil) +
+                         " on the MP-less architecture I");
+        c.expectTrue(out.protoMpUsPerRt == 0, "arch1.noMp",
+                     "protoMpUsPerRt=" + fmt(out.protoMpUsPerRt) +
+                         " on architecture I");
+        for (const auto &[name, util] : out.resourceUtilization) {
+            if (name.find(".mp") != std::string::npos)
+                c.fail("arch1.noMp", "resource '" + name +
+                                         "' on architecture I");
+        }
+    } else {
+        // With an MP present, protocol processing runs there.
+        c.expectTrue(out.protoHostUsPerRt == 0, "proto.placement",
+                     "protoHostUsPerRt=" + fmt(out.protoHostUsPerRt) +
+                         " charged to the host on arch " +
+                         std::to_string(static_cast<int>(exp.arch)));
+    }
+
+    const bool mixed = exp.mixedLocal + exp.mixedRemote > 0;
+    if (!mixed) {
+        if (exp.local)
+            c.expectTrue(out.remoteThroughputPerSec == 0,
+                         "workload.split",
+                         "remote throughput on a local-only run");
+        else
+            c.expectTrue(out.localThroughputPerSec == 0,
+                         "workload.split",
+                         "local throughput on a remote-only run");
+    }
+
+    c.expectTrue(out.crashWindowsRecovered >= 0 &&
+                     static_cast<std::size_t>(
+                         out.crashWindowsRecovered) <=
+                         exp.crashSchedule.size(),
+                 "crash.recoveredBound",
+                 "crashWindowsRecovered=" +
+                     std::to_string(out.crashWindowsRecovered) +
+                     " of " +
+                     std::to_string(exp.crashSchedule.size()) +
+                     " scheduled");
+    c.expectNonNeg(out.meanRecoveryUs, "meanRecoveryUs",
+                   "crash.recoveredBound");
+    c.expectTrue(out.bufferStalls >= 0, "buffers.nonneg",
+                 "negative bufferStalls");
+}
+
+void
+checkConservation(Checker &c)
+{
+    const Experiment &exp = c.exp;
+    const Outcome &out = c.out;
+    const Outcome::NetTotals &nt = out.netTotals;
+
+    const long ledger[] = {nt.msgsAccepted, nt.msgsDelivered,
+                           nt.windowPendingAtEnd, nt.backlogAtEnd,
+                           nt.dataTransmissions, nt.retransmissions,
+                           nt.timeoutsFired, nt.duplicatesDropped,
+                           nt.corruptDiscarded, nt.acksSent,
+                           nt.pktsInjected, nt.pktsDropped,
+                           nt.pktsCorrupted, nt.pktsDuplicated,
+                           nt.pktsReordered, nt.pktsCrashDropped};
+    for (long v : ledger)
+        c.expectTrue(v >= 0, "conservation.nonneg",
+                     "negative ledger entry " + std::to_string(v));
+
+    // Message conservation: everything accepted either reached the
+    // peer exactly once, is transmitted-but-unacked, or never left
+    // the backlog.
+    const long settled = nt.msgsAccepted - nt.backlogAtEnd;
+    c.expectTrue(nt.msgsDelivered <= settled &&
+                     nt.msgsDelivered >=
+                         settled - nt.windowPendingAtEnd,
+                 "conservation.messages",
+                 "delivered=" + std::to_string(nt.msgsDelivered) +
+                     " outside [accepted-backlog-pending, "
+                     "accepted-backlog] = [" +
+                     std::to_string(settled - nt.windowPendingAtEnd) +
+                     ", " + std::to_string(settled) + "]");
+
+    // First-transmission identity: every message leaving the backlog
+    // is transmitted exactly once as a first copy.
+    c.expectEq(nt.dataTransmissions - nt.retransmissions,
+               "dataTransmissions-retransmissions", settled,
+               "accepted-backlog", "conservation.firstTx");
+
+    c.expectTrue(nt.retransmissions <= nt.timeoutsFired,
+                 "conservation.retransmitCause",
+                 "retransmissions=" +
+                     std::to_string(nt.retransmissions) +
+                     " > timeoutsFired=" +
+                     std::to_string(nt.timeoutsFired));
+
+    // Goodput never exceeds throughput, and every extra arrival of a
+    // sequence number is explained by a retransmission or an injected
+    // duplicate.
+    c.expectTrue(nt.msgsDelivered <= nt.dataTransmissions,
+                 "conservation.goodput",
+                 "delivered=" + std::to_string(nt.msgsDelivered) +
+                     " > dataTransmissions=" +
+                     std::to_string(nt.dataTransmissions));
+    c.expectTrue(nt.msgsDelivered + nt.duplicatesDropped <=
+                     nt.dataTransmissions + nt.pktsDuplicated,
+                 "conservation.duplicates",
+                 "delivered+dupDropped=" +
+                     std::to_string(nt.msgsDelivered +
+                                    nt.duplicatesDropped) +
+                     " > dataTx+injectedDups=" +
+                     std::to_string(nt.dataTransmissions +
+                                    nt.pktsDuplicated));
+
+    // A checksum discard needs an injected corruption (duplicates of
+    // a corrupted packet share its corruption, hence the dup term).
+    c.expectTrue(nt.corruptDiscarded <=
+                     nt.pktsCorrupted + nt.pktsDuplicated,
+                 "conservation.corruption",
+                 "corruptDiscarded=" +
+                     std::to_string(nt.corruptDiscarded) +
+                     " > injected corrupted+duplicated=" +
+                     std::to_string(nt.pktsCorrupted +
+                                    nt.pktsDuplicated));
+
+    // The windowed counters are sub-ranges of the whole-run ledger.
+    c.expectTrue(out.retransmissions >= 0 &&
+                     out.retransmissions <= nt.retransmissions,
+                 "conservation.window",
+                 "windowed retransmissions=" +
+                     std::to_string(out.retransmissions) +
+                     " outside [0, " +
+                     std::to_string(nt.retransmissions) + "]");
+    c.expectTrue(out.timeoutsFired >= 0 &&
+                     out.timeoutsFired <= nt.timeoutsFired,
+                 "conservation.window",
+                 "windowed timeoutsFired=" +
+                     std::to_string(out.timeoutsFired) +
+                     " outside [0, " +
+                     std::to_string(nt.timeoutsFired) + "]");
+    c.expectTrue(out.duplicatesDropped >= 0 &&
+                     out.duplicatesDropped <= nt.duplicatesDropped,
+                 "conservation.window",
+                 "windowed duplicatesDropped=" +
+                     std::to_string(out.duplicatesDropped) +
+                     " outside [0, " +
+                     std::to_string(nt.duplicatesDropped) + "]");
+    c.expectTrue(out.corruptDiscarded >= 0 &&
+                     out.corruptDiscarded <= nt.corruptDiscarded,
+                 "conservation.window",
+                 "windowed corruptDiscarded=" +
+                     std::to_string(out.corruptDiscarded) +
+                     " outside [0, " +
+                     std::to_string(nt.corruptDiscarded) + "]");
+    c.expectTrue(out.faultDrops >= 0 &&
+                     out.faultDrops <= nt.pktsDropped,
+                 "conservation.window",
+                 "windowed faultDrops=" +
+                     std::to_string(out.faultDrops) + " outside [0, " +
+                     std::to_string(nt.pktsDropped) + "]");
+    c.expectTrue(out.crashDrops >= 0 &&
+                     out.crashDrops <= nt.pktsCrashDropped,
+                 "conservation.window",
+                 "windowed crashDrops=" +
+                     std::to_string(out.crashDrops) + " outside [0, " +
+                     std::to_string(nt.pktsCrashDropped) + "]");
+
+    // Windowed goodput <= windowed throughput, up to deliveries of
+    // packets transmitted before the window opened (bounded by the
+    // two channels' windows) — in packets, not rates.
+    const double windowSec = ticksToUs(usToTicks(exp.measureUs)) / 1e6;
+    c.expectTrue(out.netGoodputPktsPerSec * windowSec <=
+                     out.netThroughputPktsPerSec * windowSec +
+                         2.0 * exp.retransmitWindow + 1e-6,
+                 "conservation.goodputRate",
+                 "goodput=" + fmt(out.netGoodputPktsPerSec) +
+                     " pkts/s vs throughput=" +
+                     fmt(out.netThroughputPktsPerSec) + " pkts/s");
+
+    // Faults that are disabled must not occur.
+    if (exp.lossRate == 0)
+        c.expectEq(nt.pktsDropped, "pktsDropped", 0, "disabled loss",
+                   "faults.disabled");
+    if (exp.corruptRate == 0)
+        c.expectEq(nt.pktsCorrupted, "pktsCorrupted", 0,
+                   "disabled corruption", "faults.disabled");
+    if (exp.duplicateRate == 0)
+        c.expectEq(nt.pktsDuplicated, "pktsDuplicated", 0,
+                   "disabled duplication", "faults.disabled");
+    if (exp.reorderRate == 0)
+        c.expectEq(nt.pktsReordered, "pktsReordered", 0,
+                   "disabled reordering", "faults.disabled");
+    if (exp.crashSchedule.empty())
+        c.expectEq(nt.pktsCrashDropped, "pktsCrashDropped", 0,
+                   "no crash windows", "faults.disabled");
+
+    // Pay-for-use: a run that never instantiates the reliability
+    // stack (single node, or two fault-free nodes without
+    // reliableProtocol) must leave the whole ledger at zero.
+    const bool faultFree = exp.lossRate == 0 && exp.corruptRate == 0 &&
+                           exp.duplicateRate == 0 &&
+                           exp.reorderRate == 0 &&
+                           exp.crashSchedule.empty();
+    const bool twoNodes =
+        !exp.local || exp.mixedLocal + exp.mixedRemote > 0;
+    if (!twoNodes || (faultFree && !exp.reliableProtocol)) {
+        c.expectTrue(nt.pktsInjected == 0 && nt.msgsAccepted == 0 &&
+                         nt.dataTransmissions == 0 &&
+                         out.netThroughputPktsPerSec == 0,
+                     "conservation.bypass",
+                     "reliability-stack activity on a run that must "
+                     "bypass the stack (injected=" +
+                         std::to_string(nt.pktsInjected) +
+                         ", accepted=" +
+                         std::to_string(nt.msgsAccepted) + ")");
+    }
+}
+
+void
+checkDecomposition(Checker &c)
+{
+    const Outcome &out = c.out;
+    const trace::Decomposition &d = out.decomposition;
+    if (!c.exp.decomposeLatency) {
+        c.expectTrue(d.messages == 0, "decomp.disabled",
+                     "decomposition filled without decomposeLatency");
+        return;
+    }
+    c.expectEq(d.messages, "decomposition.messages", out.roundTrips,
+               "roundTrips", "decomp.coverage");
+    if (d.messages <= 0)
+        return;
+
+    const double sum = d.service.meanUs + d.queue.meanUs +
+                       d.network.meanUs + d.blocked.meanUs;
+    c.expectClose(sum, "service+queue+network+blocked",
+                  d.roundTrip.meanUs, "roundTrip mean", 1e-6,
+                  "decomp.partition");
+    c.expectClose(d.roundTrip.meanUs, "decomposed roundTrip mean",
+                  out.meanRoundTripUs, "measured mean", 1e-6,
+                  "decomp.partition");
+
+    const struct
+    {
+        const char *name;
+        const trace::ComponentStats &s;
+    } comps[] = {{"roundTrip", d.roundTrip}, {"service", d.service},
+                 {"queue", d.queue},         {"network", d.network},
+                 {"blocked", d.blocked}};
+    for (const auto &comp : comps) {
+        c.expectNonNeg(comp.s.meanUs, comp.name, "decomp.nonneg");
+        c.expectLe(comp.s.p50Us, "p50", comp.s.p95Us, "p95",
+                   "decomp.percentileOrder");
+        c.expectLe(comp.s.p95Us, "p95", comp.s.p99Us, "p99",
+                   "decomp.percentileOrder");
+    }
+    double resourceService = 0;
+    for (const auto &[name, us] : d.serviceUsByResource) {
+        c.expectNonNeg(us, name.c_str(), "decomp.nonneg");
+        resourceService += us;
+    }
+    for (const auto &[name, us] : d.queueUsByResource)
+        c.expectNonNeg(us, name.c_str(), "decomp.nonneg");
+    c.expectClose(resourceService, "sum of serviceUsByResource",
+                  d.service.meanUs + d.network.meanUs,
+                  "service+network mean", 1e-6, "decomp.byResource");
+    c.expectTrue(!d.bottleneck.empty(), "decomp.bottleneck",
+                 "no bottleneck named despite decomposed messages");
+    c.expectUnit(d.bottleneckShare, "bottleneckShare",
+                 "decomp.bottleneck");
+}
+
+} // namespace
+
+std::string
+formatViolations(const std::vector<Violation> &v)
+{
+    std::string s;
+    for (const Violation &viol : v)
+        s += viol.invariant + ": " + viol.detail + "\n";
+    return s;
+}
+
+std::vector<Violation>
+checkOutcome(const Experiment &exp, const Outcome &out)
+{
+    Checker c{exp, out, {}};
+    checkMeasurement(c);
+    checkConservation(c);
+    checkDecomposition(c);
+    return std::move(c.v);
+}
+
+CheckResult
+checkedRun(const Experiment &exp, const OracleOptions &opts)
+{
+    CheckResult res;
+    res.outcome = runExperiment(exp);
+    res.violations = checkOutcome(exp, res.outcome);
+
+    const std::string baseJson = outcomeJson(res.outcome);
+
+    if (opts.checkTraceIdentity) {
+        trace::Tracer tracer;
+        tracer.setEnabled(true);
+        metrics::Registry registry;
+        const Outcome traced =
+            runExperiment(exp, &tracer, &registry);
+        if (outcomeJson(traced) != baseJson)
+            res.violations.push_back(
+                {"determinism.traceIdentity",
+                 "outcomeJson differs between trace-off and trace-on "
+                 "runs of the same Experiment"});
+    }
+
+    if (opts.parallelJobs > 1) {
+        // Three replicas so the parallel path genuinely runs on the
+        // pool (a single-element sweep executes inline).
+        const std::vector<Experiment> exps(3, exp);
+        const std::vector<Outcome> serial = runSweep(exps, 1);
+        const std::vector<Outcome> parallel =
+            runSweep(exps, opts.parallelJobs);
+        for (std::size_t i = 0; i < exps.size(); ++i) {
+            const std::string s = outcomeJson(serial[i]);
+            const std::string p = outcomeJson(parallel[i]);
+            if (s != baseJson || p != baseJson) {
+                res.violations.push_back(
+                    {"determinism.parallelIdentity",
+                     "outcomeJson differs across jobs=1 / jobs=" +
+                         std::to_string(opts.parallelJobs) +
+                         " replica " + std::to_string(i)});
+                break;
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace hsipc::sim::check

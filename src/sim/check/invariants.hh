@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The invariant oracle: properties every simulation outcome must
+ * satisfy, whatever the configuration.
+ *
+ * The catalog (see docs/testing.md for the rationale of each):
+ *
+ *  measurement sanity
+ *   - every per-resource utilization, and the legacy maxima, lie in
+ *     [0, 1]; ring utilization too, and it is zero without the ring
+ *   - throughput is exactly completed round trips over the
+ *     measurement window; local + remote split sums to the total
+ *   - percentiles are ordered (p50 <= p95), activity and protocol
+ *     charges are non-negative, and architecture I (no MP) reports
+ *     zero MP utilization and zero MP protocol charge, while II-IV
+ *     charge protocol work to the MP only
+ *
+ *  flow conservation (whole-run ledger, Outcome::netTotals)
+ *   - message conservation: accepted = delivered + still-pending,
+ *     bracketed exactly: delivered <= accepted - backlog and
+ *     delivered >= accepted - backlog - windowPending
+ *   - first-transmission identity: dataTransmissions -
+ *     retransmissions = accepted - backlog (every message not stuck
+ *     in the backlog is transmitted exactly once as a first copy)
+ *   - goodput <= throughput: delivered <= dataTransmissions, and the
+ *     windowed packet rates obey the same with a window-edge slack
+ *   - retransmissions <= timeouts fired; duplicates dropped are
+ *     explained by injected duplicates plus retransmissions;
+ *     checksum discards are explained by injected corruptions;
+ *     windowed counters are non-negative and bounded by the ledger
+ *
+ *  decomposition exactness (when enabled)
+ *   - service + queue + network + blocked mean = round-trip mean
+ *     (the gapless-partition property of critical_path.cc)
+ *   - component percentiles ordered, bottleneck named with a share
+ *     in [0, 1]
+ *
+ *  determinism (re-run checks)
+ *   - tracing on vs off: bit-identical outcomeJson
+ *   - SweepRunner jobs=1 vs jobs=N: bit-identical outcomeJson
+ *
+ * checkOutcome() applies the single-run invariants to an existing
+ * Outcome; checkedRun() runs the experiment and optionally the
+ * re-run determinism checks as well.
+ */
+
+#ifndef HSIPC_SIM_CHECK_INVARIANTS_HH
+#define HSIPC_SIM_CHECK_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel/ipc_sim.hh"
+
+namespace hsipc::sim::check
+{
+
+/** One violated invariant. */
+struct Violation
+{
+    std::string invariant; //!< stable id, e.g. "conservation.firstTx"
+    std::string detail;    //!< the numbers that broke it
+};
+
+/** Render violations one per line (empty string when none). */
+std::string formatViolations(const std::vector<Violation> &v);
+
+/** Which re-run (determinism) checks checkedRun() performs. */
+struct OracleOptions
+{
+    /** Re-run with an enabled tracer+metrics sink and compare. */
+    bool checkTraceIdentity = true;
+
+    /**
+     * Run a 3-replica sweep serially and with this many jobs and
+     * compare every outcome (0 disables the check).
+     */
+    int parallelJobs = 3;
+};
+
+/** Result of a checked run. */
+struct CheckResult
+{
+    Outcome outcome;
+    std::vector<Violation> violations;
+
+    bool ok() const { return violations.empty(); }
+};
+
+/** Apply the single-run invariant catalog to @p out. */
+std::vector<Violation> checkOutcome(const Experiment &exp,
+                                    const Outcome &out);
+
+/** Run @p exp, then the invariant catalog and determinism checks. */
+CheckResult checkedRun(const Experiment &exp,
+                       const OracleOptions &opts = OracleOptions());
+
+} // namespace hsipc::sim::check
+
+#endif // HSIPC_SIM_CHECK_INVARIANTS_HH

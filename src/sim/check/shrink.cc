@@ -1,0 +1,239 @@
+#include "sim/check/shrink.hh"
+
+#include <cmath>
+
+#include "sim/check/generator.hh"
+
+namespace hsipc::sim::check
+{
+
+namespace
+{
+
+struct DoubleKnob
+{
+    const char *name;
+    double Experiment::*field;
+};
+
+struct IntKnob
+{
+    const char *name;
+    int Experiment::*field;
+};
+
+struct BoolKnob
+{
+    const char *name;
+    bool Experiment::*field;
+};
+
+// Fixed shrink order: workload shape first (resetting `local` or the
+// mixed counts usually removes the most machinery), then timing,
+// then the fault stack.
+constexpr BoolKnob boolKnobs[] = {
+    {"local", &Experiment::local},
+    {"extraCopy", &Experiment::extraCopy},
+    {"useTokenRing", &Experiment::useTokenRing},
+    {"reliableProtocol", &Experiment::reliableProtocol},
+    {"decomposeLatency", &Experiment::decomposeLatency},
+};
+
+constexpr IntKnob intKnobs[] = {
+    {"conversations", &Experiment::conversations},
+    {"mixedLocal", &Experiment::mixedLocal},
+    {"mixedRemote", &Experiment::mixedRemote},
+    {"hostsPerNode", &Experiment::hostsPerNode},
+    {"kernelBuffers", &Experiment::kernelBuffers},
+    {"packetBytes", &Experiment::packetBytes},
+    {"retransmitWindow", &Experiment::retransmitWindow},
+};
+
+constexpr DoubleKnob doubleKnobs[] = {
+    {"computeUs", &Experiment::computeUs},
+    {"mpSpeedFactor", &Experiment::mpSpeedFactor},
+    {"wireUs", &Experiment::wireUs},
+    {"ringMbps", &Experiment::ringMbps},
+    {"warmupUs", &Experiment::warmupUs},
+    {"measureUs", &Experiment::measureUs},
+    {"lossRate", &Experiment::lossRate},
+    {"corruptRate", &Experiment::corruptRate},
+    {"duplicateRate", &Experiment::duplicateRate},
+    {"reorderRate", &Experiment::reorderRate},
+    {"reorderDelayUs", &Experiment::reorderDelayUs},
+    {"retransmitTimeoutUs", &Experiment::retransmitTimeoutUs},
+};
+
+} // namespace
+
+std::vector<std::string>
+knobDiff(const Experiment &exp)
+{
+    const Experiment base = baseExperiment();
+    std::vector<std::string> diff;
+    if (exp.arch != base.arch)
+        diff.push_back("arch");
+    for (const BoolKnob &k : boolKnobs)
+        if (exp.*k.field != base.*k.field)
+            diff.push_back(k.name);
+    for (const IntKnob &k : intKnobs)
+        if (exp.*k.field != base.*k.field)
+            diff.push_back(k.name);
+    for (const DoubleKnob &k : doubleKnobs)
+        if (exp.*k.field != base.*k.field)
+            diff.push_back(k.name);
+    if (exp.seed != base.seed)
+        diff.push_back("seed");
+    if (exp.crashSchedule != base.crashSchedule)
+        diff.push_back("crashSchedule");
+    if (exp.traceFile != base.traceFile)
+        diff.push_back("traceFile");
+    if (exp.metricsFile != base.metricsFile)
+        diff.push_back("metricsFile");
+    return diff;
+}
+
+int
+knobDelta(const Experiment &exp)
+{
+    return static_cast<int>(knobDiff(exp).size());
+}
+
+ShrinkResult
+shrinkExperiment(const Experiment &failing,
+                 const FailurePredicate &stillFails, int maxRuns)
+{
+    const Experiment base = baseExperiment();
+    Experiment cur = failing;
+    int runs = 0;
+
+    // Accept candidate iff it still fails; never exceed the budget.
+    auto accept = [&](const Experiment &cand) {
+        if (runs >= maxRuns || cand == cur)
+            return false;
+        ++runs;
+        if (!stillFails(cand))
+            return false;
+        cur = cand;
+        return true;
+    };
+
+    bool progress = true;
+    while (progress && runs < maxRuns) {
+        progress = false;
+
+        // Crash windows: try dropping the whole schedule, then each
+        // window individually.
+        if (!cur.crashSchedule.empty()) {
+            Experiment cand = cur;
+            cand.crashSchedule.clear();
+            if (accept(cand)) {
+                progress = true;
+            } else {
+                for (std::size_t i = 0;
+                     i < cur.crashSchedule.size();) {
+                    Experiment drop = cur;
+                    drop.crashSchedule.erase(
+                        drop.crashSchedule.begin() +
+                        static_cast<long>(i));
+                    if (accept(drop))
+                        progress = true; // cur shrank; retry index i
+                    else
+                        ++i;
+                }
+            }
+        }
+
+        if (cur.arch != base.arch) {
+            Experiment cand = cur;
+            cand.arch = base.arch;
+            progress |= accept(cand);
+        }
+        for (const BoolKnob &k : boolKnobs) {
+            if (cur.*k.field == base.*k.field)
+                continue;
+            Experiment cand = cur;
+            cand.*k.field = base.*k.field;
+            progress |= accept(cand);
+        }
+        if (cur.seed != base.seed) {
+            Experiment cand = cur;
+            cand.seed = base.seed;
+            progress |= accept(cand);
+        }
+        if (cur.traceFile != base.traceFile) {
+            Experiment cand = cur;
+            cand.traceFile = base.traceFile;
+            progress |= accept(cand);
+        }
+        if (cur.metricsFile != base.metricsFile) {
+            Experiment cand = cur;
+            cand.metricsFile = base.metricsFile;
+            progress |= accept(cand);
+        }
+
+        for (const IntKnob &k : intKnobs) {
+            if (cur.*k.field == base.*k.field)
+                continue;
+            Experiment cand = cur;
+            cand.*k.field = base.*k.field;
+            if (accept(cand)) {
+                progress = true;
+                continue;
+            }
+            // Bisect for the failing value closest to the base.
+            long lo = base.*k.field; // passes (reset just failed to fail)
+            long hi = cur.*k.field;  // fails
+            while (runs < maxRuns) {
+                const long mid = lo + (hi - lo) / 2;
+                if (mid == lo || mid == hi)
+                    break;
+                Experiment bis = cur;
+                bis.*k.field = static_cast<int>(mid);
+                if (accept(bis)) {
+                    hi = mid;
+                    progress = true;
+                } else {
+                    lo = mid;
+                }
+            }
+        }
+
+        for (const DoubleKnob &k : doubleKnobs) {
+            if (cur.*k.field == base.*k.field)
+                continue;
+            Experiment cand = cur;
+            cand.*k.field = base.*k.field;
+            if (accept(cand)) {
+                progress = true;
+                continue;
+            }
+            double lo = base.*k.field;
+            double hi = cur.*k.field;
+            int steps = 0;
+            while (runs < maxRuns && steps++ < 16) {
+                // Round the midpoint so shrunk repros stay readable.
+                double mid = (lo + hi) / 2;
+                mid = std::round(mid * 1e6) / 1e6;
+                if (mid == lo || mid == hi)
+                    break;
+                Experiment bis = cur;
+                bis.*k.field = mid;
+                if (accept(bis)) {
+                    hi = mid;
+                    progress = true;
+                } else {
+                    lo = mid;
+                }
+            }
+        }
+    }
+
+    ShrinkResult res;
+    res.minimal = cur;
+    res.knobsChanged = knobDelta(cur);
+    res.runsUsed = runs;
+    return res;
+}
+
+} // namespace hsipc::sim::check

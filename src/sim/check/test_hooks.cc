@@ -1,0 +1,13 @@
+#include "sim/check/test_hooks.hh"
+
+namespace hsipc::sim::check
+{
+
+TestHooks &
+testHooks()
+{
+    static TestHooks hooks;
+    return hooks;
+}
+
+} // namespace hsipc::sim::check

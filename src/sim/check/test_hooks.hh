@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Test-only hooks into the simulator.
+ *
+ * The fuzzer's own ctest case must prove the invariant oracle can
+ * catch a real bug — so it needs a way to *plant* one.  These hooks
+ * are that plant: every member defaults to "off", in which state the
+ * simulator behaves exactly as shipped (the guards compile to one
+ * load-and-test on cold paths).  Nothing outside tests and the fuzz
+ * driver may set them, and they are not thread-safe to mutate while
+ * simulations run — set before a run, clear after.
+ */
+
+#ifndef HSIPC_SIM_CHECK_TEST_HOOKS_HH
+#define HSIPC_SIM_CHECK_TEST_HOOKS_HH
+
+#include <functional>
+
+namespace hsipc::sim
+{
+
+struct Experiment;
+
+namespace check
+{
+
+/** The set of plantable defects and interceptors. */
+struct TestHooks
+{
+    /**
+     * Added to the retransmission counter on every counted
+     * retransmission — a deliberate off-by-N in ReliableChannel's
+     * accounting.  Any nonzero value breaks the first-transmission
+     * conservation identity the oracle checks, so the fuzzer must
+     * find and shrink it.
+     */
+    long retransmissionMiscount = 0;
+
+    /**
+     * Invoked at the top of runExperiment() when set.  May throw —
+     * the exception-propagation tests for the sweep runner use this
+     * to make a specific run in a parallel sweep fail.
+     */
+    std::function<void(const Experiment &)> beforeRun;
+};
+
+/** The process-wide hook instance (all members off by default). */
+TestHooks &testHooks();
+
+/** RAII reset-to-default for tests that set any hook. */
+class ScopedTestHooks
+{
+  public:
+    ScopedTestHooks() : saved(testHooks()) {}
+    ~ScopedTestHooks() { testHooks() = saved; }
+    ScopedTestHooks(const ScopedTestHooks &) = delete;
+    ScopedTestHooks &operator=(const ScopedTestHooks &) = delete;
+
+  private:
+    TestHooks saved;
+};
+
+} // namespace check
+} // namespace hsipc::sim
+
+#endif // HSIPC_SIM_CHECK_TEST_HOOKS_HH

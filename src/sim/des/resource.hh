@@ -7,6 +7,7 @@
 #ifndef HSIPC_SIM_RESOURCE_HH
 #define HSIPC_SIM_RESOURCE_HH
 
+#include <algorithm>
 #include <deque>
 #include <string>
 
@@ -70,12 +71,22 @@ class Resource
     {
         const Tick span = eq.now();
         return span > 0
-            ? static_cast<double>(busyTicks) / static_cast<double>(span)
+            ? static_cast<double>(busyTime()) /
+                  static_cast<double>(span)
             : 0.0;
     }
 
-    /** Total ticks the resource has been held. */
-    Tick busyTime() const { return busyTicks; }
+    /**
+     * Total ticks the resource has been held up to the present.  A
+     * hold is booked in full when granted, so the portion of the
+     * current hold that lies in the future is excluded (see
+     * Processor::busyTime()).
+     */
+    Tick
+    busyTime() const
+    {
+        return busyTicks - std::max<Tick>(0, heldUntil - eq.now());
+    }
 
     std::size_t queueLength() const { return waiting.size(); }
     const std::string &resourceName() const { return name; }
@@ -106,6 +117,7 @@ class Resource
 
         busy = true;
         busyTicks += req.hold;
+        heldUntil = eq.now() + req.hold;
         if (tracer && tracer->enabled()) {
             tracer->complete(traceTrack, "access", eq.now(), req.hold,
                              "bus", req.msgId);
@@ -136,6 +148,7 @@ class Resource
     std::deque<Request> waiting;
     bool busy = false;
     Tick busyTicks = 0;
+    Tick heldUntil = 0; //!< end of the latest granted hold
 };
 
 } // namespace hsipc::sim

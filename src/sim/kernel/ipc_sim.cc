@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "sim/check/test_hooks.hh"
 #include "sim/des/event_queue.hh"
 #include "sim/des/resource.hh"
 #include "sim/net/faults.hh"
@@ -375,6 +376,30 @@ class Sim
         }
         if (out.crashWindowsRecovered > 0)
             out.meanRecoveryUs /= out.crashWindowsRecovered;
+
+        // Whole-run conservation ledger (the windowed counters above
+        // cannot carry exact flow identities; these can).
+        Outcome::NetTotals &nt = out.netTotals;
+        nt.msgsAccepted = cs.accepted;
+        nt.msgsDelivered = cs.delivered;
+        nt.dataTransmissions = cs.dataTransmissions;
+        nt.retransmissions = cs.retransmissions;
+        nt.timeoutsFired = cs.timeoutsFired;
+        nt.duplicatesDropped = cs.duplicatesDropped;
+        nt.corruptDiscarded = cs.corruptDiscarded;
+        nt.acksSent = cs.acksSent;
+        for (const auto &c : chans) {
+            if (!c)
+                continue;
+            nt.windowPendingAtEnd += c->windowPending();
+            nt.backlogAtEnd += c->backlogSize();
+        }
+        nt.pktsInjected = fs.injected;
+        nt.pktsDropped = fs.dropped;
+        nt.pktsCorrupted = fs.corrupted;
+        nt.pktsDuplicated = fs.duplicated;
+        nt.pktsReordered = fs.reordered;
+        nt.pktsCrashDropped = fs.crashDrops;
         if (exp.decomposeLatency) {
             out.decomposition = trace::decompose(pathLog, warm, end);
             if (metrics) {
@@ -1092,6 +1117,11 @@ Outcome
 runExperiment(const Experiment &exp, trace::Tracer *tracer,
               metrics::Registry *metrics)
 {
+    // Test-only interception point (off in production; see
+    // sim/check/test_hooks.hh).
+    if (check::testHooks().beforeRun)
+        check::testHooks().beforeRun(exp);
+
     // Reject impossible configurations up front, with the offending
     // condition in the message, instead of producing silent nonsense
     // downstream.

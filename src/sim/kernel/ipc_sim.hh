@@ -107,6 +107,14 @@ struct Experiment
      * other Outcome fields stay bit-identical.
      */
     bool decomposeLatency = false;
+
+    /**
+     * Field-wise exact equality (doubles compare bitwise) — what the
+     * JSON round-trip (sim/check/experiment_json.hh) preserves and
+     * the shrinker uses to detect a no-op simplification.
+     */
+    friend bool operator==(const Experiment &,
+                           const Experiment &) = default;
 };
 
 /** Measured outcome of a run. */
@@ -167,6 +175,37 @@ struct Outcome
     //! involving the crashed node.
     int crashWindowsRecovered = 0;
     double meanRecoveryUs = 0;
+
+    /**
+     * Whole-run conservation ledger of the reliability stack and the
+     * fault injector (unlike the windowed counters above, these cover
+     * warmup too, so exact flow-conservation identities hold — the
+     * raw material of the fuzzer's invariant oracle, see
+     * src/sim/check/invariants.hh).  All zero when the run never
+     * instantiates the reliability stack.
+     */
+    struct NetTotals
+    {
+        // Reliable-channel ledger, summed over both directions.
+        long msgsAccepted = 0;   //!< messages handed to send()
+        long msgsDelivered = 0;  //!< exactly-once deliveries upward
+        long windowPendingAtEnd = 0; //!< transmitted, unacked at end
+        long backlogAtEnd = 0;   //!< accepted, never transmitted
+        long dataTransmissions = 0; //!< incl. retransmissions
+        long retransmissions = 0;
+        long timeoutsFired = 0;
+        long duplicatesDropped = 0;
+        long corruptDiscarded = 0; //!< data and ack checksum discards
+        long acksSent = 0;
+        // Fault-injector ledger (data and ack packets alike).
+        long pktsInjected = 0;   //!< packets offered to the injector
+        long pktsDropped = 0;    //!< lost in the medium
+        long pktsCorrupted = 0;  //!< delivered with a failing checksum
+        long pktsDuplicated = 0; //!< extra trailing copies created
+        long pktsReordered = 0;  //!< held back past later traffic
+        long pktsCrashDropped = 0; //!< lost at a crashed node
+    };
+    NetTotals netTotals;
 
     /**
      * Critical-path latency decomposition over the measurement

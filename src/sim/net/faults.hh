@@ -38,6 +38,9 @@ struct CrashWindow
     int node = 0;
     double startUs = 0;
     double endUs = 0;
+
+    friend bool operator==(const CrashWindow &,
+                           const CrashWindow &) = default;
 };
 
 /** The fault model of one experiment (all rates are per packet). */

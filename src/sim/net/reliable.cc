@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check/test_hooks.hh"
 #include "sim/node/processor.hh"
 
 namespace hsipc::sim
@@ -54,7 +55,8 @@ ReliableChannel::transmit(long seq, bool retransmit)
         return;
     ++counts.dataTransmissions;
     if (retransmit)
-        ++counts.retransmissions;
+        counts.retransmissions +=
+            1 + check::testHooks().retransmissionMiscount;
     // Every copy of the packet carries the original message's id, so
     // a recovery chain (timeout, resend, late delivery) stays one
     // message's story in the trace.

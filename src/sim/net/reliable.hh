@@ -122,6 +122,20 @@ class ReliableChannel
     const Stats &stats() const { return counts; }
     long inFlight() const { return nextSeq - windowBase; }
 
+    /** Messages transmitted at least once but not yet acknowledged. */
+    long
+    windowPending() const
+    {
+        return static_cast<long>(unacked.size());
+    }
+
+    /** Messages accepted but still waiting for a window slot. */
+    long
+    backlogSize() const
+    {
+        return static_cast<long>(backlog.size());
+    }
+
   private:
     /** Sender-side record of an unacknowledged packet. */
     struct Pending

@@ -9,6 +9,7 @@ void
 Processor::charge(Tick t, bool accessWait)
 {
     busyTicks += t;
+    chargedUntil = eq.now() + t;
     hsipc_assert(running);
     perActivity[running->act.name] += t;
     const long msg = running->act.msgId;

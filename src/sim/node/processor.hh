@@ -98,7 +98,8 @@ class Processor
     {
         const Tick span = eq.now();
         return span > 0
-            ? static_cast<double>(busyTicks) / static_cast<double>(span)
+            ? static_cast<double>(busyTime()) /
+                  static_cast<double>(span)
             : 0.0;
     }
 
@@ -119,8 +120,18 @@ class Processor
     const std::string &processorName() const { return name; }
     bool idle() const { return !running && queue.empty(); }
 
-    /** Total ticks this processor has been busy (CPU + memory). */
-    Tick busyTime() const { return busyTicks; }
+    /**
+     * Total ticks this processor has been busy (CPU + memory) up to
+     * the present.  Charges are booked when a chunk *starts*, so the
+     * part of the current chunk that lies in the future is excluded —
+     * otherwise a chunk in flight at a measurement boundary would be
+     * double-attributed and utilization could exceed 1.
+     */
+    Tick
+    busyTime() const
+    {
+        return busyTicks - std::max<Tick>(0, chargedUntil - eq.now());
+    }
 
   private:
     /** Execution state of an in-progress activity. */
@@ -148,6 +159,7 @@ class Processor
     std::deque<Running> queue;
     std::unique_ptr<Running> running;
     Tick busyTicks = 0;
+    Tick chargedUntil = 0; //!< end of the latest booked charge
     std::map<std::string, Tick> perActivity;
     std::map<std::string, long> perActivityCount;
 };

@@ -13,6 +13,10 @@
 #ifndef HSIPC_SIM_TOKEN_RING_HH
 #define HSIPC_SIM_TOKEN_RING_HH
 
+#include <algorithm>
+#include <deque>
+#include <utility>
+
 #include "sim/des/event_queue.hh"
 
 namespace hsipc::sim
@@ -72,6 +76,12 @@ class TokenRing
             static_cast<Tick>(hops(src, dst)) * config.hopDelay;
 
         busyTicks += tx;
+        // The whole transmission is booked now even though it happens
+        // at [grant, grant+tx); remember the future part so
+        // utilization() can exclude what has not elapsed yet.
+        while (!booked.empty() && booked.front().second <= eq.now())
+            booked.pop_front();
+        booked.emplace_back(grant, grant + tx);
         tokenFreeAt = grant + tx;
         tokenAt = src;
         ++packets;
@@ -85,9 +95,17 @@ class TokenRing
     utilization() const
     {
         const Tick span = eq.now();
-        return span > 0
-            ? static_cast<double>(busyTicks) / static_cast<double>(span)
-            : 0.0;
+        if (span <= 0)
+            return 0.0;
+        // Exclude the parts of booked transmissions that have not
+        // elapsed yet (a backed-up ring books several in advance).
+        Tick future = 0;
+        for (const auto &[begin, end] : booked) {
+            if (end > span)
+                future += end - std::max(begin, span);
+        }
+        return static_cast<double>(busyTicks - future) /
+               static_cast<double>(span);
     }
 
     /** Mean wait for the token across packets, microseconds. */
@@ -108,6 +126,7 @@ class TokenRing
     int tokenAt = 0;
     Tick tokenFreeAt = 0;
     Tick busyTicks = 0;
+    std::deque<std::pair<Tick, Tick>> booked; //!< in-flight tx spans
     long packets = 0;
     double waitAcc = 0;
 };

@@ -118,6 +118,31 @@ outcomeJson(const Outcome &out)
     num("crashWindowsRecovered",
         static_cast<double>(out.crashWindowsRecovered));
     num("meanRecoveryUs", out.meanRecoveryUs);
+    const Outcome::NetTotals &nt = out.netTotals;
+    doc += "\"netTotals\": {";
+    bool firstTot = true;
+    auto tot = [&](const char *name, long v) {
+        doc += std::string(firstTot ? "" : ", ") + "\"" + name +
+               "\": " + jsonNumber(static_cast<double>(v));
+        firstTot = false;
+    };
+    tot("msgsAccepted", nt.msgsAccepted);
+    tot("msgsDelivered", nt.msgsDelivered);
+    tot("windowPendingAtEnd", nt.windowPendingAtEnd);
+    tot("backlogAtEnd", nt.backlogAtEnd);
+    tot("dataTransmissions", nt.dataTransmissions);
+    tot("retransmissions", nt.retransmissions);
+    tot("timeoutsFired", nt.timeoutsFired);
+    tot("duplicatesDropped", nt.duplicatesDropped);
+    tot("corruptDiscarded", nt.corruptDiscarded);
+    tot("acksSent", nt.acksSent);
+    tot("pktsInjected", nt.pktsInjected);
+    tot("pktsDropped", nt.pktsDropped);
+    tot("pktsCorrupted", nt.pktsCorrupted);
+    tot("pktsDuplicated", nt.pktsDuplicated);
+    tot("pktsReordered", nt.pktsReordered);
+    tot("pktsCrashDropped", nt.pktsCrashDropped);
+    doc += "},\n ";
     const trace::Decomposition &d = out.decomposition;
     doc += "\"decomposition\": {\"messages\": " +
            jsonNumber(static_cast<double>(d.messages)) +

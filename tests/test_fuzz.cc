@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests of the property-based fuzzing stack (sim/check): generator
+ * validity and coverage, the invariant oracle staying green on the
+ * shipped simulator, the three-engine differential agreement, the
+ * shrinker's minimization behavior — and the end-to-end acceptance
+ * case: a deliberately planted off-by-one in retransmission counting
+ * is caught by the conservation oracle and shrunk to a <= 5-knob
+ * minimal repro whose JSON replays.
+ */
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/check/differential.hh"
+#include "sim/check/experiment_json.hh"
+#include "sim/check/generator.hh"
+#include "sim/check/invariants.hh"
+#include "sim/check/shrink.hh"
+#include "sim/check/test_hooks.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using namespace hsipc::sim;
+using namespace hsipc::sim::check;
+
+TEST(Generator, IsDeterministicInSeedAndIndex)
+{
+    const ExperimentGenerator a(7), b(7), c(8);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        EXPECT_TRUE(a.generate(i) == b.generate(i)) << i;
+        EXPECT_FALSE(a.generate(i) == c.generate(i)) << i;
+    }
+}
+
+TEST(Generator, CoversTheConfigurationSurface)
+{
+    const ExperimentGenerator gen(1);
+    std::set<int> archs;
+    int locals = 0, remotes = 0, mixeds = 0, faulty = 0, rings = 0;
+    int crashes = 0, decomposed = 0, multiHost = 0;
+    for (std::uint64_t i = 0; i < 300; ++i) {
+        const Experiment e = gen.generate(i);
+        archs.insert(static_cast<int>(e.arch));
+        const bool mixed = e.mixedLocal + e.mixedRemote > 0;
+        if (mixed)
+            ++mixeds;
+        else if (e.local)
+            ++locals;
+        else
+            ++remotes;
+        if (e.lossRate > 0 || e.corruptRate > 0 ||
+            e.duplicateRate > 0 || e.reorderRate > 0)
+            ++faulty;
+        if (e.useTokenRing)
+            ++rings;
+        if (!e.crashSchedule.empty())
+            ++crashes;
+        if (e.decomposeLatency)
+            ++decomposed;
+        if (e.hostsPerNode > 1)
+            ++multiHost;
+    }
+    EXPECT_EQ(archs.size(), 4u); // all four architectures
+    EXPECT_GT(locals, 0);
+    EXPECT_GT(remotes, 0);
+    EXPECT_GT(mixeds, 0);
+    EXPECT_GT(faulty, 0);
+    EXPECT_GT(rings, 0);
+    EXPECT_GT(crashes, 0);
+    EXPECT_GT(decomposed, 0);
+    EXPECT_GT(multiHost, 0);
+}
+
+TEST(Generator, EveryDrawIsRunnableAndValid)
+{
+    const ExperimentGenerator gen(2);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        const Experiment e = gen.generate(i);
+        // The constraints runExperiment() asserts on.
+        EXPECT_GE(e.conversations + e.mixedLocal + e.mixedRemote, 1);
+        EXPECT_GE(e.hostsPerNode, 1);
+        EXPECT_GT(e.packetBytes, 0);
+        EXPECT_GE(e.computeUs, 0);
+        EXPECT_GE(e.kernelBuffers, 1);
+        EXPECT_GT(e.mpSpeedFactor, 0);
+        EXPECT_GT(e.ringMbps, 0);
+        EXPECT_GT(e.measureUs, 0);
+        for (double rate : {e.lossRate, e.corruptRate,
+                            e.duplicateRate, e.reorderRate}) {
+            EXPECT_GE(rate, 0);
+            EXPECT_LE(rate, 1);
+        }
+        EXPECT_GT(e.retransmitTimeoutUs, 0);
+        EXPECT_GE(e.retransmitWindow, 1);
+        for (const CrashWindow &w : e.crashSchedule) {
+            EXPECT_TRUE(w.node == 0 || w.node == 1);
+            EXPECT_GE(w.startUs, 0);
+            EXPECT_GT(w.endUs, w.startUs);
+        }
+    }
+}
+
+TEST(Oracle, GreenOnGeneratedExperiments)
+{
+    const ExperimentGenerator gen(3);
+    for (std::uint64_t i = 0; i < 30; ++i) {
+        OracleOptions opts;
+        // Keep the test fast: full determinism re-runs on a sample.
+        opts.checkTraceIdentity = (i % 3 == 0);
+        opts.parallelJobs = (i % 10 == 0) ? 3 : 0;
+        const CheckResult res = checkedRun(gen.generate(i), opts);
+        EXPECT_TRUE(res.ok())
+            << "index " << i << ":\n"
+            << formatViolations(res.violations);
+    }
+}
+
+TEST(Oracle, UtilizationStaysInUnitRangeAtSaturation)
+{
+    // Regression for the bug the fuzzer found on day one: busy time
+    // booked at chunk start let a saturated host report > 1.
+    Experiment e = baseExperiment();
+    e.arch = models::Arch::I;
+    const std::vector<Violation> v =
+        checkOutcome(e, runExperiment(e));
+    EXPECT_TRUE(v.empty()) << formatViolations(v);
+}
+
+TEST(Differential, EligibilityMatchesTheModeledSubset)
+{
+    EXPECT_TRUE(differentialEligible(baseExperiment()));
+    Experiment remote = baseExperiment();
+    remote.local = false;
+    EXPECT_FALSE(differentialEligible(remote));
+    Experiment faulty = baseExperiment();
+    faulty.lossRate = 0.1;
+    EXPECT_FALSE(differentialEligible(faulty));
+    Experiment big = baseExperiment();
+    big.conversations = 10;
+    EXPECT_FALSE(differentialEligible(big));
+    Experiment multi = baseExperiment();
+    multi.hostsPerNode = 2;
+    EXPECT_FALSE(differentialEligible(multi));
+}
+
+TEST(Differential, ThreeEnginesAgreeOnEligibleConfigs)
+{
+    for (int arch : {1, 2, 3, 4}) {
+        Experiment e = baseExperiment();
+        e.arch = static_cast<models::Arch>(arch);
+        e.conversations = 2;
+        e.computeUs = 1000;
+        ASSERT_TRUE(differentialEligible(e));
+        const std::vector<Violation> v = differentialCheck(e);
+        EXPECT_TRUE(v.empty())
+            << "arch " << arch << ":\n" << formatViolations(v);
+    }
+}
+
+TEST(Shrink, MinimizesToTheDecidingKnobs)
+{
+    // Synthetic predicate (no simulation): the "failure" needs a
+    // remote workload and a loss rate above 0.1.  Start from a config
+    // with a dozen irrelevant knobs turned and expect exactly the two
+    // deciding knobs to survive, with the loss rate bisected down to
+    // the boundary.
+    const ExperimentGenerator gen(4);
+    Experiment noisy = gen.generate(11);
+    noisy.local = false;
+    noisy.mixedLocal = noisy.mixedRemote = 0;
+    noisy.lossRate = 0.29;
+    ASSERT_GT(knobDelta(noisy), 2);
+
+    int evals = 0;
+    const ShrinkResult res = shrinkExperiment(
+        noisy,
+        [&evals](const Experiment &cand) {
+            ++evals;
+            return !cand.local && cand.lossRate > 0.1;
+        },
+        1000);
+    EXPECT_LE(res.knobsChanged, 2);
+    EXPECT_FALSE(res.minimal.local);
+    EXPECT_GT(res.minimal.lossRate, 0.1);
+    EXPECT_LT(res.minimal.lossRate, 0.11); // bisected to the boundary
+    EXPECT_EQ(res.runsUsed, evals);
+    // Everything irrelevant reset to the base configuration.
+    Experiment expect = baseExperiment();
+    expect.local = false;
+    expect.lossRate = res.minimal.lossRate;
+    EXPECT_TRUE(res.minimal == expect);
+}
+
+TEST(Fuzz, InjectedRetransmissionBugIsCaughtShrunkAndReplayable)
+{
+    // A two-node lossy config that forces retransmissions.
+    Experiment failing = baseExperiment();
+    failing.local = false;
+    failing.lossRate = 0.2;
+    failing.corruptRate = 0.05;
+    failing.computeUs = 500;
+    failing.decomposeLatency = true;
+
+    // Healthy simulator: the oracle is green on this config.
+    EXPECT_TRUE(checkOutcome(failing, runExperiment(failing)).empty());
+
+    ScopedTestHooks guard;
+    testHooks().retransmissionMiscount = 1;
+
+    // The conservation oracle catches the planted off-by-one.
+    const std::vector<Violation> caught =
+        checkOutcome(failing, runExperiment(failing));
+    ASSERT_FALSE(caught.empty());
+    std::set<std::string> ids;
+    for (const Violation &v : caught)
+        ids.insert(v.invariant);
+    EXPECT_TRUE(ids.count("conservation.firstTx"))
+        << formatViolations(caught);
+
+    // Shrinking anchored to the caught invariants reaches a minimal
+    // repro of at most 5 knobs.
+    const ShrinkResult shrunk = shrinkExperiment(
+        failing, [&ids](const Experiment &cand) {
+            for (const Violation &v :
+                 checkOutcome(cand, runExperiment(cand)))
+                if (ids.count(v.invariant))
+                    return true;
+            return false;
+        });
+    EXPECT_LE(shrunk.knobsChanged, 5)
+        << "minimal repro still has knobs: " << [&] {
+               std::string s;
+               for (const std::string &k : knobDiff(shrunk.minimal))
+                   s += k + " ";
+               return s;
+           }();
+
+    // The repro JSON round-trips and still reproduces the violation.
+    const Experiment replayed =
+        experimentFromJsonText(experimentToJson(shrunk.minimal));
+    EXPECT_TRUE(replayed == shrunk.minimal);
+    bool stillCaught = false;
+    for (const Violation &v :
+         checkOutcome(replayed, runExperiment(replayed)))
+        stillCaught |= ids.count(v.invariant) > 0;
+    EXPECT_TRUE(stillCaught);
+
+    // With the planted bug removed the same repro runs clean: the
+    // failure was the bug, not the configuration.
+    testHooks().retransmissionMiscount = 0;
+    EXPECT_TRUE(
+        checkOutcome(replayed, runExperiment(replayed)).empty());
+}
+
+} // namespace

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "common/parallel/parallel.hh"
+#include "sim/check/test_hooks.hh"
 #include "sim/runner/sweep_runner.hh"
 
 namespace
@@ -275,6 +276,54 @@ TEST(SweepRunner, SeedBaseDerivesDistinctSeedsDeterministically)
     while (std::getline(lines, line))
         uniq.insert(line);
     EXPECT_GT(uniq.size(), 1u);
+}
+
+TEST(SweepRunner, EmptySweepReturnsEmpty)
+{
+    for (int jobs : {1, 4}) {
+        const std::vector<sim::Outcome> out =
+            sim::runSweep(std::vector<sim::Experiment>{}, jobs);
+        EXPECT_TRUE(out.empty()) << "jobs " << jobs;
+    }
+}
+
+TEST(SweepRunner, ThrowingTaskMidSweepPropagatesAndPoolRecovers)
+{
+    // A batch large enough that work is genuinely in flight on
+    // several workers when one item throws (via the test hook that
+    // fires at the top of runExperiment).
+    std::vector<sim::Experiment> exps(16);
+    for (std::size_t i = 0; i < exps.size(); ++i) {
+        exps[i].conversations = 1;
+        exps[i].computeUs = 1140;
+        exps[i].warmupUs = 5000;
+        exps[i].measureUs = 50000;
+        exps[i].seed = 1000 + i;
+    }
+
+    {
+        sim::check::ScopedTestHooks guard;
+        sim::check::testHooks().beforeRun =
+            [](const sim::Experiment &e) {
+                if (e.seed == 1007)
+                    throw std::runtime_error("item 7 exploded");
+            };
+        // The exception reaches the caller — not swallowed by a
+        // worker thread, and the sweep does not deadlock waiting for
+        // the failed item.  Both the serial and the pooled path.
+        EXPECT_THROW(sim::runSweep(exps, 4), std::runtime_error);
+        EXPECT_THROW(sim::runSweep(exps, 1), std::runtime_error);
+    }
+
+    // The pool drained and the runner is reusable: the same batch
+    // (hook gone) completes and matches a fresh serial run.
+    std::string serial, parallel4;
+    for (const sim::Outcome &o : sim::runSweep(exps, 1))
+        serial += sim::outcomeJson(o) + "\n";
+    for (const sim::Outcome &o : sim::runSweep(exps, 4))
+        parallel4 += sim::outcomeJson(o) + "\n";
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel4);
 }
 
 TEST(SweepRunner, OutcomeJsonCoversDecomposition)

@@ -7,7 +7,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <new>
+#include <thread>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -958,6 +961,168 @@ TEST(EventQueue, SpilledCapturesReusePooledBlocksWithoutAllocating)
                   detail::SpillPool::blockSize);
     EXPECT_EQ(allocationsDuringSteadyState<64>(32, 1000, 20000), 0u);
     EXPECT_GT(detail::SpillPool::instance().freeBlocks(), 0u);
+}
+
+/**
+ * A callable of exactly `Bytes` bytes (alignment 1, so sizeof does
+ * not round up) that counts invocations and destructions — probes the
+ * storage-tier boundaries of EventCallback precisely.
+ */
+template <std::size_t Bytes> struct SizedCapture
+{
+    static_assert(Bytes >= 2 * sizeof(int *));
+    // The pointers live memcpy'd into a byte array so the struct has
+    // alignment 1 and sizeof is exactly Bytes — pointer members would
+    // round odd sizes up to a multiple of 8 and miss the boundary.
+    unsigned char raw[Bytes];
+
+    SizedCapture(int *invoked, int *destroyed) : raw{}
+    {
+        std::memcpy(raw, &invoked, sizeof invoked);
+        std::memcpy(raw + sizeof(int *), &destroyed,
+                    sizeof destroyed);
+    }
+    SizedCapture(SizedCapture &&o) noexcept
+    {
+        std::memcpy(raw, o.raw, Bytes);
+        int *none = nullptr; // moved-from shell must not count
+        std::memcpy(o.raw + sizeof(int *), &none, sizeof none);
+    }
+    ~SizedCapture()
+    {
+        int *destroyed;
+        std::memcpy(&destroyed, raw + sizeof(int *),
+                    sizeof destroyed);
+        if (destroyed)
+            ++*destroyed;
+    }
+    void
+    operator()()
+    {
+        int *invoked;
+        std::memcpy(&invoked, raw, sizeof invoked);
+        ++*invoked;
+    }
+};
+
+/**
+ * Construct, invoke, and destroy an EventCallback holding a
+ * `Bytes`-sized capture; return the heap allocations the callback
+ * itself performed (the spill block, if any).
+ */
+template <std::size_t Bytes>
+std::size_t
+allocationsForOneCallback(int &invoked, int &destroyed)
+{
+    const std::size_t before =
+        g_heapAllocs.load(std::memory_order_relaxed);
+    {
+        EventCallback cb(SizedCapture<Bytes>{&invoked, &destroyed});
+        cb();
+    }
+    return g_heapAllocs.load(std::memory_order_relaxed) - before;
+}
+
+TEST(EventCallback, InlineBoundaryIsExactlyInlineCapacity)
+{
+    static_assert(sizeof(SizedCapture<47>) == 47);
+    static_assert(sizeof(SizedCapture<48>) == 48);
+    static_assert(sizeof(SizedCapture<49>) == 49);
+
+    int invoked = 0, destroyed = 0;
+    // 47 and 48 bytes: inline, zero allocations.
+    EXPECT_EQ(allocationsForOneCallback<47>(invoked, destroyed), 0u);
+    EXPECT_EQ(allocationsForOneCallback<48>(invoked, destroyed), 0u);
+    EXPECT_EQ(invoked, 2);
+    EXPECT_EQ(destroyed, 2);
+
+    // 49 bytes: one byte over — spills.  Warm the pool once (the
+    // free-list vector itself allocates on first growth), then drain
+    // it so the next spill is forced to allocate a fresh block.
+    auto &pool = detail::SpillPool::instance();
+    allocationsForOneCallback<49>(invoked, destroyed);
+    while (pool.freeBlocks() > 0)
+        ::operator delete(pool.alloc());
+    EXPECT_EQ(allocationsForOneCallback<49>(invoked, destroyed), 1u);
+    EXPECT_EQ(invoked, 4);
+    EXPECT_EQ(destroyed, 4);
+    // The block was parked on the free list, not freed: a second
+    // 49-byte spill recycles it and allocates nothing.
+    EXPECT_EQ(pool.freeBlocks(), 1u);
+    EXPECT_EQ(allocationsForOneCallback<49>(invoked, destroyed), 0u);
+    EXPECT_EQ(pool.freeBlocks(), 1u);
+}
+
+TEST(EventCallback, SpillPoolBoundaryIsExactlyBlockSize)
+{
+    static_assert(detail::SpillPool::blockSize == 256);
+    static_assert(sizeof(SizedCapture<256>) == 256);
+    static_assert(sizeof(SizedCapture<257>) == 257);
+
+    auto &pool = detail::SpillPool::instance();
+    int invoked = 0, destroyed = 0;
+
+    // 256 bytes fills a block exactly: pooled, recycled on destroy.
+    allocationsForOneCallback<256>(invoked, destroyed);
+    const std::size_t parked = pool.freeBlocks();
+    EXPECT_GE(parked, 1u);
+    EXPECT_EQ(allocationsForOneCallback<256>(invoked, destroyed), 0u);
+    EXPECT_EQ(pool.freeBlocks(), parked);
+
+    // 257 bytes exceeds a block: plain operator new, never pooled —
+    // it allocates every time and leaves the free list alone.
+    EXPECT_EQ(allocationsForOneCallback<257>(invoked, destroyed), 1u);
+    EXPECT_EQ(allocationsForOneCallback<257>(invoked, destroyed), 1u);
+    EXPECT_EQ(pool.freeBlocks(), parked);
+    EXPECT_EQ(invoked, 4);
+    EXPECT_EQ(destroyed, 4);
+}
+
+TEST(EventCallback, MovedFromSpilledCallbackReleasesNothing)
+{
+    auto &pool = detail::SpillPool::instance();
+    int invoked = 0, destroyed = 0;
+
+    EventCallback dst;
+    const std::size_t parked = pool.freeBlocks();
+    {
+        EventCallback src(SizedCapture<64>{&invoked, &destroyed});
+        dst = std::move(src);
+        // src leaves scope holding nothing: the block must not come
+        // back to the pool while dst still owns the target.
+    }
+    EXPECT_EQ(pool.freeBlocks(),
+              parked == 0 ? 0 : parked - 1); // block in use by dst
+    EXPECT_EQ(destroyed, 0);
+    dst();
+    EXPECT_EQ(invoked, 1);
+    dst = EventCallback(); // destroys the target, parks the block
+    EXPECT_EQ(destroyed, 1);
+    EXPECT_GE(pool.freeBlocks(), 1u);
+}
+
+TEST(EventCallback, SpilledBlockParksOnTheDestroyingThreadsPool)
+{
+    // The pool is thread-local: a spilled callback destroyed on
+    // another thread parks its block on *that* thread's free list and
+    // leaves this thread's list untouched.
+    auto &pool = detail::SpillPool::instance();
+    int invoked = 0, destroyed = 0;
+    EventCallback cb(SizedCapture<64>{&invoked, &destroyed});
+    const std::size_t parkedHere = pool.freeBlocks();
+
+    std::size_t parkedThere = 0;
+    std::thread([&] {
+        EventCallback mine(std::move(cb));
+        mine();
+        mine = EventCallback();
+        parkedThere = detail::SpillPool::instance().freeBlocks();
+    }).join();
+
+    EXPECT_EQ(invoked, 1);
+    EXPECT_EQ(destroyed, 1);
+    EXPECT_EQ(parkedThere, 1u);
+    EXPECT_EQ(pool.freeBlocks(), parkedHere);
 }
 
 } // namespace

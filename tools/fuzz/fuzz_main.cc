@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Property-based fuzzer: random runnable Experiments through the
+ * invariant oracle (and, for the eligible subset, the three-engine
+ * differential check), with automatic shrinking and a replayable JSON
+ * repro on failure.
+ *
+ *   fuzz [--runs N] [--seed S] [--start I] [--out PATH]
+ *        [--differential K] [--parallel-every M] [--no-shrink]
+ *        [--inject-bug retransmission] [--quiet]
+ *
+ * Exit status 0 when every run is clean, 1 on the first violation
+ * (after writing the minimized repro), 2 on usage errors.
+ *
+ * --inject-bug plants a deliberate off-by-one in the reliability
+ * stack's retransmission counting (a test-only hook; see
+ * sim/check/test_hooks.hh) so the whole pipeline — detection,
+ * shrinking, repro emission — can itself be tested end to end.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "sim/check/differential.hh"
+#include "sim/check/experiment_json.hh"
+#include "sim/check/generator.hh"
+#include "sim/check/invariants.hh"
+#include "sim/check/shrink.hh"
+#include "sim/check/test_hooks.hh"
+
+using namespace hsipc;
+using namespace hsipc::sim;
+using namespace hsipc::sim::check;
+
+namespace
+{
+
+struct Options
+{
+    long runs = 500;
+    std::uint64_t seed = 1987;
+    std::uint64_t start = 0;
+    std::string out = "fuzz_repro.json";
+    int differentialRuns = 8;
+    int parallelEvery = 8;
+    bool shrink = true;
+    bool quiet = false;
+    bool injectRetransmissionBug = false;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: fuzz [--runs N] [--seed S] [--start I] [--out PATH]\n"
+        "            [--differential K] [--parallel-every M]\n"
+        "            [--no-shrink] [--inject-bug retransmission]\n"
+        "            [--quiet]\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "fuzz: %s needs a value\n",
+                             arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--runs") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.runs = std::atol(v);
+        } else if (arg == "--seed") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--start") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.start = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--out") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.out = v;
+        } else if (arg == "--differential") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.differentialRuns = std::atoi(v);
+        } else if (arg == "--parallel-every") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.parallelEvery = std::atoi(v);
+        } else if (arg == "--no-shrink") {
+            opt.shrink = false;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--inject-bug") {
+            const char *v = value();
+            if (!v)
+                return false;
+            if (std::strcmp(v, "retransmission") != 0) {
+                std::fprintf(stderr, "fuzz: unknown bug '%s'\n", v);
+                return false;
+            }
+            opt.injectRetransmissionBug = true;
+        } else {
+            std::fprintf(stderr, "fuzz: unknown option '%s'\n",
+                         arg.c_str());
+            return false;
+        }
+    }
+    return opt.runs >= 0;
+}
+
+/** The ids of the invariants a violation list touched. */
+std::set<std::string>
+violationIds(const std::vector<Violation> &v)
+{
+    std::set<std::string> ids;
+    for (const Violation &viol : v)
+        ids.insert(viol.invariant);
+    return ids;
+}
+
+std::string
+reproJson(const Experiment &minimal,
+          const std::vector<Violation> &violations,
+          const Options &opt, std::uint64_t index, int runsUsed,
+          bool differential)
+{
+    std::string doc = "{\n";
+    doc += "  \"schema\": \"hsipc-fuzz-repro-v1\",\n";
+    doc += "  \"generatorSeed\": " +
+           jsonString(std::to_string(opt.seed)) + ",\n";
+    doc += "  \"generatorIndex\": " + std::to_string(index) + ",\n";
+    doc += "  \"differential\": " +
+           std::string(differential ? "true" : "false") + ",\n";
+    doc += "  \"injectedBug\": " +
+           std::string(opt.injectRetransmissionBug
+                           ? "\"retransmission\""
+                           : "null") +
+           ",\n";
+    doc += "  \"shrinkRuns\": " + std::to_string(runsUsed) + ",\n";
+    doc += "  \"knobsChanged\": [";
+    bool first = true;
+    for (const std::string &k : knobDiff(minimal)) {
+        doc += std::string(first ? "" : ", ") + jsonString(k);
+        first = false;
+    }
+    doc += "],\n  \"violations\": [";
+    first = true;
+    for (const Violation &v : violations) {
+        doc += std::string(first ? "" : ", ") +
+               jsonString(v.invariant + ": " + v.detail);
+        first = false;
+    }
+    doc += "],\n  \"experiment\": " + experimentToJson(minimal);
+    // experimentToJson ends with "}\n"; close the outer object.
+    doc += "}\n";
+    return doc;
+}
+
+/** Shrink, write the repro, report, and return the process status. */
+int
+failWith(const Experiment &exp, std::vector<Violation> violations,
+         const Options &opt, std::uint64_t index, bool differential)
+{
+    std::fprintf(stderr,
+                 "fuzz: violation at index %llu (seed %llu):\n%s",
+                 static_cast<unsigned long long>(index),
+                 static_cast<unsigned long long>(opt.seed),
+                 formatViolations(violations).c_str());
+
+    Experiment minimal = exp;
+    int runsUsed = 0;
+    if (opt.shrink) {
+        // Keep the shrink anchored to the original failure: a
+        // candidate counts only if it violates one of the same
+        // invariants.
+        const std::set<std::string> ids = violationIds(violations);
+        // Only pay for the determinism re-runs during shrinking when
+        // the original failure was a determinism violation.
+        OracleOptions shrinkOracle;
+        shrinkOracle.checkTraceIdentity =
+            ids.count("determinism.traceIdentity") > 0;
+        shrinkOracle.parallelJobs =
+            ids.count("determinism.parallelIdentity") > 0 ? 3 : 0;
+        auto sameFailure = [&](const Experiment &cand) {
+            const std::vector<Violation> v =
+                differential
+                    ? (differentialEligible(cand)
+                           ? differentialCheck(cand)
+                           : std::vector<Violation>())
+                    : checkedRun(cand, shrinkOracle).violations;
+            for (const Violation &viol : v)
+                if (ids.count(viol.invariant))
+                    return true;
+            return false;
+        };
+        const ShrinkResult shrunk =
+            shrinkExperiment(exp, sameFailure);
+        minimal = shrunk.minimal;
+        runsUsed = shrunk.runsUsed;
+        violations = differential
+                         ? differentialCheck(minimal)
+                         : checkedRun(minimal, shrinkOracle)
+                               .violations;
+        std::fprintf(stderr,
+                     "fuzz: shrunk to %d knob(s) off base in %d "
+                     "runs: ",
+                     knobDelta(minimal), runsUsed);
+        for (const std::string &k : knobDiff(minimal))
+            std::fprintf(stderr, "%s ", k.c_str());
+        std::fprintf(stderr, "\n");
+    }
+
+    std::ofstream repro(opt.out, std::ios::binary);
+    repro << reproJson(minimal, violations, opt, index, runsUsed,
+                       differential);
+    repro.close();
+    std::fprintf(stderr, "fuzz: repro written to %s\n",
+                 opt.out.c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        usage();
+        return 2;
+    }
+    if (opt.injectRetransmissionBug)
+        testHooks().retransmissionMiscount = 1;
+
+    // Crash-window configs legitimately warn about long-unacked
+    // packets; collect instead of spamming stderr.
+    long warnings = 0;
+    warnHook() = [&warnings](const std::string &) { ++warnings; };
+
+    ExperimentGenerator gen(opt.seed);
+    long differentialDone = 0;
+    for (long i = 0; i < opt.runs; ++i) {
+        const std::uint64_t index = opt.start +
+                                    static_cast<std::uint64_t>(i);
+        const Experiment exp = gen.generate(index);
+
+        OracleOptions oracle;
+        oracle.checkTraceIdentity = true;
+        oracle.parallelJobs =
+            (opt.parallelEvery > 0 && i % opt.parallelEvery == 0)
+                ? 3
+                : 0;
+        const CheckResult res = checkedRun(exp, oracle);
+        if (!res.ok())
+            return failWith(exp, res.violations, opt, index, false);
+
+        if (differentialDone < opt.differentialRuns &&
+            differentialEligible(exp)) {
+            ++differentialDone;
+            const std::vector<Violation> dv = differentialCheck(exp);
+            if (!dv.empty())
+                return failWith(exp, dv, opt, index, true);
+        }
+
+        if (!opt.quiet && (i + 1) % 100 == 0)
+            std::fprintf(stderr,
+                         "fuzz: %ld/%ld clean (%ld differential, "
+                         "%ld warnings)\n",
+                         i + 1, opt.runs, differentialDone,
+                         warnings);
+    }
+    if (!opt.quiet)
+        std::fprintf(stderr,
+                     "fuzz: %ld runs clean, %ld differential "
+                     "cross-checks, %ld warnings collected\n",
+                     opt.runs, differentialDone, warnings);
+    return 0;
+}

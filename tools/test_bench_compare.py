@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py (registered as ctest
+`bench_compare_unit`).
+
+Covers the tolerance arithmetic at its edges (relative band for
+values >= 1, the absolute window for near-zero quantities), the
+missing/new key diagnostics, the rule that `wall_ms` is informational
+and never gates the comparison, and the CLI exit statuses.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_compare  # noqa: E402
+
+
+def diffs(base, cur, tolerance=0.10):
+    return list(bench_compare.compare_docs("t", base, cur, tolerance))
+
+
+class WithinTest(unittest.TestCase):
+    def test_exact_equality_passes_at_zero_tolerance(self):
+        self.assertTrue(bench_compare.within(123.456, 123.456, 0.0))
+        self.assertTrue(bench_compare.within(0.0, 0.0, 0.0))
+
+    def test_relative_band_is_inclusive_at_the_edge(self):
+        # 10% of 100 is exactly 10: on the edge passes, a hair over
+        # fails.
+        self.assertTrue(bench_compare.within(100.0, 110.0, 0.10))
+        self.assertTrue(bench_compare.within(100.0, 90.0, 0.10))
+        self.assertFalse(bench_compare.within(100.0, 110.001, 0.10))
+        self.assertFalse(bench_compare.within(100.0, 89.999, 0.10))
+
+    def test_near_zero_uses_an_absolute_window(self):
+        # A 0.02 -> 0.05 utilization change is a 150% relative move
+        # but within the 0.10 absolute window for sub-unit values.
+        self.assertTrue(bench_compare.within(0.02, 0.05, 0.10))
+        self.assertTrue(bench_compare.within(0.0, 0.10, 0.10))
+        self.assertFalse(bench_compare.within(0.0, 0.11, 0.10))
+        self.assertFalse(bench_compare.within(0.5, 0.601, 0.10))
+
+    def test_accepts_numeric_strings_like_table_cells(self):
+        self.assertTrue(bench_compare.within("100", "105", 0.10))
+        self.assertFalse(bench_compare.within("100", "120", 0.10))
+
+    def test_is_number(self):
+        self.assertTrue(bench_compare.is_number("3.5"))
+        self.assertTrue(bench_compare.is_number(7))
+        self.assertFalse(bench_compare.is_number("Arch II"))
+        self.assertFalse(bench_compare.is_number(None))
+
+
+class CompareDocsTest(unittest.TestCase):
+    def doc(self, **overrides):
+        d = {
+            "bench": "b",
+            "scalars": {"throughput": 1000.0, "util": 0.5},
+            "tables": [{
+                "title": "T",
+                "columns": ["arch", "rt_us"],
+                "rows": [["II", 2670.0], ["III", 2200.0]],
+            }],
+        }
+        d.update(overrides)
+        return d
+
+    def test_identical_docs_produce_no_diffs(self):
+        self.assertEqual(diffs(self.doc(), self.doc()), [])
+
+    def test_scalar_drift_beyond_tolerance_is_reported(self):
+        cur = self.doc()
+        cur["scalars"]["throughput"] = 1201.0
+        out = diffs(self.doc(), cur)
+        self.assertEqual(len(out), 1)
+        self.assertIn("throughput", out[0])
+        self.assertIn("drifted", out[0])
+
+    def test_missing_scalar_key_is_reported_not_crashed(self):
+        cur = self.doc()
+        del cur["scalars"]["util"]
+        out = diffs(self.doc(), cur)
+        self.assertEqual(len(out), 1)
+        self.assertIn("disappeared", out[0])
+
+    def test_new_scalar_key_is_also_flagged(self):
+        cur = self.doc()
+        cur["scalars"]["extra"] = 1.0
+        out = diffs(self.doc(), cur)
+        self.assertEqual(len(out), 1)
+        self.assertIn("missing from baseline", out[0])
+
+    def test_docs_without_scalars_or_tables_compare_clean(self):
+        # Documents missing whole sections are legal, not a KeyError.
+        self.assertEqual(diffs({"bench": "b"}, {"bench": "b"}), [])
+
+    def test_missing_table_and_row_count_changes(self):
+        cur = self.doc(tables=[])
+        self.assertIn("disappeared", diffs(self.doc(), cur)[0])
+        cur = self.doc()
+        cur["tables"][0]["rows"] = cur["tables"][0]["rows"][:1]
+        self.assertIn("row count", diffs(self.doc(), cur)[0])
+
+    def test_table_cell_drift_names_row_and_column(self):
+        cur = self.doc()
+        cur["tables"][0]["rows"][1][1] = 2700.0
+        out = diffs(self.doc(), cur)
+        self.assertEqual(len(out), 1)
+        self.assertIn("row 1", out[0])
+        self.assertIn("rt_us", out[0])
+
+    def test_non_numeric_cells_compare_exactly(self):
+        cur = self.doc()
+        cur["tables"][0]["rows"][0][0] = "IV"
+        out = diffs(self.doc(), cur)
+        self.assertEqual(len(out), 1)
+        self.assertIn("changed", out[0])
+
+    def test_bench_name_change_is_reported(self):
+        self.assertIn("bench name changed",
+                      diffs(self.doc(), self.doc(bench="other"))[0])
+
+
+class WallClockTest(unittest.TestCase):
+    def test_wall_ms_never_gates_the_comparison(self):
+        base = {"bench": "b", "scalars": {"x": 1.0}, "wall_ms": 100.0}
+        cur = {"bench": "b", "scalars": {"x": 1.0}, "wall_ms": 9000.0}
+        # A 90x wall-clock blowup produces zero differences...
+        self.assertEqual(diffs(base, cur, tolerance=0.0), [])
+        # ...but is surfaced in the informational note.
+        note = bench_compare.wall_note(base, cur)
+        self.assertIn("9000 ms", note)
+        self.assertIn("90.00x", note)
+
+    def test_wall_note_degrades_gracefully(self):
+        self.assertEqual(
+            bench_compare.wall_note({}, {"bench": "b"}), "")
+        self.assertEqual(
+            bench_compare.wall_note({}, {"wall_ms": "fast"}), "")
+        # Current wall without a baseline: absolute time only.
+        note = bench_compare.wall_note({}, {"wall_ms": 250.0})
+        self.assertIn("250 ms", note)
+        self.assertNotIn("x baseline", note)
+
+
+class MainTest(unittest.TestCase):
+    def run_main(self, argv):
+        old = sys.argv
+        sys.argv = ["bench_compare.py"] + argv
+        try:
+            return bench_compare.main()
+        finally:
+            sys.argv = old
+
+    def write(self, directory, name, doc):
+        path = os.path.join(directory, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def test_file_mode_exit_codes(self):
+        base = {"bench": "b", "scalars": {"x": 100.0}}
+        with tempfile.TemporaryDirectory() as d:
+            b = self.write(d, "base.json", base)
+            ok = self.write(d, "ok.json",
+                            {"bench": "b", "scalars": {"x": 105.0}})
+            bad = self.write(d, "bad.json",
+                             {"bench": "b", "scalars": {"x": 150.0}})
+            self.assertEqual(self.run_main([b, ok]), 0)
+            self.assertEqual(self.run_main([b, bad]), 1)
+            # A looser tolerance turns the same pair green.
+            self.assertEqual(
+                self.run_main([b, bad, "--tolerance", "0.6"]), 0)
+
+    def test_directory_mode_requires_every_counterpart(self):
+        doc = {"bench": "b", "scalars": {"x": 1.0}}
+        with tempfile.TemporaryDirectory() as bd, \
+                tempfile.TemporaryDirectory() as cd:
+            self.write(bd, "a.json", doc)
+            self.write(cd, "a.json", doc)
+            self.assertEqual(self.run_main(
+                ["--baseline-dir", bd, "--current-dir", cd]), 0)
+            self.write(bd, "b.json", doc)  # no counterpart in cd
+            self.assertEqual(self.run_main(
+                ["--baseline-dir", bd, "--current-dir", cd]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
