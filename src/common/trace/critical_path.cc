@@ -58,6 +58,20 @@ CausalLog::done(long msg, Tick t)
     it->second.end = t;
 }
 
+void
+CausalLog::abort(long msg, Tick t, Terminal why)
+{
+    if (!on)
+        return;
+    hsipc_assert(why != Terminal::Completed &&
+                 "abort cannot complete a message; use done()");
+    auto it = log.find(msg);
+    hsipc_assert(it != log.end() && "abort for an unstarted message");
+    hsipc_assert(it->second.end < 0 && "message already closed");
+    it->second.end = t;
+    it->second.terminal = why;
+}
+
 MessagePath
 reconstructPath(long msg, const CausalLog::Record &rec)
 {
@@ -103,12 +117,19 @@ reconstructPath(long msg, const CausalLog::Record &rec)
     // The intervals arrive in causal order (a message does one thing
     // at a time); walk them, turning each gap into queueing on the
     // next interval's resource — the message was sitting in that
-    // resource's entry queue.
+    // resource's entry queue.  Everything is clamped to the record's
+    // end: with the RPC robustness layer a chain can keep reporting
+    // after its message closed (a duplicate's server-side processing
+    // outliving the reply that completed the request), and such time
+    // belongs to nobody's round trip.
     Tick cursor = rec.start;
     for (const PathInterval &iv : rec.intervals) {
         hsipc_assert(iv.begin >= cursor &&
                      "overlapping causal intervals");
-        segment(Component::Queue, cursor, iv.begin, iv.resource);
+        if (cursor >= rec.end)
+            break; // reported after the record closed
+        segment(Component::Queue, cursor,
+                std::min(iv.begin, rec.end), iv.resource);
         segment(iv.comp, iv.begin, std::min(iv.end, rec.end),
                 iv.resource);
         cursor = iv.end;
@@ -116,7 +137,8 @@ reconstructPath(long msg, const CausalLog::Record &rec)
     // A trailing gap (none is expected from the simulator, whose last
     // activity completes at done-time) stays visible as blocked time
     // rather than silently vanishing from the accounting.
-    segment(Component::Blocked, cursor, rec.end, "unattributed");
+    segment(Component::Blocked, std::min(cursor, rec.end), rec.end,
+            "unattributed");
     return path;
 }
 
@@ -150,7 +172,8 @@ decompose(const CausalLog &log, Tick from, Tick to)
     Decomposition d;
     std::vector<double> rt, service, queue, network, blocked;
     for (const auto &[msg, rec] : log.records()) {
-        if (rec.end < 0 || rec.end <= from || rec.end > to)
+        if (rec.end < 0 || rec.end <= from || rec.end > to ||
+            rec.terminal != CausalLog::Terminal::Completed)
             continue;
         const MessagePath p = reconstructPath(msg, rec);
         ++d.messages;

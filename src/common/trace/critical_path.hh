@@ -72,11 +72,28 @@ struct PathInterval
 class CausalLog
 {
   public:
+    /**
+     * How a message's life ended.  Only Completed records enter the
+     * aggregate decomposition; the others are terminal causal events
+     * of the RPC robustness layer (a shed, expired, superseded, or
+     * crash-lost attempt never completed a round trip, so its partial
+     * path must not dilute the round-trip statistics).
+     */
+    enum class Terminal : std::uint8_t
+    {
+        Completed,  //!< done() was called: a measured round trip
+        Superseded, //!< a client retry replaced this attempt
+        Shed,       //!< terminated by admission control
+        Expired,    //!< terminated at its deadline
+        LostToCrash, //!< flushed from a crashed node's queue
+    };
+
     /** A message's lifetime and its recorded intervals. */
     struct Record
     {
         Tick start = -1;
         Tick end = -1; //!< -1 while the round trip is in flight
+        Terminal terminal = Terminal::Completed;
         std::vector<PathInterval> intervals;
     };
 
@@ -87,6 +104,14 @@ class CausalLog
     void interval(long msg, const std::string &resource, Component c,
                   Tick begin, Tick end);
     void done(long msg, Tick t);
+
+    /**
+     * Close @p msg's record without a completed round trip: the
+     * message reached the terminal state @p why at @p t.  Intervals
+     * reported after an abort (a server still working on a superseded
+     * attempt) are retained for the record but never aggregated.
+     */
+    void abort(long msg, Tick t, Terminal why);
 
     const std::map<long, Record> &records() const { return log; }
 
@@ -174,7 +199,8 @@ struct Decomposition
 /**
  * Decompose every message whose round trip completed in (@p from,
  * @p to] — the same window the simulator uses for measured round
- * trips.
+ * trips.  Aborted records (Terminal other than Completed) are
+ * excluded: they are partial paths, not round trips.
  */
 Decomposition decompose(const CausalLog &log, Tick from, Tick to);
 

@@ -45,7 +45,8 @@ differentialEligible(const Experiment &exp,
            exp.computeUs <= opts.maxComputeUs &&
            exp.hostsPerNode == 1 && exp.mpSpeedFactor == 1 &&
            !exp.extraCopy && faultFree && !exp.reliableProtocol &&
-           exp.kernelBuffers >= exp.conversations;
+           exp.kernelBuffers >= exp.conversations &&
+           !robustnessEnabled(exp);
 }
 
 std::vector<Violation>

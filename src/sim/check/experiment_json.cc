@@ -127,6 +127,17 @@ experimentToJson(const Experiment &exp)
     field("traceFile", jsonString(exp.traceFile));
     field("metricsFile", jsonString(exp.metricsFile));
     boolean("decomposeLatency", exp.decomposeLatency);
+    integer("arrivalMode", exp.arrivalMode);
+    num("arrivalRatePerSec", exp.arrivalRatePerSec);
+    num("paretoAlpha", exp.paretoAlpha);
+    num("paretoBound", exp.paretoBound);
+    num("deadlineUs", exp.deadlineUs);
+    integer("retryBudget", exp.retryBudget);
+    num("retryBackoffUs", exp.retryBackoffUs);
+    num("retryBackoffMaxUs", exp.retryBackoffMaxUs);
+    integer("svcQueueCap", exp.svcQueueCap);
+    integer("shedPolicy", exp.shedPolicy);
+    num("rtoMaxUs", exp.rtoMaxUs);
     return doc + "\n}\n";
 }
 
@@ -145,7 +156,10 @@ experimentFromJson(const JsonValue &v)
         "corruptRate", "duplicateRate", "reorderRate",
         "reorderDelayUs", "retransmitTimeoutUs", "retransmitWindow",
         "reliableProtocol", "crashSchedule", "traceFile",
-        "metricsFile", "decomposeLatency"};
+        "metricsFile", "decomposeLatency", "arrivalMode",
+        "arrivalRatePerSec", "paretoAlpha", "paretoBound",
+        "deadlineUs", "retryBudget", "retryBackoffUs",
+        "retryBackoffMaxUs", "svcQueueCap", "shedPolicy", "rtoMaxUs"};
     for (const auto &[key, value] : v.asObject()) {
         if (known.count(key) == 0)
             throw std::runtime_error(
@@ -229,6 +243,28 @@ experimentFromJson(const JsonValue &v)
         exp.metricsFile = stringField(v, "metricsFile");
     if (v.has("decomposeLatency"))
         exp.decomposeLatency = boolField(v, "decomposeLatency");
+    if (v.has("arrivalMode"))
+        exp.arrivalMode = intField(v, "arrivalMode");
+    if (v.has("arrivalRatePerSec"))
+        exp.arrivalRatePerSec = numberField(v, "arrivalRatePerSec");
+    if (v.has("paretoAlpha"))
+        exp.paretoAlpha = numberField(v, "paretoAlpha");
+    if (v.has("paretoBound"))
+        exp.paretoBound = numberField(v, "paretoBound");
+    if (v.has("deadlineUs"))
+        exp.deadlineUs = numberField(v, "deadlineUs");
+    if (v.has("retryBudget"))
+        exp.retryBudget = intField(v, "retryBudget");
+    if (v.has("retryBackoffUs"))
+        exp.retryBackoffUs = numberField(v, "retryBackoffUs");
+    if (v.has("retryBackoffMaxUs"))
+        exp.retryBackoffMaxUs = numberField(v, "retryBackoffMaxUs");
+    if (v.has("svcQueueCap"))
+        exp.svcQueueCap = intField(v, "svcQueueCap");
+    if (v.has("shedPolicy"))
+        exp.shedPolicy = intField(v, "shedPolicy");
+    if (v.has("rtoMaxUs"))
+        exp.rtoMaxUs = numberField(v, "rtoMaxUs");
     return exp;
 }
 

@@ -117,6 +117,35 @@ ExperimentGenerator::generate(std::uint64_t index) const
             exp.crashSchedule.push_back(w);
         }
     }
+    if (rng.chance(0.2))
+        exp.rtoMaxUs = coarse(rng.uniform(1000, 200000));
+
+    // Robustness layer (ISSUE 6).  Every sampled value must remain
+    // valid when any other robustness knob is independently reset to
+    // its default — the greedy shrinker does exactly that — so the
+    // backoff ranges are chosen to stay ordered against both the
+    // defaults and each other.
+    const bool mixed = exp.mixedLocal + exp.mixedRemote > 0;
+    if (!mixed && rng.chance(0.35)) {
+        exp.arrivalMode = 1 + static_cast<int>(rng.below(2));
+        exp.arrivalRatePerSec = coarse(rng.uniform(200, 20000));
+        if (exp.arrivalMode == 2) {
+            exp.paretoAlpha = coarse(rng.uniform(1.1, 2.5));
+            exp.paretoBound = coarse(rng.uniform(10, 5000));
+        }
+    }
+    if (rng.chance(0.35))
+        exp.deadlineUs = coarse(rng.uniform(500, 30000));
+    if (rng.chance(0.35)) {
+        exp.retryBudget = 1 + static_cast<int>(rng.below(4));
+        exp.retryBackoffUs = coarse(rng.uniform(100, 8000));
+        exp.retryBackoffMaxUs = coarse(rng.uniform(8000, 64000));
+    }
+    if (rng.chance(0.35)) {
+        exp.svcQueueCap = 1 + static_cast<int>(rng.below(32));
+        exp.shedPolicy = static_cast<int>(rng.below(3));
+    }
+
     exp.decomposeLatency = rng.chance(0.3);
     return exp;
 }

@@ -1,5 +1,6 @@
 #include "sim/check/invariants.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -364,8 +365,19 @@ checkDecomposition(Checker &c)
                      "decomposition filled without decomposeLatency");
         return;
     }
-    c.expectEq(d.messages, "decomposition.messages", out.roundTrips,
-               "roundTrips", "decomp.coverage");
+    if (robustnessEnabled(c.exp)) {
+        // Robust runs may complete a round trip whose final attempt
+        // stalled in the buffer queue (no causal record), and aborted
+        // attempts are excluded, so coverage is an upper bound and the
+        // decomposed mean is over a subset of the measured trips.
+        c.expectTrue(d.messages <= out.roundTrips, "decomp.coverage",
+                     "decomposition.messages=" +
+                         std::to_string(d.messages) + " > roundTrips=" +
+                         std::to_string(out.roundTrips));
+    } else {
+        c.expectEq(d.messages, "decomposition.messages",
+                   out.roundTrips, "roundTrips", "decomp.coverage");
+    }
     if (d.messages <= 0)
         return;
 
@@ -374,9 +386,10 @@ checkDecomposition(Checker &c)
     c.expectClose(sum, "service+queue+network+blocked",
                   d.roundTrip.meanUs, "roundTrip mean", 1e-6,
                   "decomp.partition");
-    c.expectClose(d.roundTrip.meanUs, "decomposed roundTrip mean",
-                  out.meanRoundTripUs, "measured mean", 1e-6,
-                  "decomp.partition");
+    if (!robustnessEnabled(c.exp))
+        c.expectClose(d.roundTrip.meanUs, "decomposed roundTrip mean",
+                      out.meanRoundTripUs, "measured mean", 1e-6,
+                      "decomp.partition");
 
     const struct
     {
@@ -408,6 +421,149 @@ checkDecomposition(Checker &c)
                  "decomp.bottleneck");
 }
 
+void
+checkRpc(Checker &c)
+{
+    const Experiment &exp = c.exp;
+    const Outcome &out = c.out;
+    const Outcome::Rpc &r = out.rpc;
+
+    c.expectNonNeg(out.rpcHostUsPerRt, "rpcHostUsPerRt", "rpc.nonneg");
+    c.expectNonNeg(out.rpcMpUsPerRt, "rpcMpUsPerRt", "rpc.nonneg");
+
+    if (!robustnessEnabled(exp)) {
+        // Pay-for-use: with every robustness knob at its default the
+        // whole ledger (and its processing charge) must stay zero.
+        const long ledger[] = {
+            r.offered,     r.attempts,     r.retries,
+            r.admitted,    r.completed,    r.shed,
+            r.shedAttempts, r.expired,     r.lostToCrash,
+            r.crashLostAttempts, r.duplicatesSuppressed,
+            r.replyReplays, r.orphanedReplies, r.inFlightAtEnd};
+        for (long v : ledger)
+            c.expectTrue(v == 0, "rpc.bypass",
+                         "robustness ledger entry " +
+                             std::to_string(v) +
+                             " nonzero on a non-robust run");
+        c.expectTrue(r.offeredPerSec == 0 && r.goodputPerSec == 0 &&
+                         r.meanSojournUs == 0 && r.p95SojournUs == 0 &&
+                         out.rpcHostUsPerRt == 0 &&
+                         out.rpcMpUsPerRt == 0,
+                     "rpc.bypass",
+                     "robustness rates nonzero on a non-robust run");
+        return;
+    }
+
+    const long ledger[] = {
+        r.offered,     r.attempts,     r.retries,
+        r.admitted,    r.completed,    r.shed,
+        r.shedAttempts, r.expired,     r.lostToCrash,
+        r.crashLostAttempts, r.duplicatesSuppressed,
+        r.replyReplays, r.orphanedReplies, r.inFlightAtEnd};
+    for (long v : ledger)
+        c.expectTrue(v >= 0, "rpc.nonneg",
+                     "negative rpc ledger entry " + std::to_string(v));
+    c.expectNonNeg(r.offeredPerSec, "offeredPerSec", "rpc.nonneg");
+    c.expectNonNeg(r.goodputPerSec, "goodputPerSec", "rpc.nonneg");
+    c.expectNonNeg(r.meanSojournUs, "meanSojournUs", "rpc.nonneg");
+    c.expectNonNeg(r.p95SojournUs, "p95SojournUs", "rpc.nonneg");
+
+    // Disposition conservation: every offered request ends in exactly
+    // one of the four terminal states or is still in flight at the
+    // end of the run.  Exact, on every configuration.
+    c.expectEq(r.offered, "offered",
+               r.completed + r.shed + r.expired + r.lostToCrash +
+                   r.inFlightAtEnd,
+               "completed+shed+expired+lostToCrash+inFlightAtEnd",
+               "rpc.conservation");
+
+    // Attempt accounting: each request sends once plus one per used
+    // retry, and the budget caps the retries.
+    c.expectTrue(r.attempts <= r.offered + r.retries,
+                 "rpc.attempts",
+                 "attempts=" + std::to_string(r.attempts) +
+                     " > offered+retries=" +
+                     std::to_string(r.offered + r.retries));
+    c.expectTrue(r.retries <=
+                     static_cast<long>(exp.retryBudget) * r.offered,
+                 "rpc.retryBudget",
+                 "retries=" + std::to_string(r.retries) +
+                     " > budget*offered=" +
+                     std::to_string(static_cast<long>(exp.retryBudget) *
+                                    r.offered));
+
+    // Server-side classification: every delivered attempt is admitted,
+    // deduplicated, replayed at, or shed — never double-counted.
+    c.expectTrue(r.admitted + r.duplicatesSuppressed + r.replyReplays <=
+                     r.attempts,
+                 "rpc.serverLedger",
+                 "admitted+dedup+replays=" +
+                     std::to_string(r.admitted + r.duplicatesSuppressed +
+                                    r.replyReplays) +
+                     " > attempts=" + std::to_string(r.attempts));
+    c.expectTrue(r.completed <= r.admitted, "rpc.serverLedger",
+                 "completed=" + std::to_string(r.completed) +
+                     " > admitted=" + std::to_string(r.admitted));
+    // Every reply is produced by a serviced admission or a replay.
+    c.expectTrue(r.completed + r.orphanedReplies <=
+                     r.admitted + r.replyReplays,
+                 "rpc.serverLedger",
+                 "completed+orphaned=" +
+                     std::to_string(r.completed + r.orphanedReplies) +
+                     " > admitted+replays=" +
+                     std::to_string(r.admitted + r.replyReplays));
+    c.expectTrue(r.shed <= r.shedAttempts, "rpc.shedBound",
+                 "shed=" + std::to_string(r.shed) +
+                     " > shedAttempts=" +
+                     std::to_string(r.shedAttempts));
+    c.expectTrue(r.lostToCrash <= r.crashLostAttempts, "rpc.crashBound",
+                 "lostToCrash=" + std::to_string(r.lostToCrash) +
+                     " > crashLostAttempts=" +
+                     std::to_string(r.crashLostAttempts));
+
+    // Disabled mechanisms must not fire.
+    if (exp.svcQueueCap == 0)
+        c.expectTrue(r.shedAttempts == 0 && r.shed == 0,
+                     "rpc.disabled", "shedding without a queue cap");
+    if (exp.retryBudget == 0)
+        c.expectTrue(r.retries == 0, "rpc.disabled",
+                     "retries without a retry budget");
+    if (exp.deadlineUs == 0)
+        c.expectTrue(r.expired == 0, "rpc.disabled",
+                     "expiries without a deadline");
+    if (exp.crashSchedule.empty())
+        c.expectTrue(r.lostToCrash == 0 && r.crashLostAttempts == 0,
+                     "rpc.disabled", "crash losses without crashes");
+
+    // Expiry preempts late completion, so goodput is throughput.
+    c.expectClose(r.goodputPerSec, "goodputPerSec",
+                  out.throughputPerSec, "throughputPerSec", 1e-9,
+                  "rpc.goodput");
+
+    // No completed request outlives its deadline (the deadline event
+    // is scheduled before any reply can be, so it wins tick ties).
+    if (exp.deadlineUs > 0 && r.completed > 0) {
+        const double bound = ticksToUs(
+            std::max<Tick>(1, usToTicks(exp.deadlineUs)));
+        c.expectLe(r.meanSojournUs, "meanSojournUs", bound,
+                   "deadline", "rpc.sojournDeadline");
+        c.expectLe(r.p95SojournUs, "p95SojournUs", bound, "deadline",
+                   "rpc.sojournDeadline");
+    }
+
+    // Who pays for robustness: the host on Architecture I, the MP on
+    // II-IV — mirrors the protocol-placement invariant.
+    if (exp.arch == models::Arch::I)
+        c.expectTrue(out.rpcMpUsPerRt == 0, "rpc.placement",
+                     "rpcMpUsPerRt=" + fmt(out.rpcMpUsPerRt) +
+                         " on the MP-less architecture I");
+    else
+        c.expectTrue(out.rpcHostUsPerRt == 0, "rpc.placement",
+                     "rpcHostUsPerRt=" + fmt(out.rpcHostUsPerRt) +
+                         " charged to the host on arch " +
+                         std::to_string(static_cast<int>(exp.arch)));
+}
+
 } // namespace
 
 std::string
@@ -426,6 +582,7 @@ checkOutcome(const Experiment &exp, const Outcome &out)
     checkMeasurement(c);
     checkConservation(c);
     checkDecomposition(c);
+    checkRpc(c);
     return std::move(c.v);
 }
 

@@ -47,6 +47,12 @@ constexpr IntKnob intKnobs[] = {
     {"kernelBuffers", &Experiment::kernelBuffers},
     {"packetBytes", &Experiment::packetBytes},
     {"retransmitWindow", &Experiment::retransmitWindow},
+    // Robustness layer: resetting arrivalMode first collapses an open
+    // workload back to the closed loop; the rest then usually reset.
+    {"arrivalMode", &Experiment::arrivalMode},
+    {"retryBudget", &Experiment::retryBudget},
+    {"svcQueueCap", &Experiment::svcQueueCap},
+    {"shedPolicy", &Experiment::shedPolicy},
 };
 
 constexpr DoubleKnob doubleKnobs[] = {
@@ -62,6 +68,13 @@ constexpr DoubleKnob doubleKnobs[] = {
     {"reorderRate", &Experiment::reorderRate},
     {"reorderDelayUs", &Experiment::reorderDelayUs},
     {"retransmitTimeoutUs", &Experiment::retransmitTimeoutUs},
+    {"arrivalRatePerSec", &Experiment::arrivalRatePerSec},
+    {"paretoAlpha", &Experiment::paretoAlpha},
+    {"paretoBound", &Experiment::paretoBound},
+    {"deadlineUs", &Experiment::deadlineUs},
+    {"retryBackoffUs", &Experiment::retryBackoffUs},
+    {"retryBackoffMaxUs", &Experiment::retryBackoffMaxUs},
+    {"rtoMaxUs", &Experiment::rtoMaxUs},
 };
 
 } // namespace

@@ -37,6 +37,15 @@ struct TestHooks
     long retransmissionMiscount = 0;
 
     /**
+     * Added to the RPC robustness layer's completed-request counter
+     * on every completion — a deliberate off-by-N in the disposition
+     * ledger.  Any nonzero value breaks the rpc.conservation identity
+     * (offered = completed + shed + expired + lostToCrash +
+     * inFlightAtEnd), so the oracle must catch and shrink it.
+     */
+    long rpcCompletionMiscount = 0;
+
+    /**
      * Invoked at the top of runExperiment() when set.  May throw —
      * the exception-propagation tests for the sweep runner use this
      * to make a specific run in a parallel sweep fail.

@@ -1,7 +1,9 @@
 #include "sim/kernel/ipc_sim.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -26,6 +28,29 @@ namespace
 
 /** The 40-byte copy added by the validation configuration (§6.8). */
 constexpr double extraCopyUs = 220.0;
+
+// Robustness-layer kernel costs: microseconds of communication-
+// processor time per event, each touching a few kernel-buffer words.
+// They are deliberately small next to the §6.3 path costs —
+// robustness is bookkeeping, not data movement — but they are real
+// work, charged to the host on Architecture I and the MP on II-IV.
+constexpr double rpcAdmitUs = 20.0;  //!< admission check per attempt
+constexpr double rpcShedUs = 10.0;   //!< rejecting/evicting an attempt
+constexpr double rpcDedupUs = 15.0;  //!< suppressing a duplicate
+constexpr double rpcReplayUs = 40.0; //!< replaying a cached reply
+constexpr double rpcRetryUs = 30.0;  //!< client-side retry dispatch
+constexpr double rpcExpireUs = 15.0; //!< tearing down at the deadline
+constexpr double rpcOrphanUs = 10.0; //!< discarding an orphaned reply
+constexpr int rpcKbAccesses = 4;     //!< buffer accesses per rpc event
+
+/** One request attempt waiting in a node's service queue. */
+struct QueueEntry
+{
+    int conv;       //!< conversation whose request this is
+    long rid;       //!< request id of the attempt (0 in closed runs)
+    long msg;       //!< lifetime id of the admitted attempt
+    Tick enqueueAt; //!< when it joined the queue
+};
 
 /** One node of the distributed system. */
 struct Node
@@ -87,9 +112,9 @@ struct Node
     Processor nicOut;
     bool splitBus;
 
-    // Kernel state: the node's service queue (pending client ids and
-    // waiting server ids) plus the kernel-buffer free pool.
-    std::deque<int> pendingMsgs;
+    // Kernel state: the node's service queue (pending request
+    // attempts and waiting server ids) plus the kernel-buffer pool.
+    std::deque<QueueEntry> pendingMsgs;
     std::deque<int> waitingServers;
     int freeBuffers = 0;
     std::deque<int> buffersWaiting; //!< clients stalled for a buffer
@@ -120,7 +145,12 @@ class Sim
         : exp(exp), rng(exp.seed),
           // The injector draws from its own stream so that enabling
           // faults never perturbs the workload's random sequence.
-          injector(makePlan(exp), exp.seed ^ 0xFA017D0BEEFull)
+          injector(makePlan(exp), exp.seed ^ 0xFA017D0BEEFull),
+          // Likewise the robustness layer: its arrival gaps and retry
+          // jitter come from a third stream, and with every knob at
+          // its default the layer draws nothing at all.
+          robust(robustnessEnabled(exp)),
+          robustRng(exp.seed ^ 0xB0B57EC0DEull)
     {
         // Resolve the observability sinks before anything registers a
         // track: an external tracer (the caller enables it) or the
@@ -192,7 +222,7 @@ class Sim
             ReliableChannel::Config rc;
             rc.windowSize = exp.retransmitWindow;
             rc.rtoUs = exp.retransmitTimeoutUs;
-            rc.rtoMaxUs = std::max(rc.rtoMaxUs, rc.rtoUs);
+            rc.rtoMaxUs = std::max(exp.rtoMaxUs, rc.rtoUs);
             rc.dataBytes = exp.packetBytes;
             protoAccesses = rc.busAccesses;
 
@@ -251,12 +281,37 @@ class Sim
                 addConversation(0, exp.local ? 0 : 1);
         }
 
+        // Open-arrival mode repurposes the laid-out conversations as
+        // server loops only; clients materialize per arrival.  Closed
+        // mode keeps the classic fixed client/server pairs (a robust
+        // closed client opens a tracked request around each trip).
+        const bool open = exp.arrivalMode != 0;
         for (std::size_t i = 0; i < convs.size(); ++i) {
             const int conv = static_cast<int>(i);
-            eq.schedule(static_cast<Tick>(i) * 7,
-                        [this, conv]() { clientSend(conv); });
+            if (!open) {
+                eq.schedule(static_cast<Tick>(i) * 7, [this, conv]() {
+                    if (robust)
+                        startRequest(conv);
+                    else
+                        clientSend(conv);
+                });
+            }
             eq.schedule(3 + static_cast<Tick>(i) * 7,
                         [this, conv]() { serverReceive(conv); });
+        }
+        if (open)
+            scheduleNextArrival();
+
+        // A crash wipes the node's volatile kernel state, not just
+        // the packets in flight: queued requests are lost (retries or
+        // deadlines must recover them) and the at-most-once reply
+        // cache forgets which requests completed.
+        if (robust) {
+            for (const CrashWindow &w : exp.crashSchedule) {
+                const int node = w.node;
+                eq.schedule(usToTicks(w.startUs),
+                            [this, node]() { crashFlush(node); });
+            }
         }
     }
 
@@ -273,6 +328,8 @@ class Sim
         const ReliableChannel::Stats chanBase = channelStats();
         const FaultInjector::Stats injBase = injector.stats();
         const auto [protoHostBase, protoMpBase] = protoTicks();
+        const auto [rpcHostBase, rpcMpBase] = prefixTicks("rpc");
+        const long rpcOfferedBase = rpcTotals.offered;
         if (simTrack >= 0)
             tracer->instant(simTrack, "measureStart", warm, "phase");
         eq.runUntil(end);
@@ -366,6 +423,11 @@ class Sim
                 static_cast<double>(completed);
             out.protoMpUsPerRt = ticksToUs(protoMp - protoMpBase) /
                                  static_cast<double>(completed);
+            const auto [rpcHost, rpcMp] = prefixTicks("rpc");
+            out.rpcHostUsPerRt = ticksToUs(rpcHost - rpcHostBase) /
+                                 static_cast<double>(completed);
+            out.rpcMpUsPerRt = ticksToUs(rpcMp - rpcMpBase) /
+                               static_cast<double>(completed);
         }
         for (const Recovery &r : recoveries) {
             if (r.recoveredAt >= 0) {
@@ -400,6 +462,34 @@ class Sim
         nt.pktsDuplicated = fs.duplicated;
         nt.pktsReordered = fs.reordered;
         nt.pktsCrashDropped = fs.crashDrops;
+
+        // The robustness layer's whole-run disposition ledger plus
+        // the windowed goodput-vs-offered-load measurement.  Goodput
+        // equals the plain throughput by construction: a request that
+        // missed its deadline is torn down at the deadline, so it can
+        // never count as a completed round trip.
+        if (robust) {
+            out.rpc = rpcTotals;
+            for (const Conversation &cv : convs) {
+                if (cv.rid != 0 && cv.disp == Disp::None)
+                    ++out.rpc.inFlightAtEnd;
+            }
+            out.rpc.offeredPerSec =
+                static_cast<double>(rpcTotals.offered -
+                                    rpcOfferedBase) /
+                window_sec;
+            out.rpc.goodputPerSec = out.throughputPerSec;
+            if (!sojournSamples.empty()) {
+                std::vector<double> s = sojournSamples;
+                std::sort(s.begin(), s.end());
+                double sum = 0;
+                for (double v : s)
+                    sum += v;
+                out.rpc.meanSojournUs =
+                    sum / static_cast<double>(s.size());
+                out.rpc.p95SojournUs = s[(s.size() * 95) / 100];
+            }
+        }
         if (exp.decomposeLatency) {
             out.decomposition = trace::decompose(pathLog, warm, end);
             if (metrics) {
@@ -412,7 +502,9 @@ class Sim
                 auto &h_blk = metrics->histogram("lat.blockedUs");
                 for (const auto &[id, rec] : pathLog.records()) {
                     if (rec.end < 0 || rec.end <= warm ||
-                        rec.end > end)
+                        rec.end > end ||
+                        rec.terminal !=
+                            trace::CausalLog::Terminal::Completed)
                         continue;
                     const trace::MessagePath p =
                         trace::reconstructPath(id, rec);
@@ -429,6 +521,25 @@ class Sim
     }
 
   private:
+    /** Terminal disposition of a tracked request (robust runs). */
+    enum class Disp : int
+    {
+        None,      //!< still undecided (in flight)
+        Completed, //!< the reply reached the client
+        Shed,      //!< admission control dropped its last hope
+        Expired,   //!< its deadline fired first
+        LostToCrash, //!< a crash flushed its only live attempt
+    };
+
+    /** Server-side at-most-once state of the current request id. */
+    enum class SvcState : int
+    {
+        None,      //!< never admitted (or re-admittable)
+        Queued,    //!< an attempt sits in the service queue
+        InService, //!< a server is executing the request
+        Done,      //!< reply sent; retries replay the cached reply
+    };
+
     /** One client/server pair and its placement. */
     struct Conversation
     {
@@ -437,9 +548,20 @@ class Sim
         int host; //!< static task-to-host binding (§6.8)
         Tick sendStart = 0;
         //! Lifetime id of the in-flight message (0 between trips).
+        //! With the robustness layer, each retry is a fresh attempt
+        //! with a fresh id; msgId names the newest attempt.
         long msgId = 0;
-        //! When the request joined the server's service queue.
-        Tick svcEnqueueAt = 0;
+
+        // Robustness-layer request state; untouched (and never read)
+        // in non-robust runs — see robustnessEnabled().
+        long rid = 0; //!< current request id (0 = none yet)
+        Disp disp = Disp::None;
+        SvcState svcState = SvcState::None;
+        int attempt = 0;      //!< send attempts of the current request
+        int retriesLeft = 0;  //!< remaining retry budget
+        Tick arrivalAt = 0;   //!< when the request was offered
+        Tick deadlineAt = -1; //!< absolute deadline (-1 = none)
+        bool bufferHeld = false; //!< a kernel buffer is charged to us
     };
 
     void
@@ -561,14 +683,18 @@ class Sim
         return sum;
     }
 
-    /** Protocol busy time split into (host, MP) shares. */
+    /**
+     * Busy time of every activity whose name starts with @p prefix,
+     * split into (host, MP) shares — the "who pays" measurement for
+     * the protocol ("proto") and robustness ("rpc") layers.
+     */
     std::pair<Tick, Tick>
-    protoTicks() const
+    prefixTicks(const char *prefix) const
     {
-        auto protoSum = [](const Processor &p) {
+        auto prefixSum = [prefix](const Processor &p) {
             Tick t = 0;
             for (const auto &[name, ticks] : p.activityTicks()) {
-                if (name.rfind("proto", 0) == 0)
+                if (name.rfind(prefix, 0) == 0)
                     t += ticks;
             }
             return t;
@@ -577,11 +703,18 @@ class Sim
         Tick mp = 0;
         for (const auto &n : nodes) {
             for (const auto &h : n->hosts)
-                host += protoSum(*h);
+                host += prefixSum(*h);
             if (n->mp)
-                mp += protoSum(*n->mp);
+                mp += prefixSum(*n->mp);
         }
         return {host, mp};
+    }
+
+    /** Protocol busy time split into (host, MP) shares. */
+    std::pair<Tick, Tick>
+    protoTicks() const
+    {
+        return prefixTicks("proto");
     }
 
     /** Busy ticks of every processor and bus, by track name. */
@@ -734,7 +867,14 @@ class Sim
     void
     clientSend(int conv)
     {
-        convs[static_cast<std::size_t>(conv)].sendStart = eq.now();
+        Conversation &cv = convs[static_cast<std::size_t>(conv)];
+        // No new attempt once the request resolved — or while an
+        // attempt is already out holding the buffer (a conversation
+        // that stalled, expired, and re-stalled sits in the waiter
+        // queue twice; only one wakeup may send).
+        if (robust && (cv.disp != Disp::None || cv.bufferHeld))
+            return;
+        cv.sendStart = eq.now();
         Node &cn = cNode(conv);
         // A send needs a kernel buffer; stall if the pool is empty.
         if (cn.freeBuffers == 0) {
@@ -752,75 +892,483 @@ class Sim
         // The round trip begins here, where the measured sendStart is
         // taken: a fresh lifetime id for the message, threaded
         // through every activity, bus access, and wire hop it causes.
-        Conversation &cv = convs[static_cast<std::size_t>(conv)];
         cv.msgId = ++lastMsgId;
+        if (robust) {
+            cv.bufferHeld = true;
+            ++cv.attempt;
+            ++rpcTotals.attempts;
+            if (cv.retriesLeft > 0)
+                armAttemptTimer(conv);
+        }
         if (pathLog.enabled())
             pathLog.start(cv.msgId, eq.now());
         if (tracer->enabled() && cn.svcTrack >= 0)
             tracer->asyncBegin(cn.svcTrack, "roundTrip", eq.now(),
                                cv.msgId);
+        // Every step of the attempt's chain carries the (msg, rid)
+        // pair captured here: when a retry supersedes this attempt,
+        // the chain keeps reporting against its own message id rather
+        // than hijacking the newer attempt's causal record.
+        const long m = cv.msgId;
+        const long rid = cv.rid;
         clientHost(conv).submit(
             act("sendSyscall", costsOf(conv).sendSyscall, cn, prioTask,
-                [this, conv]() { afterSendSyscall(conv); },
-                cv.msgId));
+                [this, conv, m, rid]() {
+                    afterSendSyscall(conv, m, rid);
+                },
+                m));
     }
 
     void
-    afterSendSyscall(int conv)
+    afterSendSyscall(int conv, long m, long rid)
     {
         const IpcCosts &c = costsOf(conv);
         if (!c.coproc) {
-            sendProcessed(conv);
+            sendProcessed(conv, m, rid);
             return;
         }
         cNode(conv).commProc().submit(
             act("processSend", c.processSend, cNode(conv), prioTask,
-                [this, conv]() { sendProcessed(conv); },
-                msgOf(conv)));
+                [this, conv, m, rid]() {
+                    sendProcessed(conv, m, rid);
+                },
+                m));
     }
 
     void
-    sendProcessed(int conv)
+    sendProcessed(int conv, long m, long rid)
     {
         if (isLocal(conv)) {
-            deliverToService(conv);
+            deliverToService(conv, m, rid);
             return;
         }
         const auto cv = convs[static_cast<std::size_t>(conv)];
         cNode(conv).nicOut.submit(
             act("dmaOut", costsOf(conv).dmaOutReq, cNode(conv),
-                prioTask, [this, conv, cv]() {
-                    wire(cv.clientNode, cv.serverNode, msgOf(conv),
-                         [this, conv]() { requestArrives(conv); });
+                prioTask, [this, conv, cv, m, rid]() {
+                    wire(cv.clientNode, cv.serverNode, m,
+                         [this, conv, m, rid]() {
+                             requestArrives(conv, m, rid);
+                         });
                 },
-                cv.msgId));
+                m));
+    }
+
+    // --- Robustness layer: the client's view of a request ----------
+
+    /**
+     * Open a tracked request on @p conv: a fresh request id, a clean
+     * disposition, the full retry budget, an armed deadline, and the
+     * first send attempt.
+     */
+    void
+    startRequest(int conv)
+    {
+        Conversation &cv = convs[static_cast<std::size_t>(conv)];
+        cv.rid = ++lastRid;
+        cv.disp = Disp::None;
+        cv.svcState = SvcState::None;
+        cv.attempt = 0;
+        cv.retriesLeft = exp.retryBudget;
+        cv.arrivalAt = eq.now();
+        // Floor at one tick: a sub-tick deadline would expire at
+        // `now` and the closed-loop respawn would never advance time.
+        cv.deadlineAt = exp.deadlineUs > 0
+                            ? eq.now() +
+                                  std::max<Tick>(
+                                      1, usToTicks(exp.deadlineUs))
+                            : -1;
+        ++rpcTotals.offered;
+        if (cv.deadlineAt >= 0) {
+            const long rid = cv.rid;
+            eq.schedule(cv.deadlineAt,
+                        [this, conv, rid]() { onDeadline(conv, rid); });
+        }
+        clientSend(conv);
+    }
+
+    /**
+     * Arm the retry timer for the attempt just sent: exponential
+     * backoff doubling per attempt up to the ceiling, with ±25%
+     * jitter so synchronized clients do not retry in lockstep.
+     */
+    void
+    armAttemptTimer(int conv)
+    {
+        Conversation &cv = convs[static_cast<std::size_t>(conv)];
+        double wait = exp.retryBackoffUs;
+        for (int i = 1; i < cv.attempt && wait < exp.retryBackoffMaxUs;
+             ++i)
+            wait *= 2;
+        wait = std::min(wait, exp.retryBackoffMaxUs);
+        wait *= robustRng.uniform(0.75, 1.25);
+        const long rid = cv.rid;
+        const int attempt = cv.attempt;
+        eq.scheduleAfter(std::max<Tick>(1, usToTicks(wait)),
+                         [this, conv, rid, attempt]() {
+                             onAttemptTimeout(conv, rid, attempt);
+                         });
+    }
+
+    /**
+     * The retry timer of attempt @p attempt of request @p rid fired.
+     * Stale firings — the request resolved, a newer attempt already
+     * exists, or the budget ran out — are ignored.
+     */
+    void
+    onAttemptTimeout(int conv, long rid, int attempt)
+    {
+        Conversation &cv = convs[static_cast<std::size_t>(conv)];
+        if (cv.rid != rid || cv.disp != Disp::None ||
+            cv.attempt != attempt || cv.retriesLeft <= 0)
+            return;
+        // Retry dispatch is kernel work on the client's communication
+        // processor; the guards re-run afterwards because the reply
+        // may have arrived while the dispatch was queued.
+        chargeRpc(cNode(conv), "rpcRetry", rpcRetryUs,
+                  [this, conv, rid, attempt]() {
+                      Conversation &c =
+                          convs[static_cast<std::size_t>(conv)];
+                      if (c.rid != rid || c.disp != Disp::None ||
+                          c.attempt != attempt || c.retriesLeft <= 0)
+                          return;
+                      closeAttempt(
+                          conv,
+                          trace::CausalLog::Terminal::Superseded,
+                          "rpcRetry");
+                      releaseBuffer(conv);
+                      --c.retriesLeft;
+                      ++rpcTotals.retries;
+                      clientSend(conv);
+                  });
+    }
+
+    /** The deadline of request @p rid fired. */
+    void
+    onDeadline(int conv, long rid)
+    {
+        Conversation &cv = convs[static_cast<std::size_t>(conv)];
+        if (cv.rid != rid || cv.disp != Disp::None)
+            return;
+        chargeRpc(cNode(conv), "rpcExpire", rpcExpireUs);
+        terminate(conv, Disp::Expired,
+                  trace::CausalLog::Terminal::Expired, "rpcExpire");
+    }
+
+    /**
+     * Close the newest attempt's trace and causal records with the
+     * terminal state @p why (never Completed) and drop its id.
+     */
+    void
+    closeAttempt(int conv, trace::CausalLog::Terminal why,
+                 const char *event)
+    {
+        Conversation &cv = convs[static_cast<std::size_t>(conv)];
+        if (cv.msgId == 0)
+            return;
+        Node &cn = cNode(conv);
+        if (pathLog.enabled())
+            pathLog.abort(cv.msgId, eq.now(), why);
+        if (tracer->enabled() && cn.svcTrack >= 0) {
+            tracer->asyncEnd(cn.svcTrack, "roundTrip", eq.now(),
+                             cv.msgId);
+            tracer->instant(cn.svcTrack, event, eq.now(), "rpc");
+        }
+        cv.msgId = 0;
+    }
+
+    /**
+     * Resolve @p conv's request without a completed round trip.  In
+     * closed mode the client immediately offers its next request:
+     * the conversation loop never stops, whatever became of any one
+     * request.
+     */
+    void
+    terminate(int conv, Disp disp, trace::CausalLog::Terminal why,
+              const char *event)
+    {
+        Conversation &cv = convs[static_cast<std::size_t>(conv)];
+        hsipc_assert(cv.disp == Disp::None &&
+                     "terminating an already-resolved request");
+        cv.disp = disp;
+        switch (disp) {
+          case Disp::Shed:
+            ++rpcTotals.shed;
+            break;
+          case Disp::Expired:
+            ++rpcTotals.expired;
+            break;
+          case Disp::LostToCrash:
+            ++rpcTotals.lostToCrash;
+            break;
+          default:
+            hsipc_panic("terminate with a non-terminal disposition");
+        }
+        closeAttempt(conv, why, event);
+        releaseBuffer(conv);
+        if (exp.arrivalMode == 0)
+            startRequest(conv);
+    }
+
+    /** Return @p conv's kernel buffer (if it holds one) to the pool. */
+    void
+    releaseBuffer(int conv)
+    {
+        Conversation &cv = convs[static_cast<std::size_t>(conv)];
+        if (!cv.bufferHeld)
+            return;
+        cv.bufferHeld = false;
+        Node &cn = cNode(conv);
+        ++cn.freeBuffers;
+        wakeBufferWaiter(cn);
+    }
+
+    /** Hand a freed buffer to the first still-live stalled sender. */
+    void
+    wakeBufferWaiter(Node &cn)
+    {
+        while (!cn.buffersWaiting.empty()) {
+            const int waiter = cn.buffersWaiting.front();
+            cn.buffersWaiting.pop_front();
+            const Conversation &wc =
+                convs[static_cast<std::size_t>(waiter)];
+            // Skip entries whose request resolved while stalled, and
+            // duplicate entries for a conversation that already sent
+            // (stall → expire → restart can enqueue a conv twice).
+            if (robust && (wc.disp != Disp::None || wc.bufferHeld))
+                continue;
+            clientSend(waiter);
+            break;
+        }
+    }
+
+    /**
+     * Robustness bookkeeping is kernel work on a node's communication
+     * processor — the host pays on Architecture I, the MP on II-IV —
+     * touching a few kernel-buffer words.  The "rpc" name prefix lets
+     * run() split the bill the same way it does for "proto".
+     */
+    void
+    chargeRpc(Node &n, const char *name, double procUs,
+              EventQueue::Callback done = EventQueue::Callback())
+    {
+        ActCost c;
+        c.procUs = procUs;
+        if (n.mp && exp.mpSpeedFactor != 1.0)
+            c.procUs /= exp.mpSpeedFactor;
+        c.kb = rpcKbAccesses;
+        if (!done)
+            done = []() {};
+        n.commProc().submit(act(name, c, n, prioTask,
+                                std::move(done)));
+    }
+
+    // --- Open arrivals ---------------------------------------------
+
+    /** Draw the next interarrival gap and schedule the arrival. */
+    void
+    scheduleNextArrival()
+    {
+        const double mean_us = 1e6 / exp.arrivalRatePerSec;
+        double dt_us;
+        if (exp.arrivalMode == 1) {
+            // Poisson process: exponential interarrival gaps.
+            dt_us = -std::log(1.0 - robustRng.uniform()) * mean_us;
+        } else {
+            // Bounded Pareto on [1, paretoBound], inverse-CDF
+            // sampled, then normalized so the gap mean is mean_us —
+            // the same offered load as Poisson, far burstier.
+            const double a = exp.paretoAlpha;
+            const double hb = std::pow(exp.paretoBound, -a);
+            const double x =
+                std::pow(1.0 - robustRng.uniform() * (1.0 - hb),
+                         -1.0 / a);
+            const double norm =
+                a / (a - 1.0) *
+                (1.0 - std::pow(exp.paretoBound, 1.0 - a)) /
+                (1.0 - hb);
+            dt_us = x / norm * mean_us;
+        }
+        eq.scheduleAfter(std::max<Tick>(1, usToTicks(dt_us)),
+                         [this]() { onArrival(); });
+    }
+
+    /** An open-mode client materializes and offers one request. */
+    void
+    onArrival()
+    {
+        const int conv = static_cast<int>(convs.size());
+        addConversation(0, exp.local ? 0 : 1);
+        startRequest(conv);
+        scheduleNextArrival();
+    }
+
+    /**
+     * A node crash wipes its volatile kernel state: every queued
+     * request attempt is lost (retries and deadlines must recover
+     * the requests) and the at-most-once reply cache forgets which
+     * requests completed, so a post-crash retry re-executes.
+     */
+    void
+    crashFlush(int nodeIdx)
+    {
+        if (nodeIdx < 0 ||
+            static_cast<std::size_t>(nodeIdx) >= nodes.size())
+            return; // single-node run; nothing to flush
+        Node &n = *nodes[static_cast<std::size_t>(nodeIdx)];
+        std::deque<QueueEntry> flushed;
+        flushed.swap(n.pendingMsgs);
+        svcEvent(n, "crashFlush");
+        for (const QueueEntry &e : flushed) {
+            Conversation &cv =
+                convs[static_cast<std::size_t>(e.conv)];
+            if (cv.rid != e.rid)
+                continue;
+            ++rpcTotals.crashLostAttempts;
+            cv.svcState = SvcState::None;
+            if (cv.disp == Disp::None && cv.retriesLeft <= 0 &&
+                cv.deadlineAt < 0 && cv.msgId == e.msg)
+                terminate(e.conv, Disp::LostToCrash,
+                          trace::CausalLog::Terminal::LostToCrash,
+                          "rpcCrashLost");
+        }
+        for (Conversation &cv : convs) {
+            if (cv.serverNode == nodeIdx &&
+                cv.svcState == SvcState::Done)
+                cv.svcState = SvcState::None;
+        }
     }
 
     // --- Server side -------------------------------------------------
 
     void
-    requestArrives(int conv)
+    requestArrives(int conv, long m, long rid)
     {
         Node &sn = sNode(conv);
         sn.nicIn.submit(act(
             "dmaIn", costsOf(conv).dmaInReq, sn, prioInterrupt,
-            [this, conv, &sn]() {
+            [this, conv, m, rid, &sn]() {
                 sn.commProc().submit(
                     act("match", costsOf(conv).match, sn,
                         prioInterrupt,
-                        [this, conv]() { deliverToService(conv); },
-                        msgOf(conv)));
+                        [this, conv, m, rid]() {
+                            deliverToService(conv, m, rid);
+                        },
+                        m));
             },
-            msgOf(conv)));
+            m));
     }
 
     void
-    deliverToService(int conv)
+    deliverToService(int conv, long m, long rid)
     {
-        convs[static_cast<std::size_t>(conv)].svcEnqueueAt = eq.now();
-        sNode(conv).pendingMsgs.push_back(conv);
+        if (robust) {
+            // Admission, duplicate suppression, and reply replay are
+            // kernel decisions at the receiving node, paid for before
+            // the attempt may join the service queue.
+            chargeRpc(sNode(conv), "rpcAdmit", rpcAdmitUs,
+                      [this, conv, m, rid]() { admit(conv, m, rid); });
+            return;
+        }
+        sNode(conv).pendingMsgs.push_back(
+            QueueEntry{conv, rid, m, eq.now()});
         svcEvent(sNode(conv), "enqueueMsg");
         tryMatch(sNode(conv));
+    }
+
+    /** The admission decision for attempt @p m of request @p rid. */
+    void
+    admit(int conv, long m, long rid)
+    {
+        Conversation &cv = convs[static_cast<std::size_t>(conv)];
+        Node &sn = sNode(conv);
+        if (cv.rid != rid)
+            return; // an attempt of a long-gone request; drop it
+        // At-most-once: a request already queued or in service
+        // absorbs duplicate attempts, and a completed one replays
+        // the cached reply instead of re-executing.
+        if (cv.svcState == SvcState::Queued ||
+            cv.svcState == SvcState::InService) {
+            ++rpcTotals.duplicatesSuppressed;
+            chargeRpc(sn, "rpcDedup", rpcDedupUs);
+            return;
+        }
+        if (cv.svcState == SvcState::Done) {
+            ++rpcTotals.replyReplays;
+            chargeRpc(sn, "rpcReplay", rpcReplayUs,
+                      [this, conv, m, rid]() {
+                          replyDeparts(conv, m, rid);
+                      });
+            return;
+        }
+        // Bounded service queue: over the cap, the shed policy picks
+        // a victim.
+        if (exp.svcQueueCap > 0 &&
+            static_cast<int>(sn.pendingMsgs.size()) >=
+                exp.svcQueueCap) {
+            if (exp.shedPolicy == 0) { // reject-new
+                shedAttempt(conv, m);
+                return;
+            }
+            std::size_t victim = 0; // drop-oldest: the queue head
+            if (exp.shedPolicy == 2) {
+                // Deadline-aware: evict the least-slack attempt (the
+                // one most likely already doomed), newcomer included.
+                Tick best = cv.deadlineAt >= 0
+                                ? cv.deadlineAt
+                                : std::numeric_limits<Tick>::max();
+                bool shedNewcomer = true;
+                for (std::size_t i = 0; i < sn.pendingMsgs.size();
+                     ++i) {
+                    const Conversation &qc =
+                        convs[static_cast<std::size_t>(
+                            sn.pendingMsgs[i].conv)];
+                    const Tick d =
+                        qc.deadlineAt >= 0
+                            ? qc.deadlineAt
+                            : std::numeric_limits<Tick>::max();
+                    if (d < best) {
+                        best = d;
+                        victim = i;
+                        shedNewcomer = false;
+                    }
+                }
+                if (shedNewcomer) {
+                    shedAttempt(conv, m);
+                    return;
+                }
+            }
+            const QueueEntry e = sn.pendingMsgs[victim];
+            sn.pendingMsgs.erase(
+                sn.pendingMsgs.begin() +
+                static_cast<std::ptrdiff_t>(victim));
+            svcEvent(sn, "shedEvict");
+            shedAttempt(e.conv, e.msg);
+        }
+        cv.svcState = SvcState::Queued;
+        ++rpcTotals.admitted;
+        sn.pendingMsgs.push_back(QueueEntry{conv, rid, m, eq.now()});
+        svcEvent(sn, "enqueueMsg");
+        tryMatch(sn);
+    }
+
+    /**
+     * Drop attempt @p m of @p conv's request at admission control.
+     * When no recovery path remains — no retry timer armed, no
+     * deadline to fire, and the dropped attempt was the request's
+     * newest — the request itself is terminally shed.
+     */
+    void
+    shedAttempt(int conv, long m)
+    {
+        Conversation &cv = convs[static_cast<std::size_t>(conv)];
+        ++rpcTotals.shedAttempts;
+        chargeRpc(sNode(conv), "rpcShed", rpcShedUs);
+        cv.svcState = SvcState::None;
+        if (cv.disp == Disp::None && cv.retriesLeft <= 0 &&
+            cv.deadlineAt < 0 && cv.msgId == m)
+            terminate(conv, Disp::Shed,
+                      trace::CausalLog::Terminal::Shed, "rpcShed");
     }
 
     void
@@ -856,36 +1404,60 @@ class Sim
     void
     tryMatch(Node &node)
     {
-        if (node.pendingMsgs.empty() || node.waitingServers.empty())
+        while (!node.pendingMsgs.empty() &&
+               !node.waitingServers.empty()) {
+            const QueueEntry entry = node.pendingMsgs.front();
+            if (robust) {
+                Conversation &cv =
+                    convs[static_cast<std::size_t>(entry.conv)];
+                if (cv.rid != entry.rid) {
+                    // The request this attempt belonged to is gone.
+                    node.pendingMsgs.pop_front();
+                    continue;
+                }
+                // Deadline-aware shedding spends a little at dequeue
+                // to skip attempts that already expired instead of
+                // serving them to no one — the difference between a
+                // goodput collapse and a plateau past the knee.
+                if (exp.shedPolicy == 2 && exp.svcQueueCap > 0 &&
+                    cv.deadlineAt >= 0 && eq.now() >= cv.deadlineAt) {
+                    node.pendingMsgs.pop_front();
+                    svcEvent(node, "shedExpired");
+                    shedAttempt(entry.conv, entry.msg);
+                    continue;
+                }
+            }
+            const int server = node.waitingServers.front();
+            node.pendingMsgs.pop_front();
+            node.waitingServers.pop_front();
+            svcEvent(node, "match");
+
+            // The request's stay in the service queue is time blocked
+            // on the rendezvous: nobody was working on the message,
+            // it was waiting for a server to become available.
+            if (pathLog.enabled() && entry.msg != 0)
+                pathLog.interval(entry.msg, node.svcName,
+                                 trace::Component::Blocked,
+                                 entry.enqueueAt, eq.now());
+            if (robust)
+                convs[static_cast<std::size_t>(entry.conv)].svcState =
+                    SvcState::InService;
+
+            if (isLocal(entry.conv)) {
+                // Local rendezvous pays the match on the
+                // communication processor; non-local ones already
+                // paid it at interrupt level in requestArrives().
+                node.commProc().submit(
+                    act("match", costsLocal.match, node, prioTask,
+                        [this, entry, server]() {
+                            rendezvous(entry.conv, server, entry.msg,
+                                       entry.rid);
+                        },
+                        entry.msg));
+            } else {
+                rendezvous(entry.conv, server, entry.msg, entry.rid);
+            }
             return;
-        const int msg_conv = node.pendingMsgs.front();
-        const int server = node.waitingServers.front();
-        node.pendingMsgs.pop_front();
-        node.waitingServers.pop_front();
-        svcEvent(node, "match");
-
-        // The request's stay in the service queue is time blocked on
-        // the rendezvous: nobody was working on the message, it was
-        // waiting for a server to become available.
-        if (pathLog.enabled() && msgOf(msg_conv) != 0)
-            pathLog.interval(
-                msgOf(msg_conv), node.svcName,
-                trace::Component::Blocked,
-                convs[static_cast<std::size_t>(msg_conv)].svcEnqueueAt,
-                eq.now());
-
-        if (isLocal(msg_conv)) {
-            // Local rendezvous pays the match on the communication
-            // processor; non-local ones already paid it at interrupt
-            // level in requestArrives().
-            node.commProc().submit(
-                act("match", costsLocal.match, node, prioTask,
-                    [this, msg_conv, server]() {
-                        rendezvous(msg_conv, server);
-                    },
-                    msgOf(msg_conv)));
-        } else {
-            rendezvous(msg_conv, server);
         }
     }
 
@@ -896,23 +1468,23 @@ class Sim
      * arriving there.
      */
     void
-    rendezvous(int conv, int server)
+    rendezvous(int conv, int server, long m, long rid)
     {
         const IpcCosts &c = costsOf(conv);
-        auto compute = [this, conv, server]() {
+        auto compute = [this, conv, server, m, rid]() {
             Activity a;
             a.name = "compute";
             a.processing =
                 usToTicks(rng.uniform(0.5, 1.5) * exp.computeUs);
-            a.msgId = msgOf(conv);
-            a.onDone = [this, conv, server]() {
+            a.msgId = m;
+            a.onDone = [this, conv, server, m, rid]() {
                 serverHost(server).submit(
                     act("replySyscall", costsOf(conv).reply,
                         sNode(conv), prioTask,
-                        [this, conv, server]() {
-                            afterReplySyscall(conv, server);
+                        [this, conv, server, m, rid]() {
+                            afterReplySyscall(conv, server, m, rid);
                         },
-                        msgOf(conv)));
+                        m));
             };
             serverHost(server).submit(std::move(a));
         };
@@ -921,17 +1493,17 @@ class Sim
             serverHost(server).submit(act("restartServer",
                                           c.restartServer,
                                           sNode(conv), prioTask,
-                                          compute, msgOf(conv)));
+                                          compute, m));
         } else {
             compute();
         }
     }
 
     void
-    afterReplySyscall(int conv, int server)
+    afterReplySyscall(int conv, int server, long m, long rid)
     {
         const IpcCosts &c = costsOf(conv);
-        auto after_comm = [this, conv, server]() {
+        auto after_comm = [this, conv, server, m, rid]() {
             // The server resumes its loop...
             const IpcCosts &sc = costsOf(server);
             if (sc.restartServer2.valid()) {
@@ -944,73 +1516,103 @@ class Sim
                 serverReceive(server);
             }
             // ...while the reply travels back to the client.
-            replyDeparts(conv);
+            replyDeparts(conv, m, rid);
         };
 
         if (c.coproc) {
             sNode(conv).commProc().submit(
                 act("processReply", c.processReply, sNode(conv),
-                    prioTask, after_comm, msgOf(conv)));
+                    prioTask, after_comm, m));
         } else {
             after_comm();
         }
     }
 
     void
-    replyDeparts(int conv)
+    replyDeparts(int conv, long m, long rid)
     {
+        if (robust) {
+            Conversation &cv = convs[static_cast<std::size_t>(conv)];
+            // The reply is on its way: from here, retries of this
+            // request id replay it instead of re-executing.
+            if (cv.rid == rid && cv.svcState == SvcState::InService)
+                cv.svcState = SvcState::Done;
+        }
         if (isLocal(conv)) {
-            clientRestart(conv);
+            clientRestart(conv, m, rid);
             return;
         }
         const auto cv = convs[static_cast<std::size_t>(conv)];
         sNode(conv).nicOut.submit(
             act("dmaOut", costsOf(conv).dmaOutReply, sNode(conv),
-                prioTask, [this, conv, cv]() {
-                    wire(cv.serverNode, cv.clientNode, msgOf(conv),
-                         [this, conv]() { replyArrives(conv); });
+                prioTask, [this, conv, cv, m, rid]() {
+                    wire(cv.serverNode, cv.clientNode, m,
+                         [this, conv, m, rid]() {
+                             replyArrives(conv, m, rid);
+                         });
                 },
-                cv.msgId));
+                m));
     }
 
     void
-    replyArrives(int conv)
+    replyArrives(int conv, long m, long rid)
     {
         Node &cn = cNode(conv);
         cn.nicIn.submit(act(
             "dmaIn", costsOf(conv).dmaInReply, cn, prioInterrupt,
-            [this, conv, &cn]() {
+            [this, conv, m, rid, &cn]() {
                 cn.commProc().submit(
                     act("cleanup", costsOf(conv).cleanupClient, cn,
                         prioInterrupt,
-                        [this, conv]() { clientRestart(conv); },
-                        msgOf(conv)));
+                        [this, conv, m, rid]() {
+                            clientRestart(conv, m, rid);
+                        },
+                        m));
             },
-            msgOf(conv)));
+            m));
     }
 
     void
-    clientRestart(int conv)
+    clientRestart(int conv, long m, long rid)
     {
         const IpcCosts &c = costsOf(conv);
-        auto loop = [this, conv]() { roundTripDone(conv); };
+        auto loop = [this, conv, m, rid]() {
+            roundTripDone(conv, m, rid);
+        };
         if (c.restartClient.valid()) {
             clientHost(conv).submit(act("restartClient",
                                         c.restartClient, cNode(conv),
-                                        prioTask, loop,
-                                        msgOf(conv)));
+                                        prioTask, loop, m));
         } else {
             loop();
         }
     }
 
     void
-    roundTripDone(int conv)
+    roundTripDone(int conv, long m, long rid)
     {
-        // The message's life ends here, before the tail clientSend()
-        // below issues a fresh id for the next trip.
         Node &cn = cNode(conv);
         Conversation &cv0 = convs[static_cast<std::size_t>(conv)];
+        if (robust &&
+            (cv0.rid != rid || cv0.disp != Disp::None)) {
+            // An orphaned reply: it answers a request that expired,
+            // was shed, or already completed through another attempt.
+            // The client kernel spends a little to discard it.
+            ++rpcTotals.orphanedReplies;
+            chargeRpc(cn, "rpcOrphan", rpcOrphanUs);
+            if (tracer->enabled() && cn.svcTrack >= 0)
+                tracer->instant(cn.svcTrack, "rpcOrphan", eq.now(),
+                                "rpc");
+            return;
+        }
+        // Without the robustness layer exactly one attempt exists per
+        // trip, so the arriving reply's id is the conversation's.
+        hsipc_assert(robust || cv0.msgId == m);
+        // The message's life ends here, before the tail send below
+        // issues a fresh id for the next trip.  Note the id closed is
+        // the *newest* attempt's — when an older attempt's reply
+        // completes the request, the newest attempt is the one whose
+        // record spans the measured sendStart.
         if (cv0.msgId != 0) {
             if (pathLog.enabled())
                 pathLog.done(cv0.msgId, eq.now());
@@ -1023,25 +1625,27 @@ class Sim
             cv0.msgId = 0;
         }
 
-        // Release the kernel buffer; wake a stalled sender if any.
-        ++cn.freeBuffers;
-        if (!cn.buffersWaiting.empty()) {
-            const int waiter = cn.buffersWaiting.front();
-            cn.buffersWaiting.pop_front();
-            clientSend(waiter);
+        if (robust) {
+            cv0.disp = Disp::Completed;
+            rpcTotals.completed +=
+                1 + check::testHooks().rpcCompletionMiscount;
+            releaseBuffer(conv);
+        } else {
+            // Release the kernel buffer; wake a stalled sender.
+            ++cn.freeBuffers;
+            wakeBufferWaiter(cn);
         }
 
         // A completed round trip involving a crashed node marks the
         // end of its recovery.
-        const auto &cv = convs[static_cast<std::size_t>(conv)];
         for (Recovery &r : recoveries) {
             if (r.recoveredAt < 0 && eq.now() >= usToTicks(r.w.endUs) &&
-                (cv.clientNode == r.w.node || cv.serverNode == r.w.node))
+                (cv0.clientNode == r.w.node ||
+                 cv0.serverNode == r.w.node))
                 r.recoveredAt = eq.now();
         }
 
-        const Tick start =
-            convs[static_cast<std::size_t>(conv)].sendStart;
+        const Tick start = cv0.sendStart;
         if (eq.now() > usToTicks(exp.warmupUs)) {
             ++completed;
             const double rt_us = ticksToUs(eq.now() - start);
@@ -1053,8 +1657,14 @@ class Sim
                 rtLocal.add(rt_us);
             else
                 rtRemote.add(rt_us);
+            if (robust)
+                sojournSamples.push_back(
+                    ticksToUs(eq.now() - cv0.arrivalAt));
         }
-        clientSend(conv);
+        if (!robust)
+            clientSend(conv);
+        else if (exp.arrivalMode == 0)
+            startRequest(conv);
     }
 
     /** One crash window and when its node first completed work again. */
@@ -1069,6 +1679,13 @@ class Sim
     IpcCosts costsNonlocal;
     Rng rng;
     FaultInjector injector;
+    //! Robustness layer (open arrivals, deadlines, retries, admission
+    //! control): active only when a robustness knob is set, so the
+    //! default configuration never touches — or pays for — any of it.
+    const bool robust;
+    //! Dedicated stream: robustness draws (arrival gaps, retry
+    //! jitter) never perturb the workload's or injector's sequences.
+    Rng robustRng;
     EventQueue eq;
 
     // Observability sinks: caller-supplied or owned.  `tracer` is
@@ -1088,6 +1705,9 @@ class Sim
     //! enabled only when exp.decomposeLatency is set.
     trace::CausalLog pathLog;
     long lastMsgId = 0; //!< last lifetime id issued (0 = untagged)
+    long lastRid = 0;   //!< last request id issued (0 = untracked)
+    Outcome::Rpc rpcTotals; //!< whole-run disposition ledger
+    std::vector<double> sojournSamples; //!< windowed arrival→reply µs
 
     std::vector<std::unique_ptr<Node>> nodes;
     std::unique_ptr<TokenRing> ring;
@@ -1153,6 +1773,36 @@ runExperiment(const Experiment &exp, trace::Tracer *tracer,
         hsipc_assert(w.startUs >= 0 && w.endUs > w.startUs &&
                      "crash window must be well-formed");
     }
+    hsipc_assert(exp.arrivalMode >= 0 && exp.arrivalMode <= 2 &&
+                 "arrivalMode is 0 (closed), 1 (Poisson), or 2 "
+                 "(bounded Pareto)");
+    if (exp.arrivalMode != 0) {
+        hsipc_assert(exp.arrivalRatePerSec > 0 &&
+                     "open arrivals need a positive rate");
+        hsipc_assert(exp.mixedLocal == 0 && exp.mixedRemote == 0 &&
+                     "open arrivals are incompatible with the mixed "
+                     "workload");
+    }
+    if (exp.arrivalMode == 2) {
+        hsipc_assert(exp.paretoAlpha > 0 && exp.paretoAlpha != 1.0 &&
+                     "bounded Pareto needs alpha > 0, alpha != 1");
+        hsipc_assert(exp.paretoBound > 1 &&
+                     "bounded Pareto needs an upper bound > 1");
+    }
+    hsipc_assert(exp.deadlineUs >= 0 &&
+                 "deadlineUs cannot be negative");
+    hsipc_assert(exp.retryBudget >= 0 &&
+                 "retryBudget cannot be negative");
+    if (exp.retryBudget > 0)
+        hsipc_assert(exp.retryBackoffUs > 0 &&
+                     exp.retryBackoffMaxUs >= exp.retryBackoffUs &&
+                     "retry backoff needs 0 < base <= ceiling");
+    hsipc_assert(exp.svcQueueCap >= 0 &&
+                 "svcQueueCap cannot be negative");
+    hsipc_assert(exp.shedPolicy >= 0 && exp.shedPolicy <= 2 &&
+                 "shedPolicy is 0 (reject-new), 1 (drop-oldest), or "
+                 "2 (deadline-aware)");
+    hsipc_assert(exp.rtoMaxUs > 0 && "rtoMaxUs must be positive");
     Sim sim(exp, tracer, metrics);
     return sim.run();
 }

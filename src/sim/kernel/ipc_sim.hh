@@ -109,6 +109,49 @@ struct Experiment
     bool decomposeLatency = false;
 
     /**
+     * End-to-end RPC robustness layer (pay-for-use: with every knob
+     * at its default the layer is bypassed entirely, the Rpc ledger
+     * stays zero, and results are bit-identical to a pre-robustness
+     * run).  Any of open arrivals, a deadline, a retry budget, or a
+     * service-queue cap enables it; all robustness randomness (draws
+     * for interarrival times and backoff jitter) comes from a
+     * dedicated RNG stream, so the workload's own sequence is never
+     * perturbed.  See DESIGN.md "Robustness".
+     */
+    //! 0 = closed loop (the thesis' workload), 1 = Poisson open
+    //! arrivals, 2 = bounded-Pareto open arrivals.  Open modes are
+    //! incompatible with the mixed workload.
+    int arrivalMode = 0;
+    //! Offered request rate, used only by the open arrival modes.
+    //! The default is positive (not 0) so every robustness knob can
+    //! be reset to its default independently of the others and still
+    //! name a runnable configuration — the greedy shrinker relies on
+    //! that.
+    double arrivalRatePerSec = 1000;
+    double paretoAlpha = 1.5;     //!< bounded-Pareto shape (> 0, != 1)
+    double paretoBound = 1000;    //!< bounded-Pareto H/L truncation ratio
+    //! Request deadline measured from arrival; 0 = none.  An expired
+    //! request terminates at its deadline; a reply arriving later is
+    //! an orphan and is discarded (at-most-once semantics).
+    double deadlineUs = 0;
+    //! Client-side retries per request after the initial attempt,
+    //! paced by exponential backoff with +/-25% jitter.
+    int retryBudget = 0;
+    double retryBackoffUs = 2000;    //!< first attempt timeout
+    double retryBackoffMaxUs = 32000; //!< backoff ceiling
+    //! Bound on a node's service queue; 0 = unbounded.  Overflow is
+    //! resolved by shedPolicy: 0 rejects the newcomer, 1 evicts the
+    //! oldest queued request, 2 evicts the least-slack request and
+    //! additionally sheds already-expired entries at dequeue time.
+    int svcQueueCap = 0;
+    int shedPolicy = 0;
+    //! Reliable-channel retransmission backoff ceiling (satellite of
+    //! the robustness layer; previously hard-coded in
+    //! sim/net/reliable.hh).  Effective ceiling is
+    //! max(rtoMaxUs, retransmitTimeoutUs).
+    double rtoMaxUs = 80000;
+
+    /**
      * Field-wise exact equality (doubles compare bitwise) — what the
      * JSON round-trip (sim/check/experiment_json.hh) preserves and
      * the shrinker uses to detect a no-op simplification.
@@ -116,6 +159,18 @@ struct Experiment
     friend bool operator==(const Experiment &,
                            const Experiment &) = default;
 };
+
+/**
+ * True when any robustness knob is active — the single gate the
+ * simulator, the invariant oracle, and the differential harness share
+ * (the differential models cover only the classic closed workload).
+ */
+inline bool
+robustnessEnabled(const Experiment &exp)
+{
+    return exp.arrivalMode != 0 || exp.deadlineUs > 0 ||
+           exp.retryBudget > 0 || exp.svcQueueCap > 0;
+}
 
 /** Measured outcome of a run. */
 struct Outcome
@@ -206,6 +261,50 @@ struct Outcome
         long pktsCrashDropped = 0; //!< lost at a crashed node
     };
     NetTotals netTotals;
+
+    /**
+     * Whole-run disposition ledger of the RPC robustness layer (all
+     * zero when the layer is off — the analogue of NetTotals for the
+     * request level).  Every offered request reaches exactly one
+     * terminal disposition or is still in flight at end of run:
+     *
+     *   offered = completed + shed + expired + lostToCrash
+     *           + inFlightAtEnd
+     *
+     * holds exactly; the fuzzer's rpc.* invariants are built on it.
+     */
+    struct Rpc
+    {
+        long offered = 0;   //!< requests started (arrivals + retries' parents counted once)
+        long attempts = 0;  //!< request transmissions incl. retries
+        long retries = 0;   //!< re-sends after a client timeout
+        long admitted = 0;  //!< attempts accepted into a service queue
+        long completed = 0; //!< requests finishing with a live reply
+        long shed = 0;          //!< requests terminated by shedding
+        long shedAttempts = 0;  //!< attempts shed (incl. recovered ones)
+        long expired = 0;       //!< requests terminated at their deadline
+        long lostToCrash = 0;   //!< requests terminated by a crash flush
+        long crashLostAttempts = 0; //!< attempts flushed at a crash
+        long duplicatesSuppressed = 0; //!< retry copies deduped at the server
+        long replyReplays = 0;  //!< reply-cache replays to a retry
+        long orphanedReplies = 0; //!< replies discarded at a dead request
+        long inFlightAtEnd = 0; //!< requests with no disposition at end
+        //! Windowed rates: requests offered and goodput (completions
+        //! within deadline) per second over the measurement window.
+        double offeredPerSec = 0;
+        double goodputPerSec = 0;
+        //! Mean and p95 request sojourn (arrival to completion) over
+        //! completed requests in the window.
+        double meanSojournUs = 0;
+        double p95SojournUs = 0;
+    };
+    Rpc rpc;
+    //! Robustness processing (admission, shedding, dedup, replay,
+    //! retry, expiry handling) charged per completed round trip,
+    //! split by who paid — the host on Architecture I, the MP on
+    //! II-IV ("who pays for robustness").
+    double rpcHostUsPerRt = 0;
+    double rpcMpUsPerRt = 0;
 
     /**
      * Critical-path latency decomposition over the measurement

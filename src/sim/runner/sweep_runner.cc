@@ -143,6 +143,37 @@ outcomeJson(const Outcome &out)
     tot("pktsReordered", nt.pktsReordered);
     tot("pktsCrashDropped", nt.pktsCrashDropped);
     doc += "},\n ";
+    const Outcome::Rpc &r = out.rpc;
+    doc += "\"rpc\": {";
+    bool firstRpc = true;
+    auto rpcNum = [&](const char *name, double v) {
+        doc += std::string(firstRpc ? "" : ", ") + "\"" + name +
+               "\": " + jsonNumber(v);
+        firstRpc = false;
+    };
+    rpcNum("offered", static_cast<double>(r.offered));
+    rpcNum("attempts", static_cast<double>(r.attempts));
+    rpcNum("retries", static_cast<double>(r.retries));
+    rpcNum("admitted", static_cast<double>(r.admitted));
+    rpcNum("completed", static_cast<double>(r.completed));
+    rpcNum("shed", static_cast<double>(r.shed));
+    rpcNum("shedAttempts", static_cast<double>(r.shedAttempts));
+    rpcNum("expired", static_cast<double>(r.expired));
+    rpcNum("lostToCrash", static_cast<double>(r.lostToCrash));
+    rpcNum("crashLostAttempts",
+           static_cast<double>(r.crashLostAttempts));
+    rpcNum("duplicatesSuppressed",
+           static_cast<double>(r.duplicatesSuppressed));
+    rpcNum("replyReplays", static_cast<double>(r.replyReplays));
+    rpcNum("orphanedReplies", static_cast<double>(r.orphanedReplies));
+    rpcNum("inFlightAtEnd", static_cast<double>(r.inFlightAtEnd));
+    rpcNum("offeredPerSec", r.offeredPerSec);
+    rpcNum("goodputPerSec", r.goodputPerSec);
+    rpcNum("meanSojournUs", r.meanSojournUs);
+    rpcNum("p95SojournUs", r.p95SojournUs);
+    doc += "},\n ";
+    num("rpcHostUsPerRt", out.rpcHostUsPerRt);
+    num("rpcMpUsPerRt", out.rpcMpUsPerRt);
     const trace::Decomposition &d = out.decomposition;
     doc += "\"decomposition\": {\"messages\": " +
            jsonNumber(static_cast<double>(d.messages)) +

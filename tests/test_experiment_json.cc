@@ -57,6 +57,17 @@ everyFieldChanged()
     e.traceFile = "trace \"quoted\"\n.json";
     e.metricsFile = "metrics\\path.json";
     e.decomposeLatency = true;
+    e.arrivalMode = 2;
+    e.arrivalRatePerSec = 12345.6789;
+    e.paretoAlpha = 1.0 / 0.7; // 1.4285714285714286: %.17g territory
+    e.paretoBound = 987.654321;
+    e.deadlineUs = 15000.125;
+    e.retryBudget = 4;
+    e.retryBackoffUs = 333.375;
+    e.retryBackoffMaxUs = 44444.5;
+    e.svcQueueCap = 17;
+    e.shedPolicy = 2;
+    e.rtoMaxUs = 123456.789;
     return e;
 }
 

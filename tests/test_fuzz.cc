@@ -45,6 +45,9 @@ TEST(Generator, CoversTheConfigurationSurface)
     std::set<int> archs;
     int locals = 0, remotes = 0, mixeds = 0, faulty = 0, rings = 0;
     int crashes = 0, decomposed = 0, multiHost = 0;
+    int poisson = 0, pareto = 0, deadlines = 0, retries = 0;
+    int capped = 0, rtoCeil = 0;
+    std::set<int> shedPolicies;
     for (std::uint64_t i = 0; i < 300; ++i) {
         const Experiment e = gen.generate(i);
         archs.insert(static_cast<int>(e.arch));
@@ -66,6 +69,20 @@ TEST(Generator, CoversTheConfigurationSurface)
             ++decomposed;
         if (e.hostsPerNode > 1)
             ++multiHost;
+        if (e.arrivalMode == 1)
+            ++poisson;
+        if (e.arrivalMode == 2)
+            ++pareto;
+        if (e.deadlineUs > 0)
+            ++deadlines;
+        if (e.retryBudget > 0)
+            ++retries;
+        if (e.svcQueueCap > 0) {
+            ++capped;
+            shedPolicies.insert(e.shedPolicy);
+        }
+        if (e.rtoMaxUs != Experiment().rtoMaxUs)
+            ++rtoCeil;
     }
     EXPECT_EQ(archs.size(), 4u); // all four architectures
     EXPECT_GT(locals, 0);
@@ -76,6 +93,16 @@ TEST(Generator, CoversTheConfigurationSurface)
     EXPECT_GT(crashes, 0);
     EXPECT_GT(decomposed, 0);
     EXPECT_GT(multiHost, 0);
+    // Robustness layer (open arrivals, deadlines, retries, admission
+    // control) is sampled, including both arrival processes and all
+    // three shed policies.
+    EXPECT_GT(poisson, 0);
+    EXPECT_GT(pareto, 0);
+    EXPECT_GT(deadlines, 0);
+    EXPECT_GT(retries, 0);
+    EXPECT_GT(capped, 0);
+    EXPECT_EQ(shedPolicies.size(), 3u);
+    EXPECT_GT(rtoCeil, 0);
 }
 
 TEST(Generator, EveryDrawIsRunnableAndValid)
@@ -104,6 +131,26 @@ TEST(Generator, EveryDrawIsRunnableAndValid)
             EXPECT_GE(w.startUs, 0);
             EXPECT_GT(w.endUs, w.startUs);
         }
+        // Robustness-layer constraints runExperiment() asserts on.
+        EXPECT_TRUE(e.arrivalMode >= 0 && e.arrivalMode <= 2);
+        if (e.arrivalMode != 0) {
+            EXPECT_GT(e.arrivalRatePerSec, 0);
+            EXPECT_EQ(e.mixedLocal + e.mixedRemote, 0)
+                << "open arrivals only drive the homogeneous workload";
+        }
+        if (e.arrivalMode == 2) {
+            EXPECT_GT(e.paretoAlpha, 1);
+            EXPECT_GT(e.paretoBound, 1);
+        }
+        EXPECT_GE(e.deadlineUs, 0);
+        EXPECT_GE(e.retryBudget, 0);
+        if (e.retryBudget > 0) {
+            EXPECT_GT(e.retryBackoffUs, 0);
+            EXPECT_GE(e.retryBackoffMaxUs, e.retryBackoffUs);
+        }
+        EXPECT_GE(e.svcQueueCap, 0);
+        EXPECT_TRUE(e.shedPolicy >= 0 && e.shedPolicy <= 2);
+        EXPECT_GT(e.rtoMaxUs, 0);
     }
 }
 
@@ -148,6 +195,16 @@ TEST(Differential, EligibilityMatchesTheModeledSubset)
     Experiment multi = baseExperiment();
     multi.hostsPerNode = 2;
     EXPECT_FALSE(differentialEligible(multi));
+    // The closed-workload models don't cover the robustness layer.
+    Experiment open = baseExperiment();
+    open.arrivalMode = 1;
+    EXPECT_FALSE(differentialEligible(open));
+    Experiment deadline = baseExperiment();
+    deadline.deadlineUs = 5000;
+    EXPECT_FALSE(differentialEligible(deadline));
+    Experiment capped = baseExperiment();
+    capped.svcQueueCap = 4;
+    EXPECT_FALSE(differentialEligible(capped));
 }
 
 TEST(Differential, ThreeEnginesAgreeOnEligibleConfigs)

@@ -10,7 +10,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "sim/check/invariants.hh"
 #include "sim/des/event_queue.hh"
+#include "sim/kernel/ipc_sim.hh"
 #include "sim/net/faults.hh"
 #include "sim/net/reliable.hh"
 
@@ -267,6 +269,62 @@ TEST(ReliableChannel, BackoffSpacesRetransmissions)
     // without backoff there would be ~20.
     EXPECT_GE(h.chan->stats().timeoutsFired, 4);
     EXPECT_LE(h.chan->stats().timeoutsFired, 8);
+}
+
+TEST(ReliableChannel, ExperimentRtoCeilingCapsTheBackoff)
+{
+    // The rtoMaxUs Experiment knob reaches the channel: a tight
+    // ceiling fires more timeouts over the same outage than the
+    // default exponential run-up allows.
+    auto timeouts = [](double rtoMaxUs) {
+        Experiment e;
+        e.local = false;
+        e.conversations = 1;
+        e.lossRate = 0.4;
+        e.warmupUs = 2000;
+        e.measureUs = 60000;
+        e.seed = 99;
+        e.rtoMaxUs = rtoMaxUs;
+        return runExperiment(e).netTotals.timeoutsFired;
+    };
+    EXPECT_GT(timeouts(600), timeouts(80000));
+}
+
+TEST(RpcRobustness, ServerCrashDuringRendezvousRecoversViaRetry)
+{
+    // Regression for the crash-during-rendezvous window: the server
+    // node dies between request delivery and reply send, the reply
+    // (or the queued request) is lost at the crashed boundary, and
+    // the client's timeout/retry path must carry the request through
+    // to recovery rather than wedging the conversation.
+    Experiment e;
+    e.local = false;
+    e.conversations = 2;
+    e.warmupUs = 2000;
+    e.measureUs = 40000;
+    e.seed = 7;
+    e.retryBudget = 3;
+    e.retryBackoffUs = 2000;
+    e.retryBackoffMaxUs = 32000;
+    e.crashSchedule.push_back({1, 5000, 12000}); // server node down
+    const Outcome out = runExperiment(e);
+
+    // The crash ate traffic and the window was survived.
+    EXPECT_GT(out.crashDrops, 0);
+    EXPECT_EQ(out.crashWindowsRecovered, 1);
+    // The client-side retry path fired and the workload kept going.
+    EXPECT_GT(out.rpc.retries, 0);
+    EXPECT_GT(out.rpc.completed, 0);
+    EXPECT_GT(out.throughputPerSec, 0);
+    // Minimum backoff (0.75 jitter on 2+4+8 ms) outlasts the window
+    // remainder after any in-window loss, so no request can exhaust
+    // its budget before the server returns.
+    EXPECT_EQ(out.rpc.offered, out.rpc.completed + out.rpc.inFlightAtEnd);
+
+    // The full invariant oracle (disposition conservation included)
+    // stays green on the crash path.
+    const auto v = sim::check::checkOutcome(e, out);
+    EXPECT_TRUE(v.empty()) << sim::check::formatViolations(v);
 }
 
 } // namespace
