@@ -17,6 +17,16 @@
  * under open load and lets deadlines, retries, and the at-most-once
  * reply cache recover the conversations.
  *
+ * The whole-run goodput numbers hide *when* the collapse happens, so
+ * the Architecture I past-knee pair and the crash runs additionally
+ * record 10 ms timelines (`Experiment.timelineIntervalUs`): a closing
+ * table shows windowed goodput — the unguarded run decaying as its
+ * backlog builds, the guarded plateau holding flat, and the crash
+ * run's outage dip and recovery ramp.  When `--json` is given, the
+ * Architecture I crash run also writes its full timeline document
+ * next to the bench document (`<name>_timeline.json`) for
+ * tools/report.py; bench_compare.py never gates timeline files.
+ *
  * All simulations are one sweep through the runner (`--jobs N`);
  * outcomes land by input index and the tables render afterwards,
  * byte-identical at any jobs level.
@@ -96,6 +106,45 @@ rateGrid(Arch a)
  */
 constexpr std::size_t kAcceptIdx = 3;
 
+/** Timeline bin width for the time-resolved section. */
+constexpr double kTimelineBinUs = 10000;
+
+/** Bins per row of the windowed-goodput table (5 x 10 ms = 50 ms). */
+constexpr std::size_t kWindowBins = 5;
+
+/**
+ * Sibling path for the committed timeline artifact: the `--json`
+ * path with a `_timeline` stem suffix ("" when --json was absent).
+ */
+std::string
+timelinePath()
+{
+    const std::string &jp = hsipc::bench::jsonPath();
+    if (jp.empty())
+        return "";
+    const std::size_t dot = jp.rfind(".json");
+    const std::string stem =
+        dot == std::string::npos ? jp : jp.substr(0, dot);
+    return stem + "_timeline.json";
+}
+
+/** Events/sec of counter @p name over timeline bins [b0, b1). */
+double
+windowRate(const sim::Outcome &o, const std::string &name,
+           std::size_t b0, std::size_t b1)
+{
+    const auto it = o.timeline.counters.find(name);
+    if (it == o.timeline.counters.end())
+        return 0;
+    b1 = std::min(b1, it->second.size());
+    if (b0 >= b1)
+        return 0;
+    double sum = 0;
+    for (std::size_t b = b0; b < b1; ++b)
+        sum += it->second[b];
+    return sum / (double(b1 - b0) * o.timeline.intervalUs * 1e-6);
+}
+
 } // namespace
 
 int
@@ -110,15 +159,25 @@ main(int argc, char **argv)
     // the rate sweep as (no-layer, guarded) pairs, then the two
     // crash-under-load runs.
     std::vector<sim::Experiment> exps;
+    std::size_t tlNakedIdx = 0; // Arch I at the past-knee rate
     for (Arch a : archs) {
-        for (double rate : rateGrid(a)) {
-            exps.push_back(base(a, rate)); // no admission control
-            sim::Experiment g = base(a, rate);
+        const std::vector<double> rates = rateGrid(a);
+        for (std::size_t i = 0; i < rates.size(); ++i) {
+            sim::Experiment naked = base(a, rates[i]);
+            sim::Experiment g = base(a, rates[i]);
             g.svcQueueCap = 2;
             g.shedPolicy = 2; // deadline-aware
+            if (a == Arch::I && i == kAcceptIdx) {
+                // The pair the time-resolved table dissects.
+                tlNakedIdx = exps.size();
+                naked.timelineIntervalUs = kTimelineBinUs;
+                g.timelineIntervalUs = kTimelineBinUs;
+            }
+            exps.push_back(naked);
             exps.push_back(g);
         }
     }
+    const std::size_t tlCrashIdx = exps.size(); // Arch I crash run
     for (auto [a, rate] : {std::pair{Arch::I, 60.0}, {Arch::III, 100.0}}) {
         sim::Experiment e = base(a, rate);
         e.deadlineUs = 60000;
@@ -128,6 +187,9 @@ main(int argc, char **argv)
         e.svcQueueCap = 4;
         e.shedPolicy = 2;
         e.crashSchedule.push_back({1, 100000, 130000});
+        e.timelineIntervalUs = kTimelineBinUs;
+        if (a == Arch::I)
+            e.timelineFile = timelinePath(); // "" = don't write
         exps.push_back(e);
     }
 
@@ -205,6 +267,64 @@ main(int argc, char **argv)
             static_cast<double>(o.crashWindowsRecovered));
     }
     hsipc::bench::emit(c);
+
+    // Time-resolved goodput: the shapes the whole-run numbers above
+    // average away.  Columns come from the three 10 ms timelines:
+    // Arch I at 150/s without and with admission control, and the
+    // Arch I crash run (60/s, 30 ms outage at t = 100 ms).
+    const Outcome &tlNaked = outs[tlNakedIdx];
+    const Outcome &tlGuarded = outs[tlNakedIdx + 1];
+    const Outcome &tlCrash = outs[tlCrashIdx];
+    TextTable w("Windowed goodput, Architecture I (50 ms windows "
+                "from 10 ms timelines): backlog decay without the "
+                "layer, guarded plateau, crash dip and recovery");
+    w.header({"Window ms", "No layer/s", "Guarded/s", "Crash run/s",
+              "Crash retries/s"});
+    const std::size_t bins = tlCrash.timeline.bins();
+    for (std::size_t b0 = 0; b0 < bins; b0 += kWindowBins) {
+        const std::size_t b1 = std::min(b0 + kWindowBins, bins);
+        const double msPerBin = kTimelineBinUs / 1000.0;
+        w.row({TextTable::num(double(b0) * msPerBin, 0) + "-" +
+                   TextTable::num(double(b1) * msPerBin, 0),
+               TextTable::num(
+                   windowRate(tlNaked, "rpc.completed", b0, b1), 1),
+               TextTable::num(
+                   windowRate(tlGuarded, "rpc.completed", b0, b1), 1),
+               TextTable::num(
+                   windowRate(tlCrash, "rpc.completed", b0, b1), 1),
+               TextTable::num(
+                   windowRate(tlCrash, "rpc.retries", b0, b1), 1)});
+    }
+    hsipc::bench::emit(w);
+
+    // Headline shape scalars: the unguarded run's endgame goodput as
+    // a fraction of its opening window (decay toward zero as every
+    // admitted request expires in queue), and the crash run's outage
+    // goodput vs its recovered tail (dip, then ramp back).
+    const std::size_t lastW = (bins / kWindowBins) * kWindowBins;
+    const double nakedOpen = windowRate(tlNaked, "rpc.completed",
+                                        kWindowBins, 2 * kWindowBins);
+    const double nakedEnd =
+        windowRate(tlNaked, "rpc.completed", lastW - kWindowBins, bins);
+    hsipc::bench::note("tl_naked_decay",
+                       nakedOpen > 0 ? nakedEnd / nakedOpen : 0);
+    // Outage spans bins 10-12 (100-130 ms); recovery is the tail.
+    const double crashOutage =
+        windowRate(tlCrash, "rpc.completed", 10, 13);
+    const double crashTail =
+        windowRate(tlCrash, "rpc.completed", 20, bins);
+    hsipc::bench::note("tl_crash_outage_goodput", crashOutage);
+    hsipc::bench::note("tl_crash_recovered_goodput", crashTail);
+    if (!tlCrash.timeline.enabled()) {
+        std::fprintf(stderr,
+                     "timeline missing from the crash run\n");
+        return 1;
+    }
+    const std::string tlFile = timelinePath();
+    if (!tlFile.empty())
+        std::printf("\n  timeline document: %s "
+                    "(render with tools/report.py)\n",
+                    tlFile.c_str());
 
     return hsipc::bench::finish();
 }

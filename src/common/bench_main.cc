@@ -75,6 +75,12 @@ jobs()
     return state().jobs;
 }
 
+const std::string &
+jsonPath()
+{
+    return state().jsonPath;
+}
+
 void
 emit(const TextTable &t)
 {

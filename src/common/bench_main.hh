@@ -58,6 +58,14 @@ void init(int argc, char **argv, const std::string &benchName);
  */
 int jobs();
 
+/**
+ * The `--json` output path ("" when absent).  Benches that emit
+ * sibling artifacts (e.g. a timeline document for tools/report.py)
+ * derive their paths from it so everything lands in the same results
+ * directory.
+ */
+const std::string &jsonPath();
+
 /** Print @p t to stdout and record it for the JSON document. */
 void emit(const TextTable &t);
 

@@ -69,6 +69,20 @@ Histogram::quantileUpperBound(double q) const
     return std::ldexp(1.0, numBuckets - 1);
 }
 
+double
+Registry::histogramQuantile(const std::string &name,
+                            const Histogram &h, double q) const
+{
+    // A same-named sketch holds the very samples the histogram saw;
+    // its fixed-relative-error quantile supersedes the log2 bucket
+    // edge.
+    auto it = sketches.find(name);
+    if (it != sketches.end() && it->second.count() == h.count() &&
+        it->second.count() > 0)
+        return it->second.quantile(q);
+    return h.quantileUpperBound(q);
+}
+
 std::string
 Registry::toJson() const
 {
@@ -95,9 +109,12 @@ Registry::toJson() const
             << ", \"sum\": " << jsonNumber(h.sum())
             << ", \"min\": " << jsonNumber(h.min())
             << ", \"max\": " << jsonNumber(h.max())
-            << ", \"p50\": " << jsonNumber(h.quantileUpperBound(0.50))
-            << ", \"p95\": " << jsonNumber(h.quantileUpperBound(0.95))
-            << ", \"p99\": " << jsonNumber(h.quantileUpperBound(0.99))
+            << ", \"p50\": "
+            << jsonNumber(histogramQuantile(name, h, 0.50))
+            << ", \"p95\": "
+            << jsonNumber(histogramQuantile(name, h, 0.95))
+            << ", \"p99\": "
+            << jsonNumber(histogramQuantile(name, h, 0.99))
             << ", \"buckets\": {";
         bool bfirst = true;
         for (int i = 0; i < Histogram::numBuckets; ++i) {
@@ -111,7 +128,20 @@ Registry::toJson() const
         out << "}}";
         first = false;
     }
-    out << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+    out << (histograms.empty() ? "" : "\n  ") << "}";
+    // Only runs that requested sketches grow this section, so every
+    // pre-sketch consumer sees a byte-identical document.
+    if (!sketches.empty()) {
+        out << ",\n  \"sketches\": {";
+        first = true;
+        for (const auto &[name, s] : sketches) {
+            out << (first ? "" : ",") << "\n    " << jsonString(name)
+                << ": " << s.summaryJson();
+            first = false;
+        }
+        out << "\n  }";
+    }
+    out << "\n}\n";
     return out.str();
 }
 
@@ -142,9 +172,9 @@ Registry::toTable() const
                    TextTable::num(h.mean(), 2),
                    TextTable::num(h.min(), 2),
                    TextTable::num(h.max(), 2),
-                   TextTable::num(h.quantileUpperBound(0.50), 2),
-                   TextTable::num(h.quantileUpperBound(0.95), 2),
-                   TextTable::num(h.quantileUpperBound(0.99), 2)});
+                   TextTable::num(histogramQuantile(name, h, 0.50), 2),
+                   TextTable::num(histogramQuantile(name, h, 0.95), 2),
+                   TextTable::num(histogramQuantile(name, h, 0.99), 2)});
         out << t.render();
     }
     return out.str();

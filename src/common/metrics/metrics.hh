@@ -24,6 +24,8 @@
 #include <map>
 #include <string>
 
+#include "common/obs/sketch.hh"
+
 namespace hsipc::metrics
 {
 
@@ -106,12 +108,46 @@ class Registry
         return histograms[name];
     }
 
+    /**
+     * A mergeable quantile sketch (default relative accuracy).  A
+     * sketch sharing a histogram's name takes over that histogram's
+     * reported p50/p95/p99: the sketch's fixed relative error beats
+     * the log2 bucket edge (up to 2x off), and being mergeable it
+     * reports the same answer whether the samples were observed in
+     * one run or combined across shards.
+     */
+    obs::QuantileSketch &
+    sketch(const std::string &name)
+    {
+        return sketches.try_emplace(name).first->second;
+    }
+
     bool
     empty() const
     {
         return counters.empty() && gauges.empty() &&
-               histograms.empty();
+               histograms.empty() && sketches.empty();
     }
+
+    const std::map<std::string, Histogram> &
+    allHistograms() const
+    {
+        return histograms;
+    }
+
+    const std::map<std::string, obs::QuantileSketch> &
+    allSketches() const
+    {
+        return sketches;
+    }
+
+    /**
+     * The quantile reported for histogram @p name: the same-named
+     * sketch's value when one observed the same sample stream, else
+     * the histogram's own bucket upper bound.
+     */
+    double histogramQuantile(const std::string &name,
+                             const Histogram &h, double q) const;
 
     /** One JSON object: {"counters":{...},"gauges":{...},...}. */
     std::string toJson() const;
@@ -126,6 +162,7 @@ class Registry
     std::map<std::string, Counter> counters;
     std::map<std::string, Gauge> gauges;
     std::map<std::string, Histogram> histograms;
+    std::map<std::string, obs::QuantileSketch> sketches;
 };
 
 } // namespace hsipc::metrics

@@ -1,0 +1,101 @@
+#include "common/obs/sketch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace hsipc::obs
+{
+
+QuantileSketch::QuantileSketch(double relativeAccuracy)
+    : alpha(relativeAccuracy),
+      gamma((1 + relativeAccuracy) / (1 - relativeAccuracy)),
+      logGamma(std::log(gamma))
+{
+    hsipc_assert(relativeAccuracy > 0 && relativeAccuracy < 1);
+}
+
+void
+QuantileSketch::observe(double v)
+{
+    hsipc_assert(v >= 0 && std::isfinite(v));
+    if (n == 0) {
+        lo = hi = v;
+    } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    ++n;
+    total += v;
+    if (v <= kMinValue) {
+        ++zeroCount;
+        return;
+    }
+    // Bucket i covers (gamma^(i-1), gamma^i]; its midpoint estimate
+    // 2*gamma^i/(gamma+1) is within alpha of every value inside.
+    const int i = static_cast<int>(std::ceil(std::log(v) / logGamma));
+    ++positive[i];
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    hsipc_assert(alpha == other.alpha &&
+                 "merging sketches of different accuracy");
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        lo = other.lo;
+        hi = other.hi;
+    } else {
+        lo = std::min(lo, other.lo);
+        hi = std::max(hi, other.hi);
+    }
+    n += other.n;
+    total += other.total;
+    zeroCount += other.zeroCount;
+    for (const auto &[i, c] : other.positive)
+        positive[i] += c;
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    hsipc_assert(q >= 0 && q <= 1);
+    if (n == 0)
+        return 0;
+    // Same rank convention as the simulator's sorted-sample
+    // percentiles: index floor(q * (n-1)) of the sorted stream.
+    const std::int64_t rank =
+        static_cast<std::int64_t>(q * static_cast<double>(n - 1));
+    std::int64_t seen = zeroCount;
+    if (rank < seen)
+        return std::clamp(0.0, lo, hi);
+    for (const auto &[i, c] : positive) {
+        seen += c;
+        if (rank < seen) {
+            const double est =
+                2 * std::pow(gamma, i) / (gamma + 1);
+            // Clamping to the observed extremes never hurts the
+            // relative-error bound and keeps q=0/q=1 exact.
+            return std::clamp(est, lo, hi);
+        }
+    }
+    return hi; // q == 1 numeric edge
+}
+
+std::string
+QuantileSketch::summaryJson() const
+{
+    return "{\"count\": " + std::to_string(n) +
+           ", \"sum\": " + jsonNumber(total) +
+           ", \"min\": " + jsonNumber(min()) +
+           ", \"max\": " + jsonNumber(max()) +
+           ", \"p50\": " + jsonNumber(quantile(0.50)) +
+           ", \"p95\": " + jsonNumber(quantile(0.95)) +
+           ", \"p99\": " + jsonNumber(quantile(0.99)) + "}";
+}
+
+} // namespace hsipc::obs

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Mergeable log-bucket quantile sketch (DDSketch-style).
+ *
+ * The metrics registry's log2 histograms answer "which power-of-two
+ * bucket" — a quantile read off them can be wrong by up to 2x.  This
+ * sketch keeps the same bounded-memory discipline but with buckets at
+ * ratio gamma = (1+alpha)/(1-alpha), so any reported quantile is
+ * within a *fixed relative error* alpha of the true sample quantile.
+ *
+ * The load-bearing property is that merge() is exact and associative:
+ * two sketches over disjoint sample streams combine by adding bucket
+ * counts, and the merged sketch is bit-identical to one that saw the
+ * concatenated stream.  That is what lets SweepRunner shards — and,
+ * later, per-LP engines of a parallel DES — aggregate percentiles
+ * without the bias of averaging per-shard percentiles.
+ */
+
+#ifndef HSIPC_COMMON_OBS_SKETCH_HH
+#define HSIPC_COMMON_OBS_SKETCH_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hsipc::obs
+{
+
+class QuantileSketch
+{
+  public:
+    /** Default relative accuracy: quantiles within 1%. */
+    static constexpr double kDefaultAlpha = 0.01;
+
+    /** Values at or below this collapse into a single zero bucket. */
+    static constexpr double kMinValue = 1e-9;
+
+    explicit QuantileSketch(double relativeAccuracy = kDefaultAlpha);
+
+    /** Record one (non-negative) sample. */
+    void observe(double v);
+
+    /**
+     * Fold @p other into this sketch.  Exact: bucket counts add, so
+     * (a+b)+c == a+(b+c) == one sketch fed all three streams.  Both
+     * sketches must share the same relative accuracy.
+     */
+    void merge(const QuantileSketch &other);
+
+    /**
+     * The value at quantile @p q in [0, 1], within relativeAccuracy()
+     * of the true sample quantile (0 when the sketch is empty).
+     */
+    double quantile(double q) const;
+
+    std::int64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n > 0 ? total / double(n) : 0; }
+    double min() const { return n > 0 ? lo : 0; }
+    double max() const { return n > 0 ? hi : 0; }
+    double relativeAccuracy() const { return alpha; }
+
+    /** Live bucket count — the memory bound. */
+    std::size_t buckets() const
+    {
+        return positive.size() + (zeroCount > 0 ? 1 : 0);
+    }
+
+    /** Compact JSON summary (count/sum/min/max/p50/p95/p99). */
+    std::string summaryJson() const;
+
+  private:
+    double alpha;
+    double gamma;    //!< bucket ratio (1+alpha)/(1-alpha)
+    double logGamma; //!< cached log(gamma)
+    std::map<int, std::int64_t> positive; //!< index -> count
+    std::int64_t zeroCount = 0;           //!< samples <= kMinValue
+    std::int64_t n = 0;
+    double total = 0;
+    double lo = 0;
+    double hi = 0;
+};
+
+} // namespace hsipc::obs
+
+#endif // HSIPC_COMMON_OBS_SKETCH_HH

@@ -1,0 +1,147 @@
+#include "common/obs/timeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace hsipc::obs
+{
+
+namespace
+{
+
+std::string
+seriesJson(const std::vector<double> &bins)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < bins.size(); ++i)
+        out += (i ? ", " : "") + jsonNumber(bins[i]);
+    return out + "]";
+}
+
+std::string
+seriesMapJson(const std::map<std::string, std::vector<double>> &m)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, bins] : m) {
+        out += std::string(first ? "" : ",") + "\n   " +
+               jsonString(name) + ": " + seriesJson(bins);
+        first = false;
+    }
+    return out + (first ? "}" : "\n  }");
+}
+
+} // namespace
+
+std::size_t
+Timeline::bins() const
+{
+    std::size_t n = 0;
+    for (const auto &[name, bins] : counters)
+        n = std::max(n, bins.size());
+    for (const auto &[name, bins] : gauges)
+        n = std::max(n, bins.size());
+    return n;
+}
+
+double
+Timeline::total(const std::string &name) const
+{
+    auto it = counters.find(name);
+    if (it == counters.end())
+        return 0;
+    double sum = 0;
+    for (double v : it->second)
+        sum += v;
+    return sum;
+}
+
+std::string
+Timeline::toJson(const std::string &extraSections) const
+{
+    std::string doc = "{\n  \"intervalUs\": " + jsonNumber(intervalUs) +
+                      ",\n  \"horizonUs\": " + jsonNumber(horizonUs) +
+                      ",\n  \"warmupUs\": " + jsonNumber(warmupUs);
+    if (!extraSections.empty())
+        doc += ",\n  " + extraSections;
+    doc += ",\n  \"counters\": " + seriesMapJson(counters);
+    doc += ",\n  \"gauges\": " + seriesMapJson(gauges);
+    return doc + "\n}\n";
+}
+
+void
+TimelineRecorder::configure(double intervalUs, double horizonUs,
+                            double warmupUs)
+{
+    hsipc_assert(intervalUs > 0 && horizonUs > 0);
+    intervalTicks = usToTicks(intervalUs);
+    hsipc_assert(intervalTicks > 0);
+    intervalUsVal = intervalUs;
+    horizonUsVal = horizonUs;
+    warmupUsVal = warmupUs;
+    const Tick horizon = usToTicks(horizonUs);
+    bins = static_cast<std::size_t>(
+        (horizon + intervalTicks - 1) / intervalTicks);
+    hsipc_assert(bins > 0);
+}
+
+TimelineRecorder::Series &
+TimelineRecorder::counter(const std::string &name)
+{
+    return counterMap[name];
+}
+
+std::size_t
+TimelineRecorder::binOf(Tick at) const
+{
+    hsipc_assert(intervalTicks > 0 && at >= 0);
+    // Events exactly on the horizon (the run's final instant) belong
+    // to the last bin, not a phantom one past it.
+    return std::min(static_cast<std::size_t>(at / intervalTicks),
+                    bins - 1);
+}
+
+void
+TimelineRecorder::add(Series &s, Tick at, double n)
+{
+    const std::size_t bin = binOf(at);
+    if (s.bins.size() <= bin)
+        s.bins.resize(bin + 1, 0);
+    s.bins[bin] += n;
+}
+
+void
+TimelineRecorder::sample(const std::string &name, std::size_t bin,
+                         double value)
+{
+    hsipc_assert(bin < bins);
+    std::vector<double> &g = gaugeMap[name];
+    if (g.size() <= bin)
+        g.resize(bin + 1, 0);
+    g[bin] = value;
+}
+
+Timeline
+TimelineRecorder::take()
+{
+    Timeline t;
+    t.intervalUs = intervalUsVal;
+    t.horizonUs = horizonUsVal;
+    t.warmupUs = warmupUsVal;
+    for (auto &[name, s] : counterMap) {
+        s.bins.resize(bins, 0);
+        t.counters.emplace(name, std::move(s.bins));
+    }
+    for (auto &[name, g] : gaugeMap) {
+        g.resize(bins, 0);
+        t.gauges.emplace(name, std::move(g));
+    }
+    counterMap.clear();
+    gaugeMap.clear();
+    return t;
+}
+
+} // namespace hsipc::obs

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic per-message-id trace sampling.
+ *
+ * Full causal traces are O(messages); at cluster scale that is the
+ * memory bill that kills observability first.  This sampler keeps a
+ * fixed fraction of message ids, chosen by hashing the id with the
+ * same SplitMix64 finalizer the parallel runner uses for seed
+ * derivation.  The decision is a pure function of (seed, id):
+ *
+ *  - every recorder (causal log, tracer flows) agrees on which ids
+ *    to keep, so a sampled message's causal chain is *complete* —
+ *    start, every interval, and its terminal all survive;
+ *  - a SweepRunner shard makes the same decisions at jobs=1 and
+ *    jobs=N, preserving bit-identical outputs;
+ *  - no RNG state is consumed, so enabling sampling perturbs
+ *    nothing else in the simulation.
+ */
+
+#ifndef HSIPC_COMMON_OBS_TRACE_SAMPLE_HH
+#define HSIPC_COMMON_OBS_TRACE_SAMPLE_HH
+
+#include <cstdint>
+
+namespace hsipc::obs
+{
+
+class TraceSampler
+{
+  public:
+    /** Default: keep everything (rate 1). */
+    TraceSampler() = default;
+
+    TraceSampler(double rate, std::uint64_t seed)
+        : rate(rate), seed(seed)
+    {}
+
+    bool keepAll() const { return rate >= 1; }
+
+    /** Deterministic keep/drop decision for message @p msgId. */
+    bool
+    sampled(long msgId) const
+    {
+        if (rate >= 1)
+            return true;
+        if (rate <= 0)
+            return false;
+        // SplitMix64 finalizer over seed ^ golden-ratio-spread id —
+        // the same mixer as parallel::deriveSeed, so stream quality
+        // is already vetted.
+        std::uint64_t z =
+            seed + 0x9e3779b97f4a7c15ull *
+                       (static_cast<std::uint64_t>(msgId) + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        // Top 53 bits -> uniform double in [0, 1).
+        return static_cast<double>(z >> 11) * 0x1.0p-53 < rate;
+    }
+
+  private:
+    double rate = 1;
+    std::uint64_t seed = 0;
+};
+
+} // namespace hsipc::obs
+
+#endif // HSIPC_COMMON_OBS_TRACE_SAMPLE_HH

@@ -22,7 +22,7 @@ componentName(Component c)
 void
 CausalLog::start(long msg, Tick t)
 {
-    if (!on)
+    if (!on || !sampler.sampled(msg))
         return;
     Record &r = log[msg];
     hsipc_assert(r.start < 0 && "message id reused");
@@ -33,7 +33,7 @@ void
 CausalLog::interval(long msg, const std::string &resource, Component c,
                     Tick begin, Tick end)
 {
-    if (!on)
+    if (!on || !sampler.sampled(msg))
         return;
     if (end <= begin)
         return; // zero-length charges carry no time to attribute
@@ -50,7 +50,7 @@ CausalLog::interval(long msg, const std::string &resource, Component c,
 void
 CausalLog::done(long msg, Tick t)
 {
-    if (!on)
+    if (!on || !sampler.sampled(msg))
         return;
     auto it = log.find(msg);
     hsipc_assert(it != log.end() && "done for an unstarted message");
@@ -61,7 +61,7 @@ CausalLog::done(long msg, Tick t)
 void
 CausalLog::abort(long msg, Tick t, Terminal why)
 {
-    if (!on)
+    if (!on || !sampler.sampled(msg))
         return;
     hsipc_assert(why != Terminal::Completed &&
                  "abort cannot complete a message; use done()");

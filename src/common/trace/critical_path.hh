@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/obs/trace_sample.hh"
 #include "common/time.hh"
 
 namespace hsipc::trace
@@ -100,6 +101,15 @@ class CausalLog
     bool enabled() const { return on; }
     void setEnabled(bool e) { on = e; }
 
+    /**
+     * Record only the message ids @p s keeps.  The decision is per
+     * id and consistent across every call, so a sampled message's
+     * causal chain stays complete — its start, every interval, and
+     * its terminal all survive — while unsampled ids cost one hash
+     * per call and no memory.
+     */
+    void setSampler(const obs::TraceSampler &s) { sampler = s; }
+
     void start(long msg, Tick t);
     void interval(long msg, const std::string &resource, Component c,
                   Tick begin, Tick end);
@@ -117,6 +127,7 @@ class CausalLog
 
   private:
     bool on = false;
+    obs::TraceSampler sampler; //!< default: keep every id
     std::map<long, Record> log;
 };
 

@@ -85,7 +85,7 @@ Tracer::instant(int track, const std::string &name, Tick ts,
 void
 Tracer::flowStep(int track, const std::string &name, Tick ts, long id)
 {
-    if (!on)
+    if (!on || (id != 0 && !msgSampler.sampled(id)))
         return;
     const bool fresh = openFlows.insert(id).second;
     push(fresh ? Phase::FlowStart : Phase::FlowStep, track, name, ts,
@@ -95,7 +95,7 @@ Tracer::flowStep(int track, const std::string &name, Tick ts, long id)
 void
 Tracer::flowEnd(int track, const std::string &name, Tick ts, long id)
 {
-    if (!on)
+    if (!on || (id != 0 && !msgSampler.sampled(id)))
         return;
     // A flow that never started has nothing to terminate.
     if (openFlows.erase(id) == 0)
@@ -107,7 +107,7 @@ void
 Tracer::asyncBegin(int track, const std::string &name, Tick ts,
                    long id, const char *category)
 {
-    if (!on)
+    if (!on || (id != 0 && !msgSampler.sampled(id)))
         return;
     push(Phase::AsyncBegin, track, name, ts, id, category);
 }
@@ -116,7 +116,7 @@ void
 Tracer::asyncEnd(int track, const std::string &name, Tick ts, long id,
                  const char *category)
 {
-    if (!on)
+    if (!on || (id != 0 && !msgSampler.sampled(id)))
         return;
     push(Phase::AsyncEnd, track, name, ts, id, category);
 }

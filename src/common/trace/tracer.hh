@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "common/obs/trace_sample.hh"
 #include "common/time.hh"
 
 namespace hsipc::trace
@@ -82,6 +83,20 @@ class Tracer
   public:
     bool enabled() const { return on; }
     void setEnabled(bool e) { on = e; }
+
+    /**
+     * Keep per-message flow and async events only for the ids @p s
+     * samples.  Complete spans and counters are never dropped —
+     * utilization and windowed rates must stay whole-population —
+     * so sampling bounds exactly the per-message O(messages) event
+     * classes.  The decision is a pure function of (seed, id),
+     * matching the CausalLog's, so a sampled message keeps its whole
+     * arrow chain.
+     */
+    void setMessageSampler(const obs::TraceSampler &s)
+    {
+        msgSampler = s;
+    }
 
     /**
      * Register (or look up) the track named @p name and return its
@@ -163,6 +178,7 @@ class Tracer
               long id, const char *category);
 
     bool on = false;
+    obs::TraceSampler msgSampler; //!< default: keep every id
     std::vector<std::string> tracks;
     std::map<std::string, int> trackIds;
     std::vector<Event> log;

@@ -138,6 +138,9 @@ experimentToJson(const Experiment &exp)
     integer("svcQueueCap", exp.svcQueueCap);
     integer("shedPolicy", exp.shedPolicy);
     num("rtoMaxUs", exp.rtoMaxUs);
+    num("timelineIntervalUs", exp.timelineIntervalUs);
+    field("timelineFile", jsonString(exp.timelineFile));
+    num("traceSampleRate", exp.traceSampleRate);
     return doc + "\n}\n";
 }
 
@@ -159,7 +162,8 @@ experimentFromJson(const JsonValue &v)
         "metricsFile", "decomposeLatency", "arrivalMode",
         "arrivalRatePerSec", "paretoAlpha", "paretoBound",
         "deadlineUs", "retryBudget", "retryBackoffUs",
-        "retryBackoffMaxUs", "svcQueueCap", "shedPolicy", "rtoMaxUs"};
+        "retryBackoffMaxUs", "svcQueueCap", "shedPolicy", "rtoMaxUs",
+        "timelineIntervalUs", "timelineFile", "traceSampleRate"};
     for (const auto &[key, value] : v.asObject()) {
         if (known.count(key) == 0)
             throw std::runtime_error(
@@ -265,6 +269,12 @@ experimentFromJson(const JsonValue &v)
         exp.shedPolicy = intField(v, "shedPolicy");
     if (v.has("rtoMaxUs"))
         exp.rtoMaxUs = numberField(v, "rtoMaxUs");
+    if (v.has("timelineIntervalUs"))
+        exp.timelineIntervalUs = numberField(v, "timelineIntervalUs");
+    if (v.has("timelineFile"))
+        exp.timelineFile = stringField(v, "timelineFile");
+    if (v.has("traceSampleRate"))
+        exp.traceSampleRate = numberField(v, "traceSampleRate");
     return exp;
 }
 

@@ -147,6 +147,14 @@ ExperimentGenerator::generate(std::uint64_t index) const
     }
 
     exp.decomposeLatency = rng.chance(0.3);
+
+    // Time-resolved observability (ISSUE 7).  Coarse intervals keep
+    // bin counts small; the oracle checks every counter series
+    // integrates exactly to its whole-run ledger counterpart.
+    if (rng.chance(0.35))
+        exp.timelineIntervalUs = coarse(rng.uniform(500, 10000));
+    if (rng.chance(0.25))
+        exp.traceSampleRate = coarse(rng.uniform(0.1, 1.0));
     return exp;
 }
 

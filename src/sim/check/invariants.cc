@@ -365,11 +365,14 @@ checkDecomposition(Checker &c)
                      "decomposition filled without decomposeLatency");
         return;
     }
-    if (robustnessEnabled(c.exp)) {
-        // Robust runs may complete a round trip whose final attempt
-        // stalled in the buffer queue (no causal record), and aborted
-        // attempts are excluded, so coverage is an upper bound and the
-        // decomposed mean is over a subset of the measured trips.
+    // Two ways the decomposition can legitimately cover a subset of
+    // the measured trips: robust runs may complete a round trip whose
+    // final attempt left no causal record, and trace sampling keeps
+    // only the hash-selected message ids.  Either way coverage is an
+    // upper bound and the decomposed mean is over a subset.
+    const bool subset =
+        robustnessEnabled(c.exp) || c.exp.traceSampleRate < 1;
+    if (subset) {
         c.expectTrue(d.messages <= out.roundTrips, "decomp.coverage",
                      "decomposition.messages=" +
                          std::to_string(d.messages) + " > roundTrips=" +
@@ -386,7 +389,7 @@ checkDecomposition(Checker &c)
     c.expectClose(sum, "service+queue+network+blocked",
                   d.roundTrip.meanUs, "roundTrip mean", 1e-6,
                   "decomp.partition");
-    if (!robustnessEnabled(c.exp))
+    if (!subset)
         c.expectClose(d.roundTrip.meanUs, "decomposed roundTrip mean",
                       out.meanRoundTripUs, "measured mean", 1e-6,
                       "decomp.partition");
@@ -564,6 +567,158 @@ checkRpc(Checker &c)
                          std::to_string(static_cast<int>(exp.arch)));
 }
 
+void
+checkTimeline(Checker &c)
+{
+    const Experiment &exp = c.exp;
+    const Outcome &out = c.out;
+    const obs::Timeline &t = out.timeline;
+
+    if (exp.timelineIntervalUs <= 0) {
+        // Pay-for-use: no knob, no timeline, no steady-state stats.
+        c.expectTrue(!t.enabled() && t.counters.empty() &&
+                         t.gauges.empty(),
+                     "timeline.disabled",
+                     "timeline filled without timelineIntervalUs");
+        c.expectTrue(out.stats == obs::SteadyStats{},
+                     "timeline.disabled",
+                     "steady-state stats filled without a timeline");
+        return;
+    }
+
+    c.expectTrue(t.enabled(), "timeline.meta",
+                 "timeline empty despite timelineIntervalUs=" +
+                     fmt(exp.timelineIntervalUs));
+    c.expectClose(t.intervalUs, "timeline.intervalUs",
+                  exp.timelineIntervalUs, "Experiment knob", 1e-12,
+                  "timeline.meta");
+    c.expectClose(t.horizonUs, "timeline.horizonUs",
+                  exp.warmupUs + exp.measureUs, "warmup+measure",
+                  1e-12, "timeline.meta");
+
+    // Every series spans the same bin range.
+    const std::size_t bins = t.bins();
+    c.expectTrue(bins > 0, "timeline.bins", "timeline has no bins");
+    for (const auto &[name, s] : t.counters)
+        c.expectTrue(s.size() == bins, "timeline.bins",
+                     "counter series '" + name + "' has " +
+                         std::to_string(s.size()) + " of " +
+                         std::to_string(bins) + " bins");
+    for (const auto &[name, g] : t.gauges)
+        c.expectTrue(g.size() == bins, "timeline.bins",
+                     "gauge series '" + name + "' has " +
+                         std::to_string(g.size()) + " of " +
+                         std::to_string(bins) + " bins");
+
+    // The integral property: a counter series' bins sum *exactly*
+    // (the increments are integers well inside double precision) to
+    // the whole-run ledger counter bumped at the very same sites.
+    const auto integral = [&](const char *name) {
+        return std::llround(t.total(name));
+    };
+    const auto has = [&](const char *name) {
+        return t.counters.count(name) > 0;
+    };
+    c.expectTrue(has("ipc.completedTrips") && has("ipc.allTrips") &&
+                     has("ipc.bufferStalls"),
+                 "timeline.series",
+                 "core ipc series missing from an enabled timeline");
+    c.expectEq(integral("ipc.completedTrips"),
+               "sum(ipc.completedTrips)", out.roundTrips,
+               "roundTrips", "timeline.integral");
+    c.expectEq(integral("ipc.bufferStalls"), "sum(ipc.bufferStalls)",
+               out.bufferStalls, "bufferStalls", "timeline.integral");
+    // allTrips includes warmup completions, so it dominates the
+    // measured count.
+    c.expectTrue(integral("ipc.allTrips") >= out.roundTrips,
+                 "timeline.integral",
+                 "sum(ipc.allTrips)=" +
+                     std::to_string(integral("ipc.allTrips")) +
+                     " < roundTrips=" +
+                     std::to_string(out.roundTrips));
+
+    const Outcome::Rpc &r = out.rpc;
+    if (robustnessEnabled(exp)) {
+        const struct
+        {
+            const char *series;
+            long ledger;
+            const char *ledgerName;
+        } rpcPairs[] = {
+            {"rpc.offered", r.offered, "rpc.offered"},
+            {"rpc.completed", r.completed, "rpc.completed"},
+            {"rpc.shed", r.shed, "rpc.shed"},
+            {"rpc.shedAttempts", r.shedAttempts, "rpc.shedAttempts"},
+            {"rpc.expired", r.expired, "rpc.expired"},
+            {"rpc.lostToCrash", r.lostToCrash, "rpc.lostToCrash"},
+            {"rpc.retries", r.retries, "rpc.retries"},
+            {"rpc.orphanedReplies", r.orphanedReplies,
+             "rpc.orphanedReplies"},
+        };
+        for (const auto &p : rpcPairs) {
+            if (!has(p.series)) {
+                c.fail("timeline.series",
+                       std::string("missing series '") + p.series +
+                           "' on a robust timeline run");
+                continue;
+            }
+            c.expectEq(integral(p.series), p.series, p.ledger,
+                       p.ledgerName, "timeline.integral");
+        }
+    } else {
+        c.expectTrue(!has("rpc.offered"), "timeline.series",
+                     "rpc series on a non-robust run");
+    }
+
+    // The reliable-channel series exist iff the channels do; absent
+    // series mean the whole-run ledger is zero too (bypass).
+    const Outcome::NetTotals &nt = out.netTotals;
+    if (has("net.dataTransmissions")) {
+        c.expectEq(integral("net.dataTransmissions"),
+                   "sum(net.dataTransmissions)", nt.dataTransmissions,
+                   "netTotals.dataTransmissions", "timeline.integral");
+        c.expectEq(integral("net.retransmissions"),
+                   "sum(net.retransmissions)", nt.retransmissions,
+                   "netTotals.retransmissions", "timeline.integral");
+        c.expectEq(integral("net.delivered"), "sum(net.delivered)",
+                   nt.msgsDelivered, "netTotals.msgsDelivered",
+                   "timeline.integral");
+        c.expectEq(integral("net.acksSent"), "sum(net.acksSent)",
+                   nt.acksSent, "netTotals.acksSent",
+                   "timeline.integral");
+    } else {
+        c.expectEq(nt.dataTransmissions, "netTotals.dataTransmissions",
+                   0, "bypassed channel series", "timeline.series");
+    }
+
+    // Per-bin utilization gauges are utilizations.
+    for (const auto &[name, g] : t.gauges) {
+        if (name.rfind("util.", 0) != 0)
+            continue;
+        for (double u : g)
+            c.expectUnit(u, name.c_str(), "timeline.gaugeRange");
+    }
+
+    // Steady-state stats ride the timeline.
+    c.expectTrue(out.stats.enabled, "timeline.stats",
+                 "stats disabled despite an enabled timeline");
+    // The truncation point is bin-granular, so it can overshoot the
+    // horizon by the final partial bin (and a short run truncates at
+    // its very end: bins * interval).
+    const double binSpanUs =
+        static_cast<double>(bins) * t.intervalUs;
+    c.expectTrue(out.stats.truncationUs >= 0 &&
+                     out.stats.truncationUs <= binSpanUs + kEps,
+                 "timeline.stats",
+                 "truncationUs=" + fmt(out.stats.truncationUs) +
+                     " outside the binned horizon " + fmt(binSpanUs));
+    c.expectTrue(out.stats.batches >= 0, "timeline.stats",
+                 "negative batch count");
+    c.expectNonNeg(out.stats.throughputCi95PerSec,
+                   "throughputCi95PerSec", "timeline.stats");
+    c.expectNonNeg(out.stats.rtCi95Us, "rtCi95Us", "timeline.stats");
+}
+
 } // namespace
 
 std::string
@@ -583,7 +738,69 @@ checkOutcome(const Experiment &exp, const Outcome &out)
     checkConservation(c);
     checkDecomposition(c);
     checkRpc(c);
+    checkTimeline(c);
     return std::move(c.v);
+}
+
+std::vector<Violation>
+checkSketchAccuracy(const metrics::Registry &reg)
+{
+    std::vector<Violation> v;
+    for (const auto &[name, s] : reg.allSketches()) {
+        const auto hit = reg.allHistograms().find(name);
+        if (hit == reg.allHistograms().end())
+            continue;
+        const metrics::Histogram &h = hit->second;
+        // Same stream: the simulator feeds each sample to both.
+        if (s.count() != h.count() ||
+            std::fabs(s.sum() - h.sum()) > 1e-6 *
+                std::max(1.0, std::fabs(h.sum())) ||
+            s.min() != h.min() || s.max() != h.max()) {
+            v.push_back({"sketch.stream",
+                         "sketch '" + name +
+                             "' disagrees with its histogram on "
+                             "count/sum/extremes"});
+            continue;
+        }
+        if (s.count() == 0)
+            continue;
+        // For each quantile, locate the log2 bucket holding the
+        // sketch's target rank (floor(q*(n-1)), 0-indexed) — both
+        // structures saw the identical stream, so the true sample at
+        // that rank lies inside the bucket, and the sketch's
+        // alpha-relative estimate must land in the alpha-widened
+        // bucket.
+        for (double q : {0.50, 0.95, 0.99}) {
+            const std::int64_t rank = static_cast<std::int64_t>(
+                q * static_cast<double>(s.count() - 1));
+            std::int64_t seen = 0;
+            int bucket = metrics::Histogram::numBuckets - 1;
+            for (int i = 0; i < metrics::Histogram::numBuckets; ++i) {
+                seen += h.bucketCount(i);
+                if (rank < seen) {
+                    bucket = i;
+                    break;
+                }
+            }
+            const double lb =
+                metrics::Histogram::bucketLowerBound(bucket);
+            const double ub = bucket + 1 <
+                                      metrics::Histogram::numBuckets
+                                  ? metrics::Histogram::bucketLowerBound(
+                                        bucket + 1)
+                                  : h.max();
+            const double a = s.relativeAccuracy();
+            const double got = s.quantile(q);
+            if (!(got >= lb * (1 - a) - 1e-9 &&
+                  got <= ub * (1 + a) + 1e-9))
+                v.push_back(
+                    {"sketch.quantileBound",
+                     "sketch '" + name + "' q=" + fmt(q) + " -> " +
+                         fmt(got) + " outside alpha-widened bucket [" +
+                         fmt(lb) + ", " + fmt(ub) + "]"});
+        }
+    }
+    return v;
 }
 
 CheckResult
@@ -606,6 +823,10 @@ checkedRun(const Experiment &exp, const OracleOptions &opts)
                 {"determinism.traceIdentity",
                  "outcomeJson differs between trace-off and trace-on "
                  "runs of the same Experiment"});
+        // The traced re-run fills the registry's histogram/sketch
+        // pairs; check the sketches against their histograms.
+        for (Violation &viol : checkSketchAccuracy(registry))
+            res.violations.push_back(std::move(viol));
     }
 
     if (opts.parallelJobs > 1) {

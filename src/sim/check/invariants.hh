@@ -33,7 +33,24 @@
  *   - service + queue + network + blocked mean = round-trip mean
  *     (the gapless-partition property of critical_path.cc)
  *   - component percentiles ordered, bottleneck named with a share
- *     in [0, 1]
+ *     in [0, 1]; with trace sampling the decomposition covers a
+ *     subset of the trips, so coverage becomes an upper bound
+ *
+ *  timeline integrals (when Experiment::timelineIntervalUs > 0)
+ *   - every windowed counter series integrates *exactly* (to the
+ *     counter's unit) to its whole-run ledger counterpart:
+ *     completed trips, buffer stalls, the rpc disposition series,
+ *     and the reliable-channel series
+ *   - series are bin-aligned (every series spans the same bin
+ *     count), utilization gauges lie in [0, 1], and the steady-state
+ *     stats are filled iff the timeline is; when the knob is off the
+ *     timeline and stats must be empty
+ *
+ *  sketch accuracy (when a registry was attached)
+ *   - a quantile sketch sharing a histogram's name saw the same
+ *     sample stream (equal count/sum/extremes) and each reported
+ *     quantile lies inside the histogram's log2 bucket for that
+ *     rank, widened by the sketch's configured relative error
  *
  *  determinism (re-run checks)
  *   - tracing on vs off: bit-identical outcomeJson
@@ -90,6 +107,16 @@ struct CheckResult
 /** Apply the single-run invariant catalog to @p out. */
 std::vector<Violation> checkOutcome(const Experiment &exp,
                                     const Outcome &out);
+
+/**
+ * Check every histogram/sketch pair in @p reg: a sketch sharing a
+ * histogram's name must have seen the same sample stream, and each
+ * reported quantile must land inside the histogram's log2 bucket for
+ * that rank, widened by the sketch's relative accuracy.  Applied by
+ * checkedRun() to the registry of its traced re-run.
+ */
+std::vector<Violation>
+checkSketchAccuracy(const metrics::Registry &reg);
 
 /** Run @p exp, then the invariant catalog and determinism checks. */
 CheckResult checkedRun(const Experiment &exp,

@@ -75,6 +75,10 @@ constexpr DoubleKnob doubleKnobs[] = {
     {"retryBackoffUs", &Experiment::retryBackoffUs},
     {"retryBackoffMaxUs", &Experiment::retryBackoffMaxUs},
     {"rtoMaxUs", &Experiment::rtoMaxUs},
+    // Time-resolved observability: resetting either knob turns the
+    // timeline or trace sampling off entirely.
+    {"timelineIntervalUs", &Experiment::timelineIntervalUs},
+    {"traceSampleRate", &Experiment::traceSampleRate},
 };
 
 } // namespace
@@ -103,6 +107,8 @@ knobDiff(const Experiment &exp)
         diff.push_back("traceFile");
     if (exp.metricsFile != base.metricsFile)
         diff.push_back("metricsFile");
+    if (exp.timelineFile != base.timelineFile)
+        diff.push_back("timelineFile");
     return diff;
 }
 

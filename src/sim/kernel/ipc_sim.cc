@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <deque>
 #include <limits>
 #include <utility>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/logging.hh"
+#include "common/obs/trace_sample.hh"
 #include "common/rng.hh"
 #include "sim/check/test_hooks.hh"
 #include "sim/des/event_queue.hh"
@@ -313,6 +317,67 @@ class Sim
                             [this, node]() { crashFlush(node); });
             }
         }
+
+        // Deterministic trace sampling: every recorder shares one
+        // pure (seed, id) decision, so a sampled message's causal
+        // chain stays complete.  Only wired when actually thinning;
+        // the default keeps the recorders untouched.
+        if (exp.traceSampleRate < 1) {
+            const obs::TraceSampler sampler(exp.traceSampleRate,
+                                            exp.seed);
+            pathLog.setSampler(sampler);
+            tracer->setMessageSampler(sampler);
+        }
+
+        // Time-resolved observability: windowed series over the whole
+        // run.  Counter handles are bumped at the same sites as the
+        // whole-run ledgers (so each series integrates exactly to its
+        // ledger counterpart); gauges are sampled by a read-only
+        // boundary event.  Scheduled last so the kickoff events above
+        // keep their sequence numbers regardless of this knob.
+        if (exp.timelineIntervalUs > 0) {
+            tl.configure(exp.timelineIntervalUs,
+                         exp.warmupUs + exp.measureUs, exp.warmupUs);
+            tlAllTrips = &tl.counter("ipc.allTrips");
+            tlRtSum = &tl.counter("ipc.rtSumUs");
+            tlTrips = &tl.counter("ipc.completedTrips");
+            tlStalls = &tl.counter("ipc.bufferStalls");
+            if (robust) {
+                tlRpcOffered = &tl.counter("rpc.offered");
+                tlRpcCompleted = &tl.counter("rpc.completed");
+                tlRpcShed = &tl.counter("rpc.shed");
+                tlRpcShedAttempts = &tl.counter("rpc.shedAttempts");
+                tlRpcExpired = &tl.counter("rpc.expired");
+                tlRpcLost = &tl.counter("rpc.lostToCrash");
+                tlRpcRetries = &tl.counter("rpc.retries");
+                tlRpcOrphans = &tl.counter("rpc.orphanedReplies");
+            }
+            if (chans[0]) {
+                tlNetTx = &tl.counter("net.dataTransmissions");
+                tlNetRetx = &tl.counter("net.retransmissions");
+                tlNetDeliver = &tl.counter("net.delivered");
+                tlNetAck = &tl.counter("net.acksSent");
+                for (auto &c : chans)
+                    c->setEventObserver([this](const char *event,
+                                               double by) {
+                        if (std::strcmp(event, "dataTx") == 0)
+                            tlAdd(tlNetTx, by);
+                        else if (std::strcmp(event, "retx") == 0)
+                            tlAdd(tlNetRetx, by);
+                        else if (std::strcmp(event, "deliver") == 0)
+                            tlAdd(tlNetDeliver, by);
+                        else if (std::strcmp(event, "ack") == 0)
+                            tlAdd(tlNetAck, by);
+                    });
+            }
+            if (tracer->enabled())
+                tlTrack = tracer->track("timeline");
+            const Tick horizon =
+                usToTicks(exp.warmupUs + exp.measureUs);
+            if (tl.interval() <= horizon)
+                eq.schedule(tl.interval(),
+                            [this]() { timelineBoundary(); });
+        }
     }
 
     Outcome
@@ -479,27 +544,33 @@ class Sim
                                     rpcOfferedBase) /
                 window_sec;
             out.rpc.goodputPerSec = out.throughputPerSec;
-            if (!sojournSamples.empty()) {
-                std::vector<double> s = sojournSamples;
-                std::sort(s.begin(), s.end());
-                double sum = 0;
-                for (double v : s)
-                    sum += v;
-                out.rpc.meanSojournUs =
-                    sum / static_cast<double>(s.size());
-                out.rpc.p95SojournUs = s[(s.size() * 95) / 100];
+            // The sojourn percentile comes off the mergeable sketch:
+            // within kDefaultAlpha relative error of the exact sample
+            // quantile, and identical whether observed in one run or
+            // merged across SweepRunner shards.
+            if (sojournSketch.count() > 0) {
+                out.rpc.meanSojournUs = sojournSketch.mean();
+                out.rpc.p95SojournUs = sojournSketch.quantile(0.95);
             }
         }
         if (exp.decomposeLatency) {
             out.decomposition = trace::decompose(pathLog, warm, end);
             if (metrics) {
                 // Component latency histograms over the same window
-                // the decomposition covers.
+                // the decomposition covers, each paired with a
+                // same-named quantile sketch so the registry's
+                // reported p50/p95/p99 carry fixed relative error
+                // instead of the log2 bucket edge.
                 auto &h_rt = metrics->histogram("lat.roundTripUs");
                 auto &h_svc = metrics->histogram("lat.serviceUs");
                 auto &h_q = metrics->histogram("lat.queueUs");
                 auto &h_net = metrics->histogram("lat.networkUs");
                 auto &h_blk = metrics->histogram("lat.blockedUs");
+                auto &s_rt = metrics->sketch("lat.roundTripUs");
+                auto &s_svc = metrics->sketch("lat.serviceUs");
+                auto &s_q = metrics->sketch("lat.queueUs");
+                auto &s_net = metrics->sketch("lat.networkUs");
+                auto &s_blk = metrics->sketch("lat.blockedUs");
                 for (const auto &[id, rec] : pathLog.records()) {
                     if (rec.end < 0 || rec.end <= warm ||
                         rec.end > end ||
@@ -513,8 +584,24 @@ class Sim
                     h_q.observe(p.queueUs);
                     h_net.observe(p.networkUs);
                     h_blk.observe(p.blockedUs);
+                    s_rt.observe(p.roundTripUs);
+                    s_svc.observe(p.serviceUs);
+                    s_q.observe(p.queueUs);
+                    s_net.observe(p.networkUs);
+                    s_blk.observe(p.blockedUs);
                 }
             }
+        }
+        if (tl.enabled()) {
+            // The final (possibly partial) bin's gauges, unless the
+            // last boundary already landed exactly on the horizon.
+            if (eq.now() > tlPrevBoundary)
+                sampleTimelineGauges(tl.binCount() - 1);
+            out.timeline = tl.take();
+            out.stats = obs::analyzeSteadyState(
+                out.timeline.counters.at("ipc.allTrips"),
+                out.timeline.counters.at("ipc.rtSumUs"),
+                exp.timelineIntervalUs, exp.warmupUs);
         }
         finishObservability(out);
         return out;
@@ -761,6 +848,136 @@ class Sim
         }
     }
 
+    /**
+     * Bump a timeline counter series by @p n at the current simulated
+     * time.  Null handle (timeline off, or the series' subsystem is
+     * not instantiated) costs one branch.
+     */
+    void
+    tlAdd(obs::TimelineRecorder::Series *s, double n = 1)
+    {
+        if (s)
+            tl.add(*s, eq.now(), n);
+    }
+
+    /**
+     * An interval boundary: sample every gauge for the bin that just
+     * closed, then re-arm.  Strictly read-only with respect to the
+     * simulation — it touches no kernel or protocol state, so the
+     * timeline knob cannot perturb any other Outcome field.
+     */
+    void
+    timelineBoundary()
+    {
+        // The boundary at (k+1)·interval closes bin k.
+        sampleTimelineGauges(tl.binOf(eq.now() - 1));
+        const Tick next = eq.now() + tl.interval();
+        if (next <= usToTicks(exp.warmupUs + exp.measureUs))
+            eq.schedule(next, [this]() { timelineBoundary(); });
+    }
+
+    /** Read the instantaneous state into bin @p bin's gauges. */
+    void
+    sampleTimelineGauges(std::size_t bin)
+    {
+        const Tick now = eq.now();
+        const double elapsed =
+            static_cast<double>(now - tlPrevBoundary);
+        // Per-resource utilization over this bin alone, from busy-time
+        // deltas against the previous boundary's snapshot.
+        const std::map<std::string, Tick> busy =
+            resourceBusySnapshot();
+        for (const auto &[name, b] : busy) {
+            Tick before = 0;
+            auto it = tlBusyPrev.find(name);
+            if (it != tlBusyPrev.end())
+                before = it->second;
+            tl.sample("util." + name, bin,
+                      elapsed > 0
+                          ? static_cast<double>(b - before) / elapsed
+                          : 0.0);
+        }
+        tlBusyPrev = busy;
+        tlPrevBoundary = now;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            const Node &n = *nodes[i];
+            tl.sample(n.svcName + ".pendingMsgs", bin,
+                      static_cast<double>(n.pendingMsgs.size()));
+            tl.sample(n.svcName + ".waitingServers", bin,
+                      static_cast<double>(n.waitingServers.size()));
+            tl.sample("n" + std::to_string(i) + ".freeBuffers", bin,
+                      static_cast<double>(n.freeBuffers));
+        }
+        if (chans[0]) {
+            double pending = 0;
+            double backlog = 0;
+            for (const auto &c : chans) {
+                pending += static_cast<double>(c->windowPending());
+                backlog += static_cast<double>(c->backlogSize());
+            }
+            tl.sample("net.windowPending", bin, pending);
+            tl.sample("net.backlog", bin, backlog);
+        }
+        if (robust) {
+            double inFlight = 0;
+            for (const Conversation &cv : convs) {
+                if (cv.rid != 0 && cv.disp == Disp::None)
+                    ++inFlight;
+            }
+            tl.sample("rpc.inFlight", bin, inFlight);
+        }
+        // Mirror the bin into Perfetto counter tracks: one "timeline"
+        // track carrying every series, so the dashboard's knee and
+        // recovery ramp are visible in the trace viewer too.
+        if (tlTrack >= 0) {
+            for (const auto &[name, g] : tl.gaugeSeries()) {
+                if (bin < g.size())
+                    tracer->counter(tlTrack, name, now, g[bin]);
+            }
+            for (const auto &[name, s] : tl.counterSeries())
+                tracer->counter(tlTrack, name, now,
+                                bin < s.bins.size() ? s.bins[bin]
+                                                    : 0.0);
+        }
+    }
+
+    /** The timeline document: series plus stats (and decomposition). */
+    void
+    writeTimelineFile(const Outcome &out) const
+    {
+        std::string extra =
+            "\"stats\": {\"enabled\": " +
+            std::string(out.stats.enabled ? "true" : "false") +
+            ", \"insufficientData\": " +
+            (out.stats.insufficientData ? "true" : "false") +
+            ", \"transientPolluted\": " +
+            (out.stats.transientPolluted ? "true" : "false") +
+            ", \"truncationUs\": " + jsonNumber(out.stats.truncationUs) +
+            ", \"batches\": " + std::to_string(out.stats.batches) +
+            ", \"throughputPerSec\": " +
+            jsonNumber(out.stats.throughputPerSec) +
+            ", \"throughputCi95PerSec\": " +
+            jsonNumber(out.stats.throughputCi95PerSec) +
+            ", \"meanRtUs\": " + jsonNumber(out.stats.meanRtUs) +
+            ", \"rtCi95Us\": " + jsonNumber(out.stats.rtCi95Us) + "}";
+        if (exp.decomposeLatency) {
+            const trace::Decomposition &d = out.decomposition;
+            extra += ",\n  \"decomposition\": {\"messages\": " +
+                     std::to_string(d.messages) +
+                     ", \"meanRoundTripUs\": " +
+                     jsonNumber(d.roundTrip.meanUs) +
+                     ", \"bottleneck\": " +
+                     jsonString(d.bottleneck) + "}";
+        }
+        const std::string doc = out.timeline.toJson(extra);
+        std::FILE *f = std::fopen(exp.timelineFile.c_str(), "w");
+        if (!f)
+            hsipc_fatal("cannot open timeline file " +
+                        exp.timelineFile);
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+    }
+
     /** End of run: fill the registry and write any requested files. */
     void
     finishObservability(const Outcome &out)
@@ -797,6 +1014,8 @@ class Sim
             metrics->writeJson(exp.metricsFile);
         if (!exp.traceFile.empty())
             tracer->writeChromeJson(exp.traceFile);
+        if (!exp.timelineFile.empty())
+            writeTimelineFile(out);
     }
 
     /** Sum per-activity busy time over every processor. */
@@ -879,6 +1098,7 @@ class Sim
         // A send needs a kernel buffer; stall if the pool is empty.
         if (cn.freeBuffers == 0) {
             ++bufferStalls;
+            tlAdd(tlStalls);
             hsipc_warn_once("kernel buffer pool exhausted; sends now "
                             "stall until a reply frees a buffer "
                             "(counted in Outcome.bufferStalls)");
@@ -979,6 +1199,7 @@ class Sim
                                       1, usToTicks(exp.deadlineUs))
                             : -1;
         ++rpcTotals.offered;
+        tlAdd(tlRpcOffered);
         if (cv.deadlineAt >= 0) {
             const long rid = cv.rid;
             eq.schedule(cv.deadlineAt,
@@ -1039,6 +1260,7 @@ class Sim
                       releaseBuffer(conv);
                       --c.retriesLeft;
                       ++rpcTotals.retries;
+                      tlAdd(tlRpcRetries);
                       clientSend(conv);
                   });
     }
@@ -1094,12 +1316,15 @@ class Sim
         switch (disp) {
           case Disp::Shed:
             ++rpcTotals.shed;
+            tlAdd(tlRpcShed);
             break;
           case Disp::Expired:
             ++rpcTotals.expired;
+            tlAdd(tlRpcExpired);
             break;
           case Disp::LostToCrash:
             ++rpcTotals.lostToCrash;
+            tlAdd(tlRpcLost);
             break;
           default:
             hsipc_panic("terminate with a non-terminal disposition");
@@ -1363,6 +1588,7 @@ class Sim
     {
         Conversation &cv = convs[static_cast<std::size_t>(conv)];
         ++rpcTotals.shedAttempts;
+        tlAdd(tlRpcShedAttempts);
         chargeRpc(sNode(conv), "rpcShed", rpcShedUs);
         cv.svcState = SvcState::None;
         if (cv.disp == Disp::None && cv.retriesLeft <= 0 &&
@@ -1599,6 +1825,7 @@ class Sim
             // was shed, or already completed through another attempt.
             // The client kernel spends a little to discard it.
             ++rpcTotals.orphanedReplies;
+            tlAdd(tlRpcOrphans);
             chargeRpc(cn, "rpcOrphan", rpcOrphanUs);
             if (tracer->enabled() && cn.svcTrack >= 0)
                 tracer->instant(cn.svcTrack, "rpcOrphan", eq.now(),
@@ -1627,8 +1854,10 @@ class Sim
 
         if (robust) {
             cv0.disp = Disp::Completed;
-            rpcTotals.completed +=
+            const long by =
                 1 + check::testHooks().rpcCompletionMiscount;
+            rpcTotals.completed += by;
+            tlAdd(tlRpcCompleted, static_cast<double>(by));
             releaseBuffer(conv);
         } else {
             // Release the kernel buffer; wake a stalled sender.
@@ -1646,8 +1875,16 @@ class Sim
         }
 
         const Tick start = cv0.sendStart;
+        // Whole-run trip series (warmup included): the raw material
+        // of the MSER-5 steady-state detection, which must see the
+        // initial transient to find its end.
+        if (tlAllTrips) {
+            tlAdd(tlAllTrips);
+            tlAdd(tlRtSum, ticksToUs(eq.now() - start));
+        }
         if (eq.now() > usToTicks(exp.warmupUs)) {
             ++completed;
+            tlAdd(tlTrips);
             const double rt_us = ticksToUs(eq.now() - start);
             rt.add(rt_us);
             rtSamples.push_back(rt_us);
@@ -1658,7 +1895,7 @@ class Sim
             else
                 rtRemote.add(rt_us);
             if (robust)
-                sojournSamples.push_back(
+                sojournSketch.observe(
                     ticksToUs(eq.now() - cv0.arrivalAt));
         }
         if (!robust)
@@ -1707,7 +1944,33 @@ class Sim
     long lastMsgId = 0; //!< last lifetime id issued (0 = untagged)
     long lastRid = 0;   //!< last request id issued (0 = untracked)
     Outcome::Rpc rpcTotals; //!< whole-run disposition ledger
-    std::vector<double> sojournSamples; //!< windowed arrival→reply µs
+    //! Windowed arrival→reply sojourns; mergeable, fixed relative
+    //! error, and the source of Outcome::rpc's sojourn percentiles.
+    obs::QuantileSketch sojournSketch;
+
+    // Time-resolved observability: the recorder plus one handle per
+    // counter series.  All handles stay null (each bump site one
+    // branch) unless exp.timelineIntervalUs is positive.
+    obs::TimelineRecorder tl;
+    obs::TimelineRecorder::Series *tlAllTrips = nullptr;
+    obs::TimelineRecorder::Series *tlRtSum = nullptr;
+    obs::TimelineRecorder::Series *tlTrips = nullptr;
+    obs::TimelineRecorder::Series *tlStalls = nullptr;
+    obs::TimelineRecorder::Series *tlRpcOffered = nullptr;
+    obs::TimelineRecorder::Series *tlRpcCompleted = nullptr;
+    obs::TimelineRecorder::Series *tlRpcShed = nullptr;
+    obs::TimelineRecorder::Series *tlRpcShedAttempts = nullptr;
+    obs::TimelineRecorder::Series *tlRpcExpired = nullptr;
+    obs::TimelineRecorder::Series *tlRpcLost = nullptr;
+    obs::TimelineRecorder::Series *tlRpcRetries = nullptr;
+    obs::TimelineRecorder::Series *tlRpcOrphans = nullptr;
+    obs::TimelineRecorder::Series *tlNetTx = nullptr;
+    obs::TimelineRecorder::Series *tlNetRetx = nullptr;
+    obs::TimelineRecorder::Series *tlNetDeliver = nullptr;
+    obs::TimelineRecorder::Series *tlNetAck = nullptr;
+    std::map<std::string, Tick> tlBusyPrev; //!< last busy snapshot
+    Tick tlPrevBoundary = 0; //!< when that snapshot was taken
+    int tlTrack = -1; //!< Perfetto counter track for the timeline
 
     std::vector<std::unique_ptr<Node>> nodes;
     std::unique_ptr<TokenRing> ring;
@@ -1803,6 +2066,19 @@ runExperiment(const Experiment &exp, trace::Tracer *tracer,
                  "shedPolicy is 0 (reject-new), 1 (drop-oldest), or "
                  "2 (deadline-aware)");
     hsipc_assert(exp.rtoMaxUs > 0 && "rtoMaxUs must be positive");
+    hsipc_assert(exp.timelineIntervalUs >= 0 &&
+                 "timelineIntervalUs cannot be negative");
+    if (exp.timelineIntervalUs > 0)
+        hsipc_assert((exp.warmupUs + exp.measureUs) /
+                             exp.timelineIntervalUs <=
+                         4e6 &&
+                     "timeline bin count is unreasonably large");
+    hsipc_assert((exp.timelineFile.empty() ||
+                  exp.timelineIntervalUs > 0) &&
+                 "timelineFile needs a positive timelineIntervalUs");
+    hsipc_assert(exp.traceSampleRate >= 0 &&
+                 exp.traceSampleRate <= 1 &&
+                 "traceSampleRate is a probability");
     Sim sim(exp, tracer, metrics);
     return sim.run();
 }

@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "common/metrics/metrics.hh"
+#include "common/obs/steady.hh"
+#include "common/obs/timeline.hh"
 #include "common/stats.hh"
 #include "common/trace/critical_path.hh"
 #include "common/trace/tracer.hh"
@@ -107,6 +109,30 @@ struct Experiment
      * other Outcome fields stay bit-identical.
      */
     bool decomposeLatency = false;
+
+    /**
+     * Time-resolved observability (see docs/observability.md).
+     * A positive timelineIntervalUs records windowed series over the
+     * whole run (counter deltas binned by event timestamp, gauges
+     * sampled at bin boundaries) into Outcome::timeline, runs the
+     * MSER-5 steady-state analysis into Outcome::stats, and — when
+     * timelineFile names a path — writes the timeline document
+     * there.  Strictly observational: the sampler events only read
+     * state, so every other Outcome field stays bit-identical.
+     */
+    double timelineIntervalUs = 0; //!< bin width; 0 = no timeline
+    std::string timelineFile;      //!< optional timeline JSON path
+
+    /**
+     * Deterministic trace sampling: record causal chains (and the
+     * tracer's per-message flow/async events) only for this fraction
+     * of message ids, chosen by a pure hash of (seed, id) — see
+     * common/obs/trace_sample.hh.  1 keeps everything; sampled
+     * messages keep *complete* chains, and jobs=1/N runs agree
+     * bit-identically.  Affects only trace-derived artifacts (the
+     * decomposition covers the sampled subset).
+     */
+    double traceSampleRate = 1;
 
     /**
      * End-to-end RPC robustness layer (pay-for-use: with every knob
@@ -315,6 +341,22 @@ struct Outcome
      * service + queue + network + blocked = roundTrip for the means.
      */
     trace::Decomposition decomposition;
+
+    /**
+     * Windowed series over the run, filled only when
+     * Experiment::timelineIntervalUs is positive.  Every counter
+     * series integrates exactly to its whole-run ledger counterpart
+     * (the fuzz oracle's timeline.* invariants).
+     */
+    obs::Timeline timeline;
+
+    /**
+     * MSER-5 steady-state analysis of the timeline (enabled with
+     * it): detected truncation point, batch-means CIs on throughput
+     * and round-trip latency, and the transientPolluted flag when
+     * the configured warmup did not cover the detected transient.
+     */
+    obs::SteadyStats stats;
 };
 
 /** Run the experiment to completion and return the measurements. */

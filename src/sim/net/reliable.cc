@@ -54,9 +54,12 @@ ReliableChannel::transmit(long seq, bool retransmit)
     if (it == unacked.end())
         return;
     ++counts.dataTransmissions;
-    if (retransmit)
-        counts.retransmissions +=
-            1 + check::testHooks().retransmissionMiscount;
+    observe("dataTx", 1);
+    if (retransmit) {
+        const long by = 1 + check::testHooks().retransmissionMiscount;
+        counts.retransmissions += by;
+        observe("retx", static_cast<double>(by));
+    }
     // Every copy of the packet carries the original message's id, so
     // a recovery chain (timeout, resend, late delivery) stays one
     // message's story in the trace.
@@ -154,6 +157,7 @@ ReliableChannel::arriveData(long seq, bool corrupted)
             while (receivedAhead.erase(nextExpected) > 0)
                 ++nextExpected;
             ++counts.delivered;
+            observe("deliver", 1);
             // First delivery of this sequence number (later copies
             // take the dupDrop path above), so the callback can be
             // moved out rather than copied.
@@ -168,6 +172,7 @@ void
 ReliableChannel::sendAck()
 {
     ++counts.acksSent;
+    observe("ack", 1);
     note("ack");
     hooks.exec(
         cfg.dstNode, "protoAck", cfg.ackProcUs, prioInterrupt,

@@ -111,6 +111,22 @@ class ReliableChannel
     }
 
     /**
+     * Per-event observer for windowed timelines: called with a
+     * stable event key ("dataTx", "retx", "deliver", "ack") and the
+     * amount the matching Stats counter grew by, at the simulated
+     * instant the counter moved.  Observational only — binning these
+     * calls by timestamp is what makes a timeline series' integral
+     * equal the whole-run ledger exactly.
+     */
+    using EventObserver =
+        std::function<void(const char *event, double n)>;
+
+    void setEventObserver(EventObserver cb)
+    {
+        observer = std::move(cb);
+    }
+
+    /**
      * Reliably deliver one message; @p deliver fires at the receiving
      * node exactly once.  @p msgId (0 = none) is the message's
      * lifetime id: every transmission of the packet — including
@@ -155,6 +171,13 @@ class ReliableChannel
     Tick rto(int retries) const;
     void note(const char *event, long msgId = 0);
 
+    void
+    observe(const char *event, double n)
+    {
+        if (observer)
+            observer(event, n);
+    }
+
     EventQueue &eq;
     Config cfg;
     FaultInjector &faults;
@@ -162,6 +185,7 @@ class ReliableChannel
     Stats counts;
     trace::Tracer *tracer = nullptr;
     int traceTrack = -1;
+    EventObserver observer; //!< null unless a timeline is recording
 
     // Sender state.
     long nextSeq = 0;    //!< next sequence number to assign

@@ -188,7 +188,33 @@ outcomeJson(const Outcome &out)
            mapJson(d.queueUsByResource) +
            ",\n  \"bottleneck\": " + jsonString(d.bottleneck) +
            ",\n  \"bottleneckShare\": " +
-           jsonNumber(d.bottleneckShare) + "}\n}\n";
+           jsonNumber(d.bottleneckShare) + "}";
+    // Time-resolved sections appear only when the run recorded a
+    // timeline, so every pre-timeline document stays byte-identical.
+    if (out.timeline.enabled()) {
+        const obs::SteadyStats &st = out.stats;
+        doc += ",\n \"stats\": {\"enabled\": " +
+               std::string(st.enabled ? "true" : "false") +
+               ", \"insufficientData\": " +
+               (st.insufficientData ? "true" : "false") +
+               ", \"transientPolluted\": " +
+               (st.transientPolluted ? "true" : "false") +
+               ", \"truncationUs\": " + jsonNumber(st.truncationUs) +
+               ", \"batches\": " +
+               jsonNumber(static_cast<double>(st.batches)) +
+               ", \"throughputPerSec\": " +
+               jsonNumber(st.throughputPerSec) +
+               ", \"throughputCi95PerSec\": " +
+               jsonNumber(st.throughputCi95PerSec) +
+               ", \"meanRtUs\": " + jsonNumber(st.meanRtUs) +
+               ", \"rtCi95Us\": " + jsonNumber(st.rtCi95Us) + "}";
+        doc += ",\n \"timeline\": ";
+        std::string tj = out.timeline.toJson();
+        if (!tj.empty() && tj.back() == '\n')
+            tj.pop_back();
+        doc += tj;
+    }
+    doc += "\n}\n";
     return doc;
 }
 

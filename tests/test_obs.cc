@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Unit tests for the time-resolved observability primitives in
+ * src/common/obs: the mergeable DDSketch-style quantile sketch
+ * (fixed relative error, exact associative merge), the MSER-5
+ * warmup/steady-state detector, the timeline recorder's binning and
+ * integral property, and the deterministic per-message-id trace
+ * sampler.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/obs/sketch.hh"
+#include "common/obs/steady.hh"
+#include "common/obs/timeline.hh"
+#include "common/obs/trace_sample.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace hsipc;
+using obs::QuantileSketch;
+using obs::TimelineRecorder;
+using obs::TraceSampler;
+
+double
+exactQuantile(std::vector<double> sorted, double q)
+{
+    // The sketch's rank convention: sample floor(q * (n-1)) of the
+    // sorted stream.
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    return sorted[rank];
+}
+
+// --- QuantileSketch -------------------------------------------------
+
+TEST(Sketch, EmptyReportsZeroes)
+{
+    QuantileSketch s;
+    EXPECT_EQ(s.count(), 0);
+    EXPECT_EQ(s.sum(), 0);
+    EXPECT_EQ(s.mean(), 0);
+    EXPECT_EQ(s.min(), 0);
+    EXPECT_EQ(s.max(), 0);
+    EXPECT_EQ(s.quantile(0.5), 0);
+    EXPECT_EQ(s.buckets(), 0u);
+}
+
+TEST(Sketch, QuantilesWithinRelativeError)
+{
+    // Samples spanning five decades — exactly the dynamic range the
+    // log2 histograms were built for, where their bucket edges are up
+    // to 2x off.
+    Rng rng(7);
+    QuantileSketch s;
+    std::vector<double> samples;
+    for (int i = 0; i < 20000; ++i) {
+        const double v = std::pow(10.0, rng.uniform(-1, 4));
+        samples.push_back(v);
+        s.observe(v);
+    }
+    ASSERT_EQ(s.count(), 20000);
+    for (double q : {0.0, 0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0}) {
+        const double want = exactQuantile(samples, q);
+        const double got = s.quantile(q);
+        EXPECT_NEAR(got, want, s.relativeAccuracy() * want)
+            << "q=" << q;
+    }
+    // The extremes never escape the observed range.
+    EXPECT_GE(s.quantile(0),
+              *std::min_element(samples.begin(), samples.end()));
+    EXPECT_LE(s.quantile(1),
+              *std::max_element(samples.begin(), samples.end()));
+}
+
+TEST(Sketch, BoundedMemory)
+{
+    // 100k samples over six decades still land in a few hundred
+    // buckets — the bound that makes the sketch safe at fleet scale.
+    Rng rng(11);
+    QuantileSketch s;
+    for (int i = 0; i < 100000; ++i)
+        s.observe(std::pow(10.0, rng.uniform(-2, 4)));
+    EXPECT_LE(s.buckets(), 1400u);
+    EXPECT_GE(s.buckets(), 100u);
+}
+
+TEST(Sketch, ZeroSamplesCollapse)
+{
+    QuantileSketch s;
+    for (int i = 0; i < 10; ++i)
+        s.observe(0);
+    s.observe(5);
+    EXPECT_EQ(s.count(), 11);
+    EXPECT_EQ(s.min(), 0);
+    EXPECT_EQ(s.max(), 5);
+    EXPECT_EQ(s.quantile(0.5), 0);
+    EXPECT_NEAR(s.quantile(1.0), 5, 5 * s.relativeAccuracy());
+    EXPECT_EQ(s.buckets(), 2u); // one zero bucket + one positive
+}
+
+TEST(Sketch, MergeMatchesConcatenatedStream)
+{
+    // The load-bearing property: merged shards are bit-identical to
+    // one sketch that saw the concatenated stream.
+    Rng rng(23);
+    QuantileSketch a, b, c, all;
+    for (int i = 0; i < 3000; ++i) {
+        const double v = std::pow(10.0, rng.uniform(-1, 3));
+        all.observe(v);
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).observe(v);
+    }
+
+    QuantileSketch leftFold = a;
+    leftFold.merge(b);
+    leftFold.merge(c);
+
+    QuantileSketch rightFold = b;
+    rightFold.merge(c);
+    QuantileSketch assoc = a;
+    assoc.merge(rightFold);
+
+    for (const QuantileSketch *m : {&leftFold, &assoc}) {
+        EXPECT_EQ(m->count(), all.count());
+        // The sum is a float accumulation, so shard order costs ULPs;
+        // everything rank-based (buckets, counts, quantiles) is exact.
+        EXPECT_NEAR(m->sum(), all.sum(), 1e-9 * all.sum());
+        EXPECT_EQ(m->min(), all.min());
+        EXPECT_EQ(m->max(), all.max());
+        EXPECT_EQ(m->buckets(), all.buckets());
+        for (double q : {0.01, 0.5, 0.95, 0.99})
+            EXPECT_EQ(m->quantile(q), all.quantile(q)) << "q=" << q;
+    }
+}
+
+TEST(Sketch, MergeEmptySketches)
+{
+    QuantileSketch a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0);
+    b.observe(3.5);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1);
+    EXPECT_EQ(a.min(), 3.5);
+    QuantileSketch c;
+    a.merge(c); // merging an empty sketch changes nothing
+    EXPECT_EQ(a.count(), 1);
+    EXPECT_EQ(a.max(), 3.5);
+}
+
+// --- MSER-5 steady-state detection ----------------------------------
+
+/** A ramp over @p rampBins climbing to @p level, then steady. */
+std::vector<double>
+rampThenSteady(std::size_t rampBins, std::size_t steadyBins,
+               double level, double noiseSeed)
+{
+    Rng rng(static_cast<std::uint64_t>(noiseSeed));
+    std::vector<double> v;
+    for (std::size_t i = 0; i < rampBins; ++i)
+        v.push_back(level * static_cast<double>(i + 1) /
+                    static_cast<double>(rampBins + 1));
+    for (std::size_t i = 0; i < steadyBins; ++i)
+        v.push_back(level + rng.uniform(-0.02, 0.02) * level);
+    return v;
+}
+
+TEST(Mser5, DetectsRampEnd)
+{
+    // 40 ramp bins (8 batches) then 160 steady bins: the truncation
+    // point must land at the ramp/steady boundary, within MSER's
+    // one-batch resolution.
+    const std::vector<double> series =
+        rampThenSteady(40, 160, 1000, 3);
+    const std::size_t cut = obs::mser5Truncation(series);
+    EXPECT_GE(cut, 35u);
+    EXPECT_LE(cut, 50u);
+}
+
+TEST(Mser5, SteadyFromTheStartTruncatesNothingMuch)
+{
+    const std::vector<double> series = rampThenSteady(0, 200, 500, 5);
+    EXPECT_LE(obs::mser5Truncation(series), 10u);
+}
+
+TEST(Mser5, TooShortReturnsEverything)
+{
+    // Fewer than two batches: no verdict, truncate everything.
+    const std::vector<double> series(7, 1.0);
+    EXPECT_EQ(obs::mser5Truncation(series), series.size());
+}
+
+TEST(SteadyState, FlagsPollutedWarmup)
+{
+    // Bins of 1000 us; the ramp spans 40 bins = 40 ms, but the
+    // configured warmup claims 5 ms sufficed: polluted.
+    const std::vector<double> trips = rampThenSteady(40, 160, 50, 9);
+    std::vector<double> rtSum;
+    for (double t : trips)
+        rtSum.push_back(t * 800); // ~800 us mean round trip
+    const obs::SteadyStats s =
+        obs::analyzeSteadyState(trips, rtSum, 1000, 5000);
+    EXPECT_TRUE(s.enabled);
+    EXPECT_FALSE(s.insufficientData);
+    EXPECT_TRUE(s.transientPolluted);
+    EXPECT_GT(s.truncationUs, 5000);
+
+    // The same series with an honest 50 ms warmup is clean.
+    const obs::SteadyStats ok =
+        obs::analyzeSteadyState(trips, rtSum, 1000, 50000);
+    EXPECT_FALSE(ok.transientPolluted);
+}
+
+TEST(SteadyState, BatchMeansEstimates)
+{
+    // Pure steady state: the batch-means point estimate recovers the
+    // configured rate and per-trip latency, with a tight CI.
+    const std::size_t bins = 200;
+    const double tripsPerBin = 50; // 1000-us bins -> 50k trips/sec
+    std::vector<double> trips(bins, tripsPerBin);
+    std::vector<double> rtSum(bins, tripsPerBin * 700);
+    const obs::SteadyStats s =
+        obs::analyzeSteadyState(trips, rtSum, 1000, 0);
+    EXPECT_FALSE(s.insufficientData);
+    EXPECT_FALSE(s.transientPolluted);
+    EXPECT_NEAR(s.throughputPerSec, 50000, 1e-6);
+    EXPECT_NEAR(s.meanRtUs, 700, 1e-9);
+    EXPECT_NEAR(s.throughputCi95PerSec, 0, 1e-6);
+    EXPECT_GT(s.batches, 30);
+}
+
+TEST(SteadyState, ShortRunIsInsufficient)
+{
+    std::vector<double> trips(12, 5.0);
+    std::vector<double> rtSum(12, 5.0 * 100);
+    const obs::SteadyStats s =
+        obs::analyzeSteadyState(trips, rtSum, 1000, 0);
+    EXPECT_TRUE(s.enabled);
+    EXPECT_TRUE(s.insufficientData);
+    EXPECT_FALSE(s.transientPolluted);
+}
+
+// --- TimelineRecorder -----------------------------------------------
+
+TEST(Timeline, BinningAndIntegral)
+{
+    TimelineRecorder tl;
+    tl.configure(100, 1000, 200); // 10 bins of 100 us
+    ASSERT_TRUE(tl.enabled());
+    EXPECT_EQ(tl.binCount(), 10u);
+
+    auto &s = tl.counter("x");
+    const Tick us = usToTicks(1);
+    tl.add(s, 0 * us);          // bin 0
+    tl.add(s, 99 * us);         // bin 0
+    tl.add(s, 100 * us);        // bin 1 (half-open bins)
+    tl.add(s, 950 * us, 2.5);   // bin 9
+    tl.add(s, 1000 * us);       // horizon: clamps into bin 9
+
+    const obs::Timeline t = tl.take();
+    ASSERT_EQ(t.counters.at("x").size(), 10u);
+    EXPECT_EQ(t.counters.at("x")[0], 2);
+    EXPECT_EQ(t.counters.at("x")[1], 1);
+    EXPECT_EQ(t.counters.at("x")[9], 3.5);
+    EXPECT_EQ(t.total("x"), 6.5); // the integral
+    EXPECT_EQ(t.total("absent"), 0);
+    EXPECT_EQ(t.intervalUs, 100);
+    EXPECT_EQ(t.horizonUs, 1000);
+    EXPECT_EQ(t.warmupUs, 200);
+}
+
+TEST(Timeline, PartialFinalBin)
+{
+    TimelineRecorder tl;
+    tl.configure(300, 1000, 0); // 1000/300 -> 4 bins, last partial
+    EXPECT_EQ(tl.binCount(), 4u);
+    auto &s = tl.counter("y");
+    tl.add(s, usToTicks(999));
+    const obs::Timeline t = tl.take();
+    EXPECT_EQ(t.counters.at("y")[3], 1);
+}
+
+TEST(Timeline, GaugesPadToBinCount)
+{
+    TimelineRecorder tl;
+    tl.configure(100, 500, 0);
+    tl.sample("depth", 1, 7);
+    const obs::Timeline t = tl.take();
+    ASSERT_EQ(t.gauges.at("depth").size(), 5u);
+    EXPECT_EQ(t.gauges.at("depth")[1], 7);
+    EXPECT_EQ(t.gauges.at("depth")[4], 0);
+}
+
+TEST(Timeline, DisabledByDefault)
+{
+    TimelineRecorder tl;
+    EXPECT_FALSE(tl.enabled());
+    obs::Timeline t;
+    EXPECT_FALSE(t.enabled());
+    EXPECT_EQ(t.bins(), 0u);
+}
+
+TEST(Timeline, JsonRoundStructure)
+{
+    TimelineRecorder tl;
+    tl.configure(100, 300, 100);
+    auto &s = tl.counter("a.b");
+    tl.add(s, usToTicks(50));
+    tl.sample("g", 0, 0.5);
+    const obs::Timeline t = tl.take();
+    const std::string j = t.toJson();
+    EXPECT_NE(j.find("\"intervalUs\": 100"), std::string::npos);
+    EXPECT_NE(j.find("\"a.b\": [1, 0, 0]"), std::string::npos);
+    EXPECT_NE(j.find("\"g\": [0.5, 0, 0]"), std::string::npos);
+    // Extra sections splice in before the series.
+    const std::string withExtra = t.toJson("\"k\": 1");
+    EXPECT_NE(withExtra.find("\"k\": 1,"), std::string::npos);
+}
+
+// --- TraceSampler ---------------------------------------------------
+
+TEST(TraceSampler, DefaultKeepsEverything)
+{
+    TraceSampler s;
+    EXPECT_TRUE(s.keepAll());
+    for (long id = 1; id < 100; ++id)
+        EXPECT_TRUE(s.sampled(id));
+}
+
+TEST(TraceSampler, RateZeroDropsEverything)
+{
+    TraceSampler s(0, 42);
+    for (long id = 1; id < 100; ++id)
+        EXPECT_FALSE(s.sampled(id));
+}
+
+TEST(TraceSampler, DeterministicPerIdAndSeed)
+{
+    TraceSampler a(0.3, 42), b(0.3, 42), other(0.3, 43);
+    int agree = 0, differ = 0;
+    for (long id = 1; id <= 2000; ++id) {
+        EXPECT_EQ(a.sampled(id), b.sampled(id));
+        if (a.sampled(id) == other.sampled(id))
+            ++agree;
+        else
+            ++differ;
+    }
+    // A different seed picks a genuinely different subset.
+    EXPECT_GT(differ, 200);
+    EXPECT_GT(agree, 200);
+}
+
+TEST(TraceSampler, KeepsApproximatelyTheConfiguredFraction)
+{
+    for (double rate : {0.1, 0.5, 0.9}) {
+        TraceSampler s(rate, 7);
+        int kept = 0;
+        const int n = 20000;
+        for (long id = 1; id <= n; ++id)
+            kept += s.sampled(id);
+        EXPECT_NEAR(static_cast<double>(kept) / n, rate, 0.02)
+            << "rate=" << rate;
+    }
+}
+
+} // namespace

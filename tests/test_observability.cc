@@ -8,17 +8,23 @@
  * measured result.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/metrics/metrics.hh"
+#include "common/obs/trace_sample.hh"
 #include "common/trace/tracer.hh"
 #include "core/gtpn/net.hh"
 #include "core/gtpn/simulator.hh"
 #include "sim/kernel/ipc_sim.hh"
+#include "sim/runner/sweep_runner.hh"
 
 namespace
 {
@@ -689,6 +695,275 @@ TEST(Observability, GtpnSimulatorTraces)
                    ev.name == "fire";
     EXPECT_TRUE(sawFire);
     EXPECT_TRUE(validJson(tr.chromeJson()));
+}
+
+// --- Time-resolved timelines -----------------------------------------
+
+/** The expected timeline file for GoldenTimelineJson's pinned run. */
+std::string
+goldenTimelineDoc()
+{
+    return "{\n"
+           "  \"intervalUs\": 5000,\n"
+           "  \"horizonUs\": 20000,\n"
+           "  \"warmupUs\": 5000,\n"
+           "  \"stats\": {\"enabled\": true, "
+           "\"insufficientData\": true, "
+           "\"transientPolluted\": false, \"truncationUs\": 20000, "
+           "\"batches\": 0, \"throughputPerSec\": 0, "
+           "\"throughputCi95PerSec\": 0, \"meanRtUs\": 0, "
+           "\"rtCi95Us\": 0},\n"
+           "  \"counters\": {\n"
+           "   \"ipc.allTrips\": [0, 1, 1, 1],\n"
+           "   \"ipc.bufferStalls\": [0, 0, 0, 0],\n"
+           "   \"ipc.completedTrips\": [0, 1, 1, 1],\n"
+           "   \"ipc.rtSumUs\": [0, 6041.574, 5996.523, 5616.436]\n"
+           "  },\n"
+           "  \"gauges\": {\n"
+           "   \"n0.freeBuffers\": [63, 63, 63, 63],\n"
+           "   \"n0.svc.pendingMsgs\": [0, 0, 0, 0],\n"
+           "   \"n0.svc.waitingServers\": [0, 0, 0, 0],\n"
+           "   \"util.n0.busTcb\": [0.1020384, 0.1279616, 0.1404, "
+           "0.1354],\n"
+           "   \"util.n0.host0\": [1, 1, 1, 1],\n"
+           "   \"util.n0.nicIn\": [0, 0, 0, 0],\n"
+           "   \"util.n0.nicOut\": [0, 0, 0, 0]\n"
+           "  }\n"
+           "}\n";
+}
+
+/** lossyExperiment() plus the robustness layer under open arrivals. */
+sim::Experiment
+robustLossyExperiment()
+{
+    sim::Experiment e = lossyExperiment();
+    e.arrivalMode = 1;
+    e.arrivalRatePerSec = 150;
+    e.deadlineUs = 80000;
+    e.retryBudget = 1;
+    e.retryBackoffUs = 5000;
+    e.svcQueueCap = 2;
+    e.shedPolicy = 2;
+    return e;
+}
+
+TEST(Timeline, EnablingDoesNotPerturbOutcome)
+{
+    sim::Experiment e = lossyExperiment();
+    const sim::Outcome plain = sim::runExperiment(e);
+    EXPECT_FALSE(plain.timeline.enabled());
+    EXPECT_FALSE(plain.stats.enabled);
+
+    e.timelineIntervalUs = 5000;
+    const sim::Outcome timed = sim::runExperiment(e);
+    EXPECT_TRUE(timed.timeline.enabled());
+    EXPECT_TRUE(timed.stats.enabled);
+    expectSameOutcome(plain, timed);
+
+    // At the byte level: the timed run's outcomeJson extends the
+    // plain document — every pre-timeline field renders identically.
+    const std::string base = sim::outcomeJson(plain);
+    const std::string timedDoc = sim::outcomeJson(timed);
+    ASSERT_GT(base.size(), 4u);
+    const std::string prefix = base.substr(0, base.size() - 3);
+    ASSERT_GT(timedDoc.size(), prefix.size());
+    EXPECT_EQ(timedDoc.compare(0, prefix.size(), prefix), 0);
+}
+
+TEST(Timeline, IntegralsReproduceOutcomeCounters)
+{
+    sim::Experiment e = robustLossyExperiment();
+    e.timelineIntervalUs = 5000;
+    const sim::Outcome o = sim::runExperiment(e);
+    const obs::Timeline &t = o.timeline;
+    ASSERT_TRUE(t.enabled());
+
+    // Exact, to the counter's unit — the windowed series are bumped
+    // at the very sites that bump the whole-run ledgers.
+    EXPECT_EQ(std::llround(t.total("ipc.completedTrips")),
+              o.roundTrips);
+    EXPECT_EQ(std::llround(t.total("ipc.bufferStalls")),
+              o.bufferStalls);
+    EXPECT_EQ(std::llround(t.total("rpc.offered")), o.rpc.offered);
+    EXPECT_EQ(std::llround(t.total("rpc.completed")),
+              o.rpc.completed);
+    EXPECT_EQ(std::llround(t.total("rpc.shed")), o.rpc.shed);
+    EXPECT_EQ(std::llround(t.total("rpc.expired")), o.rpc.expired);
+    EXPECT_EQ(std::llround(t.total("rpc.retries")), o.rpc.retries);
+    EXPECT_EQ(std::llround(t.total("net.dataTransmissions")),
+              o.netTotals.dataTransmissions);
+    EXPECT_EQ(std::llround(t.total("net.retransmissions")),
+              o.netTotals.retransmissions);
+    EXPECT_EQ(std::llround(t.total("net.delivered")),
+              o.netTotals.msgsDelivered);
+    EXPECT_EQ(std::llround(t.total("net.acksSent")),
+              o.netTotals.acksSent);
+
+    // Every series spans the same bin count, and the knee/crash
+    // dynamics are genuinely time-resolved: the crash window (60-80
+    // ms) must show fewer completions than the steady bins before it.
+    const std::size_t bins = t.bins();
+    for (const auto &[name, s] : t.counters)
+        EXPECT_EQ(s.size(), bins) << name;
+    for (const auto &[name, g] : t.gauges)
+        EXPECT_EQ(g.size(), bins) << name;
+    const std::vector<double> &done =
+        t.counters.at("ipc.completedTrips");
+    double during = 0;
+    for (std::size_t b = 12; b < 16; ++b)
+        during += done[b]; // the 60-80 ms outage
+    const double total = t.total("ipc.completedTrips");
+    ASSERT_GT(total, 0);
+    EXPECT_LT(during / 4,
+              (total - during) / static_cast<double>(bins - 4));
+}
+
+TEST(Timeline, GoldenTimelineJson)
+{
+    // A tiny pinned run: architecture I, one local conversation with
+    // a fixed compute phase, four 5-ms bins.  The document below is
+    // the complete expected file, so any change to the timeline
+    // format or to the simulation itself shows up as a diff here.
+    sim::Experiment e;
+    e.arch = models::Arch::I;
+    e.local = true;
+    e.conversations = 1;
+    e.computeUs = 900;
+    e.warmupUs = 5000;
+    e.measureUs = 15000;
+    e.seed = 3;
+    e.timelineIntervalUs = 5000;
+    e.timelineFile = testing::TempDir() + "hsipc_golden_timeline.json";
+    const sim::Outcome o = sim::runExperiment(e);
+    const std::string doc = readFile(e.timelineFile);
+    EXPECT_TRUE(validJson(doc));
+    EXPECT_EQ(std::llround(o.timeline.total("ipc.completedTrips")),
+              o.roundTrips);
+    EXPECT_EQ(doc, goldenTimelineDoc());
+    std::remove(e.timelineFile.c_str());
+}
+
+TEST(Timeline, CounterTrackInChromeTrace)
+{
+    sim::Experiment e = lossyExperiment();
+    e.timelineIntervalUs = 10000;
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    const sim::Outcome o = sim::runExperiment(e, &tr, nullptr);
+    ASSERT_TRUE(o.timeline.enabled());
+
+    // The timeline mirrors each bin onto one Perfetto counter track
+    // named "timeline", so windowed rates render beside the existing
+    // span tracks.
+    const auto &names = tr.trackNames();
+    const auto it =
+        std::find(names.begin(), names.end(), "timeline");
+    ASSERT_NE(it, names.end());
+    const int track = static_cast<int>(it - names.begin());
+    std::set<std::string> counterNames;
+    std::size_t counterEvents = 0;
+    for (const trace::Event &ev : tr.events()) {
+        if (ev.track != track)
+            continue;
+        EXPECT_EQ(ev.phase, trace::Phase::Counter);
+        ++counterEvents;
+        counterNames.insert(ev.name);
+    }
+    EXPECT_GT(counterNames.count("ipc.completedTrips"), 0u);
+    EXPECT_GT(counterNames.count("net.retransmissions"), 0u);
+    // One event per series per boundary, at least.
+    EXPECT_GE(counterEvents,
+              counterNames.size() * (o.timeline.bins() - 1));
+    const std::string json = tr.chromeJson();
+    EXPECT_TRUE(validJson(json));
+    EXPECT_NE(json.find("\"timeline\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+// --- Deterministic trace sampling ------------------------------------
+
+TEST(TraceSampling, SampledChainsStayComplete)
+{
+    sim::Experiment e = lossyExperiment();
+    e.decomposeLatency = true;
+    const sim::Outcome full = sim::runExperiment(e);
+
+    e.traceSampleRate = 0.4;
+    const sim::Outcome sampled = sim::runExperiment(e);
+
+    // Sampling thins the analyzed population but never the simulated
+    // one...
+    expectSameOutcome(full, sampled,
+                      /*includeDecomposition=*/false);
+    ASSERT_GT(sampled.decomposition.messages, 0);
+    EXPECT_LT(sampled.decomposition.messages,
+              full.decomposition.messages);
+
+    // ...and each surviving chain is still a gapless partition:
+    // component means sum to the sampled round-trip mean exactly.
+    const trace::Decomposition &d = sampled.decomposition;
+    EXPECT_NEAR(d.service.meanUs + d.queue.meanUs + d.network.meanUs +
+                    d.blocked.meanUs,
+                d.roundTrip.meanUs, 1e-6 * d.roundTrip.meanUs);
+}
+
+TEST(TraceSampling, FlowAndAsyncEventsSampledAtomically)
+{
+    sim::Experiment e = lossyExperiment();
+    e.traceSampleRate = 0.35;
+    trace::Tracer tr;
+    tr.setEnabled(true);
+    sim::runExperiment(e, &tr, nullptr);
+
+    // Per message id the whole arrow chain survives or none of it:
+    // any flow trail starts with a FlowStart, and async lifetimes
+    // stay begin/end balanced.
+    std::map<long, std::vector<trace::Phase>> flows;
+    std::map<long, long> asyncBalance;
+    for (const trace::Event &ev : tr.events()) {
+        switch (ev.phase) {
+          case trace::Phase::FlowStart:
+          case trace::Phase::FlowStep:
+          case trace::Phase::FlowEnd:
+            flows[ev.id].push_back(ev.phase);
+            break;
+          case trace::Phase::AsyncBegin:
+            ++asyncBalance[ev.id];
+            break;
+          case trace::Phase::AsyncEnd:
+            --asyncBalance[ev.id];
+            break;
+          default:
+            break;
+        }
+    }
+    ASSERT_FALSE(flows.empty());
+    const obs::TraceSampler sampler(e.traceSampleRate, e.seed);
+    for (const auto &[id, phases] : flows) {
+        EXPECT_TRUE(sampler.sampled(id)) << "unsampled id " << id;
+        EXPECT_EQ(phases.front(), trace::Phase::FlowStart)
+            << "flow " << id << " missing its start";
+    }
+    // A lifetime still open at the horizon legitimately lacks its
+    // end; an end without a begin would mean the sampler split a
+    // pair, which must never happen.
+    for (const auto &[id, balance] : asyncBalance)
+        EXPECT_GE(balance, 0) << "async end without begin, id " << id;
+
+    // And a full-rate run keeps strictly more chains.
+    trace::Tracer trFull;
+    trFull.setEnabled(true);
+    sim::Experiment f = lossyExperiment();
+    sim::runExperiment(f, &trFull, nullptr);
+    std::set<long> fullIds, sampledIds;
+    for (const trace::Event &ev : trFull.events())
+        if (ev.phase == trace::Phase::FlowStart)
+            fullIds.insert(ev.id);
+    for (const auto &[id, phases] : flows)
+        sampledIds.insert(id);
+    EXPECT_LT(sampledIds.size(), fullIds.size());
+    for (long id : sampledIds)
+        EXPECT_GT(fullIds.count(id), 0u);
 }
 
 } // namespace

@@ -175,6 +175,34 @@ TEST(SweepRunner, OutcomesBitIdenticalAcrossJobLevels)
     EXPECT_EQ(serial, sweepFingerprint(8));
 }
 
+TEST(SweepRunner, TimelineAndTraceSamplingBitIdenticalAcrossJobs)
+{
+    // The trace-sampling decision is a pure hash of (seed, id) and
+    // the timeline is per-run state, so the windowed series, steady
+    // stats and sampled decompositions must be byte-identical at any
+    // job level — outcomeJson covers all three sections.
+    auto sampledExps = [] {
+        std::vector<sim::Experiment> exps = mixedExperiments();
+        for (std::size_t i = 0; i < exps.size(); ++i) {
+            exps[i].timelineIntervalUs = 5000;
+            exps[i].traceSampleRate = 0.5;
+            exps[i].decomposeLatency = true;
+        }
+        return exps;
+    };
+    auto fingerprint = [&](int jobs) {
+        std::string all;
+        for (const sim::Outcome &o : sim::runSweep(sampledExps(), jobs))
+            all += sim::outcomeJson(o) + "\n";
+        return all;
+    };
+    const std::string serial = fingerprint(1);
+    EXPECT_NE(serial.find("\"timeline\""), std::string::npos);
+    EXPECT_NE(serial.find("\"stats\""), std::string::npos);
+    EXPECT_EQ(serial, fingerprint(2));
+    EXPECT_EQ(serial, fingerprint(8));
+}
+
 TEST(SweepRunner, SinkFilesBitIdenticalAcrossJobLevels)
 {
     const std::string dir = testing::TempDir();

@@ -21,6 +21,13 @@ wall-clock self-timing.  Wall time depends on the machine, its load
 and --jobs, so it is reported for information only and never gates
 the comparison.
 
+Timeline documents (written via `Experiment.timelineFile`, rendered
+with tools/report.py) are dense per-bin series, not bench summaries:
+cell-by-cell gating them would make every intentional change a
+baseline churn.  Directory mode therefore skips any *.json whose name
+contains "timeline" on either side — they are committed for reference
+and rendering only, never compared.
+
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.10]
     bench_compare.py --baseline-dir bench/baselines --current-dir DIR
@@ -35,6 +42,12 @@ import argparse
 import json
 import os
 import sys
+
+
+def is_timeline_name(name):
+    """Timeline artifacts ride along in bench directories but are
+    rendered (tools/report.py), never gated."""
+    return "timeline" in os.path.basename(name).lower()
 
 
 def is_number(cell):
@@ -147,8 +160,12 @@ def main():
     if args.baseline_dir or args.current_dir:
         if not (args.baseline_dir and args.current_dir):
             ap.error("--baseline-dir and --current-dir go together")
-        names = sorted(n for n in os.listdir(args.baseline_dir)
-                       if n.endswith(".json"))
+        listed = sorted(n for n in os.listdir(args.baseline_dir)
+                        if n.endswith(".json"))
+        names = [n for n in listed if not is_timeline_name(n)]
+        for n in listed:
+            if is_timeline_name(n):
+                print(f"SKIP {n}: timeline document (never gated)")
         if not names:
             ap.error(f"no *.json baselines in {args.baseline_dir}")
         for n in names:

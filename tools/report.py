@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Render a simulation timeline document as a dashboard.
+
+The simulator, run with `Experiment.timeline{IntervalUs,File}`, writes
+a JSON document of windowed series (see docs/observability.md):
+
+    {"intervalUs": ..., "horizonUs": ..., "warmupUs": ...,
+     "stats": {... MSER-5 steady-state analysis ...},
+     "decomposition": {...},          # when decomposeLatency was on
+     "counters": {name: [per-bin deltas]},
+     "gauges":   {name: [per-bin samples]}}
+
+This tool renders that document two ways:
+
+  *terminal* (default): one unicode sparkline per series with
+  min/mean/max and, for counters, the integral (which equals the
+  whole-run Outcome counter exactly), plus the steady-state verdict —
+  the transient/knee/recovery shapes that whole-run aggregates hide.
+
+  *HTML* (`--html out.html`): a self-contained dashboard (inline SVG,
+  no external assets) with one chart per series, the warmup boundary
+  and detected truncation point marked, grouped by series prefix.
+
+Usage:
+    report.py TIMELINE.json [TIMELINE2.json ...] [--html out.html]
+              [--only PREFIX] [--width N]
+
+Exit status: 0 on success, 1 on a malformed document.
+"""
+
+import argparse
+import html
+import json
+import sys
+
+SPARK_CHARS = " .:-=+*#%@"
+BLOCK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, chars=BLOCK_CHARS):
+    """Map a series onto a fixed character ramp (empty-safe)."""
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    if hi <= lo:
+        return chars[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(chars) - 1))
+        out.append(chars[idx])
+    return "".join(out)
+
+
+def resample(values, width):
+    """Average adjacent bins down to at most `width` points."""
+    if width <= 0 or len(values) <= width:
+        return list(values)
+    out = []
+    n = len(values)
+    for i in range(width):
+        a = i * n // width
+        b = max(a + 1, (i + 1) * n // width)
+        chunk = values[a:b]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def fmt(v):
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.4g}"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("intervalUs", "horizonUs", "counters", "gauges"):
+        if key not in doc:
+            raise ValueError(f"{path}: missing '{key}' — not a "
+                             "timeline document")
+    return doc
+
+
+def series_items(doc, only):
+    for kind in ("counters", "gauges"):
+        for name in sorted(doc[kind]):
+            if only and not name.startswith(only):
+                continue
+            yield kind, name, doc[kind][name]
+
+
+# --- terminal rendering ---------------------------------------------
+
+
+def render_stats_text(doc, out):
+    stats = doc.get("stats")
+    if not stats or not stats.get("enabled"):
+        return
+    if stats.get("insufficientData"):
+        verdict = "run too short for a steady-state verdict"
+    elif stats.get("transientPolluted"):
+        verdict = ("TRANSIENT POLLUTED: warmup %s us < detected "
+                   "truncation %s us" %
+                   (fmt(doc["warmupUs"]), fmt(stats["truncationUs"])))
+    else:
+        verdict = ("steady after %s us (warmup %s us covers it)" %
+                   (fmt(stats["truncationUs"]), fmt(doc["warmupUs"])))
+    out.write("  steady state: %s\n" % verdict)
+    if stats.get("batches"):
+        out.write(
+            "  batch means: throughput %s /s (+/- %s), "
+            "round trip %s us (+/- %s), %d batches\n" %
+            (fmt(stats["throughputPerSec"]),
+             fmt(stats["throughputCi95PerSec"]),
+             fmt(stats["meanRtUs"]), fmt(stats["rtCi95Us"]),
+             int(stats["batches"])))
+
+
+def render_decomposition_text(doc, out):
+    d = doc.get("decomposition")
+    if not d:
+        return
+    out.write("  decomposition: %s messages, mean round trip %s us, "
+              "bottleneck %s\n" %
+              (fmt(d.get("messages", 0)),
+               fmt(d.get("meanRoundTripUs", 0)),
+               d.get("bottleneck", "?")))
+
+
+def render_text(paths, docs, only, width, out=sys.stdout):
+    for path, doc in zip(paths, docs):
+        bins = 0
+        for _, _, values in series_items(doc, None):
+            bins = max(bins, len(values))
+        out.write("%s: %s bins x %s us (warmup %s us)\n" %
+                  (path, bins, fmt(doc["intervalUs"]),
+                   fmt(doc["warmupUs"])))
+        render_stats_text(doc, out)
+        render_decomposition_text(doc, out)
+        name_w = max((len(n) for _, n, _ in series_items(doc, only)),
+                     default=0)
+        for kind, name, values in series_items(doc, only):
+            line = sparkline(resample(values, width))
+            if kind == "counters":
+                tail = "integral %s" % fmt(sum(values))
+            else:
+                tail = "last %s" % fmt(values[-1] if values else 0)
+            out.write("  %-*s |%s| min %s max %s %s\n" %
+                      (name_w, name, line, fmt(min(values, default=0)),
+                       fmt(max(values, default=0)), tail))
+        out.write("\n")
+
+
+# --- HTML rendering --------------------------------------------------
+
+HTML_HEAD = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>timeline report</title>
+<style>
+ body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+        max-width: 72em; color: #1a1a1a; }
+ h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 1.5em; }
+ .verdict { padding: .5em .8em; border-radius: 4px;
+            background: #eef6ee; display: inline-block; }
+ .verdict.bad { background: #fbecec; }
+ .chart { margin: .6em 0; }
+ .chart .name { font-family: ui-monospace, monospace;
+                font-size: 12px; color: #444; }
+ .meta { color: #666; font-size: 12px; }
+ svg { background: #fafafa; border: 1px solid #e0e0e0; }
+ svg polyline { fill: none; stroke: #2a6fb0; stroke-width: 1.2; }
+ svg .warmup { stroke: #bbb; stroke-dasharray: 3 2; }
+ svg .trunc { stroke: #c06030; stroke-dasharray: 5 3; }
+</style></head><body>
+"""
+
+
+def svg_chart(values, interval_us, warmup_us, trunc_us, w=640, h=80):
+    """One series as an inline SVG polyline with marker rules."""
+    pts = resample(values, w)
+    lo = min(pts, default=0.0)
+    hi = max(pts, default=0.0)
+    lo = min(lo, 0.0)
+    span = (hi - lo) or 1.0
+    step = w / max(1, len(pts))
+    coords = []
+    for i, v in enumerate(pts):
+        x = i * step + step / 2
+        y = h - 4 - (v - lo) / span * (h - 8)
+        coords.append("%.1f,%.1f" % (x, y))
+    horizon_us = interval_us * max(1, len(values))
+    rules = []
+    for cls, at_us in (("warmup", warmup_us), ("trunc", trunc_us)):
+        if at_us and 0 < at_us < horizon_us:
+            x = at_us / horizon_us * w
+            rules.append('<line class="%s" x1="%.1f" y1="0" '
+                         'x2="%.1f" y2="%d"/>' % (cls, x, x, h))
+    return ('<svg width="%d" height="%d">%s<polyline points="%s"/>'
+            '</svg>' % (w, h, "".join(rules), " ".join(coords)))
+
+
+def render_html(paths, docs, only, path_out):
+    parts = [HTML_HEAD, "<h1>Timeline report</h1>"]
+    for path, doc in zip(paths, docs):
+        parts.append("<h2>%s</h2>" % html.escape(path))
+        parts.append('<p class="meta">interval %s us, horizon %s us, '
+                     'warmup %s us</p>' %
+                     (fmt(doc["intervalUs"]), fmt(doc["horizonUs"]),
+                      fmt(doc["warmupUs"])))
+        stats = doc.get("stats") or {}
+        trunc = stats.get("truncationUs", 0)
+        if stats.get("enabled"):
+            if stats.get("insufficientData"):
+                parts.append('<p class="verdict">run too short for a '
+                             'steady-state verdict</p>')
+            elif stats.get("transientPolluted"):
+                parts.append('<p class="verdict bad">transient '
+                             'polluted: warmup %s us &lt; truncation '
+                             '%s us</p>' %
+                             (fmt(doc["warmupUs"]), fmt(trunc)))
+            else:
+                parts.append('<p class="verdict">steady after %s us; '
+                             'throughput %s /s &plusmn; %s</p>' %
+                             (fmt(trunc),
+                              fmt(stats.get("throughputPerSec", 0)),
+                              fmt(stats.get("throughputCi95PerSec",
+                                            0))))
+        d = doc.get("decomposition")
+        if d:
+            parts.append('<p class="meta">decomposition: %s messages, '
+                         'mean round trip %s us, bottleneck %s</p>' %
+                         (fmt(d.get("messages", 0)),
+                          fmt(d.get("meanRoundTripUs", 0)),
+                          html.escape(str(d.get("bottleneck", "?")))))
+        for kind, name, values in series_items(doc, only):
+            tail = ("integral %s" % fmt(sum(values))
+                    if kind == "counters" else
+                    "last %s" % fmt(values[-1] if values else 0))
+            parts.append('<div class="chart"><div class="name">%s '
+                         '<span class="meta">(%s, min %s, max %s, '
+                         '%s)</span></div>%s</div>' %
+                         (html.escape(name), kind[:-1],
+                          fmt(min(values, default=0)),
+                          fmt(max(values, default=0)), tail,
+                          svg_chart(values, doc["intervalUs"],
+                                    doc["warmupUs"], trunc)))
+    parts.append("</body></html>\n")
+    with open(path_out, "w") as f:
+        f.write("\n".join(parts))
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Render timeline JSON as a dashboard")
+    ap.add_argument("timelines", nargs="+",
+                    help="timeline JSON files from the simulator")
+    ap.add_argument("--html", metavar="OUT",
+                    help="write a self-contained HTML dashboard")
+    ap.add_argument("--only", metavar="PREFIX",
+                    help="render only series with this name prefix")
+    ap.add_argument("--width", type=int, default=72,
+                    help="terminal sparkline width (default 72)")
+    args = ap.parse_args(argv)
+
+    try:
+        docs = [load(p) for p in args.timelines]
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print("report: %s" % e, file=sys.stderr)
+        return 1
+
+    if args.html:
+        render_html(args.timelines, docs, args.only, args.html)
+        print("report: wrote %s" % args.html)
+    else:
+        render_text(args.timelines, docs, args.only, args.width)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

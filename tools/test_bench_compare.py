@@ -188,6 +188,34 @@ class MainTest(unittest.TestCase):
             self.assertEqual(self.run_main(
                 ["--baseline-dir", bd, "--current-dir", cd]), 1)
 
+    def test_directory_mode_never_gates_timeline_documents(self):
+        doc = {"bench": "b", "scalars": {"x": 1.0}}
+        timeline = {"intervalUs": 5000.0, "horizonUs": 20000.0,
+                    "warmupUs": 0.0,
+                    "counters": {"ipc.allTrips": [1, 2, 3, 4]},
+                    "gauges": {}}
+        with tempfile.TemporaryDirectory() as bd, \
+                tempfile.TemporaryDirectory() as cd:
+            self.write(bd, "a.json", doc)
+            self.write(cd, "a.json", doc)
+            # A baseline timeline with no current counterpart — and a
+            # current timeline that drifted arbitrarily — both pass.
+            self.write(bd, "a_timeline.json", timeline)
+            self.assertEqual(self.run_main(
+                ["--baseline-dir", bd, "--current-dir", cd]), 0)
+            drifted = dict(timeline,
+                           counters={"ipc.allTrips": [99, 0, 0, 0]})
+            self.write(cd, "a_timeline.json", drifted)
+            self.assertEqual(self.run_main(
+                ["--baseline-dir", bd, "--current-dir", cd,
+                 "--tolerance", "0.0"]), 0)
+
+    def test_is_timeline_name(self):
+        self.assertTrue(bench_compare.is_timeline_name(
+            "bench/baselines/beyond_overload_timeline.json"))
+        self.assertFalse(bench_compare.is_timeline_name(
+            "beyond_overload.json"))
+
 
 if __name__ == "__main__":
     unittest.main()

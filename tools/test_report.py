@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Unit tests for report.py (registered as ctest `report_unit`).
+
+Covers the resampling/sparkline primitives at their edges, timeline
+document validation, the steady-state verdict wording for each of the
+three outcomes, and end-to-end rendering of both the terminal and the
+self-contained HTML dashboard (via main(), exercising exit codes).
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import report  # noqa: E402
+
+
+def doc(**overrides):
+    d = {
+        "intervalUs": 5000.0,
+        "horizonUs": 20000.0,
+        "warmupUs": 5000.0,
+        "stats": {"enabled": True, "transientPolluted": False,
+                  "insufficientData": False, "truncationUs": 5000.0,
+                  "batches": 12, "throughputPerSec": 950.0,
+                  "throughputCi95PerSec": 12.5, "meanRtUs": 2670.0,
+                  "rtCi95Us": 40.0},
+        "counters": {"ipc.allTrips": [0.0, 3.0, 4.0, 4.0],
+                     "net.retransmissions": [0.0, 0.0, 1.0, 0.0]},
+        "gauges": {"util.n0.busTcb": [0.10, 0.13, 0.14, 0.13]},
+    }
+    d.update(overrides)
+    return d
+
+
+class PrimitivesTest(unittest.TestCase):
+    def test_sparkline_handles_empty_and_flat_series(self):
+        self.assertEqual(report.sparkline([]), "")
+        flat = report.sparkline([2.0, 2.0, 2.0])
+        self.assertEqual(flat, report.BLOCK_CHARS[0] * 3)
+
+    def test_sparkline_maps_extremes_to_extreme_glyphs(self):
+        line = report.sparkline([0.0, 1.0])
+        self.assertEqual(line[0], report.BLOCK_CHARS[0])
+        self.assertEqual(line[-1], report.BLOCK_CHARS[-1])
+
+    def test_resample_preserves_short_series_verbatim(self):
+        self.assertEqual(report.resample([1.0, 2.0], 72), [1.0, 2.0])
+
+    def test_resample_averages_down_to_width(self):
+        out = report.resample([0.0, 2.0, 4.0, 6.0], 2)
+        self.assertEqual(out, [1.0, 5.0])
+
+    def test_fmt_integers_and_reals(self):
+        self.assertEqual(report.fmt(14.0), "14")
+        self.assertEqual(report.fmt(0.1020384), "0.102")
+
+
+class LoadTest(unittest.TestCase):
+    def test_rejects_non_timeline_documents(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "bench.json")
+            with open(path, "w") as f:
+                json.dump({"bench": "b", "scalars": {}}, f)
+            with self.assertRaises(ValueError):
+                report.load(path)
+
+
+class VerdictTest(unittest.TestCase):
+    def render(self, d):
+        out = io.StringIO()
+        report.render_stats_text(d, out)
+        return out.getvalue()
+
+    def test_steady_verdict_reports_truncation_and_cis(self):
+        text = self.render(doc())
+        self.assertIn("steady after 5000 us", text)
+        self.assertIn("950 /s", text)
+        self.assertIn("12 batches", text)
+
+    def test_polluted_verdict_is_loud(self):
+        d = doc()
+        d["stats"]["transientPolluted"] = True
+        d["stats"]["truncationUs"] = 15000.0
+        self.assertIn("TRANSIENT POLLUTED", self.render(d))
+
+    def test_insufficient_data_verdict(self):
+        d = doc()
+        d["stats"]["insufficientData"] = True
+        self.assertIn("too short", self.render(d))
+
+    def test_disabled_stats_render_nothing(self):
+        d = doc()
+        d["stats"]["enabled"] = False
+        self.assertEqual(self.render(d), "")
+        del d["stats"]
+        self.assertEqual(self.render(d), "")
+
+
+class RenderTest(unittest.TestCase):
+    def test_terminal_render_lists_every_series_with_integral(self):
+        out = io.StringIO()
+        report.render_text(["t.json"], [doc()], None, 72, out)
+        text = out.getvalue()
+        self.assertIn("ipc.allTrips", text)
+        self.assertIn("util.n0.busTcb", text)
+        self.assertIn("integral 11", text)  # 0+3+4+4
+        self.assertIn("4 bins x 5000 us", text)
+
+    def test_only_prefix_filters_series(self):
+        out = io.StringIO()
+        report.render_text(["t.json"], [doc()], "net.", 72, out)
+        text = out.getvalue()
+        self.assertIn("net.retransmissions", text)
+        self.assertNotIn("ipc.allTrips", text)
+
+    def test_svg_chart_marks_warmup_and_truncation(self):
+        svg = report.svg_chart([1.0, 2.0, 3.0, 4.0], 5000.0,
+                               5000.0, 10000.0)
+        self.assertIn('class="warmup"', svg)
+        self.assertIn('class="trunc"', svg)
+        self.assertIn("<polyline", svg)
+        # Markers at or past the horizon are dropped, not drawn.
+        bare = report.svg_chart([1.0], 5000.0, 5000.0, 0.0)
+        self.assertNotIn("<line", bare)
+
+
+class MainTest(unittest.TestCase):
+    def test_end_to_end_terminal_and_html(self):
+        with tempfile.TemporaryDirectory() as d:
+            src = os.path.join(d, "timeline.json")
+            with open(src, "w") as f:
+                json.dump(doc(), f)
+            self.assertEqual(report.main([src]), 0)
+            html_out = os.path.join(d, "dash.html")
+            self.assertEqual(report.main([src, "--html", html_out]), 0)
+            with open(html_out) as f:
+                page = f.read()
+            self.assertIn("<svg", page)
+            self.assertIn("ipc.allTrips", page)
+            self.assertIn("steady after 5000 us", page)
+            # Self-contained: no external scripts or stylesheets.
+            self.assertNotIn("http://", page.replace("http://www.w3", ""))
+            self.assertNotIn("<script", page)
+            self.assertNotIn("<link", page)
+
+    def test_malformed_input_exits_nonzero(self):
+        with tempfile.TemporaryDirectory() as d:
+            bad = os.path.join(d, "bad.json")
+            with open(bad, "w") as f:
+                f.write("{not json")
+            old = sys.stderr
+            sys.stderr = io.StringIO()
+            try:
+                self.assertEqual(report.main([bad]), 1)
+                self.assertEqual(
+                    report.main([os.path.join(d, "absent.json")]), 1)
+            finally:
+                sys.stderr = old
+
+
+if __name__ == "__main__":
+    unittest.main()
