@@ -23,6 +23,7 @@
 #include "common/table.hh"
 #include "core/models/local_model.hh"
 #include "core/models/solution.hh"
+#include "sim/runner/bench_profile.hh"
 #include "sim/runner/sweep_runner.hh"
 
 int
@@ -62,8 +63,10 @@ main(int argc, char **argv)
     }
     const std::vector<double> model =
         parallel::runAll<double>(bench::jobs(), modelTasks);
+    sim::applyBenchProfile(exps);
     const std::vector<sim::Outcome> outcomes =
         sim::runSweep(exps, bench::jobs());
+    sim::writeBenchProfile(outcomes);
 
     std::size_t mcell = 0;
     std::size_t scell = 0;

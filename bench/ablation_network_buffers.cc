@@ -18,6 +18,7 @@
 
 #include "common/bench_main.hh"
 #include "common/table.hh"
+#include "sim/runner/bench_profile.hh"
 #include "sim/runner/sweep_runner.hh"
 
 int
@@ -60,8 +61,10 @@ main(int argc, char **argv)
         e.kernelBuffers = buffers;
         exps.push_back(e);
     }
+    sim::applyBenchProfile(exps);
     const std::vector<sim::Outcome> outcomes =
         sim::runSweep(exps, bench::jobs());
+    sim::writeBenchProfile(outcomes);
     std::size_t cell = 0;
 
     {

@@ -22,6 +22,7 @@
 
 #include "common/bench_main.hh"
 #include "common/table.hh"
+#include "sim/runner/bench_profile.hh"
 #include "sim/runner/sweep_runner.hh"
 
 namespace
@@ -80,8 +81,10 @@ main(int argc, char **argv)
                                    e.warmupUs + 500000});
         exps.push_back(e);
     }
+    sim::applyBenchProfile(exps);
     const std::vector<Outcome> outcomes =
         sim::runSweep(exps, bench::jobs());
+    sim::writeBenchProfile(outcomes);
     std::size_t cell = 0;
 
     // Ideal-medium throughput, no reliability stack: the yardstick.

@@ -21,6 +21,7 @@
 
 #include "common/bench_main.hh"
 #include "common/table.hh"
+#include "sim/runner/bench_profile.hh"
 #include "sim/runner/sweep_runner.hh"
 
 int
@@ -43,8 +44,10 @@ main(int argc, char **argv)
             exps.push_back(e);
         }
     }
+    sim::applyBenchProfile(exps);
     const std::vector<sim::Outcome> outcomes =
         sim::runSweep(exps, bench::jobs());
+    sim::writeBenchProfile(outcomes);
 
     TextTable t("Mixed local/remote workload (4 conversations total, "
                 "X = 1.71 ms): messages/sec");

@@ -39,6 +39,7 @@
 
 #include "common/bench_main.hh"
 #include "common/table.hh"
+#include "sim/runner/bench_profile.hh"
 #include "sim/runner/sweep_runner.hh"
 
 namespace
@@ -195,8 +196,10 @@ main(int argc, char **argv)
 
     sim::SweepOptions opts;
     opts.jobs = hsipc::bench::jobs();
+    sim::applyBenchProfile(exps);
     const std::vector<Outcome> outs =
         sim::SweepRunner(opts).run(exps);
+    sim::writeBenchProfile(outs);
 
     std::size_t at = 0;
     for (Arch a : archs) {

@@ -29,6 +29,7 @@
 #include "common/bench_main.hh"
 #include "common/table.hh"
 #include "core/models/solution.hh"
+#include "sim/runner/bench_profile.hh"
 #include "sim/runner/sweep_runner.hh"
 
 int
@@ -55,8 +56,10 @@ main(int argc, char **argv)
             exps.push_back(e);
         }
     }
+    sim::applyBenchProfile(exps);
     const std::vector<sim::Outcome> outcomes =
         sim::runSweep(exps, bench::jobs());
+    sim::writeBenchProfile(outcomes);
 
     TextTable t("Figure 6.15 - Model Validation (Arch II non-local, "
                 "2 hosts/node, extra copy): messages/sec");

@@ -219,6 +219,36 @@ BM_EventQueueScheduleRunSpilled(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueScheduleRunSpilled)->Arg(16)->Arg(256);
 
+/**
+ * The pay-for-use check: the same workload with the engine profiler
+ * attached at its default 1-in-1024 sampling.  The acceptance budget
+ * is < 5% over BM_EventQueueScheduleRun.
+ */
+void
+BM_EventQueueScheduleRunProfiled(benchmark::State &state)
+{
+    const int fanout = static_cast<int>(state.range(0));
+    constexpr std::uint64_t perIter = 16384;
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        obs::EngineProfiler prof;
+        prof.beginRun();
+        sim::EventQueue q;
+        q.attachProfiler(&prof);
+        std::uint64_t remaining = perIter;
+        for (int i = 0; i < fanout; ++i)
+            q.scheduleAfter(
+                i, SelfSched<sim::EventQueue, 8>{&q, &remaining});
+        q.runUntil(std::numeric_limits<Tick>::max());
+        total += q.eventsRun();
+        prof.finishRun(q.size());
+        benchmark::DoNotOptimize(prof.profile().pushes);
+        benchmark::DoNotOptimize(q.now());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_EventQueueScheduleRunProfiled)->Arg(16)->Arg(256);
+
 void
 BM_EventQueueLegacy(benchmark::State &state)
 {

@@ -24,6 +24,7 @@
 #include "common/table.hh"
 #include "sim/analysis/bottleneck.hh"
 #include "sim/kernel/ipc_sim.hh"
+#include "sim/runner/bench_profile.hh"
 
 namespace
 {
@@ -39,6 +40,9 @@ int
 main(int argc, char **argv)
 {
     hsipc::bench::init(argc, argv, "sim_latency_decomposition");
+
+    // Engine profile across every run of the bench (with --profile).
+    obs::EngineProfile engMerged;
 
     // --- Latency decomposition vs offered load ----------------------
     {
@@ -58,7 +62,9 @@ main(int argc, char **argv)
                 e.warmupUs = 20000;
                 e.measureUs = 300000;
                 e.decomposeLatency = true;
+                e.engineProfile = hsipc::bench::profile();
                 const sim::Outcome o = sim::runExperiment(e);
+                engMerged.merge(o.engineProfile);
                 const trace::Decomposition &d = o.decomposition;
                 t.row({archName(arch), std::to_string(conv),
                        TextTable::num(o.throughputPerSec, 0),
@@ -108,7 +114,9 @@ main(int argc, char **argv)
             e.warmupUs = 20000;
             e.measureUs = 200000;
             e.decomposeLatency = true;
+            e.engineProfile = hsipc::bench::profile();
             const sim::Outcome o = sim::runExperiment(e);
+            engMerged.merge(o.engineProfile);
             const auto traced =
                 sim::analysis::traceBottleneck(o.decomposition);
             const auto model =
@@ -131,5 +139,10 @@ main(int argc, char **argv)
                            static_cast<double>(agreements));
     }
 
+    if (hsipc::bench::profile()) {
+        engMerged.writeFile(hsipc::bench::profilePath());
+        std::printf("engine profile: %s\n",
+                    hsipc::bench::profilePath().c_str());
+    }
     return hsipc::bench::finish();
 }

@@ -28,6 +28,7 @@ struct State
     std::string name;
     std::string jsonPath;
     int jobs = 1;
+    bool profile = false;
     std::chrono::steady_clock::time_point start;
     std::vector<std::string> tables; //!< pre-rendered JSON objects
     std::vector<std::pair<std::string, double>> scalars;
@@ -62,9 +63,12 @@ init(int argc, char **argv, const std::string &benchName)
                             argv[i] + "'");
             state().jobs = n == 0 ? parallel::defaultJobs()
                                   : static_cast<int>(n);
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            state().profile = true;
         } else {
             hsipc_fatal(std::string("unknown argument '") + argv[i] +
-                        "' (supported: --json <path>, --jobs <n>)");
+                        "' (supported: --json <path>, --jobs <n>, "
+                        "--profile)");
         }
     }
 }
@@ -79,6 +83,27 @@ const std::string &
 jsonPath()
 {
     return state().jsonPath;
+}
+
+bool
+profile()
+{
+    return state().profile;
+}
+
+std::string
+profilePath()
+{
+    const State &s = state();
+    if (s.jsonPath.empty())
+        return s.name + "_engine_profile.json";
+    const std::string suffix = ".json";
+    std::string base = s.jsonPath;
+    if (base.size() > suffix.size() &&
+        base.compare(base.size() - suffix.size(), suffix.size(),
+                     suffix) == 0)
+        base.resize(base.size() - suffix.size());
+    return base + "_engine_profile.json";
 }
 
 void

@@ -66,6 +66,26 @@ int jobs();
  */
 const std::string &jsonPath();
 
+/**
+ * True when the binary was invoked with `--profile`: the bench should
+ * run its sweep with the engine self-profiler on and write the merged
+ * profile document next to its other outputs (see profilePath()).
+ * Defaults to false — the pay-for-use contract keeps unprofiled runs
+ * byte-identical.
+ */
+bool profile();
+
+/**
+ * Where a `--profile` run should write its engine-profile document:
+ * the --json path with its ".json" suffix replaced by
+ * "_engine_profile.json" (or with that suffix appended when the path
+ * does not end in ".json").  Without --json, falls back to
+ * "<bench>_engine_profile.json" in the working directory.
+ * tools/bench_compare.py skips *engine_profile* files, so committing
+ * one next to a baseline never gates a regression run.
+ */
+std::string profilePath();
+
 /** Print @p t to stdout and record it for the JSON document. */
 void emit(const TextTable &t);
 

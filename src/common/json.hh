@@ -45,7 +45,14 @@ jsonEscape(const std::string &s)
 inline std::string
 jsonString(const std::string &s)
 {
-    return "\"" + jsonEscape(s) + "\"";
+    // Appends rather than an operator+ chain: the chain trips a
+    // GCC 12 -Wrestrict false positive when inlined into callers.
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    out += jsonEscape(s);
+    out += '"';
+    return out;
 }
 
 /**

@@ -1,0 +1,222 @@
+#include "common/obs/engine_prof.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace hsipc::obs
+{
+
+namespace
+{
+
+std::string
+u64(std::uint64_t v)
+{
+    return jsonNumber(static_cast<double>(v));
+}
+
+bool
+edgeLess(const EngineProfile::Edge &a, const EngineProfile::Edge &b)
+{
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+}
+
+std::string
+edgeJson(const EngineProfile::Edge &e)
+{
+    const double mean =
+        e.count > 0 ? e.sumDeltaUs / static_cast<double>(e.count) : 0;
+    return "{\"src\": " + jsonString(e.src) +
+           ", \"dst\": " + jsonString(e.dst) +
+           ", \"count\": " + u64(e.count) +
+           ", \"zeroDelta\": " + u64(e.zeroDelta) +
+           ", \"minPositiveDeltaUs\": " +
+           jsonNumber(e.minPositiveDeltaUs) +
+           ", \"meanDeltaUs\": " + jsonNumber(mean) + "}";
+}
+
+/**
+ * The document body; @p full adds the wall-clock sketches and the
+ * pool-miss count — everything a rerun cannot reproduce bit-exactly.
+ */
+std::string
+render(const EngineProfile &p, bool full)
+{
+    std::string doc = "{\n  \"engineProfile\": 1";
+    doc += ",\n  \"enabled\": ";
+    doc += p.enabled ? "true" : "false";
+    doc += ",\n  \"sampleEvery\": " + u64(p.sampleEvery);
+    doc += ",\n  \"sampledEvents\": " + u64(p.sampledEvents);
+    doc += ",\n  \"queue\": {\"pushes\": " + u64(p.pushes) +
+           ", \"pops\": " + u64(p.pops) +
+           ", \"comparisons\": " + u64(p.comparisons) +
+           ", \"maxHeapSize\": " + u64(p.maxHeapSize) +
+           ", \"remainingAtEnd\": " + u64(p.remainingAtEnd) + "}";
+    doc += ",\n  \"callbacks\": {\"spillConstructs\": " +
+           u64(p.spillConstructs) + ", \"oversizeConstructs\": " +
+           u64(p.oversizeConstructs);
+    if (full)
+        doc += ", \"freshPoolBlocks\": " + u64(p.freshPoolBlocks);
+    doc += "}";
+    doc += ",\n  \"dwellUs\": " + p.dwellUs.summaryJson();
+    doc += ",\n  \"heapDepth\": " + p.heapDepth.summaryJson();
+    doc += ",\n  \"tracks\": [";
+    for (std::size_t i = 0; i < p.tracks.size(); ++i) {
+        const EngineProfile::Track &t = p.tracks[i];
+        doc += std::string(i ? "," : "") + "\n   {\"name\": " +
+               jsonString(t.name) + ", \"events\": " + u64(t.events) +
+               ", \"sampled\": " +
+               u64(static_cast<std::uint64_t>(t.wallNs.count()));
+        if (full)
+            doc += ", \"wallNs\": " + t.wallNs.summaryJson();
+        doc += "}";
+    }
+    doc += p.tracks.empty() ? "]" : "\n  ]";
+    doc += ",\n  \"edges\": [";
+    for (std::size_t i = 0; i < p.edges.size(); ++i)
+        doc += std::string(i ? "," : "") + "\n   " +
+               edgeJson(p.edges[i]);
+    doc += p.edges.empty() ? "]" : "\n  ]";
+    return doc + "\n}\n";
+}
+
+} // namespace
+
+void
+EngineProfile::merge(const EngineProfile &other)
+{
+    enabled = enabled || other.enabled;
+    if (sampleEvery == 0)
+        sampleEvery = other.sampleEvery;
+    pushes += other.pushes;
+    pops += other.pops;
+    comparisons += other.comparisons;
+    maxHeapSize = std::max(maxHeapSize, other.maxHeapSize);
+    remainingAtEnd += other.remainingAtEnd;
+    spillConstructs += other.spillConstructs;
+    oversizeConstructs += other.oversizeConstructs;
+    freshPoolBlocks += other.freshPoolBlocks;
+    sampledEvents += other.sampledEvents;
+    dwellUs.merge(other.dwellUs);
+    heapDepth.merge(other.heapDepth);
+    for (const Track &ot : other.tracks) {
+        Track *mine = nullptr;
+        for (Track &t : tracks) {
+            if (t.name == ot.name) {
+                mine = &t;
+                break;
+            }
+        }
+        if (!mine) {
+            Track fresh;
+            fresh.name = ot.name;
+            tracks.push_back(std::move(fresh));
+            mine = &tracks.back();
+        }
+        mine->events += ot.events;
+        mine->wallNs.merge(ot.wallNs);
+    }
+    for (const Edge &oe : other.edges) {
+        Edge *mine = nullptr;
+        for (Edge &e : edges) {
+            if (e.src == oe.src && e.dst == oe.dst) {
+                mine = &e;
+                break;
+            }
+        }
+        if (!mine) {
+            edges.push_back(Edge{oe.src, oe.dst, 0, 0, 0, 0});
+            mine = &edges.back();
+        }
+        mine->count += oe.count;
+        mine->zeroDelta += oe.zeroDelta;
+        if (oe.minPositiveDeltaUs > 0 &&
+            (mine->minPositiveDeltaUs == 0 ||
+             oe.minPositiveDeltaUs < mine->minPositiveDeltaUs))
+            mine->minPositiveDeltaUs = oe.minPositiveDeltaUs;
+        mine->sumDeltaUs += oe.sumDeltaUs;
+    }
+    std::sort(edges.begin(), edges.end(), edgeLess);
+}
+
+std::string
+EngineProfile::deterministicJson() const
+{
+    return render(*this, false);
+}
+
+std::string
+EngineProfile::toJson() const
+{
+    return render(*this, true);
+}
+
+void
+EngineProfile::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        hsipc_fatal("cannot open engine-profile output file " + path);
+    const std::string doc = toJson();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+}
+
+void
+EngineProfiler::observePush(Tick dwellTicks, std::size_t heapSize)
+{
+    prof_.dwellUs.observe(ticksToUs(dwellTicks));
+    prof_.heapDepth.observe(static_cast<double>(heapSize));
+}
+
+void
+EngineProfiler::endEvent()
+{
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    prof_.tracks[static_cast<std::size_t>(eventOrigin_)]
+        .wallNs.observe(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count()));
+    ++prof_.sampledEvents;
+}
+
+void
+EngineProfiler::finishRun(std::size_t remaining)
+{
+    prof_.remainingAtEnd = static_cast<std::uint64_t>(remaining);
+    const CallbackPoolCounters now = callbackPoolCounters();
+    prof_.spillConstructs =
+        now.pooledConstructs - poolStart_.pooledConstructs;
+    prof_.oversizeConstructs =
+        now.oversizeConstructs - poolStart_.oversizeConstructs;
+    prof_.freshPoolBlocks = now.freshBlocks - poolStart_.freshBlocks;
+    cur_ = 0; // close the claim window
+
+    // Events no component claimed belong to origin 0 ("sim").
+    std::uint64_t claimedEvents = 0;
+    for (std::size_t i = 1; i < prof_.tracks.size(); ++i)
+        claimedEvents += prof_.tracks[i].events;
+    hsipc_assert(claimedEvents <= prof_.pops);
+    prof_.tracks[0].events = prof_.pops - claimedEvents;
+
+    prof_.edges.clear();
+    prof_.edges.reserve(edges_.size());
+    for (const auto &[key, acc] : edges_) {
+        EngineProfile::Edge e;
+        e.src =
+            prof_.tracks[static_cast<std::size_t>(key.first)].name;
+        e.dst =
+            prof_.tracks[static_cast<std::size_t>(key.second)].name;
+        e.count = acc.count;
+        e.zeroDelta = acc.zeroDelta;
+        e.minPositiveDeltaUs = ticksToUs(acc.minPositive);
+        e.sumDeltaUs = ticksToUs(acc.sum);
+        prof_.edges.push_back(std::move(e));
+    }
+    std::sort(prof_.edges.begin(), prof_.edges.end(), edgeLess);
+}
+
+} // namespace hsipc::obs

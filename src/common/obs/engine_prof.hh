@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Pay-for-use self-profiler for the discrete-event engine.
+ *
+ * Everything else under obs/ observes the *simulated* system; this
+ * observes the *simulator*: where wall-clock time goes per executed
+ * event (bucketed by the component that handled it), how the event
+ * queue behaves (dwell times, heap depth, push/pop/comparison
+ * counts), how the EventCallback storage tiers are exercised, and —
+ * the piece ROADMAP item 2 needs — a scheduling-provenance graph:
+ * which component schedules events for which, with what simulated
+ * time delta.  The minimum positive delta on an edge is that edge's
+ * empirical lookahead, exactly the quantity a Chandy–Misra
+ * null-message parallelization must know per LP pair.
+ *
+ * Discipline mirrors the tracer and timeline recorders:
+ *
+ *  - **Disabled** (no profiler attached): one predictable branch per
+ *    instrumentation site, and every simulator output — outcome JSON,
+ *    traces, metrics — stays byte-identical (pinned by tests and the
+ *    fuzz oracle's `engprof.*` family).
+ *
+ *  - **Enabled**: plain counter increments on every event; the
+ *    expensive work (two steady_clock reads, quantile-sketch
+ *    observes) runs only on a deterministic 1-in-N subsample chosen
+ *    by event sequence number, keeping measured overhead on the
+ *    event-queue microbenchmarks under 5%.
+ *
+ * Wall-clock values are inherently nondeterministic, so the profile
+ * splits: deterministicJson() renders the subset that is bit-stable
+ * across reruns and jobs levels (counters, dwell/depth sketches over
+ * *simulated* quantities, the edge graph, per-track event counts);
+ * toJson() adds the wall-time sketches and pool-miss counts on top.
+ * Nothing here ever enters outcomeJson().
+ */
+
+#ifndef HSIPC_COMMON_OBS_ENGINE_PROF_HH
+#define HSIPC_COMMON_OBS_ENGINE_PROF_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/obs/pool_counters.hh"
+#include "common/obs/sketch.hh"
+#include "common/time.hh"
+
+namespace hsipc::obs
+{
+
+/** The finished engine profile, carried on the simulation Outcome. */
+struct EngineProfile
+{
+    bool enabled = false;
+    std::uint64_t sampleEvery = 0; //!< wall/dwell subsampling period
+
+    // Event-queue telemetry (every event; plain counters).
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+    std::uint64_t comparisons = 0;   //!< heap-order tests in sifts
+    std::uint64_t maxHeapSize = 0;   //!< peak in-flight population
+    std::uint64_t remainingAtEnd = 0; //!< pushed, never executed
+
+    // EventCallback storage telemetry (per-run deltas).
+    std::uint64_t spillConstructs = 0;    //!< pooled spill constructions
+    std::uint64_t oversizeConstructs = 0; //!< larger than a pool block
+    std::uint64_t freshPoolBlocks = 0;    //!< pool misses (NOT deterministic)
+
+    std::uint64_t sampledEvents = 0; //!< executions wall-clock sampled
+
+    QuantileSketch dwellUs;   //!< sampled events' queue residence (sim us)
+    QuantileSketch heapDepth; //!< heap size at sampled pushes
+
+    /** Wall-clock cost bucket: one per event-handling component. */
+    struct Track
+    {
+        std::string name;
+        std::uint64_t events = 0; //!< executed events attributed here
+        QuantileSketch wallNs;    //!< sampled execution wall time (ns)
+    };
+    std::vector<Track> tracks;
+
+    /** One scheduling-provenance ("who schedules whom") edge. */
+    struct Edge
+    {
+        std::string src;
+        std::string dst;
+        std::uint64_t count = 0;     //!< schedules recorded on the edge
+        std::uint64_t zeroDelta = 0; //!< of those, delta == 0 (no lookahead)
+        //! Minimum positive simulated delta — the empirical lookahead
+        //! (0 when every recorded delta was zero).
+        double minPositiveDeltaUs = 0;
+        double sumDeltaUs = 0; //!< for the mean delta
+    };
+    std::vector<Edge> edges; //!< sorted by (src, dst)
+
+    /**
+     * Fold @p other in: counters add, sketches merge exactly, tracks
+     * and edges match by name so profiles from different runs of a
+     * sweep aggregate into one cost model.
+     */
+    void merge(const EngineProfile &other);
+
+    /**
+     * The reproducible subset (no wall-clock values, no pool-miss
+     * counts): bit-identical across reruns and jobs=1/N — what the
+     * fuzz oracle's replica comparison pins.
+     */
+    std::string deterministicJson() const;
+
+    /** The full document: deterministic subset + wall-time sketches. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path (fatal on I/O failure). */
+    void writeFile(const std::string &path) const;
+};
+
+/**
+ * The live recorder.  Attach to an EventQueue (queue hooks) and to
+ * Processor/Resource instances (attribution scopes + provenance
+ * edges); call beginRun() before and finishRun() after the run.
+ */
+class EngineProfiler
+{
+  public:
+    /**
+     * Default subsampling: every 1024th event pays for the wall
+     * sample and sketch observes.  A steady_clock read costs ~30 ns
+     * on typical hosts and an event ~35 ns, so at 1-in-1024 the
+     * sampling machinery amortizes to ~1% of the event loop; runs
+     * long enough to profile (10^5+ events) still collect hundreds
+     * of samples per sketch.
+     */
+    static constexpr std::uint64_t defaultSampleShift = 10;
+
+    explicit EngineProfiler(
+        std::uint64_t sampleShift = defaultSampleShift)
+        : sampleMask_((std::uint64_t{1} << sampleShift) - 1)
+    {
+        prof_.sampleEvery = sampleMask_ + 1;
+        // Origin 0 catches events no component claims (kickoffs,
+        // samplers, protocol timers).
+        origin("sim");
+    }
+
+    /** Snapshot the pool counters; call on the run's thread. */
+    void
+    beginRun()
+    {
+        prof_.enabled = true;
+        poolStart_ = callbackPoolCounters();
+    }
+
+    /**
+     * Intern an attribution origin (idempotent per name).  Call while
+     * wiring components up, before the run — interning mid-run would
+     * allocate on the event path.
+     */
+    int
+    origin(const std::string &name)
+    {
+        for (std::size_t i = 0; i < prof_.tracks.size(); ++i) {
+            if (prof_.tracks[i].name == name)
+                return static_cast<int>(i);
+        }
+        EngineProfile::Track t;
+        t.name = name;
+        prof_.tracks.push_back(std::move(t));
+        return static_cast<int>(prof_.tracks.size() - 1);
+    }
+
+    /**
+     * RAII attribution: while alive, scheduling-provenance edges name
+     * @p id as their source, and the first scope entered during an
+     * event claims the event (its count, and its wall sample when the
+     * event is a sampled one).  Null-profiler-safe: one branch.
+     */
+    class Scope
+    {
+      public:
+        Scope(EngineProfiler *p, int id) : p_(p)
+        {
+            if (!p_)
+                return;
+            prev_ = p_->cur_;
+            p_->cur_ = id;
+            // cur_ < 0 is the open claim window notePop() leaves; at
+            // wiring time cur_ is 0, so wiring Scopes never claim.
+            if (prev_ < 0) {
+                p_->eventOrigin_ = id;
+                ++p_->prof_.tracks[static_cast<std::size_t>(id)]
+                      .events;
+            }
+        }
+        ~Scope()
+        {
+            if (p_)
+                p_->cur_ = prev_;
+        }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        EngineProfiler *p_;
+        int prev_ = 0;
+    };
+
+    // --- EventQueue hooks -------------------------------------------
+    //
+    // The queue keeps the per-event counters (pushes via its seq
+    // counter, pops via its executed counter, comparisons and peak
+    // depth as members on cache lines it dirties every event anyway)
+    // and hands them over in batch; the profiler object is touched
+    // per event only by notePop()'s one store, plus the sampled
+    // 1-in-N sketch observes.  That split is what keeps profiled-run
+    // overhead on the event-queue microbenchmarks low.
+
+    /**
+     * A sampled push: queue residence and post-push heap size.
+     * Out-of-line (and cold): inlining two sketch observes into
+     * EventQueue::schedule would bloat the hot path's code for a
+     * 1-in-N branch.
+     */
+    __attribute__((cold)) void observePush(Tick dwellTicks,
+                                           std::size_t heapSize);
+
+    /**
+     * A pop, immediately before the event body runs.  The negative
+     * sentinel both resets the edge source to "sim" and opens the
+     * claim window for the first Scope the event body enters — one
+     * store on the hot path instead of a store plus a flag.
+     */
+    void
+    notePop()
+    {
+        cur_ = -1;
+    }
+
+    /** Batched queue-counter deltas (flushed after run loops). */
+    void
+    addQueueTotals(std::uint64_t pushes, std::uint64_t pops,
+                   std::uint64_t comparisons, std::uint64_t maxHeap)
+    {
+        prof_.pushes += pushes;
+        prof_.pops += pops;
+        prof_.comparisons += comparisons;
+        if (maxHeap > prof_.maxHeapSize)
+            prof_.maxHeapSize = maxHeap;
+    }
+
+    /** The subsample mask; the queue caches it beside its hot state. */
+    std::uint64_t sampleMask() const { return sampleMask_; }
+
+    /** Deterministic 1-in-N subsample predicate. */
+    bool
+    sampledSeq(std::uint64_t seq) const
+    {
+        return (seq & sampleMask_) == 0;
+    }
+
+    /** Bracket a sampled event body with a wall-clock pair. */
+    void
+    beginEvent()
+    {
+        eventOrigin_ = 0;
+        t0_ = std::chrono::steady_clock::now();
+    }
+
+    __attribute__((cold)) void endEvent();
+
+    // --- provenance -------------------------------------------------
+
+    /**
+     * Record "the current origin schedules an event that @p dst will
+     * handle, @p deltaTicks of simulated time from now".
+     */
+    void
+    edge(int dst, Tick deltaTicks)
+    {
+        // An unclaimed event (cur_ still the notePop() sentinel)
+        // schedules as origin 0, "sim".
+        EdgeAccum &e = edges_[{cur_ < 0 ? 0 : cur_, dst}];
+        ++e.count;
+        if (deltaTicks <= 0) {
+            ++e.zeroDelta;
+        } else {
+            if (e.minPositive == 0 || deltaTicks < e.minPositive)
+                e.minPositive = deltaTicks;
+            e.sum += deltaTicks;
+        }
+    }
+
+    /** Close the run: @p remaining is the end-of-run queue size. */
+    void finishRun(std::size_t remaining);
+
+    const EngineProfile &profile() const { return prof_; }
+
+    /** Move the finished profile out (the recorder is spent). */
+    EngineProfile take() { return std::move(prof_); }
+
+  private:
+    struct EdgeAccum
+    {
+        std::uint64_t count = 0;
+        std::uint64_t zeroDelta = 0;
+        Tick minPositive = 0;
+        Tick sum = 0;
+    };
+
+    EngineProfile prof_;
+    std::uint64_t sampleMask_;
+    std::map<std::pair<int, int>, EdgeAccum> edges_;
+    CallbackPoolCounters poolStart_;
+    //! Edge source while an event runs; < 0 (the notePop() sentinel)
+    //! doubles as "this event is unclaimed — the next Scope claims".
+    int cur_ = 0;
+    int eventOrigin_ = 0; //!< first claimant of the current event
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace hsipc::obs
+
+#endif // HSIPC_COMMON_OBS_ENGINE_PROF_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Thread-local counters for the EventCallback spill pool.
+ *
+ * The pool itself lives in sim/des/callable.hh; the counters live
+ * here (one layer down) so the engine profiler in common/obs can
+ * snapshot them without a dependency cycle.  They are always
+ * incremented — the cost is one thread-local increment on the rare
+ * spill path — but read only when an EngineProfiler is active, which
+ * computes per-run deltas from begin/finish snapshots.  Because every
+ * simulation runs on one thread and runs on a worker thread are
+ * sequential, a run's delta counts exactly its own constructions.
+ */
+
+#ifndef HSIPC_COMMON_OBS_POOL_COUNTERS_HH
+#define HSIPC_COMMON_OBS_POOL_COUNTERS_HH
+
+#include <cstdint>
+
+namespace hsipc::obs
+{
+
+/** Cumulative per-thread EventCallback storage events. */
+struct CallbackPoolCounters
+{
+    //! Constructions that outgrew the inline buffer and took a pool
+    //! block (deterministic per run: a pure function of the event
+    //! population the simulation creates).
+    std::uint64_t pooledConstructs = 0;
+    //! Constructions larger than a pool block — plain operator new
+    //! (deterministic per run).
+    std::uint64_t oversizeConstructs = 0;
+    //! Pool misses: alloc() found the free list empty and went to
+    //! operator new.  Depends on what earlier runs left parked on
+    //! this thread's free list, so it is reported but excluded from
+    //! the deterministic profile subset.
+    std::uint64_t freshBlocks = 0;
+};
+
+inline CallbackPoolCounters &
+callbackPoolCounters()
+{
+    thread_local CallbackPoolCounters counters;
+    return counters;
+}
+
+} // namespace hsipc::obs
+
+#endif // HSIPC_COMMON_OBS_POOL_COUNTERS_HH

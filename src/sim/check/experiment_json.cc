@@ -141,6 +141,8 @@ experimentToJson(const Experiment &exp)
     num("timelineIntervalUs", exp.timelineIntervalUs);
     field("timelineFile", jsonString(exp.timelineFile));
     num("traceSampleRate", exp.traceSampleRate);
+    boolean("engineProfile", exp.engineProfile);
+    field("engineProfileFile", jsonString(exp.engineProfileFile));
     return doc + "\n}\n";
 }
 
@@ -163,7 +165,8 @@ experimentFromJson(const JsonValue &v)
         "arrivalRatePerSec", "paretoAlpha", "paretoBound",
         "deadlineUs", "retryBudget", "retryBackoffUs",
         "retryBackoffMaxUs", "svcQueueCap", "shedPolicy", "rtoMaxUs",
-        "timelineIntervalUs", "timelineFile", "traceSampleRate"};
+        "timelineIntervalUs", "timelineFile", "traceSampleRate",
+        "engineProfile", "engineProfileFile"};
     for (const auto &[key, value] : v.asObject()) {
         if (known.count(key) == 0)
             throw std::runtime_error(
@@ -275,6 +278,10 @@ experimentFromJson(const JsonValue &v)
         exp.timelineFile = stringField(v, "timelineFile");
     if (v.has("traceSampleRate"))
         exp.traceSampleRate = numberField(v, "traceSampleRate");
+    if (v.has("engineProfile"))
+        exp.engineProfile = boolField(v, "engineProfile");
+    if (v.has("engineProfileFile"))
+        exp.engineProfileFile = stringField(v, "engineProfileFile");
     return exp;
 }
 

@@ -155,6 +155,12 @@ ExperimentGenerator::generate(std::uint64_t index) const
         exp.timelineIntervalUs = coarse(rng.uniform(500, 10000));
     if (rng.chance(0.25))
         exp.traceSampleRate = coarse(rng.uniform(0.1, 1.0));
+
+    // Engine self-profiling (ISSUE 8): the engprof.* family checks
+    // the profile's internal ledgers, and checkedRun pins that
+    // flipping the knob never changes outcomeJson.  The file knob
+    // stays unset — fuzz runs must not write artifacts.
+    exp.engineProfile = rng.chance(0.25);
     return exp;
 }
 

@@ -719,6 +719,100 @@ checkTimeline(Checker &c)
     c.expectNonNeg(out.stats.rtCi95Us, "rtCi95Us", "timeline.stats");
 }
 
+void
+checkEngineProfile(Checker &c)
+{
+    const Experiment &exp = c.exp;
+    const obs::EngineProfile &p = c.out.engineProfile;
+
+    if (!exp.engineProfile) {
+        // Pay-for-use: no knob, no profile (and checkedRun separately
+        // pins that flipping the knob leaves outcomeJson bit-equal).
+        c.expectTrue(!p.enabled && p.pushes == 0 && p.pops == 0 &&
+                         p.sampledEvents == 0 && p.tracks.empty() &&
+                         p.edges.empty() && p.dwellUs.count() == 0,
+                     "engprof.disabled",
+                     "engine profile filled without the knob");
+        return;
+    }
+
+    c.expectTrue(p.enabled, "engprof.meta",
+                 "profile disabled despite engineProfile=true");
+    c.expectTrue(p.sampleEvery > 0, "engprof.meta",
+                 "sampleEvery=0 on an enabled profile");
+    c.expectTrue(!p.tracks.empty() && p.tracks[0].name == "sim",
+                 "engprof.meta", "track 0 is not the 'sim' residual");
+
+    // Queue conservation: everything pushed was either executed or is
+    // still in the heap at the horizon.
+    c.expectEq(static_cast<long>(p.pushes), "engprof.pushes",
+               static_cast<long>(p.pops + p.remainingAtEnd),
+               "pops + remainingAtEnd", "engprof.conservation");
+    c.expectTrue(p.maxHeapSize >= p.remainingAtEnd,
+                 "engprof.conservation",
+                 "remainingAtEnd=" + std::to_string(p.remainingAtEnd) +
+                     " above the observed peak " +
+                     std::to_string(p.maxHeapSize));
+    c.expectTrue(p.pushes == 0 || p.maxHeapSize >= 1,
+                 "engprof.conservation",
+                 "pushes recorded but maxHeapSize=0");
+
+    // Subsampling: samples are a subset of executions, and the dwell
+    // and depth sketches fill in lockstep (both observe at sampled
+    // pushes).
+    c.expectTrue(p.sampledEvents <= p.pops, "engprof.sampling",
+                 "sampledEvents=" + std::to_string(p.sampledEvents) +
+                     " > pops=" + std::to_string(p.pops));
+    c.expectTrue(
+        p.dwellUs.count() <= static_cast<std::int64_t>(p.pushes),
+        "engprof.sampling", "more dwell samples than pushes");
+    c.expectEq(static_cast<long>(p.dwellUs.count()),
+               "dwellUs.count", static_cast<long>(p.heapDepth.count()),
+               "heapDepth.count", "engprof.sampling");
+    c.expectTrue(p.dwellUs.count() == 0 || p.dwellUs.min() >= 0,
+                 "engprof.sampling", "negative queue dwell time");
+
+    // Attribution: every executed event lands in exactly one track,
+    // and every sampled execution in exactly one wall sketch.
+    std::uint64_t events = 0;
+    std::int64_t wallSamples = 0;
+    for (const obs::EngineProfile::Track &t : p.tracks) {
+        events += t.events;
+        wallSamples += t.wallNs.count();
+    }
+    c.expectEq(static_cast<long>(events), "sum(track.events)",
+               static_cast<long>(p.pops), "pops",
+               "engprof.attribution");
+    c.expectEq(static_cast<long>(wallSamples),
+               "sum(track.wallNs.count)",
+               static_cast<long>(p.sampledEvents), "sampledEvents",
+               "engprof.attribution");
+
+    // The lookahead graph: per-edge ledgers are internally coherent
+    // and deltas are never negative (minPositiveDeltaUs == 0 encodes
+    // "every delta on the edge was zero").
+    for (const obs::EngineProfile::Edge &e : p.edges) {
+        const std::string label = e.src + " -> " + e.dst;
+        c.expectTrue(e.count > 0, "engprof.edges",
+                     "empty edge " + label);
+        c.expectTrue(e.zeroDelta <= e.count, "engprof.edges",
+                     "zeroDelta > count on " + label);
+        c.expectNonNeg(e.sumDeltaUs, "edge.sumDeltaUs",
+                       "engprof.edges");
+        const bool anyPositive = e.count > e.zeroDelta;
+        c.expectTrue((e.minPositiveDeltaUs > 0) == anyPositive,
+                     "engprof.edges",
+                     "minPositiveDeltaUs=" + fmt(e.minPositiveDeltaUs) +
+                         " inconsistent with count=" +
+                         std::to_string(e.count) + " zeroDelta=" +
+                         std::to_string(e.zeroDelta) + " on " + label);
+        if (anyPositive)
+            c.expectLe(e.minPositiveDeltaUs, "edge.minPositiveDeltaUs",
+                       e.sumDeltaUs, "edge.sumDeltaUs",
+                       "engprof.edges");
+    }
+}
+
 } // namespace
 
 std::string
@@ -739,6 +833,7 @@ checkOutcome(const Experiment &exp, const Outcome &out)
     checkDecomposition(c);
     checkRpc(c);
     checkTimeline(c);
+    checkEngineProfile(c);
     return std::move(c.v);
 }
 
@@ -829,6 +924,23 @@ checkedRun(const Experiment &exp, const OracleOptions &opts)
             res.violations.push_back(std::move(viol));
     }
 
+    if (opts.checkTraceIdentity) {
+        // The profiler's pay-for-use contract over the fuzzed
+        // surface: flipping engineProfile (either direction) must
+        // leave every simulated output bit-identical — the profile
+        // itself never enters outcomeJson.
+        Experiment flipped = exp;
+        flipped.engineProfile = !flipped.engineProfile;
+        flipped.engineProfileFile.clear();
+        if (outcomeJson(runExperiment(flipped)) != baseJson)
+            res.violations.push_back(
+                {"engprof.payForUse",
+                 "outcomeJson differs between engineProfile=" +
+                     std::string(exp.engineProfile ? "true"
+                                                   : "false") +
+                     " and its flip"});
+    }
+
     if (opts.parallelJobs > 1) {
         // Three replicas so the parallel path genuinely runs on the
         // pool (a single-element sweep executes inline).
@@ -836,6 +948,8 @@ checkedRun(const Experiment &exp, const OracleOptions &opts)
         const std::vector<Outcome> serial = runSweep(exps, 1);
         const std::vector<Outcome> parallel =
             runSweep(exps, opts.parallelJobs);
+        const std::string baseProf =
+            res.outcome.engineProfile.deterministicJson();
         for (std::size_t i = 0; i < exps.size(); ++i) {
             const std::string s = outcomeJson(serial[i]);
             const std::string p = outcomeJson(parallel[i]);
@@ -845,6 +959,23 @@ checkedRun(const Experiment &exp, const OracleOptions &opts)
                      "outcomeJson differs across jobs=1 / jobs=" +
                          std::to_string(opts.parallelJobs) +
                          " replica " + std::to_string(i)});
+                break;
+            }
+            // The profile's deterministic subset (counters, dwell
+            // sketches of simulated quantities, the lookahead graph)
+            // must replicate too; wall-clock values are excluded by
+            // construction.
+            if (exp.engineProfile &&
+                (serial[i].engineProfile.deterministicJson() !=
+                     baseProf ||
+                 parallel[i].engineProfile.deterministicJson() !=
+                     baseProf)) {
+                res.violations.push_back(
+                    {"engprof.deterministic",
+                     "engine-profile deterministicJson differs "
+                     "across replicas (jobs=1 / jobs=" +
+                         std::to_string(opts.parallelJobs) +
+                         ") replica " + std::to_string(i)});
                 break;
             }
         }

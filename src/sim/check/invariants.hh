@@ -52,9 +52,27 @@
  *     quantile lies inside the histogram's log2 bucket for that
  *     rank, widened by the sketch's configured relative error
  *
+ *  engine profile (Experiment::engineProfile; engprof.*)
+ *   - pay-for-use: with the knob off the profile is empty
+ *   - queue conservation: pushes = pops + remainingAtEnd, with
+ *     remainingAtEnd below the observed heap peak
+ *   - sampling: sampled executions <= pops, dwell samples <= pushes,
+ *     dwell and heap-depth sketches fill in lockstep, dwell >= 0
+ *   - attribution: track event counts partition pops exactly (track
+ *     0 "sim" holds the residual) and wall samples partition the
+ *     sampled executions
+ *   - lookahead graph: per-edge zeroDelta <= count, deltas
+ *     non-negative, and minPositiveDeltaUs > 0 exactly when the edge
+ *     saw a positive delta
+ *
  *  determinism (re-run checks)
  *   - tracing on vs off: bit-identical outcomeJson
- *   - SweepRunner jobs=1 vs jobs=N: bit-identical outcomeJson
+ *   - engineProfile flipped: bit-identical outcomeJson
+ *     (engprof.payForUse — the profile never enters the outcome)
+ *   - SweepRunner jobs=1 vs jobs=N: bit-identical outcomeJson, and
+ *     the profile's deterministic subset (counters, simulated-time
+ *     sketches, the edge graph — never wall-clock values) replicates
+ *     bit-exactly too (engprof.deterministic)
  *
  * checkOutcome() applies the single-run invariants to an existing
  * Outcome; checkedRun() runs the experiment and optionally the

@@ -37,6 +37,7 @@ constexpr BoolKnob boolKnobs[] = {
     {"useTokenRing", &Experiment::useTokenRing},
     {"reliableProtocol", &Experiment::reliableProtocol},
     {"decomposeLatency", &Experiment::decomposeLatency},
+    {"engineProfile", &Experiment::engineProfile},
 };
 
 constexpr IntKnob intKnobs[] = {
@@ -109,6 +110,8 @@ knobDiff(const Experiment &exp)
         diff.push_back("metricsFile");
     if (exp.timelineFile != base.timelineFile)
         diff.push_back("timelineFile");
+    if (exp.engineProfileFile != base.engineProfileFile)
+        diff.push_back("engineProfileFile");
     return diff;
 }
 

@@ -29,6 +29,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/obs/pool_counters.hh"
+
 namespace hsipc::sim
 {
 
@@ -64,6 +66,7 @@ class SpillPool
             free_.pop_back();
             return p;
         }
+        ++obs::callbackPoolCounters().freshBlocks;
         return ::operator new(blockSize);
     }
 
@@ -225,11 +228,13 @@ class EventCallback
         } else if constexpr (sizeof(D) <= detail::SpillPool::blockSize &&
                              alignof(D) <=
                                  alignof(std::max_align_t)) {
+            ++obs::callbackPoolCounters().pooledConstructs;
             void *block = detail::SpillPool::instance().alloc();
             *reinterpret_cast<D **>(&storage) =
                 ::new (block) D(std::forward<F>(f));
             ops = &SpilledOps<D, true>::ops;
         } else {
+            ++obs::callbackPoolCounters().oversizeConstructs;
             *reinterpret_cast<D **>(&storage) =
                 new D(std::forward<F>(f));
             ops = &SpilledOps<D, false>::ops;

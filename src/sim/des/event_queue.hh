@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/obs/engine_prof.hh"
 #include "common/time.hh"
 #include "sim/des/callable.hh"
 
@@ -40,13 +41,44 @@ class EventQueue
 
     Tick now() const { return current; }
 
+    /**
+     * Attach a self-profiler (see common/obs/engine_prof.hh): queue
+     * telemetry, dwell/depth sampling, and wall-clock bracketing of
+     * executed events.  Observational only — a profiled run executes
+     * the same events in the same order; with no profiler attached
+     * every hook is one predictable branch.
+     */
+    void
+    attachProfiler(obs::EngineProfiler *p)
+    {
+        prof = p;
+        profMask = p ? p->sampleMask() : 0;
+        profSeqFlushed = nextSeq;
+        profExecFlushed = executed;
+        profCmps = 0;
+        profMaxHeap = 0;
+    }
+
     /** Schedule @p cb at absolute time @p when (>= now). */
     void
     schedule(Tick when, Callback cb)
     {
         hsipc_assert(when >= current);
-        heap.push_back(Event{when, nextSeq++, std::move(cb)});
-        siftUp(heap.size() - 1);
+        if (prof) {
+            const std::size_t depth = heap.size() + 1;
+            if (depth > profMaxHeap)
+                profMaxHeap = depth;
+            // An event scheduled for `when` sits in the queue exactly
+            // `when - now` simulated ticks — dwell is known at push
+            // time, so events carry no extra timestamp.
+            if ((nextSeq & profMask) == 0) [[unlikely]]
+                prof->observePush(when - current, depth);
+            heap.push_back(Event{when, nextSeq++, std::move(cb)});
+            siftUpT<true>(heap.size() - 1);
+        } else {
+            heap.push_back(Event{when, nextSeq++, std::move(cb)});
+            siftUpT<false>(heap.size() - 1);
+        }
     }
 
     /** Schedule @p cb @p delay ticks from now. */
@@ -68,29 +100,28 @@ class EventQueue
     {
         if (heap.empty())
             return false;
-        Event ev = popTop();
-        current = ev.when;
-        ++executed;
-        ev.cb();
+        if (prof) {
+            execOne<true>();
+            flushProfile();
+        } else {
+            execOne<false>();
+        }
         return true;
     }
 
     /**
      * Run until the clock passes @p end or the queue drains.  The hot
      * loop inspects the heap root once per event: the bounds check
-     * reads the root in place, and the same read feeds the pop.
+     * reads the root in place, and the same read feeds the pop.  The
+     * profiled instantiation is dispatched once, outside the loop.
      */
     void
     runUntil(Tick end)
     {
-        while (!heap.empty() && heap.front().when <= end) {
-            Event ev = popTop();
-            current = ev.when;
-            ++executed;
-            ev.cb();
-        }
-        if (current < end)
-            current = end;
+        if (prof)
+            runUntilT<true>(end);
+        else
+            runUntilT<false>(end);
     }
 
   private:
@@ -108,7 +139,76 @@ class EventQueue
         return a.when != b.when ? a.when < b.when : a.seq < b.seq;
     }
 
+    /**
+     * Pop and execute the root.  The Prof=true instantiation counts
+     * the pop, and for the deterministic 1-in-N subsample brackets
+     * the event body with a steady_clock pair; the Prof=false one is
+     * byte-for-byte the pre-profiler hot loop body.
+     */
+    template <bool Prof>
+    void
+    execOne()
+    {
+        Event ev = popTop<Prof>();
+        current = ev.when;
+        ++executed;
+        if constexpr (Prof) {
+            prof->notePop();
+            if ((ev.seq & profMask) == 0) [[unlikely]]
+                execSampled(ev);
+            else
+                ev.cb();
+        } else {
+            ev.cb();
+        }
+    }
+
+    /**
+     * The wall-clock-bracketed execution of a 1-in-N sampled event.
+     * Outlined and cold so the chrono machinery never sits inside
+     * the hot run loop's code.
+     */
+    __attribute__((noinline, cold)) void
+    execSampled(Event &ev)
+    {
+        prof->beginEvent();
+        ev.cb();
+        prof->endEvent();
+    }
+
+    template <bool Prof>
+    void
+    runUntilT(Tick end)
+    {
+        while (!heap.empty() && heap.front().when <= end)
+            execOne<Prof>();
+        if (current < end)
+            current = end;
+        if constexpr (Prof)
+            flushProfile();
+    }
+
+    /**
+     * Hand the profiler the queue counters it deliberately does not
+     * keep itself: pushes are the seq-counter delta and pops the
+     * executed delta since the last flush; comparisons and peak heap
+     * depth accumulate in queue members whose cache lines every
+     * event dirties anyway.  Runs after every run loop, so the
+     * ledgers are current whenever control returns to the caller.
+     */
+    void
+    flushProfile()
+    {
+        prof->addQueueTotals(nextSeq - profSeqFlushed,
+                             executed - profExecFlushed, profCmps,
+                             profMaxHeap);
+        profSeqFlushed = nextSeq;
+        profExecFlushed = executed;
+        profCmps = 0;
+    }
+
     /** Remove and return the root, restoring the heap invariant. */
+    template <bool Prof>
     Event
     popTop()
     {
@@ -116,46 +216,66 @@ class EventQueue
         if (heap.size() > 1) {
             heap.front() = std::move(heap.back());
             heap.pop_back();
-            siftDown(0);
+            siftDownT<Prof>(0);
         } else {
             heap.pop_back();
         }
         return top;
     }
 
-    /** Bubble the element at @p i up, hole-style (one move per level). */
+    /**
+     * Bubble the element at @p i up, hole-style (one move per level).
+     * The Prof=true instantiation counts heap-order comparisons into
+     * the profiler; Prof=false compiles to the original sift.
+     */
+    template <bool Prof>
     void
-    siftUp(std::size_t i)
+    siftUpT(std::size_t i)
     {
+        std::uint64_t cmps = 0;
         Event e = std::move(heap[i]);
         while (i > 0) {
             const std::size_t parent = (i - 1) / 2;
+            if constexpr (Prof)
+                ++cmps;
             if (!before(e, heap[parent]))
                 break;
             heap[i] = std::move(heap[parent]);
             i = parent;
         }
         heap[i] = std::move(e);
+        if constexpr (Prof)
+            profCmps += cmps;
     }
 
     /** Push the element at @p i down, hole-style. */
+    template <bool Prof>
     void
-    siftDown(std::size_t i)
+    siftDownT(std::size_t i)
     {
+        std::uint64_t cmps = 0;
         Event e = std::move(heap[i]);
         const std::size_t n = heap.size();
         for (;;) {
             std::size_t child = 2 * i + 1;
             if (child >= n)
                 break;
-            if (child + 1 < n && before(heap[child + 1], heap[child]))
-                ++child;
+            if (child + 1 < n) {
+                if constexpr (Prof)
+                    ++cmps;
+                if (before(heap[child + 1], heap[child]))
+                    ++child;
+            }
+            if constexpr (Prof)
+                ++cmps;
             if (!before(heap[child], e))
                 break;
             heap[i] = std::move(heap[child]);
             i = child;
         }
         heap[i] = std::move(e);
+        if constexpr (Prof)
+            profCmps += cmps;
     }
 
     /**
@@ -169,6 +289,16 @@ class EventQueue
     Tick current = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t executed = 0;
+    obs::EngineProfiler *prof = nullptr;
+    // Per-event profiling state lives here, not on the profiler: the
+    // queue's cache lines are dirty every event regardless, so these
+    // cost the hot loop almost nothing; flushProfile() batches them
+    // over.  profMask is cached so the 1-in-N tests stay local too.
+    std::uint64_t profMask = 0;
+    std::uint64_t profCmps = 0;        //!< sift comparisons since flush
+    std::size_t profMaxHeap = 0;       //!< peak depth since attach
+    std::uint64_t profSeqFlushed = 0;  //!< nextSeq at last flush
+    std::uint64_t profExecFlushed = 0; //!< executed at last flush
 };
 
 } // namespace hsipc::sim

@@ -47,6 +47,18 @@ class Resource
     void attachCausalLog(trace::CausalLog *log) { causal = log; }
 
     /**
+     * Attribute release events to this resource in @p p's wall-clock
+     * cost model and record a provenance edge (whoever is granting →
+     * this resource, delta = the hold) per grant.  Observational only.
+     */
+    void
+    attachProfiler(obs::EngineProfiler *p)
+    {
+        prof = p;
+        profOrigin = p ? p->origin(name) : 0;
+    }
+
+    /**
      * Acquire the resource for @p hold ticks; @p done runs at release
      * time.  Higher @p priority requests are granted first; equal
      * priorities are FIFO.  @p msgId (0 = none) attributes the wait
@@ -131,8 +143,12 @@ class Resource
                              trace::Component::Service, eq.now(),
                              eq.now() + req.hold);
         }
+        if (prof)
+            prof->edge(profOrigin, req.hold);
         eq.scheduleAfter(req.hold,
                          [this, done = std::move(req.done)]() {
+                             obs::EngineProfiler::Scope s(prof,
+                                                          profOrigin);
                              busy = false;
                              done();
                              if (!busy)
@@ -144,6 +160,8 @@ class Resource
     std::string name;
     trace::Tracer *tracer = nullptr;
     trace::CausalLog *causal = nullptr;
+    obs::EngineProfiler *prof = nullptr;
+    int profOrigin = 0;
     int traceTrack = -1;
     std::deque<Request> waiting;
     bool busy = false;

@@ -61,7 +61,7 @@ struct Node
 {
     Node(EventQueue &eq, const std::string &prefix, int hosts,
          bool coproc, bool split_bus, trace::Tracer *tracer,
-         trace::CausalLog *causal)
+         trace::CausalLog *causal, obs::EngineProfiler *prof)
         : busTcb(eq, prefix + ".busTcb"),
           busKb(eq, prefix + ".busKb"), nicIn(eq, prefix + ".nicIn"),
           nicOut(eq, prefix + ".nicOut"), splitBus(split_bus),
@@ -98,6 +98,17 @@ struct Node
                 busKb.attachCausalLog(causal);
             nicIn.attachCausalLog(causal);
             nicOut.attachCausalLog(causal);
+        }
+        if (prof) {
+            for (auto &h : this->hosts)
+                h->attachProfiler(prof);
+            if (mp)
+                mp->attachProfiler(prof);
+            busTcb.attachProfiler(prof);
+            if (split_bus)
+                busKb.attachProfiler(prof);
+            nicIn.attachProfiler(prof);
+            nicOut.attachProfiler(prof);
         }
     }
 
@@ -145,7 +156,8 @@ class Sim
 {
   public:
     Sim(const Experiment &exp, trace::Tracer *extTracer,
-        metrics::Registry *extMetrics)
+        metrics::Registry *extMetrics,
+        obs::EngineProfiler *extEngProf)
         : exp(exp), rng(exp.seed),
           // The injector draws from its own stream so that enabling
           // faults never perturbs the workload's random sequence.
@@ -174,6 +186,23 @@ class Sim
                 &metrics->histogram("svc.waitingServersDepth");
         }
 
+        // The engine self-profiler: an external sink wins (the
+        // caller's per-run isolation hook); otherwise the experiment
+        // knob brings an owned one to life.  Attached before any
+        // component exists so origin interning — which allocates —
+        // all happens here, never on the event path.
+        if (extEngProf)
+            engProf = extEngProf;
+        else if (exp.engineProfile)
+            engProf = (ownEngProf =
+                           std::make_unique<obs::EngineProfiler>())
+                          .get();
+        if (engProf) {
+            engProf->beginRun();
+            eq.attachProfiler(engProf);
+            wireOrigin = engProf->origin("wire");
+        }
+
         const bool mixed =
             exp.mixedLocal > 0 || exp.mixedRemote > 0;
         const bool coproc = exp.arch != Arch::I;
@@ -198,13 +227,14 @@ class Sim
                                                exp.hostsPerNode,
                                                coproc, split,
                                                nodeTracer,
-                                               nodeCausal));
+                                               nodeCausal, engProf));
         if (two_nodes)
             nodes.push_back(std::make_unique<Node>(eq, "n1",
                                                    exp.hostsPerNode,
                                                    coproc, split,
                                                    nodeTracer,
-                                                   nodeCausal));
+                                                   nodeCausal,
+                                                   engProf));
         for (auto &n : nodes)
             n->freeBuffers = exp.kernelBuffers;
         if (tracer->enabled())
@@ -602,6 +632,10 @@ class Sim
                 out.timeline.counters.at("ipc.allTrips"),
                 out.timeline.counters.at("ipc.rtSumUs"),
                 exp.timelineIntervalUs, exp.warmupUs);
+        }
+        if (engProf) {
+            engProf->finishRun(eq.size());
+            out.engineProfile = engProf->profile();
         }
         finishObservability(out);
         return out;
@@ -1016,6 +1050,8 @@ class Sim
             tracer->writeChromeJson(exp.traceFile);
         if (!exp.timelineFile.empty())
             writeTimelineFile(out);
+        if (!exp.engineProfileFile.empty())
+            out.engineProfile.writeFile(exp.engineProfileFile);
     }
 
     /** Sum per-activity busy time over every processor. */
@@ -1045,11 +1081,25 @@ class Sim
     void
     rawWire(int from, int to, int bytes, EventQueue::Callback deliver)
     {
-        if (ring)
+        if (ring) {
             ring->send(from, to, bytes, std::move(deliver));
-        else
+        } else if (engProf) {
+            // The inter-node lookahead edge: whoever is transmitting
+            // now schedules a delivery wireUs in the future — the
+            // minimum positive delta on (src -> wire) edges is the
+            // lookahead a sharded engine could exploit between nodes.
+            const Tick delay = usToTicks(exp.wireUs);
+            engProf->edge(wireOrigin, delay);
+            eq.scheduleAfter(delay,
+                             [this, inner = std::move(deliver)]() {
+                                 obs::EngineProfiler::Scope s(
+                                     engProf, wireOrigin);
+                                 inner();
+                             });
+        } else {
             eq.scheduleAfter(usToTicks(exp.wireUs),
                              std::move(deliver));
+        }
     }
 
     /**
@@ -1972,6 +2022,12 @@ class Sim
     Tick tlPrevBoundary = 0; //!< when that snapshot was taken
     int tlTrack = -1; //!< Perfetto counter track for the timeline
 
+    //! Engine self-profiler (null when off): external one wins,
+    //! otherwise owned when exp.engineProfile is set.
+    obs::EngineProfiler *engProf = nullptr;
+    std::unique_ptr<obs::EngineProfiler> ownEngProf;
+    int wireOrigin = 0; //!< profiler origin id for wire deliveries
+
     std::vector<std::unique_ptr<Node>> nodes;
     std::unique_ptr<TokenRing> ring;
     //! Reliable channels by source node (0 -> 1 and 1 -> 0).
@@ -1999,6 +2055,14 @@ runExperiment(const Experiment &exp)
 Outcome
 runExperiment(const Experiment &exp, trace::Tracer *tracer,
               metrics::Registry *metrics)
+{
+    return runExperiment(exp, tracer, metrics, nullptr);
+}
+
+Outcome
+runExperiment(const Experiment &exp, trace::Tracer *tracer,
+              metrics::Registry *metrics,
+              obs::EngineProfiler *engineProf)
 {
     // Test-only interception point (off in production; see
     // sim/check/test_hooks.hh).
@@ -2079,7 +2143,10 @@ runExperiment(const Experiment &exp, trace::Tracer *tracer,
     hsipc_assert(exp.traceSampleRate >= 0 &&
                  exp.traceSampleRate <= 1 &&
                  "traceSampleRate is a probability");
-    Sim sim(exp, tracer, metrics);
+    hsipc_assert((exp.engineProfileFile.empty() ||
+                  exp.engineProfile) &&
+                 "engineProfileFile needs engineProfile");
+    Sim sim(exp, tracer, metrics, engineProf);
     return sim.run();
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/metrics/metrics.hh"
+#include "common/obs/engine_prof.hh"
 #include "common/obs/steady.hh"
 #include "common/obs/timeline.hh"
 #include "common/stats.hh"
@@ -176,6 +177,21 @@ struct Experiment
     //! sim/net/reliable.hh).  Effective ceiling is
     //! max(rtoMaxUs, retransmitTimeoutUs).
     double rtoMaxUs = 80000;
+
+    /**
+     * Engine self-profiling (see common/obs/engine_prof.hh and
+     * docs/performance.md "Profiling the engine").  When set, the run
+     * fills Outcome::engineProfile with the simulator's own cost
+     * model: event-queue telemetry, dwell/heap-depth distributions,
+     * per-component wall-clock sketches, and the scheduling-provenance
+     * lookahead graph; engineProfileFile (requires engineProfile)
+     * additionally writes the profile document there.  Strictly
+     * observational: every other Outcome field — and every trace,
+     * metrics, and timeline artifact — stays byte-identical, and the
+     * profile itself never enters outcomeJson().
+     */
+    bool engineProfile = false;
+    std::string engineProfileFile;
 
     /**
      * Field-wise exact equality (doubles compare bitwise) — what the
@@ -357,6 +373,16 @@ struct Outcome
      * the configured warmup did not cover the detected transient.
      */
     obs::SteadyStats stats;
+
+    /**
+     * The engine's self-profile, filled only when
+     * Experiment::engineProfile is set (or an external profiler sink
+     * was supplied).  Wall-clock values inside are nondeterministic
+     * by nature, so this field is deliberately excluded from
+     * outcomeJson(); its deterministicJson() subset is what the fuzz
+     * oracle compares across replicas.
+     */
+    obs::EngineProfile engineProfile;
 };
 
 /** Run the experiment to completion and return the measurements. */
@@ -372,6 +398,17 @@ Outcome runExperiment(const Experiment &exp);
  */
 Outcome runExperiment(const Experiment &exp, trace::Tracer *tracer,
                       metrics::Registry *metrics);
+
+/**
+ * As above with an engine-profiler sink: a non-null @p engineProf
+ * profiles the run (whether or not exp.engineProfile is set) and can
+ * be inspected by the caller afterwards — the per-run isolation hook
+ * SweepRunner::runWithSinks uses.  Outcome::engineProfile receives a
+ * copy either way.
+ */
+Outcome runExperiment(const Experiment &exp, trace::Tracer *tracer,
+                      metrics::Registry *metrics,
+                      obs::EngineProfiler *engineProf);
 
 } // namespace hsipc::sim
 

@@ -14,7 +14,10 @@ FaultInjector::attachTracer(trace::Tracer *t, const EventQueue *c)
     // Crash windows are scheduled, not random: record their edges up
     // front so the timeline shows the outage before any packet hits it.
     for (const CrashWindow &w : plan.crashes) {
-        const std::string node = "n" + std::to_string(w.node);
+        // Append-style (not "n" + ...): the operator+ chain trips a
+        // GCC 12 -Wrestrict false positive when inlined.
+        std::string node = "n";
+        node += std::to_string(w.node);
         t->instant(traceTrack, node + " crash", usToTicks(w.startUs),
                    "crash");
         t->instant(traceTrack, node + " recover", usToTicks(w.endUs),

@@ -95,7 +95,10 @@ Processor::segment()
         const Tick chunk = std::min(running->chunk, running->cpuLeft);
         running->cpuLeft -= chunk;
         charge(chunk);
+        if (prof)
+            prof->edge(profOrigin, chunk);
         eq.scheduleAfter(chunk, [this]() {
+            obs::EngineProfiler::Scope s(prof, profOrigin);
             // Alternate between the two partitions when both remain.
             Resource *bus;
             if (running->memLeft > 0 &&
@@ -109,7 +112,11 @@ Processor::segment()
             }
             charge(tickUs, true); // the processor waits on its access
             bus->acquire(running->act.priority, tickUs,
-                         [this]() { segment(); },
+                         [this]() {
+                             obs::EngineProfiler::Scope s(prof,
+                                                          profOrigin);
+                             segment();
+                         },
                          running->act.msgId);
         });
         return;
@@ -118,7 +125,12 @@ Processor::segment()
     const Tick tail = running->cpuLeft;
     running->cpuLeft = 0;
     charge(tail);
-    eq.scheduleAfter(tail, [this]() { finish(); });
+    if (prof)
+        prof->edge(profOrigin, tail);
+    eq.scheduleAfter(tail, [this]() {
+        obs::EngineProfiler::Scope s(prof, profOrigin);
+        finish();
+    });
 }
 
 void

@@ -90,6 +90,19 @@ class Processor
      */
     void attachCausalLog(trace::CausalLog *log) { causal = log; }
 
+    /**
+     * Attribute this processor's segment/finish events to it in
+     * @p p's wall-clock cost model, and record provenance edges for
+     * its self-continuations (CPU chunks, the activity tail).
+     * Observational only.
+     */
+    void
+    attachProfiler(obs::EngineProfiler *p)
+    {
+        prof = p;
+        profOrigin = p ? p->origin(name) : 0;
+    }
+
     /** Trace track id, -1 when no tracer is attached. */
     int traceTrackId() const { return traceTrack; }
 
@@ -153,6 +166,8 @@ class Processor
     std::string name;
     trace::Tracer *tracer = nullptr;
     trace::CausalLog *causal = nullptr;
+    obs::EngineProfiler *prof = nullptr;
+    int profOrigin = 0;
     int traceTrack = -1;
     void charge(Tick t, bool accessWait = false);
 

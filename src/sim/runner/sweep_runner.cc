@@ -48,10 +48,22 @@ SweepRunner::runWithSinks(
     const std::vector<trace::Tracer *> *tracers,
     const std::vector<metrics::Registry *> *metrics) const
 {
+    return runWithSinks(std::move(exps), tracers, metrics, nullptr);
+}
+
+std::vector<Outcome>
+SweepRunner::runWithSinks(
+    std::vector<Experiment> exps,
+    const std::vector<trace::Tracer *> *tracers,
+    const std::vector<metrics::Registry *> *metrics,
+    const std::vector<obs::EngineProfiler *> *profilers) const
+{
     if (tracers)
         hsipc_assert(tracers->size() == exps.size());
     if (metrics)
         hsipc_assert(metrics->size() == exps.size());
+    if (profilers)
+        hsipc_assert(profilers->size() == exps.size());
 
     if (opts.seedBase != 0) {
         for (std::size_t i = 0; i < exps.size(); ++i)
@@ -63,7 +75,9 @@ SweepRunner::runWithSinks(
     parallel::parallelFor(opts.jobs, exps.size(), [&](std::size_t i) {
         trace::Tracer *tracer = tracers ? (*tracers)[i] : nullptr;
         metrics::Registry *reg = metrics ? (*metrics)[i] : nullptr;
-        outcomes[i] = runExperiment(exps[i], tracer, reg);
+        obs::EngineProfiler *prof =
+            profilers ? (*profilers)[i] : nullptr;
+        outcomes[i] = runExperiment(exps[i], tracer, reg, prof);
     });
     return outcomes;
 }

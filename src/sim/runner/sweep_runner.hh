@@ -73,6 +73,23 @@ class SweepRunner
                  const std::vector<trace::Tracer *> *tracers,
                  const std::vector<metrics::Registry *> *metrics) const;
 
+    /**
+     * As runWithSinks(), additionally giving run i the engine
+     * profiler (*profilers)[i] — its own instance, never shared, so
+     * parallel sweeps profile without cross-run interference.  A
+     * non-null profiler is attached whether or not the Experiment
+     * sets engineProfile (it is the caller's isolation hook); null
+     * entries fall back to the knob.  The resulting per-run profiles
+     * land in each Outcome and merge associatively via
+     * obs::EngineProfile::merge().
+     */
+    std::vector<Outcome>
+    runWithSinks(
+        std::vector<Experiment> exps,
+        const std::vector<trace::Tracer *> *tracers,
+        const std::vector<metrics::Registry *> *metrics,
+        const std::vector<obs::EngineProfiler *> *profilers) const;
+
     const SweepOptions &options() const { return opts; }
 
   private:

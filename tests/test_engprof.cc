@@ -1,0 +1,280 @@
+/**
+ * @file
+ * The engine self-profiler (ISSUE 8): unit coverage of the recorder's
+ * ledgers and the profile-smoke contract — a real experiment run with
+ * engineProfile on writes a schema-valid JSON document, and turning
+ * the knob off leaves every simulated output byte-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json_value.hh"
+#include "common/obs/engine_prof.hh"
+#include "sim/des/event_queue.hh"
+#include "sim/runner/sweep_runner.hh"
+
+namespace
+{
+
+using namespace hsipc;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** A small but non-trivial remote workload. */
+sim::Experiment
+smallExperiment()
+{
+    sim::Experiment e;
+    e.arch = models::Arch::II;
+    e.local = false;
+    e.conversations = 2;
+    e.computeUs = 500;
+    e.warmupUs = 5000;
+    e.measureUs = 50000;
+    return e;
+}
+
+// --- recorder unit coverage ------------------------------------------
+
+TEST(EngineProfiler, QueueLedgersConserve)
+{
+    obs::EngineProfiler prof(0); // sample every event
+    prof.beginRun();
+    sim::EventQueue eq;
+    eq.attachProfiler(&prof);
+
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAfter(i * 10, [&fired]() { ++fired; });
+    // Two events remain beyond the run horizon.
+    eq.scheduleAfter(1000, [] {});
+    eq.scheduleAfter(2000, [] {});
+    eq.runUntil(500);
+    prof.finishRun(eq.size());
+
+    const obs::EngineProfile &p = prof.profile();
+    EXPECT_TRUE(p.enabled);
+    EXPECT_EQ(p.pushes, 12u);
+    EXPECT_EQ(p.pops, 10u);
+    EXPECT_EQ(p.remainingAtEnd, 2u);
+    EXPECT_EQ(p.pushes, p.pops + p.remainingAtEnd);
+    EXPECT_EQ(fired, 10);
+    EXPECT_GE(p.maxHeapSize, p.remainingAtEnd);
+    // sampleShift 0 wall-samples every execution.
+    EXPECT_EQ(p.sampleEvery, 1u);
+    EXPECT_EQ(p.sampledEvents, 10u);
+    EXPECT_EQ(p.dwellUs.count(), 12);
+    EXPECT_EQ(p.heapDepth.count(), 12);
+    EXPECT_GE(p.dwellUs.min(), 0.0);
+    // All events unclaimed -> residual "sim" track holds them all.
+    ASSERT_FALSE(p.tracks.empty());
+    EXPECT_EQ(p.tracks[0].name, "sim");
+    EXPECT_EQ(p.tracks[0].events, 10u);
+}
+
+TEST(EngineProfiler, SamplingMaskIsDeterministic)
+{
+    obs::EngineProfiler prof; // default 1-in-1024
+    EXPECT_TRUE(prof.sampledSeq(0));
+    EXPECT_FALSE(prof.sampledSeq(1));
+    EXPECT_FALSE(prof.sampledSeq(255));
+    EXPECT_FALSE(prof.sampledSeq(512));
+    EXPECT_TRUE(prof.sampledSeq(1024));
+    EXPECT_TRUE(prof.sampledSeq(2048));
+}
+
+TEST(EngineProfiler, ScopesAttributeAndBuildEdges)
+{
+    obs::EngineProfiler prof(0);
+    const int busId = prof.origin("bus");
+    const int cpuId = prof.origin("cpu");
+    EXPECT_EQ(busId, prof.origin("bus")) << "interning is idempotent";
+
+    prof.beginRun();
+    sim::EventQueue eq;
+    eq.attachProfiler(&prof);
+
+    // cpu handles an event and schedules for bus with delta 7; the
+    // bus event runs under its own scope with a zero-delta
+    // self-schedule.
+    eq.scheduleAfter(1, [&]() {
+        obs::EngineProfiler::Scope s(&prof, cpuId);
+        prof.edge(busId, 7);
+        eq.scheduleAfter(7, [&]() {
+            obs::EngineProfiler::Scope t(&prof, busId);
+            prof.edge(busId, 0);
+            eq.scheduleAfter(0, [&]() {
+                obs::EngineProfiler::Scope u(&prof, busId);
+            });
+        });
+    });
+    eq.runUntil(100);
+    prof.finishRun(eq.size());
+
+    const obs::EngineProfile &p = prof.profile();
+    EXPECT_EQ(p.tracks[static_cast<std::size_t>(cpuId)].events, 1u);
+    EXPECT_EQ(p.tracks[static_cast<std::size_t>(busId)].events, 2u);
+    EXPECT_EQ(p.tracks[0].events, 0u)
+        << "claimed events leave the sim residual";
+
+    ASSERT_EQ(p.edges.size(), 2u); // (bus->bus), (cpu->bus): sorted
+    EXPECT_EQ(p.edges[0].src, "bus");
+    EXPECT_EQ(p.edges[0].dst, "bus");
+    EXPECT_EQ(p.edges[0].count, 1u);
+    EXPECT_EQ(p.edges[0].zeroDelta, 1u);
+    EXPECT_EQ(p.edges[0].minPositiveDeltaUs, 0.0)
+        << "all-zero edge encodes no lookahead";
+    EXPECT_EQ(p.edges[1].src, "cpu");
+    EXPECT_EQ(p.edges[1].dst, "bus");
+    EXPECT_EQ(p.edges[1].count, 1u);
+    EXPECT_EQ(p.edges[1].zeroDelta, 0u);
+    EXPECT_DOUBLE_EQ(p.edges[1].minPositiveDeltaUs,
+                     hsipc::ticksToUs(7));
+}
+
+TEST(EngineProfiler, MergeAggregatesByName)
+{
+    auto runOnce = [](int extraEvents) {
+        obs::EngineProfiler prof(0);
+        const int id = prof.origin("worker");
+        prof.beginRun();
+        sim::EventQueue eq;
+        eq.attachProfiler(&prof);
+        for (int i = 0; i < extraEvents; ++i)
+            eq.scheduleAfter(i + 1, [&prof, id]() {
+                obs::EngineProfiler::Scope s(&prof, id);
+                prof.edge(id, 3);
+            });
+        eq.runUntil(1000);
+        prof.finishRun(eq.size());
+        return prof.take();
+    };
+
+    obs::EngineProfile merged = runOnce(2);
+    merged.merge(runOnce(3));
+    EXPECT_EQ(merged.pushes, 5u);
+    EXPECT_EQ(merged.pops, 5u);
+    ASSERT_EQ(merged.tracks.size(), 2u);
+    EXPECT_EQ(merged.tracks[1].name, "worker");
+    EXPECT_EQ(merged.tracks[1].events, 5u);
+    ASSERT_EQ(merged.edges.size(), 1u);
+    EXPECT_EQ(merged.edges[0].count, 5u);
+    EXPECT_DOUBLE_EQ(merged.edges[0].minPositiveDeltaUs,
+                     hsipc::ticksToUs(3));
+}
+
+// --- whole-simulation contracts --------------------------------------
+
+TEST(EngineProfileSim, PayForUseByteIdentity)
+{
+    sim::Experiment off = smallExperiment();
+    sim::Experiment on = smallExperiment();
+    on.engineProfile = true;
+
+    const sim::Outcome a = sim::runExperiment(off);
+    const sim::Outcome b = sim::runExperiment(on);
+    EXPECT_EQ(sim::outcomeJson(a), sim::outcomeJson(b))
+        << "enabling the engine profiler changed a simulated output";
+    EXPECT_FALSE(a.engineProfile.enabled);
+    EXPECT_TRUE(b.engineProfile.enabled);
+    EXPECT_GT(b.engineProfile.pops, 0u);
+}
+
+TEST(EngineProfileSim, DeterministicSubsetReplicates)
+{
+    sim::Experiment e = smallExperiment();
+    e.engineProfile = true;
+    const sim::Outcome a = sim::runExperiment(e);
+    const sim::Outcome b = sim::runExperiment(e);
+    EXPECT_EQ(a.engineProfile.deterministicJson(),
+              b.engineProfile.deterministicJson());
+}
+
+TEST(EngineProfileSim, ProfileSmokeSchema)
+{
+    const std::string path =
+        testing::TempDir() + "engprof_smoke.json";
+    sim::Experiment e = smallExperiment();
+    e.engineProfile = true;
+    e.engineProfileFile = path;
+    const sim::Outcome out = sim::runExperiment(e);
+
+    const std::string doc = slurp(path);
+    ASSERT_FALSE(doc.empty()) << "no profile written to " << path;
+    const JsonValue v = parseJson(doc);
+    ASSERT_TRUE(v.isObject());
+
+    // The schema marker and every top-level section.
+    ASSERT_TRUE(v.has("engineProfile"));
+    EXPECT_EQ(v.at("engineProfile").asNumber(), 1.0);
+    EXPECT_TRUE(v.at("enabled").asBool());
+    EXPECT_GT(v.at("sampleEvery").asNumber(), 0.0);
+    for (const char *key :
+         {"sampledEvents", "queue", "callbacks", "dwellUs",
+          "heapDepth", "tracks", "edges"})
+        EXPECT_TRUE(v.has(key)) << "missing key " << key;
+
+    const JsonValue &q = v.at("queue");
+    EXPECT_EQ(q.at("pushes").asNumber(),
+              q.at("pops").asNumber() +
+                  q.at("remainingAtEnd").asNumber());
+    EXPECT_GT(q.at("comparisons").asNumber(), 0.0);
+
+    // The full document carries the wall sketches and pool misses.
+    EXPECT_TRUE(v.at("callbacks").has("freshPoolBlocks"));
+
+    ASSERT_TRUE(v.at("tracks").isArray());
+    const auto &tracks = v.at("tracks").asArray();
+    ASSERT_FALSE(tracks.empty());
+    double events = 0;
+    bool sawWall = false;
+    for (const JsonValue &t : tracks) {
+        EXPECT_TRUE(t.has("name") && t.has("events") &&
+                    t.has("sampled"));
+        events += t.at("events").asNumber();
+        sawWall = sawWall || t.has("wallNs");
+    }
+    EXPECT_EQ(events, q.at("pops").asNumber());
+    EXPECT_TRUE(sawWall) << "no track carries a wall-clock sketch";
+
+    ASSERT_TRUE(v.at("edges").isArray());
+    EXPECT_FALSE(v.at("edges").asArray().empty())
+        << "a two-node run must record scheduling-provenance edges";
+    for (const JsonValue &edge : v.at("edges").asArray()) {
+        EXPECT_TRUE(edge.has("src") && edge.has("dst"));
+        EXPECT_GE(edge.at("minPositiveDeltaUs").asNumber(), 0.0);
+        EXPECT_GE(edge.at("count").asNumber(),
+                  edge.at("zeroDelta").asNumber());
+    }
+
+    // The wire edge is the inter-node lookahead ROADMAP item 2 needs.
+    bool wireEdge = false;
+    for (const JsonValue &edge : v.at("edges").asArray())
+        wireEdge = wireEdge ||
+                   edge.at("dst").asString() == "wire";
+    EXPECT_TRUE(wireEdge) << "no (src -> wire) lookahead edge";
+
+    EXPECT_TRUE(out.engineProfile.enabled);
+    std::remove(path.c_str());
+}
+
+TEST(EngineProfileSim, FileWithoutKnobIsRejected)
+{
+    sim::Experiment e = smallExperiment();
+    e.engineProfileFile = "/tmp/should_not_exist.json";
+    EXPECT_DEATH(sim::runExperiment(e), "engineProfileFile");
+}
+
+} // namespace

@@ -287,6 +287,60 @@ TEST(Timeline, PartialFinalBin)
     EXPECT_EQ(t.counters.at("y")[3], 1);
 }
 
+TEST(Timeline, SingleBinWhenIntervalCoversHorizon)
+{
+    // interval > horizon: the whole run is one bin, and every event
+    // -- including one exactly on the horizon -- lands in it.
+    TimelineRecorder tl;
+    tl.configure(5000, 1000, 0);
+    ASSERT_TRUE(tl.enabled());
+    EXPECT_EQ(tl.binCount(), 1u);
+    auto &s = tl.counter("z");
+    tl.add(s, 0);
+    tl.add(s, usToTicks(999));
+    tl.add(s, usToTicks(1000)); // horizon clamps into bin 0
+    tl.sample("depth", 0, 3);
+    const obs::Timeline t = tl.take();
+    ASSERT_EQ(t.counters.at("z").size(), 1u);
+    EXPECT_EQ(t.counters.at("z")[0], 3);
+    EXPECT_EQ(t.total("z"), 3);
+    ASSERT_EQ(t.gauges.at("depth").size(), 1u);
+    EXPECT_EQ(t.gauges.at("depth")[0], 3);
+}
+
+TEST(Timeline, SingleBinWhenIntervalEqualsHorizon)
+{
+    TimelineRecorder tl;
+    tl.configure(1000, 1000, 0);
+    EXPECT_EQ(tl.binCount(), 1u);
+    auto &s = tl.counter("z");
+    tl.add(s, usToTicks(500));
+    EXPECT_EQ(tl.binOf(usToTicks(1000)), 0u)
+        << "the horizon instant belongs to the only bin";
+    const obs::Timeline t = tl.take();
+    EXPECT_EQ(t.counters.at("z")[0], 1);
+}
+
+TEST(Timeline, NonMultipleHorizonClampsPastLastBin)
+{
+    // 1000 / 300 -> 4 bins; the partial last bin spans [900, 1000]
+    // and events at or past the horizon clamp into it rather than
+    // opening a phantom fifth bin.
+    TimelineRecorder tl;
+    tl.configure(300, 1000, 0);
+    EXPECT_EQ(tl.binCount(), 4u);
+    EXPECT_EQ(tl.binOf(usToTicks(899)), 2u);
+    EXPECT_EQ(tl.binOf(usToTicks(900)), 3u);
+    EXPECT_EQ(tl.binOf(usToTicks(1000)), 3u);
+    auto &s = tl.counter("y");
+    tl.add(s, usToTicks(1000));
+    tl.sample("g", tl.binCount() - 1, 1.5);
+    const obs::Timeline t = tl.take();
+    ASSERT_EQ(t.counters.at("y").size(), 4u);
+    EXPECT_EQ(t.counters.at("y")[3], 1);
+    EXPECT_EQ(t.gauges.at("g")[3], 1.5);
+}
+
 TEST(Timeline, GaugesPadToBinCount)
 {
     TimelineRecorder tl;

@@ -462,8 +462,9 @@ expectSameOutcome(const sim::Outcome &a, const sim::Outcome &b,
 {
     // Skipped when the two runs differ in decomposeLatency itself
     // (one side deliberately has an empty decomposition).
-    if (includeDecomposition)
+    if (includeDecomposition) {
         EXPECT_EQ(a.decomposition, b.decomposition);
+    }
     EXPECT_EQ(a.throughputPerSec, b.throughputPerSec);
     EXPECT_EQ(a.meanRoundTripUs, b.meanRoundTripUs);
     EXPECT_EQ(a.rtCi95Us, b.rtCi95Us);
@@ -816,6 +817,43 @@ TEST(Timeline, IntegralsReproduceOutcomeCounters)
     ASSERT_GT(total, 0);
     EXPECT_LT(during / 4,
               (total - during) / static_cast<double>(bins - 4));
+}
+
+TEST(Timeline, SingleBinAndNonMultipleHorizonRuns)
+{
+    // Interval at least the whole horizon: the run is one bin, the
+    // integrals still hold, and the end-of-run partial-bin sampling
+    // neither crashes nor double-samples.
+    sim::Experiment e = lossyExperiment();
+    e.timelineIntervalUs = e.warmupUs + e.measureUs; // == horizon
+    const sim::Outcome exact = sim::runExperiment(e);
+    ASSERT_TRUE(exact.timeline.enabled());
+    EXPECT_EQ(exact.timeline.bins(), 1u);
+    EXPECT_EQ(std::llround(exact.timeline.total("ipc.bufferStalls")),
+              exact.bufferStalls);
+
+    e.timelineIntervalUs = 2 * (e.warmupUs + e.measureUs); // > horizon
+    const sim::Outcome over = sim::runExperiment(e);
+    EXPECT_EQ(over.timeline.bins(), 1u);
+    EXPECT_EQ(std::llround(over.timeline.total("ipc.bufferStalls")),
+              over.bufferStalls);
+
+    // A bin width that does not divide the horizon: 220 ms / 17 ms
+    // -> 13 bins with a partial last one; integrals stay exact.
+    e.timelineIntervalUs = 17000;
+    const sim::Outcome ragged = sim::runExperiment(e);
+    EXPECT_EQ(ragged.timeline.bins(), 13u);
+    EXPECT_EQ(
+        std::llround(ragged.timeline.total("ipc.completedTrips")),
+        ragged.roundTrips);
+    for (const auto &[name, g] : ragged.timeline.gauges)
+        EXPECT_EQ(g.size(), 13u) << name;
+
+    // None of the shapes perturbs the simulation itself.
+    sim::Experiment plain = lossyExperiment();
+    expectSameOutcome(sim::runExperiment(plain), exact);
+    expectSameOutcome(exact, over);
+    expectSameOutcome(over, ragged);
 }
 
 TEST(Timeline, GoldenTimelineJson)

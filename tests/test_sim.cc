@@ -963,6 +963,46 @@ TEST(EventQueue, SpilledCapturesReusePooledBlocksWithoutAllocating)
     EXPECT_GT(detail::SpillPool::instance().freeBlocks(), 0u);
 }
 
+TEST(EventQueue, ProfilerAtDefaultsKeepsSteadyStateAllocationFree)
+{
+    // The engine profiler at its default 1-in-1024 sampling must not
+    // reintroduce steady-state allocations: counters are plain
+    // increments, and the quantile sketches only allocate when a
+    // sample opens a *new* bucket.  The simulated-time sketches
+    // stabilize during warmup; the wall-clock sketch can always meet
+    // a scheduling outlier that opens a fresh bucket, so the pin
+    // retries a few times and requires one clean measured phase.
+    obs::EngineProfiler prof; // defaultSampleShift
+    prof.beginRun();
+    EventQueue eq;
+    eq.attachProfiler(&prof);
+
+    std::uint64_t remaining = 100000; // ~97 wall samples of warmup
+    for (int i = 0; i < 32; ++i)
+        eq.scheduleAfter(i, SelfSched<8>{&eq, &remaining});
+    while (remaining > 0)
+        eq.runOne();
+
+    bool clean = false;
+    for (int attempt = 0; attempt < 5 && !clean; ++attempt) {
+        remaining = 20000;
+        const std::size_t before =
+            g_heapAllocs.load(std::memory_order_relaxed);
+        while (remaining > 0)
+            eq.runOne();
+        const std::size_t after =
+            g_heapAllocs.load(std::memory_order_relaxed);
+        clean = after == before;
+    }
+    EXPECT_TRUE(clean)
+        << "profiled steady state allocated on every attempt";
+    while (eq.runOne()) {}
+    prof.finishRun(eq.size());
+    EXPECT_GT(prof.profile().sampledEvents, 0u);
+    EXPECT_EQ(prof.profile().pushes,
+              prof.profile().pops + prof.profile().remainingAtEnd);
+}
+
 /**
  * A callable of exactly `Bytes` bytes (alignment 1, so sizeof does
  * not round up) that counts invocations and destructions — probes the

@@ -25,8 +25,9 @@ Timeline documents (written via `Experiment.timelineFile`, rendered
 with tools/report.py) are dense per-bin series, not bench summaries:
 cell-by-cell gating them would make every intentional change a
 baseline churn.  Directory mode therefore skips any *.json whose name
-contains "timeline" on either side — they are committed for reference
-and rendering only, never compared.
+contains "timeline" or "engine_profile" on either side — they are
+committed for reference and rendering only, never compared (an engine
+profile additionally carries machine-dependent wall-clock sketches).
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.10]
@@ -45,9 +46,13 @@ import sys
 
 
 def is_timeline_name(name):
-    """Timeline artifacts ride along in bench directories but are
-    rendered (tools/report.py), never gated."""
-    return "timeline" in os.path.basename(name).lower()
+    """Timeline and engine-profile artifacts ride along in bench
+    directories but are rendered (tools/report.py, with --profile for
+    the latter), never gated: the profile's wall-clock sketches are
+    machine-dependent by construction.  Matching "engine_profile", not
+    "profile", keeps the table3_profiling bench gated."""
+    base = os.path.basename(name).lower()
+    return "timeline" in base or "engine_profile" in base
 
 
 def is_number(cell):

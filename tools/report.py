@@ -21,9 +21,18 @@ This tool renders that document two ways:
   no external assets) with one chart per series, the warmup boundary
   and detected truncation point marked, grouped by series prefix.
 
+With `--profile`, the inputs are instead engine-profile documents
+(`Experiment.engineProfile{,File}` or a bench's `--profile` flag): the
+tool prints the event-queue telemetry, the per-track wall-clock cost
+table, and the scheduling-provenance (lookahead/LP) graph with each
+edge's measured minimum positive delta — edges whose deltas are all
+zero are flagged, since they would force null lookahead on a
+conservative parallel partition.
+
 Usage:
     report.py TIMELINE.json [TIMELINE2.json ...] [--html out.html]
               [--only PREFIX] [--width N]
+    report.py --profile PROFILE.json [PROFILE2.json ...]
 
 Exit status: 0 on success, 1 on a malformed document.
 """
@@ -73,13 +82,70 @@ def fmt(v):
     return f"{v:.4g}"
 
 
+def _require(doc, path, keys, kind):
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: top level is not an object — not "
+                         f"a {kind} document")
+    for key in keys:
+        if key not in doc:
+            raise ValueError(f"{path}: missing '{key}' — not a "
+                             f"{kind} document")
+
+
+def _number_list(values, path, name):
+    if not isinstance(values, list) or any(
+            not isinstance(v, (int, float)) or isinstance(v, bool)
+            for v in values):
+        raise ValueError(f"{path}: series '{name}' is not a list of "
+                         "numbers — truncated or corrupt document")
+
+
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    for key in ("intervalUs", "horizonUs", "counters", "gauges"):
-        if key not in doc:
-            raise ValueError(f"{path}: missing '{key}' — not a "
-                             "timeline document")
+    if isinstance(doc, dict) and doc.get("engineProfile") == 1:
+        raise ValueError(f"{path}: this is an engine-profile "
+                         "document — render it with --profile")
+    _require(doc, path,
+             ("intervalUs", "horizonUs", "counters", "gauges"),
+             "timeline")
+    for kind in ("counters", "gauges"):
+        if not isinstance(doc[kind], dict):
+            raise ValueError(f"{path}: '{kind}' is not an object — "
+                             "truncated or corrupt document")
+        for name, values in doc[kind].items():
+            _number_list(values, path, f"{kind}.{name}")
+    return doc
+
+
+def load_profile(path):
+    with open(path) as f:
+        doc = json.load(f)
+    _require(doc, path, ("engineProfile", "queue", "tracks", "edges"),
+             "engine-profile")
+    if doc["engineProfile"] != 1:
+        raise ValueError(f"{path}: unsupported engine-profile schema "
+                         f"version {doc['engineProfile']!r}")
+    if not isinstance(doc["queue"], dict):
+        raise ValueError(f"{path}: 'queue' is not an object — "
+                         "truncated or corrupt document")
+    for key in ("pushes", "pops", "comparisons", "maxHeapSize",
+                "remainingAtEnd"):
+        if not isinstance(doc["queue"].get(key), (int, float)):
+            raise ValueError(f"{path}: queue.{key} missing or not a "
+                             "number — truncated or corrupt document")
+    for section, keys in (("tracks", ("name", "events", "sampled")),
+                          ("edges", ("src", "dst", "count",
+                                     "zeroDelta",
+                                     "minPositiveDeltaUs"))):
+        if not isinstance(doc[section], list):
+            raise ValueError(f"{path}: '{section}' is not an array — "
+                             "truncated or corrupt document")
+        for item in doc[section]:
+            if not isinstance(item, dict) or any(k not in item
+                                                 for k in keys):
+                raise ValueError(
+                    f"{path}: malformed {section} entry {item!r}")
     return doc
 
 
@@ -150,6 +216,86 @@ def render_text(paths, docs, only, width, out=sys.stdout):
             out.write("  %-*s |%s| min %s max %s %s\n" %
                       (name_w, name, line, fmt(min(values, default=0)),
                        fmt(max(values, default=0)), tail))
+        out.write("\n")
+
+
+# --- engine-profile rendering ----------------------------------------
+
+
+def _sketch_line(s):
+    if not isinstance(s, dict) or not s.get("count"):
+        return "no samples"
+    return ("n %s  min %s  p50 %s  p95 %s  p99 %s  max %s" %
+            tuple(fmt(s.get(k, 0)) for k in
+                  ("count", "min", "p50", "p95", "p99", "max")))
+
+
+def render_profile_text(paths, docs, out=None):
+    out = out if out is not None else sys.stdout
+    for path, doc in zip(paths, docs):
+        q = doc["queue"]
+        out.write("%s: engine profile (1-in-%s wall sampling, %s "
+                  "sampled events)\n" %
+                  (path, fmt(doc.get("sampleEvery", 1)),
+                   fmt(doc.get("sampledEvents", 0))))
+        per_pop = (q["comparisons"] / q["pops"]) if q["pops"] else 0.0
+        out.write("  queue: %s pushes, %s pops, %s remaining, "
+                  "max depth %s, %.2f comparisons/pop\n" %
+                  (fmt(q["pushes"]), fmt(q["pops"]),
+                   fmt(q["remainingAtEnd"]), fmt(q["maxHeapSize"]),
+                   per_pop))
+        cb = doc.get("callbacks", {})
+        if isinstance(cb, dict) and cb:
+            out.write("  callbacks: %s pooled spills, %s oversize"
+                      "%s\n" %
+                      (fmt(cb.get("spillConstructs", 0)),
+                       fmt(cb.get("oversizeConstructs", 0)),
+                       ", %s fresh pool blocks" %
+                       fmt(cb["freshPoolBlocks"])
+                       if "freshPoolBlocks" in cb else ""))
+        out.write("  dwell (us):  %s\n" %
+                  _sketch_line(doc.get("dwellUs")))
+        out.write("  heap depth:  %s\n" %
+                  _sketch_line(doc.get("heapDepth")))
+
+        out.write("  tracks (events by origin):\n")
+        name_w = max((len(str(t["name"])) for t in doc["tracks"]),
+                     default=4)
+        for t in sorted(doc["tracks"], key=lambda t: -t["events"]):
+            wall = t.get("wallNs")
+            out.write("    %-*s %10s events  %8s sampled%s\n" %
+                      (name_w, t["name"], fmt(t["events"]),
+                       fmt(t["sampled"]),
+                       "  wall(ns) " + _sketch_line(wall)
+                       if isinstance(wall, dict) and wall.get("count")
+                       else ""))
+
+        out.write("  lookahead graph (src -> dst, min positive "
+                  "delta):\n")
+        edges = sorted(doc["edges"],
+                       key=lambda e: (e["minPositiveDeltaUs"] == 0,
+                                      e["minPositiveDeltaUs"],
+                                      e["src"], e["dst"]))
+        zero_edges = 0
+        for e in edges:
+            if e["minPositiveDeltaUs"] > 0:
+                bound = "lookahead %s us" % fmt(e["minPositiveDeltaUs"])
+                if e.get("meanDeltaUs"):
+                    bound += " (mean %s)" % fmt(e["meanDeltaUs"])
+                if e["zeroDelta"]:
+                    bound += ", %s zero-delta!" % fmt(e["zeroDelta"])
+                    zero_edges += 1
+            else:
+                bound = "NO LOOKAHEAD (all deltas zero)"
+                zero_edges += 1
+            out.write("    %s -> %s: %s schedules, %s\n" %
+                      (e["src"], e["dst"], fmt(e["count"]), bound))
+        if not edges:
+            out.write("    (none recorded)\n")
+        if zero_edges:
+            out.write("  warning: %d edge(s) carry zero-delta "
+                      "schedules; a conservative parallel partition "
+                      "cut on them would stall\n" % zero_edges)
         out.write("\n")
 
 
@@ -255,6 +401,8 @@ def main(argv=None):
         description="Render timeline JSON as a dashboard")
     ap.add_argument("timelines", nargs="+",
                     help="timeline JSON files from the simulator")
+    ap.add_argument("--profile", action="store_true",
+                    help="inputs are engine-profile documents")
     ap.add_argument("--html", metavar="OUT",
                     help="write a self-contained HTML dashboard")
     ap.add_argument("--only", metavar="PREFIX",
@@ -264,12 +412,20 @@ def main(argv=None):
     args = ap.parse_args(argv)
 
     try:
-        docs = [load(p) for p in args.timelines]
+        if args.profile:
+            if args.html:
+                raise ValueError(
+                    "--html does not apply to --profile documents")
+            docs = [load_profile(p) for p in args.timelines]
+        else:
+            docs = [load(p) for p in args.timelines]
     except (OSError, ValueError, json.JSONDecodeError) as e:
         print("report: %s" % e, file=sys.stderr)
         return 1
 
-    if args.html:
+    if args.profile:
+        render_profile_text(args.timelines, docs)
+    elif args.html:
         render_html(args.timelines, docs, args.only, args.html)
         print("report: wrote %s" % args.html)
     else:

@@ -60,14 +60,106 @@ class PrimitivesTest(unittest.TestCase):
         self.assertEqual(report.fmt(0.1020384), "0.102")
 
 
+def profile_doc(**overrides):
+    d = {
+        "engineProfile": 1,
+        "enabled": True,
+        "sampleEvery": 256,
+        "sampledEvents": 40,
+        "queue": {"pushes": 10240, "pops": 10200, "comparisons": 81000,
+                  "maxHeapSize": 96, "remainingAtEnd": 40},
+        "callbacks": {"spillConstructs": 12, "oversizeConstructs": 0},
+        "dwellUs": {"count": 40, "sum": 4000.0, "min": 10.0,
+                    "max": 500.0, "p50": 90.0, "p95": 400.0,
+                    "p99": 480.0},
+        "heapDepth": {"count": 40, "sum": 3000.0, "min": 1.0,
+                      "max": 96.0, "p50": 70.0, "p95": 95.0,
+                      "p99": 96.0},
+        "tracks": [
+            {"name": "sim", "events": 200, "sampled": 1},
+            {"name": "n0.cpu0", "events": 10000, "sampled": 39,
+             "wallNs": {"count": 39, "sum": 9000.0, "min": 80.0,
+                        "max": 900.0, "p50": 200.0, "p95": 700.0,
+                        "p99": 880.0}},
+        ],
+        "edges": [
+            {"src": "n0.cpu0", "dst": "wire", "count": 500,
+             "zeroDelta": 0, "minPositiveDeltaUs": 100.0,
+             "meanDeltaUs": 100.0},
+            {"src": "n0.bus", "dst": "n0.bus", "count": 80,
+             "zeroDelta": 80, "minPositiveDeltaUs": 0.0,
+             "meanDeltaUs": 0.0},
+        ],
+    }
+    d.update(overrides)
+    return d
+
+
+def write_json(d, path, payload):
+    full = os.path.join(d, path)
+    with open(full, "w") as f:
+        if isinstance(payload, str):
+            f.write(payload)
+        else:
+            json.dump(payload, f)
+    return full
+
+
 class LoadTest(unittest.TestCase):
     def test_rejects_non_timeline_documents(self):
         with tempfile.TemporaryDirectory() as d:
-            path = os.path.join(d, "bench.json")
-            with open(path, "w") as f:
-                json.dump({"bench": "b", "scalars": {}}, f)
+            path = write_json(d, "bench.json",
+                              {"bench": "b", "scalars": {}})
             with self.assertRaises(ValueError):
                 report.load(path)
+
+    def test_rejects_profile_document_without_flag(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = write_json(d, "prof.json", profile_doc())
+            with self.assertRaisesRegex(ValueError, "--profile"):
+                report.load(path)
+
+    def test_rejects_truncated_series(self):
+        with tempfile.TemporaryDirectory() as d:
+            bad = doc()
+            bad["counters"]["ipc.allTrips"] = [0.0, None, 4.0]
+            path = write_json(d, "t.json", bad)
+            with self.assertRaisesRegex(ValueError, "ipc.allTrips"):
+                report.load(path)
+            bad["counters"] = "oops"
+            path = write_json(d, "t2.json", bad)
+            with self.assertRaisesRegex(ValueError, "counters"):
+                report.load(path)
+            path = write_json(d, "t3.json", [1, 2, 3])
+            with self.assertRaisesRegex(ValueError, "not an object"):
+                report.load(path)
+
+
+class LoadProfileTest(unittest.TestCase):
+    def check_raises(self, payload, pattern):
+        with tempfile.TemporaryDirectory() as d:
+            path = write_json(d, "p.json", payload)
+            with self.assertRaisesRegex(ValueError, pattern):
+                report.load_profile(path)
+
+    def test_accepts_well_formed_profile(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = write_json(d, "p.json", profile_doc())
+            self.assertEqual(report.load_profile(path)["sampleEvery"],
+                             256)
+
+    def test_rejects_timeline_and_wrong_schema(self):
+        self.check_raises(doc(), "engineProfile")
+        self.check_raises(profile_doc(engineProfile=2),
+                          "schema version")
+
+    def test_rejects_truncated_sections(self):
+        self.check_raises(profile_doc(queue={"pushes": 1}),
+                          "queue.pops")
+        self.check_raises(profile_doc(tracks=[{"name": "sim"}]),
+                          "tracks")
+        self.check_raises(profile_doc(edges=[{"src": "a"}]), "edges")
+        self.check_raises(profile_doc(edges="oops"), "edges")
 
 
 class VerdictTest(unittest.TestCase):
@@ -129,6 +221,34 @@ class RenderTest(unittest.TestCase):
         self.assertNotIn("<line", bare)
 
 
+class ProfileRenderTest(unittest.TestCase):
+    def render(self, d):
+        out = io.StringIO()
+        report.render_profile_text(["p.json"], [d], out)
+        return out.getvalue()
+
+    def test_renders_queue_tracks_and_lookahead(self):
+        text = self.render(profile_doc())
+        self.assertIn("1-in-256 wall sampling", text)
+        self.assertIn("10240 pushes", text)
+        self.assertIn("n0.cpu0", text)
+        self.assertIn("wall(ns)", text)
+        self.assertIn("n0.cpu0 -> wire: 500 schedules", text)
+        self.assertIn("lookahead 100 us", text)
+        self.assertIn("NO LOOKAHEAD", text)
+        self.assertIn("warning: 1 edge(s)", text)
+
+    def test_edges_sorted_by_lookahead_with_zeros_last(self):
+        text = self.render(profile_doc())
+        self.assertLess(text.index("n0.cpu0 -> wire"),
+                        text.index("n0.bus -> n0.bus"))
+
+    def test_profile_without_edges_renders_placeholder(self):
+        text = self.render(profile_doc(edges=[]))
+        self.assertIn("(none recorded)", text)
+        self.assertNotIn("warning:", text)
+
+
 class MainTest(unittest.TestCase):
     def test_end_to_end_terminal_and_html(self):
         with tempfile.TemporaryDirectory() as d:
@@ -148,19 +268,44 @@ class MainTest(unittest.TestCase):
             self.assertNotIn("<script", page)
             self.assertNotIn("<link", page)
 
+    def test_profile_mode_end_to_end(self):
+        with tempfile.TemporaryDirectory() as d:
+            src = write_json(d, "prof.json", profile_doc())
+            old = sys.stdout
+            sys.stdout = io.StringIO()
+            try:
+                self.assertEqual(report.main([src, "--profile"]), 0)
+                text = sys.stdout.getvalue()
+            finally:
+                sys.stdout = old
+            self.assertIn("lookahead 100 us", text)
+
     def test_malformed_input_exits_nonzero(self):
         with tempfile.TemporaryDirectory() as d:
-            bad = os.path.join(d, "bad.json")
-            with open(bad, "w") as f:
-                f.write("{not json")
+            bad = write_json(d, "bad.json", "{not json")
+            truncated = write_json(d, "trunc.json",
+                                   json.dumps(doc())[:80])
             old = sys.stderr
             sys.stderr = io.StringIO()
             try:
                 self.assertEqual(report.main([bad]), 1)
+                self.assertEqual(report.main([truncated]), 1)
                 self.assertEqual(
                     report.main([os.path.join(d, "absent.json")]), 1)
+                # Wrong mode for the document type: clear message,
+                # no traceback, in both directions.
+                prof = write_json(d, "p.json", profile_doc())
+                tl = write_json(d, "t.json", doc())
+                self.assertEqual(report.main([prof]), 1)
+                self.assertEqual(report.main([tl, "--profile"]), 1)
+                self.assertEqual(
+                    report.main([prof, "--profile", "--html",
+                                 os.path.join(d, "x.html")]), 1)
+                err = sys.stderr.getvalue()
             finally:
                 sys.stderr = old
+            self.assertIn("--profile", err)
+            self.assertNotIn("Traceback", err)
 
 
 if __name__ == "__main__":
