@@ -143,6 +143,8 @@ experimentToJson(const Experiment &exp)
     num("traceSampleRate", exp.traceSampleRate);
     boolean("engineProfile", exp.engineProfile);
     field("engineProfileFile", jsonString(exp.engineProfileFile));
+    integer("queueKind", exp.queueKind);
+    integer("expectedPendingEvents", exp.expectedPendingEvents);
     return doc + "\n}\n";
 }
 
@@ -166,7 +168,8 @@ experimentFromJson(const JsonValue &v)
         "deadlineUs", "retryBudget", "retryBackoffUs",
         "retryBackoffMaxUs", "svcQueueCap", "shedPolicy", "rtoMaxUs",
         "timelineIntervalUs", "timelineFile", "traceSampleRate",
-        "engineProfile", "engineProfileFile"};
+        "engineProfile", "engineProfileFile", "queueKind",
+        "expectedPendingEvents"};
     for (const auto &[key, value] : v.asObject()) {
         if (known.count(key) == 0)
             throw std::runtime_error(
@@ -282,6 +285,11 @@ experimentFromJson(const JsonValue &v)
         exp.engineProfile = boolField(v, "engineProfile");
     if (v.has("engineProfileFile"))
         exp.engineProfileFile = stringField(v, "engineProfileFile");
+    if (v.has("queueKind"))
+        exp.queueKind = intField(v, "queueKind");
+    if (v.has("expectedPendingEvents"))
+        exp.expectedPendingEvents =
+            intField(v, "expectedPendingEvents");
     return exp;
 }
 

@@ -3,23 +3,41 @@
  * Discrete-event simulation core: a time-ordered event queue with
  * stable FIFO ordering among simultaneous events.
  *
- * The queue is an explicit binary min-heap over (when, seq) rather
- * than a std::priority_queue: priority_queue::top() returns a const
- * reference, so popping a move-only event out of it needs a
- * const_cast (mutating a container element through top() — UB-bait),
- * and its pop() cannot be fused with the inspection the run loop just
- * did.  The explicit heap moves the root out legitimately, lets
- * runUntil() do exactly one heap inspection per executed event, and
- * reserves its backing storage up front so the steady state never
+ * The pending-event set is a selectable policy (QueueKind):
+ *
+ *  - **Heap** (the reference): an explicit binary min-heap over
+ *    (when, seq) rather than a std::priority_queue: priority_queue's
+ *    top() returns a const reference, so popping a move-only event
+ *    out of it needs a const_cast (mutating a container element
+ *    through top() — UB-bait), and its pop() cannot be fused with the
+ *    inspection the run loop just did.  The explicit heap moves the
+ *    root out legitimately and lets runUntil() do exactly one heap
+ *    inspection per executed event.  O(log n) per operation.
+ *
+ *  - **Ladder** (see ladder_queue.hh): the Tang/Goh/Thng three-tier
+ *    structure — unsorted far-future Top, adaptively-split bucket
+ *    rungs, sorted near-future Bottom — amortized O(1) per operation,
+ *    which is what keeps tens of thousands of pending events (the
+ *    thousand-node topologies ROADMAP item 2 aims at) off the heap's
+ *    O(log n) sift path.
+ *
+ * Both policies order by the same strict total order (when, seq), so
+ * they execute the *identical* event sequence — the fuzz oracle's
+ * queue.* family holds every simulator outcome bit-identical across
+ * the two.  Backing storage is reserved up front (sized by the
+ * reserveHint, see EventQueue()) so the steady state never
  * reallocates.  Callbacks are EventCallback (see callable.hh): 48
  * bytes of inline capture storage and a pooled spill path, so
- * scheduling stops allocating per event.
+ * scheduling stops allocating per event.  Fan-out call sites can
+ * stage several events in a Batch (scheduleBatch()) and commit them
+ * in one queue operation.
  */
 
 #ifndef HSIPC_SIM_EVENT_QUEUE_HH
 #define HSIPC_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -27,9 +45,17 @@
 #include "common/obs/engine_prof.hh"
 #include "common/time.hh"
 #include "sim/des/callable.hh"
+#include "sim/des/ladder_queue.hh"
 
 namespace hsipc::sim
 {
+
+/** Pending-event-set policy (Experiment::queueKind selects one). */
+enum class QueueKind
+{
+    Heap = 0,   //!< reference binary min-heap, O(log n)
+    Ladder = 1, //!< Tang/Goh/Thng ladder queue, amortized O(1)
+};
 
 /** The event queue driving a simulation. */
 class EventQueue
@@ -37,9 +63,33 @@ class EventQueue
   public:
     using Callback = EventCallback;
 
-    EventQueue() { heap.reserve(initialCapacity); }
+    /**
+     * @p reserveHint sizes the backing store for the expected peak
+     * pending-event population; 0 applies the historical default
+     * (1024 — the kernel simulator keeps a few dozen to a few hundred
+     * events in flight, so a page of headroom removes every
+     * steady-state reallocation).  Thousand-node experiments pass
+     * their own hint (Experiment::expectedPendingEvents) so growth
+     * reallocation never lands on the event path.
+     */
+    explicit EventQueue(QueueKind kind = QueueKind::Heap,
+                        std::size_t reserveHint = 0)
+    {
+        const std::size_t cap =
+            reserveHint ? reserveHint : defaultCapacity;
+        if (kind == QueueKind::Ladder)
+            ladder = std::make_unique<LadderQueue<Event>>(cap);
+        else
+            heap.reserve(cap);
+    }
 
     Tick now() const { return current; }
+
+    QueueKind
+    kind() const
+    {
+        return ladder ? QueueKind::Ladder : QueueKind::Heap;
+    }
 
     /**
      * Attach a self-profiler (see common/obs/engine_prof.hh): queue
@@ -57,28 +107,21 @@ class EventQueue
         profExecFlushed = executed;
         profCmps = 0;
         profMaxHeap = 0;
+        profLadderFlushed = {};
+        profBatchCommits = 0;
+        profBatchedEvents = 0;
+        if (p)
+            p->noteQueueKind(static_cast<int>(kind()));
     }
 
     /** Schedule @p cb at absolute time @p when (>= now). */
     void
     schedule(Tick when, Callback cb)
     {
-        hsipc_assert(when >= current);
-        if (prof) {
-            const std::size_t depth = heap.size() + 1;
-            if (depth > profMaxHeap)
-                profMaxHeap = depth;
-            // An event scheduled for `when` sits in the queue exactly
-            // `when - now` simulated ticks — dwell is known at push
-            // time, so events carry no extra timestamp.
-            if ((nextSeq & profMask) == 0) [[unlikely]]
-                prof->observePush(when - current, depth);
-            heap.push_back(Event{when, nextSeq++, std::move(cb)});
-            siftUpT<true>(heap.size() - 1);
-        } else {
-            heap.push_back(Event{when, nextSeq++, std::move(cb)});
-            siftUpT<false>(heap.size() - 1);
-        }
+        if (prof)
+            pushT<true>(when, std::move(cb));
+        else
+            pushT<false>(when, std::move(cb));
     }
 
     /** Schedule @p cb @p delay ticks from now. */
@@ -88,8 +131,90 @@ class EventQueue
         schedule(current + delay, std::move(cb));
     }
 
-    bool empty() const { return heap.empty(); }
-    std::size_t size() const { return heap.size(); }
+    /**
+     * A staging buffer for fan-out scheduling (retransmit bursts,
+     * open-arrival generators, kickoffs): stage events with
+     * schedule()/scheduleAfter(), then commit() lands them in one
+     * queue operation (the destructor commits any remainder).
+     *
+     * Commit order is staging order, and sequence numbers are
+     * assigned at commit in that order — a committed batch is
+     * equivalent, event for event and tie for tie, to calling
+     * EventQueue::schedule() in the same order.  Batching therefore
+     * never perturbs FIFO ordering or the heap/ladder identity; what
+     * it buys is one profiler/assert pass per batch and the ladder's
+     * ability to classify a run of far-future events back to back.
+     */
+    class Batch
+    {
+      public:
+        explicit Batch(EventQueue &q) : q_(q) {}
+        ~Batch() { commit(); }
+        Batch(const Batch &) = delete;
+        Batch &operator=(const Batch &) = delete;
+
+        void
+        schedule(Tick when, Callback cb)
+        {
+            if (n_ == capacity)
+                flush();
+            staged_[n_].when = when;
+            staged_[n_].cb = std::move(cb);
+            ++n_;
+        }
+
+        void
+        scheduleAfter(Tick delay, Callback cb)
+        {
+            schedule(q_.now() + delay, std::move(cb));
+        }
+
+        /** Land every staged event; empty commits are free. */
+        void
+        commit()
+        {
+            if (n_ > 0)
+                flush();
+        }
+
+      private:
+        friend class EventQueue;
+        struct Staged
+        {
+            Tick when = 0;
+            Callback cb;
+        };
+        //! Inline staging only: a batch never allocates, so the
+        //! steady state stays allocation-free.  Overflow commits the
+        //! full chunk and keeps staging — order is preserved.
+        static constexpr int capacity = 8;
+
+        void
+        flush()
+        {
+            q_.commitBatch(staged_, n_);
+            n_ = 0;
+        }
+
+        EventQueue &q_;
+        Staged staged_[capacity];
+        int n_ = 0;
+    };
+
+    /** Open a staging batch against this queue. */
+    Batch scheduleBatch() { return Batch(*this); }
+
+    bool
+    empty() const
+    {
+        return ladder ? ladder->empty() : heap.empty();
+    }
+
+    std::size_t
+    size() const
+    {
+        return ladder ? ladder->size() : heap.size();
+    }
 
     /** Events executed since construction (for the metrics dump). */
     std::uint64_t eventsRun() const { return executed; }
@@ -98,30 +223,61 @@ class EventQueue
     bool
     runOne()
     {
-        if (heap.empty())
+        if (empty())
             return false;
-        if (prof) {
-            execOne<true>();
-            flushProfile();
+        if (ladder) {
+            if (prof) {
+                execOne<true, true>();
+                flushProfile();
+            } else {
+                execOne<false, true>();
+            }
         } else {
-            execOne<false>();
+            if (prof) {
+                execOne<true, false>();
+                flushProfile();
+            } else {
+                execOne<false, false>();
+            }
         }
         return true;
     }
 
     /**
      * Run until the clock passes @p end or the queue drains.  The hot
-     * loop inspects the heap root once per event: the bounds check
-     * reads the root in place, and the same read feeds the pop.  The
-     * profiled instantiation is dispatched once, outside the loop.
+     * loop inspects the earliest pending event once per executed
+     * event: the bounds check reads it in place, and the same read
+     * feeds the pop.  The profiled and policy instantiations are
+     * dispatched once, outside the loop.
      */
     void
     runUntil(Tick end)
     {
-        if (prof)
-            runUntilT<true>(end);
-        else
-            runUntilT<false>(end);
+        if (ladder) {
+            if (prof)
+                runUntilT<true, true>(end);
+            else
+                runUntilT<false, true>(end);
+        } else {
+            if (prof)
+                runUntilT<true, false>(end);
+            else
+                runUntilT<false, false>(end);
+        }
+    }
+
+    /**
+     * Test-only (see sim/check/test_hooks.hh, the queue-misordering
+     * drill): break the ladder's FIFO tiebreak so simultaneous events
+     * pop LIFO.  Planting a divergence this way proves the fuzz
+     * oracle's queue.* bit-identity family actually bites.  No effect
+     * on the heap policy.
+     */
+    void
+    plantLadderMisorderTiebreak()
+    {
+        if (ladder)
+            ladder->plantMisorderTiebreak();
     }
 
   private:
@@ -140,16 +296,70 @@ class EventQueue
     }
 
     /**
-     * Pop and execute the root.  The Prof=true instantiation counts
-     * the pop, and for the deterministic 1-in-N subsample brackets
-     * the event body with a steady_clock pair; the Prof=false one is
-     * byte-for-byte the pre-profiler hot loop body.
+     * The single insertion path (schedule() and Batch commits): the
+     * profiled instantiation tracks peak population and the 1-in-N
+     * dwell/depth subsample; Prof=false compiles to the bare insert.
      */
     template <bool Prof>
     void
+    pushT(Tick when, Callback cb)
+    {
+        hsipc_assert(when >= current);
+        if constexpr (Prof) {
+            const std::size_t depth = size() + 1;
+            if (depth > profMaxHeap)
+                profMaxHeap = depth;
+            // An event scheduled for `when` sits in the queue exactly
+            // `when - now` simulated ticks — dwell is known at push
+            // time, so events carry no extra timestamp.
+            if ((nextSeq & profMask) == 0) [[unlikely]]
+                prof->observePush(when - current, depth);
+        }
+        if (ladder) {
+            ladder->push(Event{when, nextSeq++, std::move(cb)});
+        } else {
+            heap.push_back(Event{when, nextSeq++, std::move(cb)});
+            siftUpT<Prof>(heap.size() - 1);
+        }
+    }
+
+    /**
+     * Land a staged batch.  Events are inserted in staging order with
+     * sequence numbers assigned here, so the result is exactly a run
+     * of schedule() calls; the batch counters feed the profiler's
+     * fan-out ledger.
+     */
+    void
+    commitBatch(Batch::Staged *staged, int n)
+    {
+        if (prof) {
+            ++profBatchCommits;
+            profBatchedEvents += static_cast<std::uint64_t>(n);
+            for (int i = 0; i < n; ++i)
+                pushT<true>(staged[i].when, std::move(staged[i].cb));
+        } else {
+            for (int i = 0; i < n; ++i)
+                pushT<false>(staged[i].when, std::move(staged[i].cb));
+        }
+    }
+
+    /**
+     * Pop and execute the earliest event.  The Prof=true
+     * instantiation counts the pop, and for the deterministic 1-in-N
+     * subsample brackets the event body with a steady_clock pair; the
+     * Prof=false heap instantiation is byte-for-byte the pre-profiler
+     * hot loop body.
+     */
+    template <bool Prof, bool UseLadder>
+    void
     execOne()
     {
-        Event ev = popTop<Prof>();
+        Event ev = [this]() {
+            if constexpr (UseLadder)
+                return ladder->pop();
+            else
+                return popTop<Prof>();
+        }();
         current = ev.when;
         ++executed;
         if constexpr (Prof) {
@@ -176,12 +386,17 @@ class EventQueue
         prof->endEvent();
     }
 
-    template <bool Prof>
+    template <bool Prof, bool UseLadder>
     void
     runUntilT(Tick end)
     {
-        while (!heap.empty() && heap.front().when <= end)
-            execOne<Prof>();
+        if constexpr (UseLadder) {
+            while (!ladder->empty() && ladder->front().when <= end)
+                execOne<Prof, true>();
+        } else {
+            while (!heap.empty() && heap.front().when <= end)
+                execOne<Prof, false>();
+        }
         if (current < end)
             current = end;
         if constexpr (Prof)
@@ -191,10 +406,12 @@ class EventQueue
     /**
      * Hand the profiler the queue counters it deliberately does not
      * keep itself: pushes are the seq-counter delta and pops the
-     * executed delta since the last flush; comparisons and peak heap
-     * depth accumulate in queue members whose cache lines every
-     * event dirties anyway.  Runs after every run loop, so the
-     * ledgers are current whenever control returns to the caller.
+     * executed delta since the last flush; comparisons and peak
+     * population accumulate in queue members whose cache lines every
+     * event dirties anyway.  The ladder's structural ledger (rung
+     * spawns, Top transfers, Bottom sorts) and the batch fan-out
+     * counters ride the same flush.  Runs after every run loop, so
+     * the ledgers are current whenever control returns to the caller.
      */
     void
     flushProfile()
@@ -205,6 +422,22 @@ class EventQueue
         profSeqFlushed = nextSeq;
         profExecFlushed = executed;
         profCmps = 0;
+        if (ladder) {
+            const auto &s = ladder->stats();
+            prof->addLadderTotals(
+                s.topTransfers - profLadderFlushed.topTransfers,
+                s.rungSpawns - profLadderFlushed.rungSpawns,
+                s.bottomSorts - profLadderFlushed.bottomSorts,
+                s.sortedEvents - profLadderFlushed.sortedEvents,
+                s.maxBucket);
+            profLadderFlushed = s;
+        }
+        if (profBatchCommits > 0) {
+            prof->addBatchTotals(profBatchCommits,
+                                 profBatchedEvents);
+            profBatchCommits = 0;
+            profBatchedEvents = 0;
+        }
     }
 
     /** Remove and return the root, restoring the heap invariant. */
@@ -278,14 +511,13 @@ class EventQueue
             profCmps += cmps;
     }
 
-    /**
-     * Pre-sized backing store: the kernel simulator keeps a few dozen
-     * to a few hundred events in flight, so one page of headroom
-     * removes every steady-state reallocation.
-     */
-    static constexpr std::size_t initialCapacity = 1024;
+    /** The historical pre-sized backing store (reserveHint = 0). */
+    static constexpr std::size_t defaultCapacity = 1024;
 
     std::vector<Event> heap;
+    //! Non-null exactly when the policy is QueueKind::Ladder; the
+    //! heap vector stays empty then.
+    std::unique_ptr<LadderQueue<Event>> ladder;
     Tick current = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t executed = 0;
@@ -296,9 +528,13 @@ class EventQueue
     // over.  profMask is cached so the 1-in-N tests stay local too.
     std::uint64_t profMask = 0;
     std::uint64_t profCmps = 0;        //!< sift comparisons since flush
-    std::size_t profMaxHeap = 0;       //!< peak depth since attach
+    std::size_t profMaxHeap = 0;       //!< peak population since attach
     std::uint64_t profSeqFlushed = 0;  //!< nextSeq at last flush
     std::uint64_t profExecFlushed = 0; //!< executed at last flush
+    //! Ladder structural counters already handed over.
+    LadderQueue<Event>::Stats profLadderFlushed;
+    std::uint64_t profBatchCommits = 0;  //!< batch commits since flush
+    std::uint64_t profBatchedEvents = 0; //!< events those staged
 };
 
 } // namespace hsipc::sim

@@ -1,0 +1,414 @@
+/**
+ * @file
+ * A ladder queue (Tang, Goh, Thng, "Ladder queue: An O(1) priority
+ * queue structure for large-scale discrete event simulation", TOMACS
+ * 2005): the pending-event set behind EventQueue's `Ladder` policy.
+ *
+ * Three tiers, from far future to imminent:
+ *
+ *  - **Top**: an unsorted append-only array holding every event at or
+ *    beyond `topStart_`.  Insertion is O(1); nothing is ordered until
+ *    the simulation actually approaches these timestamps.
+ *
+ *  - **Ladder**: rungs of equal-width buckets.  Rung 0 is spawned by
+ *    partitioning Top over [topMin, topMax]; when a bucket about to be
+ *    consumed holds more than `spawnThreshold` events and its width is
+ *    still splittable, it is re-partitioned into a finer child rung
+ *    instead of being sorted.  Insertion into a rung is O(1) (index
+ *    arithmetic); the recursion bounds the size of anything we ever
+ *    sort.
+ *
+ *  - **Bottom**: one sorted array with a consume cursor, fed by
+ *    sorting the next nonempty bucket of the finest rung.  pop() is a
+ *    cursor increment; near-future events pushed after the sort are
+ *    placed by binary insertion (and a FIFO storm of now-timestamped
+ *    events degenerates to an O(1) append, because a fresh seq sorts
+ *    after everything already there).
+ *
+ * Ordering is the engine's strict total order (when, seq) — no two
+ * events compare equal — so plain std::sort yields the one correct
+ * permutation and the pop sequence is *identical* to the reference
+ * binary heap's.  That identity is what the fuzz oracle's queue.*
+ * family pins across the whole configuration surface.
+ *
+ * Steady-state behaviour is allocation-free (pinned by tests): rungs
+ * are recycled from a high-water-mark pool (`rungs_` never shrinks,
+ * `active_` counts the live prefix), Bottom/Top vectors keep their
+ * capacity across reuse, and spawn depth is capped by `maxRungs` (an
+ * over-threshold bucket at the cap is simply sorted — correct, just a
+ * bigger sort).  Bucket storage is block-recycled through a spare
+ * pool: a drained bucket donates its array to `spares_`, and a bucket
+ * about to grow adopts the largest banked block instead of
+ * reallocating.  Without the pool a wide rung strands capacity behind
+ * its consume cursor — the cursor marches forward through fresh
+ * buckets, growing each from scratch while the drained ones behind it
+ * hold the high-water arrays — so it would allocate at a slow constant
+ * rate for the entire (possibly enormous) first sweep of the rung.
+ */
+
+#ifndef HSIPC_SIM_LADDER_QUEUE_HH
+#define HSIPC_SIM_LADDER_QUEUE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/time.hh"
+
+namespace hsipc::sim
+{
+
+/**
+ * The ladder structure over an event type exposing `when` (Tick) and
+ * `seq` (std::uint64_t).  Key order is (when, seq) ascending — the
+ * same strict total order the binary heap uses.
+ */
+template <typename EventT> class LadderQueue
+{
+  public:
+    /** Structural telemetry for the engine profiler (cumulative). */
+    struct Stats
+    {
+        std::uint64_t topTransfers = 0; //!< Top partitioned into rung 0
+        std::uint64_t rungSpawns = 0; //!< buckets split into finer rungs
+        std::uint64_t bottomSorts = 0;  //!< buckets sorted into Bottom
+        std::uint64_t sortedEvents = 0; //!< events those sorts ordered
+        std::uint64_t maxBucket = 0;    //!< peak single-bucket population
+    };
+
+    explicit LadderQueue(std::size_t reserveHint)
+    {
+        top_.reserve(reserveHint);
+        bottom_.reserve(spawnThreshold * 2);
+        spares_.reserve(maxSpares);
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    const Stats &stats() const { return stats_; }
+
+    /**
+     * Test-only planted defect (EventQueue::plantLadderMisorderTiebreak
+     * and the fuzz drill behind it): reverse the seq tiebreak, so
+     * simultaneous events pop LIFO instead of FIFO.  Timestamp order
+     * is untouched — exactly the subtle misordering a differential
+     * oracle must catch, and nothing a single-run invariant would.
+     */
+    void plantMisorderTiebreak() { misorder_ = true; }
+
+    void
+    push(EventT ev)
+    {
+        ++size_;
+        // Far future: O(1) unsorted append.
+        if (ev.when >= topStart_) {
+            if (top_.empty() || ev.when < topMin_)
+                topMin_ = ev.when;
+            if (top_.empty() || ev.when > topMax_)
+                topMax_ = ev.when;
+            top_.push_back(std::move(ev));
+            return;
+        }
+        // Ladder: the first (coarsest) rung whose unconsumed span
+        // still covers the timestamp.  Rung spans nest strictly, so
+        // scanning coarse to fine finds the unique owner.
+        for (std::size_t k = 0; k < active_; ++k) {
+            Rung &r = rungs_[k];
+            if (ev.when >= rungCurStart(r)) {
+                appendTo(bucketOf(r, ev.when), std::move(ev));
+                ++r.count;
+                return;
+            }
+        }
+        // Imminent: binary insertion into the sorted live suffix of
+        // Bottom.  A fresh seq sorts last among equal timestamps, so
+        // same-time storms take the push_back fast path.
+        if (bottom_.empty() || less(bottom_.back(), ev)) {
+            bottom_.push_back(std::move(ev));
+            return;
+        }
+        const auto pos = std::upper_bound(
+            bottom_.begin() +
+                static_cast<std::ptrdiff_t>(bottomHead_),
+            bottom_.end(), ev,
+            [this](const EventT &a, const EventT &b) {
+                return less(a, b);
+            });
+        bottom_.insert(pos, std::move(ev));
+    }
+
+    /** The earliest pending event; requires !empty(). */
+    const EventT &
+    front()
+    {
+        ensureBottom();
+        return bottom_[bottomHead_];
+    }
+
+    /** Remove and return the earliest pending event; !empty(). */
+    EventT
+    pop()
+    {
+        ensureBottom();
+        --size_;
+        return std::move(bottom_[bottomHead_++]);
+    }
+
+  private:
+    // Tuning from the TOMACS paper's recommendations, adapted to this
+    // engine's event sizes: buckets per rung (their THRES also bounds
+    // what a single sort may see) and a spawn-depth cap that bounds
+    // rung recycling.  At the cap an oversized bucket is sorted as-is.
+    // 128 buckets let a typical reschedule horizon (~100 ticks at the
+    // engine's microsecond granularity) partition straight into
+    // single-tick buckets — which skip their Bottom sort entirely —
+    // instead of paying an intermediate rung redistribution.
+    static constexpr std::size_t bucketCount = 128;
+    static constexpr std::size_t spawnThreshold = 64;
+    static constexpr std::size_t maxRungs = 8;
+    // Spare-block pool bound: enough to absorb a full rung's worth of
+    // drained buckets (plus a child rung in flight) before adoption
+    // catches up.  Overflow donations are simply dropped.  Only
+    // blocks of at least minSpareCap enter the pool — smaller ones
+    // stay with their bucket, where rung recycling reuses them in
+    // place without any pool traffic.
+    static constexpr std::size_t maxSpares = 2 * bucketCount;
+    static constexpr std::size_t minSpareCap = 4 * spawnThreshold;
+
+    struct Rung
+    {
+        Tick start = 0;      //!< timestamp of bucket 0's left edge
+        int widthShift = 0;  //!< bucket span is 1 << widthShift ticks
+        std::size_t cur = 0; //!< first unconsumed bucket
+        std::size_t count = 0; //!< events across unconsumed buckets
+        std::vector<std::vector<EventT>> buckets =
+            std::vector<std::vector<EventT>>(bucketCount);
+    };
+
+    bool
+    less(const EventT &a, const EventT &b) const
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        // Branchless tiebreak: XOR with the (test-only) misorder
+        // plant keeps the hot comparator free of a second branch.
+        return (a.seq < b.seq) != misorder_;
+    }
+
+    static Tick
+    rungCurStart(const Rung &r)
+    {
+        return r.start +
+               (static_cast<Tick>(r.cur) << r.widthShift);
+    }
+
+    std::vector<EventT> &
+    bucketOf(Rung &r, Tick when)
+    {
+        // Widths are powers of two, so bucket placement is a shift —
+        // an integer division here would dominate the O(1) push.
+        // The clamp only matters for the rounding slack of the last
+        // bucket; arithmetic places everything else exactly.
+        const std::size_t i = std::min<std::size_t>(
+            static_cast<std::size_t>((when - r.start) >>
+                                     r.widthShift),
+            bucketCount - 1);
+        return r.buckets[i];
+    }
+
+    /**
+     * Bank a drained bucket's array in the spare pool (the bucket is
+     * left with zero capacity and re-adopts a block when refilled).
+     * Blocks below minSpareCap keep their storage with the bucket:
+     * donating every small bucket would make every refill cycle
+     * through the pool — a linear adopt scan per bucket, per epoch —
+     * for capacity the recycled rung would have kept anyway.
+     */
+    void
+    donate(std::vector<EventT> &b)
+    {
+        b.clear();
+        if (b.capacity() < minSpareCap ||
+            spares_.size() == maxSpares)
+            return;
+        spares_.push_back(std::move(b)); // never reallocates: reserved
+    }
+
+    /**
+     * Append to a bucket, adopting a banked spare block instead of
+     * reallocating when the bucket is full.  Best fit — the smallest
+     * block that still grows the bucket — so small buckets don't
+     * hoard the large blocks the marching fill bucket needs.  The
+     * content move is the same work a realloc would do, minus the
+     * malloc.
+     */
+    void
+    appendTo(std::vector<EventT> &b, EventT ev)
+    {
+        if (b.size() == b.capacity() && !spares_.empty()) {
+            std::size_t best = spares_.size();
+            std::size_t bestCap = 0;
+            for (std::size_t i = 0; i < spares_.size(); ++i) {
+                const std::size_t cap = spares_[i].capacity();
+                if (cap > b.capacity() &&
+                    (best == spares_.size() || cap < bestCap)) {
+                    bestCap = cap;
+                    best = i;
+                }
+            }
+            if (best != spares_.size()) {
+                std::vector<EventT> s = std::move(spares_[best]);
+                if (best != spares_.size() - 1)
+                    spares_[best] = std::move(spares_.back());
+                spares_.pop_back();
+                for (EventT &old : b)
+                    s.push_back(std::move(old)); // fits: cap > b's
+                b.swap(s);
+                donate(s); // return the outgrown block
+            }
+        }
+        b.push_back(std::move(ev));
+    }
+
+    /** Recycle (or grow) a rung spanning [@p start, @p start + span). */
+    Rung &
+    spawnRung(Tick start, Tick span)
+    {
+        if (active_ == rungs_.size())
+            rungs_.emplace_back(); // cold: only past the high-water mark
+        Rung &r = rungs_[active_++];
+        r.start = start;
+        // Smallest power-of-two bucket width covering the span:
+        // placement stays a shift, and a child rung (one parent
+        // bucket, span 2^k) splits into exact width-(2^k / 64)
+        // buckets with no rounding slack.
+        r.widthShift = 0;
+        while ((static_cast<Tick>(bucketCount) << r.widthShift) <
+               span)
+            ++r.widthShift;
+        r.cur = 0;
+        r.count = 0;
+        return r;
+    }
+
+    /** Partition Top into rung 0 and advance the Top boundary. */
+    void
+    transferTop()
+    {
+        ++stats_.topTransfers;
+        Rung &r = spawnRung(topMin_, topMax_ - topMin_ + 1);
+        for (EventT &ev : top_) {
+            appendTo(bucketOf(r, ev.when), std::move(ev));
+            ++r.count;
+        }
+        top_.clear();
+        // Everything at or past the boundary stays O(1)-insertable
+        // into Top; everything earlier now has a ladder home.
+        topStart_ = topMax_ + 1;
+    }
+
+    /**
+     * Refill Bottom from the finest rung (spawning finer rungs off
+     * oversized buckets), or from Top once the ladder is dry.  Called
+     * only from front()/pop() — never reentrantly, since the engine
+     * runs callbacks outside the queue's own methods.
+     */
+    void
+    ensureBottom()
+    {
+        while (bottomHead_ == bottom_.size()) {
+            bottom_.clear();
+            bottomHead_ = 0;
+            // Retire drained rungs (their buckets keep capacity for
+            // the next spawn at this depth).
+            while (active_ > 0 && rungs_[active_ - 1].count == 0)
+                --active_;
+            if (active_ == 0) {
+                hsipc_assert(!top_.empty() &&
+                             "ladder pop/front on an empty queue");
+                transferTop();
+                continue;
+            }
+            Rung &r = rungs_[active_ - 1];
+            while (r.buckets[r.cur].empty())
+                ++r.cur;
+            std::vector<EventT> &b = r.buckets[r.cur];
+            // A bucket only grows until the cursor reaches it, so its
+            // size at consumption is its peak population — tracking
+            // the stat here keeps it out of the per-push hot path.
+            if (b.size() > stats_.maxBucket)
+                stats_.maxBucket = b.size();
+            if (b.size() > spawnThreshold && r.widthShift > 0 &&
+                active_ < maxRungs) {
+                // Too coarse to sort: split this bucket's span into a
+                // finer child rung and consume that instead.
+                ++stats_.rungSpawns;
+                const Tick start = rungCurStart(r);
+                r.count -= b.size();
+                ++r.cur;
+                // spawnRung may grow rungs_, invalidating r — but b
+                // stays valid: moving a Rung moves its buckets
+                // vector's heap array wholesale, never relocating the
+                // bucket objects inside it.  r is not used below.
+                Rung &child =
+                    spawnRung(start, Tick{1} << r.widthShift);
+                for (EventT &ev : b) {
+                    appendTo(bucketOf(child, ev.when),
+                             std::move(ev));
+                    ++child.count;
+                }
+                donate(b);
+                continue;
+            }
+            // (when, seq) is a strict total order, so this sort has
+            // exactly one result — the binary heap's pop order.
+            // Single-tick buckets skip it: every path into a bucket
+            // appends in increasing seq order (direct pushes carry
+            // the globally largest seq; transferTop and rung-spawn
+            // redistribution preserve relative order from an array
+            // that is itself seq-ordered by induction), and with one
+            // when value per bucket, seq order *is* (when, seq)
+            // order.  The planted-misorder drill keeps the sort so
+            // the reversed tiebreak actually bites.
+            if (r.widthShift > 0 || misorder_) {
+                std::sort(b.begin(), b.end(),
+                          [this](const EventT &x, const EventT &y) {
+                              return less(x, y);
+                          });
+                ++stats_.bottomSorts;
+                stats_.sortedEvents += b.size();
+            }
+            r.count -= b.size();
+            ++r.cur;
+            // Move out rather than swap storage: a swap would rotate
+            // capacities through the bucket ring, so one small vector
+            // circulates and regrows every cycle.  Moving lets Bottom
+            // converge to its own high-water capacity, and the drained
+            // bucket's block goes back to the spare pool.
+            bottom_.insert(bottom_.end(),
+                           std::make_move_iterator(b.begin()),
+                           std::make_move_iterator(b.end()));
+            donate(b);
+        }
+    }
+
+    std::vector<EventT> bottom_; //!< sorted; [bottomHead_, end) live
+    std::size_t bottomHead_ = 0;
+    std::vector<Rung> rungs_; //!< high-water pool; first active_ live
+    std::size_t active_ = 0;
+    std::vector<EventT> top_; //!< unsorted far future (>= topStart_)
+    std::vector<std::vector<EventT>> spares_; //!< recycled bucket blocks
+    Tick topStart_ = 0;
+    Tick topMin_ = 0;
+    Tick topMax_ = 0;
+    std::size_t size_ = 0;
+    bool misorder_ = false; //!< test-only reversed tiebreak plant
+    Stats stats_;
+};
+
+} // namespace hsipc::sim
+
+#endif // HSIPC_SIM_LADDER_QUEUE_HH

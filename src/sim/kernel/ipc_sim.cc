@@ -166,8 +166,20 @@ class Sim
           // jitter come from a third stream, and with every knob at
           // its default the layer draws nothing at all.
           robust(robustnessEnabled(exp)),
-          robustRng(exp.seed ^ 0xB0B57EC0DEull)
+          robustRng(exp.seed ^ 0xB0B57EC0DEull),
+          // The pending-event set: policy and reservation are
+          // experiment knobs (strictly non-semantic — both policies
+          // pop the identical (when, seq) order, pinned by the fuzz
+          // oracle's queue.* family).
+          eq(static_cast<QueueKind>(exp.queueKind),
+             static_cast<std::size_t>(exp.expectedPendingEvents))
     {
+        // Planted defect for the fuzzer's self-test: reverse the
+        // ladder's FIFO tiebreak so the queue.* differential has a
+        // real divergence to catch (see sim/check/test_hooks.hh).
+        if (check::testHooks().ladderMisorderTiebreak)
+            eq.plantLadderMisorderTiebreak();
+
         // Resolve the observability sinks before anything registers a
         // track: an external tracer (the caller enables it) or the
         // owned one when the experiment names a trace file.  Metrics
@@ -279,12 +291,14 @@ class Sim
                 rc.srcNode = src;
                 rc.dstNode = 1 - src;
                 h.mediumToDst = [this, src](int bytes,
-                                            EventQueue::Callback cb) {
-                    rawWire(src, 1 - src, bytes, std::move(cb));
+                                            EventQueue::Callback cb,
+                                            EventQueue::Batch *b) {
+                    rawWire(src, 1 - src, bytes, std::move(cb), b);
                 };
                 h.mediumToSrc = [this, src](int bytes,
-                                            EventQueue::Callback cb) {
-                    rawWire(1 - src, src, bytes, std::move(cb));
+                                            EventQueue::Callback cb,
+                                            EventQueue::Batch *b) {
+                    rawWire(1 - src, src, bytes, std::move(cb), b);
                 };
                 chans[static_cast<std::size_t>(src)] =
                     std::make_unique<ReliableChannel>(eq, rc, injector,
@@ -319,22 +333,29 @@ class Sim
         // server loops only; clients materialize per arrival.  Closed
         // mode keeps the classic fixed client/server pairs (a robust
         // closed client opens a tracked request around each trip).
+        // The kickoff is the largest single fan-out in the run — two
+        // events per conversation plus the first arrival and every
+        // crash window — so stage it all and commit once.  Staging
+        // order is exactly the previous schedule order, so the batch
+        // changes no tie.
         const bool open = exp.arrivalMode != 0;
+        auto kickoff = eq.scheduleBatch();
         for (std::size_t i = 0; i < convs.size(); ++i) {
             const int conv = static_cast<int>(i);
             if (!open) {
-                eq.schedule(static_cast<Tick>(i) * 7, [this, conv]() {
-                    if (robust)
-                        startRequest(conv);
-                    else
-                        clientSend(conv);
-                });
+                kickoff.schedule(
+                    static_cast<Tick>(i) * 7, [this, conv]() {
+                        if (robust)
+                            startRequest(conv);
+                        else
+                            clientSend(conv);
+                    });
             }
-            eq.schedule(3 + static_cast<Tick>(i) * 7,
-                        [this, conv]() { serverReceive(conv); });
+            kickoff.schedule(3 + static_cast<Tick>(i) * 7,
+                             [this, conv]() { serverReceive(conv); });
         }
         if (open)
-            scheduleNextArrival();
+            scheduleNextArrival(&kickoff);
 
         // A crash wipes the node's volatile kernel state, not just
         // the packets in flight: queued requests are lost (retries or
@@ -343,10 +364,13 @@ class Sim
         if (robust) {
             for (const CrashWindow &w : exp.crashSchedule) {
                 const int node = w.node;
-                eq.schedule(usToTicks(w.startUs),
-                            [this, node]() { crashFlush(node); });
+                kickoff.schedule(usToTicks(w.startUs),
+                                 [this, node]() { crashFlush(node); });
             }
         }
+        // Commit before the timeline boundary below is scheduled, so
+        // the kickoff keeps its historical sequence numbers.
+        kickoff.commit();
 
         // Deterministic trace sampling: every recorder shares one
         // pure (seed, id) decision, so a sampled message's causal
@@ -1079,10 +1103,11 @@ class Sim
      * enabled, a fixed wire delay otherwise.
      */
     void
-    rawWire(int from, int to, int bytes, EventQueue::Callback deliver)
+    rawWire(int from, int to, int bytes, EventQueue::Callback deliver,
+            EventQueue::Batch *batch = nullptr)
     {
         if (ring) {
-            ring->send(from, to, bytes, std::move(deliver));
+            ring->send(from, to, bytes, std::move(deliver), batch);
         } else if (engProf) {
             // The inter-node lookahead edge: whoever is transmitting
             // now schedules a delivery wireUs in the future — the
@@ -1090,12 +1115,17 @@ class Sim
             // lookahead a sharded engine could exploit between nodes.
             const Tick delay = usToTicks(exp.wireUs);
             engProf->edge(wireOrigin, delay);
-            eq.scheduleAfter(delay,
-                             [this, inner = std::move(deliver)]() {
-                                 obs::EngineProfiler::Scope s(
-                                     engProf, wireOrigin);
-                                 inner();
-                             });
+            auto wrapped = [this, inner = std::move(deliver)]() {
+                obs::EngineProfiler::Scope s(engProf, wireOrigin);
+                inner();
+            };
+            if (batch)
+                batch->scheduleAfter(delay, std::move(wrapped));
+            else
+                eq.scheduleAfter(delay, std::move(wrapped));
+        } else if (batch) {
+            batch->scheduleAfter(usToTicks(exp.wireUs),
+                                 std::move(deliver));
         } else {
             eq.scheduleAfter(usToTicks(exp.wireUs),
                              std::move(deliver));
@@ -1133,8 +1163,14 @@ class Sim
 
     // --- Client side -----------------------------------------------
 
+    /**
+     * @p batch, when non-null, is startRequest()'s staging batch
+     * (holding the deadline timer): the retry timer is staged into it
+     * and it is committed before the attempt is handed to the host,
+     * preserving the exact unbatched sequence order.
+     */
     void
-    clientSend(int conv)
+    clientSend(int conv, EventQueue::Batch *batch = nullptr)
     {
         Conversation &cv = convs[static_cast<std::size_t>(conv)];
         // No new attempt once the request resolved — or while an
@@ -1168,7 +1204,7 @@ class Sim
             ++cv.attempt;
             ++rpcTotals.attempts;
             if (cv.retriesLeft > 0)
-                armAttemptTimer(conv);
+                armAttemptTimer(conv, batch);
         }
         if (pathLog.enabled())
             pathLog.start(cv.msgId, eq.now());
@@ -1181,6 +1217,8 @@ class Sim
         // than hijacking the newer attempt's causal record.
         const long m = cv.msgId;
         const long rid = cv.rid;
+        if (batch)
+            batch->commit();
         clientHost(conv).submit(
             act("sendSyscall", costsOf(conv).sendSyscall, cn, prioTask,
                 [this, conv, m, rid]() {
@@ -1250,12 +1288,18 @@ class Sim
                             : -1;
         ++rpcTotals.offered;
         tlAdd(tlRpcOffered);
+        // The request's control events — deadline timer and first
+        // retry timer — land in one batch; clientSend() commits it
+        // before handing the attempt to the host, so the staged pair
+        // keeps the exact sequence order of unbatched scheduling.
+        auto batch = eq.scheduleBatch();
         if (cv.deadlineAt >= 0) {
             const long rid = cv.rid;
-            eq.schedule(cv.deadlineAt,
-                        [this, conv, rid]() { onDeadline(conv, rid); });
+            batch.schedule(cv.deadlineAt, [this, conv, rid]() {
+                onDeadline(conv, rid);
+            });
         }
-        clientSend(conv);
+        clientSend(conv, &batch);
     }
 
     /**
@@ -1264,7 +1308,7 @@ class Sim
      * jitter so synchronized clients do not retry in lockstep.
      */
     void
-    armAttemptTimer(int conv)
+    armAttemptTimer(int conv, EventQueue::Batch *batch = nullptr)
     {
         Conversation &cv = convs[static_cast<std::size_t>(conv)];
         double wait = exp.retryBackoffUs;
@@ -1275,10 +1319,14 @@ class Sim
         wait *= robustRng.uniform(0.75, 1.25);
         const long rid = cv.rid;
         const int attempt = cv.attempt;
-        eq.scheduleAfter(std::max<Tick>(1, usToTicks(wait)),
-                         [this, conv, rid, attempt]() {
-                             onAttemptTimeout(conv, rid, attempt);
-                         });
+        const Tick delay = std::max<Tick>(1, usToTicks(wait));
+        auto fire = [this, conv, rid, attempt]() {
+            onAttemptTimeout(conv, rid, attempt);
+        };
+        if (batch)
+            batch->scheduleAfter(delay, std::move(fire));
+        else
+            eq.scheduleAfter(delay, std::move(fire));
     }
 
     /**
@@ -1440,9 +1488,13 @@ class Sim
 
     // --- Open arrivals ---------------------------------------------
 
-    /** Draw the next interarrival gap and schedule the arrival. */
+    /**
+     * Draw the next interarrival gap and schedule the arrival —
+     * staged into @p batch when the caller (the kickoff) is already
+     * batching a fan-out.
+     */
     void
-    scheduleNextArrival()
+    scheduleNextArrival(EventQueue::Batch *batch = nullptr)
     {
         const double mean_us = 1e6 / exp.arrivalRatePerSec;
         double dt_us;
@@ -1464,8 +1516,11 @@ class Sim
                 (1.0 - hb);
             dt_us = x / norm * mean_us;
         }
-        eq.scheduleAfter(std::max<Tick>(1, usToTicks(dt_us)),
-                         [this]() { onArrival(); });
+        const Tick gap = std::max<Tick>(1, usToTicks(dt_us));
+        if (batch)
+            batch->scheduleAfter(gap, [this]() { onArrival(); });
+        else
+            eq.scheduleAfter(gap, [this]() { onArrival(); });
     }
 
     /** An open-mode client materializes and offers one request. */
@@ -2146,6 +2201,10 @@ runExperiment(const Experiment &exp, trace::Tracer *tracer,
     hsipc_assert((exp.engineProfileFile.empty() ||
                   exp.engineProfile) &&
                  "engineProfileFile needs engineProfile");
+    hsipc_assert(exp.queueKind >= 0 && exp.queueKind <= 1 &&
+                 "queueKind is 0 (binary heap) or 1 (ladder queue)");
+    hsipc_assert(exp.expectedPendingEvents >= 0 &&
+                 "expectedPendingEvents cannot be negative");
     Sim sim(exp, tracer, metrics, engineProf);
     return sim.run();
 }

@@ -194,6 +194,26 @@ struct Experiment
     std::string engineProfileFile;
 
     /**
+     * Pending-event-set policy of the DES core (see
+     * src/sim/des/event_queue.hh and docs/performance.md "Pending-
+     * event-set policies"): 0 = the reference binary heap, 1 = the
+     * ladder queue (amortized O(1), built for tens of thousands of
+     * pending events).  Both order by the identical (when, seq) total
+     * order, so every Outcome field is bit-identical across the two —
+     * the fuzz oracle's queue.* family enforces exactly that.
+     */
+    int queueKind = 0;
+
+    /**
+     * Expected peak pending-event population — sizes the queue's
+     * backing storage up front so large (thousand-node scale) runs
+     * never pay growth reallocation on the event path.  0 keeps the
+     * historical one-page default (1024 events); the value is a
+     * reservation hint only and never affects results.
+     */
+    int expectedPendingEvents = 0;
+
+    /**
      * Field-wise exact equality (doubles compare bitwise) — what the
      * JSON round-trip (sim/check/experiment_json.hh) preserves and
      * the shrinker uses to detect a no-op simplification.

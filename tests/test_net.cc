@@ -130,8 +130,12 @@ struct Harness
                         EventQueue::Callback done) {
             eq.scheduleAfter(1, std::move(done));
         };
-        h.mediumToDst = [this, wire](int, EventQueue::Callback cb) {
-            eq.scheduleAfter(wire, std::move(cb));
+        h.mediumToDst = [this, wire](int, EventQueue::Callback cb,
+                                     EventQueue::Batch *batch) {
+            if (batch)
+                batch->scheduleAfter(wire, std::move(cb));
+            else
+                eq.scheduleAfter(wire, std::move(cb));
         };
         h.mediumToSrc = h.mediumToDst;
         chan = std::make_unique<ReliableChannel>(eq, cfg, faults,
