@@ -46,7 +46,10 @@ differentialEligible(const Experiment &exp,
            exp.hostsPerNode == 1 && exp.mpSpeedFactor == 1 &&
            !exp.extraCopy && faultFree && !exp.reliableProtocol &&
            exp.kernelBuffers >= exp.conversations &&
-           !robustnessEnabled(exp);
+           !robustnessEnabled(exp) &&
+           // The analytic engines model the classic one/two-node
+           // layout; a topology spreads conversations across N nodes.
+           !exp.topo.enabled();
 }
 
 std::vector<Violation>

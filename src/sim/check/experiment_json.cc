@@ -145,6 +145,32 @@ experimentToJson(const Experiment &exp)
     field("engineProfileFile", jsonString(exp.engineProfileFile));
     integer("queueKind", exp.queueKind);
     integer("expectedPendingEvents", exp.expectedPendingEvents);
+    // The topology object appears only when configured, so every
+    // pre-topology document (and its golden bytes) is unchanged.
+    if (!(exp.topo == topo::Topology{})) {
+        std::string t =
+            "{\"nodes\": " + std::to_string(exp.topo.nodes) +
+            ", \"kind\": " + std::to_string(exp.topo.kind) +
+            ", \"linkLatencyUs\": " +
+            exactNumber(exp.topo.linkLatencyUs) +
+            ", \"linkMbps\": " + exactNumber(exp.topo.linkMbps) +
+            ", \"switchLatencyUs\": " +
+            exactNumber(exp.topo.switchLatencyUs) +
+            ", \"segments\": " + std::to_string(exp.topo.segments) +
+            ", \"segMbps\": " + exactNumber(exp.topo.segMbps) +
+            ", \"placement\": " + std::to_string(exp.topo.placement) +
+            ", \"zipfSkew\": " + exactNumber(exp.topo.zipfSkew) +
+            ", \"links\": [";
+        for (std::size_t i = 0; i < exp.topo.links.size(); ++i) {
+            const topo::TopoLink &l = exp.topo.links[i];
+            t += std::string(i ? ", " : "") + "{\"a\": " +
+                 std::to_string(l.a) + ", \"b\": " +
+                 std::to_string(l.b) + ", \"latencyUs\": " +
+                 exactNumber(l.latencyUs) + ", \"mbps\": " +
+                 exactNumber(l.mbps) + "}";
+        }
+        field("topology", t + "]}");
+    }
     return doc + "\n}\n";
 }
 
@@ -169,7 +195,7 @@ experimentFromJson(const JsonValue &v)
         "retryBackoffMaxUs", "svcQueueCap", "shedPolicy", "rtoMaxUs",
         "timelineIntervalUs", "timelineFile", "traceSampleRate",
         "engineProfile", "engineProfileFile", "queueKind",
-        "expectedPendingEvents"};
+        "expectedPendingEvents", "topology"};
     for (const auto &[key, value] : v.asObject()) {
         if (known.count(key) == 0)
             throw std::runtime_error(
@@ -290,6 +316,67 @@ experimentFromJson(const JsonValue &v)
     if (v.has("expectedPendingEvents"))
         exp.expectedPendingEvents =
             intField(v, "expectedPendingEvents");
+    if (v.has("topology")) {
+        const JsonValue &tv = v.at("topology");
+        if (!tv.isObject())
+            throw std::runtime_error(
+                "experiment field 'topology' must be an object");
+        static const std::set<std::string> topoKnown = {
+            "nodes",    "kind",    "linkLatencyUs",
+            "linkMbps", "switchLatencyUs", "segments",
+            "segMbps",  "placement", "zipfSkew", "links"};
+        for (const auto &[key, value] : tv.asObject()) {
+            if (topoKnown.count(key) == 0)
+                throw std::runtime_error(
+                    "unknown topology field '" + key + "'");
+        }
+        if (tv.has("nodes"))
+            exp.topo.nodes = intField(tv, "nodes");
+        if (tv.has("kind"))
+            exp.topo.kind = intField(tv, "kind");
+        if (tv.has("linkLatencyUs"))
+            exp.topo.linkLatencyUs = numberField(tv, "linkLatencyUs");
+        if (tv.has("linkMbps"))
+            exp.topo.linkMbps = numberField(tv, "linkMbps");
+        if (tv.has("switchLatencyUs"))
+            exp.topo.switchLatencyUs =
+                numberField(tv, "switchLatencyUs");
+        if (tv.has("segments"))
+            exp.topo.segments = intField(tv, "segments");
+        if (tv.has("segMbps"))
+            exp.topo.segMbps = numberField(tv, "segMbps");
+        if (tv.has("placement"))
+            exp.topo.placement = intField(tv, "placement");
+        if (tv.has("zipfSkew"))
+            exp.topo.zipfSkew = numberField(tv, "zipfSkew");
+        if (tv.has("links")) {
+            for (const JsonValue &lv : tv.at("links").asArray()) {
+                if (!lv.isObject())
+                    throw std::runtime_error(
+                        "topology link entries must be objects");
+                static const std::set<std::string> linkKnown = {
+                    "a", "b", "latencyUs", "mbps"};
+                for (const auto &[key, value] : lv.asObject()) {
+                    if (linkKnown.count(key) == 0)
+                        throw std::runtime_error(
+                            "unknown topology link field '" + key +
+                            "'");
+                }
+                if (!lv.has("a") || !lv.has("b"))
+                    throw std::runtime_error(
+                        "topology link entries need both "
+                        "'a' and 'b'");
+                topo::TopoLink l;
+                l.a = intField(lv, "a");
+                l.b = intField(lv, "b");
+                if (lv.has("latencyUs"))
+                    l.latencyUs = numberField(lv, "latencyUs");
+                if (lv.has("mbps"))
+                    l.mbps = numberField(lv, "mbps");
+                exp.topo.links.push_back(l);
+            }
+        }
+    }
     return exp;
 }
 

@@ -171,6 +171,48 @@ ExperimentGenerator::generate(std::uint64_t index) const
     if (rng.chance(0.2))
         exp.expectedPendingEvents =
             256 << rng.below(6); // 256 .. 8192
+
+    // N-node topology (ISSUE 10), sampled *last* so every earlier
+    // draw keeps its historical value on existing corpus indices.
+    // The layer supersedes the classic two-node layout and is
+    // incompatible with mixed workloads and the legacy ring knob
+    // (runExperiment validates both), so those corners stay off.
+    if (!mixed && !exp.useTokenRing && rng.chance(0.3)) {
+        static const int kNodeCounts[] = {2, 2, 3,  3,  4,  4, 5,
+                                          6, 8, 12, 16, 24, 32};
+        exp.topo.nodes = kNodeCounts[rng.below(13)];
+        exp.topo.kind = static_cast<int>(rng.below(3));
+        if (rng.chance(0.5))
+            exp.topo.linkLatencyUs = coarse(rng.uniform(0, 500));
+        if (rng.chance(0.35))
+            exp.topo.linkMbps = coarse(rng.uniform(1.0, 100.0));
+        if (exp.topo.kind != 0 && rng.chance(0.5))
+            exp.topo.switchLatencyUs = coarse(rng.uniform(0, 200));
+        if (exp.topo.kind == 2) {
+            exp.topo.segments = 1 + static_cast<int>(rng.below(4));
+            exp.topo.segMbps = coarse(rng.uniform(1.0, 10.0));
+        }
+        exp.topo.placement = static_cast<int>(rng.below(4));
+        if (exp.topo.placement == 3)
+            exp.topo.zipfSkew = coarse(rng.uniform(0.5, 2.0));
+        // Mesh link overrides: a few directed pairs with their own
+        // latency/bandwidth (the mesh ignores them on other kinds,
+        // and they stay valid however the shrinker resets knobs).
+        if (exp.topo.kind == 0 && rng.chance(0.25)) {
+            const int overrides = 1 + static_cast<int>(rng.below(3));
+            for (int i = 0; i < overrides; ++i) {
+                topo::TopoLink l;
+                l.a = static_cast<int>(rng.below(exp.topo.nodes));
+                l.b = static_cast<int>(rng.below(exp.topo.nodes));
+                if (l.b == l.a)
+                    l.b = (l.a + 1) % exp.topo.nodes;
+                l.latencyUs = coarse(rng.uniform(0, 1000));
+                if (rng.chance(0.5))
+                    l.mbps = coarse(rng.uniform(1.0, 100.0));
+                exp.topo.links.push_back(l);
+            }
+        }
+    }
     return exp;
 }
 

@@ -80,6 +80,23 @@
  *     executes the identical event sequence, so every existing
  *     result doubles as a differential oracle for the ladder
  *
+ *  topology ledger (Experiment::topo; topo.*)
+ *   - topo.bypass: without a topology the ledger is empty — the
+ *     layer is pay-for-use
+ *   - topo.enabled: with one, the ledger is filled and its element
+ *     counts are a pure function of the shape (mesh: N(N-1) directed
+ *     links, no routers; star: 2N links and one switch; S ring
+ *     segments: S ring links, plus S routers and S(S-1) backbone
+ *     links when S > 1)
+ *   - topo.conservation: *exact* flow conservation on every link
+ *     (msgsIn = msgsOut + dropped + inFlightAtEnd) and every router
+ *     (received = forwarded + dropped + inFlightAtEnd); bytes never
+ *     grow in transit (bytesOut <= bytesIn) and no in-flight count
+ *     exceeds its observed queue peak
+ *   - topo.nonneg: every ledger entry is non-negative
+ *   - topo.retransAttribution: each link's attributed
+ *     retransmissions are bounded by the whole-run channel total
+ *
  *  determinism (re-run checks)
  *   - tracing on vs off: bit-identical outcomeJson
  *   - engineProfile flipped: bit-identical outcomeJson
@@ -88,6 +105,9 @@
  *     the profile's deterministic subset (counters, simulated-time
  *     sketches, the edge graph — never wall-clock values) replicates
  *     bit-exactly too (engprof.deterministic)
+ *   - every re-run comparison pins outcomeJson *plus* topoJson, so
+ *     the per-link/per-router ledger must replicate bit-exactly
+ *     across tracing, queue policy, profiling, and parallelism
  *
  * checkOutcome() applies the single-run invariants to an existing
  * Outcome; checkedRun() runs the experiment and optionally the

@@ -87,6 +87,36 @@ constexpr DoubleKnob doubleKnobs[] = {
     {"traceSampleRate", &Experiment::traceSampleRate},
 };
 
+// Topology knobs are nested under Experiment::topo, so they get their
+// own member-pointer tables.  `nodes` is handled separately in the
+// shrink loop: its bisection floors at 2 (a 1-node topology is
+// invalid) while the reset target is 0 (topology off).
+struct TopoIntKnob
+{
+    const char *name;
+    int topo::Topology::*field;
+};
+
+struct TopoDoubleKnob
+{
+    const char *name;
+    double topo::Topology::*field;
+};
+
+constexpr TopoIntKnob topoIntKnobs[] = {
+    {"topo.kind", &topo::Topology::kind},
+    {"topo.segments", &topo::Topology::segments},
+    {"topo.placement", &topo::Topology::placement},
+};
+
+constexpr TopoDoubleKnob topoDoubleKnobs[] = {
+    {"topo.linkLatencyUs", &topo::Topology::linkLatencyUs},
+    {"topo.linkMbps", &topo::Topology::linkMbps},
+    {"topo.switchLatencyUs", &topo::Topology::switchLatencyUs},
+    {"topo.segMbps", &topo::Topology::segMbps},
+    {"topo.zipfSkew", &topo::Topology::zipfSkew},
+};
+
 } // namespace
 
 std::vector<std::string>
@@ -105,6 +135,16 @@ knobDiff(const Experiment &exp)
     for (const DoubleKnob &k : doubleKnobs)
         if (exp.*k.field != base.*k.field)
             diff.push_back(k.name);
+    if (exp.topo.nodes != base.topo.nodes)
+        diff.push_back("topo.nodes");
+    for (const TopoIntKnob &k : topoIntKnobs)
+        if (exp.topo.*k.field != base.topo.*k.field)
+            diff.push_back(k.name);
+    for (const TopoDoubleKnob &k : topoDoubleKnobs)
+        if (exp.topo.*k.field != base.topo.*k.field)
+            diff.push_back(k.name);
+    if (exp.topo.links != base.topo.links)
+        diff.push_back("topo.links");
     if (exp.seed != base.seed)
         diff.push_back("seed");
     if (exp.crashSchedule != base.crashSchedule)
@@ -167,6 +207,114 @@ shrinkExperiment(const Experiment &failing,
                         progress = true; // cur shrank; retry index i
                     else
                         ++i;
+                }
+            }
+        }
+
+        // Topology: a whole-layer reset removes the most machinery.
+        // Failing that, drop the link overrides, shrink the node
+        // count toward the 2-node floor (1 is invalid; 0 is the
+        // separate "off" reset), then reset/bisect each shape knob.
+        if (!(cur.topo == base.topo)) {
+            Experiment cand = cur;
+            cand.topo = base.topo;
+            progress |= accept(cand);
+        }
+        if (!cur.topo.links.empty()) {
+            Experiment cand = cur;
+            cand.topo.links.clear();
+            if (accept(cand)) {
+                progress = true;
+            } else {
+                for (std::size_t i = 0; i < cur.topo.links.size();) {
+                    Experiment drop = cur;
+                    drop.topo.links.erase(drop.topo.links.begin() +
+                                          static_cast<long>(i));
+                    if (accept(drop))
+                        progress = true; // cur shrank; retry index i
+                    else
+                        ++i;
+                }
+            }
+        }
+        if (cur.topo.nodes != base.topo.nodes) {
+            Experiment cand = cur;
+            cand.topo.nodes = base.topo.nodes;
+            if (accept(cand)) {
+                progress = true;
+            } else {
+                Experiment two = cur;
+                two.topo.nodes = 2;
+                if (accept(two)) {
+                    progress = true;
+                } else {
+                    long lo = 2;
+                    long hi = cur.topo.nodes;
+                    while (runs < maxRuns) {
+                        const long mid = lo + (hi - lo) / 2;
+                        if (mid == lo || mid == hi)
+                            break;
+                        Experiment bis = cur;
+                        bis.topo.nodes = static_cast<int>(mid);
+                        if (accept(bis)) {
+                            hi = mid;
+                            progress = true;
+                        } else {
+                            lo = mid;
+                        }
+                    }
+                }
+            }
+        }
+        for (const TopoIntKnob &k : topoIntKnobs) {
+            if (cur.topo.*k.field == base.topo.*k.field)
+                continue;
+            Experiment cand = cur;
+            cand.topo.*k.field = base.topo.*k.field;
+            if (accept(cand)) {
+                progress = true;
+                continue;
+            }
+            long lo = base.topo.*k.field;
+            long hi = cur.topo.*k.field;
+            while (runs < maxRuns) {
+                const long mid = lo + (hi - lo) / 2;
+                if (mid == lo || mid == hi)
+                    break;
+                Experiment bis = cur;
+                bis.topo.*k.field = static_cast<int>(mid);
+                if (accept(bis)) {
+                    hi = mid;
+                    progress = true;
+                } else {
+                    lo = mid;
+                }
+            }
+        }
+        for (const TopoDoubleKnob &k : topoDoubleKnobs) {
+            if (cur.topo.*k.field == base.topo.*k.field)
+                continue;
+            Experiment cand = cur;
+            cand.topo.*k.field = base.topo.*k.field;
+            if (accept(cand)) {
+                progress = true;
+                continue;
+            }
+            double lo = base.topo.*k.field;
+            double hi = cur.topo.*k.field;
+            int steps = 0;
+            while (runs < maxRuns && steps++ < 16) {
+                double mid = (lo + hi) / 2;
+                mid = std::round(mid * 1e6) / 1e6;
+                if (mid == lo || mid == hi)
+                    break;
+                Experiment bis = cur;
+                bis.topo.*k.field = mid;
+                if (accept(bis)) {
+                    hi = mid;
+                    progress = true;
+                } else {
+                    lo = mid;
                 }
             }
         }

@@ -46,6 +46,16 @@ struct TestHooks
     long rpcCompletionMiscount = 0;
 
     /**
+     * Drops this many forwarded packets at topology routers — each
+     * drop silently discards one arriving packet *without* touching
+     * the router's `dropped` ledger (see topo/network.cc), leaving
+     * received > forwarded + dropped + inFlight on that router.  The
+     * topo.conservation invariant must catch the imbalance and the
+     * fuzzer must shrink the configuration that exposed it.
+     */
+    long topoRouterDrop = 0;
+
+    /**
      * Reverses the (when, seq) tiebreak inside the ladder queue's
      * comparator — simultaneous events pop LIFO instead of FIFO, a
      * classic pending-event-set implementation bug.  The heap is

@@ -21,6 +21,7 @@
 #include "sim/node/costs.hh"
 #include "sim/node/processor.hh"
 #include "sim/node/token_ring.hh"
+#include "sim/topo/network.hh"
 
 namespace hsipc::sim
 {
@@ -235,18 +236,15 @@ class Sim
             pathLog.enabled() ? &pathLog : nullptr;
         trace::Tracer *nodeTracer =
             tracer->enabled() ? tracer : nullptr;
-        nodes.push_back(std::make_unique<Node>(eq, "n0",
-                                               exp.hostsPerNode,
-                                               coproc, split,
-                                               nodeTracer,
-                                               nodeCausal, engProf));
-        if (two_nodes)
-            nodes.push_back(std::make_unique<Node>(eq, "n1",
-                                                   exp.hostsPerNode,
-                                                   coproc, split,
-                                                   nodeTracer,
-                                                   nodeCausal,
-                                                   engProf));
+        // The topology layer supersedes the classic one/two-node
+        // layout; with it off the loop degenerates to exactly the
+        // historical "n0" (+ "n1") construction.
+        const bool topoOn = exp.topo.enabled();
+        nn = topoOn ? exp.topo.nodes : (two_nodes ? 2 : 1);
+        for (int i = 0; i < nn; ++i)
+            nodes.push_back(std::make_unique<Node>(
+                eq, "n" + std::to_string(i), exp.hostsPerNode,
+                coproc, split, nodeTracer, nodeCausal, engProf));
         for (auto &n : nodes)
             n->freeBuffers = exp.kernelBuffers;
         if (tracer->enabled())
@@ -258,13 +256,22 @@ class Sim
             rc.megabitsPerSec = exp.ringMbps;
             ring = std::make_unique<TokenRing>(eq, rc);
         }
+        // The interconnect fabric; rawWire() routes through it for
+        // every node pair.  Kind 2 models its own ring segments, so
+        // the legacy `ring` member stays null in topo mode (its
+        // Outcome fields belong to useTokenRing alone).
+        if (topoOn)
+            net = std::make_unique<topo::Network>(eq, exp.topo,
+                                                  tracer, engProf);
 
         // The reliability stack is strictly pay-for-use: it exists
         // only when the medium can fail (or when explicitly forced),
         // so fault-free runs keep the ideal-medium code path and
-        // produce bit-identical results.
-        if (two_nodes && (injector.faultPlan().active() ||
-                          exp.reliableProtocol)) {
+        // produce bit-identical results.  One channel per ordered
+        // node pair, row-major — for two nodes that is exactly the
+        // historical (0 -> 1, 1 -> 0) pair.
+        if ((two_nodes || topoOn) &&
+            (injector.faultPlan().active() || exp.reliableProtocol)) {
             ReliableChannel::Config rc;
             rc.windowSize = exp.retransmitWindow;
             rc.rtoUs = exp.retransmitTimeoutUs;
@@ -287,26 +294,43 @@ class Sim
                 n.commProc().submit(
                     act(name, c, n, prio, std::move(done)));
             };
-            for (int src : {0, 1}) {
-                rc.srcNode = src;
-                rc.dstNode = 1 - src;
-                h.mediumToDst = [this, src](int bytes,
-                                            EventQueue::Callback cb,
-                                            EventQueue::Batch *b) {
-                    rawWire(src, 1 - src, bytes, std::move(cb), b);
-                };
-                h.mediumToSrc = [this, src](int bytes,
-                                            EventQueue::Callback cb,
-                                            EventQueue::Batch *b) {
-                    rawWire(1 - src, src, bytes, std::move(cb), b);
-                };
-                chans[static_cast<std::size_t>(src)] =
-                    std::make_unique<ReliableChannel>(eq, rc, injector,
-                                                      h);
+            chans.resize(static_cast<std::size_t>(nn) *
+                         static_cast<std::size_t>(nn - 1));
+            for (int src = 0; src < nn; ++src) {
+                for (int dst = 0; dst < nn; ++dst) {
+                    if (dst == src)
+                        continue;
+                    rc.srcNode = src;
+                    rc.dstNode = dst;
+                    h.mediumToDst =
+                        [this, src, dst](int bytes,
+                                         EventQueue::Callback cb,
+                                         EventQueue::Batch *b) {
+                            rawWire(src, dst, bytes, std::move(cb),
+                                    b);
+                        };
+                    h.mediumToSrc =
+                        [this, src, dst](int bytes,
+                                         EventQueue::Callback cb,
+                                         EventQueue::Batch *b) {
+                            rawWire(dst, src, bytes, std::move(cb),
+                                    b);
+                        };
+                    chans[chanIndex(src, dst)] =
+                        std::make_unique<ReliableChannel>(
+                            eq, rc, injector, h);
+                }
             }
             if (tracer->enabled()) {
-                chans[0]->attachTracer(tracer, "net.n0->n1");
-                chans[1]->attachTracer(tracer, "net.n1->n0");
+                for (int src = 0; src < nn; ++src) {
+                    for (int dst = 0; dst < nn; ++dst) {
+                        if (dst != src)
+                            chans[chanIndex(src, dst)]->attachTracer(
+                                tracer,
+                                "net.n" + std::to_string(src) +
+                                    "->n" + std::to_string(dst));
+                    }
+                }
             }
         }
         if (tracer->enabled())
@@ -324,6 +348,15 @@ class Sim
                 addConversation(i % 2, i % 2);
             for (int i = 0; i < exp.mixedRemote; ++i)
                 addConversation(i % 2, 1 - i % 2);
+        } else if (topoOn) {
+            // Topology placement decides where each conversation's
+            // endpoints live; a pure function of (topology, index,
+            // seed), so jobs=1/N replicas place identically.
+            for (int i = 0; i < exp.conversations; ++i) {
+                const auto [c, s] = topo::placeConversation(
+                    exp.topo, i, exp.seed);
+                addConversation(c, s);
+            }
         } else {
             for (int i = 0; i < exp.conversations; ++i)
                 addConversation(0, exp.local ? 0 : 1);
@@ -406,7 +439,7 @@ class Sim
                 tlRpcRetries = &tl.counter("rpc.retries");
                 tlRpcOrphans = &tl.counter("rpc.orphanedReplies");
             }
-            if (chans[0]) {
+            if (!chans.empty()) {
                 tlNetTx = &tl.counter("net.dataTransmissions");
                 tlNetRetx = &tl.counter("net.retransmissions");
                 tlNetDeliver = &tl.counter("net.delivered");
@@ -581,6 +614,27 @@ class Sim
         nt.pktsDuplicated = fs.duplicated;
         nt.pktsReordered = fs.reordered;
         nt.pktsCrashDropped = fs.crashDrops;
+
+        // The topology layer's per-link conservation ledger: charge
+        // each channel's retransmissions to its forward route, then
+        // snapshot every link and router (structural in-flight
+        // included, so the flow identities hold exactly at the
+        // horizon).
+        if (net) {
+            if (!chans.empty()) {
+                for (int src = 0; src < nn; ++src) {
+                    for (int dst = 0; dst < nn; ++dst) {
+                        if (dst != src)
+                            net->attributeRetransmissions(
+                                src, dst,
+                                chans[chanIndex(src, dst)]
+                                    ->stats()
+                                    .retransmissions);
+                    }
+                }
+            }
+            net->fillLedger(out.topo);
+        }
 
         // The robustness layer's whole-run disposition ledger plus
         // the windowed goodput-vs-offered-load measurement.  Goodput
@@ -807,7 +861,15 @@ class Sim
         return a;
     }
 
-    /** Sum the two channels' protocol statistics. */
+    /** Index of the @p from -> @p to channel (row-major pairs). */
+    std::size_t
+    chanIndex(int from, int to) const
+    {
+        return static_cast<std::size_t>(
+            from * (nn - 1) + (to - (to > from ? 1 : 0)));
+    }
+
+    /** Sum every channel's protocol statistics. */
     ReliableChannel::Stats
     channelStats() const
     {
@@ -966,7 +1028,7 @@ class Sim
             tl.sample("n" + std::to_string(i) + ".freeBuffers", bin,
                       static_cast<double>(n.freeBuffers));
         }
-        if (chans[0]) {
+        if (!chans.empty()) {
             double pending = 0;
             double backlog = 0;
             for (const auto &c : chans) {
@@ -975,6 +1037,12 @@ class Sim
             }
             tl.sample("net.windowPending", bin, pending);
             tl.sample("net.backlog", bin, backlog);
+        }
+        if (net) {
+            tl.sample("topo.routerDepth", bin,
+                      net->routerDepthSum());
+            tl.sample("topo.linkInFlight", bin,
+                      net->linkInFlightSum());
         }
         if (robust) {
             double inFlight = 0;
@@ -1099,14 +1167,17 @@ class Sim
     }
 
     /**
-     * The raw medium between the two nodes: the token ring when
-     * enabled, a fixed wire delay otherwise.
+     * The raw medium between two nodes: the topology fabric when one
+     * is instantiated, the token ring when enabled, a fixed wire
+     * delay otherwise.
      */
     void
     rawWire(int from, int to, int bytes, EventQueue::Callback deliver,
             EventQueue::Batch *batch = nullptr)
     {
-        if (ring) {
+        if (net) {
+            net->send(from, to, bytes, std::move(deliver), batch);
+        } else if (ring) {
             ring->send(from, to, bytes, std::move(deliver), batch);
         } else if (engProf) {
             // The inter-node lookahead edge: whoever is transmitting
@@ -1154,9 +1225,8 @@ class Sim
                 inner();
             };
         }
-        if (chans[0])
-            chans[static_cast<std::size_t>(from)]->send(
-                std::move(arrive), msg);
+        if (!chans.empty())
+            chans[chanIndex(from, to)]->send(std::move(arrive), msg);
         else
             rawWire(from, to, exp.packetBytes, std::move(arrive));
     }
@@ -1528,7 +1598,13 @@ class Sim
     onArrival()
     {
         const int conv = static_cast<int>(convs.size());
-        addConversation(0, exp.local ? 0 : 1);
+        if (exp.topo.enabled()) {
+            const auto [c, s] =
+                topo::placeConversation(exp.topo, conv, exp.seed);
+            addConversation(c, s);
+        } else {
+            addConversation(0, exp.local ? 0 : 1);
+        }
         startRequest(conv);
         scheduleNextArrival();
     }
@@ -2085,8 +2161,14 @@ class Sim
 
     std::vector<std::unique_ptr<Node>> nodes;
     std::unique_ptr<TokenRing> ring;
-    //! Reliable channels by source node (0 -> 1 and 1 -> 0).
-    std::unique_ptr<ReliableChannel> chans[2];
+    //! The instantiated interconnect (null unless exp.topo enables
+    //! the topology layer).
+    std::unique_ptr<topo::Network> net;
+    int nn = 1; //!< node count (1, 2, or exp.topo.nodes)
+    //! Reliable channels, one per ordered node pair in row-major
+    //! order (empty when the medium is ideal); for two nodes that is
+    //! the historical [0 -> 1, 1 -> 0] pair.
+    std::vector<std::unique_ptr<ReliableChannel>> chans;
     int protoAccesses = 0;
     std::vector<Recovery> recoveries;
 
@@ -2149,9 +2231,10 @@ runExperiment(const Experiment &exp, trace::Tracer *tracer,
                  "retransmitTimeoutUs must be positive");
     hsipc_assert(exp.retransmitWindow >= 1 &&
                  "retransmitWindow must be at least 1");
+    const int crashNodes = std::max(2, exp.topo.nodes);
     for (const CrashWindow &w : exp.crashSchedule) {
-        hsipc_assert((w.node == 0 || w.node == 1) &&
-                     "crash node must be 0 or 1");
+        hsipc_assert(w.node >= 0 && w.node < crashNodes &&
+                     "crash node must name an existing node");
         hsipc_assert(w.startUs >= 0 && w.endUs > w.startUs &&
                      "crash window must be well-formed");
     }
@@ -2205,6 +2288,38 @@ runExperiment(const Experiment &exp, trace::Tracer *tracer,
                  "queueKind is 0 (binary heap) or 1 (ladder queue)");
     hsipc_assert(exp.expectedPendingEvents >= 0 &&
                  "expectedPendingEvents cannot be negative");
+    hsipc_assert((exp.topo.nodes == 0 ||
+                  (exp.topo.nodes >= 2 && exp.topo.nodes <= 1024)) &&
+                 "topology nodes is 0 (off) or in [2, 1024]");
+    if (exp.topo.enabled()) {
+        hsipc_assert(exp.topo.kind >= 0 && exp.topo.kind <= 2 &&
+                     "topology kind is 0 (mesh), 1 (switch), or 2 "
+                     "(ring segments)");
+        hsipc_assert(exp.topo.placement >= 0 &&
+                     exp.topo.placement <= 3 &&
+                     "placement is 0 (classic), 1 (round-robin), 2 "
+                     "(locality), or 3 (hot-spot)");
+        hsipc_assert(exp.topo.linkLatencyUs >= 0 &&
+                     exp.topo.switchLatencyUs >= 0 &&
+                     exp.topo.linkMbps >= 0 &&
+                     "link parameters cannot be negative");
+        hsipc_assert(exp.topo.segments >= 1 &&
+                     "topology needs at least one ring segment");
+        hsipc_assert(exp.topo.segMbps > 0 &&
+                     "segment ring rate must be positive");
+        hsipc_assert(exp.topo.zipfSkew > 0 &&
+                     "hot-spot skew must be positive");
+        for (const topo::TopoLink &l : exp.topo.links)
+            hsipc_assert(l.a >= 0 && l.b >= 0 && l.a != l.b &&
+                         l.latencyUs >= 0 && l.mbps >= 0 &&
+                         "link override must be well-formed");
+        hsipc_assert(exp.mixedLocal == 0 && exp.mixedRemote == 0 &&
+                     "the topology layer is incompatible with the "
+                     "mixed workload");
+        hsipc_assert(!exp.useTokenRing &&
+                     "topology kind 2 models ring segments; "
+                     "useTokenRing is the legacy two-node ring");
+    }
     Sim sim(exp, tracer, metrics, engineProf);
     return sim.run();
 }

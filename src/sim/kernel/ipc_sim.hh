@@ -38,6 +38,7 @@
 #include "common/trace/tracer.hh"
 #include "core/models/processing_times.hh"
 #include "sim/net/faults.hh"
+#include "sim/topo/topology.hh"
 
 namespace hsipc::sim
 {
@@ -212,6 +213,18 @@ struct Experiment
      * reservation hint only and never affects results.
      */
     int expectedPendingEvents = 0;
+
+    /**
+     * N-node interconnect topology (see sim/topo/topology.hh).
+     * Strictly pay-for-use: with nodes == 0 (the default) the layer
+     * is off and the simulator keeps its historical one/two-node
+     * path bit-for-bit; nodes >= 2 instantiates the described fabric
+     * and the placement policy decides where conversations live
+     * (`local` and the classic two-node layout are superseded).
+     * Incompatible with the mixed workload and with useTokenRing
+     * (kind 2 models rings of its own).
+     */
+    topo::Topology topo;
 
     /**
      * Field-wise exact equality (doubles compare bitwise) — what the
@@ -403,6 +416,16 @@ struct Outcome
      * oracle compares across replicas.
      */
     obs::EngineProfile engineProfile;
+
+    /**
+     * Per-link / per-router flow-conservation ledger of the topology
+     * layer, filled only when Experiment::topo is enabled (the
+     * topo.* invariant family audits it).  Like engineProfile it is
+     * deliberately excluded from outcomeJson() — the degenerate
+     * two-node topology must stay byte-identical to the legacy path
+     * — and rendered separately by topoJson().
+     */
+    topo::Ledger topo;
 };
 
 /** Run the experiment to completion and return the measurements. */

@@ -232,4 +232,46 @@ outcomeJson(const Outcome &out)
     return doc;
 }
 
+std::string
+topoJson(const Outcome &out)
+{
+    const topo::Ledger &t = out.topo;
+    std::string doc = "{\"enabled\": ";
+    doc += t.enabled ? "true" : "false";
+    doc += ",\n \"links\": [";
+    bool first = true;
+    for (const topo::LinkLedger &l : t.links) {
+        doc += first ? "" : ",\n  ";
+        doc += "{\"name\": " + jsonString(l.name) +
+               ", \"msgsIn\": " + std::to_string(l.msgsIn) +
+               ", \"msgsOut\": " + std::to_string(l.msgsOut) +
+               ", \"bytesIn\": " + std::to_string(l.bytesIn) +
+               ", \"bytesOut\": " + std::to_string(l.bytesOut) +
+               ", \"dropped\": " + std::to_string(l.dropped) +
+               ", \"inFlightAtEnd\": " +
+               std::to_string(l.inFlightAtEnd) +
+               ", \"retransmissions\": " +
+               std::to_string(l.retransmissions) +
+               ", \"queuePeak\": " + std::to_string(l.queuePeak) +
+               "}";
+        first = false;
+    }
+    doc += "],\n \"routers\": [";
+    first = true;
+    for (const topo::RouterLedger &r : t.routers) {
+        doc += first ? "" : ",\n  ";
+        doc += "{\"name\": " + jsonString(r.name) +
+               ", \"received\": " + std::to_string(r.received) +
+               ", \"forwarded\": " + std::to_string(r.forwarded) +
+               ", \"dropped\": " + std::to_string(r.dropped) +
+               ", \"inFlightAtEnd\": " +
+               std::to_string(r.inFlightAtEnd) +
+               ", \"queuePeak\": " + std::to_string(r.queuePeak) +
+               "}";
+        first = false;
+    }
+    doc += "]\n}\n";
+    return doc;
+}
+
 } // namespace hsipc::sim

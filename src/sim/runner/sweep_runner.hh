@@ -106,6 +106,15 @@ std::vector<Outcome> runSweep(std::vector<Experiment> exps, int jobs);
  */
 std::string outcomeJson(const Outcome &out);
 
+/**
+ * Deterministic JSON rendering of the topology layer's per-link /
+ * per-router conservation ledger (ledger order is construction
+ * order, so the document is byte-comparable across replicas).  Kept
+ * out of outcomeJson() deliberately: the N=2 degenerate topology
+ * must stay byte-identical to the legacy two-node document.
+ */
+std::string topoJson(const Outcome &out);
+
 } // namespace hsipc::sim
 
 #endif // HSIPC_SIM_SWEEP_RUNNER_HH

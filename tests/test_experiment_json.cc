@@ -68,6 +68,16 @@ everyFieldChanged()
     e.svcQueueCap = 17;
     e.shedPolicy = 2;
     e.rtoMaxUs = 123456.789;
+    e.topo.nodes = 6;
+    e.topo.kind = 2;
+    e.topo.linkLatencyUs = 55.5;
+    e.topo.linkMbps = 12.000000000000002;
+    e.topo.switchLatencyUs = 7.25;
+    e.topo.segments = 3;
+    e.topo.segMbps = 4.444444444444445;
+    e.topo.placement = 3;
+    e.topo.zipfSkew = 1.0 / 3.0;
+    e.topo.links = {{0, 1, 250.125, 2.5}, {4, 2, 1000, 0}};
     return e;
 }
 
@@ -136,6 +146,56 @@ TEST(ExperimentJson, RejectsUnknownAndIllTyped)
     EXPECT_THROW(experimentFromJsonText("{\"arch\": 5}"),
                  std::runtime_error);
     EXPECT_THROW(experimentFromJsonText("[1, 2]"),
+                 std::runtime_error);
+}
+
+TEST(ExperimentJson, TopologyRoundTripsAndOmitsItselfByDefault)
+{
+    // Defaults carry no topology object at all: pre-topology golden
+    // documents stay byte-identical.
+    EXPECT_EQ(experimentToJson(Experiment{}).find("topology"),
+              std::string::npos);
+
+    Experiment e;
+    e.topo.nodes = 4;
+    e.topo.kind = 1;
+    e.topo.switchLatencyUs = 12.5;
+    e.topo.placement = 2;
+    e.topo.links = {{1, 3, 99.5, 7.5}};
+    const std::string text = experimentToJson(e);
+    EXPECT_NE(text.find("\"topology\""), std::string::npos);
+    const Experiment back = experimentFromJsonText(text);
+    EXPECT_TRUE(back == e);
+    ASSERT_EQ(back.topo.links.size(), 1u);
+    EXPECT_EQ(back.topo.links[0].a, 1);
+    EXPECT_EQ(back.topo.links[0].b, 3);
+    EXPECT_EQ(back.topo.links[0].latencyUs, 99.5);
+    EXPECT_EQ(back.topo.links[0].mbps, 7.5);
+}
+
+TEST(ExperimentJson, RejectsBadTopologyDocuments)
+{
+    // The nested object gets the same unknown-key treatment as the
+    // top level: a typo must not silently run a different topology.
+    EXPECT_THROW(
+        experimentFromJsonText("{\"topology\": {\"nodez\": 2}}"),
+        std::runtime_error);
+    EXPECT_THROW(experimentFromJsonText("{\"topology\": 3}"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        experimentFromJsonText("{\"topology\": {\"nodes\": 2.5}}"),
+        std::runtime_error);
+    // Link entries are checked too: unknown keys, wrong types, and
+    // missing endpoints all fail loudly.
+    EXPECT_THROW(experimentFromJsonText(
+                     "{\"topology\": {\"links\": "
+                     "[{\"a\": 0, \"b\": 1, \"lat\": 5}]}}"),
+                 std::runtime_error);
+    EXPECT_THROW(experimentFromJsonText(
+                     "{\"topology\": {\"links\": [7]}}"),
+                 std::runtime_error);
+    EXPECT_THROW(experimentFromJsonText(
+                     "{\"topology\": {\"links\": [{\"a\": 0}]}}"),
                  std::runtime_error);
 }
 

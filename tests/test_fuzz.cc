@@ -48,6 +48,8 @@ TEST(Generator, CoversTheConfigurationSurface)
     int poisson = 0, pareto = 0, deadlines = 0, retries = 0;
     int capped = 0, rtoCeil = 0;
     std::set<int> shedPolicies;
+    std::set<int> topoKinds, topoPlacements, topoNodes;
+    int topoOn = 0, topoLinks = 0, topoBig = 0;
     for (std::uint64_t i = 0; i < 300; ++i) {
         const Experiment e = gen.generate(i);
         archs.insert(static_cast<int>(e.arch));
@@ -83,6 +85,16 @@ TEST(Generator, CoversTheConfigurationSurface)
         }
         if (e.rtoMaxUs != Experiment().rtoMaxUs)
             ++rtoCeil;
+        if (e.topo.enabled()) {
+            ++topoOn;
+            topoKinds.insert(e.topo.kind);
+            topoPlacements.insert(e.topo.placement);
+            topoNodes.insert(e.topo.nodes);
+            if (!e.topo.links.empty())
+                ++topoLinks;
+            if (e.topo.nodes >= 16)
+                ++topoBig;
+        }
     }
     EXPECT_EQ(archs.size(), 4u); // all four architectures
     EXPECT_GT(locals, 0);
@@ -103,6 +115,15 @@ TEST(Generator, CoversTheConfigurationSurface)
     EXPECT_GT(capped, 0);
     EXPECT_EQ(shedPolicies.size(), 3u);
     EXPECT_GT(rtoCeil, 0);
+    // The topology surface: all three kinds, all four placement
+    // policies, link overrides, and node counts up to the 16..32
+    // range are all sampled.
+    EXPECT_GT(topoOn, 0);
+    EXPECT_EQ(topoKinds.size(), 3u);
+    EXPECT_EQ(topoPlacements.size(), 4u);
+    EXPECT_GT(topoNodes.size(), 4u);
+    EXPECT_GT(topoLinks, 0);
+    EXPECT_GT(topoBig, 0);
 }
 
 TEST(Generator, EveryDrawIsRunnableAndValid)
@@ -151,6 +172,30 @@ TEST(Generator, EveryDrawIsRunnableAndValid)
         EXPECT_GE(e.svcQueueCap, 0);
         EXPECT_TRUE(e.shedPolicy >= 0 && e.shedPolicy <= 2);
         EXPECT_GT(e.rtoMaxUs, 0);
+        // Topology constraints runExperiment() asserts on.
+        EXPECT_TRUE(e.topo.nodes == 0 ||
+                    (e.topo.nodes >= 2 && e.topo.nodes <= 1024));
+        EXPECT_TRUE(e.topo.kind >= 0 && e.topo.kind <= 2);
+        EXPECT_TRUE(e.topo.placement >= 0 && e.topo.placement <= 3);
+        EXPECT_GE(e.topo.linkLatencyUs, 0);
+        EXPECT_GE(e.topo.linkMbps, 0);
+        EXPECT_GE(e.topo.switchLatencyUs, 0);
+        EXPECT_GE(e.topo.segments, 1);
+        EXPECT_GT(e.topo.segMbps, 0);
+        EXPECT_GT(e.topo.zipfSkew, 0);
+        for (const auto &l : e.topo.links) {
+            EXPECT_GE(l.a, 0);
+            EXPECT_GE(l.b, 0);
+            EXPECT_NE(l.a, l.b);
+            EXPECT_GE(l.latencyUs, 0);
+            EXPECT_GE(l.mbps, 0);
+        }
+        if (e.topo.enabled()) {
+            EXPECT_EQ(e.mixedLocal + e.mixedRemote, 0)
+                << "a topology supersedes the mixed layout";
+            EXPECT_FALSE(e.useTokenRing)
+                << "a topology supersedes the legacy ring knob";
+        }
     }
 }
 
@@ -380,6 +425,77 @@ TEST(Fuzz, PlantedLadderMisorderingIsCaughtShrunkAndReplayable)
     // two policies agree again.
     testHooks().ladderMisorderTiebreak = false;
     EXPECT_TRUE(checkedRun(replayed, opts).ok());
+}
+
+TEST(Fuzz, PlantedRouterDropIsCaughtShrunkAndReplayable)
+{
+    // The drill for the topo.* family: a star topology whose switch
+    // silently swallows one forwarded packet without booking it as
+    // dropped.  Exact per-router flow conservation must notice.
+    Experiment failing = baseExperiment();
+    failing.local = false;
+    failing.computeUs = 500;
+    failing.conversations = 4;
+    failing.topo.nodes = 4;
+    failing.topo.kind = 1;
+    failing.topo.linkLatencyUs = 50;
+    failing.topo.switchLatencyUs = 20;
+    failing.topo.placement = 1;
+
+    // Healthy simulator: the oracle is green on this config.
+    EXPECT_TRUE(checkOutcome(failing, runExperiment(failing)).empty());
+
+    ScopedTestHooks guard;
+    testHooks().topoRouterDrop = 1;
+
+    const std::vector<Violation> caught =
+        checkOutcome(failing, runExperiment(failing));
+    ASSERT_FALSE(caught.empty());
+    std::set<std::string> ids;
+    for (const Violation &v : caught)
+        ids.insert(v.invariant);
+    EXPECT_TRUE(ids.count("topo.conservation"))
+        << formatViolations(caught);
+
+    // Shrinking anchored to the caught invariants reaches a minimal
+    // repro of at most 5 knobs.  The hook is consumed per drop, so
+    // the predicate re-arms it before every candidate run.
+    const ShrinkResult shrunk = shrinkExperiment(
+        failing, [&ids](const Experiment &cand) {
+            testHooks().topoRouterDrop = 1;
+            for (const Violation &v :
+                 checkOutcome(cand, runExperiment(cand)))
+                if (ids.count(v.invariant))
+                    return true;
+            return false;
+        });
+    EXPECT_LE(shrunk.knobsChanged, 5)
+        << "minimal repro still has knobs: " << [&] {
+               std::string s;
+               for (const std::string &k : knobDiff(shrunk.minimal))
+                   s += k + " ";
+               return s;
+           }();
+    // The deciding knobs survive: a topology with a router.
+    EXPECT_GE(shrunk.minimal.topo.nodes, 2);
+    EXPECT_EQ(shrunk.minimal.topo.kind, 1);
+
+    // The repro JSON round-trips and still reproduces the violation.
+    const Experiment replayed =
+        experimentFromJsonText(experimentToJson(shrunk.minimal));
+    EXPECT_TRUE(replayed == shrunk.minimal);
+    testHooks().topoRouterDrop = 1;
+    bool stillCaught = false;
+    for (const Violation &v :
+         checkOutcome(replayed, runExperiment(replayed)))
+        stillCaught |= ids.count(v.invariant) > 0;
+    EXPECT_TRUE(stillCaught);
+
+    // With the planted bug removed the same repro runs clean: the
+    // failure was the bug, not the configuration.
+    testHooks().topoRouterDrop = 0;
+    EXPECT_TRUE(
+        checkOutcome(replayed, runExperiment(replayed)).empty());
 }
 
 } // namespace

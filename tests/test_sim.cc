@@ -430,33 +430,62 @@ TEST(TokenRing, TransmitTimeMatchesRate)
     EXPECT_EQ(ring.transmitTime(48), usToTicks(96));
 }
 
-TEST(TokenRing, SerializesTransmissions)
+// The ring model is station-count generic — the legacy two-node path
+// uses 2 stations, the topology layer's bridged segments anything up
+// to the segment size plus a router — so the medium tests run across
+// the whole range instead of pinning one constant.
+class TokenRingStations : public ::testing::TestWithParam<int>
 {
+};
+
+TEST_P(TokenRingStations, SerializesTransmissions)
+{
+    const int n = GetParam();
     EventQueue eq;
-    TokenRing ring(eq, TokenRing::Config{});
+    TokenRing::Config cfg;
+    cfg.stations = n;
+    TokenRing ring(eq, cfg);
     std::vector<Tick> deliveries;
-    // Two packets queued at once from both stations.
-    ring.send(0, 1, 48, [&]() { deliveries.push_back(eq.now()); });
-    ring.send(1, 0, 48, [&]() { deliveries.push_back(eq.now()); });
-    eq.runUntil(usToTicks(10000));
-    ASSERT_EQ(deliveries.size(), 2u);
-    // The second transmission starts only after the first finishes
-    // and the token rotates.
-    EXPECT_GE(deliveries[1] - deliveries[0], ring.transmitTime(48));
-    EXPECT_EQ(ring.packetCount(), 2);
+    // One packet queued at once from every station to its neighbour.
+    for (int s = 0; s < n; ++s)
+        ring.send(s, (s + 1) % n, 48,
+                  [&]() { deliveries.push_back(eq.now()); });
+    eq.runUntil(usToTicks(100000));
+    ASSERT_EQ(deliveries.size(), static_cast<std::size_t>(n));
+    // One token, one transmission at a time: consecutive deliveries
+    // are spaced by at least the serialization time.
+    for (std::size_t i = 1; i < deliveries.size(); ++i)
+        EXPECT_GE(deliveries[i] - deliveries[i - 1],
+                  ring.transmitTime(48));
+    EXPECT_EQ(ring.packetCount(), n);
     EXPECT_GT(ring.utilization(), 0.0);
 }
 
-TEST(TokenRing, HopsWrapAroundTheRing)
+TEST_P(TokenRingStations, HopsWrapAroundTheRing)
 {
+    const int n = GetParam();
     EventQueue eq;
     TokenRing::Config cfg;
-    cfg.stations = 4;
+    cfg.stations = n;
     TokenRing ring(eq, cfg);
-    EXPECT_EQ(ring.hops(3, 1), 2);
-    EXPECT_EQ(ring.hops(1, 3), 2);
-    EXPECT_EQ(ring.hops(0, 3), 3);
+    for (int from = 0; from < n; ++from) {
+        EXPECT_EQ(ring.hops(from, from), 0);
+        for (int to = 0; to < n; ++to) {
+            if (to == from)
+                continue;
+            const int fwd = ring.hops(from, to);
+            // Unidirectional ring: forward distance, and the two
+            // directions together close the loop.
+            EXPECT_EQ(fwd, (to - from + n) % n);
+            EXPECT_GE(fwd, 1);
+            EXPECT_LE(fwd, n - 1);
+            EXPECT_EQ(fwd + ring.hops(to, from), n);
+        }
+    }
 }
+
+INSTANTIATE_TEST_SUITE_P(Rings, TokenRingStations,
+                         ::testing::Values(2, 3, 4, 8, 16));
 
 TEST(IpcSim, TokenRingCostsThroughput)
 {
